@@ -1,0 +1,33 @@
+"""Bench R10 — regenerate the MCDA weight-sensitivity figure.
+
+Paper analogue: the robustness analysis of the expert-weighted conclusion.
+Shape claims: per-scenario winner stability is high (the recommendation does
+not hinge on exact expert numbers) and reversal factors, where they exist,
+sit far from 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import r10_sensitivity
+
+
+def test_bench_r10_sensitivity(benchmark, save_result):
+    result = benchmark.pedantic(
+        r10_sensitivity.run, kwargs={"n_resamples": 80}, rounds=1, iterations=1
+    )
+    save_result("R10", result.render())
+    print()
+    print(result.sections["summary"])
+
+    stability = result.data["overall_stability"]
+    assert set(stability) == {"critical", "triage", "balanced", "audit"}
+    assert min(stability.values()) > 0.5
+    assert sum(stability.values()) / len(stability) > 0.7
+
+    # Any reversal requires at least a 15% weight distortion.
+    for factors in result.data["reversal_factors"].values():
+        for factor in factors.values():
+            if factor is not None:
+                assert abs(math.log(factor)) > math.log(1.15)

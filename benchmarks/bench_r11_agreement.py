@@ -1,0 +1,34 @@
+"""Bench R11 — regenerate the analytical-vs-MCDA agreement table.
+
+Paper analogue: the closing validation ("the MCDA algorithm together with
+experts' judgment validates the conclusions").  Shape claims: the MCDA
+winner sits in the analytical top-5 in every scenario, top-1 matches in at
+least two, and the headline conclusion table reads like the abstract —
+precision/recall adequate somewhere, seldom-used alternatives elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r11_agreement
+from repro.metrics.registry import core_candidates
+
+
+def test_bench_r11_agreement(benchmark, save_result):
+    result = benchmark.pedantic(r11_agreement.run, rounds=1, iterations=1)
+    save_result("R11", result.render())
+    print()
+    print(result.render())
+
+    assert result.data["n_scenarios"] == 4
+    assert result.data["winner_in_top5"] == 4
+    assert result.data["top1_matches"] >= 2
+
+    analytical = result.data["analytical"]
+    registry = core_candidates()
+    # Familiar metrics win somewhere...
+    familiar_wins = {analytical["critical"][0], analytical["triage"][0]}
+    assert familiar_wins & {"REC", "PRE", "F0.5", "ACC"}
+    # ...and seldom-used alternatives win elsewhere (abstract's last claim).
+    for key in ("balanced", "audit"):
+        winner = registry.get(analytical[key][0])
+        assert winner.info.popularity < 0.5, (key, winner.symbol)

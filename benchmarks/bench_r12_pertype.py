@@ -1,0 +1,30 @@
+"""Bench R12 — regenerate the per-vulnerability-type breakdown table.
+
+Extension experiment: campaign results split by class, plus the macro/micro
+aggregation comparison.  Shape claims: breakdown cells re-pool to the
+campaign totals, the aggregations correlate but not perfectly, and per-class
+values expose class-skewed tools (VS-Alpha is strong on SQLi, weak on XPath
+by construction).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r12_pertype
+from repro.metrics import definitions as d
+from repro.workload.taxonomy import VulnerabilityType
+
+
+def test_bench_r12_pertype(benchmark, save_result):
+    result = benchmark(r12_pertype.run)
+    save_result("R12", result.render())
+    print()
+    print(result.render())
+
+    assert 0.3 < result.data["tau_macro_micro"] <= 1.0
+
+    alpha = result.data["breakdowns"]["VS-Alpha"]
+    recalls = alpha.metric_by_type(d.RECALL)
+    assert (
+        recalls[VulnerabilityType.SQL_INJECTION]
+        > recalls[VulnerabilityType.XPATH_INJECTION]
+    )

@@ -1,0 +1,26 @@
+"""Bench R13 — regenerate the threshold-free ranking-metric analysis.
+
+Extension experiment: AUC-ROC and average precision per tool, ROC curves,
+and rank agreement with the fixed-threshold families.  Shape claims: every
+reference tool ranks better than chance, and the ranking-metric ordering
+diverges from the fixed-threshold composites (the two evaluation styles
+answer different questions).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r13_ranking
+
+
+def test_bench_r13_ranking(benchmark, save_result):
+    result = benchmark(r13_ranking.run)
+    save_result("R13", result.render())
+    print()
+    print(result.sections["values"])
+    print()
+    print(result.sections["agreement"])
+
+    auc = result.data["auc"]
+    assert all(0.5 < value <= 1.0 for value in auc.values())
+    assert all(0.0 <= value <= 1.0 for value in result.data["ap"].values())
+    assert result.data["taus"]["auc_vs_F1"] < 0.8

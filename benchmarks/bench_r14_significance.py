@@ -1,0 +1,24 @@
+"""Bench R14 — regenerate the significance matrix and Wilson intervals.
+
+Extension experiment: McNemar's exact test for every tool pair plus Wilson
+intervals per tool.  Shape claims: on a ~1200-site workload most pairs of
+the deliberately spread-out suite are statistically distinguishable, and the
+extreme pair (flag-everything scanner vs precise analyzer) is overwhelmingly
+so.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r14_significance
+
+
+def test_bench_r14_significance(benchmark, save_result):
+    result = benchmark(r14_significance.run)
+    save_result("R14", result.render())
+    print()
+    print(result.render())
+
+    p_values = result.data["p_values"]
+    assert p_values[("SA-Grep", "SA-Deep")] < 1e-6
+    assert result.data["significant_fraction"] > 0.5
+    assert all(0.0 <= p <= 1.0 for p in p_values.values())

@@ -1,0 +1,26 @@
+"""Bench R15 — regenerate the difficulty-calibration figure.
+
+Extension experiment: recall per difficulty bin for representative tools.
+Shape claims: the flow-insensitive scanner is difficulty-blind; the
+depth-limited analyzer collapses past its budget; the dynamic tester
+degrades smoothly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import r15_difficulty
+
+
+def test_bench_r15_difficulty(benchmark, save_result):
+    result = benchmark.pedantic(r15_difficulty.run, rounds=1, iterations=1)
+    save_result("R15", result.render())
+    print()
+    print(result.render())
+
+    recalls = result.data["recalls"]
+    assert all(r == 1.0 for r in recalls["SA-Grep"] if math.isfinite(r))
+    assert recalls["SA-Deep"][0] > 0.9
+    assert recalls["SA-Deep"][-1] < 0.3
+    assert recalls["PT-Spider"][0] > recalls["PT-Spider"][-1]

@@ -1,0 +1,29 @@
+"""Bench R16 — regenerate the seed-stability table.
+
+Extension experiment: the per-scenario winners re-derived across independent
+seeds.  Shape claims: the critical scenario's recall verdict is unanimous,
+the MCDA winners are panel-stable, and the analytical winners — where they
+move at all — stay inside the scenario-appropriate metric cluster.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r16_stability
+
+
+def test_bench_r16_stability(benchmark, save_result):
+    result = benchmark.pedantic(
+        r16_stability.run,
+        kwargs={"n_replicas": 12, "n_pools": 25, "n_resamples": 60},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("R16", result.render())
+    print()
+    print(result.render())
+
+    assert set(result.data["analytical_winners"]["critical"]) == {"REC"}
+    for key, share in result.data["modal_shares"]["mcda"].items():
+        assert share >= 0.75, key
+    for key, share in result.data["modal_shares"]["analytical"].items():
+        assert share >= 0.4, key

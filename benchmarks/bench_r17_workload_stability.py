@@ -1,0 +1,26 @@
+"""Bench R17 — regenerate the cross-workload ranking-stability table.
+
+Extension experiment: per-metric stability of the tool ranking across
+workload families varying prevalence and difficulty, plus the link to
+discriminative power.  Shape claims: stability values are proper
+correlations, the link to R7 separation is strongly positive, and
+single-axis metrics with big gaps (SPC, PRE) out-stabilize the bunched
+composites (F1, JAC).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r17_workload_stability
+
+
+def test_bench_r17_workload_stability(benchmark, save_result):
+    result = benchmark.pedantic(r17_workload_stability.run, rounds=1, iterations=1)
+    save_result("R17", result.render())
+    print()
+    print(result.render())
+
+    combined = result.data["combined"]
+    assert all(-1.0 <= v <= 1.0 for v in combined.values())
+    assert result.data["tau_vs_separation"] > 0.4
+    assert combined["SPC"] > combined["F1"]
+    assert combined["PRE"] > combined["JAC"]

@@ -1,0 +1,26 @@
+"""Bench R18 — regenerate the scenario-optimal threshold analysis.
+
+Extension experiment: expected cost vs confidence threshold per scenario
+for two dial-worthy tools.  Shape claims: the critical scenario keeps the
+scanner's dial at (or near) zero while the triage scenario dials it up, and
+every reported optimum actually minimizes its sweep.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r18_thresholds
+
+
+def test_bench_r18_thresholds(benchmark, save_result):
+    result = benchmark.pedantic(r18_thresholds.run, rounds=1, iterations=1)
+    save_result("R18", result.render())
+    print()
+    print(result.sections["optima_SA-Grep"])
+    print()
+    print(result.sections["optima_PT-Spider"])
+
+    grep = result.data["optima"]["SA-Grep"]
+    assert grep["critical"] <= grep["triage"]
+    assert grep["triage"] > 0.0
+    for per_scenario in result.data["optima"].values():
+        assert all(0.0 <= t <= 1.0 for t in per_scenario.values())

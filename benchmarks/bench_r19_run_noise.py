@@ -1,0 +1,26 @@
+"""Bench R19 — regenerate the run-noise vs sampling-noise table.
+
+Extension experiment: re-run each tool archetype on the same workload and
+compare the score dispersion against the bootstrap sampling noise.  Shape
+claims: static analysis is run-deterministic; the dynamic and simulated
+tools carry run noise in the same regime as (but not wildly above) the
+sampling noise, so single-run scores need error bars covering both.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r19_run_noise
+
+
+def test_bench_r19_run_noise(benchmark, save_result):
+    result = benchmark.pedantic(r19_run_noise.run, rounds=1, iterations=1)
+    save_result("R19", result.render())
+    print()
+    print(result.render())
+
+    summaries = result.data["summaries"]
+    assert summaries["SA-Deep (static)"].std == 0.0
+    for label in ("PT-Spider (dynamic)", "VS-Beta (simulated)"):
+        summary = summaries[label]
+        assert summary.std > 0.0
+        assert 0.1 < summary.run_to_sampling_ratio < 2.0

@@ -1,0 +1,23 @@
+"""Bench R1 — regenerate the metric catalog table.
+
+Paper analogue: the "candidate metrics" table (metric, formula, range,
+orientation, family).  Shape claims: the catalog holds the full 26-metric
+candidate set including the seldom-used alternatives the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r1_catalog
+
+
+def test_bench_r1_metric_catalog(benchmark, save_result):
+    result = benchmark(r1_catalog.run)
+    save_result("R1", result.render())
+    print()
+    print(result.render())
+
+    assert result.data["n_metrics"] == 26
+    symbols = set(result.data["symbols"])
+    # The familiar metrics and the seldom-used alternatives both present.
+    assert {"REC", "PRE", "ACC", "F1"} <= symbols
+    assert {"MCC", "INF", "MRK", "DOR", "PT"} <= symbols

@@ -1,0 +1,35 @@
+"""Bench R2 — regenerate the metric x good-metric-property matrix.
+
+Paper analogue: the step-2 analysis table scoring every gathered metric
+against the characteristics of a good metric.  Shape claims: unbounded
+metrics are screened out; the classical candidates survive; the qualitative
+and programmatic columns disagree in the documented places (MCC: strong
+programmatically, weak on understandability/acceptance).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r2_properties
+
+
+def test_bench_r2_properties_matrix(benchmark, save_result):
+    result = benchmark.pedantic(
+        r2_properties.run, kwargs={"n_resamples": 80}, rounds=1, iterations=1
+    )
+    save_result("R2", result.render())
+    print()
+    print(result.render())
+
+    matrix = result.data["matrix"]
+    screened = set(result.data["screened_out"])
+    assert {"DOR", "LR+", "LR-", "LFT"} <= screened
+    assert {"REC", "PRE", "F1", "MCC", "INF"} <= set(result.data["kept"])
+
+    # The paper's tension: the best-behaved composites are the least known.
+    assert matrix.score("MCC", "chance-corrected") > 0.9
+    assert matrix.score("MCC", "accepted") < 0.3
+    assert matrix.score("ACC", "accepted") > 0.7
+    assert matrix.score("ACC", "chance-corrected") < 0.5
+    # Orientation columns behave as designed.
+    assert matrix.score("REC", "rewards detection") == 1.0
+    assert matrix.score("SPC", "rewards silence") == 1.0

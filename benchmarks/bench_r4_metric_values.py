@@ -1,0 +1,31 @@
+"""Bench R4 — regenerate the metric-values-per-tool table.
+
+Paper analogue: the table evaluating every candidate metric for every
+benchmarked tool.  Shape claims: values are defined for the whole core
+candidate set on a realistic campaign, and the family trade-offs are visible
+(SA-Grep tops recall but bottoms precision).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import r4_metric_values
+
+
+def test_bench_r4_metric_values(benchmark, save_result):
+    result = benchmark(r4_metric_values.run)
+    save_result("R4", result.render())
+    print()
+    print(result.render())
+
+    values = result.data["values"]
+    # Every cell of the table is a defined number on this campaign.
+    for symbol, per_tool in values.items():
+        for tool, value in per_tool.items():
+            assert math.isfinite(value), (symbol, tool)
+
+    recall = values["REC"]
+    precision = values["PRE"]
+    assert max(recall, key=recall.get) in {"SA-Grep", "SA-Flow"}
+    assert min(precision, key=precision.get) == "SA-Grep"

@@ -1,0 +1,31 @@
+"""Bench R5 — regenerate the metric-induced tool rankings and tau matrix.
+
+Paper analogue: the table showing each metric orders the benchmarked tools
+differently, quantified by inter-metric Kendall tau.  Shape claims: rankings
+disagree materially (min off-diagonal tau well below 1) without being random
+(positive mean tau) — "choosing the metric chooses the winner".
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r5_rankings
+
+
+def test_bench_r5_rankings(benchmark, save_result):
+    result = benchmark(r5_rankings.run)
+    save_result("R5", result.render())
+    print()
+    print(result.render())
+
+    assert result.data["min_offdiag_tau"] < 0.75
+    assert result.data["mean_offdiag_tau"] > 0.2
+
+    ranks = result.data["ranks"]
+    # Recall and precision crown different champions.
+    recall_winner = min(
+        range(len(result.data["tool_names"])), key=lambda i: ranks["REC"][i]
+    )
+    precision_winner = min(
+        range(len(result.data["tool_names"])), key=lambda i: ranks["PRE"][i]
+    )
+    assert recall_winner != precision_winner

@@ -1,0 +1,29 @@
+"""Bench R6 — regenerate the metric-vs-prevalence figure.
+
+Paper analogue: the figure showing prevalence-dependent metrics mislead at
+low prevalence.  Shape claims: informedness/recall flat across the sweep,
+precision/F1 swing hard, and accuracy flips which of two fixed tools it
+prefers while informedness never does.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r6_prevalence
+
+
+def test_bench_r6_prevalence(benchmark, save_result):
+    result = benchmark(r6_prevalence.run)
+    save_result("R6", result.render())
+    print()
+    print(result.render())
+
+    swings = result.data["swings"]
+    assert swings["INF"] < 0.01
+    assert swings["REC"] < 0.01
+    assert swings["PRE"] > 0.3
+    assert swings["F1"] > 0.3
+
+    flips = result.data["flips"]
+    assert flips["ACC"] >= 1  # accuracy changes its preferred tool
+    assert flips["INF"] == 0  # informedness never does
+    assert flips["REC"] == 0

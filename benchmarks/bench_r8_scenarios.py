@@ -1,0 +1,31 @@
+"""Bench R8 — regenerate the scenario definitions and analytical adequacy.
+
+Paper analogue: the step-3 analysis selecting the most adequate metric per
+scenario.  Shape claims: recall-family wins the critical scenario, the
+exactness family wins triage, composites win balanced/audit — and the four
+scenarios do not share one winner.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r8_scenarios
+
+
+def test_bench_r8_scenarios(benchmark, save_result):
+    result = benchmark.pedantic(r8_scenarios.run, rounds=1, iterations=1)
+    save_result("R8", result.render())
+    print()
+    print(result.sections["summary"])
+
+    rankings = result.data["rankings"]
+    assert rankings["critical"][0] == "REC"
+    assert rankings["triage"][0] in {"PRE", "F0.5", "MRK", "SPC", "ACC", "KAP"}
+    assert rankings["triage"][0] not in {"REC", "F2"}
+    assert rankings["balanced"][0] in {"F1", "MCC", "INF", "GM", "BAC", "JAC", "KAP", "F2"}
+    assert rankings["audit"][0] in {"MCC", "INF", "MRK", "KAP", "BAC", "GM", "JAC", "F1", "F2"}
+    assert len({r[0] for r in rankings.values()}) >= 3
+
+    adequacy = result.data["adequacy"]
+    # The winning metric correlates strongly with the scenario's economics.
+    for key, ranking in rankings.items():
+        assert adequacy[key][ranking[0]] > 0.7, key

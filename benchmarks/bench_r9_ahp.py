@@ -1,0 +1,33 @@
+"""Bench R9 — regenerate the expert-validated AHP ranking per scenario.
+
+Paper analogue: the MCDA validation table.  Shape claims: all aggregated
+judgment matrices satisfy Saaty's CR < 0.1; the critical scenario's panel
+picks recall; scenarios disagree on the winner; and the AHP winner is
+confirmed by a cross-check method (SAW or TOPSIS top-3) in every scenario.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import r9_ahp
+
+
+def test_bench_r9_ahp(benchmark, save_result):
+    result = benchmark.pedantic(
+        r9_ahp.run, kwargs={"n_resamples": 80}, rounds=1, iterations=1
+    )
+    save_result("R9", result.render())
+    print()
+    print(result.sections["summary"])
+
+    for key, cr in result.data["consistency"].items():
+        assert cr < 0.1, key
+
+    rankings = result.data["rankings"]
+    assert rankings["critical"][0] == "REC"
+    assert len({r[0] for r in rankings.values()}) >= 2
+
+    for key, per_method in result.data["method_winners"].items():
+        assert (
+            per_method["ahp"] in per_method["saw_top3"]
+            or per_method["ahp"] in per_method["topsis_top3"]
+        ), (key, per_method)

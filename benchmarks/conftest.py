@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates its experiment's table/figure and writes the
+rendered text to ``results/<experiment>.txt`` so the reproduction artifacts
+survive the run (pytest-benchmark reports the timings separately).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write an experiment's rendered report to the results directory."""
+
+    def _save(experiment_id: str, rendered: str) -> None:
+        path = results_dir / f"{experiment_id.lower()}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,94 @@
+"""Plug your own detector into the benchmark.
+
+Implements a custom tool against the public ``VulnerabilityDetectionTool``
+interface — a "two-pass" analyzer that combines the pattern scanner's
+candidates with a shallow taint check — benchmarks it against the reference
+suite, and reports bootstrap confidence intervals so you can tell whether
+its edge over the incumbents is real or sampling noise.
+
+Run:  python examples/benchmark_your_own_tool.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    VulnerabilityDetectionTool,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+    reference_suite,
+    run_campaign,
+)
+from repro.metrics import definitions as d
+from repro.reporting import format_table
+from repro.stats import bootstrap_metric
+from repro.tools import PatternScanner, TaintAnalyzer
+from repro.tools.base import DetectionReport
+
+
+class TwoPassAnalyzer(VulnerabilityDetectionTool):
+    """Report a site only when both a cheap pass and a flow pass agree.
+
+    Pass 1 (pattern scanner) proposes candidates; pass 2 (depth-limited
+    taint analysis) confirms them.  Intersecting the reports trades a little
+    recall for a large precision gain — a classic industrial design.
+    """
+
+    def __init__(self, name: str = "TwoPass", flow_depth: int = 3) -> None:
+        super().__init__(name)
+        self._scanner = PatternScanner(name=f"{name}/scan")
+        self._flow = TaintAnalyzer(name=f"{name}/flow", max_chain_depth=flow_depth)
+
+    def analyze(self, workload: Workload) -> DetectionReport:
+        candidates = self._scanner.analyze(workload).flagged_sites
+        confirmed = self._flow.analyze(workload)
+        kept = [det for det in confirmed.detections if det.site in candidates]
+        return self._report(workload, kept)
+
+
+def main() -> None:
+    workload = generate_workload(
+        WorkloadConfig(n_units=500, prevalence=0.15, seed=11, name="byot")
+    )
+    tools = reference_suite(seed=11) + [TwoPassAnalyzer()]
+    campaign = run_campaign(tools, workload)
+
+    rows = []
+    for result in campaign.results:
+        cm = result.confusion
+        rows.append(
+            [
+                result.tool_name,
+                d.RECALL.value_or_nan(cm),
+                d.PRECISION.value_or_nan(cm),
+                d.F1.value_or_nan(cm),
+                d.MCC.value_or_nan(cm),
+            ]
+        )
+    print(format_table(["tool", "recall", "precision", "F1", "MCC"], rows,
+                       title="Campaign results (incl. your tool)"))
+    print()
+
+    # Is TwoPass's F1 edge over PT-Spider real?  Bootstrap both.
+    rows = []
+    for name in ("TwoPass", "PT-Spider", "SA-Deep"):
+        summary = bootstrap_metric(
+            d.F1, campaign.confusion_for(name), n_resamples=400, seed=11
+        )
+        rows.append([name, summary.point_estimate, summary.ci_low, summary.ci_high])
+    print(
+        format_table(
+            ["tool", "F1", "95% CI low", "95% CI high"],
+            rows,
+            title="Bootstrap confidence intervals (400 resamples)",
+        )
+    )
+    print()
+    print(
+        "Non-overlapping intervals mean a benchmark reader can rely on the\n"
+        "difference; overlapping ones mean the workload is too small to call it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The metric wizard: answer five questions, get a defensible metric.
+
+Wraps the whole study in one call: describe your context (how costly a miss
+is, your code base's vulnerability rate, whether your benchmark workloads
+are enriched, who reads the report, how much triage capacity exists) and
+get back a synthesized scenario, the analytically recommended metric, and a
+written rationale for every weight your answers moved.
+
+Run:  python examples/metric_wizard.py
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import GuidanceAnswers, recommend
+
+
+def main() -> None:
+    cases = {
+        "Medical-device firmware gate": GuidanceAnswers(
+            miss_to_alarm_ratio=200.0,
+            field_prevalence=(0.05, 0.2),
+            benchmark_enriched=False,
+            audience="mixed",
+            triage_capacity="ample",
+        ),
+        "SaaS AppSec team, two reviewers": GuidanceAnswers(
+            miss_to_alarm_ratio=1.5,
+            field_prevalence=(0.05, 0.15),
+            benchmark_enriched=False,
+            audience="practitioners",
+            triage_capacity="scarce",
+        ),
+        "Annual audit of a hardened kernel": GuidanceAnswers(
+            miss_to_alarm_ratio=20.0,
+            field_prevalence=(0.005, 0.03),
+            benchmark_enriched=True,
+            audience="researchers",
+            triage_capacity="adequate",
+        ),
+    }
+    for label, answers in cases.items():
+        recommendation = recommend(answers)
+        print(f"### {label}")
+        print(recommendation.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""How popular metrics mislead when the workload mix changes.
+
+Fixes two tools — a thorough one (finds 90%, noisy) and a cautious one
+(finds 55%, nearly silent) — and shows which one each metric prefers as the
+workload's vulnerability rate moves from 1% to 50%.  Accuracy and precision
+flip their verdict; informedness never does.  This is the paper's strongest
+argument for prevalence-invariant metrics in low-prevalence scenarios.
+
+Run:  python examples/prevalence_pitfalls.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ConfusionMatrix
+from repro.metrics import definitions as d
+from repro.reporting import ascii_chart, format_table
+
+THOROUGH = (0.90, 0.15)  # (TPR, FPR)
+CAUTIOUS = (0.55, 0.01)
+METRICS = (d.ACCURACY, d.PRECISION, d.F1, d.MCC, d.INFORMEDNESS)
+TOTAL_SITES = 10_000.0
+
+
+def matrix(tpr: float, fpr: float, prevalence: float) -> ConfusionMatrix:
+    positives = prevalence * TOTAL_SITES
+    return ConfusionMatrix.from_rates(tpr, fpr, positives, TOTAL_SITES - positives)
+
+
+def main() -> None:
+    prevalences = [float(p) for p in np.linspace(0.01, 0.5, 25)]
+
+    # Panel 1: the same tool, measured at different prevalences.
+    series = {
+        metric.symbol: [
+            (p, metric.value_or_nan(matrix(*THOROUGH, p))) for p in prevalences
+        ]
+        for metric in METRICS
+    }
+    print(
+        ascii_chart(
+            series,
+            title="One fixed tool (TPR=0.90, FPR=0.15), measured at different prevalences",
+            x_label="workload prevalence",
+            y_label="metric value",
+        )
+    )
+    print()
+
+    # Panel 2: which tool does each metric prefer?
+    rows = []
+    for metric in METRICS:
+        verdicts = []
+        for p in (0.01, 0.05, 0.1, 0.2, 0.35, 0.5):
+            thorough = metric.goodness(matrix(*THOROUGH, p))
+            cautious = metric.goodness(matrix(*CAUTIOUS, p))
+            verdicts.append("thorough" if thorough >= cautious else "cautious")
+        flips = sum(1 for a, b in zip(verdicts, verdicts[1:]) if a != b)
+        rows.append([metric.symbol, *verdicts, flips])
+    print(
+        format_table(
+            ["metric", "p=1%", "p=5%", "p=10%", "p=20%", "p=35%", "p=50%", "flips"],
+            rows,
+            title="Preferred tool by prevalence (thorough 0.90/0.15 vs cautious 0.55/0.01)",
+        )
+    )
+    print()
+    print(
+        "A benchmark that reports accuracy or precision on an enriched\n"
+        "workload can recommend the wrong tool for a low-prevalence field —\n"
+        "informedness (and other chance-corrected, prevalence-invariant\n"
+        "metrics) cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

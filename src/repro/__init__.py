@@ -1,0 +1,178 @@
+"""repro — reproduction of "On the Metrics for Benchmarking Vulnerability
+Detection Tools" (Antunes & Vieira, DSN 2015).
+
+The library implements the paper's full pipeline:
+
+1. **metrics** — the candidate metric catalog over confusion matrices;
+2. **workload / tools / bench** — a synthetic benchmarking substrate:
+   code workloads with injected vulnerabilities, real and simulated
+   detection tools, and the campaign runner that scores them;
+3. **properties** — the "characteristics of a good metric" made executable;
+4. **scenarios** — use scenarios with cost structures and the analytical
+   adequacy study;
+5. **mcda / experts** — AHP (plus SAW and TOPSIS) driven by a simulated
+   expert panel, validating the analytical selection;
+6. **bench.experiments** — drivers R1..R11 regenerating every table and
+   figure of the study (see DESIGN.md).
+
+Quickstart::
+
+    from repro import (
+        WorkloadConfig, generate_workload, reference_suite, run_campaign,
+        default_registry,
+    )
+
+    workload = generate_workload(WorkloadConfig(n_units=200, seed=7))
+    campaign = run_campaign(reference_suite(seed=7), workload)
+    for metric in default_registry():
+        print(metric.symbol, campaign.metric_values(metric))
+"""
+
+from repro.bench.campaign import CampaignResult, ToolResult, run_campaign, score_report
+from repro.bench.report import ScenarioReport, ToolVerdict, build_scenario_report
+from repro.errors import (
+    ConfigurationError,
+    ElicitationError,
+    InconsistentJudgmentError,
+    McdaError,
+    MetricError,
+    ReproError,
+    ToolError,
+    UndefinedMetricError,
+    WorkloadError,
+)
+from repro.experts import (
+    Expert,
+    ExpertPanel,
+    default_panel,
+    elicit_hierarchy,
+    validate_scenario,
+)
+from repro.mcda import (
+    AhpHierarchy,
+    AhpResult,
+    PairwiseComparisonMatrix,
+    comparison_from_scores,
+    simple_additive_weighting,
+    topsis,
+    weight_sensitivity,
+)
+from repro.metrics import (
+    ConfusionMatrix,
+    Metric,
+    MetricFamily,
+    MetricRegistry,
+    Orientation,
+    core_candidates,
+    default_registry,
+    definitions,
+)
+from repro.properties import (
+    AssessmentContext,
+    PropertiesMatrix,
+    build_properties_matrix,
+    default_properties,
+)
+from repro.scenarios import (
+    AdequacyConfig,
+    CostStructure,
+    Scenario,
+    canonical_scenarios,
+    rank_metrics_for_scenario,
+    scenario_adequacy,
+    scenario_by_key,
+)
+from repro.tools import (
+    DynamicInjector,
+    PatternScanner,
+    SimulatedTool,
+    TaintAnalyzer,
+    ToolProfile,
+    VulnerabilityDetectionTool,
+    reference_suite,
+)
+from repro.workload import (
+    CodeUnit,
+    GroundTruth,
+    SinkSite,
+    VulnerabilityType,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # campaign
+    "CampaignResult",
+    "ToolResult",
+    "run_campaign",
+    "score_report",
+    "ScenarioReport",
+    "ToolVerdict",
+    "build_scenario_report",
+    # errors
+    "ConfigurationError",
+    "ElicitationError",
+    "InconsistentJudgmentError",
+    "McdaError",
+    "MetricError",
+    "ReproError",
+    "ToolError",
+    "UndefinedMetricError",
+    "WorkloadError",
+    # experts
+    "Expert",
+    "ExpertPanel",
+    "default_panel",
+    "elicit_hierarchy",
+    "validate_scenario",
+    # mcda
+    "AhpHierarchy",
+    "AhpResult",
+    "PairwiseComparisonMatrix",
+    "comparison_from_scores",
+    "simple_additive_weighting",
+    "topsis",
+    "weight_sensitivity",
+    # metrics
+    "ConfusionMatrix",
+    "Metric",
+    "MetricFamily",
+    "MetricRegistry",
+    "Orientation",
+    "core_candidates",
+    "default_registry",
+    "definitions",
+    # properties
+    "AssessmentContext",
+    "PropertiesMatrix",
+    "build_properties_matrix",
+    "default_properties",
+    # scenarios
+    "AdequacyConfig",
+    "CostStructure",
+    "Scenario",
+    "canonical_scenarios",
+    "rank_metrics_for_scenario",
+    "scenario_adequacy",
+    "scenario_by_key",
+    # tools
+    "DynamicInjector",
+    "PatternScanner",
+    "SimulatedTool",
+    "TaintAnalyzer",
+    "ToolProfile",
+    "VulnerabilityDetectionTool",
+    "reference_suite",
+    # workload
+    "CodeUnit",
+    "GroundTruth",
+    "SinkSite",
+    "VulnerabilityType",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
+]

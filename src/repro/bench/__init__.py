@@ -1,0 +1,40 @@
+"""Benchmark harness: campaign runner and experiment drivers."""
+
+from repro.bench.repeatability import RunNoiseSummary, tool_run_noise
+from repro.bench.suite import SuiteResult, ranking_stability, run_suite
+from repro.bench.weighted import DEFAULT_SEVERITIES, score_report_weighted
+from repro.bench.report import (
+    ScenarioReport,
+    ToolVerdict,
+    build_scenario_report,
+)
+from repro.bench.pertype import (
+    PerTypeBreakdown,
+    breakdown_report,
+    campaign_breakdowns,
+    macro_average,
+    micro_average,
+)
+from repro.bench.campaign import (
+    CampaignResult,
+    ToolResult,
+    run_campaign,
+    score_report,
+)
+
+__all__ = [
+    "RunNoiseSummary",
+    "tool_run_noise",
+    "DEFAULT_SEVERITIES",
+    "score_report_weighted",
+    "SuiteResult",
+    "ranking_stability",
+    "run_suite",
+    "ScenarioReport",
+    "ToolVerdict",
+    "build_scenario_report",
+    "PerTypeBreakdown",
+    "breakdown_report",
+    "campaign_breakdowns",
+    "macro_average",
+    "micro_average","CampaignResult", "ToolResult", "run_campaign", "score_report"]

@@ -1,0 +1,111 @@
+"""Benchmark campaign: run tools over a workload and score them.
+
+This is the procedure the paper's metrics consume: every (tool, workload)
+pair yields a confusion matrix over analysis sites, from which every
+candidate metric is computed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.metrics.confusion import ConfusionMatrix
+from repro.tools.base import DetectionReport, VulnerabilityDetectionTool
+from repro.workload.generator import Workload
+from repro.workload.ground_truth import GroundTruth
+
+__all__ = ["score_report", "ToolResult", "CampaignResult", "run_campaign"]
+
+
+def score_report(report: DetectionReport, truth: GroundTruth) -> ConfusionMatrix:
+    """Score a tool report against ground truth, site by site.
+
+    Reported sites that do not exist in the workload are a tool bug and raise
+    rather than silently inflating FP counts.
+    """
+    site_set = set(truth.sites)
+    unknown = report.flagged_sites - site_set
+    if unknown:
+        raise ConfigurationError(
+            f"tool {report.tool_name!r} reported sites absent from the workload: "
+            f"{sorted(unknown)[:3]}"
+        )
+    flagged = report.flagged_sites
+    tp = fp = fn = tn = 0
+    for site in truth.sites:
+        vulnerable = site in truth.vulnerable
+        reported = site in flagged
+        if vulnerable and reported:
+            tp += 1
+        elif vulnerable:
+            fn += 1
+        elif reported:
+            fp += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    """One tool's outcome on one workload."""
+
+    tool_name: str
+    report: DetectionReport
+    confusion: ConfusionMatrix
+
+    def metric_value(self, metric: Metric) -> float:
+        """Value of ``metric`` for this tool (``nan`` if undefined)."""
+        return metric.value_or_nan(self.confusion)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of benchmarking a tool suite on one workload."""
+
+    workload_name: str
+    results: tuple[ToolResult, ...]
+
+    def __post_init__(self) -> None:
+        names = [r.tool_name for r in self.results]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate tool names in campaign")
+
+    @property
+    def tool_names(self) -> list[str]:
+        """Tool names in campaign order."""
+        return [r.tool_name for r in self.results]
+
+    def result_for(self, tool_name: str) -> ToolResult:
+        """Look up one tool's result."""
+        for result in self.results:
+            if result.tool_name == tool_name:
+                return result
+        raise ConfigurationError(
+            f"no result for tool {tool_name!r}; have {self.tool_names}"
+        )
+
+    def confusion_for(self, tool_name: str) -> ConfusionMatrix:
+        """Confusion matrix of one tool."""
+        return self.result_for(tool_name).confusion
+
+    def metric_values(self, metric: Metric) -> dict[str, float]:
+        """``metric`` evaluated for every tool (``nan`` where undefined)."""
+        return {r.tool_name: r.metric_value(metric) for r in self.results}
+
+
+def run_campaign(
+    tools: Sequence[VulnerabilityDetectionTool], workload: Workload
+) -> CampaignResult:
+    """Run every tool over ``workload`` and score the reports."""
+    if not tools:
+        raise ConfigurationError("campaign needs at least one tool")
+    results = []
+    for tool in tools:
+        report = tool.analyze(workload)
+        confusion = score_report(report, workload.truth)
+        results.append(ToolResult(tool_name=tool.name, report=report, confusion=confusion))
+    return CampaignResult(workload_name=workload.name, results=tuple(results))

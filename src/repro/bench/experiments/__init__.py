@@ -1,0 +1,77 @@
+"""Experiment drivers R1..R11 (one per reproduced table/figure).
+
+See DESIGN.md for the experiment index.  Each module exposes
+``run(...) -> ExperimentResult``.
+"""
+
+from repro.bench.experiments import (
+    r1_catalog,
+    r2_properties,
+    r3_campaign,
+    r4_metric_values,
+    r5_rankings,
+    r6_prevalence,
+    r7_discrimination,
+    r8_scenarios,
+    r9_ahp,
+    r10_sensitivity,
+    r11_agreement,
+    r12_pertype,
+    r13_ranking,
+    r14_significance,
+    r15_difficulty,
+    r16_stability,
+    r17_workload_stability,
+    r18_thresholds,
+    r19_run_noise,
+)
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+
+#: R1-R11 reproduce the paper's tables/figures; R12-R14 are extensions
+#: (per-type aggregation, ranking metrics, significance testing).
+ALL_EXPERIMENTS = {
+    "R1": r1_catalog.run,
+    "R2": r2_properties.run,
+    "R3": r3_campaign.run,
+    "R4": r4_metric_values.run,
+    "R5": r5_rankings.run,
+    "R6": r6_prevalence.run,
+    "R7": r7_discrimination.run,
+    "R8": r8_scenarios.run,
+    "R9": r9_ahp.run,
+    "R10": r10_sensitivity.run,
+    "R11": r11_agreement.run,
+    "R12": r12_pertype.run,
+    "R13": r13_ranking.run,
+    "R14": r14_significance.run,
+    "R15": r15_difficulty.run,
+    "R16": r16_stability.run,
+    "R17": r17_workload_stability.run,
+    "R18": r18_thresholds.run,
+    "R19": r19_run_noise.run,
+}
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "r1_catalog",
+    "r2_properties",
+    "r3_campaign",
+    "r4_metric_values",
+    "r5_rankings",
+    "r6_prevalence",
+    "r7_discrimination",
+    "r8_scenarios",
+    "r9_ahp",
+    "r10_sensitivity",
+    "r11_agreement",
+    "r12_pertype",
+    "r13_ranking",
+    "r14_significance",
+    "r15_difficulty",
+    "r16_stability",
+    "r17_workload_stability",
+    "r18_thresholds",
+    "r19_run_noise",
+]

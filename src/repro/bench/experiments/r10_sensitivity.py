@@ -1,0 +1,132 @@
+"""R10 — sensitivity of the MCDA conclusion to the criteria weights.
+
+Experts' weights are noisy; a conclusion that survives only their exact
+values is no conclusion.  For each scenario we take the *elicited* AHP
+hierarchy (panel-aggregated), perturb each criterion's weight over a band of
+factors while keeping the per-criterion alternative priorities fixed, and
+re-compose.  Because AHP synthesis is a weighted sum of local priorities,
+the unperturbed baseline reproduces the R9 winner exactly, so the analysis
+speaks about the actual conclusion.
+
+Reported per scenario: per-criterion winner stability, the factor at which
+the winner first flips (if any), and how ranking agreement with the baseline
+decays as the heaviest criteria are perturbed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r2_properties import run as run_r2
+from repro.experts.elicitation import elicit_hierarchy
+from repro.experts.panel import ExpertPanel, default_panel
+from repro.mcda.sensitivity import weight_sensitivity
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.properties.matrix import PropertiesMatrix
+from repro.reporting.figures import ascii_chart
+from repro.reporting.tables import format_table
+from repro.scenarios.scenarios import Scenario, canonical_scenarios
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    scenarios: list[Scenario] | None = None,
+    panel: ExpertPanel | None = None,
+    seed: int = DEFAULT_SEED,
+    n_resamples: int = 120,
+    properties_matrix: PropertiesMatrix | None = None,
+) -> ExperimentResult:
+    """Perturb elicited criteria weights per scenario; measure stability."""
+    registry = registry if registry is not None else core_candidates()
+    scenarios = scenarios if scenarios is not None else canonical_scenarios()
+    panel = panel if panel is not None else default_panel(seed=seed)
+    if properties_matrix is None:
+        properties_matrix = run_r2(
+            registry=registry, seed=seed, n_resamples=n_resamples
+        ).data["matrix"]
+
+    sections: dict[str, str] = {}
+    overall: dict[str, float] = {}
+    reversal: dict[str, dict[str, float | None]] = {}
+    baseline_winners: dict[str, str] = {}
+
+    for scenario in scenarios:
+        hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+        criteria_weights = hierarchy.criteria.priorities()
+        local_priorities = {
+            criterion: matrix.priorities()
+            for criterion, matrix in hierarchy.alternatives.items()
+        }
+        alternatives = list(hierarchy.alternative_labels)
+
+        report = weight_sensitivity(
+            alternatives, local_priorities, criteria_weights, normalize="none"
+        )
+        assert report.baseline_best == hierarchy.compose().best  # AHP-exact
+        baseline_winners[scenario.key] = report.baseline_best
+        overall[scenario.key] = report.overall_stability
+        reversal[scenario.key] = {
+            criterion: report.reversal_factor(criterion)
+            for criterion in criteria_weights
+        }
+
+        rows = []
+        for criterion, weight in sorted(
+            criteria_weights.items(), key=lambda kv: -kv[1]
+        ):
+            factor = report.reversal_factor(criterion)
+            rows.append(
+                [
+                    criterion,
+                    weight,
+                    report.stability(criterion),
+                    "stable" if factor is None else f"flips at x{factor:g}",
+                ]
+            )
+        sections[f"stability_{scenario.key}"] = format_table(
+            headers=["criterion", "elicited weight", "winner stability", "reversal"],
+            rows=rows,
+            title=(
+                f"Weight sensitivity — scenario {scenario.key!r} "
+                f"(baseline winner {report.baseline_best}, overall stability "
+                f"{report.overall_stability:.0%})"
+            ),
+        )
+
+        heaviest = sorted(criteria_weights, key=criteria_weights.get, reverse=True)[:3]
+        series = {
+            criterion: [
+                (outcome.factor, outcome.tau_vs_baseline)
+                for outcome in report.outcomes_for(criterion)
+            ]
+            for criterion in heaviest
+        }
+        sections[f"decay_{scenario.key}"] = ascii_chart(
+            series,
+            width=60,
+            height=12,
+            title=(
+                f"Ranking agreement vs weight perturbation — {scenario.key!r} "
+                "(heaviest criteria)"
+            ),
+            x_label="weight factor",
+            y_label="Kendall tau vs baseline ranking",
+        )
+
+    summary = format_table(
+        headers=["scenario", "baseline winner", "overall winner stability"],
+        rows=[[key, baseline_winners[key], value] for key, value in overall.items()],
+        title="Sensitivity summary",
+    )
+    sections["summary"] = summary
+    return ExperimentResult(
+        experiment_id="R10",
+        title="MCDA weight sensitivity",
+        sections=sections,
+        data={
+            "overall_stability": overall,
+            "reversal_factors": reversal,
+            "baseline_winners": baseline_winners,
+        },
+    )

@@ -1,0 +1,103 @@
+"""R11 — agreement between the analytical selection and the MCDA validation.
+
+The paper's closing argument: the expert-driven MCDA ranking *validates* the
+analytical scenario analysis.  We quantify that per scenario with top-1
+match, top-3 overlap, and whether the MCDA winner sits inside the analytical
+top-5 — and render the headline conclusion table ("which metric should your
+benchmark report, per scenario").
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r8_scenarios import run as run_r8
+from repro.bench.experiments.r9_ahp import run as run_r9
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+from repro.scenarios.scenarios import Scenario, canonical_scenarios
+from repro.stats.rank import top_k_overlap
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    scenarios: list[Scenario] | None = None,
+    seed: int = DEFAULT_SEED,
+    n_pools: int = 40,
+    n_resamples: int = 120,
+) -> ExperimentResult:
+    """Cross the R8 and R9 rankings and render the agreement table."""
+    registry = registry if registry is not None else core_candidates()
+    scenarios = scenarios if scenarios is not None else canonical_scenarios()
+    r8 = run_r8(registry=registry, scenarios=scenarios, seed=seed, n_pools=n_pools)
+    r9 = run_r9(
+        registry=registry, scenarios=scenarios, seed=seed, n_resamples=n_resamples
+    )
+    analytical: dict[str, list[str]] = r8.data["rankings"]
+    mcda: dict[str, list[str]] = r9.data["rankings"]
+
+    rows = []
+    top1_matches = 0
+    winner_in_top5 = 0
+    overlaps: dict[str, float] = {}
+    for scenario in scenarios:
+        key = scenario.key
+        a_ranking = analytical[key]
+        m_ranking = mcda[key]
+        top1 = a_ranking[0] == m_ranking[0]
+        overlap = top_k_overlap(a_ranking, m_ranking, 3)
+        in_top5 = m_ranking[0] in a_ranking[:5]
+        top1_matches += top1
+        winner_in_top5 += in_top5
+        overlaps[key] = overlap
+        rows.append(
+            [
+                key,
+                ", ".join(a_ranking[:3]),
+                ", ".join(m_ranking[:3]),
+                top1,
+                overlap,
+                in_top5,
+            ]
+        )
+    agreement_table = format_table(
+        headers=[
+            "scenario",
+            "analytical top 3",
+            "MCDA top 3",
+            "top-1 match",
+            "top-3 overlap",
+            "MCDA best in analytical top 5",
+        ],
+        rows=rows,
+        title="Analytical selection vs expert-validated MCDA",
+    )
+
+    conclusion_rows = [
+        [
+            scenario.key,
+            scenario.name,
+            analytical[scenario.key][0],
+            mcda[scenario.key][0],
+        ]
+        for scenario in scenarios
+    ]
+    conclusion_table = format_table(
+        headers=["scenario", "description", "analytical pick", "MCDA pick"],
+        rows=conclusion_rows,
+        title="Recommended benchmark metric per scenario (headline conclusion)",
+    )
+    return ExperimentResult(
+        experiment_id="R11",
+        title="Analytical vs MCDA agreement",
+        sections={"agreement": agreement_table, "conclusion": conclusion_table},
+        data={
+            "top1_matches": top1_matches,
+            "winner_in_top5": winner_in_top5,
+            "n_scenarios": len(scenarios),
+            "overlaps": overlaps,
+            "analytical": analytical,
+            "mcda": mcda,
+        },
+    )

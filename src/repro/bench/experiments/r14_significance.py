@@ -1,0 +1,95 @@
+"""R14 (extension) — statistical significance of tool differences.
+
+A benchmark table without uncertainty quantification invites over-reading.
+This experiment computes, for every tool pair of the reference campaign,
+McNemar's exact test over the paired per-site outcomes, plus Wilson
+intervals for each tool's recall and precision — the statistical apparatus a
+responsible benchmark report attaches to the numbers the earlier
+experiments produce.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r3_campaign import run as run_r3
+from repro.reporting.tables import format_table
+from repro.stats.significance import mcnemar_exact, paired_outcomes, wilson_interval
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = DEFAULT_SEED, n_units: int = 600, alpha: float = 0.05
+) -> ExperimentResult:
+    """McNemar matrix + Wilson intervals for the reference campaign."""
+    r3 = run_r3(seed=seed, n_units=n_units)
+    campaign = r3.data["campaign"]
+    workload = r3.data["workload"]
+    names = campaign.tool_names
+
+    p_values: dict[tuple[str, str], float] = {}
+    matrix_rows = []
+    significant_pairs = 0
+    total_pairs = 0
+    for a in names:
+        row: list[object] = [a]
+        for b in names:
+            if a == b:
+                row.append(float("nan"))
+                continue
+            key = (a, b)
+            if (b, a) in p_values:
+                p_values[key] = p_values[(b, a)]
+            else:
+                outcomes = paired_outcomes(
+                    campaign.result_for(a).report,
+                    campaign.result_for(b).report,
+                    workload.truth,
+                )
+                p_values[key] = mcnemar_exact(outcomes)
+                total_pairs += 1
+                if p_values[key] < alpha:
+                    significant_pairs += 1
+            row.append(p_values[key])
+        matrix_rows.append(row)
+    mcnemar_table = format_table(
+        headers=["p-value", *names],
+        rows=matrix_rows,
+        title=f"McNemar exact test between tool pairs (alpha = {alpha:g})",
+    )
+
+    interval_rows = []
+    for result in campaign.results:
+        cm = result.confusion
+        recall_low, recall_high = wilson_interval(int(cm.tp), int(cm.positives))
+        if cm.predicted_positives > 0:
+            precision_low, precision_high = wilson_interval(
+                int(cm.tp), int(cm.predicted_positives)
+            )
+        else:
+            precision_low = precision_high = float("nan")
+        interval_rows.append(
+            [
+                result.tool_name,
+                cm.tpr,
+                f"[{recall_low:.3f}, {recall_high:.3f}]",
+                cm.tp / cm.predicted_positives if cm.predicted_positives else float("nan"),
+                f"[{precision_low:.3f}, {precision_high:.3f}]",
+            ]
+        )
+    wilson_table = format_table(
+        headers=["tool", "recall", "recall 95% CI", "precision", "precision 95% CI"],
+        rows=interval_rows,
+        title="Wilson score intervals per tool",
+    )
+
+    return ExperimentResult(
+        experiment_id="R14",
+        title="Statistical significance of tool differences",
+        sections={"mcnemar": mcnemar_table, "wilson": wilson_table},
+        data={
+            "p_values": p_values,
+            "significant_fraction": significant_pairs / total_pairs,
+            "alpha": alpha,
+        },
+    )

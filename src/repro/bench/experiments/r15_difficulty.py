@@ -1,0 +1,88 @@
+"""R15 (extension) — validating the workload's difficulty model.
+
+The generator stamps every site with a difficulty score (propagation depth,
+cross-class sanitizer noise) that the detection tools are supposed to feel.
+This experiment checks that the model actually bites: per difficulty bin,
+the recall of depth-limited and payload-driven tools falls, while the
+flow-insensitive scanner stays flat — evidence that "hard" sites are hard
+for the right reasons, not by fiat.
+"""
+
+from __future__ import annotations
+
+from repro.bench.campaign import run_campaign
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.reporting.figures import ascii_chart
+from repro.reporting.tables import format_table
+from repro.tools.suite import reference_suite
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+__all__ = ["run"]
+
+_BINS = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.01))
+_TRACKED = ("SA-Grep", "SA-Deep", "PT-Spider", "VS-Gamma")
+
+
+def run(seed: int = DEFAULT_SEED, n_units: int = 900) -> ExperimentResult:
+    """Per-difficulty-bin recall for representative tools."""
+    workload = generate_workload(
+        WorkloadConfig(
+            n_units=n_units,
+            prevalence=0.2,
+            chain_length_range=(1, 8),
+            seed=seed,
+            name="difficulty",
+        )
+    )
+    campaign = run_campaign(reference_suite(seed=seed), workload)
+
+    vulnerable = [
+        (site, workload.profiles[site].difficulty)
+        for site in workload.truth.vulnerable
+    ]
+    bins: dict[tuple[float, float], list] = {b: [] for b in _BINS}
+    for site, difficulty in vulnerable:
+        for low, high in _BINS:
+            if low <= difficulty < high:
+                bins[(low, high)].append(site)
+                break
+
+    recalls: dict[str, list[float]] = {}
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {}
+    for tool_name in _TRACKED:
+        flagged = campaign.result_for(tool_name).report.flagged_sites
+        per_bin = []
+        points = []
+        for (low, high), sites in bins.items():
+            if not sites:
+                per_bin.append(float("nan"))
+                continue
+            recall = sum(1 for s in sites if s in flagged) / len(sites)
+            per_bin.append(recall)
+            points.append(((low + high) / 2, recall))
+        recalls[tool_name] = per_bin
+        series[tool_name] = points
+        rows.append([tool_name, *per_bin])
+
+    table = format_table(
+        headers=["tool"] + [f"difficulty {low:.2f}-{high:.2f}" for low, high in _BINS],
+        rows=rows,
+        title=(
+            f"Recall per difficulty bin "
+            f"({sum(len(s) for s in bins.values())} vulnerable sites)"
+        ),
+    )
+    chart = ascii_chart(
+        series,
+        title="Recall vs site difficulty",
+        x_label="difficulty (bin midpoint)",
+        y_label="recall",
+    )
+    bin_sizes = {f"{low:.2f}-{high:.2f}": len(sites) for (low, high), sites in bins.items()}
+    return ExperimentResult(
+        experiment_id="R15",
+        title="Difficulty model validation",
+        sections={"recall_by_bin": table, "chart": chart},
+        data={"recalls": recalls, "bin_sizes": bin_sizes},
+    )

@@ -1,0 +1,84 @@
+"""R16 (extension) — are the headline conclusions seed-stable?
+
+Every number in this reproduction is deterministic in a seed, which cuts
+both ways: a conclusion could be an artifact of the canonical seed.  This
+experiment re-derives the per-scenario winner across many seeds — for the
+analytical selection (fresh tool pools each time) and for the MCDA
+validation (fresh expert panels each time, shared evidence matrix) — and
+reports how often the modal winner wins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro._rng import derive_seed
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r2_properties import run as run_r2
+from repro.experts.elicitation import validate_scenario
+from repro.experts.panel import default_panel
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+from repro.scenarios.adequacy import AdequacyConfig, rank_metrics_for_scenario
+from repro.scenarios.scenarios import canonical_scenarios
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_replicas: int = 12,
+    n_pools: int = 25,
+    n_resamples: int = 80,
+) -> ExperimentResult:
+    """Winner distributions over ``n_replicas`` independent seeds."""
+    registry = registry if registry is not None else core_candidates()
+    scenarios = canonical_scenarios()
+    properties_matrix = run_r2(
+        registry=registry, seed=seed, n_resamples=n_resamples
+    ).data["matrix"]
+
+    analytical: dict[str, Counter] = {s.key: Counter() for s in scenarios}
+    mcda: dict[str, Counter] = {s.key: Counter() for s in scenarios}
+    for replica in range(n_replicas):
+        replica_seed = derive_seed(seed, f"stability:{replica}")
+        config = AdequacyConfig(n_pools=n_pools, seed=replica_seed)
+        panel = default_panel(seed=replica_seed)
+        for scenario in scenarios:
+            ranked = rank_metrics_for_scenario(registry, scenario, config)
+            analytical[scenario.key][ranked[0].metric_symbol] += 1
+            validation = validate_scenario(scenario, properties_matrix, panel)
+            mcda[scenario.key][validation.panel_best] += 1
+
+    rows = []
+    modal_shares: dict[str, dict[str, float]] = {"analytical": {}, "mcda": {}}
+    for scenario in scenarios:
+        key = scenario.key
+        a_modal, a_count = analytical[key].most_common(1)[0]
+        m_modal, m_count = mcda[key].most_common(1)[0]
+        modal_shares["analytical"][key] = a_count / n_replicas
+        modal_shares["mcda"][key] = m_count / n_replicas
+        rows.append(
+            [
+                key,
+                f"{a_modal} ({a_count}/{n_replicas})",
+                f"{m_modal} ({m_count}/{n_replicas})",
+            ]
+        )
+    table = format_table(
+        headers=["scenario", "analytical modal winner", "MCDA modal winner"],
+        rows=rows,
+        title=f"Winner stability over {n_replicas} independent seeds",
+    )
+    return ExperimentResult(
+        experiment_id="R16",
+        title="Seed stability of the conclusions",
+        sections={"stability": table},
+        data={
+            "analytical_winners": {k: dict(v) for k, v in analytical.items()},
+            "mcda_winners": {k: dict(v) for k, v in mcda.items()},
+            "modal_shares": modal_shares,
+            "n_replicas": n_replicas,
+        },
+    )

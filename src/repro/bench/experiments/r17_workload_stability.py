@@ -1,0 +1,131 @@
+"""R17 (extension) — is the benchmark's verdict a property of the workload?
+
+A benchmark's tool ranking should survive a change of workload mix.  This
+experiment runs the reference suite over workload families that vary
+prevalence (fixed difficulty) and difficulty (fixed prevalence), and
+measures each metric's cross-workload ranking stability (mean pairwise
+Kendall tau of the tool orderings).
+
+The instructive finding: stability tracks the metric's *discriminative
+power* (experiment R7), not its prevalence invariance.  A metric that
+separates tools cleanly (specificity, precision on this suite) keeps its
+verdict when the workload moves; composites that bunch the suite together
+(F1, Jaccard, MCC) reshuffle tools on every draw even though their values
+barely move.  "Stable value" and "stable ranking" are different virtues —
+and a benchmark report lives on rankings.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r7_discrimination import run as run_r7
+from repro.bench.suite import ranking_stability, run_suite
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+from repro.stats.rank import kendall_tau
+from repro.tools.suite import reference_suite
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+__all__ = ["run"]
+
+
+def _family(
+    seed: int,
+    n_units: int,
+    prevalences: tuple[float, ...],
+    chain_ranges: tuple[tuple[int, int], ...],
+    tag: str,
+):
+    workloads = []
+    for prevalence in prevalences:
+        for chains in chain_ranges:
+            workloads.append(
+                generate_workload(
+                    WorkloadConfig(
+                        n_units=n_units,
+                        prevalence=prevalence,
+                        chain_length_range=chains,
+                        seed=seed,
+                        name=f"{tag}-p{prevalence:g}-c{chains[0]}{chains[1]}",
+                    )
+                )
+            )
+    return workloads
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_units: int = 300,
+) -> ExperimentResult:
+    """Cross-workload ranking stability per metric, per variation axis."""
+    registry = registry if registry is not None else core_candidates()
+    tools = reference_suite(seed=seed)
+
+    prevalence_suite = run_suite(
+        tools,
+        _family(seed, n_units, (0.03, 0.1, 0.2, 0.35), ((2, 5),), "prev"),
+    )
+    difficulty_suite = run_suite(
+        tools,
+        _family(seed, n_units, (0.15,), ((1, 2), (3, 4), (5, 6), (7, 8)), "diff"),
+    )
+
+    stability_prevalence = {
+        m.symbol: ranking_stability(prevalence_suite, m) for m in registry
+    }
+    stability_difficulty = {
+        m.symbol: ranking_stability(difficulty_suite, m) for m in registry
+    }
+    combined = {
+        symbol: (stability_prevalence[symbol] + stability_difficulty[symbol]) / 2
+        for symbol in stability_prevalence
+    }
+
+    rows = [
+        [
+            symbol,
+            stability_prevalence[symbol],
+            stability_difficulty[symbol],
+            combined[symbol],
+        ]
+        for symbol in sorted(combined, key=combined.get, reverse=True)
+    ]
+    table = format_table(
+        headers=[
+            "metric",
+            "stability (prevalence axis)",
+            "stability (difficulty axis)",
+            "combined",
+        ],
+        rows=rows,
+        title="Cross-workload tool-ranking stability (mean pairwise Kendall tau)",
+    )
+
+    # Cross-experiment link: stability vs R7 discriminative power.
+    r7 = run_r7(registry=registry, seed=seed, n_units=max(n_units, 300))
+    separation = r7.data["separation"]
+    symbols = list(combined)
+    link_tau = kendall_tau(
+        [combined[s] for s in symbols], [separation[s] for s in symbols]
+    )
+    link_table = format_table(
+        headers=["metric", "ranking stability", "R7 separation fraction"],
+        rows=[[s, combined[s], separation[s]] for s in symbols],
+        title=(
+            "Ranking stability tracks discriminative power "
+            f"(Kendall tau = {link_tau:.2f})"
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="R17",
+        title="Cross-workload ranking stability",
+        sections={"stability": table, "link_to_discrimination": link_table},
+        data={
+            "stability_prevalence": stability_prevalence,
+            "stability_difficulty": stability_difficulty,
+            "combined": combined,
+            "tau_vs_separation": link_tau,
+        },
+    )

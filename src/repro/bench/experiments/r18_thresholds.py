@@ -1,0 +1,84 @@
+"""R18 (extension) — the scenario chooses the operating point too.
+
+With confidence thresholds, one tool is a family of operating points, and
+the scenario's cost structure picks the right one: the critical scenario
+runs the tool wide open (every finding matters at 100:1), the triage
+scenario dials the cut-off up.  This experiment sweeps the threshold of the
+aggressive scanner and one balanced tool, renders expected-cost-vs-threshold
+per scenario, and reports each scenario's optimum — the operating-point
+corollary of the paper's metric-selection argument.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r3_campaign import reference_workload
+from repro.reporting.figures import ascii_chart
+from repro.reporting.tables import format_table
+from repro.scenarios.scenarios import Scenario, canonical_scenarios
+from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.suite import reference_suite
+from repro.tools.thresholded import optimal_threshold, threshold_sweep
+
+__all__ = ["run"]
+
+_THRESHOLDS = (0.0, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run(
+    scenarios: list[Scenario] | None = None,
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+) -> ExperimentResult:
+    """Threshold sweeps and per-scenario optima."""
+    scenarios = scenarios if scenarios is not None else canonical_scenarios()
+    workload = reference_workload(seed=seed, n_units=n_units)
+    subjects = [
+        PatternScanner(name="SA-Grep"),
+        next(t for t in reference_suite(seed=seed) if t.name == "PT-Spider"),
+    ]
+
+    sections: dict[str, str] = {}
+    optima: dict[str, dict[str, float]] = {}
+    for tool in subjects:
+        series: dict[str, list[tuple[float, float]]] = {}
+        rows = []
+        optima[tool.name] = {}
+        for scenario in scenarios:
+            points = threshold_sweep(
+                tool, workload, thresholds=_THRESHOLDS, cost=scenario.cost
+            )
+            series[scenario.key] = [
+                (p.threshold, p.expected_cost) for p in points
+            ]
+            best = optimal_threshold(
+                tool, workload, scenario.cost, thresholds=_THRESHOLDS
+            )
+            optima[tool.name][scenario.key] = best.threshold
+            rows.append(
+                [
+                    scenario.key,
+                    best.threshold,
+                    best.expected_cost,
+                    int(best.confusion.predicted_positives),
+                ]
+            )
+        sections[f"sweep_{tool.name}"] = ascii_chart(
+            series,
+            width=64,
+            height=14,
+            title=f"Expected cost vs confidence threshold — {tool.name}",
+            x_label="threshold",
+            y_label="expected cost per site",
+        )
+        sections[f"optima_{tool.name}"] = format_table(
+            headers=["scenario", "optimal threshold", "cost at optimum", "findings kept"],
+            rows=rows,
+            title=f"Scenario-optimal operating point — {tool.name}",
+        )
+    return ExperimentResult(
+        experiment_id="R18",
+        title="Scenario-optimal confidence thresholds",
+        sections=sections,
+        data={"optima": optima},
+    )

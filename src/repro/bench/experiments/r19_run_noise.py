@@ -1,0 +1,86 @@
+"""R19 (extension) — run noise vs sampling noise.
+
+For each tool archetype: how much does the score move if the *same* tool is
+re-run on the *same* workload (run noise), compared with how much it would
+move on a fresh same-population workload (sampling noise)?  Static analyses
+are run-deterministic; dynamic testers are not.  The ratio tells a benchmark
+whether averaging runs is mandatory before its error bars mean anything.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r3_campaign import reference_workload
+from repro.bench.repeatability import tool_run_noise
+from repro.metrics import definitions
+from repro.metrics.base import Metric
+from repro.reporting.tables import format_table
+from repro.tools.dynamic_injector import DynamicInjector
+from repro.tools.simulated import SimulatedTool, ToolProfile
+from repro.tools.taint_analyzer import TaintAnalyzer
+
+__all__ = ["run"]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+    n_runs: int = 15,
+    metric: Metric = definitions.F1,
+) -> ExperimentResult:
+    """Run-noise table for a deterministic, a dynamic and a simulated tool."""
+    workload = reference_workload(seed=seed, n_units=n_units)
+
+    factories = {
+        "SA-Deep (static)": lambda run_seed: TaintAnalyzer(
+            name="SA-Deep (static)", max_chain_depth=4
+        ),
+        "PT-Spider (dynamic)": lambda run_seed: DynamicInjector(
+            name="PT-Spider (dynamic)",
+            payload_coverage=0.9,
+            difficulty_penalty=0.45,
+            false_alarm_rate=0.03,
+            seed=run_seed,
+        ),
+        "VS-Beta (simulated)": lambda run_seed: SimulatedTool(
+            "VS-Beta (simulated)",
+            ToolProfile(recall=0.92, fpr=0.35, difficulty_sensitivity=0.10),
+            seed=run_seed,
+        ),
+    }
+
+    rows = []
+    summaries = {}
+    for label, factory in factories.items():
+        summary = tool_run_noise(
+            factory, workload, metric, n_runs=n_runs, seed=seed
+        )
+        summaries[label] = summary
+        rows.append(
+            [
+                label,
+                summary.mean,
+                summary.std,
+                summary.max_value - summary.min_value,
+                summary.sampling_std,
+                summary.run_to_sampling_ratio,
+            ]
+        )
+    table = format_table(
+        headers=[
+            "tool",
+            f"mean {metric.symbol}",
+            "run std",
+            "run range",
+            "sampling std (bootstrap)",
+            "run/sampling ratio",
+        ],
+        rows=rows,
+        title=f"Run noise vs sampling noise over {n_runs} runs",
+    )
+    return ExperimentResult(
+        experiment_id="R19",
+        title="Tool run noise vs workload sampling noise",
+        sections={"noise": table},
+        data={"summaries": summaries},
+    )

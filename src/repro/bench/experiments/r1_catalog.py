@@ -1,0 +1,66 @@
+"""R1 — the metric catalog table.
+
+The paper's first artifact: the large set of candidate metrics gathered from
+the literature, with definition, range, orientation and family.  Here the
+table is generated from the metric registry itself, so catalog and
+implementation cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments.base import ExperimentResult
+from repro.metrics.registry import MetricRegistry, default_registry
+from repro.reporting.tables import format_table
+
+__all__ = ["run"]
+
+
+def _bound(value: float) -> str:
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return format(value, "g")
+
+
+def run(registry: MetricRegistry | None = None) -> ExperimentResult:
+    """Generate the catalog table for ``registry`` (default: all candidates)."""
+    registry = registry if registry is not None else default_registry()
+    rows = []
+    for metric in registry:
+        info = metric.info
+        rows.append(
+            [
+                info.symbol,
+                info.name,
+                info.formula,
+                info.family.value,
+                f"[{_bound(info.lower_bound)}, {_bound(info.upper_bound)}]",
+                info.orientation.value,
+                info.chance_corrected,
+                info.uses_tn,
+                info.popularity,
+            ]
+        )
+    table = format_table(
+        headers=[
+            "symbol",
+            "name",
+            "formula",
+            "family",
+            "range",
+            "better",
+            "chance-corr",
+            "uses TN",
+            "popularity",
+        ],
+        rows=rows,
+        title="Candidate metrics for benchmarking vulnerability detection tools",
+        float_format=".2f",
+    )
+    return ExperimentResult(
+        experiment_id="R1",
+        title="Metric catalog",
+        sections={"catalog": table},
+        data={"n_metrics": len(registry), "symbols": registry.symbols},
+    )

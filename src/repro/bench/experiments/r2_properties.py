@@ -1,0 +1,68 @@
+"""R2 — the metric x good-metric-property assessment matrix.
+
+The paper's step-2 artifact: every candidate metric scored against every
+characteristic of a good metric.  Programmatic checks run on the shared
+evidence grid; qualitative characteristics come from the curated tables.
+The rendered matrix also marks the screening outcome: metrics that fail the
+hard requirements (boundedness, definedness) are flagged as screened out of
+the scenario/MCDA studies.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.metrics.registry import MetricRegistry, default_registry
+from repro.properties.base import AssessmentContext
+from repro.properties.matrix import PropertiesMatrix, build_properties_matrix
+from repro.reporting.tables import format_table
+
+__all__ = ["run", "screened_out"]
+
+#: Hard screening thresholds: a benchmark-grade metric must be bounded and
+#: defined on (nearly) all outcomes.
+_SCREEN_THRESHOLDS = {"bounded": 0.5, "defined": 0.75}
+
+
+def screened_out(matrix: PropertiesMatrix, symbol: str) -> bool:
+    """Whether the metric fails a hard screening requirement."""
+    return any(
+        matrix.score(symbol, prop) < threshold
+        for prop, threshold in _SCREEN_THRESHOLDS.items()
+    )
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_resamples: int = 120,
+) -> ExperimentResult:
+    """Assess every candidate and render the properties matrix."""
+    registry = registry if registry is not None else default_registry()
+    context = AssessmentContext.default(seed=seed, n_resamples=n_resamples)
+    matrix = build_properties_matrix(registry, context=context)
+
+    rows = []
+    for symbol in matrix.metric_symbols:
+        scores = matrix.row(symbol)
+        rows.append(
+            [symbol]
+            + [scores[name] for name in matrix.property_names]
+            + ["screened out" if screened_out(matrix, symbol) else "kept"]
+        )
+    table = format_table(
+        headers=["metric", *matrix.property_names, "screening"],
+        rows=rows,
+        title="Good-metric property assessment (scores in [0, 1])",
+        float_format=".2f",
+    )
+    kept = [s for s in matrix.metric_symbols if not screened_out(matrix, s)]
+    return ExperimentResult(
+        experiment_id="R2",
+        title="Properties matrix",
+        sections={"matrix": table},
+        data={
+            "matrix": matrix,
+            "kept": kept,
+            "screened_out": [s for s in matrix.metric_symbols if s not in kept],
+        },
+    )

@@ -1,0 +1,65 @@
+"""R3 — the reference benchmarking campaign.
+
+The raw material of the metric-value and ranking tables: the reference tool
+suite run over the reference workload, reported as per-tool confusion
+counts.  This mirrors the "benchmark campaign results" table of the original
+study (tools x detected/false-alarmed/missed).
+"""
+
+from __future__ import annotations
+
+from repro.bench.campaign import CampaignResult, run_campaign
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.reporting.tables import format_table
+from repro.tools.suite import reference_suite
+from repro.workload.generator import Workload, WorkloadConfig, generate_workload
+
+__all__ = ["reference_workload", "run"]
+
+
+def reference_workload(seed: int = DEFAULT_SEED, n_units: int = 600) -> Workload:
+    """The workload every campaign-based experiment shares."""
+    return generate_workload(
+        WorkloadConfig(
+            n_units=n_units,
+            sites_per_unit=(1, 3),
+            prevalence=0.15,
+            decoy_fraction=0.5,
+            seed=seed,
+            name="reference",
+        )
+    )
+
+
+def run(seed: int = DEFAULT_SEED, n_units: int = 600) -> ExperimentResult:
+    """Run the reference campaign and render the raw-results table."""
+    workload = reference_workload(seed=seed, n_units=n_units)
+    campaign: CampaignResult = run_campaign(reference_suite(seed=seed), workload)
+
+    rows = []
+    for result in campaign.results:
+        cm = result.confusion
+        rows.append(
+            [
+                result.tool_name,
+                int(cm.tp),
+                int(cm.fp),
+                int(cm.fn),
+                int(cm.tn),
+                int(cm.predicted_positives),
+            ]
+        )
+    table = format_table(
+        headers=["tool", "TP", "FP", "FN", "TN", "reported"],
+        rows=rows,
+        title=(
+            f"Campaign raw results — workload {workload.name!r}: "
+            f"{workload.n_sites} sites, prevalence {workload.prevalence:.3f}"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="R3",
+        title="Reference benchmarking campaign",
+        sections={"raw_results": table},
+        data={"campaign": campaign, "workload": workload},
+    )

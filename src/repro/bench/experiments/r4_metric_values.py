@@ -1,0 +1,44 @@
+"""R4 — every candidate metric evaluated for every tool on the campaign.
+
+The paper's "metric values per tool" table.  Reading down a column shows a
+tool's profile; reading across a row previews the next experiment's point:
+different metrics already *look* like they will order the tools differently.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r3_campaign import run as run_r3
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+) -> ExperimentResult:
+    """Evaluate ``registry`` (default: screened core candidates) on R3."""
+    registry = registry if registry is not None else core_candidates()
+    r3 = run_r3(seed=seed, n_units=n_units)
+    campaign = r3.data["campaign"]
+
+    values: dict[str, dict[str, float]] = {}
+    rows = []
+    for metric in registry:
+        per_tool = campaign.metric_values(metric)
+        values[metric.symbol] = per_tool
+        rows.append([metric.symbol] + [per_tool[name] for name in campaign.tool_names])
+    table = format_table(
+        headers=["metric", *campaign.tool_names],
+        rows=rows,
+        title="Metric values per tool on the reference campaign",
+    )
+    return ExperimentResult(
+        experiment_id="R4",
+        title="Metric values per tool",
+        sections={"values": table},
+        data={"values": values, "campaign": campaign},
+    )

@@ -1,0 +1,86 @@
+"""R5 — tool rankings induced by each metric, and how much they disagree.
+
+The paper's pivotal observation made tabular: each metric orders the
+benchmarked tools its own way.  The first table shows the rank each metric
+assigns to each tool; the second the Kendall tau-b between every pair of
+metric-induced rankings — the off-diagonal structure is the quantitative
+form of "choosing the metric chooses the winner".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r4_metric_values import run as run_r4
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+from repro.stats.rank import kendall_tau, rank_scores
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+) -> ExperimentResult:
+    """Rank the campaign tools under every metric and cross-correlate."""
+    registry = registry if registry is not None else core_candidates()
+    r4 = run_r4(registry=registry, seed=seed, n_units=n_units)
+    campaign = r4.data["campaign"]
+    tool_names = campaign.tool_names
+
+    goodness: dict[str, list[float]] = {}
+    ranks: dict[str, list[float]] = {}
+    for metric in registry:
+        scores = [
+            g if math.isfinite(g := metric.goodness(campaign.confusion_for(name))) else -math.inf
+            for name in tool_names
+        ]
+        goodness[metric.symbol] = scores
+        ranks[metric.symbol] = rank_scores(scores, higher_is_better=True)
+
+    rank_rows = [
+        [symbol] + [ranks[symbol][i] for i in range(len(tool_names))]
+        for symbol in goodness
+    ]
+    rank_table = format_table(
+        headers=["metric", *tool_names],
+        rows=rank_rows,
+        title="Tool rank under each metric (1 = best)",
+        float_format=".1f",
+    )
+
+    symbols = list(goodness)
+    tau: dict[tuple[str, str], float] = {}
+    tau_rows = []
+    for a in symbols:
+        row: list[object] = [a]
+        for b in symbols:
+            value = 1.0 if a == b else kendall_tau(goodness[a], goodness[b])
+            tau[(a, b)] = value
+            row.append(value)
+        tau_rows.append(row)
+    tau_table = format_table(
+        headers=["tau", *symbols],
+        rows=tau_rows,
+        title="Kendall tau-b between metric-induced tool rankings",
+        float_format=".2f",
+    )
+
+    off_diagonal = [tau[(a, b)] for a in symbols for b in symbols if a != b]
+    min_tau = min(off_diagonal)
+    mean_tau = sum(off_diagonal) / len(off_diagonal)
+    return ExperimentResult(
+        experiment_id="R5",
+        title="Metric-induced tool rankings",
+        sections={"ranks": rank_table, "tau_matrix": tau_table},
+        data={
+            "ranks": ranks,
+            "tau": tau,
+            "min_offdiag_tau": min_tau,
+            "mean_offdiag_tau": mean_tau,
+            "tool_names": tool_names,
+        },
+    )

@@ -1,0 +1,132 @@
+"""R6 — metric behaviour under prevalence (the misleading-metrics figure).
+
+Two panels reproduce the paper's prevalence argument:
+
+- **stability**: one fixed tool (its intrinsic TPR/FPR never changes) is
+  measured at workload prevalences from 1% to 50%.  Prevalence-dependent
+  metrics (accuracy, precision, F-measure) swing wildly although the tool is
+  the same; informedness and recall stay flat.
+- **preference**: a thorough tool (high recall, noisy) is compared against a
+  cautious tool (low recall, almost no false alarms) across the same sweep.
+  Metrics that flip their preferred tool as prevalence moves cannot anchor a
+  workload-independent benchmark conclusion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.experiments.base import ExperimentResult
+from repro.metrics import definitions
+from repro.metrics.base import Metric
+from repro.properties.base import OperatingPoint
+from repro.reporting.figures import ascii_chart
+from repro.reporting.tables import format_table
+
+__all__ = ["run", "STABILITY_METRICS"]
+
+#: Metrics plotted in the stability panel.
+STABILITY_METRICS: tuple[Metric, ...] = (
+    definitions.ACCURACY,
+    definitions.PRECISION,
+    definitions.F1,
+    definitions.MCC,
+    definitions.INFORMEDNESS,
+    definitions.RECALL,
+)
+
+_FIXED_TOOL = OperatingPoint(tpr=0.75, fpr=0.08)
+_THOROUGH = OperatingPoint(tpr=0.90, fpr=0.15)
+_CAUTIOUS = OperatingPoint(tpr=0.55, fpr=0.01)
+
+
+def run(
+    n_points: int = 25,
+    total_sites: float = 10_000.0,
+    min_prevalence: float = 0.01,
+    max_prevalence: float = 0.5,
+) -> ExperimentResult:
+    """Sweep prevalence analytically and render both panels."""
+    prevalences = [
+        float(p) for p in np.linspace(min_prevalence, max_prevalence, n_points)
+    ]
+
+    # Panel 1: stability of each metric for the fixed tool.
+    series: dict[str, list[tuple[float, float]]] = {}
+    swings: dict[str, float] = {}
+    for metric in STABILITY_METRICS:
+        points = []
+        for prevalence in prevalences:
+            cm = _FIXED_TOOL.matrix(prevalence, total_sites)
+            value = metric.value_or_nan(cm)
+            if math.isfinite(value):
+                points.append((prevalence, value))
+        series[metric.symbol] = points
+        values = [v for _, v in points]
+        swings[metric.symbol] = max(values) - min(values)
+    chart = ascii_chart(
+        series,
+        title=(
+            "Metric value of a fixed tool (TPR=0.75, FPR=0.08) "
+            "vs workload prevalence"
+        ),
+        x_label="prevalence",
+        y_label="metric value",
+    )
+    swing_table = format_table(
+        headers=["metric", "min", "max", "swing"],
+        rows=[
+            [
+                symbol,
+                min(v for _, v in series[symbol]),
+                max(v for _, v in series[symbol]),
+                swings[symbol],
+            ]
+            for symbol in series
+        ],
+        title="Prevalence-induced swing (same tool, same code quality)",
+    )
+
+    # Panel 2: preferred tool per metric per prevalence.
+    flips: dict[str, int] = {}
+    preference_rows = []
+    shown = [p for i, p in enumerate(prevalences) if i % max(1, n_points // 8) == 0]
+    for metric in STABILITY_METRICS:
+        preferences = []
+        for prevalence in prevalences:
+            thorough = metric.goodness(_THOROUGH.matrix(prevalence, total_sites))
+            cautious = metric.goodness(_CAUTIOUS.matrix(prevalence, total_sites))
+            if not (math.isfinite(thorough) and math.isfinite(cautious)):
+                preferences.append("-")
+            else:
+                preferences.append("T" if thorough >= cautious else "C")
+        flips[metric.symbol] = sum(
+            1
+            for a, b in zip(preferences, preferences[1:])
+            if "-" not in (a, b) and a != b
+        )
+        row_cells = [
+            preferences[prevalences.index(p)] for p in shown
+        ]
+        preference_rows.append([metric.symbol, *row_cells, flips[metric.symbol]])
+    preference_table = format_table(
+        headers=["metric", *[f"p={p:.2f}" for p in shown], "flips"],
+        rows=preference_rows,
+        title=(
+            "Preferred tool across prevalence "
+            "(T = thorough 0.90/0.15, C = cautious 0.55/0.01)"
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="R6",
+        title="Metric behaviour vs prevalence",
+        sections={
+            "stability_chart": chart,
+            "swings": swing_table,
+            "preference": preference_table,
+        },
+        data={"series": series, "swings": swings, "flips": flips},
+    )

@@ -1,0 +1,73 @@
+"""R7 — discriminative power of each metric on the reference campaign.
+
+For every candidate metric, bootstrap the campaign's per-tool values and ask:
+how many tool pairs does this metric separate with non-overlapping 95%
+confidence intervals?  A benchmark reports a metric so readers can *choose*
+between tools; a metric that blurs most pairs at realistic workload sizes is
+decorative.
+"""
+
+from __future__ import annotations
+
+from repro._rng import derive_seed
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r3_campaign import run as run_r3
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.reporting.tables import format_table
+from repro.stats.bootstrap import bootstrap_metric, separation_fraction
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+    n_resamples: int = 200,
+) -> ExperimentResult:
+    """Bootstrap every metric for every tool; rank metrics by separation."""
+    registry = registry if registry is not None else core_candidates()
+    r3 = run_r3(seed=seed, n_units=n_units)
+    campaign = r3.data["campaign"]
+
+    separation: dict[str, float] = {}
+    ci_rows = []
+    for metric in registry:
+        summaries = []
+        for result in campaign.results:
+            summary = bootstrap_metric(
+                metric,
+                result.confusion,
+                n_resamples=n_resamples,
+                seed=derive_seed(seed, f"r7:{metric.symbol}:{result.tool_name}"),
+            )
+            summaries.append(summary)
+            ci_rows.append(
+                [
+                    metric.symbol,
+                    result.tool_name,
+                    summary.point_estimate,
+                    summary.ci_low,
+                    summary.ci_high,
+                    summary.width,
+                ]
+            )
+        separation[metric.symbol] = separation_fraction(summaries)
+
+    ci_table = format_table(
+        headers=["metric", "tool", "value", "ci low", "ci high", "ci width"],
+        rows=ci_rows,
+        title="Bootstrap 95% confidence intervals per metric and tool",
+    )
+    ranking = sorted(separation.items(), key=lambda kv: (-kv[1], kv[0]))
+    separation_table = format_table(
+        headers=["metric", "separated tool pairs (fraction)"],
+        rows=[[symbol, fraction] for symbol, fraction in ranking],
+        title="Discriminative power (non-overlapping CIs over all tool pairs)",
+    )
+    return ExperimentResult(
+        experiment_id="R7",
+        title="Discriminative power",
+        sections={"intervals": ci_table, "separation": separation_table},
+        data={"separation": separation, "ranking": [s for s, _ in ranking]},
+    )

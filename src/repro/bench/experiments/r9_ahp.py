@@ -1,0 +1,124 @@
+"""R9 — MCDA validation with the expert panel.
+
+The paper's step 4: AHP over experts' pairwise judgments ranks the candidate
+metrics per scenario.  The table reports the aggregated panel ranking with
+its consistency ratios, each expert's individual winner, and the SAW/TOPSIS
+winners computed from the same criteria weights as a method cross-check.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.bench.experiments.r2_properties import run as run_r2
+from repro.experts.panel import ExpertPanel, default_panel
+from repro.experts.elicitation import validate_scenario
+from repro.mcda.saw import simple_additive_weighting
+from repro.mcda.topsis import topsis
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.properties.matrix import PropertiesMatrix
+from repro.reporting.tables import format_table
+from repro.scenarios.scenarios import Scenario, canonical_scenarios
+
+__all__ = ["run"]
+
+
+def run(
+    registry: MetricRegistry | None = None,
+    scenarios: list[Scenario] | None = None,
+    panel: ExpertPanel | None = None,
+    seed: int = DEFAULT_SEED,
+    n_resamples: int = 120,
+    properties_matrix: PropertiesMatrix | None = None,
+) -> ExperimentResult:
+    """Run the expert-validated AHP (plus SAW/TOPSIS cross-checks)."""
+    registry = registry if registry is not None else core_candidates()
+    scenarios = scenarios if scenarios is not None else canonical_scenarios()
+    panel = panel if panel is not None else default_panel(seed=seed)
+    if properties_matrix is None:
+        properties_matrix = run_r2(
+            registry=registry, seed=seed, n_resamples=n_resamples
+        ).data["matrix"]
+
+    sections: dict[str, str] = {}
+    rankings: dict[str, list[str]] = {}
+    consistency: dict[str, float] = {}
+    concordance: dict[str, float] = {}
+    agreement: dict[str, float] = {}
+    method_winners: dict[str, dict[str, str]] = {}
+
+    criteria_scores = {
+        name: properties_matrix.column(name) for name in properties_matrix.property_names
+    }
+    alternatives = list(properties_matrix.metric_symbols)
+
+    for scenario in scenarios:
+        validation = validate_scenario(scenario, properties_matrix, panel)
+        rankings[scenario.key] = validation.ahp.ranking
+        consistency[scenario.key] = validation.ahp.max_consistency_ratio
+        concordance[scenario.key] = validation.panel_concordance
+        agreement[scenario.key] = validation.expert_agreement
+
+        scenario_criteria = {
+            name: scores
+            for name, scores in criteria_scores.items()
+            if name in scenario.property_weights
+        }
+        saw = simple_additive_weighting(
+            alternatives, scenario_criteria, scenario.property_weights
+        )
+        top = topsis(alternatives, scenario_criteria, scenario.property_weights)
+        method_winners[scenario.key] = {
+            "ahp": validation.ahp.best,
+            "saw": saw.best,
+            "topsis": top.best,
+            "saw_top3": saw.ranking[:3],
+            "topsis_top3": top.ranking[:3],
+        }
+
+        priority = validation.ahp.alternative_priorities
+        sections[f"ahp_{scenario.key}"] = format_table(
+            headers=["rank", "metric", "AHP priority"],
+            rows=[
+                [index + 1, symbol, priority[symbol]]
+                for index, symbol in enumerate(validation.ahp.ranking[:8])
+            ],
+            title=(
+                f"AHP metric ranking — scenario {scenario.key!r} "
+                f"(max CR {validation.ahp.max_consistency_ratio:.3f}, "
+                f"expert agreement {validation.expert_agreement:.0%})"
+            ),
+        )
+
+    summary = format_table(
+        headers=[
+            "scenario", "AHP best", "SAW best", "TOPSIS best", "max CR",
+            "experts agree", "panel concordance (W)",
+        ],
+        rows=[
+            [
+                key,
+                method_winners[key]["ahp"],
+                method_winners[key]["saw"],
+                method_winners[key]["topsis"],
+                consistency[key],
+                agreement[key],
+                concordance[key],
+            ]
+            for key in rankings
+        ],
+        title="MCDA validation summary",
+    )
+    sections["summary"] = summary
+    return ExperimentResult(
+        experiment_id="R9",
+        title="MCDA (AHP) validation with expert judgment",
+        sections=sections,
+        data={
+            "rankings": rankings,
+            "consistency": consistency,
+            "agreement": agreement,
+            "concordance": concordance,
+            "method_winners": method_winners,
+            "properties_matrix": properties_matrix,
+        },
+    )

@@ -1,0 +1,109 @@
+"""Tool run-to-run repeatability.
+
+Dynamic and simulated tools are nondeterministic across runs: the same tool
+on the same workload produces different reports.  A benchmark score then
+carries two noise sources — *which sites the workload happened to contain*
+(sampling noise, estimated by bootstrap) and *what the tool happened to do
+this run* (run noise, estimated here by re-running with fresh tool seeds).
+Reporting a single run's number as "the" score conflates them; this module
+measures both so a benchmark can say which one its error bars must cover.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro._rng import derive_seed
+from repro.bench.campaign import score_report
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.stats.bootstrap import bootstrap_metric
+from repro.tools.base import VulnerabilityDetectionTool
+from repro.workload.generator import Workload
+
+__all__ = ["RunNoiseSummary", "tool_run_noise"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunNoiseSummary:
+    """Dispersion of one metric over repeated runs of one tool."""
+
+    tool_name: str
+    metric_symbol: str
+    n_runs: int
+    mean: float
+    std: float
+    min_value: float
+    max_value: float
+    sampling_std: float
+    """Bootstrap std of the same metric on the first run's confusion matrix
+    (the workload-sampling noise at this workload size)."""
+
+    @property
+    def run_to_sampling_ratio(self) -> float:
+        """Run noise relative to sampling noise.
+
+        Below ~1, a single run is as trustworthy as the workload allows;
+        well above 1, the benchmark must average runs before its error bars
+        mean anything.
+        """
+        if self.sampling_std == 0:
+            return math.inf if self.std > 0 else 0.0
+        return self.std / self.sampling_std
+
+
+def tool_run_noise(
+    tool_factory: Callable[[int], VulnerabilityDetectionTool],
+    workload: Workload,
+    metric: Metric,
+    n_runs: int = 15,
+    seed: int = 0,
+    n_resamples: int = 200,
+) -> RunNoiseSummary:
+    """Re-run a tool with fresh seeds and summarize the metric's dispersion.
+
+    ``tool_factory(run_seed)`` must build the tool configured with that
+    seed; deterministic tools simply ignore it (and score zero run noise).
+    """
+    if n_runs < 2:
+        raise ConfigurationError(f"n_runs={n_runs} must be >= 2")
+    values: list[float] = []
+    first_confusion = None
+    tool_name = ""
+    for run in range(n_runs):
+        tool = tool_factory(derive_seed(seed, f"run:{run}"))
+        tool_name = tool.name
+        confusion = score_report(tool.analyze(workload), workload.truth)
+        if first_confusion is None:
+            first_confusion = confusion
+        value = metric.value_or_nan(confusion)
+        if math.isfinite(value):
+            values.append(value)
+    if len(values) < 2:
+        raise ConfigurationError(
+            f"metric {metric.symbol} was defined on fewer than two runs"
+        )
+    mean = sum(values) / len(values)
+    if min(values) == max(values):
+        # Identical runs: report exactly zero rather than float dust.
+        variance = 0.0
+    else:
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    sampling = bootstrap_metric(
+        metric,
+        first_confusion,
+        n_resamples=n_resamples,
+        seed=derive_seed(seed, "sampling"),
+    )
+    return RunNoiseSummary(
+        tool_name=tool_name,
+        metric_symbol=metric.symbol,
+        n_runs=n_runs,
+        mean=mean,
+        std=math.sqrt(variance),
+        min_value=min(values),
+        max_value=max(values),
+        sampling_std=sampling.std if math.isfinite(sampling.std) else 0.0,
+    )

@@ -1,0 +1,105 @@
+"""Multi-workload benchmark suites.
+
+A single workload is a single draw; a benchmark worth trusting ranks tools
+consistently across the workload mixes its audience will face.  This module
+runs a tool suite over several workloads and quantifies, per metric, how
+stable the induced tool ranking is across them — the executable form of the
+"representativeness" concern in the benchmarking literature.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.bench.campaign import CampaignResult, run_campaign
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.stats.rank import kendall_tau
+from repro.tools.base import VulnerabilityDetectionTool
+from repro.workload.generator import Workload
+
+__all__ = ["SuiteResult", "run_suite", "ranking_stability"]
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Tool suite scored on several workloads."""
+
+    campaigns: dict[str, CampaignResult]
+    """Keyed by workload name."""
+
+    def __post_init__(self) -> None:
+        if not self.campaigns:
+            raise ConfigurationError("suite needs at least one campaign")
+        tool_sets = {tuple(c.tool_names) for c in self.campaigns.values()}
+        if len(tool_sets) != 1:
+            raise ConfigurationError(
+                "every campaign must benchmark the same tools in the same order"
+            )
+
+    @property
+    def workload_names(self) -> list[str]:
+        """Workloads in insertion order."""
+        return list(self.campaigns)
+
+    @property
+    def tool_names(self) -> list[str]:
+        """The common tool list."""
+        return next(iter(self.campaigns.values())).tool_names
+
+    def metric_matrix(self, metric: Metric) -> dict[str, dict[str, float]]:
+        """``metric`` per tool per workload: ``matrix[tool][workload]``."""
+        matrix: dict[str, dict[str, float]] = {t: {} for t in self.tool_names}
+        for workload_name, campaign in self.campaigns.items():
+            for tool_name, value in campaign.metric_values(metric).items():
+                matrix[tool_name][workload_name] = value
+        return matrix
+
+
+def run_suite(
+    tools: Sequence[VulnerabilityDetectionTool], workloads: Sequence[Workload]
+) -> SuiteResult:
+    """Run every tool over every workload."""
+    if not workloads:
+        raise ConfigurationError("suite needs at least one workload")
+    names = [w.name for w in workloads]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("workload names must be unique within a suite")
+    return SuiteResult(
+        campaigns={w.name: run_campaign(tools, w) for w in workloads}
+    )
+
+
+def ranking_stability(suite: SuiteResult, metric: Metric) -> float:
+    """Mean pairwise Kendall tau of the metric's tool rankings across
+    workloads.
+
+    1.0 means the metric crowns the same ordering on every workload; values
+    near 0 mean the benchmark's verdict is a property of the workload draw,
+    not of the tools.  Undefined metric values rank last (consistently), so
+    a metric that frequently degenerates pays for it here.
+    """
+    names = suite.workload_names
+    if len(names) < 2:
+        raise ConfigurationError("stability needs at least two workloads")
+    per_workload_scores: list[list[float]] = []
+    for workload_name in names:
+        campaign = suite.campaigns[workload_name]
+        scores = [
+            g
+            if math.isfinite(g := metric.goodness(campaign.confusion_for(tool)))
+            else -math.inf
+            for tool in suite.tool_names
+        ]
+        per_workload_scores.append(scores)
+    taus = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            tau = kendall_tau(per_workload_scores[i], per_workload_scores[j])
+            if math.isfinite(tau):
+                taus.append(tau)
+    if not taus:
+        return float("nan")
+    return sum(taus) / len(taus)

@@ -1,0 +1,80 @@
+"""Severity-weighted scoring.
+
+Not every vulnerability class is equally dangerous: a missed SQL injection
+in a payment path outweighs a missed LDAP filter quirk.  Weighted scoring
+gives each analysis site a weight (by default, a CVSS-flavoured severity
+per vulnerability class) and counts *weight* instead of sites in the
+confusion matrix.  Every metric in the catalog then works unchanged — the
+:class:`~repro.metrics.confusion.ConfusionMatrix` accepts fractional counts
+by design — and "recall" reads as "fraction of *risk* found" rather than
+"fraction of findings found".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ConfigurationError
+from repro.metrics.confusion import ConfusionMatrix
+from repro.tools.base import DetectionReport
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["DEFAULT_SEVERITIES", "score_report_weighted"]
+
+#: CVSS-flavoured base severities per vulnerability class (0-10 scale).
+#: Curated from the typical scoring of each CWE's canonical entries; users
+#: with their own risk model pass their own mapping.
+DEFAULT_SEVERITIES: dict[VulnerabilityType, float] = {
+    VulnerabilityType.SQL_INJECTION: 9.8,
+    VulnerabilityType.COMMAND_INJECTION: 9.8,
+    VulnerabilityType.PATH_TRAVERSAL: 7.5,
+    VulnerabilityType.XSS: 6.1,
+    VulnerabilityType.LDAP_INJECTION: 7.3,
+    VulnerabilityType.XPATH_INJECTION: 6.5,
+}
+
+
+def score_report_weighted(
+    report: DetectionReport,
+    truth: GroundTruth,
+    severities: Mapping[VulnerabilityType, float] | None = None,
+) -> ConfusionMatrix:
+    """Score a report with per-class severity weights.
+
+    Each site contributes its class's severity to whichever confusion cell
+    it lands in.  With all weights equal this reduces (up to scale) to the
+    unweighted :func:`~repro.bench.campaign.score_report`, which the test
+    suite asserts.
+    """
+    severities = severities if severities is not None else DEFAULT_SEVERITIES
+    missing = {site.vuln_type for site in truth.sites} - set(severities)
+    if missing:
+        raise ConfigurationError(
+            f"no severity for classes: {sorted(t.value for t in missing)}"
+        )
+    if any(weight <= 0 for weight in severities.values()):
+        raise ConfigurationError("severities must be positive")
+
+    site_set = set(truth.sites)
+    unknown = report.flagged_sites - site_set
+    if unknown:
+        raise ConfigurationError(
+            f"tool {report.tool_name!r} reported sites absent from the workload: "
+            f"{sorted(unknown)[:3]}"
+        )
+    flagged = report.flagged_sites
+    tp = fp = fn = tn = 0.0
+    for site in truth.sites:
+        weight = severities[site.vuln_type]
+        vulnerable = site in truth.vulnerable
+        reported = site in flagged
+        if vulnerable and reported:
+            tp += weight
+        elif vulnerable:
+            fn += weight
+        elif reported:
+            fp += weight
+        else:
+            tn += weight
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)

@@ -1,0 +1,159 @@
+"""Command-line interface: run reproduction experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run R6 R11            # run specific experiments
+    python -m repro run all --seed 7      # everything, custom seed
+    python -m repro run R8 --out results  # also write results/<id>.txt
+
+Experiments R1-R11 reproduce the paper's tables and figures; R12-R14 are
+extensions.  All runs are deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS, DEFAULT_SEED
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that take no ``seed`` keyword (R1 is static, R6 analytic).
+_SEEDLESS = {"R1", "R6"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction experiments for 'On the Metrics for Benchmarking "
+            "Vulnerability Detection Tools' (DSN 2015)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help="experiment ids (e.g. R6 R11) or 'all'",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"master seed (default {DEFAULT_SEED})",
+    )
+    run_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each rendered report to DIR/<id>.txt",
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered tables (timings only)",
+    )
+    run_parser.add_argument(
+        "--format",
+        choices=("text", "md"),
+        default="text",
+        dest="output_format",
+        help="output format for --out files (text or GitHub markdown)",
+    )
+    return parser
+
+
+def _normalize_ids(requested: Sequence[str]) -> list[str]:
+    if any(item.lower() == "all" for item in requested):
+        return list(ALL_EXPERIMENTS)
+    ids = []
+    for item in requested:
+        key = item.upper()
+        if key not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {item!r}; known: {', '.join(ALL_EXPERIMENTS)}"
+            )
+        ids.append(key)
+    return ids
+
+
+def _cmd_list() -> int:
+    titles = {
+        "R1": "Metric catalog (table)",
+        "R2": "Good-metric properties matrix (table)",
+        "R3": "Reference benchmarking campaign (table)",
+        "R4": "Metric values per tool (table)",
+        "R5": "Metric-induced tool rankings + tau matrix (table)",
+        "R6": "Metric behaviour vs prevalence (figure)",
+        "R7": "Discriminative power (figure)",
+        "R8": "Scenario analysis, analytical selection (table)",
+        "R9": "MCDA (AHP) validation with expert judgment (table)",
+        "R10": "MCDA weight sensitivity (figure)",
+        "R11": "Analytical vs MCDA agreement (table, headline)",
+        "R12": "Per-type breakdown and aggregation (extension)",
+        "R13": "Threshold-free ranking metrics (extension)",
+        "R14": "Statistical significance of tool differences (extension)",
+        "R15": "Difficulty model validation (extension)",
+        "R16": "Seed stability of the conclusions (extension)",
+        "R17": "Cross-workload ranking stability (extension)",
+        "R18": "Scenario-optimal confidence thresholds (extension)",
+        "R19": "Tool run noise vs sampling noise (extension)",
+    }
+    for key in ALL_EXPERIMENTS:
+        print(f"{key:4s} {titles.get(key, '')}")
+    return 0
+
+
+def _cmd_run(
+    ids: list[str], seed: int, out: Path | None, quiet: bool, output_format: str
+) -> int:
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    for key in ids:
+        driver = ALL_EXPERIMENTS[key]
+        started = time.perf_counter()
+        result = driver() if key in _SEEDLESS else driver(seed=seed)
+        elapsed = time.perf_counter() - started
+        if not quiet:
+            print(result.render())
+            print()
+        print(f"[{key} completed in {elapsed:.1f}s]", file=sys.stderr)
+        if out is not None:
+            if output_format == "md":
+                from repro.reporting.markdown import experiment_to_markdown
+
+                rendered = experiment_to_markdown(
+                    result.experiment_id, result.title, result.sections
+                )
+                (out / f"{key.lower()}.md").write_text(rendered, encoding="utf-8")
+            else:
+                (out / f"{key.lower()}.txt").write_text(
+                    result.render() + "\n", encoding="utf-8"
+                )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(
+        _normalize_ids(args.experiments),
+        args.seed,
+        args.out,
+        args.quiet,
+        args.output_format,
+    )

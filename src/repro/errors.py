@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so a
+caller can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` from misuse of the
+Python language itself) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class MetricError(ReproError):
+    """Base class for metric-related failures."""
+
+
+class UndefinedMetricError(MetricError):
+    """A metric is mathematically undefined for the given confusion matrix.
+
+    For example precision is undefined when a tool reports nothing
+    (``tp + fp == 0``).  Callers that prefer a sentinel value should use
+    :meth:`repro.metrics.Metric.value_or_nan` instead of
+    :meth:`repro.metrics.Metric.compute`.
+    """
+
+
+class WorkloadError(ReproError):
+    """The workload model was violated (bad unit, unknown variable, ...)."""
+
+
+class ToolError(ReproError):
+    """A vulnerability detection tool failed or was misconfigured."""
+
+
+class McdaError(ReproError):
+    """Base class for multi-criteria decision analysis failures."""
+
+
+class InconsistentJudgmentError(McdaError):
+    """A pairwise comparison matrix exceeded the allowed consistency ratio."""
+
+
+class ElicitationError(ReproError):
+    """Expert judgment elicitation could not be completed."""

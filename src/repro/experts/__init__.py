@@ -1,0 +1,25 @@
+"""Simulated expert panels for the MCDA validation."""
+
+from repro.experts.elicitation import (
+    ScenarioValidation,
+    elicit_hierarchy,
+    validate_scenario,
+)
+from repro.experts.expert import Expert
+from repro.experts.panel import (
+    ExpertPanel,
+    aggregate_judgments,
+    aggregate_priorities,
+    default_panel,
+)
+
+__all__ = [
+    "ScenarioValidation",
+    "elicit_hierarchy",
+    "validate_scenario",
+    "Expert",
+    "ExpertPanel",
+    "aggregate_judgments",
+    "aggregate_priorities",
+    "default_panel",
+]

@@ -1,0 +1,121 @@
+"""Elicitation: from a scenario + evidence + panel to a full AHP hierarchy.
+
+This is the glue of the paper's step 4.  For a scenario:
+
+1. every expert pairwise-compares the good-metric *properties* (criteria),
+   starting from the scenario's consensus weights bent by personal bias;
+2. every expert pairwise-compares the candidate *metrics under each
+   property*, reading the executable properties matrix through personal
+   noise;
+3. judgments are aggregated (AIJ) into one criteria matrix and one
+   alternatives matrix per criterion — an :class:`AhpHierarchy` ready to
+   compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ElicitationError
+from repro.experts.panel import ExpertPanel, aggregate_judgments
+from repro.mcda.ahp import AhpHierarchy, AhpResult
+from repro.properties.matrix import PropertiesMatrix
+from repro.scenarios.scenarios import Scenario
+from repro.stats.rank import kendalls_w
+
+__all__ = ["ScenarioValidation", "elicit_hierarchy", "validate_scenario"]
+
+
+def elicit_hierarchy(
+    scenario: Scenario,
+    properties_matrix: PropertiesMatrix,
+    panel: ExpertPanel,
+) -> AhpHierarchy:
+    """Build the aggregated AHP hierarchy for ``scenario``."""
+    missing = set(scenario.property_weights) - set(properties_matrix.property_names)
+    if missing:
+        raise ElicitationError(
+            f"scenario weighs properties absent from the matrix: {sorted(missing)}"
+        )
+    criteria_names = [
+        name
+        for name in properties_matrix.property_names
+        if name in scenario.property_weights
+    ]
+    consensus = {name: scenario.property_weights[name] for name in criteria_names}
+
+    criteria = aggregate_judgments(panel.criteria_judgments(consensus, scenario.key))
+
+    alternatives: dict[str, object] = {}
+    for property_name in criteria_names:
+        column = properties_matrix.column(property_name)
+        alternatives[property_name] = aggregate_judgments(
+            panel.alternatives_judgments(property_name, column)
+        )
+    return AhpHierarchy(criteria=criteria, alternatives=alternatives)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ScenarioValidation:
+    """Everything the R9 table reports for one scenario."""
+
+    scenario_key: str
+    ahp: AhpResult
+    per_expert_best: dict[str, str]
+    """Each expert's individually composed winner (their own hierarchy)."""
+    panel_concordance: float
+    """Kendall's W over the experts' individual metric priorities: how
+    cohesively the panel ranks the candidates before aggregation."""
+
+    @property
+    def panel_best(self) -> str:
+        """The aggregated panel's winning metric."""
+        return self.ahp.best
+
+    @property
+    def expert_agreement(self) -> float:
+        """Fraction of experts whose individual winner matches the panel's."""
+        if not self.per_expert_best:
+            return float("nan")
+        matches = sum(1 for best in self.per_expert_best.values() if best == self.panel_best)
+        return matches / len(self.per_expert_best)
+
+
+def validate_scenario(
+    scenario: Scenario,
+    properties_matrix: PropertiesMatrix,
+    panel: ExpertPanel,
+    method: str = "eigenvector",
+) -> ScenarioValidation:
+    """Run the full expert-validated AHP for one scenario.
+
+    Besides the aggregated result, each expert's *individual* hierarchy is
+    composed so the report can show how contested the winner is.
+    """
+    hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+    ahp = hierarchy.compose(method)
+
+    per_expert_best: dict[str, str] = {}
+    per_expert_priorities: list[list[float]] = []
+    metric_symbols = list(hierarchy.alternative_labels)
+    criteria_names = list(hierarchy.criteria.labels)
+    consensus = {name: scenario.property_weights[name] for name in criteria_names}
+    for expert in panel.experts:
+        individual = AhpHierarchy(
+            criteria=expert.judge_criteria(consensus, scenario.key),
+            alternatives={
+                name: expert.judge_alternatives(name, properties_matrix.column(name))
+                for name in criteria_names
+            },
+        )
+        composed = individual.compose(method)
+        per_expert_best[expert.name] = composed.best
+        per_expert_priorities.append(
+            [composed.alternative_priorities[symbol] for symbol in metric_symbols]
+        )
+    return ScenarioValidation(
+        scenario_key=scenario.key,
+        ahp=ahp,
+        per_expert_best=per_expert_best,
+        panel_concordance=kendalls_w(per_expert_priorities),
+    )

@@ -1,0 +1,109 @@
+"""Simulated experts.
+
+The paper validates its metric selection with human experts' judgment fed to
+an MCDA algorithm.  Humans are not shippable; what AHP actually consumes is
+their artifact — Saaty-scale pairwise comparison matrices.  A simulated
+:class:`Expert` produces that artifact from three ingredients:
+
+- a **latent preference**: the scenario's consensus property weights, bent by
+  the expert's personal ``bias`` multipliers (a SecOps lead overweights
+  "rewards detection"; an academic overweights chance correction);
+- **judgment noise**: each pairwise ratio is perturbed log-normally with the
+  expert's ``noise_sigma`` — more noise, less consistent matrices, exactly
+  the CR behaviour real panels show;
+- **discretization**: ratios are snapped to the 1-9 Saaty scale, as a human
+  filling in a questionnaire would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.errors import ElicitationError
+from repro.mcda.pairwise import PairwiseComparisonMatrix, snap_to_saaty
+
+__all__ = ["Expert"]
+
+
+@dataclass(frozen=True)
+class Expert:
+    """One simulated panel member."""
+
+    name: str
+    persona: str
+    noise_sigma: float = 0.15
+    bias: dict[str, float] = field(default_factory=dict)
+    """Multiplicative bends applied to the scenario's latent weights,
+    keyed by property name; properties absent from the mapping keep the
+    consensus weight."""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ElicitationError(f"noise_sigma={self.noise_sigma} must be >= 0")
+        if any(multiplier <= 0 for multiplier in self.bias.values()):
+            raise ElicitationError("bias multipliers must be positive")
+
+    def latent_weights(self, consensus: Mapping[str, float]) -> dict[str, float]:
+        """The expert's personal weights: consensus bent by bias, renormalized."""
+        bent = {
+            name: weight * self.bias.get(name, 1.0) for name, weight in consensus.items()
+        }
+        total = sum(bent.values())
+        if total <= 0:
+            raise ElicitationError("latent weights degenerate to zero")
+        return {name: weight / total for name, weight in bent.items()}
+
+    def judge(
+        self,
+        scores: Mapping[str, float],
+        context_key: str,
+        floor: float = 0.02,
+    ) -> PairwiseComparisonMatrix:
+        """Produce a Saaty-scale pairwise matrix over the scored items.
+
+        ``scores`` is the expert's latent per-item value (criterion weights
+        when judging criteria, property scores when judging metrics under a
+        criterion).  ``context_key`` keys the noise substream so the same
+        expert gives reproducible but question-specific judgments.  ``floor``
+        keeps near-zero items judgeable (a human never reports an infinite
+        preference).
+        """
+        labels = list(scores)
+        if len(labels) < 2:
+            raise ElicitationError("need at least two items to compare")
+        values = np.array([max(scores[label], 0.0) + floor for label in labels])
+        rng = spawn(self.seed, f"expert:{self.name}:{context_key}")
+        n = len(labels)
+        matrix = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                ratio = values[i] / values[j]
+                noisy = ratio * float(np.exp(rng.normal(0.0, self.noise_sigma)))
+                judgment = snap_to_saaty(min(max(noisy, 1.0 / 9.0), 9.0))
+                matrix[i, j] = judgment
+                matrix[j, i] = 1.0 / judgment
+        return PairwiseComparisonMatrix(labels=tuple(labels), values=matrix)
+
+    def judge_criteria(
+        self, consensus: Mapping[str, float], scenario_key: str
+    ) -> PairwiseComparisonMatrix:
+        """Pairwise comparison of the good-metric properties for a scenario."""
+        return self.judge(
+            self.latent_weights(consensus), context_key=f"criteria:{scenario_key}"
+        )
+
+    def judge_alternatives(
+        self, property_name: str, metric_scores: Mapping[str, float]
+    ) -> PairwiseComparisonMatrix:
+        """Pairwise comparison of candidate metrics under one property.
+
+        The expert reads the evidence (the properties-matrix column) through
+        personal noise — modelling that experts agree with measurements only
+        approximately.
+        """
+        return self.judge(metric_scores, context_key=f"alternatives:{property_name}")

@@ -1,0 +1,157 @@
+"""Expert panels and judgment aggregation.
+
+AHP practice aggregates a panel's judgments either by combining the
+*judgments* (AIJ: element-wise geometric mean of the matrices — geometric
+because it is the only mean preserving reciprocity) or by combining the
+*priorities* (AIP: average the individual priority vectors).  Both are
+implemented; the reproduction's experiments use AIJ, the usual choice when
+the panel acts as one decision maker, and report AIP as a robustness check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import derive_seed
+from repro.errors import ElicitationError
+from repro.experts.expert import Expert
+from repro.mcda.pairwise import PairwiseComparisonMatrix
+
+__all__ = ["ExpertPanel", "default_panel", "aggregate_judgments", "aggregate_priorities"]
+
+
+def aggregate_judgments(
+    matrices: Sequence[PairwiseComparisonMatrix],
+) -> PairwiseComparisonMatrix:
+    """AIJ: element-wise geometric mean of the panel's judgment matrices."""
+    if not matrices:
+        raise ElicitationError("no matrices to aggregate")
+    labels = matrices[0].labels
+    if any(m.labels != labels for m in matrices):
+        raise ElicitationError("all matrices must compare the same items in the same order")
+    stack = np.stack([m.values for m in matrices])
+    aggregated = np.exp(np.log(stack).mean(axis=0))
+    # Geometric mean preserves reciprocity exactly up to float error; re-impose it.
+    n = len(labels)
+    for i in range(n):
+        aggregated[i, i] = 1.0
+        for j in range(i + 1, n):
+            aggregated[j, i] = 1.0 / aggregated[i, j]
+    return PairwiseComparisonMatrix(labels=labels, values=aggregated)
+
+
+def aggregate_priorities(
+    matrices: Sequence[PairwiseComparisonMatrix], method: str = "eigenvector"
+) -> dict[str, float]:
+    """AIP: arithmetic mean of the individual priority vectors."""
+    if not matrices:
+        raise ElicitationError("no matrices to aggregate")
+    labels = matrices[0].labels
+    if any(m.labels != labels for m in matrices):
+        raise ElicitationError("all matrices must compare the same items in the same order")
+    totals = {label: 0.0 for label in labels}
+    for matrix in matrices:
+        for label, priority in matrix.priorities(method).items():
+            totals[label] += priority
+    count = len(matrices)
+    return {label: value / count for label, value in totals.items()}
+
+
+@dataclass(frozen=True)
+class ExpertPanel:
+    """A named group of simulated experts."""
+
+    experts: tuple[Expert, ...]
+
+    def __post_init__(self) -> None:
+        if not self.experts:
+            raise ElicitationError("panel must have at least one expert")
+        names = [e.name for e in self.experts]
+        if len(set(names)) != len(names):
+            raise ElicitationError("duplicate expert names in panel")
+
+    def __len__(self) -> int:
+        return len(self.experts)
+
+    @property
+    def names(self) -> list[str]:
+        """Member names in panel order."""
+        return [e.name for e in self.experts]
+
+    def criteria_judgments(
+        self, consensus: dict[str, float], scenario_key: str
+    ) -> list[PairwiseComparisonMatrix]:
+        """Each member's criteria comparison for a scenario."""
+        return [e.judge_criteria(consensus, scenario_key) for e in self.experts]
+
+    def alternatives_judgments(
+        self, property_name: str, metric_scores: dict[str, float]
+    ) -> list[PairwiseComparisonMatrix]:
+        """Each member's metric comparison under one property."""
+        return [e.judge_alternatives(property_name, metric_scores) for e in self.experts]
+
+
+def default_panel(seed: int = 0) -> ExpertPanel:
+    """The seven-member panel of the reproduction.
+
+    Personas and biases follow the stakeholder mix a DSN-style study would
+    recruit: operations, audit, vendor, academia, consulting, plus two
+    unbiased practitioners with different judgment noise.
+    """
+
+    def expert_seed(name: str) -> int:
+        return derive_seed(seed, f"panel:{name}")
+
+    experts = (
+        Expert(
+            name="E1-secops",
+            persona="SecOps lead of a critical-infrastructure operator",
+            noise_sigma=0.18,
+            bias={"rewards detection": 1.5, "rewards silence": 0.8},
+            seed=expert_seed("E1-secops"),
+        ),
+        Expert(
+            name="E2-auditor",
+            persona="Security auditor for hardened products",
+            noise_sigma=0.14,
+            bias={"prevalence-invariant": 1.4, "chance-corrected": 1.2},
+            seed=expert_seed("E2-auditor"),
+        ),
+        Expert(
+            name="E3-vendor",
+            persona="Researcher at a detection-tool vendor",
+            noise_sigma=0.16,
+            bias={"accepted": 1.6, "understandable": 1.3},
+            seed=expert_seed("E3-vendor"),
+        ),
+        Expert(
+            name="E4-academic",
+            persona="Measurement-theory academic",
+            noise_sigma=0.10,
+            bias={"chance-corrected": 1.5, "bounded": 1.2, "accepted": 0.7},
+            seed=expert_seed("E4-academic"),
+        ),
+        Expert(
+            name="E5-consultant",
+            persona="Security consultant triaging client reports",
+            noise_sigma=0.20,
+            bias={"rewards silence": 1.4, "understandable": 1.4},
+            seed=expert_seed("E5-consultant"),
+        ),
+        Expert(
+            name="E6-engineer",
+            persona="Senior product-security engineer (no strong bias)",
+            noise_sigma=0.12,
+            seed=expert_seed("E6-engineer"),
+        ),
+        Expert(
+            name="E7-analyst",
+            persona="Benchmark analyst (no strong bias, noisier judge)",
+            noise_sigma=0.25,
+            seed=expert_seed("E7-analyst"),
+        ),
+    )
+    return ExpertPanel(experts=experts)

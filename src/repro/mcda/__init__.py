@@ -1,0 +1,43 @@
+"""Multi-criteria decision analysis: AHP, SAW, TOPSIS, sensitivity."""
+
+from repro.mcda.electre import ElectreResult, electre_i
+from repro.mcda.promethee import PrometheeResult, promethee_ii
+from repro.mcda.repair import RepairResult, blend_toward_consistency, repair_matrix
+from repro.mcda.ahp import AhpHierarchy, AhpResult, comparison_from_scores
+from repro.mcda.pairwise import (
+    SAATY_VALUES,
+    PairwiseComparisonMatrix,
+    random_index,
+    snap_to_saaty,
+)
+from repro.mcda.saw import SawResult, simple_additive_weighting
+from repro.mcda.sensitivity import (
+    PerturbationOutcome,
+    SensitivityReport,
+    weight_sensitivity,
+)
+from repro.mcda.topsis import TopsisResult, topsis
+
+__all__ = [
+    "ElectreResult",
+    "electre_i",
+    "PrometheeResult",
+    "promethee_ii",
+    "RepairResult",
+    "blend_toward_consistency",
+    "repair_matrix",
+    "AhpHierarchy",
+    "AhpResult",
+    "comparison_from_scores",
+    "SAATY_VALUES",
+    "PairwiseComparisonMatrix",
+    "random_index",
+    "snap_to_saaty",
+    "SawResult",
+    "simple_additive_weighting",
+    "PerturbationOutcome",
+    "SensitivityReport",
+    "weight_sensitivity",
+    "TopsisResult",
+    "topsis",
+]

@@ -1,0 +1,156 @@
+"""The Analytic Hierarchy Process (the paper's MCDA algorithm).
+
+The validation hierarchy has three levels:
+
+- **goal**: select the most adequate metric for a scenario;
+- **criteria**: the good-metric properties, weighted by a pairwise
+  comparison matrix elicited from experts for that scenario;
+- **alternatives**: the candidate metrics, compared pairwise under each
+  criterion (in this reproduction, derived from the executable properties
+  matrix, optionally perturbed by each expert's judgment noise).
+
+:func:`comparison_from_scores` bridges numeric criterion scores into Saaty
+ratios so programmatic evidence and human-style judgments meet in the same
+formalism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mcda.pairwise import PairwiseComparisonMatrix
+
+__all__ = ["AhpResult", "AhpHierarchy", "comparison_from_scores"]
+
+#: Pseudo-count keeping zero scores comparable (a score of 0 vs 0.9 should
+#: read as "extremely less adequate", not divide-by-zero).
+_SCORE_EPSILON = 0.05
+
+
+def comparison_from_scores(
+    labels: Sequence[str],
+    scores: Sequence[float],
+    snap: bool = False,
+) -> PairwiseComparisonMatrix:
+    """Turn per-item scores into a pairwise comparison matrix.
+
+    Ratios are clipped into Saaty's [1/9, 9] band; with ``snap=True`` they
+    are additionally discretized to the 1-9 scale (as a human expert would
+    report them).
+    """
+    if len(labels) != len(scores):
+        raise ConfigurationError("labels and scores must have equal length")
+    shifted = np.asarray(scores, dtype=float) + _SCORE_EPSILON
+    if np.any(~np.isfinite(shifted)) or np.any(shifted <= 0):
+        raise ConfigurationError("scores must be finite and >= 0")
+    matrix = shifted[:, None] / shifted[None, :]
+    matrix = np.clip(matrix, 1.0 / 9.0, 9.0)
+    if snap:
+        from repro.mcda.pairwise import snap_to_saaty
+
+        n = len(labels)
+        snapped = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = snap_to_saaty(float(matrix[i, j]))
+                snapped[i, j] = value
+                snapped[j, i] = 1.0 / value
+        matrix = snapped
+    else:
+        # Re-impose exact reciprocity after clipping.
+        n = len(labels)
+        for i in range(n):
+            matrix[i, i] = 1.0
+            for j in range(i + 1, n):
+                matrix[j, i] = 1.0 / matrix[i, j]
+    return PairwiseComparisonMatrix(labels=tuple(labels), values=matrix)
+
+
+@dataclass(frozen=True)
+class AhpResult:
+    """Composed outcome of one AHP run."""
+
+    criteria_weights: dict[str, float]
+    alternative_priorities: dict[str, float]
+    """Global priority per alternative (sums to one)."""
+    consistency_ratios: dict[str, float]
+    """CR of the criteria matrix (key ``"criteria"``) and of each
+    per-criterion alternatives matrix (keyed by criterion name)."""
+
+    @property
+    def ranking(self) -> list[str]:
+        """Alternatives, best first (ties broken by name for stability)."""
+        return [
+            name
+            for name, _ in sorted(
+                self.alternative_priorities.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
+    @property
+    def best(self) -> str:
+        """The winning alternative."""
+        return self.ranking[0]
+
+    @property
+    def max_consistency_ratio(self) -> float:
+        """Worst CR across all judgment matrices in the hierarchy."""
+        return max(self.consistency_ratios.values())
+
+    def is_acceptably_consistent(self, threshold: float = 0.1) -> bool:
+        """Saaty's acceptability test applied to the whole hierarchy."""
+        return self.max_consistency_ratio <= threshold
+
+
+@dataclass(frozen=True)
+class AhpHierarchy:
+    """A fully specified goal / criteria / alternatives hierarchy."""
+
+    criteria: PairwiseComparisonMatrix
+    alternatives: Mapping[str, PairwiseComparisonMatrix]
+    """Per-criterion comparisons of the alternatives; keys must exactly
+    match the criteria labels."""
+
+    def __post_init__(self) -> None:
+        criterion_names = set(self.criteria.labels)
+        matrix_names = set(self.alternatives)
+        if criterion_names != matrix_names:
+            raise ConfigurationError(
+                "alternatives matrices must cover the criteria exactly; "
+                f"missing={sorted(criterion_names - matrix_names)}, "
+                f"extra={sorted(matrix_names - criterion_names)}"
+            )
+        label_sets = {matrix.labels for matrix in self.alternatives.values()}
+        if len(label_sets) != 1:
+            raise ConfigurationError(
+                "all alternatives matrices must compare the same alternatives "
+                "in the same order"
+            )
+
+    @property
+    def alternative_labels(self) -> tuple[str, ...]:
+        """The alternatives being ranked."""
+        return next(iter(self.alternatives.values())).labels
+
+    def compose(self, method: str = "eigenvector") -> AhpResult:
+        """Synthesize global priorities (the classical distributive mode)."""
+        criteria_weights = self.criteria.priorities(method)
+        consistency = {"criteria": self.criteria.consistency_ratio}
+        totals = {label: 0.0 for label in self.alternative_labels}
+        for criterion, weight in criteria_weights.items():
+            matrix = self.alternatives[criterion]
+            consistency[criterion] = matrix.consistency_ratio
+            local = matrix.priorities(method)
+            for label, priority in local.items():
+                totals[label] += weight * priority
+        total = sum(totals.values())
+        priorities = {label: value / total for label, value in totals.items()}
+        return AhpResult(
+            criteria_weights=criteria_weights,
+            alternative_priorities=priorities,
+            consistency_ratios=consistency,
+        )

@@ -1,0 +1,137 @@
+"""ELECTRE I — outranking-based MCDA.
+
+A third methodological family next to the additive ones (AHP/SAW) and the
+distance-based one (TOPSIS): ELECTRE builds a pairwise *outranking* relation
+("a is at least as good as b") from a concordance test (enough criterion
+weight agrees) vetoed by a discordance test (no criterion disagrees too
+hard), then extracts the kernel of non-dominated alternatives.  Because it
+never trades a catastrophic weakness away against many small strengths, it
+is the natural robustness check for "is the winner merely compensating?".
+
+A complete ranking is derived from net concordance flow (the
+aggregated-dominance heuristic commonly paired with ELECTRE I), which the
+experiments use to compare against AHP/SAW/TOPSIS orderings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ElectreResult", "electre_i"]
+
+
+@dataclass(frozen=True)
+class ElectreResult:
+    """Outcome of an ELECTRE I run."""
+
+    alternatives: tuple[str, ...]
+    outranks: frozenset[tuple[str, str]]
+    """Pairs (a, b) where a outranks b."""
+    kernel: frozenset[str]
+    """Alternatives not outranked by anything outside the kernel."""
+    net_flow: dict[str, float]
+    """Net concordance flow per alternative (ranking heuristic)."""
+
+    @property
+    def ranking(self) -> list[str]:
+        """Alternatives by net flow, best first (ties broken by name)."""
+        return [
+            name
+            for name, _ in sorted(self.net_flow.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    @property
+    def best(self) -> str:
+        """The top alternative by net flow."""
+        return self.ranking[0]
+
+    def outranked_by(self, alternative: str) -> set[str]:
+        """Everything ``alternative`` outranks."""
+        if alternative not in self.alternatives:
+            raise ConfigurationError(f"unknown alternative {alternative!r}")
+        return {b for a, b in self.outranks if a == alternative}
+
+
+def electre_i(
+    alternatives: Sequence[str],
+    criteria_scores: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+    concordance_threshold: float = 0.65,
+    discordance_threshold: float = 0.35,
+) -> ElectreResult:
+    """Run ELECTRE I over benefit-type criteria scores.
+
+    ``concordance_threshold`` is the minimum weight fraction that must agree
+    with "a is at least as good as b"; ``discordance_threshold`` the maximum
+    tolerated normalized opposition on any single criterion.
+    """
+    if not alternatives:
+        raise ConfigurationError("no alternatives to rank")
+    if set(weights) != set(criteria_scores):
+        raise ConfigurationError("weights and criteria_scores must cover the same criteria")
+    if not 0.0 < concordance_threshold <= 1.0:
+        raise ConfigurationError(
+            f"concordance_threshold={concordance_threshold} must be in (0, 1]"
+        )
+    if not 0.0 <= discordance_threshold <= 1.0:
+        raise ConfigurationError(
+            f"discordance_threshold={discordance_threshold} must be in [0, 1]"
+        )
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ConfigurationError("weights must sum to a positive number")
+    if any(w < 0 for w in weights.values()):
+        raise ConfigurationError("weights must be non-negative")
+
+    names = list(alternatives)
+    criteria = list(criteria_scores)
+    matrix = np.zeros((len(names), len(criteria)))
+    for j, criterion in enumerate(criteria):
+        column = criteria_scores[criterion]
+        missing = [a for a in names if a not in column]
+        if missing:
+            raise ConfigurationError(f"criterion {criterion!r} lacks scores for {missing}")
+        matrix[:, j] = [column[a] for a in names]
+
+    ranges = matrix.max(axis=0) - matrix.min(axis=0)
+    ranges[ranges == 0] = 1.0  # constant criteria can neither concord nor discord
+    normalized_weights = np.array([weights[c] / total_weight for c in criteria])
+
+    n = len(names)
+    outranks: set[tuple[str, str]] = set()
+    concordance = np.zeros((n, n))
+    for i in range(n):
+        for k in range(n):
+            if i == k:
+                continue
+            agrees = matrix[i] >= matrix[k]
+            concordance[i, k] = float(normalized_weights[agrees].sum())
+            opposition = (matrix[k] - matrix[i]) / ranges
+            discordance = float(opposition.max()) if opposition.size else 0.0
+            if (
+                concordance[i, k] >= concordance_threshold
+                and discordance <= discordance_threshold
+            ):
+                outranks.add((names[i], names[k]))
+
+    # Kernel: alternatives not outranked by any alternative outside their
+    # own outranked set (classical kernel of the strict relation).
+    strict = {(a, b) for a, b in outranks if (b, a) not in outranks}
+    dominated = {b for _, b in strict}
+    kernel = frozenset(name for name in names if name not in dominated)
+
+    net_flow = {
+        names[i]: float(concordance[i].sum() - concordance[:, i].sum())
+        for i in range(n)
+    }
+    return ElectreResult(
+        alternatives=tuple(names),
+        outranks=frozenset(outranks),
+        kernel=kernel,
+        net_flow=net_flow,
+    )

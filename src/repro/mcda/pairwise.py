@@ -1,0 +1,203 @@
+"""Pairwise comparison matrices (the judgment artifact of AHP).
+
+Experts express "how much more important is criterion A than criterion B"
+on Saaty's 1-9 scale; a full set of such judgments over n items forms a
+positive reciprocal matrix.  This module implements the matrix itself, the
+two classical priority-extraction methods (principal eigenvector, geometric
+mean) and Saaty's consistency index/ratio.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InconsistentJudgmentError
+
+__all__ = [
+    "SAATY_VALUES",
+    "snap_to_saaty",
+    "random_index",
+    "PairwiseComparisonMatrix",
+]
+
+#: Admissible judgment values: 1..9 and their reciprocals.
+SAATY_VALUES: tuple[float, ...] = tuple(
+    sorted({float(k) for k in range(1, 10)} | {1.0 / k for k in range(1, 10)})
+)
+
+#: Saaty's random consistency index by matrix order (0- and 1-based entries
+#: are zero by convention).  Values for n <= 15 are the standard table;
+#: larger orders saturate near 1.6.
+_RANDOM_INDEX = (
+    0.0, 0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41,
+    1.45, 1.49, 1.51, 1.54, 1.56, 1.57, 1.59,
+)
+
+
+def random_index(n: int) -> float:
+    """Saaty's random index RI(n)."""
+    if n < 1:
+        raise ConfigurationError(f"matrix order {n} must be >= 1")
+    if n < len(_RANDOM_INDEX):
+        return _RANDOM_INDEX[n]
+    return 1.6
+
+
+def snap_to_saaty(ratio: float) -> float:
+    """Map an arbitrary positive ratio to the nearest Saaty judgment.
+
+    Snapping happens in log space so 3 and 1/3 are symmetric choices around
+    indifference; this is how the simulated experts discretize their latent
+    preferences.
+    """
+    if ratio <= 0 or not np.isfinite(ratio):
+        raise ConfigurationError(f"judgment ratio {ratio} must be positive and finite")
+    log_ratio = np.log(ratio)
+    best = min(SAATY_VALUES, key=lambda v: abs(np.log(v) - log_ratio))
+    return best
+
+
+@dataclass(frozen=True)
+class PairwiseComparisonMatrix:
+    """A positive reciprocal judgment matrix over labelled items."""
+
+    labels: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if len(set(self.labels)) != n:
+            raise ConfigurationError("duplicate labels in pairwise matrix")
+        matrix = np.asarray(self.values, dtype=float)
+        if matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"matrix shape {matrix.shape} does not match {n} labels"
+            )
+        if not np.all(np.isfinite(matrix)) or np.any(matrix <= 0):
+            raise ConfigurationError("judgments must be positive finite numbers")
+        if not np.allclose(np.diag(matrix), 1.0):
+            raise ConfigurationError("diagonal of a judgment matrix must be 1")
+        if not np.allclose(matrix * matrix.T, 1.0, rtol=1e-6, atol=1e-9):
+            raise ConfigurationError("matrix is not reciprocal (a_ij * a_ji != 1)")
+        object.__setattr__(self, "values", matrix)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_weights(
+        cls, labels: Sequence[str], weights: Sequence[float]
+    ) -> "PairwiseComparisonMatrix":
+        """Perfectly consistent matrix encoding ``weights`` (a_ij = w_i / w_j)."""
+        if len(labels) != len(weights):
+            raise ConfigurationError("labels and weights must have equal length")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w <= 0):
+            raise ConfigurationError("weights must be positive to form ratios")
+        matrix = w[:, None] / w[None, :]
+        return cls(labels=tuple(labels), values=matrix)
+
+    @classmethod
+    def from_judgments(
+        cls,
+        labels: Sequence[str],
+        judgments: Mapping[tuple[str, str], float],
+    ) -> "PairwiseComparisonMatrix":
+        """Build from upper-triangle judgments; reciprocals are filled in.
+
+        ``judgments[(a, b)] = 3`` means "a is moderately more important than
+        b".  Every unordered pair must be judged exactly once.
+        """
+        labels = tuple(labels)
+        index = {label: i for i, label in enumerate(labels)}
+        n = len(labels)
+        matrix = np.eye(n)
+        seen: set[frozenset[str]] = set()
+        for (a, b), value in judgments.items():
+            if a not in index or b not in index:
+                raise ConfigurationError(f"judgment over unknown labels ({a!r}, {b!r})")
+            if a == b:
+                raise ConfigurationError(f"self-judgment for {a!r}")
+            pair = frozenset((a, b))
+            if pair in seen:
+                raise ConfigurationError(f"pair ({a!r}, {b!r}) judged twice")
+            seen.add(pair)
+            if value <= 0 or not np.isfinite(value):
+                raise ConfigurationError(f"judgment {value} for ({a!r}, {b!r}) invalid")
+            matrix[index[a], index[b]] = value
+            matrix[index[b], index[a]] = 1.0 / value
+        expected = n * (n - 1) // 2
+        if len(seen) != expected:
+            raise ConfigurationError(
+                f"incomplete judgments: got {len(seen)} pairs, need {expected}"
+            )
+        return cls(labels=labels, values=matrix)
+
+    # ------------------------------------------------------------------
+    # Priorities
+    # ------------------------------------------------------------------
+    def priorities(self, method: str = "eigenvector") -> dict[str, float]:
+        """Priority weights (sum to one) extracted from the judgments."""
+        if method == "eigenvector":
+            vector = self._principal_eigenvector()
+        elif method == "geometric":
+            logs = np.log(self.values)
+            vector = np.exp(logs.mean(axis=1))
+            vector = vector / vector.sum()
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}; use 'eigenvector' or 'geometric'"
+            )
+        return dict(zip(self.labels, (float(v) for v in vector)))
+
+    def _principal_eigenvector(self, max_iterations: int = 500, tol: float = 1e-12) -> np.ndarray:
+        """Power iteration; positive matrices converge by Perron-Frobenius."""
+        n = len(self.labels)
+        vector = np.full(n, 1.0 / n)
+        for _ in range(max_iterations):
+            nxt = self.values @ vector
+            nxt = nxt / nxt.sum()
+            if np.max(np.abs(nxt - vector)) < tol:
+                vector = nxt
+                break
+            vector = nxt
+        return vector
+
+    @property
+    def lambda_max(self) -> float:
+        """Principal eigenvalue estimate."""
+        vector = self._principal_eigenvector()
+        ratios = (self.values @ vector) / vector
+        return float(ratios.mean())
+
+    @property
+    def consistency_index(self) -> float:
+        """CI = (lambda_max - n) / (n - 1); zero for consistent matrices."""
+        n = len(self.labels)
+        if n <= 2:
+            return 0.0
+        return (self.lambda_max - n) / (n - 1)
+
+    @property
+    def consistency_ratio(self) -> float:
+        """CR = CI / RI; Saaty's acceptability threshold is 0.1."""
+        n = len(self.labels)
+        ri = random_index(n)
+        if ri == 0.0:
+            return 0.0
+        return self.consistency_index / ri
+
+    def require_consistency(self, threshold: float = 0.1) -> None:
+        """Raise :class:`InconsistentJudgmentError` when CR exceeds ``threshold``."""
+        cr = self.consistency_ratio
+        if cr > threshold:
+            raise InconsistentJudgmentError(
+                f"consistency ratio {cr:.3f} exceeds threshold {threshold} "
+                f"for matrix over {list(self.labels)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)

@@ -1,0 +1,137 @@
+"""PROMETHEE II — pairwise-preference MCDA with net outranking flows.
+
+The fourth methodological family in the cross-check suite: where AHP/SAW
+aggregate *scores*, TOPSIS aggregates *distances* and ELECTRE tests
+*vetoes*, PROMETHEE aggregates *pairwise preference intensities*.  Each
+criterion gets a preference function turning a score difference into a
+preference degree in [0, 1]; the weighted mean over criteria gives the
+preference index of one alternative over another, and the net flow (how
+strongly an alternative is preferred minus how strongly others are
+preferred over it) yields a complete ranking.
+
+Two classical preference shapes are provided: ``usual`` (any positive
+difference counts fully — Type I) and ``linear`` (preference grows linearly
+up to a full-preference threshold — Type III), which is the default because
+benchmark property scores are continuous.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PrometheeResult", "promethee_ii"]
+
+
+@dataclass(frozen=True)
+class PrometheeResult:
+    """Outcome of a PROMETHEE II run."""
+
+    positive_flow: dict[str, float]
+    """How strongly each alternative is preferred over the rest."""
+    negative_flow: dict[str, float]
+    """How strongly the rest are preferred over each alternative."""
+
+    @property
+    def net_flow(self) -> dict[str, float]:
+        """Positive minus negative flow (the PROMETHEE II ranking score)."""
+        return {
+            name: self.positive_flow[name] - self.negative_flow[name]
+            for name in self.positive_flow
+        }
+
+    @property
+    def ranking(self) -> list[str]:
+        """Alternatives by net flow, best first (ties broken by name)."""
+        flows = self.net_flow
+        return [
+            name for name, _ in sorted(flows.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    @property
+    def best(self) -> str:
+        """The winning alternative."""
+        return self.ranking[0]
+
+
+def promethee_ii(
+    alternatives: Sequence[str],
+    criteria_scores: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+    preference: str = "linear",
+    full_preference_fraction: float = 0.25,
+) -> PrometheeResult:
+    """Rank ``alternatives`` by PROMETHEE II net flows.
+
+    All criteria are benefit-type (higher is better).  With
+    ``preference="linear"``, a score advantage of
+    ``full_preference_fraction`` of the criterion's observed range earns
+    full preference; smaller advantages earn proportionally less.  With
+    ``preference="usual"``, any advantage earns full preference.
+    """
+    if not alternatives:
+        raise ConfigurationError("no alternatives to rank")
+    if len(set(alternatives)) != len(alternatives):
+        raise ConfigurationError("duplicate alternatives")
+    if set(weights) != set(criteria_scores):
+        raise ConfigurationError("weights and criteria_scores must cover the same criteria")
+    if preference not in ("usual", "linear"):
+        raise ConfigurationError(
+            f"preference={preference!r} must be 'usual' or 'linear'"
+        )
+    if not 0.0 < full_preference_fraction <= 1.0:
+        raise ConfigurationError(
+            f"full_preference_fraction={full_preference_fraction} must be in (0, 1]"
+        )
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ConfigurationError("weights must sum to a positive number")
+    if any(w < 0 for w in weights.values()):
+        raise ConfigurationError("weights must be non-negative")
+
+    names = list(alternatives)
+    criteria = list(criteria_scores)
+    matrix = np.zeros((len(names), len(criteria)))
+    for j, criterion in enumerate(criteria):
+        column = criteria_scores[criterion]
+        missing = [a for a in names if a not in column]
+        if missing:
+            raise ConfigurationError(f"criterion {criterion!r} lacks scores for {missing}")
+        matrix[:, j] = [column[a] for a in names]
+
+    ranges = matrix.max(axis=0) - matrix.min(axis=0)
+    thresholds = ranges * full_preference_fraction
+    normalized_weights = np.array([weights[c] / total_weight for c in criteria])
+
+    n = len(names)
+    if n == 1:
+        return PrometheeResult(
+            positive_flow={names[0]: 0.0}, negative_flow={names[0]: 0.0}
+        )
+
+    preference_index = np.zeros((n, n))
+    for i in range(n):
+        for k in range(n):
+            if i == k:
+                continue
+            differences = matrix[i] - matrix[k]
+            if preference == "usual":
+                degrees = (differences > 0).astype(float)
+            else:
+                degrees = np.zeros(len(criteria))
+                for j, threshold in enumerate(thresholds):
+                    if differences[j] <= 0:
+                        continue
+                    if threshold == 0:
+                        degrees[j] = 1.0
+                    else:
+                        degrees[j] = min(1.0, differences[j] / threshold)
+            preference_index[i, k] = float((normalized_weights * degrees).sum())
+
+    positive = {names[i]: float(preference_index[i].sum()) / (n - 1) for i in range(n)}
+    negative = {names[i]: float(preference_index[:, i].sum()) / (n - 1) for i in range(n)}
+    return PrometheeResult(positive_flow=positive, negative_flow=negative)

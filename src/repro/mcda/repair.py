@@ -1,0 +1,112 @@
+"""Consistency repair for pairwise judgment matrices.
+
+Real expert panels routinely produce matrices with CR > 0.1, and sending a
+questionnaire back costs a meeting.  Standard AHP practice instead *repairs*
+the judgments minimally: blend the matrix, in log space, toward its own
+implied consistent form (the ratio matrix of its geometric-mean priorities)
+just far enough to pass Saaty's threshold.  Log-space blending preserves
+reciprocity exactly and keeps the repaired judgments as close to the
+originals as the target allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mcda.pairwise import PairwiseComparisonMatrix, snap_to_saaty
+
+__all__ = ["RepairResult", "repair_matrix", "blend_toward_consistency"]
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of a consistency repair."""
+
+    original: PairwiseComparisonMatrix
+    repaired: PairwiseComparisonMatrix
+    alpha: float
+    """Blend strength used: 0 = untouched, 1 = fully consistent."""
+
+    @property
+    def was_needed(self) -> bool:
+        """Whether any blending happened at all."""
+        return self.alpha > 0.0
+
+    @property
+    def max_judgment_shift(self) -> float:
+        """Largest multiplicative change applied to any judgment."""
+        ratio = self.repaired.values / self.original.values
+        return float(np.exp(np.abs(np.log(ratio)).max()))
+
+
+def blend_toward_consistency(
+    matrix: PairwiseComparisonMatrix, alpha: float
+) -> PairwiseComparisonMatrix:
+    """Blend ``matrix`` toward its implied consistent form.
+
+    With priorities ``w`` (geometric-mean method), the implied consistent
+    matrix is ``W[i,j] = w_i / w_j``; the blend is
+    ``exp((1-alpha) log M + alpha log W)``.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha={alpha} must be in [0, 1]")
+    priorities = matrix.priorities("geometric")
+    weights = np.array([priorities[label] for label in matrix.labels])
+    consistent = weights[:, None] / weights[None, :]
+    blended = np.exp(
+        (1.0 - alpha) * np.log(matrix.values) + alpha * np.log(consistent)
+    )
+    # Re-impose exact reciprocity against float drift.
+    n = len(matrix.labels)
+    for i in range(n):
+        blended[i, i] = 1.0
+        for j in range(i + 1, n):
+            blended[j, i] = 1.0 / blended[i, j]
+    return PairwiseComparisonMatrix(labels=matrix.labels, values=blended)
+
+
+def repair_matrix(
+    matrix: PairwiseComparisonMatrix,
+    threshold: float = 0.1,
+    step: float = 0.05,
+    snap: bool = False,
+) -> RepairResult:
+    """Return the least-blended matrix with CR <= ``threshold``.
+
+    ``alpha`` grows from 0 in increments of ``step`` until the consistency
+    ratio passes; ``alpha = 1`` (fully consistent) always terminates the
+    search.  With ``snap=True`` the repaired judgments are re-discretized to
+    the Saaty scale — if snapping pushes CR back over the threshold, the
+    search continues from the next alpha.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold={threshold} must be positive")
+    if not 0.0 < step <= 1.0:
+        raise ConfigurationError(f"step={step} must be in (0, 1]")
+
+    alpha = 0.0
+    while True:
+        candidate = blend_toward_consistency(matrix, alpha)
+        if snap:
+            candidate = _snap(candidate)
+        if candidate.consistency_ratio <= threshold:
+            return RepairResult(original=matrix, repaired=candidate, alpha=alpha)
+        if alpha >= 1.0:
+            # Fully consistent but snapping re-broke it: return unsnapped.
+            candidate = blend_toward_consistency(matrix, 1.0)
+            return RepairResult(original=matrix, repaired=candidate, alpha=1.0)
+        alpha = min(1.0, alpha + step)
+
+
+def _snap(matrix: PairwiseComparisonMatrix) -> PairwiseComparisonMatrix:
+    n = len(matrix.labels)
+    snapped = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = snap_to_saaty(float(matrix.values[i, j]))
+            snapped[i, j] = value
+            snapped[j, i] = 1.0 / value
+    return PairwiseComparisonMatrix(labels=matrix.labels, values=snapped)

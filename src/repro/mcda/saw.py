@@ -1,0 +1,92 @@
+"""Simple Additive Weighting (SAW) — the baseline MCDA method.
+
+SAW normalizes each criterion's scores over the alternatives and takes the
+weighted sum.  It is the transparent cross-check next to AHP: when both
+methods agree on a scenario's best metric, the conclusion does not hinge on
+MCDA machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SawResult", "simple_additive_weighting"]
+
+
+@dataclass(frozen=True)
+class SawResult:
+    """Outcome of a SAW run."""
+
+    scores: dict[str, float]
+    weights: dict[str, float]
+
+    @property
+    def ranking(self) -> list[str]:
+        """Alternatives, best first (ties broken by name)."""
+        return [
+            name
+            for name, _ in sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    @property
+    def best(self) -> str:
+        """The winning alternative."""
+        return self.ranking[0]
+
+
+def _normalize_column(values: Sequence[float]) -> list[float]:
+    """Min-max normalize to [0, 1]; a constant column normalizes to all-ones
+    (it cannot differentiate alternatives, so it should not penalize any)."""
+    low, high = min(values), max(values)
+    if high == low:
+        return [1.0] * len(values)
+    return [(v - low) / (high - low) for v in values]
+
+
+def simple_additive_weighting(
+    alternatives: Sequence[str],
+    criteria_scores: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+    normalize: str = "minmax",
+) -> SawResult:
+    """Rank ``alternatives`` by the weighted sum of normalized scores.
+
+    ``criteria_scores[criterion][alternative]`` are benefit-type scores
+    (higher is better).  ``weights`` are normalized internally.
+    ``normalize`` selects the column treatment: ``"minmax"`` (the classical
+    SAW rescale) or ``"none"`` (use scores as-is — required when the scores
+    are already commensurate, e.g. AHP local priorities, and the weighted
+    sum must equal the AHP composition).
+    """
+    if normalize not in ("minmax", "none"):
+        raise ConfigurationError(
+            f"normalize={normalize!r} must be 'minmax' or 'none'"
+        )
+    if not alternatives:
+        raise ConfigurationError("no alternatives to rank")
+    if set(weights) != set(criteria_scores):
+        raise ConfigurationError(
+            "weights and criteria_scores must cover the same criteria"
+        )
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ConfigurationError("weights must sum to a positive number")
+    if any(w < 0 for w in weights.values()):
+        raise ConfigurationError("weights must be non-negative")
+
+    totals = {alternative: 0.0 for alternative in alternatives}
+    for criterion, weight in weights.items():
+        column = criteria_scores[criterion]
+        missing = [a for a in alternatives if a not in column]
+        if missing:
+            raise ConfigurationError(
+                f"criterion {criterion!r} lacks scores for {missing}"
+            )
+        raw = [column[a] for a in alternatives]
+        normalized = _normalize_column(raw) if normalize == "minmax" else raw
+        for alternative, value in zip(alternatives, normalized):
+            totals[alternative] += (weight / total_weight) * value
+    return SawResult(scores=totals, weights={k: v / total_weight for k, v in weights.items()})

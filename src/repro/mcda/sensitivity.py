@@ -1,0 +1,119 @@
+"""Sensitivity analysis of the MCDA conclusion (experiment R10).
+
+An MCDA ranking is only as trustworthy as it is stable: if nudging one
+criterion's weight by a few percent flips the winner, the experts' exact
+numbers matter more than their direction and the conclusion is fragile.
+This module perturbs one criterion weight at a time (re-normalizing the
+rest), re-runs the additive synthesis, and reports where the ranking starts
+to move.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mcda.saw import simple_additive_weighting
+from repro.stats.rank import kendall_tau
+
+__all__ = ["PerturbationOutcome", "SensitivityReport", "weight_sensitivity"]
+
+
+@dataclass(frozen=True, slots=True)
+class PerturbationOutcome:
+    """Result of scaling one criterion's weight by one factor."""
+
+    criterion: str
+    factor: float
+    best: str
+    best_changed: bool
+    tau_vs_baseline: float
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """All perturbation outcomes plus per-criterion stability summaries."""
+
+    baseline_best: str
+    baseline_ranking: tuple[str, ...]
+    outcomes: tuple[PerturbationOutcome, ...]
+
+    def outcomes_for(self, criterion: str) -> list[PerturbationOutcome]:
+        """Perturbation outcomes of one criterion, ordered by factor."""
+        rows = [o for o in self.outcomes if o.criterion == criterion]
+        if not rows:
+            raise ConfigurationError(f"no outcomes for criterion {criterion!r}")
+        return sorted(rows, key=lambda o: o.factor)
+
+    def stability(self, criterion: str) -> float:
+        """Fraction of perturbations of ``criterion`` preserving the winner."""
+        rows = self.outcomes_for(criterion)
+        return sum(1 for o in rows if not o.best_changed) / len(rows)
+
+    def reversal_factor(self, criterion: str) -> float | None:
+        """The perturbation factor closest to 1 that flips the winner.
+
+        ``None`` when no tested factor flips it (the conclusion is stable
+        over the whole tested band for this criterion).
+        """
+        flips = [o.factor for o in self.outcomes_for(criterion) if o.best_changed]
+        if not flips:
+            return None
+        return min(flips, key=lambda f: abs(math.log(f)))
+
+    @property
+    def overall_stability(self) -> float:
+        """Fraction of all perturbations preserving the winner."""
+        if not self.outcomes:
+            return 1.0
+        return sum(1 for o in self.outcomes if not o.best_changed) / len(self.outcomes)
+
+
+def weight_sensitivity(
+    alternatives: Sequence[str],
+    criteria_scores: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+    factors: Sequence[float] = (0.5, 0.7, 0.85, 1.15, 1.3, 1.5, 2.0),
+    normalize: str = "minmax",
+) -> SensitivityReport:
+    """Perturb each criterion weight by each factor and re-rank.
+
+    The synthesis model is the additive one (SAW over the same criterion
+    scores AHP aggregates), which makes the analysis method-agnostic in the
+    sense that any weighted-additive MCDA inherits its conclusions.  Pass
+    ``normalize="none"`` when ``criteria_scores`` are already commensurate
+    (e.g. AHP local priorities), so the unperturbed baseline reproduces the
+    AHP composition exactly.
+    """
+    if any(f <= 0 for f in factors):
+        raise ConfigurationError("perturbation factors must be positive")
+    baseline = simple_additive_weighting(
+        alternatives, criteria_scores, weights, normalize=normalize
+    )
+    baseline_scores = [baseline.scores[a] for a in alternatives]
+
+    outcomes: list[PerturbationOutcome] = []
+    for criterion in weights:
+        for factor in factors:
+            perturbed = dict(weights)
+            perturbed[criterion] = weights[criterion] * factor
+            result = simple_additive_weighting(
+                alternatives, criteria_scores, perturbed, normalize=normalize
+            )
+            scores = [result.scores[a] for a in alternatives]
+            outcomes.append(
+                PerturbationOutcome(
+                    criterion=criterion,
+                    factor=factor,
+                    best=result.best,
+                    best_changed=result.best != baseline.best,
+                    tau_vs_baseline=kendall_tau(baseline_scores, scores),
+                )
+            )
+    return SensitivityReport(
+        baseline_best=baseline.best,
+        baseline_ranking=tuple(baseline.ranking),
+        outcomes=tuple(outcomes),
+    )

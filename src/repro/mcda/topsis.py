@@ -1,0 +1,87 @@
+"""TOPSIS — Technique for Order of Preference by Similarity to Ideal Solution.
+
+The second cross-validation method: alternatives are ranked by relative
+closeness to the ideal (best value on every criterion) versus the anti-ideal.
+Agreement between AHP, SAW and TOPSIS on a scenario's winner is the
+reproduction's analogue of the paper's "the MCDA validation confirms the
+analytical selection".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TopsisResult", "topsis"]
+
+
+@dataclass(frozen=True)
+class TopsisResult:
+    """Outcome of a TOPSIS run: closeness coefficients in [0, 1]."""
+
+    closeness: dict[str, float]
+
+    @property
+    def ranking(self) -> list[str]:
+        """Alternatives, best first (ties broken by name)."""
+        return [
+            name
+            for name, _ in sorted(self.closeness.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    @property
+    def best(self) -> str:
+        """The winning alternative."""
+        return self.ranking[0]
+
+
+def topsis(
+    alternatives: Sequence[str],
+    criteria_scores: Mapping[str, Mapping[str, float]],
+    weights: Mapping[str, float],
+) -> TopsisResult:
+    """Rank ``alternatives`` by closeness to the ideal solution.
+
+    All criteria are treated as benefit-type (higher is better), matching the
+    property scores of this library.  Columns are vector-normalized; a
+    constant column contributes nothing to the separation measures, as it
+    should.
+    """
+    if not alternatives:
+        raise ConfigurationError("no alternatives to rank")
+    if set(weights) != set(criteria_scores):
+        raise ConfigurationError("weights and criteria_scores must cover the same criteria")
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ConfigurationError("weights must sum to a positive number")
+    if any(w < 0 for w in weights.values()):
+        raise ConfigurationError("weights must be non-negative")
+
+    criteria = list(criteria_scores)
+    matrix = np.zeros((len(alternatives), len(criteria)))
+    for j, criterion in enumerate(criteria):
+        column = criteria_scores[criterion]
+        missing = [a for a in alternatives if a not in column]
+        if missing:
+            raise ConfigurationError(f"criterion {criterion!r} lacks scores for {missing}")
+        matrix[:, j] = [column[a] for a in alternatives]
+
+    norms = np.linalg.norm(matrix, axis=0)
+    norms[norms == 0] = 1.0
+    normalized = matrix / norms
+    weight_vector = np.array([weights[c] / total_weight for c in criteria])
+    weighted = normalized * weight_vector
+
+    ideal = weighted.max(axis=0)
+    anti_ideal = weighted.min(axis=0)
+    distance_ideal = np.linalg.norm(weighted - ideal, axis=1)
+    distance_anti = np.linalg.norm(weighted - anti_ideal, axis=1)
+    denominator = distance_ideal + distance_anti
+    # An alternative equal to both extremes (all columns constant) is 0/0;
+    # define its closeness as 0.5 (indifference).
+    closeness = np.where(denominator > 0, distance_anti / np.maximum(denominator, 1e-30), 0.5)
+    return TopsisResult(closeness=dict(zip(alternatives, (float(c) for c in closeness))))

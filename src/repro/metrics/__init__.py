@@ -1,0 +1,26 @@
+"""Candidate metrics for benchmarking vulnerability detection tools.
+
+Public surface:
+
+- :class:`ConfusionMatrix` — the raw benchmark outcome.
+- :class:`Metric` and its catalog in :mod:`repro.metrics.definitions`.
+- :class:`MetricRegistry`, :func:`default_registry`, :func:`core_candidates`.
+"""
+
+from repro.metrics import curves, definitions
+from repro.metrics.base import Metric, MetricFamily, MetricInfo, Orientation
+from repro.metrics.confusion import ConfusionMatrix
+from repro.metrics.registry import MetricRegistry, core_candidates, default_registry
+
+__all__ = [
+    "ConfusionMatrix",
+    "Metric",
+    "MetricFamily",
+    "MetricInfo",
+    "Orientation",
+    "MetricRegistry",
+    "default_registry",
+    "core_candidates",
+    "definitions",
+    "curves",
+]

@@ -1,0 +1,130 @@
+"""Metric abstraction.
+
+A *metric* is a scalar summary of a confusion matrix used to compare
+vulnerability detection tools.  The paper gathers a large set of candidate
+metrics and analyzes them; this module defines the common interface so the
+properties framework, the scenario analysis and the MCDA validation can treat
+every candidate uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import UndefinedMetricError
+from repro.metrics.confusion import ConfusionMatrix
+
+__all__ = ["Metric", "MetricFamily", "Orientation", "MetricInfo"]
+
+
+class MetricFamily(enum.Enum):
+    """Coarse grouping of candidate metrics, used in the catalog table."""
+
+    SENSITIVITY = "sensitivity"  # how much of the truth is found (recall family)
+    EXACTNESS = "exactness"  # how trustworthy the reports are (precision family)
+    ERROR_RATE = "error rate"  # direct error frequencies (FPR, FNR, FDR, FOR)
+    COMPOSITE = "composite"  # combine both error types (F, MCC, J, kappa, ...)
+    LIKELIHOOD = "likelihood"  # odds/likelihood ratios (DOR, LR+, LR-)
+    COST = "cost"  # explicit misclassification-cost models
+
+
+class Orientation(enum.Enum):
+    """Whether larger metric values mean a better tool."""
+
+    HIGHER_IS_BETTER = "higher"
+    LOWER_IS_BETTER = "lower"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricInfo:
+    """Static catalog entry for a metric (the row of the catalog table)."""
+
+    name: str
+    symbol: str
+    formula: str
+    family: MetricFamily
+    orientation: Orientation
+    lower_bound: float
+    upper_bound: float
+    chance_corrected: bool
+    uses_tn: bool
+    popularity: float
+    """How commonly the metric appears in vulnerability-detection
+    benchmarking literature, in [0, 1].  Curated, not computed; sources are
+    the surveys cited by the paper."""
+
+
+class Metric(ABC):
+    """A scalar function of a :class:`ConfusionMatrix`.
+
+    Subclasses implement :meth:`_compute` for the defined region and declare
+    their catalog metadata through :attr:`info`.  Undefined inputs (for
+    example precision of a tool that reported nothing) raise
+    :class:`~repro.errors.UndefinedMetricError` from :meth:`compute`;
+    :meth:`value_or_nan` converts that to ``nan`` for vectorized studies.
+    """
+
+    info: MetricInfo
+
+    @property
+    def name(self) -> str:
+        """Human-readable metric name."""
+        return self.info.name
+
+    @property
+    def symbol(self) -> str:
+        """Short symbol used in table headers."""
+        return self.info.symbol
+
+    @abstractmethod
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        """Compute the raw value; may return ``nan`` for undefined inputs."""
+
+    def compute(self, cm: ConfusionMatrix) -> float:
+        """Return the metric value, raising if it is undefined for ``cm``."""
+        value = self._compute(cm)
+        if math.isnan(value):
+            raise UndefinedMetricError(
+                f"{self.name} is undefined for {cm}"
+            )
+        return value
+
+    def value_or_nan(self, cm: ConfusionMatrix) -> float:
+        """Return the metric value, or ``nan`` where it is undefined."""
+        return self._compute(cm)
+
+    def is_defined(self, cm: ConfusionMatrix) -> bool:
+        """Whether the metric has a finite value for ``cm``."""
+        return math.isfinite(self._compute(cm))
+
+    def goodness(self, cm: ConfusionMatrix) -> float:
+        """Return a value where *larger always means better*.
+
+        Lower-is-better metrics are negated so ranking code can sort all
+        metrics the same way.  ``nan`` propagates.
+        """
+        value = self._compute(cm)
+        if self.info.orientation is Orientation.LOWER_IS_BETTER:
+            return -value
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Metric {self.symbol}: {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Metric):
+            return NotImplemented
+        return self.info == other.info
+
+    def __hash__(self) -> int:
+        return hash(self.info)
+
+
+def safe_div(numerator: float, denominator: float) -> float:
+    """Division that yields ``nan`` instead of raising on a zero denominator."""
+    if denominator == 0:
+        return float("nan")
+    return numerator / denominator

@@ -1,0 +1,215 @@
+"""The confusion matrix — the raw material of every candidate metric.
+
+A vulnerability detection benchmark runs a tool over a workload whose ground
+truth is known and classifies every *analysis site* (a potentially vulnerable
+location, e.g. a sink in a code unit) into one of four buckets:
+
+===============  ====================================================
+``tp``           vulnerable site correctly reported by the tool
+``fp``           safe site wrongly reported (false alarm)
+``fn``           vulnerable site the tool missed
+``tn``           safe site the tool correctly stayed silent about
+===============  ====================================================
+
+Every metric studied in the paper is a function of these four counts, so the
+:class:`ConfusionMatrix` is the single interchange type between the workload
+/tool layer and the metrics layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import rng_from_seed
+from repro.errors import ConfigurationError
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfusionMatrix:
+    """Immutable 2x2 confusion matrix over analysis sites.
+
+    Counts are non-negative integers (floats are accepted for *expected*
+    matrices produced analytically, e.g. when sweeping prevalence, and are
+    validated to be non-negative).
+    """
+
+    tp: float
+    fp: float
+    fn: float
+    tn: float
+
+    def __post_init__(self) -> None:
+        for field in ("tp", "fp", "fn", "tn"):
+            value = getattr(self, field)
+            if not np.isfinite(value) or value < 0:
+                raise ConfigurationError(
+                    f"confusion matrix count {field}={value!r} must be finite and >= 0"
+                )
+        if self.total == 0:
+            raise ConfigurationError("confusion matrix must contain at least one site")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_outcomes(
+        cls, truth: Sequence[bool] | Iterable[bool], predicted: Sequence[bool] | Iterable[bool]
+    ) -> "ConfusionMatrix":
+        """Build a matrix from aligned per-site ground truth and predictions."""
+        truth = list(truth)
+        predicted = list(predicted)
+        if len(truth) != len(predicted):
+            raise ConfigurationError(
+                f"truth ({len(truth)}) and predicted ({len(predicted)}) differ in length"
+            )
+        tp = sum(1 for t, p in zip(truth, predicted) if t and p)
+        fp = sum(1 for t, p in zip(truth, predicted) if not t and p)
+        fn = sum(1 for t, p in zip(truth, predicted) if t and not p)
+        tn = sum(1 for t, p in zip(truth, predicted) if not t and not p)
+        return cls(tp=tp, fp=fp, fn=fn, tn=tn)
+
+    @classmethod
+    def from_rates(
+        cls, tpr: float, fpr: float, positives: float, negatives: float
+    ) -> "ConfusionMatrix":
+        """Build the *expected* matrix of a tool with the given operating point.
+
+        ``tpr`` is the true-positive rate (recall), ``fpr`` the false-positive
+        rate, applied to ``positives`` vulnerable and ``negatives`` safe
+        sites.  Used by analytical studies (prevalence sweeps, property
+        checks) where integer realizations would only add noise.
+        """
+        if not 0.0 <= tpr <= 1.0:
+            raise ConfigurationError(f"tpr={tpr} must be in [0, 1]")
+        if not 0.0 <= fpr <= 1.0:
+            raise ConfigurationError(f"fpr={fpr} must be in [0, 1]")
+        if positives < 0 or negatives < 0:
+            raise ConfigurationError("positives and negatives must be >= 0")
+        return cls(
+            tp=tpr * positives,
+            fn=(1.0 - tpr) * positives,
+            fp=fpr * negatives,
+            tn=(1.0 - fpr) * negatives,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total number of analysis sites."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def positives(self) -> float:
+        """Number of truly vulnerable sites (condition positive)."""
+        return self.tp + self.fn
+
+    @property
+    def negatives(self) -> float:
+        """Number of truly safe sites (condition negative)."""
+        return self.fp + self.tn
+
+    @property
+    def predicted_positives(self) -> float:
+        """Number of sites the tool reported."""
+        return self.tp + self.fp
+
+    @property
+    def predicted_negatives(self) -> float:
+        """Number of sites the tool stayed silent about."""
+        return self.fn + self.tn
+
+    @property
+    def prevalence(self) -> float:
+        """Fraction of sites that are truly vulnerable."""
+        return self.positives / self.total
+
+    # ------------------------------------------------------------------
+    # Rates (building blocks reused by the metric definitions)
+    # ------------------------------------------------------------------
+    @property
+    def tpr(self) -> float:
+        """True-positive rate (recall); ``nan`` when there are no positives."""
+        return self.tp / self.positives if self.positives else float("nan")
+
+    @property
+    def fpr(self) -> float:
+        """False-positive rate; ``nan`` when there are no negatives."""
+        return self.fp / self.negatives if self.negatives else float("nan")
+
+    @property
+    def tnr(self) -> float:
+        """True-negative rate (specificity); ``nan`` without negatives."""
+        return self.tn / self.negatives if self.negatives else float("nan")
+
+    @property
+    def fnr(self) -> float:
+        """False-negative rate; ``nan`` when there are no positives."""
+        return self.fn / self.positives if self.positives else float("nan")
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        if not isinstance(other, ConfusionMatrix):
+            return NotImplemented
+        return ConfusionMatrix(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+    def with_prevalence(self, prevalence: float, total: float | None = None) -> "ConfusionMatrix":
+        """Return the expected matrix of the same tool at another prevalence.
+
+        The tool's intrinsic operating point (``tpr``, ``fpr``) is held fixed
+        while the class balance of the workload changes.  This is the core
+        manoeuvre behind the paper's argument that prevalence-dependent
+        metrics (accuracy, precision) can mislead: the tool has not changed,
+        only the workload mix.
+        """
+        if not 0.0 < prevalence < 1.0:
+            raise ConfigurationError(f"prevalence={prevalence} must be in (0, 1)")
+        if self.positives == 0 or self.negatives == 0:
+            raise ConfigurationError(
+                "cannot rebalance a matrix with no positives or no negatives: "
+                "the tool's operating point is not identified"
+            )
+        n = self.total if total is None else float(total)
+        positives = prevalence * n
+        negatives = (1.0 - prevalence) * n
+        return ConfusionMatrix.from_rates(self.tpr, self.fpr, positives, negatives)
+
+    def resample(self, seed: int | np.random.Generator) -> "ConfusionMatrix":
+        """Bootstrap-resample the matrix (multinomial over the four cells).
+
+        Used by the discrimination/repeatability studies to simulate re-runs
+        of the benchmark over equally-sized workloads drawn from the same
+        population.  Counts must be (near-)integers.
+        """
+        rng = rng_from_seed(seed)
+        counts = np.array([self.tp, self.fp, self.fn, self.tn], dtype=float)
+        n = int(round(counts.sum()))
+        probabilities = counts / counts.sum()
+        tp, fp, fn, tn = rng.multinomial(n, probabilities)
+        # A degenerate resample (all four cells could collapse only if n == 0,
+        # which __post_init__ forbids) is impossible, but a resample can lose
+        # all positives; metrics handle that via their undefined policy.
+        return ConfusionMatrix(tp=float(tp), fp=float(fp), fn=float(fn), tn=float(tn))
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(tp, fp, fn, tn)``."""
+        return (self.tp, self.fp, self.fn, self.tn)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConfusionMatrix(tp={self.tp:g}, fp={self.fp:g}, "
+            f"fn={self.fn:g}, tn={self.tn:g})"
+        )

@@ -1,0 +1,144 @@
+"""Threshold-free ranking metrics: ROC and precision-recall analysis.
+
+Fixed-threshold metrics judge a tool's *report*; ranking metrics judge its
+*confidence ordering* — how well the tool separates vulnerable from safe
+sites before any cut-off is chosen.  AUC-ROC and average precision are the
+"seldom used in benchmarking" candidates from this family: they sidestep the
+threshold choice entirely, at the price of requiring tools to expose
+confidences and readers to understand ranking semantics.
+
+Scoring convention: every analysis site gets the confidence the tool
+attached to it, and sites the tool did not flag score 0 (below every real
+report).  Ties move between confusion cells together, which produces the
+standard tie-aware ROC (diagonal segments) and matches the probabilistic
+interpretation of AUC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tools.base import DetectionReport
+from repro.workload.ground_truth import GroundTruth
+
+__all__ = [
+    "ScoredSite",
+    "score_sites",
+    "roc_points",
+    "auc_roc",
+    "pr_points",
+    "average_precision",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredSite:
+    """One analysis site with the tool's confidence and the oracle verdict."""
+
+    score: float
+    vulnerable: bool
+
+
+def score_sites(report: DetectionReport, truth: GroundTruth) -> list[ScoredSite]:
+    """Attach tool confidences to every site of the workload.
+
+    Unflagged sites score 0.  Reported sites absent from the workload are a
+    tool bug and raise, mirroring :func:`repro.bench.campaign.score_report`.
+    """
+    confidence = {d.site: d.confidence for d in report.detections}
+    site_set = set(truth.sites)
+    unknown = set(confidence) - site_set
+    if unknown:
+        raise ConfigurationError(
+            f"tool {report.tool_name!r} scored sites absent from the workload: "
+            f"{sorted(unknown)[:3]}"
+        )
+    return [
+        ScoredSite(score=confidence.get(site, 0.0), vulnerable=site in truth.vulnerable)
+        for site in truth.sites
+    ]
+
+
+def _grouped_by_score(sites: list[ScoredSite]) -> list[tuple[float, int, int]]:
+    """(score, positives, negatives) per distinct score, descending."""
+    tally: dict[float, list[int]] = {}
+    for site in sites:
+        bucket = tally.setdefault(site.score, [0, 0])
+        bucket[0 if site.vulnerable else 1] += 1
+    return [
+        (score, positives, negatives)
+        for score, (positives, negatives) in sorted(tally.items(), reverse=True)
+    ]
+
+
+def roc_points(sites: list[ScoredSite]) -> list[tuple[float, float]]:
+    """The ROC curve as (FPR, TPR) points, from (0, 0) to (1, 1).
+
+    One point per distinct confidence threshold; tied sites enter together,
+    so ties appear as diagonal segments.
+    """
+    if not sites:
+        raise ConfigurationError("no sites to rank")
+    total_positives = sum(1 for s in sites if s.vulnerable)
+    total_negatives = len(sites) - total_positives
+    if total_positives == 0 or total_negatives == 0:
+        raise ConfigurationError(
+            "ROC analysis needs both vulnerable and safe sites"
+        )
+    points = [(0.0, 0.0)]
+    tp = fp = 0
+    for _, positives, negatives in _grouped_by_score(sites):
+        tp += positives
+        fp += negatives
+        points.append((fp / total_negatives, tp / total_positives))
+    return points
+
+
+def auc_roc(sites: list[ScoredSite]) -> float:
+    """Area under the ROC curve (trapezoidal, tie-aware).
+
+    Equals the probability that a uniformly random vulnerable site is
+    scored above a uniformly random safe one (ties counted half) — the
+    Mann-Whitney interpretation, asserted by the test suite.
+    """
+    points = roc_points(sites)
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return area
+
+
+def pr_points(sites: list[ScoredSite]) -> list[tuple[float, float]]:
+    """The precision-recall curve as (recall, precision) points.
+
+    One point per distinct threshold, recall-ascending.  The implicit
+    starting point at recall 0 is not emitted (its precision is undefined).
+    """
+    if not sites:
+        raise ConfigurationError("no sites to rank")
+    total_positives = sum(1 for s in sites if s.vulnerable)
+    if total_positives == 0:
+        raise ConfigurationError("PR analysis needs at least one vulnerable site")
+    points = []
+    tp = fp = 0
+    for _, positives, negatives in _grouped_by_score(sites):
+        tp += positives
+        fp += negatives
+        points.append((tp / total_positives, tp / (tp + fp)))
+    return points
+
+
+def average_precision(sites: list[ScoredSite]) -> float:
+    """Average precision: precision integrated over recall steps.
+
+    The step-wise AP used by retrieval benchmarks: each threshold's
+    precision is weighted by the recall it adds.
+    """
+    points = pr_points(sites)
+    ap = 0.0
+    previous_recall = 0.0
+    for recall, precision in points:
+        ap += (recall - previous_recall) * precision
+        previous_recall = recall
+    return ap

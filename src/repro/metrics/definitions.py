@@ -1,0 +1,749 @@
+"""The catalog of candidate metrics.
+
+This module implements every metric gathered for the study.  Each is a small
+class deriving from :class:`~repro.metrics.base.Metric`; module-level
+singleton instances are provided for the non-parameterized ones so user code
+can write ``definitions.PRECISION.compute(cm)``.
+
+The ``popularity`` figures in each :class:`MetricInfo` are curated estimates
+of how frequently the metric appears in vulnerability-detection benchmarking
+literature (1.0 = ubiquitous, 0.05 = seldom used).  They feed the
+"acceptance" column of the properties matrix (experiment R2) and are *not*
+used by any correctness-critical computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric, MetricFamily, MetricInfo, Orientation, safe_div
+from repro.metrics.confusion import ConfusionMatrix
+
+__all__ = [
+    "Recall",
+    "Specificity",
+    "Precision",
+    "NegativePredictiveValue",
+    "Accuracy",
+    "ErrorRate",
+    "BalancedAccuracy",
+    "FMeasure",
+    "MatthewsCorrelation",
+    "Informedness",
+    "Markedness",
+    "GMean",
+    "FowlkesMallows",
+    "JaccardIndex",
+    "CohenKappa",
+    "DiagnosticOddsRatio",
+    "PositiveLikelihoodRatio",
+    "NegativeLikelihoodRatio",
+    "FalsePositiveRate",
+    "FalseNegativeRate",
+    "FalseDiscoveryRate",
+    "FalseOmissionRate",
+    "PrevalenceThreshold",
+    "Lift",
+    "ExpectedCost",
+    "NormalizedExpectedCost",
+    "RECALL",
+    "SPECIFICITY",
+    "PRECISION",
+    "NPV",
+    "ACCURACY",
+    "ERROR_RATE",
+    "BALANCED_ACCURACY",
+    "F1",
+    "F2",
+    "F05",
+    "MCC",
+    "INFORMEDNESS",
+    "MARKEDNESS",
+    "G_MEAN",
+    "FOWLKES_MALLOWS",
+    "JACCARD",
+    "KAPPA",
+    "DOR",
+    "LR_POSITIVE",
+    "LR_NEGATIVE",
+    "FPR",
+    "FNR",
+    "FDR",
+    "FOR",
+    "PREVALENCE_THRESHOLD",
+    "LIFT",
+]
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity family
+# ---------------------------------------------------------------------------
+class Recall(Metric):
+    """Fraction of truly vulnerable sites the tool reports (TPR, sensitivity).
+
+    The canonical "how much did we miss?" metric: a recall of 0.8 means 20%
+    of the vulnerabilities remain undetected.
+    """
+
+    info = MetricInfo(
+        name="Recall",
+        symbol="REC",
+        formula="TP / (TP + FN)",
+        family=MetricFamily.SENSITIVITY,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=1.0,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tp, cm.positives)
+
+
+class Specificity(Metric):
+    """Fraction of safe sites the tool correctly stays silent about (TNR)."""
+
+    info = MetricInfo(
+        name="Specificity",
+        symbol="SPC",
+        formula="TN / (TN + FP)",
+        family=MetricFamily.SENSITIVITY,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.45,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tn, cm.negatives)
+
+
+# ---------------------------------------------------------------------------
+# Exactness family
+# ---------------------------------------------------------------------------
+class Precision(Metric):
+    """Fraction of reported sites that are truly vulnerable (PPV).
+
+    The canonical "how much triage effort is wasted?" metric: a precision of
+    0.25 means three out of four reports are false alarms.
+    """
+
+    info = MetricInfo(
+        name="Precision",
+        symbol="PRE",
+        formula="TP / (TP + FP)",
+        family=MetricFamily.EXACTNESS,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=1.0,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tp, cm.predicted_positives)
+
+
+class NegativePredictiveValue(Metric):
+    """Fraction of unreported sites that are truly safe (NPV)."""
+
+    info = MetricInfo(
+        name="Negative predictive value",
+        symbol="NPV",
+        formula="TN / (TN + FN)",
+        family=MetricFamily.EXACTNESS,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.15,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tn, cm.predicted_negatives)
+
+
+# ---------------------------------------------------------------------------
+# Whole-matrix proportions
+# ---------------------------------------------------------------------------
+class Accuracy(Metric):
+    """Fraction of all sites classified correctly.
+
+    Ubiquitous but notoriously misleading at low prevalence: a tool that
+    reports nothing scores ``1 - prevalence`` — experiment R6 reproduces
+    exactly this failure mode.
+    """
+
+    info = MetricInfo(
+        name="Accuracy",
+        symbol="ACC",
+        formula="(TP + TN) / N",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.85,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return (cm.tp + cm.tn) / cm.total
+
+
+class ErrorRate(Metric):
+    """Fraction of all sites classified incorrectly (1 - accuracy)."""
+
+    info = MetricInfo(
+        name="Error rate",
+        symbol="ERR",
+        formula="(FP + FN) / N",
+        family=MetricFamily.ERROR_RATE,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.3,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return (cm.fp + cm.fn) / cm.total
+
+
+class BalancedAccuracy(Metric):
+    """Mean of recall and specificity; accuracy with the skew removed."""
+
+    info = MetricInfo(
+        name="Balanced accuracy",
+        symbol="BAC",
+        formula="(TPR + TNR) / 2",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.2,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        tpr = safe_div(cm.tp, cm.positives)
+        tnr = safe_div(cm.tn, cm.negatives)
+        return (tpr + tnr) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Composites
+# ---------------------------------------------------------------------------
+class FMeasure(Metric):
+    """The F-beta family: weighted harmonic mean of precision and recall.
+
+    ``beta`` > 1 weighs recall higher (F2 suits scenarios where missing a
+    vulnerability is costly); ``beta`` < 1 weighs precision higher (F0.5
+    suits triage-constrained scenarios); ``beta = 1`` is the familiar F1.
+    """
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0 or not math.isfinite(beta):
+            raise ConfigurationError(f"beta={beta} must be a finite positive number")
+        self.beta = beta
+        label = f"{beta:g}"
+        self.info = MetricInfo(
+            name=f"F{label}-measure",
+            symbol=f"F{label}",
+            formula=f"(1+{label}^2) * PRE * REC / ({label}^2 * PRE + REC)",
+            family=MetricFamily.COMPOSITE,
+            orientation=Orientation.HIGHER_IS_BETTER,
+            lower_bound=0.0,
+            upper_bound=1.0,
+            chance_corrected=False,
+            uses_tn=False,
+            popularity=0.75 if beta == 1.0 else 0.1,
+        )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        b2 = self.beta * self.beta
+        return safe_div((1.0 + b2) * cm.tp, (1.0 + b2) * cm.tp + b2 * cm.fn + cm.fp)
+
+
+class MatthewsCorrelation(Metric):
+    """Matthews correlation coefficient (phi coefficient of the 2x2 table).
+
+    A chance-corrected composite in [-1, 1] that uses all four cells.  The
+    paper's "seldom used but adequate" exemplar for balanced comparisons.
+    """
+
+    info = MetricInfo(
+        name="Matthews correlation coefficient",
+        symbol="MCC",
+        formula="(TP*TN - FP*FN) / sqrt((TP+FP)(TP+FN)(TN+FP)(TN+FN))",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=-1.0,
+        upper_bound=1.0,
+        chance_corrected=True,
+        uses_tn=True,
+        popularity=0.1,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        denominator = math.sqrt(
+            cm.predicted_positives * cm.positives * cm.negatives * cm.predicted_negatives
+        )
+        return safe_div(cm.tp * cm.tn - cm.fp * cm.fn, denominator)
+
+
+class Informedness(Metric):
+    """Youden's J: TPR + TNR - 1; probability of an informed decision.
+
+    Prevalence-invariant by construction (it only depends on the two intrinsic
+    rates), which makes it a star performer in the prevalence study (R6).
+    """
+
+    info = MetricInfo(
+        name="Informedness (Youden's J)",
+        symbol="INF",
+        formula="TPR + TNR - 1",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=-1.0,
+        upper_bound=1.0,
+        chance_corrected=True,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        tpr = safe_div(cm.tp, cm.positives)
+        tnr = safe_div(cm.tn, cm.negatives)
+        return tpr + tnr - 1.0
+
+
+class Markedness(Metric):
+    """PPV + NPV - 1; the predictive-value dual of informedness."""
+
+    info = MetricInfo(
+        name="Markedness",
+        symbol="MRK",
+        formula="PPV + NPV - 1",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=-1.0,
+        upper_bound=1.0,
+        chance_corrected=True,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        ppv = safe_div(cm.tp, cm.predicted_positives)
+        npv = safe_div(cm.tn, cm.predicted_negatives)
+        return ppv + npv - 1.0
+
+
+class GMean(Metric):
+    """Geometric mean of recall and specificity."""
+
+    info = MetricInfo(
+        name="Geometric mean",
+        symbol="GM",
+        formula="sqrt(TPR * TNR)",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.1,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        tpr = safe_div(cm.tp, cm.positives)
+        tnr = safe_div(cm.tn, cm.negatives)
+        product = tpr * tnr
+        return math.sqrt(product) if product >= 0 else float("nan")
+
+
+class FowlkesMallows(Metric):
+    """Geometric mean of precision and recall."""
+
+    info = MetricInfo(
+        name="Fowlkes-Mallows index",
+        symbol="FM",
+        formula="sqrt(PPV * TPR)",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        ppv = safe_div(cm.tp, cm.predicted_positives)
+        tpr = safe_div(cm.tp, cm.positives)
+        product = ppv * tpr
+        return math.sqrt(product) if product >= 0 else float("nan")
+
+
+class JaccardIndex(Metric):
+    """Jaccard index / critical success index: TP over the union of alarms
+    and vulnerabilities.  Ignores TN entirely."""
+
+    info = MetricInfo(
+        name="Jaccard index (CSI)",
+        symbol="JAC",
+        formula="TP / (TP + FP + FN)",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=0.1,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tp, cm.tp + cm.fp + cm.fn)
+
+
+class CohenKappa(Metric):
+    """Cohen's kappa: agreement with ground truth corrected for chance."""
+
+    info = MetricInfo(
+        name="Cohen's kappa",
+        symbol="KAP",
+        formula="(p_o - p_e) / (1 - p_e)",
+        family=MetricFamily.COMPOSITE,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=-1.0,
+        upper_bound=1.0,
+        chance_corrected=True,
+        uses_tn=True,
+        popularity=0.15,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        n = cm.total
+        p_observed = (cm.tp + cm.tn) / n
+        p_expected = (
+            cm.positives * cm.predicted_positives + cm.negatives * cm.predicted_negatives
+        ) / (n * n)
+        return safe_div(p_observed - p_expected, 1.0 - p_expected)
+
+
+# ---------------------------------------------------------------------------
+# Likelihood family
+# ---------------------------------------------------------------------------
+class DiagnosticOddsRatio(Metric):
+    """Odds of a report on a vulnerable site vs. a safe one: unbounded,
+    undefined whenever any error cell is zero — properties the R2 analysis
+    flags as problematic for benchmarking."""
+
+    info = MetricInfo(
+        name="Diagnostic odds ratio",
+        symbol="DOR",
+        formula="(TP * TN) / (FP * FN)",
+        family=MetricFamily.LIKELIHOOD,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=math.inf,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.tp * cm.tn, cm.fp * cm.fn)
+
+
+class PositiveLikelihoodRatio(Metric):
+    """TPR / FPR: how much a report raises the odds the site is vulnerable."""
+
+    info = MetricInfo(
+        name="Positive likelihood ratio",
+        symbol="LR+",
+        formula="TPR / FPR",
+        family=MetricFamily.LIKELIHOOD,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=math.inf,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        tpr = safe_div(cm.tp, cm.positives)
+        fpr = safe_div(cm.fp, cm.negatives)
+        return safe_div(tpr, fpr)
+
+
+class NegativeLikelihoodRatio(Metric):
+    """FNR / TNR: how much silence lowers the odds the site is vulnerable."""
+
+    info = MetricInfo(
+        name="Negative likelihood ratio",
+        symbol="LR-",
+        formula="FNR / TNR",
+        family=MetricFamily.LIKELIHOOD,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=math.inf,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        fnr = safe_div(cm.fn, cm.positives)
+        tnr = safe_div(cm.tn, cm.negatives)
+        return safe_div(fnr, tnr)
+
+
+# ---------------------------------------------------------------------------
+# Error-rate family
+# ---------------------------------------------------------------------------
+class FalsePositiveRate(Metric):
+    """Fraction of safe sites wrongly reported (fall-out)."""
+
+    info = MetricInfo(
+        name="False positive rate",
+        symbol="FPR",
+        formula="FP / (FP + TN)",
+        family=MetricFamily.ERROR_RATE,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.6,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.fp, cm.negatives)
+
+
+class FalseNegativeRate(Metric):
+    """Fraction of vulnerable sites missed (miss rate)."""
+
+    info = MetricInfo(
+        name="False negative rate",
+        symbol="FNR",
+        formula="FN / (FN + TP)",
+        family=MetricFamily.ERROR_RATE,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=0.5,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.fn, cm.positives)
+
+
+class FalseDiscoveryRate(Metric):
+    """Fraction of reports that are false alarms (1 - precision)."""
+
+    info = MetricInfo(
+        name="False discovery rate",
+        symbol="FDR",
+        formula="FP / (FP + TP)",
+        family=MetricFamily.ERROR_RATE,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=False,
+        popularity=0.2,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.fp, cm.predicted_positives)
+
+
+class FalseOmissionRate(Metric):
+    """Fraction of unreported sites that are actually vulnerable."""
+
+    info = MetricInfo(
+        name="False omission rate",
+        symbol="FOR",
+        formula="FN / (FN + TN)",
+        family=MetricFamily.ERROR_RATE,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return safe_div(cm.fn, cm.predicted_negatives)
+
+
+# ---------------------------------------------------------------------------
+# Exotic / auxiliary
+# ---------------------------------------------------------------------------
+class PrevalenceThreshold(Metric):
+    """Prevalence below which PPV drops under TNR; an operating-curve
+    summary occasionally proposed for screening-style detectors."""
+
+    info = MetricInfo(
+        name="Prevalence threshold",
+        symbol="PT",
+        formula="(sqrt(TPR * FPR) - FPR) / (TPR - FPR)",
+        family=MetricFamily.LIKELIHOOD,
+        orientation=Orientation.LOWER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=1.0,
+        chance_corrected=False,
+        uses_tn=True,
+        popularity=0.02,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        tpr = safe_div(cm.tp, cm.positives)
+        fpr = safe_div(cm.fp, cm.negatives)
+        if math.isnan(tpr) or math.isnan(fpr):
+            return float("nan")
+        if tpr < 0 or fpr < 0:
+            return float("nan")
+        product = tpr * fpr
+        return safe_div(math.sqrt(product) - fpr, tpr - fpr)
+
+
+class Lift(Metric):
+    """Precision relative to prevalence: how much better than blind guessing
+    the tool's reports are."""
+
+    info = MetricInfo(
+        name="Lift",
+        symbol="LFT",
+        formula="PPV / prevalence",
+        family=MetricFamily.LIKELIHOOD,
+        orientation=Orientation.HIGHER_IS_BETTER,
+        lower_bound=0.0,
+        upper_bound=math.inf,
+        chance_corrected=True,
+        uses_tn=True,
+        popularity=0.05,
+    )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        ppv = safe_div(cm.tp, cm.predicted_positives)
+        return safe_div(ppv, cm.prevalence)
+
+
+# ---------------------------------------------------------------------------
+# Cost family
+# ---------------------------------------------------------------------------
+class ExpectedCost(Metric):
+    """Average misclassification cost per analysis site.
+
+    Parameterized by the cost of a missed vulnerability (``cost_fn``) and of
+    triaging a false alarm (``cost_fp``).  This is the family the scenario
+    analysis (R8) uses as ground truth: a scenario is *defined* by its cost
+    structure, and a candidate metric is adequate for the scenario exactly
+    when it ranks tools like expected cost does.
+    """
+
+    def __init__(self, cost_fn: float, cost_fp: float, label: str | None = None) -> None:
+        if cost_fn < 0 or cost_fp < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if cost_fn == 0 and cost_fp == 0:
+            raise ConfigurationError("at least one cost must be positive")
+        self.cost_fn = float(cost_fn)
+        self.cost_fp = float(cost_fp)
+        suffix = label or f"fn={cost_fn:g},fp={cost_fp:g}"
+        self.info = MetricInfo(
+            name=f"Expected cost ({suffix})",
+            symbol="EC",
+            formula="(c_fn * FN + c_fp * FP) / N",
+            family=MetricFamily.COST,
+            orientation=Orientation.LOWER_IS_BETTER,
+            lower_bound=0.0,
+            upper_bound=max(self.cost_fn, self.cost_fp),
+            chance_corrected=False,
+            uses_tn=True,
+            popularity=0.1,
+        )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        return (self.cost_fn * cm.fn + self.cost_fp * cm.fp) / cm.total
+
+
+class NormalizedExpectedCost(Metric):
+    """Expected cost normalized by the cost of the trivial majority policy.
+
+    Values below 1 mean the tool beats the better of "report everything" and
+    "report nothing"; values above 1 mean the tool is worse than not using a
+    tool at all — an interpretation the cost literature argues is exactly
+    what benchmark consumers need.
+    """
+
+    def __init__(self, cost_fn: float, cost_fp: float, label: str | None = None) -> None:
+        self._raw = ExpectedCost(cost_fn, cost_fp, label=label)
+        suffix = label or f"fn={cost_fn:g},fp={cost_fp:g}"
+        self.info = MetricInfo(
+            name=f"Normalized expected cost ({suffix})",
+            symbol="NEC",
+            formula="EC / min(c_fn * prev, c_fp * (1 - prev))",
+            family=MetricFamily.COST,
+            orientation=Orientation.LOWER_IS_BETTER,
+            lower_bound=0.0,
+            upper_bound=math.inf,
+            chance_corrected=True,
+            uses_tn=True,
+            popularity=0.02,
+        )
+
+    def _compute(self, cm: ConfusionMatrix) -> float:
+        raw = self._raw._compute(cm)
+        prevalence = cm.prevalence
+        trivial = min(
+            self._raw.cost_fn * prevalence, self._raw.cost_fp * (1.0 - prevalence)
+        )
+        return safe_div(raw, trivial)
+
+
+# ---------------------------------------------------------------------------
+# Singleton instances
+# ---------------------------------------------------------------------------
+RECALL = Recall()
+SPECIFICITY = Specificity()
+PRECISION = Precision()
+NPV = NegativePredictiveValue()
+ACCURACY = Accuracy()
+ERROR_RATE = ErrorRate()
+BALANCED_ACCURACY = BalancedAccuracy()
+F1 = FMeasure(1.0)
+F2 = FMeasure(2.0)
+F05 = FMeasure(0.5)
+MCC = MatthewsCorrelation()
+INFORMEDNESS = Informedness()
+MARKEDNESS = Markedness()
+G_MEAN = GMean()
+FOWLKES_MALLOWS = FowlkesMallows()
+JACCARD = JaccardIndex()
+KAPPA = CohenKappa()
+DOR = DiagnosticOddsRatio()
+LR_POSITIVE = PositiveLikelihoodRatio()
+LR_NEGATIVE = NegativeLikelihoodRatio()
+FPR = FalsePositiveRate()
+FNR = FalseNegativeRate()
+FDR = FalseDiscoveryRate()
+FOR = FalseOmissionRate()
+PREVALENCE_THRESHOLD = PrevalenceThreshold()
+LIFT = Lift()

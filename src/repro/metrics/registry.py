@@ -1,0 +1,128 @@
+"""Metric registry.
+
+The studies iterate over "all candidate metrics" in several places (catalog
+table, properties matrix, scenario adequacy, MCDA alternatives).  The
+registry gives them a single, ordered, name-addressable collection, and lets
+users add their own candidates without touching library code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics import definitions
+from repro.metrics.base import Metric, MetricFamily
+
+__all__ = ["MetricRegistry", "default_registry", "core_candidates"]
+
+
+class MetricRegistry:
+    """Ordered, name-addressable collection of :class:`Metric` instances."""
+
+    def __init__(self, metrics: Sequence[Metric] = ()) -> None:
+        self._metrics: dict[str, Metric] = {}
+        for metric in metrics:
+            self.register(metric)
+
+    def register(self, metric: Metric) -> None:
+        """Add ``metric``; symbols must be unique within a registry."""
+        symbol = metric.symbol
+        if symbol in self._metrics:
+            raise ConfigurationError(f"metric symbol {symbol!r} already registered")
+        self._metrics[symbol] = metric
+
+    def get(self, symbol: str) -> Metric:
+        """Return the metric registered under ``symbol``."""
+        try:
+            return self._metrics[symbol]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown metric {symbol!r}; known: {sorted(self._metrics)}"
+            ) from None
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    @property
+    def symbols(self) -> list[str]:
+        """Registration-ordered metric symbols."""
+        return list(self._metrics)
+
+    def by_family(self, family: MetricFamily) -> list[Metric]:
+        """All registered metrics belonging to ``family``."""
+        return [m for m in self._metrics.values() if m.info.family is family]
+
+    def subset(self, symbols: Sequence[str]) -> "MetricRegistry":
+        """A new registry containing only ``symbols``, in the given order."""
+        return MetricRegistry([self.get(symbol) for symbol in symbols])
+
+
+def default_registry() -> MetricRegistry:
+    """The full candidate set gathered for the study (experiment R1)."""
+    return MetricRegistry(
+        [
+            definitions.RECALL,
+            definitions.SPECIFICITY,
+            definitions.PRECISION,
+            definitions.NPV,
+            definitions.ACCURACY,
+            definitions.ERROR_RATE,
+            definitions.BALANCED_ACCURACY,
+            definitions.F1,
+            definitions.F2,
+            definitions.F05,
+            definitions.MCC,
+            definitions.INFORMEDNESS,
+            definitions.MARKEDNESS,
+            definitions.G_MEAN,
+            definitions.FOWLKES_MALLOWS,
+            definitions.JACCARD,
+            definitions.KAPPA,
+            definitions.DOR,
+            definitions.LR_POSITIVE,
+            definitions.LR_NEGATIVE,
+            definitions.FPR,
+            definitions.FNR,
+            definitions.FDR,
+            definitions.FOR,
+            definitions.PREVALENCE_THRESHOLD,
+            definitions.LIFT,
+        ]
+    )
+
+
+def core_candidates() -> MetricRegistry:
+    """The short list that survives the R2 properties screening.
+
+    These are the metrics the scenario analysis and the MCDA validation rank:
+    bounded, defined almost everywhere, and covering the sensitivity /
+    exactness / composite space the scenarios care about.  The likelihood
+    ratios and DOR are screened out for unboundedness and frequent
+    undefinedness; the redundant complements (ERR, FDR, FNR, FOR) are
+    represented by their primal forms.
+    """
+    return MetricRegistry(
+        [
+            definitions.RECALL,
+            definitions.PRECISION,
+            definitions.SPECIFICITY,
+            definitions.ACCURACY,
+            definitions.BALANCED_ACCURACY,
+            definitions.F1,
+            definitions.F2,
+            definitions.F05,
+            definitions.MCC,
+            definitions.INFORMEDNESS,
+            definitions.MARKEDNESS,
+            definitions.G_MEAN,
+            definitions.JACCARD,
+            definitions.KAPPA,
+        ]
+    )

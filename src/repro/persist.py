@@ -1,0 +1,262 @@
+"""JSON persistence for benchmark artifacts.
+
+Campaigns are expensive relative to analyses: a benchmark operator runs the
+tools once and then re-analyzes (new metrics, new scenarios, new statistics)
+many times.  This module round-trips the three artifacts worth archiving —
+workloads, detection reports and scored campaigns — through plain JSON with
+an explicit schema tag, so archives fail loudly rather than misparse when
+the format evolves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bench.campaign import CampaignResult, ToolResult
+from repro.errors import ConfigurationError
+from repro.metrics.confusion import ConfusionMatrix
+from repro.tools.base import Detection, DetectionReport
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.generator import SiteProfile, Workload, WorkloadConfig
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = [
+    "workload_to_dict",
+    "workload_from_dict",
+    "report_to_dict",
+    "report_from_dict",
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_WORKLOAD_SCHEMA = "repro/workload@1"
+_REPORT_SCHEMA = "repro/report@1"
+_CAMPAIGN_SCHEMA = "repro/campaign@1"
+
+
+def _require_schema(payload: dict[str, Any], expected: str) -> None:
+    found = payload.get("schema")
+    if found != expected:
+        raise ConfigurationError(
+            f"expected schema {expected!r}, found {found!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sites / statements
+# ---------------------------------------------------------------------------
+def _site_to_dict(site: SinkSite) -> dict[str, Any]:
+    return {
+        "unit_id": site.unit_id,
+        "statement_index": site.statement_index,
+        "vuln_type": site.vuln_type.value,
+    }
+
+
+def _site_from_dict(payload: dict[str, Any]) -> SinkSite:
+    return SinkSite(
+        unit_id=payload["unit_id"],
+        statement_index=payload["statement_index"],
+        vuln_type=VulnerabilityType(payload["vuln_type"]),
+    )
+
+
+def _statement_to_dict(statement: Statement) -> dict[str, Any]:
+    return {
+        "kind": statement.kind.value,
+        "target": statement.target,
+        "sources": list(statement.sources),
+        "vuln_type": statement.vuln_type.value if statement.vuln_type else None,
+    }
+
+
+def _statement_from_dict(payload: dict[str, Any]) -> Statement:
+    return Statement(
+        kind=StatementKind(payload["kind"]),
+        target=payload["target"],
+        sources=tuple(payload["sources"]),
+        vuln_type=(
+            VulnerabilityType(payload["vuln_type"]) if payload["vuln_type"] else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialize a workload (units, truth, profiles, config)."""
+    config = workload.config
+    return {
+        "schema": _WORKLOAD_SCHEMA,
+        "name": workload.name,
+        "config": {
+            "n_units": config.n_units,
+            "sites_per_unit": list(config.sites_per_unit),
+            "prevalence": config.prevalence,
+            "decoy_fraction": config.decoy_fraction,
+            "chain_length_range": list(config.chain_length_range),
+            "cross_class_sanitizer_rate": config.cross_class_sanitizer_rate,
+            "type_mix": {t.value: w for t, w in config.type_mix.items()},
+            "seed": config.seed,
+            "name": config.name,
+        },
+        "units": [
+            {
+                "unit_id": unit.unit_id,
+                "statements": [_statement_to_dict(s) for s in unit.statements],
+            }
+            for unit in workload.units
+        ],
+        "sites": [_site_to_dict(site) for site in workload.truth.sites],
+        "vulnerable": [
+            _site_to_dict(site) for site in sorted(workload.truth.vulnerable)
+        ],
+        "profiles": [
+            {
+                "site": _site_to_dict(site),
+                "vuln_type": profile.vuln_type.value,
+                "vulnerable": profile.vulnerable,
+                "chain_length": profile.chain_length,
+                "sanitizer_present": profile.sanitizer_present,
+                "cross_class_sanitizer": profile.cross_class_sanitizer,
+                "difficulty": profile.difficulty,
+            }
+            for site, profile in sorted(workload.profiles.items())
+        ],
+    }
+
+
+def workload_from_dict(payload: dict[str, Any]) -> Workload:
+    """Rebuild a workload; validation re-runs on every component."""
+    _require_schema(payload, _WORKLOAD_SCHEMA)
+    config_data = payload["config"]
+    config = WorkloadConfig(
+        n_units=config_data["n_units"],
+        sites_per_unit=tuple(config_data["sites_per_unit"]),
+        prevalence=config_data["prevalence"],
+        decoy_fraction=config_data["decoy_fraction"],
+        chain_length_range=tuple(config_data["chain_length_range"]),
+        cross_class_sanitizer_rate=config_data["cross_class_sanitizer_rate"],
+        type_mix={
+            VulnerabilityType(key): weight
+            for key, weight in config_data["type_mix"].items()
+        },
+        seed=config_data["seed"],
+        name=config_data["name"],
+    )
+    units = tuple(
+        CodeUnit(
+            unit_id=unit["unit_id"],
+            statements=tuple(_statement_from_dict(s) for s in unit["statements"]),
+        )
+        for unit in payload["units"]
+    )
+    truth = GroundTruth.from_sites(
+        (_site_from_dict(s) for s in payload["sites"]),
+        (_site_from_dict(s) for s in payload["vulnerable"]),
+    )
+    profiles = {
+        _site_from_dict(entry["site"]): SiteProfile(
+            vuln_type=VulnerabilityType(entry["vuln_type"]),
+            vulnerable=entry["vulnerable"],
+            chain_length=entry["chain_length"],
+            sanitizer_present=entry["sanitizer_present"],
+            cross_class_sanitizer=entry["cross_class_sanitizer"],
+            difficulty=entry["difficulty"],
+        )
+        for entry in payload["profiles"]
+    }
+    return Workload(
+        name=payload["name"],
+        units=units,
+        truth=truth,
+        profiles=profiles,
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reports / campaigns
+# ---------------------------------------------------------------------------
+def report_to_dict(report: DetectionReport) -> dict[str, Any]:
+    """Serialize a detection report."""
+    return {
+        "schema": _REPORT_SCHEMA,
+        "tool_name": report.tool_name,
+        "workload_name": report.workload_name,
+        "detections": [
+            {"site": _site_to_dict(d.site), "confidence": d.confidence}
+            for d in report.detections
+        ],
+    }
+
+
+def report_from_dict(payload: dict[str, Any]) -> DetectionReport:
+    """Rebuild a detection report."""
+    _require_schema(payload, _REPORT_SCHEMA)
+    return DetectionReport(
+        tool_name=payload["tool_name"],
+        workload_name=payload["workload_name"],
+        detections=tuple(
+            Detection(
+                site=_site_from_dict(entry["site"]), confidence=entry["confidence"]
+            )
+            for entry in payload["detections"]
+        ),
+    )
+
+
+def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
+    """Serialize a scored campaign (reports + confusion matrices)."""
+    return {
+        "schema": _CAMPAIGN_SCHEMA,
+        "workload_name": campaign.workload_name,
+        "results": [
+            {
+                "tool_name": result.tool_name,
+                "report": report_to_dict(result.report),
+                "confusion": {
+                    "tp": result.confusion.tp,
+                    "fp": result.confusion.fp,
+                    "fn": result.confusion.fn,
+                    "tn": result.confusion.tn,
+                },
+            }
+            for result in campaign.results
+        ],
+    }
+
+
+def campaign_from_dict(payload: dict[str, Any]) -> CampaignResult:
+    """Rebuild a scored campaign."""
+    _require_schema(payload, _CAMPAIGN_SCHEMA)
+    results = tuple(
+        ToolResult(
+            tool_name=entry["tool_name"],
+            report=report_from_dict(entry["report"]),
+            confusion=ConfusionMatrix(**entry["confusion"]),
+        )
+        for entry in payload["results"]
+    )
+    return CampaignResult(workload_name=payload["workload_name"], results=results)
+
+
+# ---------------------------------------------------------------------------
+# Files
+# ---------------------------------------------------------------------------
+def save_json(payload: dict[str, Any], path: str | Path) -> None:
+    """Write a serialized artifact to ``path`` (stable key order)."""
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialized artifact from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,44 @@
+"""Characteristics of a good metric, made executable."""
+
+from repro.properties.base import (
+    AssessmentContext,
+    MetricProperty,
+    OperatingPoint,
+    PropertyAssessment,
+)
+from repro.properties.checks import (
+    Boundedness,
+    ChanceCorrection,
+    Definedness,
+    Discriminance,
+    PrevalenceInvariance,
+    Repeatability,
+    RewardsDetection,
+    RewardsSilence,
+)
+from repro.properties.matrix import (
+    PropertiesMatrix,
+    build_properties_matrix,
+    default_properties,
+)
+from repro.properties.qualitative import Acceptance, Understandability
+
+__all__ = [
+    "AssessmentContext",
+    "MetricProperty",
+    "OperatingPoint",
+    "PropertyAssessment",
+    "Boundedness",
+    "ChanceCorrection",
+    "Definedness",
+    "Discriminance",
+    "PrevalenceInvariance",
+    "Repeatability",
+    "RewardsDetection",
+    "RewardsSilence",
+    "PropertiesMatrix",
+    "build_properties_matrix",
+    "default_properties",
+    "Acceptance",
+    "Understandability",
+]

@@ -1,0 +1,140 @@
+"""Framework for assessing metrics against good-metric characteristics.
+
+The paper's step 2 analyzes each gathered metric "according to the
+characteristics of a good metric for the vulnerability detection domain".
+We make that analysis *executable*: each characteristic is a
+:class:`MetricProperty` whose :meth:`~MetricProperty.assess` scores a metric
+in [0, 1] against evidence computed on a shared grid of synthetic benchmark
+outcomes (the :class:`AssessmentContext`).  Qualitative characteristics
+(understandability, community acceptance) are curated constants with
+documented rationale rather than pretend-computations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.metrics.confusion import ConfusionMatrix
+
+__all__ = ["PropertyAssessment", "MetricProperty", "AssessmentContext", "OperatingPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """A tool's intrinsic quality: its (TPR, FPR) pair."""
+
+    tpr: float
+    fpr: float
+
+    def matrix(self, prevalence: float, total: float) -> ConfusionMatrix:
+        """Expected confusion matrix at a given workload mix."""
+        positives = prevalence * total
+        return ConfusionMatrix.from_rates(self.tpr, self.fpr, positives, total - positives)
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyAssessment:
+    """Outcome of assessing one metric against one property."""
+
+    property_name: str
+    metric_symbol: str
+    score: float
+    rationale: str
+    evidence: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ConfigurationError(
+                f"assessment score {self.score} for {self.metric_symbol}/"
+                f"{self.property_name} must be in [0, 1]"
+            )
+
+
+class MetricProperty(ABC):
+    """One characteristic of a good metric, scored programmatically."""
+
+    name: str
+    description: str
+
+    @abstractmethod
+    def assess(self, metric: Metric, context: "AssessmentContext") -> PropertyAssessment:
+        """Score ``metric`` in [0, 1] against this property."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MetricProperty {self.name}>"
+
+
+@dataclass(frozen=True)
+class AssessmentContext:
+    """Shared evidence grid for the property checks.
+
+    ``operating_points`` sample the space of plausible tools;
+    ``prevalences`` the space of plausible workload mixes; ``total_sites``
+    the workload size used to materialize matrices.  All programmatic checks
+    draw from this grid, so scores for different metrics are comparable.
+    """
+
+    operating_points: tuple[OperatingPoint, ...]
+    prevalences: tuple[float, ...]
+    total_sites: float
+    seed: int
+    n_resamples: int
+
+    @classmethod
+    def default(cls, seed: int = 0, n_resamples: int = 120) -> "AssessmentContext":
+        """The reference grid used by experiment R2.
+
+        Operating points cover useful tools (TPR > FPR), useless tools
+        (TPR == FPR) and perverse tools (TPR < FPR), because several
+        characteristics hinge on how a metric treats the last two groups.
+        """
+        rates = (0.05, 0.2, 0.4, 0.6, 0.8, 0.95)
+        points = [
+            OperatingPoint(tpr, fpr)
+            for tpr in rates
+            for fpr in rates
+        ]
+        return cls(
+            operating_points=tuple(points),
+            prevalences=(0.01, 0.05, 0.1, 0.2, 0.35, 0.5),
+            total_sites=1000.0,
+            seed=seed,
+            n_resamples=n_resamples,
+        )
+
+    def matrices(self) -> list[ConfusionMatrix]:
+        """All grid matrices (every operating point at every prevalence)."""
+        return [
+            point.matrix(prevalence, self.total_sites)
+            for point in self.operating_points
+            for prevalence in self.prevalences
+        ]
+
+    def degenerate_matrices(self) -> list[ConfusionMatrix]:
+        """Edge-case outcomes a robust benchmark metric must cope with.
+
+        Silent tools, flag-everything tools, perfect tools, perfectly wrong
+        tools, and single-class workloads.  Matrices here routinely put a
+        zero in some marginal, which is exactly what trips up ratio metrics.
+        """
+        n = self.total_sites
+        return [
+            ConfusionMatrix(tp=0, fp=0, fn=0.2 * n, tn=0.8 * n),  # silent tool
+            ConfusionMatrix(tp=0.2 * n, fp=0.8 * n, fn=0, tn=0),  # flags everything
+            ConfusionMatrix(tp=0.2 * n, fp=0, fn=0, tn=0.8 * n),  # perfect tool
+            ConfusionMatrix(tp=0, fp=0.8 * n, fn=0.2 * n, tn=0),  # perfectly wrong
+            ConfusionMatrix(tp=0.5 * n, fp=0, fn=0.5 * n, tn=0),  # all-vulnerable workload
+            ConfusionMatrix(tp=0, fp=0.5 * n, fn=0, tn=0.5 * n),  # all-safe workload
+            ConfusionMatrix(tp=1, fp=0, fn=0, tn=n - 1),  # one needle, found
+            ConfusionMatrix(tp=0, fp=1, fn=1, tn=n - 2),  # one needle, missed + one alarm
+        ]
+
+    def rng(self, key: str) -> np.random.Generator:
+        """Deterministic substream for a named check."""
+        return spawn(self.seed, f"properties:{key}")

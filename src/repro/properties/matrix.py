@@ -1,0 +1,125 @@
+"""The metric x property assessment matrix (experiment R2).
+
+Running every property against every candidate metric yields the matrix the
+paper's step-2 analysis tabulates.  The matrix is also the *criteria scoring*
+input of the MCDA validation: AHP weighs the properties per scenario and
+aggregates exactly these per-property scores.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.metrics.registry import MetricRegistry
+from repro.properties.base import AssessmentContext, MetricProperty, PropertyAssessment
+from repro.properties.checks import (
+    Boundedness,
+    ChanceCorrection,
+    Definedness,
+    Discriminance,
+    PrevalenceInvariance,
+    Repeatability,
+    RewardsDetection,
+    RewardsSilence,
+)
+from repro.properties.qualitative import Acceptance, Understandability
+
+__all__ = ["default_properties", "PropertiesMatrix", "build_properties_matrix"]
+
+
+def default_properties() -> list[MetricProperty]:
+    """The ten characteristics the reproduction assesses, in table order."""
+    return [
+        Boundedness(),
+        Definedness(),
+        PrevalenceInvariance(),
+        RewardsDetection(),
+        RewardsSilence(),
+        ChanceCorrection(),
+        Discriminance(),
+        Repeatability(),
+        Understandability(),
+        Acceptance(),
+    ]
+
+
+@dataclass(frozen=True)
+class PropertiesMatrix:
+    """metric x property scores with full assessment provenance."""
+
+    metric_symbols: tuple[str, ...]
+    property_names: tuple[str, ...]
+    assessments: dict[tuple[str, str], PropertyAssessment]
+    """Keyed by ``(metric_symbol, property_name)``."""
+
+    def score(self, metric_symbol: str, property_name: str) -> float:
+        """Score of one cell."""
+        return self.assessment(metric_symbol, property_name).score
+
+    def assessment(self, metric_symbol: str, property_name: str) -> PropertyAssessment:
+        """Full assessment of one cell."""
+        try:
+            return self.assessments[(metric_symbol, property_name)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no assessment for metric {metric_symbol!r} / property {property_name!r}"
+            ) from None
+
+    def row(self, metric_symbol: str) -> dict[str, float]:
+        """All property scores of one metric."""
+        return {name: self.score(metric_symbol, name) for name in self.property_names}
+
+    def column(self, property_name: str) -> dict[str, float]:
+        """One property's score for every metric."""
+        return {
+            symbol: self.score(symbol, property_name) for symbol in self.metric_symbols
+        }
+
+    def weighted_scores(self, weights: dict[str, float]) -> dict[str, float]:
+        """Composite score per metric under property ``weights``.
+
+        Weights are normalized to sum to one; properties missing from
+        ``weights`` get zero weight.  This is the simple additive model used
+        as a sanity baseline next to the full AHP.
+        """
+        known = set(self.property_names)
+        stray = set(weights) - known
+        if stray:
+            raise ConfigurationError(f"unknown properties in weights: {sorted(stray)}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ConfigurationError("property weights must sum to a positive number")
+        return {
+            symbol: sum(
+                weights.get(name, 0.0) * self.score(symbol, name)
+                for name in self.property_names
+            )
+            / total
+            for symbol in self.metric_symbols
+        }
+
+
+def build_properties_matrix(
+    registry: MetricRegistry,
+    properties: Sequence[MetricProperty] | None = None,
+    context: AssessmentContext | None = None,
+) -> PropertiesMatrix:
+    """Assess every metric in ``registry`` against every property."""
+    properties = list(properties) if properties is not None else default_properties()
+    context = context if context is not None else AssessmentContext.default()
+    names = [prop.name for prop in properties]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("duplicate property names")
+    assessments: dict[tuple[str, str], PropertyAssessment] = {}
+    metrics: list[Metric] = list(registry)
+    for metric in metrics:
+        for prop in properties:
+            assessments[(metric.symbol, prop.name)] = prop.assess(metric, context)
+    return PropertiesMatrix(
+        metric_symbols=tuple(m.symbol for m in metrics),
+        property_names=tuple(names),
+        assessments=assessments,
+    )

@@ -1,0 +1,95 @@
+"""Qualitative good-metric characteristics.
+
+Two of the characteristics the paper weighs cannot be computed from
+confusion matrices: how easily practitioners *understand* a metric, and how
+widely the community already *accepts* it.  We keep these as curated
+constants with documented rationale — pretending to compute them would be
+less honest than stating them.  The curation mirrors the consensus of the
+benchmarking surveys the paper builds on: plain ratios of observable events
+are easy to grasp; chance-corrected correlations are not; popularity follows
+what published tool evaluations actually report.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.base import Metric
+from repro.properties.base import AssessmentContext, MetricProperty, PropertyAssessment
+
+__all__ = ["Understandability", "Acceptance", "UNDERSTANDABILITY_SCORES"]
+
+
+#: Curated understandability per metric symbol (1.0 = immediately intuitive
+#: to a practitioner reading a benchmark report, 0.1 = needs a statistics
+#: refresher).  Symbols absent from the table get the conservative default.
+UNDERSTANDABILITY_SCORES: dict[str, tuple[float, str]] = {
+    "REC": (1.0, "fraction of vulnerabilities found — directly actionable"),
+    "PRE": (1.0, "fraction of reports that are real — directly actionable"),
+    "FPR": (0.9, "false-alarm frequency over safe sites"),
+    "FNR": (0.9, "miss frequency over vulnerable sites"),
+    "SPC": (0.85, "complement of the false-alarm frequency"),
+    "ACC": (0.9, "fraction correct — intuitive, if misleading"),
+    "ERR": (0.85, "fraction wrong"),
+    "FDR": (0.8, "fraction of reports that are noise"),
+    "FOR": (0.6, "needs the notion of 'silent verdicts' to parse"),
+    "NPV": (0.6, "trustworthiness of silence — rarely articulated"),
+    "F1": (0.7, "harmonic mean needs explanation but is widely taught"),
+    "F2": (0.55, "the beta weighting is one step beyond F1"),
+    "F0.5": (0.55, "the beta weighting is one step beyond F1"),
+    "BAC": (0.7, "average of two intuitive rates"),
+    "GM": (0.5, "geometric mean of rates — less intuitive than BAC"),
+    "FM": (0.45, "geometric mean of precision and recall"),
+    "JAC": (0.6, "overlap of reports and vulnerabilities"),
+    "MCC": (0.35, "a correlation coefficient over the 2x2 table"),
+    "KAP": (0.35, "chance-expected agreement needs statistical background"),
+    "INF": (0.45, "TPR + TNR - 1 is simple but unfamiliar"),
+    "MRK": (0.3, "dual of informedness; unfamiliar"),
+    "DOR": (0.25, "odds ratios routinely misread"),
+    "LR+": (0.3, "likelihood ratios are epidemiology vocabulary"),
+    "LR-": (0.3, "likelihood ratios are epidemiology vocabulary"),
+    "PT": (0.15, "operating-curve derivation; rarely seen"),
+    "LFT": (0.4, "ratio to blind guessing; familiar from data mining"),
+    "EC": (0.65, "cost per site — intuitive once costs are agreed"),
+    "NEC": (0.4, "cost relative to trivial policies"),
+}
+
+_DEFAULT_UNDERSTANDABILITY = (0.3, "unfamiliar metric; conservative default")
+
+
+class Understandability(MetricProperty):
+    """How easily a benchmark reader interprets the metric (curated)."""
+
+    name = "understandable"
+    description = "interpretable by practitioners without statistical training"
+
+    def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        score, rationale = UNDERSTANDABILITY_SCORES.get(
+            metric.symbol, _DEFAULT_UNDERSTANDABILITY
+        )
+        return PropertyAssessment(
+            property_name=self.name,
+            metric_symbol=metric.symbol,
+            score=score,
+            rationale=rationale,
+        )
+
+
+class Acceptance(MetricProperty):
+    """How established the metric is in vulnerability-detection benchmarking.
+
+    Read directly from the curated ``popularity`` field of the metric's
+    catalog entry.  Acceptance eases cross-study comparison, which is why the
+    paper weighs it at all — and why its *low* weight in several scenarios is
+    a finding (the adequate metric is sometimes a seldom-used one).
+    """
+
+    name = "accepted"
+    description = "established in the benchmarking literature"
+
+    def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        popularity = metric.info.popularity
+        return PropertyAssessment(
+            property_name=self.name,
+            metric_symbol=metric.symbol,
+            score=popularity,
+            rationale=f"curated literature popularity {popularity:.2f}",
+        )

@@ -1,0 +1,13 @@
+"""Plain-text tables, ASCII figures and markdown rendering."""
+
+from repro.reporting.figures import ascii_chart
+from repro.reporting.markdown import experiment_to_markdown, format_markdown_table
+from repro.reporting.tables import format_cell, format_table
+
+__all__ = [
+    "ascii_chart",
+    "experiment_to_markdown",
+    "format_markdown_table",
+    "format_cell",
+    "format_table",
+]

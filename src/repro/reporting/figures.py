@@ -1,0 +1,90 @@
+"""Plain-text figures.
+
+The paper's figures are curves (metric value vs. prevalence, rank stability
+vs. perturbation).  We render them as ASCII charts: every benchmark run
+reproduces not just the numbers but a visual with the same shape, without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one ASCII grid.
+
+    Each series gets a marker character; the legend maps markers back to
+    names.  Non-finite points are skipped.  Axis ranges are the union of all
+    series, padded slightly so extreme points stay visible.
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart must be at least 16x4 characters")
+
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        raise ConfigurationError("no finite points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_min, x_max = x_min - 0.5, x_max + 0.5
+    if y_max == y_min:
+        y_min, y_max = y_min - 0.5, y_max + 0.5
+    y_pad = 0.05 * (y_max - y_min)
+    y_min, y_max = y_min - y_pad, y_max + y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for x, y in values:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    gutter = 9
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.3g} "
+        elif row_index == height - 1:
+            label = f"{y_min:8.3g} "
+        else:
+            label = " " * gutter
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:-8.3g}" + " " * (width - 14) + f"{x_max:8.3g}"
+    lines.append(" " * gutter + " " + x_axis)
+    lines.append(" " * gutter + f" {x_label}")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"legend ({y_label}): {legend}")
+    return "\n".join(lines)

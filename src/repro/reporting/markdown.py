@@ -1,0 +1,81 @@
+"""GitHub-flavoured markdown rendering for experiment output.
+
+The plain-text tables in :mod:`repro.reporting.tables` are right for
+terminals and archived ``results/*.txt`` files; this module renders the same
+rows as markdown so experiment reports can land directly in pull requests,
+wikis and issue trackers.  ASCII figures are wrapped in fenced code blocks —
+monospace art survives markdown only inside a fence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import format_cell
+
+__all__ = ["format_markdown_table", "experiment_to_markdown"]
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render a GitHub-flavoured markdown table.
+
+    Numeric columns get right-alignment markers; cells are escaped enough
+    for the common cases (pipes).
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+
+    def escape(cell: str) -> str:
+        return cell.replace("|", "\\|")
+
+    numeric = [
+        bool(rows)
+        and all(
+            isinstance(row[col], (int, float)) and not isinstance(row[col], bool)
+            for row in rows
+        )
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(escape(str(h)) for h in headers) + " |")
+    lines.append(
+        "|" + "|".join("---:" if numeric[col] else "---" for col in range(len(headers))) + "|"
+    )
+    for row in rows:
+        cells = [escape(format_cell(cell, float_format)) for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def experiment_to_markdown(experiment_id: str, title: str, sections: dict[str, str]) -> str:
+    """Wrap an experiment's rendered text sections as a markdown document.
+
+    Sections are emitted in order under ``##`` headings; because the
+    sections are preformatted text (aligned tables, ASCII charts), each body
+    is fenced.  This keeps the markdown faithful to the canonical rendering
+    rather than re-deriving tables (which would let the two formats drift).
+    """
+    lines = [f"# {experiment_id}: {title}", ""]
+    for name, body in sections.items():
+        heading = name.replace("_", " ")
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,87 @@
+"""Plain-text table rendering.
+
+Every experiment regenerates a paper table; this module renders them as
+aligned monospace text so benches and examples can print rows directly
+comparable to the paper's.  No external dependencies, no color, no wrapping
+magic — benchmark output should survive a copy-paste into a report.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_cell", "format_table"]
+
+
+def format_cell(value: object, float_format: str = ".3f") -> str:
+    """Render one cell: floats via ``float_format`` (nan as '-'), rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render an aligned text table.
+
+    Numeric cells are right-aligned, text cells left-aligned; the first row
+    of dashes separates the header.  Raises when a row's width disagrees
+    with the header, because a misaligned benchmark table is worse than a
+    crash.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+
+    rendered_rows = [
+        [format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    numeric = [
+        all(
+            isinstance(row[col], (int, float)) and not isinstance(row[col], bool)
+            for row in rows
+        )
+        if rows
+        else False
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def render_line(cells: Sequence[str], is_header: bool = False) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric[col] and not is_header:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(h) for h in headers], is_header=True))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(r) for r in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Use scenarios and analytical metric adequacy."""
+
+from repro.scenarios.adequacy import (
+    AdequacyConfig,
+    AdequacyResult,
+    rank_metrics_for_scenario,
+    scenario_adequacy,
+)
+from repro.scenarios.cost_model import CostStructure
+from repro.scenarios.guidance import GuidanceAnswers, Recommendation, recommend
+from repro.scenarios.scenarios import Scenario, canonical_scenarios, scenario_by_key
+
+__all__ = [
+    "AdequacyConfig",
+    "AdequacyResult",
+    "rank_metrics_for_scenario",
+    "scenario_adequacy",
+    "CostStructure",
+    "GuidanceAnswers",
+    "Recommendation",
+    "recommend",
+    "Scenario",
+    "canonical_scenarios",
+    "scenario_by_key",
+]

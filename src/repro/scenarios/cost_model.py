@@ -1,0 +1,53 @@
+"""Misclassification-cost model.
+
+A vulnerability-detection *scenario* is, at bottom, a statement about how
+expensive each kind of error is: what a missed vulnerability costs (breach
+risk, recertification, recall of a shipped product) versus what a false
+alarm costs (an analyst-hour of triage).  The expected per-site cost induced
+by those prices is the scenario's *ground-truth preference* over tools — the
+yardstick the analytical adequacy study (R8) measures candidate metrics
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.confusion import ConfusionMatrix
+
+__all__ = ["CostStructure"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostStructure:
+    """Per-site prices of the two error types.
+
+    Units are arbitrary (only the ratio matters for rankings); by convention
+    we price a false alarm near 1.0 "analyst-hour" and scale the miss cost
+    relative to it.
+    """
+
+    cost_fn: float
+    cost_fp: float
+
+    def __post_init__(self) -> None:
+        if self.cost_fn < 0 or self.cost_fp < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if self.cost_fn == 0 and self.cost_fp == 0:
+            raise ConfigurationError("at least one cost must be positive")
+
+    @property
+    def miss_to_alarm_ratio(self) -> float:
+        """How many false alarms one miss is worth."""
+        if self.cost_fp == 0:
+            return float("inf")
+        return self.cost_fn / self.cost_fp
+
+    def expected_cost(self, cm: ConfusionMatrix) -> float:
+        """Average misclassification cost per analysis site."""
+        return (self.cost_fn * cm.fn + self.cost_fp * cm.fp) / cm.total
+
+    def total_cost(self, cm: ConfusionMatrix) -> float:
+        """Total misclassification cost of the whole campaign outcome."""
+        return self.cost_fn * cm.fn + self.cost_fp * cm.fp

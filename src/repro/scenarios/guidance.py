@@ -1,0 +1,229 @@
+"""Guidance: from a questionnaire to a scenario and a metric.
+
+The paper's end product is advice that depends on the reader's situation.
+This module packages that advice as an API: answer five questions about
+your context and get back a fully-formed :class:`Scenario` (cost structure,
+prevalence regimes, property weights) plus the analytically recommended
+metric, with a written rationale for every weight the answers moved.
+
+The synthesis rules are deliberately transparent — each is one sentence in
+the rationale — so a user can disagree with a rule and edit the returned
+scenario instead of trusting a black box.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._rng import derive_seed
+from repro.errors import ConfigurationError
+from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.properties.base import AssessmentContext
+from repro.properties.matrix import PropertiesMatrix, build_properties_matrix
+from repro.scenarios.adequacy import AdequacyConfig, rank_metrics_for_scenario
+from repro.scenarios.cost_model import CostStructure
+from repro.scenarios.scenarios import Scenario
+
+__all__ = ["GuidanceAnswers", "Recommendation", "recommend"]
+
+_AUDIENCES = ("practitioners", "researchers", "mixed")
+_CAPACITIES = ("scarce", "adequate", "ample")
+
+#: Neutral starting weights before any answer-driven adjustment.
+_BASE_WEIGHTS = {
+    "rewards detection": 0.12,
+    "rewards silence": 0.12,
+    "defined": 0.10,
+    "bounded": 0.08,
+    "repeatable": 0.10,
+    "discriminating": 0.12,
+    "prevalence-invariant": 0.10,
+    "chance-corrected": 0.10,
+    "understandable": 0.08,
+    "accepted": 0.08,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GuidanceAnswers:
+    """The questionnaire.
+
+    ``miss_to_alarm_ratio``: how many false-alarm triages one residual
+    vulnerability is worth to you (1 = equally painful, 100 = a miss is
+    catastrophic).  ``field_prevalence``: the vulnerability rate you expect
+    in the code the tool will actually face.  ``benchmark_enriched``:
+    whether the workloads you can benchmark on have a (much) higher rate
+    than the field.  ``audience``: who reads the benchmark report.
+    ``triage_capacity``: how much human time exists to confirm reports.
+    """
+
+    miss_to_alarm_ratio: float
+    field_prevalence: tuple[float, float]
+    benchmark_enriched: bool
+    audience: str = "mixed"
+    triage_capacity: str = "adequate"
+
+    def __post_init__(self) -> None:
+        if self.miss_to_alarm_ratio <= 0 or not math.isfinite(self.miss_to_alarm_ratio):
+            raise ConfigurationError(
+                f"miss_to_alarm_ratio={self.miss_to_alarm_ratio} must be finite and > 0"
+            )
+        low, high = self.field_prevalence
+        if not (0.0 < low <= high < 1.0):
+            raise ConfigurationError(
+                f"field_prevalence={self.field_prevalence} must satisfy 0 < lo <= hi < 1"
+            )
+        if self.audience not in _AUDIENCES:
+            raise ConfigurationError(
+                f"audience={self.audience!r} must be one of {_AUDIENCES}"
+            )
+        if self.triage_capacity not in _CAPACITIES:
+            raise ConfigurationError(
+                f"triage_capacity={self.triage_capacity!r} must be one of {_CAPACITIES}"
+            )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The wizard's output."""
+
+    scenario: Scenario
+    lead_metric_symbol: str
+    adequacy: float
+    runners_up: tuple[str, ...]
+    rationale: tuple[str, ...]
+
+    def render(self) -> str:
+        """Human-readable recommendation."""
+        lines = [
+            f"Recommended benchmark metric: {self.lead_metric_symbol} "
+            f"(analytical adequacy {self.adequacy:.2f}; "
+            f"runners-up: {', '.join(self.runners_up)})",
+            "",
+            "How your answers shaped the scenario:",
+        ]
+        lines.extend(f"  - {reason}" for reason in self.rationale)
+        return "\n".join(lines)
+
+
+def _synthesize_scenario(answers: GuidanceAnswers) -> tuple[Scenario, list[str]]:
+    weights = dict(_BASE_WEIGHTS)
+    rationale: list[str] = []
+
+    # Miss cost moves the orientation axis (log-scaled: 1:1 is neutral,
+    # 100:1 is a strong detection tilt).
+    tilt = math.log10(answers.miss_to_alarm_ratio)  # -2 .. +2 in practice
+    weights["rewards detection"] *= 2.0 ** tilt
+    weights["rewards silence"] *= 2.0 ** (-tilt)
+    if tilt > 0:
+        rationale.append(
+            f"misses are {answers.miss_to_alarm_ratio:g}x costlier than alarms: "
+            "weight shifted toward detection-rewarding metrics"
+        )
+    elif tilt < 0:
+        rationale.append(
+            "alarms dominate your costs: weight shifted toward "
+            "silence-rewarding metrics"
+        )
+
+    if answers.triage_capacity == "scarce":
+        weights["rewards silence"] *= 1.6
+        weights["understandable"] *= 1.3
+        rationale.append(
+            "triage capacity is scarce: false-alarm control and report "
+            "readability weigh more"
+        )
+    elif answers.triage_capacity == "ample":
+        weights["rewards detection"] *= 1.2
+        rationale.append(
+            "triage capacity is ample: finding more matters more than noise"
+        )
+
+    low, high = answers.field_prevalence
+    low_prevalence_field = high <= 0.05
+    if answers.benchmark_enriched or low_prevalence_field:
+        weights["prevalence-invariant"] *= 2.0
+        weights["chance-corrected"] *= 1.6
+        rationale.append(
+            "your benchmark's mix differs from the field (enriched workloads "
+            "or a low-prevalence field): prevalence-invariant, "
+            "chance-corrected metrics weigh more"
+        )
+
+    if answers.audience == "practitioners":
+        weights["understandable"] *= 1.6
+        weights["accepted"] *= 1.5
+        rationale.append(
+            "a practitioner audience: familiarity and interpretability weigh more"
+        )
+    elif answers.audience == "researchers":
+        weights["chance-corrected"] *= 1.3
+        weights["discriminating"] *= 1.3
+        weights["accepted"] *= 0.6
+        rationale.append(
+            "a research audience: statistical virtue outweighs familiarity"
+        )
+
+    total = sum(weights.values())
+    weights = {name: value / total for name, value in weights.items()}
+
+    benchmark_range = None
+    if answers.benchmark_enriched:
+        benchmark_range = (max(0.10, high), max(0.30, min(0.5, high * 3)))
+    scenario = Scenario(
+        key="custom",
+        name="Questionnaire-derived scenario",
+        description="Synthesized by repro.scenarios.guidance.recommend",
+        cost=CostStructure(cost_fn=answers.miss_to_alarm_ratio, cost_fp=1.0),
+        prevalence_range=answers.field_prevalence,
+        benchmark_prevalence_range=benchmark_range,
+        property_weights=weights,
+    )
+    return scenario, rationale
+
+
+#: How many property-screened candidates advance to the adequacy ranking.
+_SHORTLIST_SIZE = 6
+
+
+def recommend(
+    answers: GuidanceAnswers,
+    registry: MetricRegistry | None = None,
+    config: AdequacyConfig | None = None,
+    properties_matrix: PropertiesMatrix | None = None,
+) -> Recommendation:
+    """Synthesize the scenario and select the metric in two stages.
+
+    Stage 1 screens the candidates by the answers' *property* weights (a
+    weighted-sum over the executable properties matrix) — this is where
+    "prevalence-invariant metrics weigh more" actually bites.  Stage 2
+    ranks the shortlist by analytical adequacy against the scenario's cost
+    structure.  Both stages are visible in the result: the shortlist
+    survives as the runners-up pool.
+    """
+    registry = registry if registry is not None else core_candidates()
+    config = config or AdequacyConfig(n_pools=40, seed=0)
+    scenario, rationale = _synthesize_scenario(answers)
+
+    if properties_matrix is None:
+        context = AssessmentContext.default(
+            seed=derive_seed(config.seed, "guidance"), n_resamples=50
+        )
+        properties_matrix = build_properties_matrix(registry, context=context)
+    property_scores = properties_matrix.weighted_scores(scenario.property_weights)
+    shortlist = sorted(property_scores, key=property_scores.get, reverse=True)[
+        :_SHORTLIST_SIZE
+    ]
+    rationale.append(
+        "property screening kept: " + ", ".join(shortlist)
+    )
+
+    ranked = rank_metrics_for_scenario(registry.subset(shortlist), scenario, config)
+    return Recommendation(
+        scenario=scenario,
+        lead_metric_symbol=ranked[0].metric_symbol,
+        adequacy=ranked[0].mean_tau,
+        runners_up=tuple(r.metric_symbol for r in ranked[1:4]),
+        rationale=tuple(rationale),
+    )

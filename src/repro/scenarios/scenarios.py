@@ -1,0 +1,178 @@
+"""Vulnerability-detection scenarios.
+
+The paper's central observation is that the adequate metric depends on the
+*use scenario*.  A :class:`Scenario` bundles everything a scenario implies:
+
+- a :class:`~repro.scenarios.cost_model.CostStructure` (the ground-truth
+  preference over tools),
+- the prevalence regime of its typical workloads, and
+- the weights its stakeholders put on the good-metric properties — the
+  criteria weights of the MCDA validation.
+
+Four canonical scenarios span the 2x2 of "how bad is a residual
+vulnerability" x "how scarce is triage capacity", mirroring the scenario
+axes discussed in the benchmarking literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scenarios.cost_model import CostStructure
+
+__all__ = ["Scenario", "canonical_scenarios", "scenario_by_key"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmarking use scenario."""
+
+    key: str
+    name: str
+    description: str
+    cost: CostStructure
+    prevalence_range: tuple[float, float]
+    """Vulnerability rate of the code the tool will face in the field."""
+    property_weights: dict[str, float]
+    """Relative importance of each good-metric property in this scenario;
+    the MCDA criteria prior around which simulated experts scatter."""
+    benchmark_prevalence_range: tuple[float, float] | None = None
+    """Vulnerability rate of the *benchmark workloads* available to rank
+    tools with.  Benchmarks enrich vulnerabilities to keep counts
+    statistically useful, so in low-prevalence scenarios this differs from
+    ``prevalence_range`` — which is exactly when prevalence-dependent
+    metrics rank tools against the field's interest.  ``None`` means the
+    benchmark matches the field."""
+
+    def __post_init__(self) -> None:
+        for label, bounds in (
+            ("prevalence_range", self.prevalence_range),
+            ("benchmark_prevalence_range", self.benchmark_prevalence_range),
+        ):
+            if bounds is None:
+                continue
+            low, high = bounds
+            if not (0.0 < low <= high < 1.0):
+                raise ConfigurationError(
+                    f"{label}={bounds} must satisfy 0 < lo <= hi < 1"
+                )
+        if not self.property_weights:
+            raise ConfigurationError("property_weights must not be empty")
+        if any(weight < 0 for weight in self.property_weights.values()):
+            raise ConfigurationError("property weights must be non-negative")
+        if sum(self.property_weights.values()) <= 0:
+            raise ConfigurationError("property weights must sum to a positive number")
+
+
+def canonical_scenarios() -> list[Scenario]:
+    """The four scenarios of the reproduction study.
+
+    Property-weight profiles are the *latent consensus* the simulated expert
+    panel perturbs; they encode, per scenario, which characteristics of a
+    good metric stakeholders actually argue for.
+    """
+    return [
+        Scenario(
+            key="critical",
+            name="Security-critical system",
+            description=(
+                "Tool selects code that ships into a safety/security-critical "
+                "product; a residual vulnerability is two orders of magnitude "
+                "costlier than an analyst-hour of triage."
+            ),
+            cost=CostStructure(cost_fn=100.0, cost_fp=1.0),
+            prevalence_range=(0.05, 0.25),
+            property_weights={
+                "rewards detection": 0.32,
+                "defined": 0.12,
+                "bounded": 0.08,
+                "repeatable": 0.10,
+                "discriminating": 0.10,
+                "prevalence-invariant": 0.08,
+                "chance-corrected": 0.05,
+                "rewards silence": 0.03,
+                "understandable": 0.07,
+                "accepted": 0.05,
+            },
+        ),
+        Scenario(
+            key="triage",
+            name="Scarce triage resources",
+            description=(
+                "A small team must manually confirm every report; wasted "
+                "triage dominates the economics, misses are recoverable in "
+                "later cycles."
+            ),
+            cost=CostStructure(cost_fn=2.0, cost_fp=1.0),
+            prevalence_range=(0.05, 0.25),
+            property_weights={
+                "rewards silence": 0.20,
+                "rewards detection": 0.12,
+                "defined": 0.08,
+                "bounded": 0.04,
+                "repeatable": 0.06,
+                "discriminating": 0.08,
+                "prevalence-invariant": 0.02,
+                "chance-corrected": 0.06,
+                "understandable": 0.18,
+                "accepted": 0.16,
+            },
+        ),
+        Scenario(
+            key="balanced",
+            name="General tool comparison",
+            description=(
+                "A research benchmark ranking tools for a broad audience; "
+                "both error types matter and the ranking must be defensible "
+                "across workloads."
+            ),
+            cost=CostStructure(cost_fn=5.0, cost_fp=1.0),
+            prevalence_range=(0.10, 0.40),
+            property_weights={
+                "chance-corrected": 0.18,
+                "discriminating": 0.15,
+                "prevalence-invariant": 0.15,
+                "rewards detection": 0.11,
+                "rewards silence": 0.11,
+                "repeatable": 0.10,
+                "defined": 0.08,
+                "bounded": 0.06,
+                "understandable": 0.03,
+                "accepted": 0.03,
+            },
+        ),
+        Scenario(
+            key="audit",
+            name="Low-prevalence audit",
+            description=(
+                "Periodic audit of a hardened codebase: vulnerabilities are "
+                "rare, so prevalence-sensitive metrics saturate and mislead; "
+                "misses are expensive but not catastrophic."
+            ),
+            cost=CostStructure(cost_fn=20.0, cost_fp=1.0),
+            prevalence_range=(0.01, 0.05),
+            benchmark_prevalence_range=(0.10, 0.30),
+            property_weights={
+                "prevalence-invariant": 0.25,
+                "chance-corrected": 0.18,
+                "rewards detection": 0.14,
+                "discriminating": 0.10,
+                "repeatable": 0.09,
+                "defined": 0.08,
+                "bounded": 0.06,
+                "rewards silence": 0.04,
+                "understandable": 0.03,
+                "accepted": 0.03,
+            },
+        ),
+    ]
+
+
+def scenario_by_key(key: str) -> Scenario:
+    """Look up a canonical scenario by its short key."""
+    for scenario in canonical_scenarios():
+        if scenario.key == key:
+            return scenario
+    known = [s.key for s in canonical_scenarios()]
+    raise ConfigurationError(f"unknown scenario {key!r}; known: {known}")

@@ -1,0 +1,143 @@
+"""Bootstrap machinery for benchmark results.
+
+A metric is only useful for tool selection if, under the sampling noise of a
+finite workload, it still *separates* tools whose true quality differs — the
+"discriminating" characteristic of a good metric.  This module provides the
+resampling utilities behind experiment R7 (discriminative power) and the
+repeatability property check in R2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._rng import rng_from_seed
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.metrics.confusion import ConfusionMatrix
+
+__all__ = [
+    "BootstrapSummary",
+    "bootstrap_metric",
+    "percentile_interval",
+    "intervals_separated",
+    "separation_fraction",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapSummary:
+    """Distribution summary of a metric over bootstrap resamples."""
+
+    metric_symbol: str
+    point_estimate: float
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n_resamples: int
+    n_defined: int
+    """Number of resamples for which the metric was defined."""
+
+    @property
+    def defined_fraction(self) -> float:
+        """Fraction of resamples where the metric had a finite value."""
+        return self.n_defined / self.n_resamples if self.n_resamples else float("nan")
+
+    @property
+    def width(self) -> float:
+        """Width of the confidence interval."""
+        return self.ci_high - self.ci_low
+
+
+def percentile_interval(values: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval over ``values`` (nan-free)."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence={confidence} must be in (0, 1)")
+    if len(values) == 0:
+        raise ConfigurationError("cannot build an interval from no values")
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(np.asarray(values, dtype=float), [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def bootstrap_metric(
+    metric: Metric,
+    cm: ConfusionMatrix,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    seed: int | np.random.Generator = 0,
+) -> BootstrapSummary:
+    """Bootstrap the sampling distribution of ``metric`` at ``cm``.
+
+    Resamples the confusion matrix multinomially (same workload size, cells
+    drawn from the observed proportions) and recomputes the metric.  Undefined
+    resamples are dropped but counted, because frequent undefinedness is
+    itself a finding (the R2 "definedness" property).
+    """
+    if n_resamples < 2:
+        raise ConfigurationError(f"n_resamples={n_resamples} must be >= 2")
+    rng = rng_from_seed(seed)
+    values: list[float] = []
+    for _ in range(n_resamples):
+        value = metric.value_or_nan(cm.resample(rng))
+        if math.isfinite(value):
+            values.append(value)
+    if not values:
+        nan = float("nan")
+        return BootstrapSummary(
+            metric_symbol=metric.symbol,
+            point_estimate=metric.value_or_nan(cm),
+            mean=nan,
+            std=nan,
+            ci_low=nan,
+            ci_high=nan,
+            n_resamples=n_resamples,
+            n_defined=0,
+        )
+    array = np.asarray(values, dtype=float)
+    ci_low, ci_high = percentile_interval(values, confidence)
+    return BootstrapSummary(
+        metric_symbol=metric.symbol,
+        point_estimate=metric.value_or_nan(cm),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if len(values) > 1 else 0.0,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_resamples=n_resamples,
+        n_defined=len(values),
+    )
+
+
+def intervals_separated(a: BootstrapSummary, b: BootstrapSummary) -> bool:
+    """Whether two bootstrap confidence intervals do not overlap.
+
+    Non-overlap is the (conservative) separation criterion the
+    discriminative-power experiment uses: a benchmark reader can tell the two
+    tools apart on this metric without further statistics.
+    """
+    if any(
+        math.isnan(value)
+        for value in (a.ci_low, a.ci_high, b.ci_low, b.ci_high)
+    ):
+        return False
+    return a.ci_low > b.ci_high or b.ci_low > a.ci_high
+
+
+def separation_fraction(summaries: Sequence[BootstrapSummary]) -> float:
+    """Fraction of tool pairs a metric separates (non-overlapping CIs)."""
+    n = len(summaries)
+    if n < 2:
+        raise ConfigurationError("separation needs at least two tools")
+    pairs = 0
+    separated = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            if intervals_separated(summaries[i], summaries[j]):
+                separated += 1
+    return separated / pairs

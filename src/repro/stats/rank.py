@@ -1,0 +1,189 @@
+"""Rankings and rank correlation.
+
+The study compares *rankings of tools* induced by different metrics (R5) and
+*rankings of metrics* produced by different selection methods (R11).  This
+module implements the ranking machinery from first principles: fractional
+ranks with tie handling, Kendall's tau-b, Spearman's rho, and top-k overlap.
+The implementations are cross-checked against scipy in the test suite but do
+not depend on it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "rank_scores",
+    "order_by_score",
+    "kendall_tau",
+    "kendalls_w",
+    "spearman_rho",
+    "top_k_overlap",
+    "rank_of",
+]
+
+
+def rank_scores(scores: Sequence[float], higher_is_better: bool = True) -> list[float]:
+    """Return fractional (average) ranks, 1 = best.
+
+    Ties receive the average of the positions they span, the standard
+    "fractional ranking" used by rank-correlation statistics.  ``nan`` scores
+    are ranked last (a metric that is undefined for a tool cannot rank it
+    above any tool it is defined for).
+    """
+    n = len(scores)
+    if n == 0:
+        raise ConfigurationError("cannot rank an empty score list")
+
+    def sort_key(index: int) -> tuple[int, float]:
+        value = scores[index]
+        if math.isnan(value):
+            return (1, 0.0)  # nans sort after every real value
+        return (0, -value if higher_is_better else value)
+
+    order = sorted(range(n), key=sort_key)
+    ranks = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sort_key(order[j + 1]) == sort_key(order[i]):
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def order_by_score(
+    names: Sequence[str], scores: Sequence[float], higher_is_better: bool = True
+) -> list[str]:
+    """Return ``names`` ordered best-first; ties broken by name for stability."""
+    if len(names) != len(scores):
+        raise ConfigurationError("names and scores must have equal length")
+    ranks = rank_scores(scores, higher_is_better=higher_is_better)
+    return [name for _, name in sorted(zip(ranks, names), key=lambda pair: (pair[0], pair[1]))]
+
+
+def rank_of(name: str, names: Sequence[str], scores: Sequence[float],
+            higher_is_better: bool = True) -> float:
+    """Fractional rank of ``name`` within the scored set (1 = best)."""
+    try:
+        index = list(names).index(name)
+    except ValueError:
+        raise ConfigurationError(f"{name!r} not among {list(names)!r}") from None
+    return rank_scores(scores, higher_is_better=higher_is_better)[index]
+
+
+def kendall_tau(x: Sequence[float], y: Sequence[float]) -> float:
+    """Kendall's tau-b between two score vectors (tie-corrected).
+
+    Returns ``nan`` when either vector is constant (tau undefined).  O(n^2),
+    which is ample for tool pools of benchmark size.
+    """
+    n = len(x)
+    if n != len(y):
+        raise ConfigurationError("x and y must have equal length")
+    if n < 2:
+        raise ConfigurationError("kendall_tau needs at least two observations")
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    n0 = n * (n - 1) / 2
+    # Count total tied pairs per vector (including pairs tied in both).
+    tied_both = n0 - concordant - discordant - ties_x - ties_y
+    denom_x = n0 - (ties_x + tied_both)
+    denom_y = n0 - (ties_y + tied_both)
+    denominator = math.sqrt(denom_x * denom_y)
+    if denominator == 0:
+        return float("nan")
+    return (concordant - discordant) / denominator
+
+
+def spearman_rho(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman's rank correlation (Pearson correlation of fractional ranks)."""
+    n = len(x)
+    if n != len(y):
+        raise ConfigurationError("x and y must have equal length")
+    if n < 2:
+        raise ConfigurationError("spearman_rho needs at least two observations")
+    rx = rank_scores(x, higher_is_better=False)  # ascending ranks
+    ry = rank_scores(y, higher_is_better=False)
+    mean_rx = sum(rx) / n
+    mean_ry = sum(ry) / n
+    cov = sum((a - mean_rx) * (b - mean_ry) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_rx) ** 2 for a in rx)
+    var_y = sum((b - mean_ry) ** 2 for b in ry)
+    denominator = math.sqrt(var_x * var_y)
+    if denominator == 0:
+        return float("nan")
+    return cov / denominator
+
+
+def kendalls_w(score_vectors: Sequence[Sequence[float]]) -> float:
+    """Kendall's coefficient of concordance W over raters' score vectors.
+
+    Each vector holds one rater's scores for the same m items (higher =
+    better); ranks are formed per rater with tie correction.  W = 1 means
+    every rater ranks the items identically; W = 0 means no agreement beyond
+    chance.  Used to quantify how cohesive an expert panel's metric
+    preferences are before aggregation.
+    """
+    n_raters = len(score_vectors)
+    if n_raters < 2:
+        raise ConfigurationError("kendalls_w needs at least two raters")
+    m = len(score_vectors[0])
+    if m < 2:
+        raise ConfigurationError("kendalls_w needs at least two items")
+    if any(len(v) != m for v in score_vectors):
+        raise ConfigurationError("all raters must score the same items")
+
+    rank_matrix = [rank_scores(vector, higher_is_better=True) for vector in score_vectors]
+    rank_sums = [sum(ranks[i] for ranks in rank_matrix) for i in range(m)]
+    mean_rank_sum = sum(rank_sums) / m
+    s = sum((r - mean_rank_sum) ** 2 for r in rank_sums)
+
+    # Tie correction per rater: T = sum over tie groups of (t^3 - t).
+    tie_correction = 0.0
+    for ranks in rank_matrix:
+        counts: dict[float, int] = {}
+        for rank in ranks:
+            counts[rank] = counts.get(rank, 0) + 1
+        tie_correction += sum(t**3 - t for t in counts.values() if t > 1)
+
+    denominator = n_raters**2 * (m**3 - m) - n_raters * tie_correction
+    if denominator <= 0:
+        # Every rater tied every item: agreement is undefined.
+        return float("nan")
+    return 12.0 * s / denominator
+
+
+def top_k_overlap(first: Sequence[str], second: Sequence[str], k: int) -> float:
+    """Fraction of overlap between the top-``k`` entries of two orderings.
+
+    Used in R11 to quantify agreement between the analytical metric
+    selection and the MCDA/expert ranking.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k={k} must be positive")
+    if k > min(len(first), len(second)):
+        raise ConfigurationError(
+            f"k={k} exceeds ordering lengths ({len(first)}, {len(second)})"
+        )
+    return len(set(first[:k]) & set(second[:k])) / k

@@ -1,0 +1,33 @@
+"""Vulnerability detection tools: real detectors over the mini-IR plus
+parametric simulated scanners."""
+
+from repro.tools.base import Detection, DetectionReport, VulnerabilityDetectionTool
+from repro.tools.dynamic_injector import DynamicInjector
+from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.simulated import SimulatedTool, ToolProfile
+from repro.tools.suite import real_tool_suite, reference_suite, simulated_pool
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.tools.thresholded import (
+    ThresholdedTool,
+    ThresholdPoint,
+    optimal_threshold,
+    threshold_sweep,
+)
+
+__all__ = [
+    "Detection",
+    "DetectionReport",
+    "VulnerabilityDetectionTool",
+    "DynamicInjector",
+    "PatternScanner",
+    "SimulatedTool",
+    "ToolProfile",
+    "TaintAnalyzer",
+    "ThresholdedTool",
+    "ThresholdPoint",
+    "optimal_threshold",
+    "threshold_sweep",
+    "real_tool_suite",
+    "reference_suite",
+    "simulated_pool",
+]

@@ -1,0 +1,84 @@
+"""Detection tool interface.
+
+A tool consumes a :class:`~repro.workload.Workload` and produces a
+:class:`DetectionReport`: the set of analysis sites it flags as vulnerable.
+The benchmark harness scores reports against the workload's ground truth to
+obtain confusion matrices — at which point the tool's internals no longer
+matter, which is exactly the abstraction boundary the paper's metrics
+analysis sits on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ToolError
+from repro.workload.code_model import SinkSite
+from repro.workload.generator import Workload
+
+__all__ = ["Detection", "DetectionReport", "VulnerabilityDetectionTool"]
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """One finding: a flagged analysis site with a confidence score."""
+
+    site: SinkSite
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence <= 1.0:
+            raise ToolError(f"confidence={self.confidence} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """The complete output of one tool run over one workload."""
+
+    tool_name: str
+    workload_name: str
+    detections: tuple[Detection, ...]
+
+    def __post_init__(self) -> None:
+        sites = [d.site for d in self.detections]
+        if len(set(sites)) != len(sites):
+            raise ToolError(f"tool {self.tool_name!r} reported a site twice")
+
+    @property
+    def flagged_sites(self) -> frozenset[SinkSite]:
+        """The set of sites the tool reported."""
+        return frozenset(d.site for d in self.detections)
+
+    @property
+    def n_detections(self) -> int:
+        """Number of findings in the report."""
+        return len(self.detections)
+
+
+class VulnerabilityDetectionTool(ABC):
+    """Base class for every detector (real or simulated)."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ToolError("tool name must be non-empty")
+        self.name = name
+
+    @abstractmethod
+    def analyze(self, workload: Workload) -> DetectionReport:
+        """Run the tool over ``workload`` and return its report.
+
+        Implementations must be deterministic given their construction
+        parameters (stochastic tools derive per-workload substreams from
+        their seed), so campaigns are repeatable.
+        """
+
+    def _report(self, workload: Workload, detections: list[Detection]) -> DetectionReport:
+        """Package ``detections`` into a report, sorted for determinism."""
+        ordered = tuple(sorted(detections, key=lambda d: d.site))
+        return DetectionReport(
+            tool_name=self.name, workload_name=workload.name, detections=ordered
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

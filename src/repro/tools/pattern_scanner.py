@@ -1,0 +1,68 @@
+"""Pattern (signature) scanner.
+
+Models the grep-style first generation of static analyzers: it flags a sink
+whenever the unit contains *any* external input, without tracking whether the
+input actually flows into the sink or is sanitized on the way.  The result is
+the classic high-recall / low-precision profile — a corner of the operating
+space the metrics study needs populated.
+
+One knob tightens it up: ``respect_sanitizers`` suppresses a finding when a
+matching-class sanitizer appears anywhere before the sink — a purely
+syntactic check, so it still gets fooled when the sanitizer sits on a
+different data path (including another site in the same unit).
+"""
+
+from __future__ import annotations
+
+from repro.tools.base import Detection, DetectionReport, VulnerabilityDetectionTool
+from repro.workload.code_model import CodeUnit, SinkSite, StatementKind
+from repro.workload.generator import Workload
+
+__all__ = ["PatternScanner"]
+
+
+class PatternScanner(VulnerabilityDetectionTool):
+    """Syntactic signature matcher over the mini-IR."""
+
+    def __init__(
+        self,
+        name: str = "PatternScanner",
+        respect_sanitizers: bool = False,
+        confidence: float = 0.6,
+    ) -> None:
+        super().__init__(name)
+        self.respect_sanitizers = respect_sanitizers
+        self.confidence = confidence
+
+    def analyze(self, workload: Workload) -> DetectionReport:
+        detections: list[Detection] = []
+        for unit in workload.units:
+            detections.extend(self._scan_unit(unit))
+        return self._report(workload, detections)
+
+    def _scan_unit(self, unit: CodeUnit) -> list[Detection]:
+        has_input = any(s.kind is StatementKind.INPUT for s in unit.statements)
+        if not has_input:
+            return []
+        findings: list[Detection] = []
+        for index, statement in enumerate(unit.statements):
+            if statement.kind is not StatementKind.SINK:
+                continue
+            sanitized = self._sanitized_before(unit, index)
+            if self.respect_sanitizers and sanitized:
+                continue
+            site = SinkSite(unit.unit_id, index, statement.vuln_type)  # type: ignore[arg-type]
+            # A visible same-class sanitizer the scanner chose not to trust
+            # still lowers its reported confidence — the hedging behaviour
+            # of real signature matchers.
+            confidence = self.confidence * (0.55 if sanitized else 1.0)
+            findings.append(Detection(site=site, confidence=confidence))
+        return findings
+
+    def _sanitized_before(self, unit: CodeUnit, sink_index: int) -> bool:
+        """Purely syntactic: any same-class sanitizer textually above the sink."""
+        sink = unit.statements[sink_index]
+        return any(
+            s.kind is StatementKind.SANITIZE and s.vuln_type is sink.vuln_type
+            for s in unit.statements[:sink_index]
+        )

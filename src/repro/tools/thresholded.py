@@ -1,0 +1,98 @@
+"""Confidence thresholds as an operating-point dial.
+
+Most real tools expose a severity/confidence cut-off, which means a single
+tool is really a *family* of operating points.  The scenario then chooses
+not only the metric but the threshold: a critical-system user runs the tool
+wide open, a triage-bound team dials it up.  This module wraps any detector
+with a threshold, sweeps the dial, and finds the cost-optimal setting for a
+given cost structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ToolError
+from repro.metrics.confusion import ConfusionMatrix
+from repro.scenarios.cost_model import CostStructure
+from repro.tools.base import DetectionReport, VulnerabilityDetectionTool
+from repro.workload.generator import Workload
+
+__all__ = ["ThresholdedTool", "ThresholdPoint", "threshold_sweep", "optimal_threshold"]
+
+
+class ThresholdedTool(VulnerabilityDetectionTool):
+    """A detector reporting only findings at or above a confidence cut-off."""
+
+    def __init__(self, base: VulnerabilityDetectionTool, threshold: float) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ToolError(f"threshold={threshold} must be in [0, 1]")
+        super().__init__(f"{base.name}@{threshold:g}")
+        self.base = base
+        self.threshold = threshold
+
+    def analyze(self, workload: Workload) -> DetectionReport:
+        full = self.base.analyze(workload)
+        kept = [d for d in full.detections if d.confidence >= self.threshold]
+        return self._report(workload, kept)
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdPoint:
+    """One stop on the threshold dial."""
+
+    threshold: float
+    confusion: ConfusionMatrix
+    expected_cost: float | None = None
+
+
+def threshold_sweep(
+    tool: VulnerabilityDetectionTool,
+    workload: Workload,
+    thresholds: Sequence[float] = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    cost: CostStructure | None = None,
+) -> list[ThresholdPoint]:
+    """Score the tool at every threshold (one base run, filtered locally).
+
+    The base tool runs exactly once, so stochastic tools keep one coherent
+    set of findings across the sweep — the dial moves, the tool does not.
+    """
+    # Imported here: the campaign layer imports the tools package, so a
+    # module-level import would be circular.
+    from repro.bench.campaign import score_report
+
+    if not thresholds:
+        raise ToolError("thresholds must not be empty")
+    if any(not 0.0 <= t <= 1.0 for t in thresholds):
+        raise ToolError("thresholds must lie in [0, 1]")
+    full = tool.analyze(workload)
+    points = []
+    for threshold in sorted(thresholds):
+        kept = tuple(d for d in full.detections if d.confidence >= threshold)
+        report = DetectionReport(
+            tool_name=f"{tool.name}@{threshold:g}",
+            workload_name=workload.name,
+            detections=kept,
+        )
+        confusion = score_report(report, workload.truth)
+        points.append(
+            ThresholdPoint(
+                threshold=threshold,
+                confusion=confusion,
+                expected_cost=cost.expected_cost(confusion) if cost else None,
+            )
+        )
+    return points
+
+
+def optimal_threshold(
+    tool: VulnerabilityDetectionTool,
+    workload: Workload,
+    cost: CostStructure,
+    thresholds: Sequence[float] = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+) -> ThresholdPoint:
+    """The sweep point minimizing expected cost (ties go to the lower
+    threshold — when indifferent, keep more findings visible)."""
+    points = threshold_sweep(tool, workload, thresholds, cost=cost)
+    return min(points, key=lambda p: (p.expected_cost, p.threshold))

@@ -1,0 +1,37 @@
+"""Synthetic vulnerability-detection workloads (the benchmark substrate)."""
+
+from repro.workload.corpus import corpus_units, corpus_workload
+from repro.workload.mutations import break_site, extend_chain, fix_site
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.generator import (
+    SiteProfile,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.oracle import is_site_vulnerable, taint_state_after, vulnerable_sites
+from repro.workload.taxonomy import TRAITS, VulnerabilityTraits, VulnerabilityType
+
+__all__ = [
+    "corpus_units",
+    "corpus_workload",
+    "break_site",
+    "extend_chain",
+    "fix_site",
+    "CodeUnit",
+    "SinkSite",
+    "Statement",
+    "StatementKind",
+    "SiteProfile",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
+    "GroundTruth",
+    "is_site_vulnerable",
+    "taint_state_after",
+    "vulnerable_sites",
+    "TRAITS",
+    "VulnerabilityTraits",
+    "VulnerabilityType",
+]

@@ -1,0 +1,127 @@
+"""A miniature code model for vulnerability-detection workloads.
+
+Real campaigns run tools over source code.  Tools cannot be benchmarked
+without code to analyze, so this module defines a small but *real*
+intermediate representation the tools in :mod:`repro.tools` actually analyze:
+straight-line code units made of statements over named variables, with taint
+sources (user inputs), propagation (assignments/concatenations), sanitizers,
+and sinks (security-sensitive APIs).
+
+The representation is deliberately simple — the study's subject is the
+*metrics*, not program analysis — but it is rich enough that the detection
+problem is non-trivial: static tools must track data flow through chains and
+respect (or ignore) sanitizers, and a dynamic tool must guess payloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["StatementKind", "Statement", "CodeUnit", "SinkSite"]
+
+
+class StatementKind(enum.Enum):
+    """The statement vocabulary of the mini-IR."""
+
+    INPUT = "input"  # target := external input (taint source)
+    CONST = "const"  # target := program constant (never tainted)
+    ASSIGN = "assign"  # target := source (taint propagates)
+    CONCAT = "concat"  # target := join(sources) (taint is the union)
+    SANITIZE = "sanitize"  # target := sanitize[type](source)
+    SINK = "sink"  # security-sensitive API consuming the sources
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """One statement of a code unit.
+
+    ``target`` is the variable defined by the statement (``None`` for sinks).
+    ``sources`` are the variables read.  ``vuln_type`` is set for sinks (the
+    class of vulnerability this sink can host) and for sanitizers (the class
+    the sanitizer neutralizes).
+    """
+
+    kind: StatementKind
+    target: str | None = None
+    sources: tuple[str, ...] = ()
+    vuln_type: VulnerabilityType | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (StatementKind.INPUT, StatementKind.CONST):
+            if self.target is None or self.sources:
+                raise WorkloadError(f"{self.kind.value} defines a target and reads nothing")
+        elif self.kind in (StatementKind.ASSIGN, StatementKind.SANITIZE):
+            if self.target is None or len(self.sources) != 1:
+                raise WorkloadError(f"{self.kind.value} needs a target and exactly one source")
+        elif self.kind is StatementKind.CONCAT:
+            if self.target is None or len(self.sources) < 1:
+                raise WorkloadError("concat needs a target and at least one source")
+        elif self.kind is StatementKind.SINK:
+            if self.target is not None or len(self.sources) != 1:
+                raise WorkloadError("sink reads exactly one variable and defines nothing")
+        if self.kind in (StatementKind.SANITIZE, StatementKind.SINK) and self.vuln_type is None:
+            raise WorkloadError(f"{self.kind.value} requires a vuln_type")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SinkSite:
+    """Identifies one analysis site: a sink statement within a unit.
+
+    Sites are the unit of scoring — every site is either vulnerable or safe
+    in the ground truth, and either reported or not by each tool.
+    """
+
+    unit_id: str
+    statement_index: int
+    vuln_type: VulnerabilityType = field(compare=False)
+
+
+@dataclass(frozen=True)
+class CodeUnit:
+    """A straight-line code unit (think: one web-service operation).
+
+    Validated at construction: every variable is defined before use and
+    every statement is well-formed, so downstream analyses never need
+    defensive checks.
+    """
+
+    unit_id: str
+    statements: tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.unit_id:
+            raise WorkloadError("unit_id must be non-empty")
+        defined: set[str] = set()
+        for index, statement in enumerate(self.statements):
+            for source in statement.sources:
+                if source not in defined:
+                    raise WorkloadError(
+                        f"unit {self.unit_id!r} statement {index}: "
+                        f"variable {source!r} used before definition"
+                    )
+            if statement.target is not None:
+                defined.add(statement.target)
+
+    def sink_sites(self) -> list[SinkSite]:
+        """All analysis sites of the unit, in statement order."""
+        return [
+            SinkSite(self.unit_id, index, statement.vuln_type)  # type: ignore[arg-type]
+            for index, statement in enumerate(self.statements)
+            if statement.kind is StatementKind.SINK
+        ]
+
+    def statement_at(self, index: int) -> Statement:
+        """The statement at ``index`` with bounds checking."""
+        if not 0 <= index < len(self.statements):
+            raise WorkloadError(
+                f"unit {self.unit_id!r} has no statement {index} "
+                f"(has {len(self.statements)})"
+            )
+        return self.statements[index]
+
+    def __len__(self) -> int:
+        return len(self.statements)

@@ -1,0 +1,362 @@
+"""A hand-written workload corpus of realistic web-service operations.
+
+The synthetic generator controls distributions; this corpus controls
+*stories*.  Each unit models a recognizable web-service operation (login
+handler, file download, report renderer, ...) written in the mini-IR, with
+the vulnerability or its fix placed the way real code places it.  It serves
+as a second, structurally different workload for tests and examples, and as
+living documentation of what the mini-IR expresses.
+
+Ground truth comes from the taint oracle — like the generator, the corpus
+cannot desynchronize truth from code.
+"""
+
+from __future__ import annotations
+
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.generator import SiteProfile, Workload, WorkloadConfig
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.oracle import vulnerable_sites
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["corpus_units", "corpus_workload"]
+
+I = StatementKind.INPUT
+C = StatementKind.CONST
+A = StatementKind.ASSIGN
+CC = StatementKind.CONCAT
+SAN = StatementKind.SANITIZE
+SK = StatementKind.SINK
+
+SQLI = VulnerabilityType.SQL_INJECTION
+XSS = VulnerabilityType.XSS
+PATH = VulnerabilityType.PATH_TRAVERSAL
+CMD = VulnerabilityType.COMMAND_INJECTION
+LDAP = VulnerabilityType.LDAP_INJECTION
+XPATH = VulnerabilityType.XPATH_INJECTION
+
+
+def corpus_units() -> list[CodeUnit]:
+    """The twelve corpus operations."""
+    return [
+        # 1. Classic login: username straight into the SQL query. Vulnerable.
+        CodeUnit(
+            "login-naive",
+            (
+                Statement(I, target="username"),
+                Statement(C, target="query_prefix"),
+                Statement(CC, target="query", sources=("query_prefix", "username")),
+                Statement(SK, sources=("query",), vuln_type=SQLI),
+            ),
+        ),
+        # 2. Parameterized login: the input is escaped for SQL first. Safe.
+        CodeUnit(
+            "login-parameterized",
+            (
+                Statement(I, target="username"),
+                Statement(SAN, target="bound", sources=("username",), vuln_type=SQLI),
+                Statement(C, target="query_prefix"),
+                Statement(CC, target="query", sources=("query_prefix", "bound")),
+                Statement(SK, sources=("query",), vuln_type=SQLI),
+            ),
+        ),
+        # 3. Search endpoint: the term is SQL-escaped, then echoed into the
+        #    results page without HTML encoding. Safe for SQLi, vulnerable
+        #    for XSS — the cross-class trap.
+        CodeUnit(
+            "search-echo",
+            (
+                Statement(I, target="term"),
+                Statement(SAN, target="sql_safe", sources=("term",), vuln_type=SQLI),
+                Statement(C, target="select"),
+                Statement(CC, target="query", sources=("select", "sql_safe")),
+                Statement(SK, sources=("query",), vuln_type=SQLI),
+                Statement(C, target="heading"),
+                Statement(CC, target="page", sources=("heading", "sql_safe")),
+                Statement(SK, sources=("page",), vuln_type=XSS),
+            ),
+        ),
+        # 4. File download with a whitelist-style fix applied late. Safe.
+        CodeUnit(
+            "download-checked",
+            (
+                Statement(I, target="filename"),
+                Statement(A, target="requested", sources=("filename",)),
+                Statement(SAN, target="resolved", sources=("requested",), vuln_type=PATH),
+                Statement(SK, sources=("resolved",), vuln_type=PATH),
+            ),
+        ),
+        # 5. File download that sanitizes a *copy* and opens the original.
+        #    Vulnerable — the "fixed the wrong variable" bug.
+        CodeUnit(
+            "download-wrong-variable",
+            (
+                Statement(I, target="filename"),
+                Statement(SAN, target="resolved", sources=("filename",), vuln_type=PATH),
+                Statement(SK, sources=("filename",), vuln_type=PATH),
+            ),
+        ),
+        # 6. Report renderer: deep formatting pipeline, no encoding.
+        #    Vulnerable, and hard for depth-limited analyzers.
+        CodeUnit(
+            "report-deep-pipeline",
+            (
+                Statement(I, target="title"),
+                Statement(A, target="trimmed", sources=("title",)),
+                Statement(A, target="localized", sources=("trimmed",)),
+                Statement(C, target="css"),
+                Statement(CC, target="styled", sources=("css", "localized")),
+                Statement(A, target="wrapped", sources=("styled",)),
+                Statement(A, target="footered", sources=("wrapped",)),
+                Statement(A, target="body", sources=("footered",)),
+                Statement(SK, sources=("body",), vuln_type=XSS),
+            ),
+        ),
+        # 7. Ping utility: host parameter shell-escaped. Safe, but the
+        #    sanitizer sits far from the sink.
+        CodeUnit(
+            "ping-escaped",
+            (
+                Statement(I, target="host"),
+                Statement(SAN, target="safe_host", sources=("host",), vuln_type=CMD),
+                Statement(C, target="ping_bin"),
+                Statement(CC, target="cmdline", sources=("ping_bin", "safe_host")),
+                Statement(A, target="final", sources=("cmdline",)),
+                Statement(SK, sources=("final",), vuln_type=CMD),
+            ),
+        ),
+        # 8. Backup script runner: config name concatenated raw. Vulnerable.
+        CodeUnit(
+            "backup-raw-command",
+            (
+                Statement(I, target="job_name"),
+                Statement(C, target="script"),
+                Statement(CC, target="cmdline", sources=("script", "job_name")),
+                Statement(SK, sources=("cmdline",), vuln_type=CMD),
+            ),
+        ),
+        # 9. Directory lookup: the filter is LDAP-escaped but the tree path
+        #    is not — two sinks, one vulnerable.
+        CodeUnit(
+            "ldap-partial-fix",
+            (
+                Statement(I, target="user_filter"),
+                Statement(SAN, target="safe_filter", sources=("user_filter",), vuln_type=LDAP),
+                Statement(SK, sources=("safe_filter",), vuln_type=LDAP),
+                Statement(I, target="tree_path"),
+                Statement(SK, sources=("tree_path",), vuln_type=LDAP),
+            ),
+        ),
+        # 10. XML account export: account id into an XPath query with an
+        #     XSS sanitizer — wrong class, still vulnerable.
+        CodeUnit(
+            "xpath-wrong-sanitizer",
+            (
+                Statement(I, target="account_id"),
+                Statement(SAN, target="cleaned", sources=("account_id",), vuln_type=XSS),
+                Statement(C, target="xpath_prefix"),
+                Statement(CC, target="expression", sources=("xpath_prefix", "cleaned")),
+                Statement(SK, sources=("expression",), vuln_type=XPATH),
+            ),
+        ),
+        # 11. Static status page: constants only. Safe and boring, as most
+        #     code is.
+        CodeUnit(
+            "status-static",
+            (
+                Statement(C, target="version"),
+                Statement(C, target="banner"),
+                Statement(CC, target="page", sources=("banner", "version")),
+                Statement(SK, sources=("page",), vuln_type=XSS),
+            ),
+        ),
+        # 12. Audit logger: user agent flows into a shell one-liner through
+        #     a constant-led concat — the pattern field-insensitive
+        #     analyzers lose. Vulnerable.
+        CodeUnit(
+            "audit-logger",
+            (
+                Statement(I, target="user_agent"),
+                Statement(C, target="logger_bin"),
+                Statement(CC, target="cmdline", sources=("logger_bin", "user_agent")),
+                Statement(A, target="final", sources=("cmdline",)),
+                Statement(SK, sources=("final",), vuln_type=CMD),
+            ),
+        ),
+        # 13. Profile page: the display name is HTML-escaped, then someone
+        #     "un-refactors" by re-reading the raw value for the tooltip.
+        #     Two XSS sinks: one safe, one vulnerable.
+        CodeUnit(
+            "profile-tooltip",
+            (
+                Statement(I, target="display_name"),
+                Statement(SAN, target="escaped", sources=("display_name",), vuln_type=XSS),
+                Statement(SK, sources=("escaped",), vuln_type=XSS),
+                Statement(A, target="tooltip", sources=("display_name",)),
+                Statement(SK, sources=("tooltip",), vuln_type=XSS),
+            ),
+        ),
+        # 14. CSV export: everything derives from query constants. Safe.
+        CodeUnit(
+            "csv-export-static",
+            (
+                Statement(C, target="header_row"),
+                Statement(C, target="delimiter"),
+                Statement(CC, target="contents", sources=("header_row", "delimiter")),
+                Statement(SK, sources=("contents",), vuln_type=PATH),
+            ),
+        ),
+        # 15. Avatar upload: user-controlled filename resolved late and
+        #     correctly. Safe, with the longest sanitized pipeline in the
+        #     corpus (stresses post-sanitizer tracking).
+        CodeUnit(
+            "avatar-upload",
+            (
+                Statement(I, target="filename"),
+                Statement(A, target="trimmed", sources=("filename",)),
+                Statement(A, target="lowered", sources=("trimmed",)),
+                Statement(SAN, target="resolved", sources=("lowered",), vuln_type=PATH),
+                Statement(A, target="prefixed", sources=("resolved",)),
+                Statement(A, target="final_path", sources=("prefixed",)),
+                Statement(SK, sources=("final_path",), vuln_type=PATH),
+            ),
+        ),
+        # 16. Paginated search: page size sanitized for SQL, but the sort
+        #     column is interpolated raw. Vulnerable.
+        CodeUnit(
+            "search-paginated",
+            (
+                Statement(I, target="page_size"),
+                Statement(SAN, target="safe_size", sources=("page_size",), vuln_type=SQLI),
+                Statement(I, target="sort_column"),
+                Statement(C, target="select"),
+                Statement(CC, target="query",
+                          sources=("select", "sort_column", "safe_size")),
+                Statement(SK, sources=("query",), vuln_type=SQLI),
+            ),
+        ),
+        # 17. Webhook registration: the callback host is shell-escaped for
+        #     the curl health check but the path is not — mixed CONCAT with
+        #     one raw operand. Vulnerable.
+        CodeUnit(
+            "webhook-healthcheck",
+            (
+                Statement(I, target="callback_host"),
+                Statement(SAN, target="safe_host", sources=("callback_host",), vuln_type=CMD),
+                Statement(I, target="callback_path"),
+                Statement(C, target="curl_bin"),
+                Statement(CC, target="cmdline",
+                          sources=("curl_bin", "safe_host", "callback_path")),
+                Statement(SK, sources=("cmdline",), vuln_type=CMD),
+            ),
+        ),
+        # 18. Group lookup: LDAP filter built entirely from constants plus a
+        #     properly escaped group name. Safe.
+        CodeUnit(
+            "group-lookup",
+            (
+                Statement(I, target="group_name"),
+                Statement(SAN, target="escaped", sources=("group_name",), vuln_type=LDAP),
+                Statement(C, target="filter_prefix"),
+                Statement(CC, target="ldap_filter", sources=("filter_prefix", "escaped")),
+                Statement(SK, sources=("ldap_filter",), vuln_type=LDAP),
+            ),
+        ),
+        # 19. Invoice renderer: amount flows through a seven-hop formatting
+        #     pipeline into XPath. Vulnerable and deep — the second
+        #     depth-budget stressor.
+        CodeUnit(
+            "invoice-xpath",
+            (
+                Statement(I, target="invoice_id"),
+                Statement(A, target="v1", sources=("invoice_id",)),
+                Statement(A, target="v2", sources=("v1",)),
+                Statement(A, target="v3", sources=("v2",)),
+                Statement(A, target="v4", sources=("v3",)),
+                Statement(A, target="v5", sources=("v4",)),
+                Statement(A, target="v6", sources=("v5",)),
+                Statement(A, target="v7", sources=("v6",)),
+                Statement(SK, sources=("v7",), vuln_type=XPATH),
+            ),
+        ),
+        # 20. Health endpoint: reads nothing, prints a constant. Safe —
+        #     the unit every real service has.
+        CodeUnit(
+            "health-endpoint",
+            (
+                Statement(C, target="status"),
+                Statement(SK, sources=("status",), vuln_type=XSS),
+            ),
+        ),
+    ]
+
+
+def _chain_length(unit: CodeUnit, sink_index: int) -> int:
+    """Length of the def-use chain feeding the sink (backward walk)."""
+    sink = unit.statements[sink_index]
+    current = sink.sources[0]
+    length = 0
+    for index in range(sink_index - 1, -1, -1):
+        statement = unit.statements[index]
+        if statement.target != current:
+            continue
+        if statement.kind in (StatementKind.INPUT, StatementKind.CONST):
+            break
+        length += 1
+        # Follow the (first tainted-ish) operand backward.
+        current = statement.sources[0]
+        if statement.kind is StatementKind.CONCAT and len(statement.sources) > 1:
+            # Prefer a non-constant operand if the first is a constant
+            # defined immediately above (the corpus' idiom).
+            for source in statement.sources:
+                definition = next(
+                    (
+                        s
+                        for s in reversed(unit.statements[:index])
+                        if s.target == source
+                    ),
+                    None,
+                )
+                if definition is not None and definition.kind is not StatementKind.CONST:
+                    current = source
+                    break
+    return max(1, length)
+
+
+def corpus_workload() -> Workload:
+    """The corpus as a scoreable :class:`Workload`."""
+    units = corpus_units()
+    sites: list[SinkSite] = []
+    vulnerable: set[SinkSite] = set()
+    profiles: dict[SinkSite, SiteProfile] = {}
+    for unit in units:
+        truth = vulnerable_sites(unit)
+        for site in unit.sink_sites():
+            sites.append(site)
+            is_vulnerable = site in truth
+            if is_vulnerable:
+                vulnerable.add(site)
+            chain = _chain_length(unit, site.statement_index)
+            sanitizers = [
+                s
+                for s in unit.statements[: site.statement_index]
+                if s.kind is StatementKind.SANITIZE
+            ]
+            cross_class = any(s.vuln_type is not site.vuln_type for s in sanitizers)
+            profiles[site] = SiteProfile(
+                vuln_type=site.vuln_type,
+                vulnerable=is_vulnerable,
+                chain_length=chain,
+                sanitizer_present=bool(sanitizers),
+                cross_class_sanitizer=cross_class and is_vulnerable,
+                difficulty=min(1.0, 0.15 * chain + (0.2 if cross_class else 0.0)),
+            )
+    truth = GroundTruth.from_sites(sites, vulnerable)
+    config = WorkloadConfig(n_units=len(units), seed=0, name="corpus")
+    return Workload(
+        name="corpus",
+        units=tuple(units),
+        truth=truth,
+        profiles=profiles,
+        config=config,
+    )

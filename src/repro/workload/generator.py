@@ -1,0 +1,290 @@
+"""Synthetic workload generator.
+
+The original study reused workloads of real web services with known
+vulnerabilities.  We cannot ship those, so this generator produces code units
+in the mini-IR of :mod:`repro.workload.code_model` with precisely
+controllable *prevalence* (fraction of vulnerable sites), *type mix* and
+*difficulty* — the three workload characteristics the paper's analysis
+depends on.  Ground truth is derived from the exact taint oracle, never
+asserted by fiat, so generator bugs cannot silently desynchronize truth and
+code.
+
+Three site templates are generated:
+
+- **vulnerable**: input → propagation chain → sink, with no sanitizer for
+  the sink's class (sometimes a sanitizer for a *different* class, to bait
+  tools that match sanitizer names without checking the class);
+- **sanitized decoy**: input → chain → correct sanitizer → chain → sink —
+  safe, but a false-positive magnet for flow-insensitive tools;
+- **clean**: constants only — safe and boring, as most real code is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.errors import ConfigurationError
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.oracle import vulnerable_sites
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["SiteProfile", "WorkloadConfig", "Workload", "generate_workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteProfile:
+    """Generation-time characteristics of one analysis site.
+
+    ``difficulty`` in [0, 1] summarizes how hard the site is to analyze
+    (longer propagation chains and cross-class sanitizer noise are harder);
+    the detection tools consume it.
+    """
+
+    vuln_type: VulnerabilityType
+    vulnerable: bool
+    chain_length: int
+    sanitizer_present: bool
+    cross_class_sanitizer: bool
+    difficulty: float
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic workload.
+
+    ``prevalence`` is the expected fraction of vulnerable sites;
+    ``decoy_fraction`` the fraction of *safe* sites that are sanitized decoys
+    (the rest are clean); ``type_mix`` the distribution over vulnerability
+    classes (defaults to uniform over the taxonomy).
+    """
+
+    n_units: int = 500
+    sites_per_unit: tuple[int, int] = (1, 3)
+    prevalence: float = 0.15
+    decoy_fraction: float = 0.5
+    chain_length_range: tuple[int, int] = (1, 6)
+    cross_class_sanitizer_rate: float = 0.25
+    type_mix: dict[VulnerabilityType, float] = field(
+        default_factory=lambda: {v: 1.0 / len(VulnerabilityType) for v in VulnerabilityType}
+    )
+    seed: int = 0
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.n_units <= 0:
+            raise ConfigurationError(f"n_units={self.n_units} must be positive")
+        low, high = self.sites_per_unit
+        if not (1 <= low <= high):
+            raise ConfigurationError(f"sites_per_unit={self.sites_per_unit} must be 1 <= lo <= hi")
+        if not 0.0 < self.prevalence < 1.0:
+            raise ConfigurationError(f"prevalence={self.prevalence} must be in (0, 1)")
+        if not 0.0 <= self.decoy_fraction <= 1.0:
+            raise ConfigurationError(f"decoy_fraction={self.decoy_fraction} must be in [0, 1]")
+        c_low, c_high = self.chain_length_range
+        if not (1 <= c_low <= c_high):
+            raise ConfigurationError(
+                f"chain_length_range={self.chain_length_range} must be 1 <= lo <= hi"
+            )
+        if not 0.0 <= self.cross_class_sanitizer_rate <= 1.0:
+            raise ConfigurationError("cross_class_sanitizer_rate must be in [0, 1]")
+        if not self.type_mix:
+            raise ConfigurationError("type_mix must not be empty")
+        total = sum(self.type_mix.values())
+        if total <= 0:
+            raise ConfigurationError("type_mix weights must sum to a positive number")
+        if any(weight < 0 for weight in self.type_mix.values()):
+            raise ConfigurationError("type_mix weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated benchmark workload: code, ground truth and site profiles."""
+
+    name: str
+    units: tuple[CodeUnit, ...]
+    truth: GroundTruth
+    profiles: dict[SinkSite, SiteProfile]
+    config: WorkloadConfig
+
+    def unit(self, unit_id: str) -> CodeUnit:
+        """Look up a unit by id."""
+        for unit in self.units:
+            if unit.unit_id == unit_id:
+                return unit
+        raise ConfigurationError(f"unknown unit {unit_id!r}")
+
+    @property
+    def n_sites(self) -> int:
+        """Total number of analysis sites."""
+        return self.truth.n_sites
+
+    @property
+    def prevalence(self) -> float:
+        """Realized (not configured) prevalence."""
+        return self.truth.prevalence
+
+
+def _choose_type(
+    rng: np.random.Generator, mix: dict[VulnerabilityType, float]
+) -> VulnerabilityType:
+    types = list(mix)
+    weights = np.array([mix[t] for t in types], dtype=float)
+    weights = weights / weights.sum()
+    return types[int(rng.choice(len(types), p=weights))]
+
+
+def _difficulty(chain_length: int, config: WorkloadConfig, cross_class: bool) -> float:
+    low, high = config.chain_length_range
+    span = max(high - low, 1)
+    base = (chain_length - low) / span
+    bonus = 0.2 if cross_class else 0.0
+    return min(1.0, 0.8 * base + bonus)
+
+
+def _build_site_statements(
+    rng: np.random.Generator,
+    prefix: str,
+    vuln_type: VulnerabilityType,
+    vulnerable: bool,
+    decoy: bool,
+    config: WorkloadConfig,
+) -> tuple[list[Statement], SiteProfile]:
+    """Emit the statements for one analysis site and its profile.
+
+    The returned statements use variables namespaced by ``prefix`` so several
+    sites coexist in one unit without interference.
+    """
+    low, high = config.chain_length_range
+    chain_length = int(rng.integers(low, high + 1))
+    statements: list[Statement] = []
+    var_counter = 0
+
+    def fresh() -> str:
+        nonlocal var_counter
+        name = f"{prefix}_v{var_counter}"
+        var_counter += 1
+        return name
+
+    current = fresh()
+    if vulnerable or decoy:
+        statements.append(Statement(StatementKind.INPUT, target=current))
+    else:
+        statements.append(Statement(StatementKind.CONST, target=current))
+
+    cross_class = False
+    for hop in range(chain_length):
+        nxt = fresh()
+        if rng.random() < 0.3:
+            constant = fresh()
+            statements.append(Statement(StatementKind.CONST, target=constant))
+            # Operand order is randomized: "tainted + constant" and
+            # "constant + tainted" are both idiomatic, and field-insensitive
+            # analyses treat them differently.
+            operands = (
+                (current, constant) if rng.random() < 0.5 else (constant, current)
+            )
+            statements.append(
+                Statement(StatementKind.CONCAT, target=nxt, sources=operands)
+            )
+        else:
+            statements.append(Statement(StatementKind.ASSIGN, target=nxt, sources=(current,)))
+        current = nxt
+
+    if vulnerable and rng.random() < config.cross_class_sanitizer_rate:
+        # Sanitizer for a *different* class: the site stays vulnerable but
+        # tools that pattern-match sanitizer calls get fooled.
+        other_types = [t for t in VulnerabilityType if t is not vuln_type]
+        other = other_types[int(rng.integers(len(other_types)))]
+        nxt = fresh()
+        statements.append(
+            Statement(StatementKind.SANITIZE, target=nxt, sources=(current,), vuln_type=other)
+        )
+        current = nxt
+        cross_class = True
+
+    if decoy:
+        nxt = fresh()
+        statements.append(
+            Statement(
+                StatementKind.SANITIZE, target=nxt, sources=(current,), vuln_type=vuln_type
+            )
+        )
+        current = nxt
+        # Optional post-sanitizer propagation, so the sanitizer is not always
+        # immediately adjacent to the sink.
+        if rng.random() < 0.5:
+            nxt = fresh()
+            statements.append(Statement(StatementKind.ASSIGN, target=nxt, sources=(current,)))
+            current = nxt
+
+    statements.append(Statement(StatementKind.SINK, sources=(current,), vuln_type=vuln_type))
+    profile = SiteProfile(
+        vuln_type=vuln_type,
+        vulnerable=vulnerable,
+        chain_length=chain_length,
+        sanitizer_present=decoy or cross_class,
+        cross_class_sanitizer=cross_class,
+        difficulty=_difficulty(chain_length, config, cross_class),
+    )
+    return statements, profile
+
+
+def generate_workload(config: WorkloadConfig) -> Workload:
+    """Generate a workload from ``config``, deterministically in its seed.
+
+    Ground truth is recomputed from the taint oracle over the generated
+    units; an internal consistency check asserts it matches the generator's
+    intent for every site.
+    """
+    rng = spawn(config.seed, f"workload:{config.name}")
+    units: list[CodeUnit] = []
+    profiles: dict[SinkSite, SiteProfile] = {}
+    intended_vulnerable: set[SinkSite] = set()
+    all_sites: list[SinkSite] = []
+
+    for unit_index in range(config.n_units):
+        unit_id = f"{config.name}-u{unit_index:05d}"
+        low, high = config.sites_per_unit
+        n_sites = int(rng.integers(low, high + 1))
+        statements: list[Statement] = []
+        pending: list[tuple[int, SiteProfile]] = []  # (sink statement idx, profile)
+        for site_index in range(n_sites):
+            vuln_type = _choose_type(rng, config.type_mix)
+            vulnerable = bool(rng.random() < config.prevalence)
+            decoy = (not vulnerable) and bool(rng.random() < config.decoy_fraction)
+            site_statements, profile = _build_site_statements(
+                rng, f"s{site_index}", vuln_type, vulnerable, decoy, config
+            )
+            offset = len(statements)
+            statements.extend(site_statements)
+            sink_index = offset + len(site_statements) - 1
+            pending.append((sink_index, profile))
+
+        unit = CodeUnit(unit_id=unit_id, statements=tuple(statements))
+        truth_for_unit = vulnerable_sites(unit)
+        for sink_index, profile in pending:
+            site = SinkSite(unit_id, sink_index, profile.vuln_type)
+            oracle_says = site in truth_for_unit
+            if oracle_says != profile.vulnerable:
+                raise AssertionError(
+                    f"generator/oracle disagreement at {site}: "
+                    f"intended vulnerable={profile.vulnerable}, oracle={oracle_says}"
+                )
+            profiles[site] = profile
+            all_sites.append(site)
+            if profile.vulnerable:
+                intended_vulnerable.add(site)
+        units.append(unit)
+
+    truth = GroundTruth.from_sites(all_sites, intended_vulnerable)
+    return Workload(
+        name=config.name,
+        units=tuple(units),
+        truth=truth,
+        profiles=profiles,
+        config=config,
+    )

@@ -1,0 +1,69 @@
+"""Ground truth bookkeeping for a workload."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workload.code_model import SinkSite
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["GroundTruth"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The oracle verdict for every analysis site of a workload.
+
+    ``sites`` is the complete, ordered tuple of analysis sites;
+    ``vulnerable`` the subset that truly hosts a vulnerability.  Benchmarks
+    score a tool's report against this object.
+    """
+
+    sites: tuple[SinkSite, ...]
+    vulnerable: frozenset[SinkSite]
+
+    def __post_init__(self) -> None:
+        site_set = set(self.sites)
+        if len(site_set) != len(self.sites):
+            raise WorkloadError("duplicate analysis sites in ground truth")
+        stray = self.vulnerable - site_set
+        if stray:
+            raise WorkloadError(f"vulnerable sites not in the site list: {sorted(stray)[:3]}")
+
+    @classmethod
+    def from_sites(
+        cls, sites: Iterable[SinkSite], vulnerable: Iterable[SinkSite]
+    ) -> "GroundTruth":
+        """Build from any iterables, normalizing container types."""
+        return cls(sites=tuple(sites), vulnerable=frozenset(vulnerable))
+
+    def is_vulnerable(self, site: SinkSite) -> bool:
+        """Oracle verdict for one site."""
+        if site not in set(self.sites):
+            raise WorkloadError(f"unknown site {site}")
+        return site in self.vulnerable
+
+    @property
+    def n_sites(self) -> int:
+        """Total number of analysis sites."""
+        return len(self.sites)
+
+    @property
+    def n_vulnerable(self) -> int:
+        """Number of truly vulnerable sites."""
+        return len(self.vulnerable)
+
+    @property
+    def prevalence(self) -> float:
+        """Fraction of sites that are vulnerable."""
+        if not self.sites:
+            raise WorkloadError("empty ground truth has no prevalence")
+        return self.n_vulnerable / self.n_sites
+
+    def by_type(self, vuln_type: VulnerabilityType) -> "GroundTruth":
+        """Ground truth restricted to one vulnerability class."""
+        sites = tuple(site for site in self.sites if site.vuln_type is vuln_type)
+        vulnerable = frozenset(site for site in self.vulnerable if site.vuln_type is vuln_type)
+        return GroundTruth(sites=sites, vulnerable=vulnerable)

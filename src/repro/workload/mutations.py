@@ -1,0 +1,198 @@
+"""Workload mutations: fixes and regressions.
+
+Benchmarks are not static artifacts: operators patch a vulnerability and
+expect the next campaign to reflect it, or seed a regression to test that
+tools (and metrics) notice.  These operators edit a workload *through the
+code model* — they insert or remove sanitizers in the unit's statements and
+let the taint oracle re-derive the ground truth — so a mutation can never
+desynchronize code and truth.
+
+Statement insertion shifts statement indices, so every analysis site of the
+touched unit is re-mapped; the returned workload is a complete, consistent
+replacement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.generator import SiteProfile, Workload
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.oracle import vulnerable_sites
+
+__all__ = ["fix_site", "break_site", "extend_chain"]
+
+
+def _replace_unit(
+    workload: Workload,
+    new_unit: CodeUnit,
+    index_map: dict[int, int],
+) -> Workload:
+    """Swap one unit into the workload, remapping its sites and re-deriving
+    truth and profiles for it from the oracle."""
+    old_unit = workload.unit(new_unit.unit_id)
+    new_truth_for_unit = vulnerable_sites(new_unit)
+
+    sites: list[SinkSite] = []
+    vulnerable: set[SinkSite] = set()
+    profiles: dict[SinkSite, SiteProfile] = {}
+    for site in workload.truth.sites:
+        profile = workload.profiles[site]
+        if site.unit_id != new_unit.unit_id:
+            sites.append(site)
+            if site in workload.truth.vulnerable:
+                vulnerable.add(site)
+            profiles[site] = profile
+            continue
+        new_index = index_map[site.statement_index]
+        moved = SinkSite(site.unit_id, new_index, site.vuln_type)
+        sites.append(moved)
+        is_vulnerable = moved in new_truth_for_unit
+        if is_vulnerable:
+            vulnerable.add(moved)
+        sanitizers = [
+            s
+            for s in new_unit.statements[:new_index]
+            if s.kind is StatementKind.SANITIZE
+        ]
+        profiles[moved] = SiteProfile(
+            vuln_type=profile.vuln_type,
+            vulnerable=is_vulnerable,
+            chain_length=profile.chain_length,
+            sanitizer_present=bool(sanitizers),
+            cross_class_sanitizer=(
+                is_vulnerable
+                and any(s.vuln_type is not moved.vuln_type for s in sanitizers)
+            ),
+            difficulty=profile.difficulty,
+        )
+
+    units = tuple(
+        new_unit if unit.unit_id == new_unit.unit_id else unit
+        for unit in workload.units
+    )
+    del old_unit
+    return Workload(
+        name=workload.name,
+        units=units,
+        truth=GroundTruth.from_sites(sites, vulnerable),
+        profiles=profiles,
+        config=workload.config,
+    )
+
+
+def _fresh_variable(unit: CodeUnit, stem: str) -> str:
+    """A variable name no statement of the unit defines."""
+    existing = {s.target for s in unit.statements if s.target is not None}
+    candidate = stem
+    counter = 0
+    while candidate in existing:
+        counter += 1
+        candidate = f"{stem}{counter}"
+    return candidate
+
+
+def _require_sink(workload: Workload, site: SinkSite) -> tuple[CodeUnit, Statement]:
+    unit = workload.unit(site.unit_id)
+    statement = unit.statement_at(site.statement_index)
+    if statement.kind is not StatementKind.SINK:
+        raise WorkloadError(f"{site} does not point at a sink statement")
+    return unit, statement
+
+
+def fix_site(workload: Workload, site: SinkSite) -> Workload:
+    """Fix a vulnerable site by sanitizing its input right before the sink.
+
+    Inserts ``v' := sanitize[class](v)`` immediately above the sink and
+    rewires the sink to read ``v'`` — the minimal, idiomatic patch.  Raises
+    when the site is already safe (fixing it would silently change nothing,
+    which callers should know).
+    """
+    if not workload.truth.is_vulnerable(site):
+        raise WorkloadError(f"{site} is already safe; nothing to fix")
+    unit, sink = _require_sink(workload, site)
+    fixed_var = _fresh_variable(unit, "patched")
+    sanitize = Statement(
+        StatementKind.SANITIZE,
+        target=fixed_var,
+        sources=(sink.sources[0],),
+        vuln_type=site.vuln_type,
+    )
+    new_sink = Statement(
+        StatementKind.SINK, sources=(fixed_var,), vuln_type=sink.vuln_type
+    )
+    statements = list(unit.statements)
+    statements[site.statement_index : site.statement_index + 1] = [sanitize, new_sink]
+    index_map = {
+        old: old if old < site.statement_index else old + 1
+        for old in range(len(unit.statements))
+    }
+    new_unit = CodeUnit(unit_id=unit.unit_id, statements=tuple(statements))
+    return _replace_unit(workload, new_unit, index_map)
+
+
+def break_site(workload: Workload, site: SinkSite) -> Workload:
+    """Introduce a regression: disable the sanitizer protecting a safe site.
+
+    Every same-class sanitizer above the sink is downgraded to a plain
+    assignment (the classic "refactoring dropped the escape call" bug).
+    Raises when the site is already vulnerable or no same-class sanitizer
+    protects it (a clean-data site cannot be broken this way).
+    """
+    if workload.truth.is_vulnerable(site):
+        raise WorkloadError(f"{site} is already vulnerable")
+    unit, _ = _require_sink(workload, site)
+    statements = list(unit.statements)
+    downgraded = 0
+    for index in range(site.statement_index):
+        statement = statements[index]
+        if (
+            statement.kind is StatementKind.SANITIZE
+            and statement.vuln_type is site.vuln_type
+        ):
+            statements[index] = Statement(
+                StatementKind.ASSIGN,
+                target=statement.target,
+                sources=statement.sources,
+            )
+            downgraded += 1
+    if downgraded == 0:
+        raise WorkloadError(
+            f"{site} is safe because its data is clean, not because of a "
+            "sanitizer; cannot introduce a regression by removing one"
+        )
+    identity_map = {old: old for old in range(len(unit.statements))}
+    new_unit = CodeUnit(unit_id=unit.unit_id, statements=tuple(statements))
+    return _replace_unit(workload, new_unit, identity_map)
+
+
+def extend_chain(workload: Workload, site: SinkSite, hops: int = 2) -> Workload:
+    """Make a site harder: insert ``hops`` pass-through assignments above
+    the sink.  Truth is unchanged (assignments preserve taint); depth-
+    budgeted analyzers may now miss a vulnerable site they used to find.
+    """
+    if hops < 1:
+        raise WorkloadError(f"hops={hops} must be >= 1")
+    unit, sink = _require_sink(workload, site)
+    statements = list(unit.statements)
+    current = sink.sources[0]
+    inserted: list[Statement] = []
+    for hop in range(hops):
+        nxt = _fresh_variable(
+            CodeUnit(unit_id=unit.unit_id, statements=tuple(statements + inserted)),
+            f"hop{hop}",
+        )
+        inserted.append(
+            Statement(StatementKind.ASSIGN, target=nxt, sources=(current,))
+        )
+        current = nxt
+    new_sink = Statement(
+        StatementKind.SINK, sources=(current,), vuln_type=sink.vuln_type
+    )
+    statements[site.statement_index : site.statement_index + 1] = inserted + [new_sink]
+    index_map = {
+        old: old if old < site.statement_index else old + hops
+        for old in range(len(unit.statements))
+    }
+    new_unit = CodeUnit(unit_id=unit.unit_id, statements=tuple(statements))
+    return _replace_unit(workload, new_unit, index_map)

@@ -1,0 +1,92 @@
+"""Exact taint oracle — defines the ground truth of a workload.
+
+A sink is *vulnerable* exactly when external input can reach it without
+passing through a sanitizer for the sink's vulnerability class.  The oracle
+computes this with a full, per-class taint propagation over the unit, with no
+depth limits and no approximations — the tools in :mod:`repro.tools` are
+deliberately weaker (bounded depth, ignored sanitizers, probabilistic
+payloads), which is what creates the FP/FN structure the metrics study needs.
+"""
+
+from __future__ import annotations
+
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = ["taint_state_after", "vulnerable_sites", "is_site_vulnerable"]
+
+
+def taint_state_after(unit: CodeUnit) -> list[dict[str, frozenset[VulnerabilityType]]]:
+    """Per-statement taint environments.
+
+    Returns a list with one entry per statement: the mapping from variable to
+    the set of vulnerability classes for which it is still dangerous *after*
+    that statement executes.  A variable absent from the mapping is clean.
+    """
+    all_types = frozenset(VulnerabilityType)
+    environment: dict[str, frozenset[VulnerabilityType]] = {}
+    states: list[dict[str, frozenset[VulnerabilityType]]] = []
+    for statement in unit.statements:
+        _apply(statement, environment, all_types)
+        states.append(dict(environment))
+    return states
+
+
+def _apply(
+    statement: Statement,
+    environment: dict[str, frozenset[VulnerabilityType]],
+    all_types: frozenset[VulnerabilityType],
+) -> None:
+    """Update ``environment`` in place with the effect of ``statement``."""
+    kind = statement.kind
+    if kind is StatementKind.INPUT:
+        environment[statement.target] = all_types  # type: ignore[index]
+    elif kind is StatementKind.CONST:
+        environment.pop(statement.target, None)  # type: ignore[arg-type]
+    elif kind is StatementKind.ASSIGN:
+        taint = environment.get(statement.sources[0], frozenset())
+        if taint:
+            environment[statement.target] = taint  # type: ignore[index]
+        else:
+            environment.pop(statement.target, None)  # type: ignore[arg-type]
+    elif kind is StatementKind.CONCAT:
+        union: frozenset[VulnerabilityType] = frozenset()
+        for source in statement.sources:
+            union |= environment.get(source, frozenset())
+        if union:
+            environment[statement.target] = union  # type: ignore[index]
+        else:
+            environment.pop(statement.target, None)  # type: ignore[arg-type]
+    elif kind is StatementKind.SANITIZE:
+        taint = environment.get(statement.sources[0], frozenset())
+        remaining = taint - {statement.vuln_type}
+        if remaining:
+            environment[statement.target] = remaining  # type: ignore[index]
+        else:
+            environment.pop(statement.target, None)  # type: ignore[arg-type]
+    # SINK statements define nothing and do not change the environment.
+
+
+def is_site_vulnerable(unit: CodeUnit, site: SinkSite) -> bool:
+    """Whether the sink at ``site`` is truly vulnerable."""
+    statement = unit.statement_at(site.statement_index)
+    if statement.kind is not StatementKind.SINK:
+        raise ValueError(f"statement {site.statement_index} of {unit.unit_id!r} is not a sink")
+    states = taint_state_after(unit)
+    before = states[site.statement_index - 1] if site.statement_index > 0 else {}
+    taint = before.get(statement.sources[0], frozenset())
+    return statement.vuln_type in taint
+
+
+def vulnerable_sites(unit: CodeUnit) -> set[SinkSite]:
+    """All truly vulnerable sink sites of ``unit``."""
+    states = taint_state_after(unit)
+    result: set[SinkSite] = set()
+    for index, statement in enumerate(unit.statements):
+        if statement.kind is not StatementKind.SINK:
+            continue
+        before = states[index - 1] if index > 0 else {}
+        taint = before.get(statement.sources[0], frozenset())
+        if statement.vuln_type in taint:
+            result.add(SinkSite(unit.unit_id, index, statement.vuln_type))
+    return result

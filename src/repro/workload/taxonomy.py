@@ -1,0 +1,85 @@
+"""Vulnerability taxonomy used by the synthetic workloads.
+
+The original campaigns benchmarked tools on injection-style vulnerabilities
+in web services and web applications.  We model the same space: each
+:class:`VulnerabilityType` names an injection class, its CWE identifier, the
+kind of *sink* it occurs at, and baseline detectability characteristics used
+by the workload generator and the dynamic tester.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["VulnerabilityType", "VulnerabilityTraits", "TRAITS"]
+
+
+class VulnerabilityType(enum.Enum):
+    """Injection vulnerability classes covered by the workloads."""
+
+    SQL_INJECTION = "sql_injection"
+    XSS = "xss"
+    PATH_TRAVERSAL = "path_traversal"
+    COMMAND_INJECTION = "command_injection"
+    LDAP_INJECTION = "ldap_injection"
+    XPATH_INJECTION = "xpath_injection"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class VulnerabilityTraits:
+    """Static characteristics of a vulnerability class.
+
+    ``base_dynamic_detectability`` is the probability that a *perfectly
+    aimed* attack payload triggers an observable failure for this class; it
+    calibrates the dynamic (penetration-testing style) tool.  ``signature``
+    is the sink API label the pattern scanner greps for.
+    """
+
+    cwe: int
+    sink_label: str
+    signature: str
+    base_dynamic_detectability: float
+
+
+TRAITS: dict[VulnerabilityType, VulnerabilityTraits] = {
+    VulnerabilityType.SQL_INJECTION: VulnerabilityTraits(
+        cwe=89,
+        sink_label="execute_sql",
+        signature="executeQuery",
+        base_dynamic_detectability=0.90,
+    ),
+    VulnerabilityType.XSS: VulnerabilityTraits(
+        cwe=79,
+        sink_label="render_html",
+        signature="print",
+        base_dynamic_detectability=0.85,
+    ),
+    VulnerabilityType.PATH_TRAVERSAL: VulnerabilityTraits(
+        cwe=22,
+        sink_label="open_file",
+        signature="FileInputStream",
+        base_dynamic_detectability=0.70,
+    ),
+    VulnerabilityType.COMMAND_INJECTION: VulnerabilityTraits(
+        cwe=78,
+        sink_label="run_command",
+        signature="Runtime.exec",
+        base_dynamic_detectability=0.75,
+    ),
+    VulnerabilityType.LDAP_INJECTION: VulnerabilityTraits(
+        cwe=90,
+        sink_label="ldap_search",
+        signature="search",
+        base_dynamic_detectability=0.55,
+    ),
+    VulnerabilityType.XPATH_INJECTION: VulnerabilityTraits(
+        cwe=643,
+        sink_label="xpath_eval",
+        signature="evaluate",
+        base_dynamic_detectability=0.50,
+    ),
+}

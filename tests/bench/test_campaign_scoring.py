@@ -1,0 +1,86 @@
+"""Tests for campaign scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import CampaignResult, ToolResult, run_campaign, score_report
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.tools.base import Detection, DetectionReport
+from repro.tools.pattern_scanner import PatternScanner
+from repro.workload.code_model import SinkSite
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.taxonomy import VulnerabilityType
+
+SQLI = VulnerabilityType.SQL_INJECTION
+S1 = SinkSite("u1", 1, SQLI)  # vulnerable
+S2 = SinkSite("u2", 1, SQLI)  # vulnerable
+S3 = SinkSite("u3", 1, SQLI)  # safe
+S4 = SinkSite("u4", 1, SQLI)  # safe
+TRUTH = GroundTruth.from_sites([S1, S2, S3, S4], [S1, S2])
+
+
+def report(*sites: SinkSite) -> DetectionReport:
+    return DetectionReport(
+        tool_name="t",
+        workload_name="w",
+        detections=tuple(Detection(site) for site in sites),
+    )
+
+
+class TestScoreReport:
+    def test_all_four_cells(self):
+        cm = score_report(report(S1, S3), TRUTH)
+        assert cm.as_tuple() == (1, 1, 1, 1)
+
+    def test_silent_tool(self):
+        cm = score_report(report(), TRUTH)
+        assert cm.as_tuple() == (0, 0, 2, 2)
+
+    def test_flag_everything(self):
+        cm = score_report(report(S1, S2, S3, S4), TRUTH)
+        assert cm.as_tuple() == (2, 2, 0, 0)
+
+    def test_perfect_tool(self):
+        cm = score_report(report(S1, S2), TRUTH)
+        assert cm.as_tuple() == (2, 0, 0, 2)
+
+    def test_unknown_site_raises(self):
+        stray = SinkSite("ghost", 0, SQLI)
+        with pytest.raises(ConfigurationError, match="absent from the workload"):
+            score_report(report(stray), TRUTH)
+
+
+class TestRunCampaign:
+    def test_requires_tools(self, small_workload):
+        with pytest.raises(ConfigurationError):
+            run_campaign([], small_workload)
+
+    def test_result_per_tool(self, reference_campaign):
+        assert len(reference_campaign.results) == 8
+
+    def test_counts_sum_to_workload(self, reference_campaign, small_workload):
+        for result in reference_campaign.results:
+            assert result.confusion.total == small_workload.n_sites
+
+    def test_metric_values_keyed_by_tool(self, reference_campaign):
+        values = reference_campaign.metric_values(d.RECALL)
+        assert set(values) == set(reference_campaign.tool_names)
+
+    def test_confusion_lookup(self, reference_campaign):
+        cm = reference_campaign.confusion_for("SA-Grep")
+        assert cm is reference_campaign.result_for("SA-Grep").confusion
+
+    def test_unknown_tool_raises(self, reference_campaign):
+        with pytest.raises(ConfigurationError):
+            reference_campaign.confusion_for("nope")
+
+    def test_duplicate_tool_names_rejected(self, small_workload):
+        result = run_campaign([PatternScanner(name="dup")], small_workload).results[0]
+        with pytest.raises(ConfigurationError):
+            CampaignResult(workload_name="w", results=(result, result))
+
+    def test_tool_result_metric_value(self, reference_campaign):
+        result = reference_campaign.result_for("SA-Grep")
+        assert result.metric_value(d.RECALL) == d.RECALL.value_or_nan(result.confusion)

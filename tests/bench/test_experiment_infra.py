@@ -1,0 +1,87 @@
+"""Tests for experiment infrastructure (ExperimentResult, registry, CLI glue)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS, DEFAULT_SEED
+from repro.bench.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="RX",
+            title="A test experiment",
+            sections={"alpha": "table A", "beta": "table B"},
+            data={"key": 1},
+        )
+
+    def test_render_concatenates_sections(self):
+        rendered = self.make().render()
+        assert rendered.startswith("=== RX: A test experiment ===")
+        assert "table A" in rendered
+        assert "table B" in rendered
+
+    def test_section_lookup(self):
+        assert self.make().section("alpha") == "table A"
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(ConfigurationError, match="no section"):
+            self.make().section("gamma")
+
+    def test_empty_sections_render(self):
+        result = ExperimentResult(experiment_id="RY", title="Empty")
+        assert result.render() == "=== RY: Empty ==="
+
+
+class TestExperimentRegistry:
+    def test_nineteen_experiments(self):
+        assert len(ALL_EXPERIMENTS) == 19
+
+    def test_ids_sequential(self):
+        assert list(ALL_EXPERIMENTS) == [f"R{i}" for i in range(1, 20)]
+
+    def test_default_seed_is_publication_year(self):
+        assert DEFAULT_SEED == 2015
+
+    def test_all_drivers_callable(self):
+        for driver in ALL_EXPERIMENTS.values():
+            assert callable(driver)
+
+
+class TestCliSubprocess:
+    """End-to-end: the CLI works as an installed entry point."""
+
+    def test_python_m_repro_list(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "R11" in completed.stdout
+
+    def test_python_m_repro_run_r1(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "R1", "--quiet"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "R1 completed" in completed.stderr
+
+    def test_no_command_is_an_error(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode != 0

@@ -1,0 +1,147 @@
+"""Tests for the extension experiments R12-R14 and the CLI."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    r12_pertype,
+    r13_ranking,
+    r14_significance,
+)
+from repro.cli import main
+from repro.metrics import definitions as d
+
+SEED = 99
+
+
+class TestR12PerType:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r12_pertype.run(seed=SEED, n_units=200)
+
+    def test_sections(self, result):
+        for section in ("per_type", "aggregation", "summary"):
+            assert section in result.sections
+
+    def test_breakdowns_cover_suite(self, result):
+        assert len(result.data["breakdowns"]) == 8
+
+    def test_aggregations_correlate_but_not_perfectly(self, result):
+        tau = result.data["tau_macro_micro"]
+        assert 0.3 < tau <= 1.0
+
+    def test_winners_recorded(self, result):
+        assert result.data["macro_winner"] in result.data["macro"]
+        assert result.data["micro_winner"] in result.data["micro"]
+
+    def test_custom_metric(self):
+        result = r12_pertype.run(seed=SEED, n_units=150, metric=d.RECALL)
+        assert "Recall per vulnerability class" in result.render()
+
+
+class TestR13Ranking:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r13_ranking.run(seed=SEED, n_units=200)
+
+    def test_auc_for_every_tool(self, result):
+        assert len(result.data["auc"]) == 8
+        for value in result.data["auc"].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_tools_rank_better_than_chance(self, result):
+        assert all(value > 0.5 for value in result.data["auc"].values())
+
+    def test_ap_bounded(self, result):
+        for value in result.data["ap"].values():
+            assert 0.0 <= value <= 1.0
+
+    def test_ranking_metrics_tell_a_different_story(self, result):
+        """AUC ordering diverges from the fixed-threshold composites — the
+        reason a benchmark must choose deliberately between report-level and
+        ranking-level evaluation."""
+        taus = result.data["taus"]
+        assert taus["auc_vs_F1"] < 0.8
+
+    def test_roc_chart_rendered(self, result):
+        assert "true positive rate" in result.sections["roc"]
+
+
+class TestR14Significance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r14_significance.run(seed=SEED, n_units=200)
+
+    def test_pvalues_bounded(self, result):
+        for p in result.data["p_values"].values():
+            assert 0.0 <= p <= 1.0
+
+    def test_symmetric(self, result):
+        p_values = result.data["p_values"]
+        for (a, b), p in p_values.items():
+            assert p_values[(b, a)] == p
+
+    def test_extreme_pairs_significant(self, result):
+        p_values = result.data["p_values"]
+        assert p_values[("SA-Grep", "SA-Deep")] < 0.01
+
+    def test_some_pairs_distinguishable(self, result):
+        assert result.data["significant_fraction"] > 0.5
+
+    def test_tables_render(self, result):
+        text = result.render()
+        assert "McNemar" in text
+        assert "Wilson" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ALL_EXPERIMENTS:
+            assert key in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "R1"]) == 0
+        assert "Candidate metrics" in capsys.readouterr().out
+
+    def test_run_quiet(self, capsys):
+        assert main(["run", "R1", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "Candidate metrics" not in captured.out
+        assert "R1 completed" in captured.err
+
+    def test_run_case_insensitive(self, capsys):
+        assert main(["run", "r1", "--quiet"]) == 0
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "R99"])
+
+    def test_out_dir_written(self, tmp_path, capsys):
+        assert main(["run", "R1", "--quiet", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "r1.txt").exists()
+        assert "Candidate metrics" in (tmp_path / "r1.txt").read_text()
+
+    def test_seed_forwarded(self, tmp_path, capsys):
+        main(["run", "R3", "--quiet", "--seed", "123", "--out", str(tmp_path / "a")])
+        main(["run", "R3", "--quiet", "--seed", "124", "--out", str(tmp_path / "b")])
+        assert (
+            (tmp_path / "a" / "r3.txt").read_text()
+            != (tmp_path / "b" / "r3.txt").read_text()
+        )
+
+    def test_all_resolves_every_experiment(self):
+        from repro.cli import _normalize_ids
+
+        assert _normalize_ids(["all"]) == list(ALL_EXPERIMENTS)
+
+
+def test_math_sanity():
+    """Guard against accidental nan leakage in the experiment payloads."""
+    result = r13_ranking.run(seed=SEED, n_units=120)
+    assert all(math.isfinite(v) for v in result.data["auc"].values())

@@ -1,0 +1,141 @@
+"""Tests for the lightweight experiment drivers (R1, R3-R6).
+
+Beyond smoke (sections exist, render works), each experiment's *shape
+claims* — the qualitative statements the paper's corresponding table or
+figure supports — are asserted on the data payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    r1_catalog,
+    r3_campaign,
+    r4_metric_values,
+    r5_rankings,
+    r6_prevalence,
+)
+from repro.metrics.registry import core_candidates, default_registry
+
+
+class TestR1Catalog:
+    def test_covers_full_registry(self):
+        result = r1_catalog.run()
+        assert result.data["n_metrics"] == len(default_registry())
+
+    def test_render_contains_headliners(self):
+        text = r1_catalog.run().render()
+        for token in ("Precision", "Recall", "Matthews", "Youden"):
+            assert token in text
+
+    def test_custom_registry(self):
+        result = r1_catalog.run(registry=core_candidates())
+        assert result.data["n_metrics"] == len(core_candidates())
+
+
+class TestR3Campaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r3_campaign.run(seed=99, n_units=150)
+
+    def test_sections(self, result):
+        assert "raw_results" in result.sections
+
+    def test_eight_tools(self, result):
+        assert len(result.data["campaign"].results) == 8
+
+    def test_deterministic(self, result):
+        again = r3_campaign.run(seed=99, n_units=150)
+        for a, b in zip(result.data["campaign"].results, again.data["campaign"].results):
+            assert a.confusion == b.confusion
+
+    def test_seed_matters(self, result):
+        other = r3_campaign.run(seed=100, n_units=150)
+        assert any(
+            a.confusion != b.confusion
+            for a, b in zip(
+                result.data["campaign"].results, other.data["campaign"].results
+            )
+        )
+
+
+class TestR4MetricValues:
+    def test_values_cover_metrics_and_tools(self):
+        result = r4_metric_values.run(seed=99, n_units=150)
+        values = result.data["values"]
+        assert set(values) == set(core_candidates().symbols)
+        campaign = result.data["campaign"]
+        for per_tool in values.values():
+            assert set(per_tool) == set(campaign.tool_names)
+
+
+class TestR5Rankings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r5_rankings.run(seed=99, n_units=150)
+
+    def test_metrics_disagree(self, result):
+        """The paper's pivot: metric choice changes the tool ranking."""
+        assert result.data["min_offdiag_tau"] < 0.75
+
+    def test_but_not_randomly(self, result):
+        # Metrics still broadly agree on better-vs-worse tools.
+        assert result.data["mean_offdiag_tau"] > 0.2
+
+    def test_tau_diagonal_is_one(self, result):
+        tau = result.data["tau"]
+        for symbol in core_candidates().symbols:
+            assert tau[(symbol, symbol)] == 1.0
+
+    def test_tau_symmetric(self, result):
+        tau = result.data["tau"]
+        symbols = core_candidates().symbols
+        for a in symbols[:5]:
+            for b in symbols[:5]:
+                assert tau[(a, b)] == pytest.approx(tau[(b, a)], abs=1e-9)
+
+    def test_recall_and_precision_rank_differently(self, result):
+        ranks = result.data["ranks"]
+        assert ranks["REC"] != ranks["PRE"]
+
+
+class TestR6Prevalence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r6_prevalence.run()
+
+    def test_sections(self, result):
+        for section in ("stability_chart", "swings", "preference"):
+            assert section in result.sections
+
+    def test_prevalence_invariant_metrics_are_flat(self, result):
+        swings = result.data["swings"]
+        assert swings["INF"] < 0.01
+        assert swings["REC"] < 0.01
+
+    def test_prevalence_dependent_metrics_swing(self, result):
+        swings = result.data["swings"]
+        assert swings["PRE"] > 0.3
+        assert swings["F1"] > 0.3
+        assert swings["MCC"] > 0.2
+        # Accuracy moves less for this (good) tool but is still an order of
+        # magnitude above the invariant metrics...
+        assert swings["ACC"] > 0.05
+        # ...and saturates toward TNR at low prevalence, its classic failure.
+        series = result.data["series"]["ACC"]
+        lowest_prevalence_value = series[0][1]
+        assert lowest_prevalence_value > 0.9
+
+    def test_accuracy_flips_preferred_tool(self, result):
+        """The misleading-metric exhibit: accuracy switches winners as
+        prevalence moves, informedness never does."""
+        flips = result.data["flips"]
+        assert flips["ACC"] >= 1
+        assert flips["INF"] == 0
+        assert flips["REC"] == 0
+
+    def test_chart_renders_all_series(self, result):
+        chart = result.sections["stability_chart"]
+        for symbol in ("ACC", "PRE", "F1", "MCC", "INF", "REC"):
+            assert symbol in chart

@@ -1,0 +1,122 @@
+"""Tests for run-noise analysis and experiment R19."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import r19_run_noise
+from repro.bench.repeatability import tool_run_noise
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.tools.dynamic_injector import DynamicInjector
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+SEED = 99
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadConfig(n_units=250, prevalence=0.2, seed=SEED, name="runnoise")
+    )
+
+
+class TestToolRunNoise:
+    def test_deterministic_tool_has_zero_run_noise(self, workload):
+        summary = tool_run_noise(
+            lambda run_seed: TaintAnalyzer(name="det", max_chain_depth=3),
+            workload,
+            d.F1,
+            n_runs=5,
+            seed=SEED,
+        )
+        assert summary.std == 0.0
+        assert summary.min_value == summary.max_value
+        assert summary.run_to_sampling_ratio == 0.0
+
+    def test_stochastic_tool_has_positive_run_noise(self, workload):
+        summary = tool_run_noise(
+            lambda run_seed: DynamicInjector(name="dyn", seed=run_seed),
+            workload,
+            d.F1,
+            n_runs=10,
+            seed=SEED,
+        )
+        assert summary.std > 0.0
+        assert summary.min_value < summary.max_value
+        assert summary.n_runs == 10
+
+    def test_sampling_std_positive(self, workload):
+        summary = tool_run_noise(
+            lambda run_seed: TaintAnalyzer(name="det", max_chain_depth=3),
+            workload,
+            d.F1,
+            n_runs=3,
+            seed=SEED,
+        )
+        assert summary.sampling_std > 0.0
+
+    def test_deterministic_in_seed(self, workload):
+        kwargs = dict(n_runs=6, seed=SEED)
+        a = tool_run_noise(
+            lambda run_seed: DynamicInjector(name="dyn", seed=run_seed),
+            workload, d.F1, **kwargs,
+        )
+        b = tool_run_noise(
+            lambda run_seed: DynamicInjector(name="dyn", seed=run_seed),
+            workload, d.F1, **kwargs,
+        )
+        assert a == b
+
+    def test_too_few_runs_rejected(self, workload):
+        with pytest.raises(ConfigurationError):
+            tool_run_noise(
+                lambda run_seed: TaintAnalyzer(),
+                workload,
+                d.F1,
+                n_runs=1,
+                seed=SEED,
+            )
+
+    def test_metric_undefined_on_runs_rejected(self, workload):
+        from repro.tools.simulated import SimulatedTool, ToolProfile
+
+        silent = ToolProfile(recall=0.0, fpr=0.0)
+        with pytest.raises(ConfigurationError, match="fewer than two runs"):
+            tool_run_noise(
+                lambda run_seed: SimulatedTool("silent", silent, seed=run_seed),
+                workload,
+                d.PRECISION,  # undefined for a silent tool
+                n_runs=4,
+                seed=SEED,
+            )
+
+
+class TestR19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r19_run_noise.run(seed=SEED, n_units=250, n_runs=8)
+
+    def test_covers_three_archetypes(self, result):
+        assert len(result.data["summaries"]) == 3
+
+    def test_static_tool_is_run_deterministic(self, result):
+        summary = result.data["summaries"]["SA-Deep (static)"]
+        assert summary.std == 0.0
+
+    def test_stochastic_tools_are_not(self, result):
+        for label in ("PT-Spider (dynamic)", "VS-Beta (simulated)"):
+            assert result.data["summaries"][label].std > 0.0
+
+    def test_run_noise_not_wildly_above_sampling_noise(self, result):
+        """On the reference suite, a single run is within the same noise
+        regime as the workload draw (ratio around or below 1)."""
+        for label, summary in result.data["summaries"].items():
+            assert summary.run_to_sampling_ratio < 2.0, label
+            assert math.isfinite(summary.run_to_sampling_ratio)
+
+    def test_renders(self, result):
+        assert "Run noise vs sampling noise" in result.render()

@@ -1,0 +1,152 @@
+"""Tests for multi-workload suites and experiments R17/R18."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.experiments import r17_workload_stability, r18_thresholds
+from repro.bench.suite import ranking_stability, run_suite
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.tools.suite import reference_suite
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+SEED = 99
+
+
+@pytest.fixture(scope="module")
+def three_workloads():
+    return [
+        generate_workload(
+            WorkloadConfig(n_units=120, prevalence=p, seed=SEED, name=f"w{p:g}")
+        )
+        for p in (0.08, 0.15, 0.3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def suite(three_workloads):
+    return run_suite(reference_suite(seed=SEED), three_workloads)
+
+
+class TestRunSuite:
+    def test_one_campaign_per_workload(self, suite, three_workloads):
+        assert suite.workload_names == [w.name for w in three_workloads]
+
+    def test_common_tool_list(self, suite):
+        assert len(suite.tool_names) == 8
+
+    def test_metric_matrix_shape(self, suite):
+        matrix = suite.metric_matrix(d.RECALL)
+        assert set(matrix) == set(suite.tool_names)
+        for per_workload in matrix.values():
+            assert set(per_workload) == set(suite.workload_names)
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_suite(reference_suite(seed=SEED), [])
+
+    def test_duplicate_workload_names_rejected(self, three_workloads):
+        with pytest.raises(ConfigurationError):
+            run_suite(
+                reference_suite(seed=SEED), [three_workloads[0], three_workloads[0]]
+            )
+
+    def test_mismatched_tool_lists_rejected(self, three_workloads):
+        from repro.bench.campaign import run_campaign
+        from repro.bench.suite import SuiteResult
+
+        a = run_campaign(reference_suite(seed=SEED), three_workloads[0])
+        b = run_campaign([TaintAnalyzer()], three_workloads[1])
+        with pytest.raises(ConfigurationError):
+            SuiteResult(campaigns={"a": a, "b": b})
+
+
+class TestRankingStability:
+    def test_bounded(self, suite):
+        for metric in (d.RECALL, d.PRECISION, d.MCC, d.F1):
+            value = ranking_stability(suite, metric)
+            assert -1.0 <= value <= 1.0
+
+    def test_needs_two_workloads(self, three_workloads):
+        single = run_suite(reference_suite(seed=SEED), three_workloads[:1])
+        with pytest.raises(ConfigurationError):
+            ranking_stability(single, d.RECALL)
+
+    def test_identical_workloads_maximally_stable(self):
+        # Same config, different names: same realized campaign up to the
+        # workload-name substream; near-perfect stability for a
+        # deterministic tool's exact metric.
+        workloads = [
+            generate_workload(
+                WorkloadConfig(n_units=150, prevalence=0.2, seed=SEED, name=f"tw{i}")
+            )
+            for i in range(2)
+        ]
+        suite = run_suite(
+            [
+                TaintAnalyzer(name="exact"),
+                TaintAnalyzer(name="shallow", max_chain_depth=2),
+                TaintAnalyzer(name="blind", trust_sanitizers=False),
+            ],
+            workloads,
+        )
+        assert ranking_stability(suite, d.MCC) == pytest.approx(1.0)
+
+
+class TestR17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r17_workload_stability.run(seed=SEED, n_units=150)
+
+    def test_stability_tables_cover_registry(self, result):
+        from repro.metrics.registry import core_candidates
+
+        assert set(result.data["combined"]) == set(core_candidates().symbols)
+
+    def test_values_bounded(self, result):
+        for mapping in ("stability_prevalence", "stability_difficulty", "combined"):
+            for value in result.data[mapping].values():
+                assert -1.0 <= value <= 1.0
+
+    def test_stability_tracks_discrimination(self, result):
+        assert result.data["tau_vs_separation"] > 0.3
+
+    def test_renders(self, result):
+        assert "Kendall tau" in result.render()
+
+
+class TestR18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return r18_thresholds.run(seed=SEED, n_units=200)
+
+    def test_optima_per_tool_and_scenario(self, result):
+        optima = result.data["optima"]
+        assert set(optima) == {"SA-Grep", "PT-Spider"}
+        for per_scenario in optima.values():
+            assert set(per_scenario) == {"critical", "triage", "balanced", "audit"}
+
+    def test_critical_runs_the_scanner_wide_open(self, result):
+        optima = result.data["optima"]["SA-Grep"]
+        assert optima["critical"] == 0.0
+
+    def test_triage_dials_the_scanner_up(self, result):
+        optima = result.data["optima"]["SA-Grep"]
+        assert optima["triage"] > optima["critical"]
+
+    def test_all_thresholds_valid(self, result):
+        for per_scenario in result.data["optima"].values():
+            for threshold in per_scenario.values():
+                assert 0.0 <= threshold <= 1.0
+
+    def test_charts_render(self, result):
+        text = result.render()
+        assert "Expected cost vs confidence threshold" in text
+
+    def test_math_is_finite(self, result):
+        for per_scenario in result.data["optima"].values():
+            assert all(math.isfinite(t) for t in per_scenario.values())

@@ -1,0 +1,67 @@
+"""Shared fixtures.
+
+Heavy artifacts (reference campaign, properties matrix) are session-scoped:
+they are deterministic in their seeds, so sharing them across tests changes
+nothing except wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import CampaignResult, run_campaign
+from repro.experts.panel import ExpertPanel, default_panel
+from repro.metrics.confusion import ConfusionMatrix
+from repro.metrics.registry import MetricRegistry, core_candidates, default_registry
+from repro.properties.base import AssessmentContext
+from repro.properties.matrix import PropertiesMatrix, build_properties_matrix
+from repro.tools.suite import reference_suite
+from repro.workload.generator import Workload, WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> Workload:
+    """A compact generated workload (a few hundred sites)."""
+    return generate_workload(
+        WorkloadConfig(n_units=150, prevalence=0.15, seed=101, name="test-small")
+    )
+
+
+@pytest.fixture(scope="session")
+def reference_campaign(small_workload: Workload) -> CampaignResult:
+    """The reference suite scored on the small workload."""
+    return run_campaign(reference_suite(seed=101), small_workload)
+
+
+@pytest.fixture(scope="session")
+def full_registry() -> MetricRegistry:
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def core_registry() -> MetricRegistry:
+    return core_candidates()
+
+
+@pytest.fixture(scope="session")
+def assessment_context() -> AssessmentContext:
+    """A reduced-resample context to keep property checks fast."""
+    return AssessmentContext.default(seed=7, n_resamples=40)
+
+
+@pytest.fixture(scope="session")
+def properties_matrix(
+    core_registry: MetricRegistry, assessment_context: AssessmentContext
+) -> PropertiesMatrix:
+    return build_properties_matrix(core_registry, context=assessment_context)
+
+
+@pytest.fixture(scope="session")
+def panel() -> ExpertPanel:
+    return default_panel(seed=13)
+
+
+@pytest.fixture
+def typical_cm() -> ConfusionMatrix:
+    """A garden-variety campaign outcome."""
+    return ConfusionMatrix(tp=60, fp=40, fn=20, tn=380)

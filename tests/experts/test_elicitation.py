@@ -1,0 +1,75 @@
+"""Tests for the elicitation pipeline (scenario + evidence + panel -> AHP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ElicitationError
+from repro.experts.elicitation import elicit_hierarchy, validate_scenario
+from repro.experts.panel import default_panel
+from repro.scenarios.scenarios import Scenario, scenario_by_key
+from repro.scenarios.cost_model import CostStructure
+
+
+class TestElicitHierarchy:
+    def test_criteria_match_scenario_weights(self, properties_matrix, panel):
+        scenario = scenario_by_key("balanced")
+        hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+        assert set(hierarchy.criteria.labels) == set(scenario.property_weights)
+
+    def test_alternatives_are_the_metrics(self, properties_matrix, panel):
+        scenario = scenario_by_key("balanced")
+        hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+        assert set(hierarchy.alternative_labels) == set(
+            properties_matrix.metric_symbols
+        )
+
+    def test_rejects_scenario_with_unknown_property(self, properties_matrix, panel):
+        scenario = Scenario(
+            key="bad",
+            name="bad",
+            description="d",
+            cost=CostStructure(1, 1),
+            prevalence_range=(0.1, 0.2),
+            property_weights={"nonexistent": 1.0},
+        )
+        with pytest.raises(ElicitationError):
+            elicit_hierarchy(scenario, properties_matrix, panel)
+
+    def test_deterministic(self, properties_matrix, panel):
+        scenario = scenario_by_key("critical")
+        a = elicit_hierarchy(scenario, properties_matrix, panel).compose()
+        b = elicit_hierarchy(scenario, properties_matrix, panel).compose()
+        assert a.ranking == b.ranking
+
+
+class TestValidateScenario:
+    def test_result_fields(self, properties_matrix, panel):
+        scenario = scenario_by_key("critical")
+        validation = validate_scenario(scenario, properties_matrix, panel)
+        assert validation.scenario_key == "critical"
+        assert validation.panel_best in properties_matrix.metric_symbols
+        assert set(validation.per_expert_best) == set(panel.names)
+        assert 0.0 <= validation.expert_agreement <= 1.0
+
+    def test_aggregated_panel_is_consistent(self, properties_matrix, panel):
+        for key in ("critical", "triage", "balanced", "audit"):
+            validation = validate_scenario(
+                scenario_by_key(key), properties_matrix, panel
+            )
+            assert validation.ahp.is_acceptably_consistent(), key
+
+    def test_critical_scenario_selects_recall(self, properties_matrix, panel):
+        validation = validate_scenario(
+            scenario_by_key("critical"), properties_matrix, panel
+        )
+        assert validation.panel_best == "REC"
+
+    def test_scenarios_disagree_on_the_winner(self, properties_matrix, panel):
+        winners = {
+            key: validate_scenario(
+                scenario_by_key(key), properties_matrix, panel
+            ).panel_best
+            for key in ("critical", "triage", "balanced")
+        }
+        assert len(set(winners.values())) >= 2

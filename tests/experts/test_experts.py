@@ -1,0 +1,160 @@
+"""Tests for simulated experts, panels and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ElicitationError
+from repro.experts.expert import Expert
+from repro.experts.panel import (
+    ExpertPanel,
+    aggregate_judgments,
+    aggregate_priorities,
+    default_panel,
+)
+from repro.mcda.pairwise import SAATY_VALUES, PairwiseComparisonMatrix
+
+CONSENSUS = {"a": 0.5, "b": 0.3, "c": 0.2}
+
+
+class TestExpert:
+    def test_latent_weights_normalized(self):
+        expert = Expert(name="e", persona="p", bias={"a": 2.0})
+        weights = expert.latent_weights(CONSENSUS)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["a"] > 0.5  # the bias bent it upward
+
+    def test_no_bias_keeps_consensus(self):
+        expert = Expert(name="e", persona="p")
+        weights = expert.latent_weights(CONSENSUS)
+        assert weights["a"] == pytest.approx(0.5)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ElicitationError):
+            Expert(name="e", persona="p", noise_sigma=-0.1)
+
+    def test_rejects_non_positive_bias(self):
+        with pytest.raises(ElicitationError):
+            Expert(name="e", persona="p", bias={"a": 0.0})
+
+    def test_judgments_are_saaty_valued(self):
+        expert = Expert(name="e", persona="p", seed=4)
+        matrix = expert.judge(CONSENSUS, context_key="t")
+        n = len(matrix)
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert any(
+                    matrix.values[i, j] == pytest.approx(v) for v in SAATY_VALUES
+                )
+
+    def test_judgments_deterministic_per_context(self):
+        expert = Expert(name="e", persona="p", seed=4)
+        a = expert.judge(CONSENSUS, context_key="t")
+        b = expert.judge(CONSENSUS, context_key="t")
+        assert np.array_equal(a.values, b.values)
+
+    def test_contexts_decorrelate(self):
+        expert = Expert(name="e", persona="p", seed=4, noise_sigma=0.4)
+        a = expert.judge(CONSENSUS, context_key="t1")
+        b = expert.judge(CONSENSUS, context_key="t2")
+        assert not np.array_equal(a.values, b.values)
+
+    def test_noiseless_expert_reports_true_ratios(self):
+        expert = Expert(name="e", persona="p", noise_sigma=0.0)
+        matrix = expert.judge({"a": 0.6, "b": 0.2}, context_key="t", floor=0.0)
+        assert matrix.values[0, 1] == pytest.approx(3.0)
+
+    def test_needs_two_items(self):
+        expert = Expert(name="e", persona="p")
+        with pytest.raises(ElicitationError):
+            expert.judge({"a": 1.0}, context_key="t")
+
+    def test_noise_degrades_consistency(self):
+        """Noisier experts produce higher consistency ratios on average."""
+        scores = {f"c{i}": w for i, w in enumerate([0.4, 0.25, 0.15, 0.12, 0.08])}
+        quiet = [
+            Expert(name=f"q{s}", persona="p", noise_sigma=0.02, seed=s)
+            .judge(scores, context_key="t")
+            .consistency_ratio
+            for s in range(10)
+        ]
+        noisy = [
+            Expert(name=f"n{s}", persona="p", noise_sigma=0.6, seed=s)
+            .judge(scores, context_key="t")
+            .consistency_ratio
+            for s in range(10)
+        ]
+        assert np.mean(noisy) > np.mean(quiet)
+
+
+class TestAggregation:
+    def test_aij_of_identical_matrices_is_identity(self):
+        matrix = PairwiseComparisonMatrix.from_weights(["a", "b", "c"], [3, 2, 1])
+        aggregated = aggregate_judgments([matrix, matrix, matrix])
+        assert np.allclose(aggregated.values, matrix.values)
+
+    def test_aij_preserves_reciprocity(self):
+        experts = [Expert(name=f"e{i}", persona="p", seed=i, noise_sigma=0.3) for i in range(5)]
+        matrices = [e.judge(CONSENSUS, context_key="t") for e in experts]
+        aggregated = aggregate_judgments(matrices)
+        assert np.allclose(aggregated.values * aggregated.values.T, 1.0)
+
+    def test_aij_smooths_consistency(self):
+        """The aggregated panel matrix is at least as consistent as the
+        average individual."""
+        experts = [Expert(name=f"e{i}", persona="p", seed=i, noise_sigma=0.4) for i in range(7)]
+        matrices = [e.judge(CONSENSUS, context_key="t") for e in experts]
+        aggregated = aggregate_judgments(matrices)
+        mean_individual_cr = np.mean([m.consistency_ratio for m in matrices])
+        assert aggregated.consistency_ratio <= mean_individual_cr + 1e-9
+
+    def test_aij_rejects_empty(self):
+        with pytest.raises(ElicitationError):
+            aggregate_judgments([])
+
+    def test_aij_rejects_label_mismatch(self):
+        a = PairwiseComparisonMatrix.from_weights(["a", "b"], [1, 2])
+        b = PairwiseComparisonMatrix.from_weights(["a", "c"], [1, 2])
+        with pytest.raises(ElicitationError):
+            aggregate_judgments([a, b])
+
+    def test_aip_averages_priorities(self):
+        a = PairwiseComparisonMatrix.from_weights(["a", "b"], [3, 1])
+        b = PairwiseComparisonMatrix.from_weights(["a", "b"], [1, 3])
+        priorities = aggregate_priorities([a, b])
+        assert priorities["a"] == pytest.approx(0.5)
+        assert priorities["b"] == pytest.approx(0.5)
+
+
+class TestPanel:
+    def test_default_panel_has_seven_members(self):
+        assert len(default_panel()) == 7
+
+    def test_unique_names(self):
+        panel = default_panel()
+        assert len(set(panel.names)) == 7
+
+    def test_rejects_empty_panel(self):
+        with pytest.raises(ElicitationError):
+            ExpertPanel(experts=())
+
+    def test_rejects_duplicate_names(self):
+        expert = Expert(name="same", persona="p")
+        with pytest.raises(ElicitationError):
+            ExpertPanel(experts=(expert, Expert(name="same", persona="q")))
+
+    def test_panel_seed_changes_judgments(self):
+        # Saaty snapping can absorb small noise differences for one member,
+        # but across the whole panel two seeds must diverge somewhere.
+        a = default_panel(seed=1).criteria_judgments(CONSENSUS, "s")
+        b = default_panel(seed=2).criteria_judgments(CONSENSUS, "s")
+        assert any(
+            not np.array_equal(m_a.values, m_b.values) for m_a, m_b in zip(a, b)
+        )
+
+    def test_panel_deterministic(self):
+        a = default_panel(seed=1).criteria_judgments(CONSENSUS, "s")
+        b = default_panel(seed=1).criteria_judgments(CONSENSUS, "s")
+        for m_a, m_b in zip(a, b):
+            assert np.array_equal(m_a.values, m_b.values)

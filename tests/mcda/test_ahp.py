@@ -1,0 +1,137 @@
+"""Tests for the AHP hierarchy and score-to-comparison bridging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcda.ahp import AhpHierarchy, comparison_from_scores
+from repro.mcda.pairwise import SAATY_VALUES, PairwiseComparisonMatrix
+
+
+def simple_hierarchy() -> AhpHierarchy:
+    """Two criteria (speed 0.75, cost 0.25), three alternatives."""
+    criteria = PairwiseComparisonMatrix.from_weights(["speed", "cost"], [0.75, 0.25])
+    return AhpHierarchy(
+        criteria=criteria,
+        alternatives={
+            "speed": comparison_from_scores(["x", "y", "z"], [0.9, 0.5, 0.1]),
+            "cost": comparison_from_scores(["x", "y", "z"], [0.1, 0.5, 0.9]),
+        },
+    )
+
+
+class TestComparisonFromScores:
+    def test_ratios_reflect_scores(self):
+        matrix = comparison_from_scores(["a", "b"], [0.9, 0.4])
+        assert matrix.values[0, 1] == pytest.approx(0.95 / 0.45)
+
+    def test_clipped_to_saaty_band(self):
+        matrix = comparison_from_scores(["a", "b"], [1.0, 0.0])
+        assert matrix.values[0, 1] <= 9.0
+        assert matrix.values[1, 0] >= 1 / 9
+
+    def test_snap_produces_saaty_judgments(self):
+        matrix = comparison_from_scores(["a", "b", "c"], [0.9, 0.5, 0.2], snap=True)
+        n = len(matrix)
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert any(
+                    matrix.values[i, j] == pytest.approx(v) for v in SAATY_VALUES
+                )
+
+    def test_reciprocity_enforced(self):
+        matrix = comparison_from_scores(["a", "b", "c"], [0.8, 0.3, 0.01])
+        assert np.allclose(matrix.values * matrix.values.T, 1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            comparison_from_scores(["a"], [0.5, 0.5])
+
+    def test_rejects_nan_scores(self):
+        with pytest.raises(ConfigurationError):
+            comparison_from_scores(["a", "b"], [float("nan"), 0.5])
+
+    def test_equal_scores_mean_indifference(self):
+        matrix = comparison_from_scores(["a", "b"], [0.5, 0.5])
+        assert matrix.values[0, 1] == pytest.approx(1.0)
+
+
+class TestHierarchyValidation:
+    def test_valid(self):
+        simple_hierarchy()
+
+    def test_criteria_coverage_mismatch(self):
+        criteria = PairwiseComparisonMatrix.from_weights(["speed", "cost"], [0.5, 0.5])
+        with pytest.raises(ConfigurationError, match="missing"):
+            AhpHierarchy(
+                criteria=criteria,
+                alternatives={
+                    "speed": comparison_from_scores(["x", "y"], [0.5, 0.5])
+                },
+            )
+
+    def test_alternative_label_mismatch(self):
+        criteria = PairwiseComparisonMatrix.from_weights(["speed", "cost"], [0.5, 0.5])
+        with pytest.raises(ConfigurationError, match="same alternatives"):
+            AhpHierarchy(
+                criteria=criteria,
+                alternatives={
+                    "speed": comparison_from_scores(["x", "y"], [0.5, 0.5]),
+                    "cost": comparison_from_scores(["x", "z"], [0.5, 0.5]),
+                },
+            )
+
+
+class TestCompose:
+    def test_priorities_sum_to_one(self):
+        result = simple_hierarchy().compose()
+        assert sum(result.alternative_priorities.values()) == pytest.approx(1.0)
+
+    def test_speed_weighted_winner(self):
+        # Speed dominates (0.75), so the fast alternative wins overall.
+        result = simple_hierarchy().compose()
+        assert result.best == "x"
+
+    def test_flipping_weights_flips_winner(self):
+        criteria = PairwiseComparisonMatrix.from_weights(["speed", "cost"], [0.25, 0.75])
+        hierarchy = AhpHierarchy(
+            criteria=criteria,
+            alternatives={
+                "speed": comparison_from_scores(["x", "y", "z"], [0.9, 0.5, 0.1]),
+                "cost": comparison_from_scores(["x", "y", "z"], [0.1, 0.5, 0.9]),
+            },
+        )
+        assert hierarchy.compose().best == "z"
+
+    def test_consistency_ratios_reported_for_all_matrices(self):
+        result = simple_hierarchy().compose()
+        assert set(result.consistency_ratios) == {"criteria", "speed", "cost"}
+        assert result.max_consistency_ratio < 0.1
+        assert result.is_acceptably_consistent()
+
+    def test_ranking_sorted_by_priority(self):
+        result = simple_hierarchy().compose()
+        priorities = result.alternative_priorities
+        ranked = result.ranking
+        assert all(
+            priorities[a] >= priorities[b] for a, b in zip(ranked, ranked[1:])
+        )
+
+    def test_geometric_method_agrees_on_winner(self):
+        assert simple_hierarchy().compose("geometric").best == "x"
+
+    def test_balanced_criteria_middle_alternative_compromise(self):
+        # With exactly balanced criteria and mirrored scores, y (the
+        # compromise) must not rank last.
+        criteria = PairwiseComparisonMatrix.from_weights(["speed", "cost"], [0.5, 0.5])
+        hierarchy = AhpHierarchy(
+            criteria=criteria,
+            alternatives={
+                "speed": comparison_from_scores(["x", "y", "z"], [0.9, 0.5, 0.1]),
+                "cost": comparison_from_scores(["x", "y", "z"], [0.1, 0.5, 0.9]),
+            },
+        )
+        result = hierarchy.compose()
+        assert result.ranking[-1] != "y"

@@ -1,0 +1,176 @@
+"""Tests for ELECTRE I and consistency repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcda.electre import electre_i
+from repro.mcda.pairwise import PairwiseComparisonMatrix
+from repro.mcda.repair import blend_toward_consistency, repair_matrix
+
+ALTERNATIVES = ["x", "y", "z"]
+SCORES = {
+    "speed": {"x": 0.9, "y": 0.5, "z": 0.1},
+    "cost": {"x": 0.7, "y": 0.5, "z": 0.2},
+}
+
+
+class TestElectre:
+    def test_dominating_alternative_outranks_everything(self):
+        result = electre_i(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5})
+        assert result.outranked_by("x") == {"y", "z"}
+        assert result.best == "x"
+
+    def test_dominated_alternative_leaves_the_kernel(self):
+        result = electre_i(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5})
+        assert "z" not in result.kernel
+        assert "x" in result.kernel
+
+    def test_discordance_veto(self):
+        # y is slightly better on most weight but catastrophically worse on
+        # one criterion: the veto blocks the outranking.
+        scores = {
+            "a": {"good": 0.6, "flawed": 0.65},
+            "b": {"good": 0.6, "flawed": 0.62},
+            "c": {"good": 0.9, "flawed": 0.0},  # the catastrophic axis
+        }
+        result = electre_i(
+            ["good", "flawed"],
+            scores,
+            {"a": 0.4, "b": 0.4, "c": 0.2},
+            concordance_threshold=0.6,
+            discordance_threshold=0.3,
+        )
+        assert ("flawed", "good") not in result.outranks
+
+    def test_net_flow_ranking_is_complete(self):
+        result = electre_i(ALTERNATIVES, SCORES, {"speed": 0.7, "cost": 0.3})
+        assert sorted(result.ranking) == sorted(ALTERNATIVES)
+
+    def test_unknown_alternative_raises(self):
+        result = electre_i(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5})
+        with pytest.raises(ConfigurationError):
+            result.outranked_by("nope")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"concordance_threshold": 0.0},
+            {"concordance_threshold": 1.5},
+            {"discordance_threshold": -0.1},
+        ],
+    )
+    def test_threshold_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            electre_i(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5}, **kwargs)
+
+    def test_validation_mirrors_other_methods(self):
+        with pytest.raises(ConfigurationError):
+            electre_i([], SCORES, {"speed": 1, "cost": 1})
+        with pytest.raises(ConfigurationError):
+            electre_i(ALTERNATIVES, SCORES, {"speed": 1})
+
+    def test_constant_criterion_is_neutral(self):
+        scores = {
+            "speed": {"x": 0.9, "y": 0.1},
+            "flat": {"x": 0.5, "y": 0.5},
+        }
+        result = electre_i(["x", "y"], scores, {"speed": 0.5, "flat": 0.5})
+        assert result.best == "x"
+
+    def test_agrees_with_additive_methods_on_lopsided_input(
+        self, properties_matrix
+    ):
+        from repro.mcda.saw import simple_additive_weighting
+
+        criteria = {
+            name: properties_matrix.column(name)
+            for name in ("rewards detection", "bounded")
+        }
+        weights = {"rewards detection": 0.9, "bounded": 0.1}
+        alternatives = list(properties_matrix.metric_symbols)
+        saw = simple_additive_weighting(alternatives, criteria, weights)
+        electre = electre_i(alternatives, criteria, weights)
+        assert saw.best in electre.ranking[:3]
+
+
+def inconsistent_matrix() -> PairwiseComparisonMatrix:
+    """Saaty's circular triad: CR far above 0.1."""
+    return PairwiseComparisonMatrix.from_judgments(
+        ["a", "b", "c"],
+        {("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 1 / 3},
+    )
+
+
+class TestRepair:
+    def test_consistent_matrix_untouched(self):
+        matrix = PairwiseComparisonMatrix.from_weights(["a", "b", "c"], [3, 2, 1])
+        result = repair_matrix(matrix)
+        assert not result.was_needed
+        assert np.allclose(result.repaired.values, matrix.values)
+
+    def test_repairs_circular_triad(self):
+        result = repair_matrix(inconsistent_matrix())
+        assert result.was_needed
+        assert result.repaired.consistency_ratio <= 0.1
+        assert 0.0 < result.alpha <= 1.0
+
+    def test_alpha_is_minimal_on_the_grid(self):
+        matrix = inconsistent_matrix()
+        result = repair_matrix(matrix, step=0.05)
+        if result.alpha > 0.05:
+            weaker = blend_toward_consistency(matrix, result.alpha - 0.05)
+            assert weaker.consistency_ratio > 0.1
+
+    def test_full_blend_is_fully_consistent(self):
+        blended = blend_toward_consistency(inconsistent_matrix(), 1.0)
+        assert blended.consistency_ratio == pytest.approx(0.0, abs=1e-9)
+
+    def test_blend_preserves_reciprocity(self):
+        blended = blend_toward_consistency(inconsistent_matrix(), 0.4)
+        assert np.allclose(blended.values * blended.values.T, 1.0)
+
+    def test_blend_preserves_priorities(self):
+        # Log-space blending toward the implied consistent form keeps the
+        # geometric-mean priority vector fixed.
+        matrix = inconsistent_matrix()
+        before = matrix.priorities("geometric")
+        after = blend_toward_consistency(matrix, 0.6).priorities("geometric")
+        for label in before:
+            assert after[label] == pytest.approx(before[label], abs=1e-9)
+
+    def test_snap_keeps_saaty_values(self):
+        from repro.mcda.pairwise import SAATY_VALUES
+
+        result = repair_matrix(inconsistent_matrix(), snap=True)
+        values = result.repaired.values
+        n = values.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert any(
+                    values[i, j] == pytest.approx(v) for v in SAATY_VALUES
+                )
+
+    def test_max_judgment_shift_reported(self):
+        result = repair_matrix(inconsistent_matrix())
+        assert result.max_judgment_shift > 1.0
+
+    @pytest.mark.parametrize("kwargs", [{"threshold": 0.0}, {"step": 0.0}, {"step": 1.5}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            repair_matrix(inconsistent_matrix(), **kwargs)
+
+    def test_alpha_invalid(self):
+        with pytest.raises(ConfigurationError):
+            blend_toward_consistency(inconsistent_matrix(), 1.5)
+
+    def test_repairs_noisy_expert_judgments(self):
+        from repro.experts.expert import Expert
+
+        noisy = Expert(name="n", persona="p", noise_sigma=0.9, seed=4)
+        scores = {f"c{i}": w for i, w in enumerate([0.3, 0.25, 0.2, 0.15, 0.1])}
+        matrix = noisy.judge(scores, context_key="t")
+        repaired = repair_matrix(matrix, threshold=0.08)
+        assert repaired.repaired.consistency_ratio <= 0.08

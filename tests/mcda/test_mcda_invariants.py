@@ -1,0 +1,180 @@
+"""Property-based invariants over the MCDA methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcda.ahp import AhpHierarchy, comparison_from_scores
+from repro.mcda.electre import electre_i
+from repro.mcda.pairwise import PairwiseComparisonMatrix
+from repro.mcda.saw import simple_additive_weighting
+from repro.mcda.topsis import topsis
+
+# Strategy: a small decision problem (alternatives x criteria score table
+# plus positive weights).
+problems = st.integers(2, 6).flatmap(
+    lambda n_alternatives: st.integers(1, 4).flatmap(
+        lambda n_criteria: st.tuples(
+            st.just([f"alt{i}" for i in range(n_alternatives)]),
+            st.lists(
+                st.lists(
+                    st.floats(0.0, 1.0), min_size=n_alternatives, max_size=n_alternatives
+                ),
+                min_size=n_criteria,
+                max_size=n_criteria,
+            ),
+            st.lists(
+                st.floats(0.05, 5.0), min_size=n_criteria, max_size=n_criteria
+            ),
+        )
+    )
+)
+
+
+def unpack(problem):
+    alternatives, table, weight_values = problem
+    criteria_scores = {
+        f"c{j}": dict(zip(alternatives, column)) for j, column in enumerate(table)
+    }
+    weights = {f"c{j}": w for j, w in enumerate(weight_values)}
+    return alternatives, criteria_scores, weights
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_saw_scores_bounded(problem):
+    alternatives, criteria_scores, weights = unpack(problem)
+    result = simple_additive_weighting(alternatives, criteria_scores, weights)
+    for score in result.scores.values():
+        assert -1e-9 <= score <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_topsis_closeness_bounded(problem):
+    alternatives, criteria_scores, weights = unpack(problem)
+    result = topsis(alternatives, criteria_scores, weights)
+    for closeness in result.closeness.values():
+        assert -1e-9 <= closeness <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_dominant_alternative_wins_everywhere(problem):
+    """An alternative strictly best on every criterion wins under SAW,
+    TOPSIS and ELECTRE net flow alike."""
+    alternatives, criteria_scores, weights = unpack(problem)
+    champion = "champion"
+    alternatives = list(alternatives) + [champion]
+    for column in criteria_scores.values():
+        column[champion] = max(column.values()) + 0.5
+    assert simple_additive_weighting(alternatives, criteria_scores, weights).best == champion
+    assert topsis(alternatives, criteria_scores, weights).best == champion
+    assert electre_i(alternatives, criteria_scores, weights).best == champion
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems, st.floats(0.1, 10.0))
+def test_topsis_invariant_to_criterion_scaling(problem, factor):
+    """Vector normalization makes TOPSIS invariant to positive rescaling of
+    any single criterion's scores."""
+    alternatives, criteria_scores, weights = unpack(problem)
+    baseline = topsis(alternatives, criteria_scores, weights)
+    scaled_scores = {
+        criterion: dict(column) for criterion, column in criteria_scores.items()
+    }
+    first = next(iter(scaled_scores))
+    scaled_scores[first] = {a: v * factor for a, v in scaled_scores[first].items()}
+    scaled = topsis(alternatives, scaled_scores, weights)
+    for alternative in alternatives:
+        assert scaled.closeness[alternative] == pytest.approx(
+            baseline.closeness[alternative], abs=1e-9
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_electre_net_flows_sum_to_zero(problem):
+    alternatives, criteria_scores, weights = unpack(problem)
+    result = electre_i(alternatives, criteria_scores, weights)
+    assert sum(result.net_flow.values()) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_electre_kernel_never_empty(problem):
+    alternatives, criteria_scores, weights = unpack(problem)
+    result = electre_i(alternatives, criteria_scores, weights)
+    assert result.kernel
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems)
+def test_saw_iia_without_normalization(problem):
+    """With normalize='none', adding a dominated alternative cannot change
+    the existing alternatives' scores (independence of irrelevant
+    alternatives for the raw additive model)."""
+    alternatives, criteria_scores, weights = unpack(problem)
+    baseline = simple_additive_weighting(
+        alternatives, criteria_scores, weights, normalize="none"
+    )
+    extended_scores = {c: dict(col) for c, col in criteria_scores.items()}
+    for column in extended_scores.values():
+        column["straggler"] = 0.0
+    extended = simple_additive_weighting(
+        list(alternatives) + ["straggler"], extended_scores, weights, normalize="none"
+    )
+    for alternative in alternatives:
+        assert extended.scores[alternative] == pytest.approx(
+            baseline.scores[alternative], abs=1e-12
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.05, 1.0), min_size=3, max_size=7),
+    st.randoms(use_true_random=False),
+)
+def test_pairwise_priorities_are_permutation_equivariant(scores, rnd):
+    """Relabeling the items permutes the priorities, nothing else."""
+    labels = [f"m{i}" for i in range(len(scores))]
+    matrix = comparison_from_scores(labels, scores)
+    priorities = matrix.priorities()
+
+    order = list(range(len(labels)))
+    rnd.shuffle(order)
+    shuffled_labels = [labels[i] for i in order]
+    shuffled_scores = [scores[i] for i in order]
+    shuffled = comparison_from_scores(shuffled_labels, shuffled_scores).priorities()
+    for label in labels:
+        assert shuffled[label] == pytest.approx(priorities[label], abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(0.1, 5.0), min_size=2, max_size=6),
+    st.lists(st.floats(0.05, 1.0), min_size=3, max_size=5),
+)
+def test_ahp_composition_equals_manual_weighted_sum(criteria_weights, alt_scores):
+    """For consistent inputs, compose() is exactly the weighted sum of the
+    local priorities — AHP's distributive mode has no hidden magic."""
+    criteria = [f"c{i}" for i in range(len(criteria_weights))]
+    alternatives = [f"a{i}" for i in range(len(alt_scores))]
+    criteria_matrix = PairwiseComparisonMatrix.from_weights(criteria, criteria_weights)
+    alt_matrix = comparison_from_scores(alternatives, alt_scores)
+    hierarchy = AhpHierarchy(
+        criteria=criteria_matrix,
+        alternatives={c: alt_matrix for c in criteria},
+    )
+    result = hierarchy.compose()
+    local = alt_matrix.priorities()
+    # Same alternatives matrix under every criterion: the composition must
+    # equal the local priorities regardless of the criteria weights.
+    for alternative in alternatives:
+        assert result.alternative_priorities[alternative] == pytest.approx(
+            local[alternative], abs=1e-6
+        )
+    assert np.isclose(sum(result.alternative_priorities.values()), 1.0)

@@ -1,0 +1,221 @@
+"""Tests for pairwise comparison matrices and AHP consistency machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InconsistentJudgmentError
+from repro.mcda.pairwise import (
+    SAATY_VALUES,
+    PairwiseComparisonMatrix,
+    random_index,
+    snap_to_saaty,
+)
+
+
+class TestSnapToSaaty:
+    def test_exact_values_unchanged(self):
+        for value in (1.0, 3.0, 9.0, 1 / 7):
+            assert snap_to_saaty(value) == value
+
+    def test_snaps_to_nearest_in_log_space(self):
+        assert snap_to_saaty(2.8) == 3.0
+        assert snap_to_saaty(1.05) == 1.0
+        assert snap_to_saaty(0.3) == pytest.approx(1 / 3)
+
+    def test_clamps_extremes(self):
+        assert snap_to_saaty(50.0) == 9.0
+        assert snap_to_saaty(0.01) == pytest.approx(1 / 9)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError):
+            snap_to_saaty(bad)
+
+    @given(st.floats(0.05, 20.0))
+    def test_result_always_saaty(self, ratio):
+        assert snap_to_saaty(ratio) in SAATY_VALUES
+
+    @given(st.floats(0.2, 5.0))
+    def test_reciprocal_symmetry(self, ratio):
+        assert snap_to_saaty(1.0 / ratio) == pytest.approx(1.0 / snap_to_saaty(ratio))
+
+
+class TestRandomIndex:
+    def test_standard_values(self):
+        assert random_index(1) == 0.0
+        assert random_index(2) == 0.0
+        assert random_index(3) == 0.58
+        assert random_index(9) == 1.45
+
+    def test_large_orders_saturate(self):
+        assert random_index(20) == 1.6
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            random_index(0)
+
+
+class TestMatrixValidation:
+    def test_valid_matrix(self):
+        PairwiseComparisonMatrix(
+            labels=("a", "b"), values=np.array([[1.0, 3.0], [1 / 3, 1.0]])
+        )
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix(labels=("a", "a"), values=np.eye(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix(labels=("a", "b"), values=np.eye(3))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix(
+                labels=("a", "b"), values=np.array([[1.0, -2.0], [-0.5, 1.0]])
+            )
+
+    def test_rejects_bad_diagonal(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix(
+                labels=("a", "b"), values=np.array([[2.0, 3.0], [1 / 3, 1.0]])
+            )
+
+    def test_rejects_non_reciprocal(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix(
+                labels=("a", "b"), values=np.array([[1.0, 3.0], [0.5, 1.0]])
+            )
+
+
+class TestFromWeights:
+    def test_consistent_matrix(self):
+        matrix = PairwiseComparisonMatrix.from_weights(["a", "b", "c"], [0.5, 0.3, 0.2])
+        assert matrix.consistency_ratio == pytest.approx(0.0, abs=1e-9)
+
+    def test_priorities_recover_weights(self):
+        weights = [0.5, 0.3, 0.2]
+        matrix = PairwiseComparisonMatrix.from_weights(["a", "b", "c"], weights)
+        for method in ("eigenvector", "geometric"):
+            priorities = matrix.priorities(method)
+            assert priorities["a"] == pytest.approx(0.5, abs=1e-6)
+            assert priorities["b"] == pytest.approx(0.3, abs=1e-6)
+            assert priorities["c"] == pytest.approx(0.2, abs=1e-6)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix.from_weights(["a", "b"], [1.0, 0.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix.from_weights(["a"], [1.0, 2.0])
+
+    @given(
+        st.lists(st.floats(0.05, 10.0), min_size=2, max_size=8)
+    )
+    def test_any_weight_vector_is_consistent(self, weights):
+        labels = [f"w{i}" for i in range(len(weights))]
+        matrix = PairwiseComparisonMatrix.from_weights(labels, weights)
+        assert matrix.consistency_ratio <= 1e-6
+        priorities = matrix.priorities()
+        total = sum(weights)
+        for label, weight in zip(labels, weights):
+            assert priorities[label] == pytest.approx(weight / total, rel=1e-4)
+
+
+class TestFromJudgments:
+    def test_fills_reciprocals(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 3.0, ("a", "c"): 5.0, ("b", "c"): 2.0},
+        )
+        assert matrix.values[1, 0] == pytest.approx(1 / 3)
+        assert matrix.values[2, 0] == pytest.approx(1 / 5)
+
+    def test_incomplete_judgments_rejected(self):
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            PairwiseComparisonMatrix.from_judgments(
+                ["a", "b", "c"], {("a", "b"): 3.0}
+            )
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ConfigurationError, match="judged twice"):
+            PairwiseComparisonMatrix.from_judgments(
+                ["a", "b"], {("a", "b"): 3.0, ("b", "a"): 2.0}
+            )
+
+    def test_self_judgment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix.from_judgments(["a", "b"], {("a", "a"): 1.0})
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseComparisonMatrix.from_judgments(["a", "b"], {("a", "x"): 2.0})
+
+
+class TestConsistency:
+    def test_saaty_example_is_inconsistent(self):
+        # a > b (3x), b > c (3x), but c > a (3x): maximally circular.
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 1 / 3},
+        )
+        assert matrix.consistency_ratio > 0.1
+        with pytest.raises(InconsistentJudgmentError):
+            matrix.require_consistency()
+
+    def test_mildly_noisy_matrix_passes(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 2.0, ("b", "c"): 2.0, ("a", "c"): 3.0},
+        )
+        assert matrix.consistency_ratio < 0.1
+        matrix.require_consistency()
+
+    def test_two_by_two_always_consistent(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(["a", "b"], {("a", "b"): 9.0})
+        assert matrix.consistency_ratio == 0.0
+
+    def test_lambda_max_at_least_n(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 3.0, ("b", "c"): 3.0, ("a", "c"): 1 / 3},
+        )
+        assert matrix.lambda_max >= len(matrix) - 1e-9
+
+    def test_unknown_method_rejected(self):
+        matrix = PairwiseComparisonMatrix.from_weights(["a", "b"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            matrix.priorities("magic")
+
+
+class TestPriorities:
+    def test_priorities_sum_to_one(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 2.0, ("b", "c"): 4.0, ("a", "c"): 6.0},
+        )
+        for method in ("eigenvector", "geometric"):
+            assert sum(matrix.priorities(method).values()) == pytest.approx(1.0)
+
+    def test_dominant_item_ranks_first(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 5.0, ("a", "c"): 7.0, ("b", "c"): 2.0},
+        )
+        priorities = matrix.priorities()
+        assert priorities["a"] > priorities["b"] > priorities["c"]
+
+    def test_methods_agree_on_near_consistent_input(self):
+        matrix = PairwiseComparisonMatrix.from_judgments(
+            ["a", "b", "c"],
+            {("a", "b"): 2.0, ("b", "c"): 2.0, ("a", "c"): 4.0},
+        )
+        eig = matrix.priorities("eigenvector")
+        geo = matrix.priorities("geometric")
+        for label in ("a", "b", "c"):
+            assert eig[label] == pytest.approx(geo[label], abs=1e-6)

@@ -1,0 +1,146 @@
+"""Tests for PROMETHEE II."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mcda.promethee import promethee_ii
+
+ALTERNATIVES = ["x", "y", "z"]
+SCORES = {
+    "speed": {"x": 0.9, "y": 0.5, "z": 0.1},
+    "cost": {"x": 0.1, "y": 0.5, "z": 0.9},
+}
+
+
+class TestPromethee:
+    def test_weighted_winner(self):
+        result = promethee_ii(ALTERNATIVES, SCORES, {"speed": 0.8, "cost": 0.2})
+        assert result.best == "x"
+
+    def test_flipped_weights(self):
+        result = promethee_ii(ALTERNATIVES, SCORES, {"speed": 0.2, "cost": 0.8})
+        assert result.best == "z"
+
+    def test_net_flows_sum_to_zero(self):
+        result = promethee_ii(ALTERNATIVES, SCORES, {"speed": 0.6, "cost": 0.4})
+        assert sum(result.net_flow.values()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_flows_bounded(self):
+        result = promethee_ii(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5})
+        for name in ALTERNATIVES:
+            assert 0.0 <= result.positive_flow[name] <= 1.0
+            assert 0.0 <= result.negative_flow[name] <= 1.0
+            assert -1.0 <= result.net_flow[name] <= 1.0
+
+    def test_dominating_alternative_wins(self):
+        scores = {
+            "a": {"x": 0.9, "y": 0.5, "z": 0.7},
+            "b": {"x": 0.8, "y": 0.2, "z": 0.6},
+        }
+        result = promethee_ii(["x", "y", "z"], scores, {"a": 1, "b": 1})
+        assert result.best == "x"
+        assert result.negative_flow["x"] == 0.0
+
+    def test_usual_preference_ignores_magnitude(self):
+        """Under "usual", x's hair-thin advantage over y earns full
+        preference; under "linear" it earns almost none.  The anchor
+        alternative stretches the criterion range so the linear threshold
+        dwarfs the x-y gap."""
+        scores = {"c": {"x": 0.501, "y": 0.500, "anchor": 0.0}}
+        usual = promethee_ii(
+            ["x", "y", "anchor"], scores, {"c": 1.0}, preference="usual"
+        )
+        linear = promethee_ii(
+            ["x", "y", "anchor"], scores, {"c": 1.0}, preference="linear"
+        )
+        usual_gap = usual.net_flow["x"] - usual.net_flow["y"]
+        linear_gap = linear.net_flow["x"] - linear.net_flow["y"]
+        assert usual_gap >= 0.5
+        assert 0.0 < linear_gap < 0.1
+
+    def test_linear_preference_grades_small_gaps(self):
+        scores = {
+            "a": {"x": 1.0, "y": 0.9, "z": 0.0},
+        }
+        result = promethee_ii(["x", "y", "z"], scores, {"a": 1.0},
+                              full_preference_fraction=0.5)
+        # x over y: gap 0.1 against threshold 0.5 -> partial preference;
+        # x over z: gap 1.0 -> full preference.
+        assert 0.0 < result.net_flow["y"] < result.net_flow["x"]
+        assert result.ranking == ["x", "y", "z"]
+
+    def test_constant_criterion_is_neutral(self):
+        scores = {
+            "speed": {"x": 0.9, "y": 0.1},
+            "flat": {"x": 0.5, "y": 0.5},
+        }
+        result = promethee_ii(["x", "y"], scores, {"speed": 0.5, "flat": 0.5})
+        assert result.best == "x"
+
+    def test_single_alternative(self):
+        result = promethee_ii(["only"], {"a": {"only": 0.5}}, {"a": 1.0})
+        assert result.best == "only"
+        assert result.net_flow["only"] == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"preference": "gaussian"},
+            {"full_preference_fraction": 0.0},
+            {"full_preference_fraction": 1.5},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            promethee_ii(ALTERNATIVES, SCORES, {"speed": 1, "cost": 1}, **kwargs)
+
+    def test_structural_validation(self):
+        with pytest.raises(ConfigurationError):
+            promethee_ii([], SCORES, {"speed": 1, "cost": 1})
+        with pytest.raises(ConfigurationError):
+            promethee_ii(["x", "x"], SCORES, {"speed": 1, "cost": 1})
+        with pytest.raises(ConfigurationError):
+            promethee_ii(ALTERNATIVES, SCORES, {"speed": 1})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 6).flatmap(
+            lambda n: st.tuples(
+                st.lists(
+                    st.lists(st.floats(0, 1), min_size=n, max_size=n),
+                    min_size=1,
+                    max_size=4,
+                ),
+                st.just(n),
+            )
+        )
+    )
+    def test_net_flows_always_sum_to_zero(self, table_and_n):
+        table, n = table_and_n
+        names = [f"a{i}" for i in range(n)]
+        scores = {f"c{j}": dict(zip(names, col)) for j, col in enumerate(table)}
+        weights = {c: 1.0 for c in scores}
+        result = promethee_ii(names, scores, weights)
+        assert sum(result.net_flow.values()) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(0, 1000).map(lambda v: v / 1000.0),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        )
+    )
+    def test_single_criterion_ranking_matches_scores(self, values):
+        """With one criterion and score gaps above float-dust scale, the
+        PROMETHEE ranking is exactly the score ranking."""
+        names = [f"a{i}" for i in range(len(values))]
+        scores = {"c": dict(zip(names, values))}
+        result = promethee_ii(names, scores, {"c": 1.0})
+        by_score = sorted(names, key=lambda n: -scores["c"][n])
+        assert result.ranking == by_score

@@ -1,0 +1,135 @@
+"""Tests for SAW and TOPSIS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcda.saw import simple_additive_weighting
+from repro.mcda.topsis import topsis
+
+ALTERNATIVES = ["x", "y", "z"]
+SCORES = {
+    "speed": {"x": 0.9, "y": 0.5, "z": 0.1},
+    "cost": {"x": 0.1, "y": 0.5, "z": 0.9},
+}
+
+
+class TestSaw:
+    def test_weighted_winner(self):
+        result = simple_additive_weighting(
+            ALTERNATIVES, SCORES, {"speed": 0.8, "cost": 0.2}
+        )
+        assert result.best == "x"
+
+    def test_flipped_weights(self):
+        result = simple_additive_weighting(
+            ALTERNATIVES, SCORES, {"speed": 0.2, "cost": 0.8}
+        )
+        assert result.best == "z"
+
+    def test_scores_within_unit_interval(self):
+        result = simple_additive_weighting(
+            ALTERNATIVES, SCORES, {"speed": 1.0, "cost": 1.0}
+        )
+        assert all(0.0 <= s <= 1.0 for s in result.scores.values())
+
+    def test_weights_normalized(self):
+        a = simple_additive_weighting(ALTERNATIVES, SCORES, {"speed": 2, "cost": 2})
+        b = simple_additive_weighting(ALTERNATIVES, SCORES, {"speed": 0.5, "cost": 0.5})
+        for alternative in ALTERNATIVES:
+            assert a.scores[alternative] == pytest.approx(b.scores[alternative])
+
+    def test_constant_column_is_neutral(self):
+        scores = {
+            "speed": {"x": 0.9, "y": 0.1},
+            "flat": {"x": 0.5, "y": 0.5},
+        }
+        result = simple_additive_weighting(["x", "y"], scores, {"speed": 1, "flat": 1})
+        assert result.best == "x"
+
+    def test_dominating_alternative_wins(self):
+        scores = {
+            "a": {"x": 0.9, "y": 0.5},
+            "b": {"x": 0.8, "y": 0.2},
+        }
+        result = simple_additive_weighting(["x", "y"], scores, {"a": 1, "b": 1})
+        assert result.best == "x"
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_additive_weighting([], SCORES, {"speed": 1, "cost": 1})
+
+    def test_criteria_weight_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_additive_weighting(ALTERNATIVES, SCORES, {"speed": 1})
+
+    def test_missing_alternative_score_rejected(self):
+        broken = {"speed": {"x": 0.9}, "cost": {"x": 0.1}}
+        with pytest.raises(ConfigurationError, match="lacks scores"):
+            simple_additive_weighting(ALTERNATIVES, broken, {"speed": 1, "cost": 1})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_additive_weighting(ALTERNATIVES, SCORES, {"speed": -1, "cost": 2})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_additive_weighting(ALTERNATIVES, SCORES, {"speed": 0, "cost": 0})
+
+    def test_tie_broken_by_name(self):
+        scores = {"only": {"b": 0.5, "a": 0.5}}
+        result = simple_additive_weighting(["b", "a"], scores, {"only": 1.0})
+        assert result.ranking == ["a", "b"]
+
+
+class TestTopsis:
+    def test_weighted_winner(self):
+        result = topsis(ALTERNATIVES, SCORES, {"speed": 0.8, "cost": 0.2})
+        assert result.best == "x"
+
+    def test_flipped_weights(self):
+        result = topsis(ALTERNATIVES, SCORES, {"speed": 0.2, "cost": 0.8})
+        assert result.best == "z"
+
+    def test_closeness_in_unit_interval(self):
+        result = topsis(ALTERNATIVES, SCORES, {"speed": 1, "cost": 1})
+        assert all(0.0 <= c <= 1.0 for c in result.closeness.values())
+
+    def test_ideal_alternative_has_closeness_one(self):
+        scores = {
+            "a": {"best": 1.0, "worst": 0.0},
+            "b": {"best": 1.0, "worst": 0.0},
+        }
+        result = topsis(["best", "worst"], scores, {"a": 1, "b": 1})
+        assert result.closeness["best"] == pytest.approx(1.0)
+        assert result.closeness["worst"] == pytest.approx(0.0)
+
+    def test_dominating_alternative_wins(self):
+        scores = {
+            "a": {"x": 0.9, "y": 0.5, "z": 0.7},
+            "b": {"x": 0.8, "y": 0.2, "z": 0.6},
+        }
+        result = topsis(["x", "y", "z"], scores, {"a": 1, "b": 1})
+        assert result.best == "x"
+
+    def test_all_columns_constant_gives_indifference(self):
+        scores = {"a": {"x": 0.5, "y": 0.5}}
+        result = topsis(["x", "y"], scores, {"a": 1.0})
+        assert result.closeness["x"] == pytest.approx(0.5)
+        assert result.closeness["y"] == pytest.approx(0.5)
+
+    def test_validation_mirrors_saw(self):
+        with pytest.raises(ConfigurationError):
+            topsis([], SCORES, {"speed": 1, "cost": 1})
+        with pytest.raises(ConfigurationError):
+            topsis(ALTERNATIVES, SCORES, {"speed": 1})
+        with pytest.raises(ConfigurationError):
+            topsis(ALTERNATIVES, SCORES, {"speed": -1, "cost": 1})
+
+    def test_agrees_with_saw_on_lopsided_problems(self):
+        weights = {"speed": 0.95, "cost": 0.05}
+        assert (
+            topsis(ALTERNATIVES, SCORES, weights).best
+            == simple_additive_weighting(ALTERNATIVES, SCORES, weights).best
+        )

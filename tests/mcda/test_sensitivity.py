@@ -1,0 +1,113 @@
+"""Tests for MCDA weight-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mcda.sensitivity import weight_sensitivity
+
+ALTERNATIVES = ["x", "y", "z"]
+CONTESTED = {
+    "speed": {"x": 0.9, "y": 0.5, "z": 0.1},
+    "cost": {"x": 0.1, "y": 0.5, "z": 0.9},
+}
+DOMINATED = {
+    "speed": {"x": 0.9, "y": 0.4, "z": 0.1},
+    "cost": {"x": 0.9, "y": 0.5, "z": 0.2},
+}
+
+
+class TestStability:
+    def test_dominating_winner_is_fully_stable(self):
+        report = weight_sensitivity(
+            ALTERNATIVES, DOMINATED, {"speed": 0.5, "cost": 0.5}
+        )
+        assert report.baseline_best == "x"
+        assert report.overall_stability == 1.0
+        for criterion in ("speed", "cost"):
+            assert report.reversal_factor(criterion) is None
+
+    def test_contested_decision_flips_under_perturbation(self):
+        # Near-balanced weights with mirrored scores: pushing one criterion
+        # hard enough must flip the winner.
+        report = weight_sensitivity(
+            ALTERNATIVES,
+            CONTESTED,
+            {"speed": 0.55, "cost": 0.45},
+            factors=(0.2, 0.5, 2.0, 5.0),
+        )
+        assert report.baseline_best == "x"
+        assert report.overall_stability < 1.0
+        assert report.reversal_factor("cost") is not None
+
+    def test_reversal_factor_is_closest_to_one(self):
+        report = weight_sensitivity(
+            ALTERNATIVES,
+            CONTESTED,
+            {"speed": 0.55, "cost": 0.45},
+            factors=(0.2, 0.5, 2.0, 5.0),
+        )
+        factor = report.reversal_factor("cost")
+        flips = [o.factor for o in report.outcomes_for("cost") if o.best_changed]
+        assert factor in flips
+        assert all(abs_log(factor) <= abs_log(f) for f in flips)
+
+    def test_tau_close_to_one_for_small_perturbations(self):
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.6, "cost": 0.4}, factors=(0.95, 1.05)
+        )
+        for outcome in report.outcomes:
+            assert outcome.tau_vs_baseline == pytest.approx(1.0)
+
+    def test_tau_nan_when_baseline_is_degenerate(self):
+        # Perfectly balanced weights on mirrored scores tie every
+        # alternative; tau against a constant baseline is undefined.
+        import math
+
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.5, "cost": 0.5}, factors=(1.05,)
+        )
+        assert all(math.isnan(o.tau_vs_baseline) for o in report.outcomes)
+
+
+class TestReportAccessors:
+    def test_outcomes_sorted_by_factor(self):
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.5, "cost": 0.5}, factors=(2.0, 0.5)
+        )
+        factors = [o.factor for o in report.outcomes_for("speed")]
+        assert factors == sorted(factors)
+
+    def test_unknown_criterion_raises(self):
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.5, "cost": 0.5}
+        )
+        with pytest.raises(ConfigurationError):
+            report.outcomes_for("nope")
+
+    def test_stability_in_unit_interval(self):
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.55, "cost": 0.45}
+        )
+        for criterion in ("speed", "cost"):
+            assert 0.0 <= report.stability(criterion) <= 1.0
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weight_sensitivity(
+                ALTERNATIVES, CONTESTED, {"speed": 0.5, "cost": 0.5}, factors=(0.0,)
+            )
+
+    def test_outcome_count(self):
+        factors = (0.5, 1.5, 2.0)
+        report = weight_sensitivity(
+            ALTERNATIVES, CONTESTED, {"speed": 0.5, "cost": 0.5}, factors=factors
+        )
+        assert len(report.outcomes) == 2 * len(factors)
+
+
+def abs_log(value: float) -> float:
+    import math
+
+    return abs(math.log(value))

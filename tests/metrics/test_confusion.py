@@ -1,0 +1,212 @@
+"""Tests for the confusion matrix."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.confusion import ConfusionMatrix
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        cm = ConfusionMatrix(tp=10, fp=5, fn=3, tn=82)
+        assert cm.tp == 10
+        assert cm.fp == 5
+        assert cm.fn == 3
+        assert cm.tn == 82
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix(tp=-1, fp=0, fn=0, tn=10)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix(tp=float("nan"), fp=0, fn=0, tn=10)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix(tp=float("inf"), fp=0, fn=0, tn=10)
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix(tp=0, fp=0, fn=0, tn=0)
+
+    def test_accepts_fractional_counts(self):
+        cm = ConfusionMatrix(tp=1.5, fp=0.5, fn=0.25, tn=7.75)
+        assert cm.total == 10.0
+
+    def test_is_frozen(self):
+        cm = ConfusionMatrix(tp=1, fp=1, fn=1, tn=1)
+        with pytest.raises(AttributeError):
+            cm.tp = 5  # type: ignore[misc]
+
+    def test_equality(self):
+        assert ConfusionMatrix(1, 2, 3, 4) == ConfusionMatrix(1, 2, 3, 4)
+        assert ConfusionMatrix(1, 2, 3, 4) != ConfusionMatrix(4, 3, 2, 1)
+
+
+class TestFromOutcomes:
+    def test_all_four_cells(self):
+        truth = [True, True, False, False, True]
+        predicted = [True, False, True, False, True]
+        cm = ConfusionMatrix.from_outcomes(truth, predicted)
+        assert cm.as_tuple() == (2, 1, 1, 1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.from_outcomes([True], [True, False])
+
+    def test_accepts_generators(self):
+        cm = ConfusionMatrix.from_outcomes(
+            (b for b in [True, False]), (b for b in [True, True])
+        )
+        assert cm.as_tuple() == (1, 1, 0, 0)
+
+
+class TestFromRates:
+    def test_expected_counts(self):
+        cm = ConfusionMatrix.from_rates(tpr=0.8, fpr=0.1, positives=100, negatives=900)
+        assert cm.tp == pytest.approx(80)
+        assert cm.fn == pytest.approx(20)
+        assert cm.fp == pytest.approx(90)
+        assert cm.tn == pytest.approx(810)
+
+    def test_rates_recoverable(self):
+        cm = ConfusionMatrix.from_rates(tpr=0.65, fpr=0.2, positives=50, negatives=450)
+        assert cm.tpr == pytest.approx(0.65)
+        assert cm.fpr == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("tpr", [-0.1, 1.1])
+    def test_rejects_bad_tpr(self, tpr):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.from_rates(tpr=tpr, fpr=0.1, positives=10, negatives=10)
+
+    @pytest.mark.parametrize("fpr", [-0.1, 1.5])
+    def test_rejects_bad_fpr(self, fpr):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.from_rates(tpr=0.5, fpr=fpr, positives=10, negatives=10)
+
+    def test_rejects_negative_populations(self):
+        with pytest.raises(ConfigurationError):
+            ConfusionMatrix.from_rates(tpr=0.5, fpr=0.1, positives=-1, negatives=10)
+
+
+class TestAggregates:
+    def test_totals(self, typical_cm):
+        assert typical_cm.total == 500
+        assert typical_cm.positives == 80
+        assert typical_cm.negatives == 420
+        assert typical_cm.predicted_positives == 100
+        assert typical_cm.predicted_negatives == 400
+
+    def test_prevalence(self, typical_cm):
+        assert typical_cm.prevalence == pytest.approx(80 / 500)
+
+    def test_rates(self, typical_cm):
+        assert typical_cm.tpr == pytest.approx(60 / 80)
+        assert typical_cm.fnr == pytest.approx(20 / 80)
+        assert typical_cm.fpr == pytest.approx(40 / 420)
+        assert typical_cm.tnr == pytest.approx(380 / 420)
+
+    def test_rates_nan_without_positives(self):
+        cm = ConfusionMatrix(tp=0, fp=3, fn=0, tn=7)
+        assert math.isnan(cm.tpr)
+        assert math.isnan(cm.fnr)
+
+    def test_rates_nan_without_negatives(self):
+        cm = ConfusionMatrix(tp=3, fp=0, fn=7, tn=0)
+        assert math.isnan(cm.fpr)
+        assert math.isnan(cm.tnr)
+
+
+class TestAddition:
+    def test_add_cells(self):
+        total = ConfusionMatrix(1, 2, 3, 4) + ConfusionMatrix(10, 20, 30, 40)
+        assert total.as_tuple() == (11, 22, 33, 44)
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            ConfusionMatrix(1, 2, 3, 4) + 5  # type: ignore[operator]
+
+
+class TestWithPrevalence:
+    def test_preserves_operating_point(self, typical_cm):
+        rebalanced = typical_cm.with_prevalence(0.02)
+        assert rebalanced.tpr == pytest.approx(typical_cm.tpr)
+        assert rebalanced.fpr == pytest.approx(typical_cm.fpr)
+        assert rebalanced.prevalence == pytest.approx(0.02)
+
+    def test_preserves_total_by_default(self, typical_cm):
+        assert typical_cm.with_prevalence(0.3).total == pytest.approx(typical_cm.total)
+
+    def test_custom_total(self, typical_cm):
+        assert typical_cm.with_prevalence(0.3, total=1000).total == pytest.approx(1000)
+
+    @pytest.mark.parametrize("prevalence", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_degenerate_prevalence(self, typical_cm, prevalence):
+        with pytest.raises(ConfigurationError):
+            typical_cm.with_prevalence(prevalence)
+
+    def test_rejects_unidentified_operating_point(self):
+        silent_on_positives = ConfusionMatrix(tp=0, fp=5, fn=0, tn=5)
+        with pytest.raises(ConfigurationError):
+            silent_on_positives.with_prevalence(0.5)
+
+
+class TestResample:
+    def test_preserves_total(self, typical_cm):
+        resampled = typical_cm.resample(seed=0)
+        assert resampled.total == typical_cm.total
+
+    def test_deterministic_in_seed(self, typical_cm):
+        assert typical_cm.resample(seed=42) == typical_cm.resample(seed=42)
+
+    def test_varies_across_seeds(self, typical_cm):
+        outcomes = {typical_cm.resample(seed=s).as_tuple() for s in range(10)}
+        assert len(outcomes) > 1
+
+    def test_accepts_generator(self, typical_cm):
+        rng = np.random.default_rng(7)
+        resampled = typical_cm.resample(rng)
+        assert resampled.total == typical_cm.total
+
+    def test_mean_tracks_cell_proportions(self, typical_cm):
+        rng = np.random.default_rng(3)
+        tps = [typical_cm.resample(rng).tp for _ in range(300)]
+        assert np.mean(tps) == pytest.approx(typical_cm.tp, rel=0.1)
+
+
+@given(
+    tp=st.integers(0, 500),
+    fp=st.integers(0, 500),
+    fn=st.integers(0, 500),
+    tn=st.integers(0, 500),
+)
+def test_aggregate_identities_hold(tp, fp, fn, tn):
+    """Marginals always recombine to the total."""
+    if tp + fp + fn + tn == 0:
+        return
+    cm = ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+    assert cm.positives + cm.negatives == cm.total
+    assert cm.predicted_positives + cm.predicted_negatives == cm.total
+    assert 0.0 <= cm.prevalence <= 1.0
+
+
+@given(
+    tpr=st.floats(0.01, 0.99),
+    fpr=st.floats(0.01, 0.99),
+    prevalence=st.floats(0.01, 0.99),
+    new_prevalence=st.floats(0.01, 0.99),
+)
+def test_with_prevalence_is_rate_invariant(tpr, fpr, prevalence, new_prevalence):
+    """Rebalancing never changes the tool's intrinsic rates."""
+    cm = ConfusionMatrix.from_rates(tpr, fpr, prevalence * 1000, (1 - prevalence) * 1000)
+    rebalanced = cm.with_prevalence(new_prevalence)
+    assert rebalanced.tpr == pytest.approx(tpr, abs=1e-9)
+    assert rebalanced.fpr == pytest.approx(fpr, abs=1e-9)

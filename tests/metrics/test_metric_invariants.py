@@ -1,0 +1,150 @@
+"""Property-based invariants over the whole metric catalog."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import definitions as d
+from repro.metrics.confusion import ConfusionMatrix
+from repro.metrics.registry import default_registry
+
+ALL_METRICS = list(default_registry())
+
+matrices = (
+    st.tuples(
+        st.integers(0, 300),
+        st.integers(0, 300),
+        st.integers(0, 300),
+        st.integers(0, 300),
+    )
+    .filter(lambda cells: sum(cells) > 0)
+    .map(lambda cells: ConfusionMatrix(*map(float, cells)))
+)
+
+
+@given(cm=matrices)
+def test_every_metric_respects_its_declared_range(cm):
+    for metric in ALL_METRICS:
+        value = metric.value_or_nan(cm)
+        if math.isnan(value):
+            continue
+        info = metric.info
+        assert info.lower_bound - 1e-9 <= value, (metric.symbol, value, cm)
+        assert value <= info.upper_bound + 1e-9, (metric.symbol, value, cm)
+
+
+@given(cm=matrices)
+def test_compute_and_value_or_nan_agree(cm):
+    for metric in ALL_METRICS:
+        value = metric.value_or_nan(cm)
+        if math.isnan(value):
+            assert not metric.is_defined(cm)
+        else:
+            assert metric.is_defined(cm)
+            assert metric.compute(cm) == value
+
+
+@given(cm=matrices)
+def test_f1_lies_between_precision_and_recall(cm):
+    precision = d.PRECISION.value_or_nan(cm)
+    recall = d.RECALL.value_or_nan(cm)
+    f1 = d.F1.value_or_nan(cm)
+    if any(math.isnan(v) for v in (precision, recall, f1)):
+        return
+    low, high = min(precision, recall), max(precision, recall)
+    assert low - 1e-9 <= f1 <= high + 1e-9
+
+
+@given(cm=matrices)
+def test_complement_identities(cm):
+    pairs = [
+        (d.ERROR_RATE, d.ACCURACY),
+        (d.FDR, d.PRECISION),
+        (d.FNR, d.RECALL),
+        (d.FPR, d.SPECIFICITY),
+        (d.FOR, d.NPV),
+    ]
+    for complement, primal in pairs:
+        c = complement.value_or_nan(cm)
+        p = primal.value_or_nan(cm)
+        if math.isnan(c) or math.isnan(p):
+            assert math.isnan(c) == math.isnan(p), (complement.symbol, primal.symbol)
+        else:
+            assert c == pytest.approx(1.0 - p, abs=1e-9)
+
+
+@given(cm=matrices)
+def test_mcc_is_symmetric_under_class_swap(cm):
+    """Swapping what counts as 'positive' only preserves MCC and kappa."""
+    swapped = ConfusionMatrix(tp=cm.tn, fp=cm.fn, fn=cm.fp, tn=cm.tp)
+    for metric in (d.MCC, d.KAPPA, d.ACCURACY, d.ERROR_RATE):
+        original = metric.value_or_nan(cm)
+        mirrored = metric.value_or_nan(swapped)
+        if math.isnan(original) or math.isnan(mirrored):
+            continue
+        assert original == pytest.approx(mirrored, abs=1e-9), metric.symbol
+
+
+@given(cm=matrices)
+def test_informedness_duality(cm):
+    """Informedness looks at rows of the matrix, markedness at columns;
+    transposing the matrix swaps them."""
+    transposed = ConfusionMatrix(tp=cm.tp, fp=cm.fn, fn=cm.fp, tn=cm.tn)
+    informedness = d.INFORMEDNESS.value_or_nan(cm)
+    markedness = d.MARKEDNESS.value_or_nan(transposed)
+    if math.isnan(informedness) or math.isnan(markedness):
+        return
+    assert informedness == pytest.approx(markedness, abs=1e-9)
+
+
+@given(cm=matrices)
+def test_mcc_is_geometric_mean_of_informedness_and_markedness(cm):
+    mcc = d.MCC.value_or_nan(cm)
+    informedness = d.INFORMEDNESS.value_or_nan(cm)
+    markedness = d.MARKEDNESS.value_or_nan(cm)
+    if any(math.isnan(v) for v in (mcc, informedness, markedness)):
+        return
+    product = informedness * markedness
+    if product < 0:
+        return  # the identity holds with sign only when both share a sign
+    expected = math.copysign(math.sqrt(product), informedness)
+    assert mcc == pytest.approx(expected, abs=1e-6)
+
+
+@given(
+    tpr=st.floats(0.05, 0.95),
+    fpr=st.floats(0.05, 0.95),
+    prev_a=st.floats(0.05, 0.95),
+    prev_b=st.floats(0.05, 0.95),
+)
+def test_informedness_and_recall_are_prevalence_invariant(tpr, fpr, prev_a, prev_b):
+    cm_a = ConfusionMatrix.from_rates(tpr, fpr, prev_a * 1000, (1 - prev_a) * 1000)
+    cm_b = ConfusionMatrix.from_rates(tpr, fpr, prev_b * 1000, (1 - prev_b) * 1000)
+    for metric in (d.INFORMEDNESS, d.RECALL, d.SPECIFICITY, d.BALANCED_ACCURACY, d.G_MEAN):
+        assert metric.value_or_nan(cm_a) == pytest.approx(
+            metric.value_or_nan(cm_b), abs=1e-9
+        ), metric.symbol
+
+
+@given(cm=matrices, extra=st.integers(1, 50))
+def test_recall_monotone_in_found_vulnerabilities(cm, extra):
+    if cm.fn < extra:
+        return
+    improved = ConfusionMatrix(cm.tp + extra, cm.fp, cm.fn - extra, cm.tn)
+    before = d.RECALL.value_or_nan(cm)
+    after = d.RECALL.value_or_nan(improved)
+    if math.isnan(before) or math.isnan(after):
+        return
+    assert after > before
+
+
+@given(cm=matrices, extra=st.integers(1, 50))
+def test_precision_monotone_in_silenced_alarms(cm, extra):
+    if cm.fp < extra or cm.tp == 0:
+        return
+    improved = ConfusionMatrix(cm.tp, cm.fp - extra, cm.fn, cm.tn + extra)
+    assert d.PRECISION.value_or_nan(improved) > d.PRECISION.value_or_nan(cm)

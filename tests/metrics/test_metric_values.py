@@ -1,0 +1,231 @@
+"""Golden-value tests for every metric definition.
+
+Each metric is checked against hand-computed values on a reference matrix,
+plus its documented undefined inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, UndefinedMetricError
+from repro.metrics import definitions as d
+from repro.metrics.base import Orientation
+from repro.metrics.confusion import ConfusionMatrix
+
+# Reference matrix: tp=60, fp=40, fn=20, tn=380 (N=500, prevalence 0.16).
+CM = ConfusionMatrix(tp=60, fp=40, fn=20, tn=380)
+
+GOLDEN = {
+    d.RECALL: 60 / 80,
+    d.SPECIFICITY: 380 / 420,
+    d.PRECISION: 60 / 100,
+    d.NPV: 380 / 400,
+    d.ACCURACY: 440 / 500,
+    d.ERROR_RATE: 60 / 500,
+    d.BALANCED_ACCURACY: (60 / 80 + 380 / 420) / 2,
+    d.F1: 2 * 60 / (2 * 60 + 20 + 40),
+    d.F2: 5 * 60 / (5 * 60 + 4 * 20 + 40),
+    d.F05: 1.25 * 60 / (1.25 * 60 + 0.25 * 20 + 40),
+    d.MCC: (60 * 380 - 40 * 20) / math.sqrt(100 * 80 * 420 * 400),
+    d.INFORMEDNESS: 60 / 80 + 380 / 420 - 1,
+    d.MARKEDNESS: 60 / 100 + 380 / 400 - 1,
+    d.G_MEAN: math.sqrt((60 / 80) * (380 / 420)),
+    d.FOWLKES_MALLOWS: math.sqrt((60 / 100) * (60 / 80)),
+    d.JACCARD: 60 / 120,
+    d.DOR: (60 * 380) / (40 * 20),
+    d.LR_POSITIVE: (60 / 80) / (40 / 420),
+    d.LR_NEGATIVE: (20 / 80) / (380 / 420),
+    d.FPR: 40 / 420,
+    d.FNR: 20 / 80,
+    d.FDR: 40 / 100,
+    d.FOR: 20 / 400,
+    d.LIFT: (60 / 100) / (80 / 500),
+}
+
+
+@pytest.mark.parametrize("metric", list(GOLDEN), ids=lambda m: m.symbol)
+def test_golden_value(metric):
+    assert metric.compute(CM) == pytest.approx(GOLDEN[metric])
+
+
+def test_kappa_golden_value():
+    p_o = 440 / 500
+    p_e = (80 * 100 + 420 * 400) / (500 * 500)
+    assert d.KAPPA.compute(CM) == pytest.approx((p_o - p_e) / (1 - p_e))
+
+
+def test_prevalence_threshold_golden_value():
+    tpr, fpr = 60 / 80, 40 / 420
+    expected = (math.sqrt(tpr * fpr) - fpr) / (tpr - fpr)
+    assert d.PREVALENCE_THRESHOLD.compute(CM) == pytest.approx(expected)
+
+
+class TestUndefinedInputs:
+    def test_recall_undefined_without_positives(self):
+        cm = ConfusionMatrix(tp=0, fp=5, fn=0, tn=5)
+        with pytest.raises(UndefinedMetricError):
+            d.RECALL.compute(cm)
+        assert math.isnan(d.RECALL.value_or_nan(cm))
+
+    def test_precision_undefined_for_silent_tool(self):
+        cm = ConfusionMatrix(tp=0, fp=0, fn=5, tn=5)
+        assert not d.PRECISION.is_defined(cm)
+
+    def test_specificity_undefined_without_negatives(self):
+        cm = ConfusionMatrix(tp=5, fp=0, fn=5, tn=0)
+        assert not d.SPECIFICITY.is_defined(cm)
+
+    def test_dor_undefined_with_zero_errors(self):
+        cm = ConfusionMatrix(tp=5, fp=0, fn=0, tn=5)
+        assert not d.DOR.is_defined(cm)
+
+    def test_mcc_undefined_for_single_class_workload(self):
+        cm = ConfusionMatrix(tp=5, fp=0, fn=5, tn=0)
+        assert not d.MCC.is_defined(cm)
+
+    def test_f1_defined_for_silent_tool(self):
+        # F1 = 0 when tp=0 but fn+fp > 0: defined, and rightly terrible.
+        cm = ConfusionMatrix(tp=0, fp=0, fn=5, tn=5)
+        assert d.F1.compute(cm) == 0.0
+
+    def test_accuracy_always_defined(self):
+        cm = ConfusionMatrix(tp=0, fp=0, fn=0, tn=1)
+        assert d.ACCURACY.compute(cm) == 1.0
+
+
+class TestGoodnessOrientation:
+    def test_higher_is_better_passthrough(self):
+        assert d.RECALL.goodness(CM) == d.RECALL.compute(CM)
+
+    def test_lower_is_better_negated(self):
+        assert d.FPR.goodness(CM) == -d.FPR.compute(CM)
+
+    def test_error_rate_goodness_consistent_with_accuracy(self):
+        better = ConfusionMatrix(tp=70, fp=30, fn=10, tn=390)
+        assert d.ERROR_RATE.goodness(better) > d.ERROR_RATE.goodness(CM)
+        assert d.ACCURACY.goodness(better) > d.ACCURACY.goodness(CM)
+
+    @pytest.mark.parametrize(
+        "metric",
+        [d.ERROR_RATE, d.FPR, d.FNR, d.FDR, d.FOR, d.LR_NEGATIVE, d.PREVALENCE_THRESHOLD],
+        ids=lambda m: m.symbol,
+    )
+    def test_lower_is_better_flags(self, metric):
+        assert metric.info.orientation is Orientation.LOWER_IS_BETTER
+
+
+class TestComplementIdentities:
+    def test_error_rate_is_one_minus_accuracy(self):
+        assert d.ERROR_RATE.compute(CM) == pytest.approx(1 - d.ACCURACY.compute(CM))
+
+    def test_fdr_is_one_minus_precision(self):
+        assert d.FDR.compute(CM) == pytest.approx(1 - d.PRECISION.compute(CM))
+
+    def test_fnr_is_one_minus_recall(self):
+        assert d.FNR.compute(CM) == pytest.approx(1 - d.RECALL.compute(CM))
+
+    def test_fpr_is_one_minus_specificity(self):
+        assert d.FPR.compute(CM) == pytest.approx(1 - d.SPECIFICITY.compute(CM))
+
+    def test_for_is_one_minus_npv(self):
+        assert d.FOR.compute(CM) == pytest.approx(1 - d.NPV.compute(CM))
+
+    def test_informedness_is_twice_balanced_accuracy_minus_one(self):
+        assert d.INFORMEDNESS.compute(CM) == pytest.approx(
+            2 * d.BALANCED_ACCURACY.compute(CM) - 1
+        )
+
+    def test_dor_is_lr_ratio(self):
+        assert d.DOR.compute(CM) == pytest.approx(
+            d.LR_POSITIVE.compute(CM) / d.LR_NEGATIVE.compute(CM)
+        )
+
+
+class TestPerfectAndWorstTools:
+    PERFECT = ConfusionMatrix(tp=80, fp=0, fn=0, tn=420)
+
+    def test_perfect_tool_hits_upper_bounds(self):
+        for metric in (d.RECALL, d.PRECISION, d.ACCURACY, d.F1, d.MCC, d.INFORMEDNESS,
+                       d.MARKEDNESS, d.G_MEAN, d.JACCARD, d.KAPPA, d.BALANCED_ACCURACY):
+            assert metric.compute(self.PERFECT) == pytest.approx(
+                1.0 if metric.info.upper_bound == 1.0 else metric.info.upper_bound
+            )
+
+    def test_perfectly_wrong_tool_hits_lower_bounds(self):
+        worst = ConfusionMatrix(tp=0, fp=420, fn=80, tn=0)
+        assert d.MCC.compute(worst) == pytest.approx(-1.0)
+        assert d.INFORMEDNESS.compute(worst) == pytest.approx(-1.0)
+        assert d.ACCURACY.compute(worst) == 0.0
+
+    def test_random_tool_scores_zero_on_chance_corrected(self):
+        # TPR == FPR == 0.5 at any prevalence.
+        random_tool = ConfusionMatrix.from_rates(0.5, 0.5, 100, 400)
+        assert d.MCC.compute(random_tool) == pytest.approx(0.0, abs=1e-12)
+        assert d.INFORMEDNESS.compute(random_tool) == pytest.approx(0.0, abs=1e-12)
+        assert d.KAPPA.compute(random_tool) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestParameterizedMetrics:
+    def test_fmeasure_rejects_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            d.FMeasure(0.0)
+        with pytest.raises(ConfigurationError):
+            d.FMeasure(-1.0)
+        with pytest.raises(ConfigurationError):
+            d.FMeasure(float("inf"))
+
+    def test_f1_is_harmonic_mean(self):
+        precision = d.PRECISION.compute(CM)
+        recall = d.RECALL.compute(CM)
+        assert d.F1.compute(CM) == pytest.approx(
+            2 * precision * recall / (precision + recall)
+        )
+
+    def test_f2_leans_toward_recall(self):
+        # Here recall (0.75) > precision (0.6): F2 must exceed F1, F0.5 must
+        # sit below it.
+        assert d.F2.compute(CM) > d.F1.compute(CM) > d.F05.compute(CM)
+
+    def test_expected_cost_golden(self):
+        metric = d.ExpectedCost(cost_fn=10.0, cost_fp=1.0)
+        assert metric.compute(CM) == pytest.approx((10 * 20 + 40) / 500)
+
+    def test_expected_cost_validation(self):
+        with pytest.raises(ConfigurationError):
+            d.ExpectedCost(cost_fn=-1.0, cost_fp=1.0)
+        with pytest.raises(ConfigurationError):
+            d.ExpectedCost(cost_fn=0.0, cost_fp=0.0)
+
+    def test_normalized_expected_cost_beats_trivial_policies(self):
+        metric = d.NormalizedExpectedCost(cost_fn=10.0, cost_fp=1.0)
+        value = metric.compute(CM)
+        # A useful tool beats the better trivial policy: NEC < 1.
+        assert 0.0 < value < 1.0
+
+    def test_normalized_expected_cost_of_silent_tool_is_at_least_one(self):
+        silent = ConfusionMatrix(tp=0, fp=0, fn=80, tn=420)
+        metric = d.NormalizedExpectedCost(cost_fn=10.0, cost_fp=1.0)
+        assert metric.compute(silent) >= 1.0
+
+
+class TestMetricIdentity:
+    def test_equality_by_info(self):
+        assert d.FMeasure(1.0) == d.F1
+        assert d.FMeasure(2.0) != d.F1
+
+    def test_hashable(self):
+        assert len({d.RECALL, d.PRECISION, d.RECALL}) == 2
+
+    def test_symbols_unique_across_catalog(self):
+        metrics = [
+            d.RECALL, d.SPECIFICITY, d.PRECISION, d.NPV, d.ACCURACY, d.ERROR_RATE,
+            d.BALANCED_ACCURACY, d.F1, d.F2, d.F05, d.MCC, d.INFORMEDNESS,
+            d.MARKEDNESS, d.G_MEAN, d.FOWLKES_MALLOWS, d.JACCARD, d.KAPPA, d.DOR,
+            d.LR_POSITIVE, d.LR_NEGATIVE, d.FPR, d.FNR, d.FDR, d.FOR,
+            d.PREVALENCE_THRESHOLD, d.LIFT,
+        ]
+        symbols = [m.symbol for m in metrics]
+        assert len(set(symbols)) == len(symbols)

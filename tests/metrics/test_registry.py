@@ -1,0 +1,92 @@
+"""Tests for the metric registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.metrics.base import MetricFamily
+from repro.metrics.registry import MetricRegistry, core_candidates, default_registry
+
+
+class TestRegistryBasics:
+    def test_register_and_get(self):
+        registry = MetricRegistry([d.RECALL])
+        assert registry.get("REC") is d.RECALL
+
+    def test_duplicate_symbol_rejected(self):
+        registry = MetricRegistry([d.RECALL])
+        with pytest.raises(ConfigurationError):
+            registry.register(d.Recall())
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            MetricRegistry([d.RECALL]).get("NOPE")
+
+    def test_contains(self):
+        registry = MetricRegistry([d.RECALL])
+        assert "REC" in registry
+        assert "PRE" not in registry
+
+    def test_iteration_preserves_order(self):
+        registry = MetricRegistry([d.PRECISION, d.RECALL, d.F1])
+        assert [m.symbol for m in registry] == ["PRE", "REC", "F1"]
+
+    def test_len(self):
+        assert len(MetricRegistry([d.RECALL, d.PRECISION])) == 2
+
+    def test_symbols(self):
+        assert MetricRegistry([d.F1, d.MCC]).symbols == ["F1", "MCC"]
+
+    def test_subset(self):
+        registry = default_registry()
+        subset = registry.subset(["MCC", "REC"])
+        assert subset.symbols == ["MCC", "REC"]
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            default_registry().subset(["NOPE"])
+
+    def test_by_family(self):
+        registry = default_registry()
+        error_rates = registry.by_family(MetricFamily.ERROR_RATE)
+        assert {m.symbol for m in error_rates} == {"ERR", "FPR", "FNR", "FDR", "FOR"}
+
+
+class TestDefaultRegistry:
+    def test_has_all_catalog_metrics(self):
+        assert len(default_registry()) == 26
+
+    def test_contains_the_paper_headliners(self):
+        registry = default_registry()
+        for symbol in ("REC", "PRE", "F1", "MCC", "INF", "MRK", "ACC"):
+            assert symbol in registry
+
+    def test_fresh_instance_each_call(self):
+        a = default_registry()
+        b = default_registry()
+        a.register(d.ExpectedCost(5, 1))
+        assert "EC" not in b
+
+
+class TestCoreCandidates:
+    def test_is_subset_of_default(self):
+        full = set(default_registry().symbols)
+        core = set(core_candidates().symbols)
+        assert core < full
+
+    def test_excludes_unbounded_metrics(self):
+        core = core_candidates()
+        for symbol in ("DOR", "LR+", "LR-", "LFT"):
+            assert symbol not in core
+
+    def test_excludes_redundant_complements(self):
+        core = core_candidates()
+        for symbol in ("ERR", "FDR", "FNR", "FOR", "FPR"):
+            assert symbol not in core
+
+    def test_keeps_scenario_relevant_families(self):
+        core = core_candidates()
+        for symbol in ("REC", "PRE", "SPC", "F1", "F2", "F0.5", "MCC", "INF", "MRK"):
+            assert symbol in core

@@ -1,0 +1,129 @@
+"""Tests for the properties matrix and qualitative properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.metrics.registry import MetricRegistry, default_registry
+from repro.properties.base import AssessmentContext, PropertyAssessment
+from repro.properties.matrix import build_properties_matrix, default_properties
+from repro.properties.qualitative import (
+    UNDERSTANDABILITY_SCORES,
+    Acceptance,
+    Understandability,
+)
+
+
+class TestQualitative:
+    def test_understandability_covers_whole_catalog(self):
+        for metric in default_registry():
+            assert metric.symbol in UNDERSTANDABILITY_SCORES
+
+    def test_understandability_returns_curated_value(self):
+        context = AssessmentContext.default(seed=1, n_resamples=10)
+        assessment = Understandability().assess(d.RECALL, context)
+        assert assessment.score == 1.0
+
+    def test_unknown_metric_gets_conservative_default(self):
+        context = AssessmentContext.default(seed=1, n_resamples=10)
+        exotic = d.ExpectedCost(3, 1, label="custom")
+        # EC is in the table, so fabricate an uncatalogued symbol via NEC.
+        assessment = Understandability().assess(d.NormalizedExpectedCost(3, 1), context)
+        assert 0.0 < assessment.score < 1.0
+        del exotic
+
+    def test_acceptance_mirrors_popularity(self):
+        context = AssessmentContext.default(seed=1, n_resamples=10)
+        assert Acceptance().assess(d.RECALL, context).score == d.RECALL.info.popularity
+
+    def test_precision_more_accepted_than_markedness(self):
+        context = AssessmentContext.default(seed=1, n_resamples=10)
+        assert (
+            Acceptance().assess(d.PRECISION, context).score
+            > Acceptance().assess(d.MARKEDNESS, context).score
+        )
+
+
+class TestAssessmentValidation:
+    def test_score_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PropertyAssessment(
+                property_name="p", metric_symbol="m", score=1.5, rationale="r"
+            )
+
+
+class TestDefaultProperties:
+    def test_ten_properties(self):
+        assert len(default_properties()) == 10
+
+    def test_names_unique(self):
+        names = [p.name for p in default_properties()]
+        assert len(set(names)) == len(names)
+
+    def test_scenario_weights_reference_real_properties(self):
+        from repro.scenarios.scenarios import canonical_scenarios
+
+        names = {p.name for p in default_properties()}
+        for scenario in canonical_scenarios():
+            assert set(scenario.property_weights) <= names
+
+
+class TestPropertiesMatrix:
+    def test_shape(self, properties_matrix, core_registry):
+        assert len(properties_matrix.metric_symbols) == len(core_registry)
+        assert len(properties_matrix.property_names) == 10
+
+    def test_all_cells_present_and_bounded(self, properties_matrix):
+        for symbol in properties_matrix.metric_symbols:
+            for name in properties_matrix.property_names:
+                score = properties_matrix.score(symbol, name)
+                assert 0.0 <= score <= 1.0
+
+    def test_row_and_column_access(self, properties_matrix):
+        row = properties_matrix.row("REC")
+        assert set(row) == set(properties_matrix.property_names)
+        column = properties_matrix.column("bounded")
+        assert set(column) == set(properties_matrix.metric_symbols)
+
+    def test_unknown_cell_raises(self, properties_matrix):
+        with pytest.raises(ConfigurationError):
+            properties_matrix.score("NOPE", "bounded")
+        with pytest.raises(ConfigurationError):
+            properties_matrix.score("REC", "nope")
+
+    def test_weighted_scores(self, properties_matrix):
+        scores = properties_matrix.weighted_scores({"rewards detection": 1.0})
+        # Pure detection weighting makes recall the top metric.
+        best = max(scores, key=scores.get)
+        assert best == "REC"
+
+    def test_weighted_scores_normalized(self, properties_matrix):
+        a = properties_matrix.weighted_scores({"bounded": 2.0, "defined": 2.0})
+        b = properties_matrix.weighted_scores({"bounded": 0.5, "defined": 0.5})
+        for symbol in properties_matrix.metric_symbols:
+            assert a[symbol] == pytest.approx(b[symbol])
+
+    def test_weighted_scores_rejects_unknown_property(self, properties_matrix):
+        with pytest.raises(ConfigurationError):
+            properties_matrix.weighted_scores({"nope": 1.0})
+
+    def test_weighted_scores_rejects_zero_weights(self, properties_matrix):
+        with pytest.raises(ConfigurationError):
+            properties_matrix.weighted_scores({"bounded": 0.0})
+
+    def test_duplicate_property_names_rejected(self, core_registry):
+        from repro.properties.checks import Boundedness
+
+        context = AssessmentContext.default(seed=1, n_resamples=10)
+        small = MetricRegistry([d.RECALL])
+        with pytest.raises(ConfigurationError):
+            build_properties_matrix(
+                small, properties=[Boundedness(), Boundedness()], context=context
+            )
+
+    def test_assessments_carry_provenance(self, properties_matrix):
+        assessment = properties_matrix.assessment("REC", "prevalence-invariant")
+        assert assessment.metric_symbol == "REC"
+        assert assessment.rationale

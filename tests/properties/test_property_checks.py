@@ -1,0 +1,164 @@
+"""Tests for the executable good-metric property checks.
+
+Each check is validated against metrics whose behaviour under the property
+is known analytically: recall is prevalence-invariant, accuracy is not; DOR
+is unbounded; MCC is chance-corrected; and so on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import definitions as d
+from repro.properties.base import AssessmentContext, OperatingPoint
+from repro.properties.checks import (
+    Boundedness,
+    ChanceCorrection,
+    Definedness,
+    Discriminance,
+    PrevalenceInvariance,
+    Repeatability,
+    RewardsDetection,
+    RewardsSilence,
+)
+
+
+@pytest.fixture(scope="module")
+def context() -> AssessmentContext:
+    return AssessmentContext.default(seed=5, n_resamples=40)
+
+
+class TestOperatingPoint:
+    def test_matrix_construction(self):
+        cm = OperatingPoint(tpr=0.8, fpr=0.1).matrix(prevalence=0.2, total=1000)
+        assert cm.tp == pytest.approx(160)
+        assert cm.fp == pytest.approx(80)
+
+    def test_context_grids_are_valid(self, context):
+        assert len(context.matrices()) == len(context.operating_points) * len(
+            context.prevalences
+        )
+        assert len(context.degenerate_matrices()) == 8
+
+
+class TestBoundedness:
+    def test_bounded_metric_scores_one(self, context):
+        assert Boundedness().assess(d.RECALL, context).score == 1.0
+        assert Boundedness().assess(d.MCC, context).score == 1.0
+
+    def test_unbounded_metric_scores_zero(self, context):
+        for metric in (d.DOR, d.LR_POSITIVE, d.LIFT):
+            assert Boundedness().assess(metric, context).score == 0.0
+
+
+class TestDefinedness:
+    def test_accuracy_always_defined(self, context):
+        assessment = Definedness().assess(d.ACCURACY, context)
+        assert assessment.score == 1.0
+
+    def test_dor_frequently_undefined(self, context):
+        dor = Definedness().assess(d.DOR, context).score
+        accuracy = Definedness().assess(d.ACCURACY, context).score
+        assert dor < accuracy
+
+    def test_f1_defined_on_degenerates(self, context):
+        assert Definedness().assess(d.F1, context).score == 1.0
+
+    def test_evidence_recorded(self, context):
+        assessment = Definedness().assess(d.PRECISION, context)
+        assert "regular_defined" in assessment.evidence
+        assert "degenerate_defined" in assessment.evidence
+
+
+class TestPrevalenceInvariance:
+    def test_rate_metrics_are_invariant(self, context):
+        for metric in (d.RECALL, d.SPECIFICITY, d.INFORMEDNESS, d.BALANCED_ACCURACY):
+            assert PrevalenceInvariance().assess(metric, context).score == pytest.approx(
+                1.0
+            ), metric.symbol
+
+    def test_precision_is_not_invariant(self, context):
+        assert PrevalenceInvariance().assess(d.PRECISION, context).score < 0.7
+
+    def test_informedness_beats_accuracy(self, context):
+        informedness = PrevalenceInvariance().assess(d.INFORMEDNESS, context).score
+        accuracy = PrevalenceInvariance().assess(d.ACCURACY, context).score
+        assert informedness > accuracy
+
+
+class TestResponsivenessShares:
+    def test_recall_is_pure_detection(self, context):
+        assert RewardsDetection().assess(d.RECALL, context).score == pytest.approx(1.0)
+        assert RewardsSilence().assess(d.RECALL, context).score == pytest.approx(0.0)
+
+    def test_specificity_is_pure_silence(self, context):
+        assert RewardsDetection().assess(d.SPECIFICITY, context).score == pytest.approx(
+            0.0
+        )
+        assert RewardsSilence().assess(d.SPECIFICITY, context).score == pytest.approx(
+            1.0
+        )
+
+    def test_shares_sum_to_one_for_responsive_metrics(self, context):
+        for metric in (d.F1, d.MCC, d.ACCURACY, d.PRECISION):
+            detection = RewardsDetection().assess(metric, context).score
+            silence = RewardsSilence().assess(metric, context).score
+            assert detection + silence == pytest.approx(1.0), metric.symbol
+
+    def test_fbeta_ordering(self, context):
+        """Higher beta means more detection-leaning."""
+        shares = {
+            metric.symbol: RewardsDetection().assess(metric, context).score
+            for metric in (d.F2, d.F1, d.F05)
+        }
+        assert shares["F2"] > shares["F1"] > shares["F0.5"]
+
+    def test_accuracy_is_balanced(self, context):
+        share = RewardsDetection().assess(d.ACCURACY, context).score
+        assert share == pytest.approx(0.5, abs=0.05)
+
+
+class TestChanceCorrection:
+    def test_chance_corrected_composites_score_high(self, context):
+        for metric in (d.MCC, d.INFORMEDNESS, d.KAPPA, d.MARKEDNESS):
+            assert ChanceCorrection().assess(metric, context).score > 0.95, metric.symbol
+
+    def test_accuracy_scores_low(self, context):
+        assert ChanceCorrection().assess(d.ACCURACY, context).score < 0.5
+
+    def test_recall_scores_low(self, context):
+        # Recall of a random flagger equals its flag rate: maximally
+        # chance-confusable.
+        assert ChanceCorrection().assess(d.RECALL, context).score < 0.2
+
+
+class TestDiscriminance:
+    def test_scores_in_unit_interval(self, context):
+        for metric in (d.RECALL, d.MCC, d.DOR):
+            score = Discriminance().assess(metric, context).score
+            assert 0.0 <= score <= 1.0
+
+    def test_mcc_discriminates_better_than_recall(self, context):
+        # The pairs improve both TPR and FPR; recall sees only half the
+        # signal.
+        mcc = Discriminance().assess(d.MCC, context).score
+        recall = Discriminance().assess(d.RECALL, context).score
+        assert mcc > recall
+
+
+class TestRepeatability:
+    def test_stable_ratio_metric_scores_high(self, context):
+        assert Repeatability().assess(d.ACCURACY, context).score > 0.8
+
+    def test_dor_unstable(self, context):
+        dor = Repeatability().assess(d.DOR, context).score
+        accuracy = Repeatability().assess(d.ACCURACY, context).score
+        assert dor < accuracy
+
+    def test_deterministic_in_context_seed(self):
+        context_a = AssessmentContext.default(seed=9, n_resamples=30)
+        context_b = AssessmentContext.default(seed=9, n_resamples=30)
+        assert (
+            Repeatability().assess(d.F1, context_a).score
+            == Repeatability().assess(d.F1, context_b).score
+        )

@@ -1,0 +1,75 @@
+"""Tests for markdown rendering and the CLI --format flag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.reporting.markdown import experiment_to_markdown, format_markdown_table
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = format_markdown_table(["name", "value"], [["x", 1.5], ["y", 2.0]])
+        lines = text.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "|---|---:|"
+        assert lines[2] == "| x | 1.500 |"
+
+    def test_title_is_bold(self):
+        text = format_markdown_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "**My table**"
+
+    def test_pipes_escaped(self):
+        text = format_markdown_table(["a"], [["x|y"]])
+        assert "x\\|y" in text
+
+    def test_nan_renders_dash(self):
+        text = format_markdown_table(["a"], [[float("nan")]])
+        assert "| - |" in text
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_markdown_table(
+            ["label", "n"], [["a", 1], ["b", 2]]
+        )
+        assert text.splitlines()[1] == "|---|---:|"
+
+    def test_mixed_column_left_aligned(self):
+        text = format_markdown_table(["x"], [["text"], [3.0]])
+        assert text.splitlines()[1] == "|---|"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_markdown_table([], [])
+
+
+class TestExperimentToMarkdown:
+    def test_structure(self):
+        doc = experiment_to_markdown(
+            "RX", "Some experiment", {"first_table": "a  b\n1  2", "chart": "___"}
+        )
+        assert doc.startswith("# RX: Some experiment")
+        assert "## first table" in doc
+        assert "```text\na  b\n1  2\n```" in doc
+        assert doc.endswith("\n")
+
+    def test_section_order_preserved(self):
+        doc = experiment_to_markdown("RX", "t", {"zz": "1", "aa": "2"})
+        assert doc.index("## zz") < doc.index("## aa")
+
+
+class TestCliFormat:
+    def test_md_output(self, tmp_path, capsys):
+        assert main(["run", "R1", "--quiet", "--out", str(tmp_path), "--format", "md"]) == 0
+        md = (tmp_path / "r1.md").read_text()
+        assert md.startswith("# R1: Metric catalog")
+        assert not (tmp_path / "r1.txt").exists()
+
+    def test_text_remains_default(self, tmp_path, capsys):
+        assert main(["run", "R1", "--quiet", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "r1.txt").exists()

@@ -1,0 +1,118 @@
+"""Tests for text tables and ASCII figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.figures import ascii_chart
+from repro.reporting.tables import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_float_formatting(self):
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(0.1, ".1f") == "0.1"
+
+    def test_nan_renders_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_infinities(self):
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("-inf")) == "-inf"
+
+    def test_bool_renders_yes_no(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["name", "value"], [["x", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["name", "v"], [["x", 1.0], ["y", 22.5]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith(" 1.000")
+        assert rows[1].endswith("22.500")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_nan_cell(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text
+
+
+class TestAsciiChart:
+    def test_basic_chart(self):
+        chart = ascii_chart({"s": [(0.0, 0.0), (1.0, 1.0)]})
+        assert "legend" in chart
+        assert "o=s" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            {"alpha": [(0, 1), (1, 2)], "beta": [(0, 2), (1, 1)]}
+        )
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_chart(
+            {"s": [(0, 0), (1, 1)]},
+            title="The Title",
+            x_label="prevalence",
+            y_label="value",
+        )
+        assert chart.splitlines()[0] == "The Title"
+        assert "prevalence" in chart
+        assert "value" in chart
+
+    def test_no_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+
+    def test_no_finite_points_raises(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": [(float("nan"), 1.0)]})
+
+    def test_too_many_series_raises(self):
+        series = {f"s{i}": [(0.0, float(i))] for i in range(9)}
+        with pytest.raises(ConfigurationError):
+            ascii_chart(series)
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": [(0, 0)]}, width=5, height=2)
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart({"s": [(0, 1), (1, 1), (2, 1)]})
+        assert "o" in chart
+
+    def test_nonfinite_points_skipped(self):
+        chart = ascii_chart({"s": [(0, 0), (float("inf"), 5), (1, 1)]})
+        assert "o" in chart

@@ -1,0 +1,105 @@
+"""Tests for the analytical adequacy study (the heart of R8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.metrics.registry import MetricRegistry
+from repro.scenarios.adequacy import (
+    AdequacyConfig,
+    rank_metrics_for_scenario,
+    scenario_adequacy,
+)
+from repro.scenarios.scenarios import scenario_by_key
+
+CONFIG = AdequacyConfig(n_pools=25, seed=3)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        AdequacyConfig()
+
+    def test_rejects_no_pools(self):
+        with pytest.raises(ConfigurationError):
+            AdequacyConfig(n_pools=0)
+
+    def test_rejects_tiny_pools(self):
+        with pytest.raises(ConfigurationError):
+            AdequacyConfig(tools_per_pool=2)
+
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ConfigurationError):
+            AdequacyConfig(workload_sites=0)
+
+
+class TestScenarioAdequacy:
+    def test_deterministic(self):
+        scenario = scenario_by_key("balanced")
+        a = scenario_adequacy(d.MCC, scenario, CONFIG)
+        b = scenario_adequacy(d.MCC, scenario, CONFIG)
+        assert a == b
+
+    def test_tau_within_bounds(self):
+        scenario = scenario_by_key("balanced")
+        for metric in (d.RECALL, d.PRECISION, d.MCC, d.ACCURACY):
+            result = scenario_adequacy(metric, scenario, CONFIG)
+            assert -1.0 <= result.mean_tau <= 1.0
+            assert result.n_pools == CONFIG.n_pools
+
+    def test_recall_dominates_in_critical_scenario(self):
+        scenario = scenario_by_key("critical")
+        recall = scenario_adequacy(d.RECALL, scenario, CONFIG).mean_tau
+        precision = scenario_adequacy(d.PRECISION, scenario, CONFIG).mean_tau
+        specificity = scenario_adequacy(d.SPECIFICITY, scenario, CONFIG).mean_tau
+        assert recall > precision
+        assert recall > specificity
+        assert recall > 0.9
+
+    def test_exactness_family_wins_triage(self):
+        scenario = scenario_by_key("triage")
+        f05 = scenario_adequacy(d.F05, scenario, CONFIG).mean_tau
+        recall = scenario_adequacy(d.RECALL, scenario, CONFIG).mean_tau
+        assert f05 > recall
+
+    def test_cost_metric_is_perfectly_adequate_for_its_own_scenario(self):
+        """Sanity: the scenario's own expected cost has tau = 1 in scenarios
+        where the benchmark matches the field."""
+        scenario = scenario_by_key("balanced")
+        own_cost = d.ExpectedCost(
+            scenario.cost.cost_fn, scenario.cost.cost_fp, label="own"
+        )
+        result = scenario_adequacy(own_cost, scenario, CONFIG)
+        assert result.mean_tau == pytest.approx(1.0)
+
+    def test_prevalence_mismatch_degrades_prevalence_dependent_metrics(self):
+        """In the audit scenario (bench prevalence >> field prevalence),
+        prevalence-invariant composites must beat precision."""
+        scenario = scenario_by_key("audit")
+        informedness = scenario_adequacy(d.INFORMEDNESS, scenario, CONFIG).mean_tau
+        precision = scenario_adequacy(d.PRECISION, scenario, CONFIG).mean_tau
+        assert informedness > precision
+
+
+class TestRankMetrics:
+    def test_ordering_is_by_adequacy(self):
+        registry = MetricRegistry([d.RECALL, d.PRECISION, d.MCC, d.SPECIFICITY])
+        results = rank_metrics_for_scenario(
+            registry, scenario_by_key("critical"), CONFIG
+        )
+        taus = [r.mean_tau for r in results]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_critical_winner_is_recall(self):
+        registry = MetricRegistry([d.RECALL, d.PRECISION, d.MCC, d.SPECIFICITY, d.F1])
+        results = rank_metrics_for_scenario(
+            registry, scenario_by_key("critical"), CONFIG
+        )
+        assert results[0].metric_symbol == "REC"
+
+    def test_all_metrics_present(self, core_registry):
+        results = rank_metrics_for_scenario(
+            core_registry, scenario_by_key("balanced"), CONFIG
+        )
+        assert {r.metric_symbol for r in results} == set(core_registry.symbols)

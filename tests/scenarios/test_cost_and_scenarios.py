@@ -1,0 +1,130 @@
+"""Tests for cost structures and scenario definitions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.confusion import ConfusionMatrix
+from repro.scenarios.cost_model import CostStructure
+from repro.scenarios.scenarios import Scenario, canonical_scenarios, scenario_by_key
+
+CM = ConfusionMatrix(tp=60, fp=40, fn=20, tn=380)
+
+
+class TestCostStructure:
+    def test_expected_cost(self):
+        cost = CostStructure(cost_fn=10.0, cost_fp=1.0)
+        assert cost.expected_cost(CM) == pytest.approx((10 * 20 + 40) / 500)
+
+    def test_total_cost(self):
+        cost = CostStructure(cost_fn=10.0, cost_fp=1.0)
+        assert cost.total_cost(CM) == pytest.approx(240.0)
+
+    def test_miss_to_alarm_ratio(self):
+        assert CostStructure(cost_fn=20, cost_fp=4).miss_to_alarm_ratio == 5.0
+
+    def test_ratio_infinite_with_free_alarms(self):
+        assert math.isinf(CostStructure(cost_fn=1, cost_fp=0).miss_to_alarm_ratio)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            CostStructure(cost_fn=-1, cost_fp=1)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            CostStructure(cost_fn=0, cost_fp=0)
+
+    def test_perfect_tool_costs_nothing(self):
+        perfect = ConfusionMatrix(tp=80, fp=0, fn=0, tn=420)
+        assert CostStructure(5, 1).expected_cost(perfect) == 0.0
+
+    def test_cost_ranking_prefers_recall_when_misses_dominate(self):
+        thorough = ConfusionMatrix.from_rates(0.95, 0.2, 100, 900)
+        cautious = ConfusionMatrix.from_rates(0.5, 0.01, 100, 900)
+        fn_heavy = CostStructure(cost_fn=100, cost_fp=1)
+        fp_heavy = CostStructure(cost_fn=1, cost_fp=1)
+        assert fn_heavy.expected_cost(thorough) < fn_heavy.expected_cost(cautious)
+        assert fp_heavy.expected_cost(thorough) > fp_heavy.expected_cost(cautious)
+
+
+class TestScenarioValidation:
+    def _scenario(self, **overrides):
+        defaults = dict(
+            key="k",
+            name="n",
+            description="d",
+            cost=CostStructure(2, 1),
+            prevalence_range=(0.1, 0.3),
+            property_weights={"bounded": 1.0},
+        )
+        defaults.update(overrides)
+        return Scenario(**defaults)
+
+    def test_valid(self):
+        self._scenario()
+
+    @pytest.mark.parametrize("bounds", [(0.0, 0.3), (0.3, 0.1), (0.1, 1.0)])
+    def test_rejects_bad_prevalence_range(self, bounds):
+        with pytest.raises(ConfigurationError):
+            self._scenario(prevalence_range=bounds)
+
+    def test_rejects_bad_benchmark_range(self):
+        with pytest.raises(ConfigurationError):
+            self._scenario(benchmark_prevalence_range=(0.5, 0.2))
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ConfigurationError):
+            self._scenario(property_weights={})
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            self._scenario(property_weights={"bounded": -1.0})
+
+
+class TestCanonicalScenarios:
+    def test_four_scenarios(self):
+        assert len(canonical_scenarios()) == 4
+
+    def test_keys(self):
+        assert [s.key for s in canonical_scenarios()] == [
+            "critical",
+            "triage",
+            "balanced",
+            "audit",
+        ]
+
+    def test_weights_sum_to_one(self):
+        for scenario in canonical_scenarios():
+            assert sum(scenario.property_weights.values()) == pytest.approx(1.0)
+
+    def test_cost_ordering_matches_stories(self):
+        by_key = {s.key: s for s in canonical_scenarios()}
+        assert (
+            by_key["critical"].cost.miss_to_alarm_ratio
+            > by_key["audit"].cost.miss_to_alarm_ratio
+            > by_key["balanced"].cost.miss_to_alarm_ratio
+            > by_key["triage"].cost.miss_to_alarm_ratio
+        )
+
+    def test_critical_emphasizes_detection(self):
+        critical = scenario_by_key("critical")
+        assert critical.property_weights["rewards detection"] == max(
+            critical.property_weights.values()
+        )
+
+    def test_triage_emphasizes_silence_over_detection(self):
+        triage = scenario_by_key("triage")
+        weights = triage.property_weights
+        assert weights["rewards silence"] > weights["rewards detection"]
+
+    def test_audit_prevalence_mismatch_declared(self):
+        audit = scenario_by_key("audit")
+        assert audit.benchmark_prevalence_range is not None
+        assert audit.benchmark_prevalence_range[0] > audit.prevalence_range[1]
+
+    def test_scenario_by_key_unknown(self):
+        with pytest.raises(ConfigurationError):
+            scenario_by_key("nope")

@@ -1,0 +1,131 @@
+"""Tests for the scenario-guidance wizard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.adequacy import AdequacyConfig
+from repro.scenarios.guidance import GuidanceAnswers, recommend
+
+CONFIG = AdequacyConfig(n_pools=25, seed=5)
+
+
+def answers(**overrides) -> GuidanceAnswers:
+    defaults = dict(
+        miss_to_alarm_ratio=5.0,
+        field_prevalence=(0.1, 0.3),
+        benchmark_enriched=False,
+        audience="mixed",
+        triage_capacity="adequate",
+    )
+    defaults.update(overrides)
+    return GuidanceAnswers(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("ratio", [0.0, -1.0, float("inf")])
+    def test_bad_ratio(self, ratio):
+        with pytest.raises(ConfigurationError):
+            answers(miss_to_alarm_ratio=ratio)
+
+    @pytest.mark.parametrize("prevalence", [(0.0, 0.1), (0.3, 0.1), (0.1, 1.0)])
+    def test_bad_prevalence(self, prevalence):
+        with pytest.raises(ConfigurationError):
+            answers(field_prevalence=prevalence)
+
+    def test_bad_audience(self):
+        with pytest.raises(ConfigurationError):
+            answers(audience="robots")
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            answers(triage_capacity="infinite")
+
+
+class TestSynthesizedScenario:
+    def test_weights_normalized(self):
+        recommendation = recommend(answers(), config=CONFIG)
+        total = sum(recommendation.scenario.property_weights.values())
+        assert total == pytest.approx(1.0)
+
+    def test_cost_matches_ratio(self):
+        recommendation = recommend(answers(miss_to_alarm_ratio=42.0), config=CONFIG)
+        assert recommendation.scenario.cost.miss_to_alarm_ratio == 42.0
+
+    def test_enriched_benchmark_declared(self):
+        recommendation = recommend(
+            answers(field_prevalence=(0.01, 0.04), benchmark_enriched=True),
+            config=CONFIG,
+        )
+        assert recommendation.scenario.benchmark_prevalence_range is not None
+
+    def test_scenario_is_valid_and_usable(self):
+        # The returned scenario passes full Scenario validation and can be
+        # fed back into any scenario-consuming API.
+        from repro.scenarios.adequacy import scenario_adequacy
+        from repro.metrics import definitions as d
+
+        recommendation = recommend(answers(), config=CONFIG)
+        result = scenario_adequacy(d.MCC, recommendation.scenario, CONFIG)
+        assert -1.0 <= result.mean_tau <= 1.0
+
+
+class TestRecommendations:
+    def test_catastrophic_misses_recommend_recall_family(self):
+        recommendation = recommend(
+            answers(miss_to_alarm_ratio=100.0, triage_capacity="ample"),
+            config=CONFIG,
+        )
+        assert recommendation.lead_metric_symbol in {"REC", "F2", "GM", "BAC"}
+
+    def test_alarm_fatigue_recommends_exactness_family(self):
+        recommendation = recommend(
+            answers(
+                miss_to_alarm_ratio=1.0,
+                triage_capacity="scarce",
+                audience="practitioners",
+            ),
+            config=CONFIG,
+        )
+        assert recommendation.lead_metric_symbol in {
+            "PRE", "F0.5", "MRK", "SPC", "ACC", "KAP",
+        }
+
+    def test_different_answers_can_change_the_pick(self):
+        critical = recommend(
+            answers(miss_to_alarm_ratio=100.0, triage_capacity="ample"),
+            config=CONFIG,
+        )
+        triage = recommend(
+            answers(miss_to_alarm_ratio=1.0, triage_capacity="scarce"),
+            config=CONFIG,
+        )
+        assert critical.lead_metric_symbol != triage.lead_metric_symbol
+
+    def test_rationale_mentions_each_adjustment(self):
+        recommendation = recommend(
+            answers(
+                miss_to_alarm_ratio=50.0,
+                benchmark_enriched=True,
+                audience="practitioners",
+                triage_capacity="scarce",
+            ),
+            config=CONFIG,
+        )
+        text = " ".join(recommendation.rationale)
+        assert "detection" in text
+        assert "enriched" in text or "low-prevalence" in text
+        assert "practitioner" in text
+        assert "scarce" in text
+
+    def test_render(self):
+        recommendation = recommend(answers(), config=CONFIG)
+        rendered = recommendation.render()
+        assert "Recommended benchmark metric" in rendered
+        assert recommendation.lead_metric_symbol in rendered
+
+    def test_runners_up_exclude_the_winner(self):
+        recommendation = recommend(answers(), config=CONFIG)
+        assert recommendation.lead_metric_symbol not in recommendation.runners_up
+        assert len(recommendation.runners_up) == 3

@@ -1,0 +1,134 @@
+"""Tests for the bootstrap machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import definitions as d
+from repro.metrics.confusion import ConfusionMatrix
+from repro.stats.bootstrap import (
+    BootstrapSummary,
+    bootstrap_metric,
+    intervals_separated,
+    percentile_interval,
+    separation_fraction,
+)
+
+CM = ConfusionMatrix(tp=60, fp=40, fn=20, tn=380)
+
+
+def make_summary(low: float, high: float) -> BootstrapSummary:
+    return BootstrapSummary(
+        metric_symbol="X",
+        point_estimate=(low + high) / 2,
+        mean=(low + high) / 2,
+        std=(high - low) / 4,
+        ci_low=low,
+        ci_high=high,
+        n_resamples=100,
+        n_defined=100,
+    )
+
+
+class TestPercentileInterval:
+    def test_symmetric_interval(self):
+        values = list(range(101))
+        low, high = percentile_interval(values, confidence=0.9)
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(95.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            percentile_interval([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_confidence_raises(self, confidence):
+        with pytest.raises(ConfigurationError):
+            percentile_interval([1.0, 2.0], confidence=confidence)
+
+
+class TestBootstrapMetric:
+    def test_deterministic_in_seed(self):
+        a = bootstrap_metric(d.RECALL, CM, n_resamples=50, seed=3)
+        b = bootstrap_metric(d.RECALL, CM, n_resamples=50, seed=3)
+        assert a == b
+
+    def test_point_estimate_matches_metric(self):
+        summary = bootstrap_metric(d.RECALL, CM, n_resamples=50, seed=3)
+        assert summary.point_estimate == pytest.approx(d.RECALL.compute(CM))
+
+    def test_interval_contains_point_estimate(self):
+        summary = bootstrap_metric(d.F1, CM, n_resamples=200, seed=3)
+        assert summary.ci_low <= summary.point_estimate <= summary.ci_high
+
+    def test_interval_narrows_with_workload_size(self):
+        small = CM
+        large = ConfusionMatrix(tp=600, fp=400, fn=200, tn=3800)
+        narrow = bootstrap_metric(d.RECALL, large, n_resamples=200, seed=3)
+        wide = bootstrap_metric(d.RECALL, small, n_resamples=200, seed=3)
+        assert narrow.width < wide.width
+
+    def test_defined_fraction_for_robust_metric(self):
+        summary = bootstrap_metric(d.ACCURACY, CM, n_resamples=100, seed=3)
+        assert summary.defined_fraction == 1.0
+        assert summary.n_defined == 100
+
+    def test_undefined_resamples_counted(self):
+        # One needle: some resamples lose all positives and recall goes
+        # undefined there.
+        needle = ConfusionMatrix(tp=1, fp=0, fn=0, tn=30)
+        summary = bootstrap_metric(d.RECALL, needle, n_resamples=300, seed=3)
+        assert summary.n_defined < summary.n_resamples
+
+    def test_all_undefined_yields_nan_summary(self):
+        # A workload with no positives can never define recall.
+        no_positives = ConfusionMatrix(tp=0, fp=5, fn=0, tn=55)
+        summary = bootstrap_metric(d.RECALL, no_positives, n_resamples=20, seed=3)
+        assert summary.n_defined == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.ci_low)
+
+    def test_too_few_resamples_raises(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_metric(d.RECALL, CM, n_resamples=1, seed=3)
+
+
+class TestSeparation:
+    def test_disjoint_intervals_separated(self):
+        assert intervals_separated(make_summary(0.1, 0.2), make_summary(0.3, 0.4))
+
+    def test_overlapping_intervals_not_separated(self):
+        assert not intervals_separated(make_summary(0.1, 0.35), make_summary(0.3, 0.4))
+
+    def test_nan_intervals_never_separated(self):
+        nan_summary = BootstrapSummary(
+            metric_symbol="X",
+            point_estimate=0.5,
+            mean=float("nan"),
+            std=float("nan"),
+            ci_low=float("nan"),
+            ci_high=float("nan"),
+            n_resamples=10,
+            n_defined=0,
+        )
+        assert not intervals_separated(nan_summary, make_summary(0.1, 0.2))
+
+    def test_order_irrelevant(self):
+        a, b = make_summary(0.1, 0.2), make_summary(0.5, 0.6)
+        assert intervals_separated(a, b) == intervals_separated(b, a)
+
+    def test_separation_fraction(self):
+        summaries = [
+            make_summary(0.0, 0.1),
+            make_summary(0.2, 0.3),
+            make_summary(0.25, 0.35),
+        ]
+        # pairs: (0,1) separated, (0,2) separated, (1,2) overlap -> 2/3
+        assert separation_fraction(summaries) == pytest.approx(2 / 3)
+
+    def test_separation_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            separation_fraction([make_summary(0, 1)])

@@ -1,0 +1,237 @@
+"""Tests for ranking and rank correlation, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+import scipy.stats
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stats.rank import (
+    kendall_tau,
+    order_by_score,
+    rank_of,
+    rank_scores,
+    spearman_rho,
+    top_k_overlap,
+)
+
+
+class TestRankScores:
+    def test_simple_descending(self):
+        assert rank_scores([0.9, 0.5, 0.7]) == [1.0, 3.0, 2.0]
+
+    def test_lower_is_better(self):
+        assert rank_scores([0.9, 0.5, 0.7], higher_is_better=False) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert rank_scores([0.5, 0.5, 0.1]) == [1.5, 1.5, 3.0]
+
+    def test_all_tied(self):
+        assert rank_scores([1.0, 1.0, 1.0]) == [2.0, 2.0, 2.0]
+
+    def test_nan_ranks_last(self):
+        ranks = rank_scores([0.5, float("nan"), 0.9])
+        assert ranks == [2.0, 3.0, 1.0]
+
+    def test_multiple_nans_tie_at_the_bottom(self):
+        ranks = rank_scores([float("nan"), 0.5, float("nan")])
+        assert ranks == [2.5, 1.0, 2.5]
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            rank_scores([])
+
+    def test_single_element(self):
+        assert rank_scores([42.0]) == [1.0]
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_ranks_are_a_permutation_average(self, scores):
+        ranks = rank_scores(scores)
+        n = len(scores)
+        # Fractional ranks always sum to n(n+1)/2.
+        assert sum(ranks) == pytest.approx(n * (n + 1) / 2)
+        assert all(1.0 <= r <= n for r in ranks)
+
+
+class TestOrderByScore:
+    def test_orders_best_first(self):
+        assert order_by_score(["a", "b", "c"], [0.1, 0.9, 0.5]) == ["b", "c", "a"]
+
+    def test_tie_broken_by_name(self):
+        assert order_by_score(["zeta", "alpha"], [0.5, 0.5]) == ["alpha", "zeta"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            order_by_score(["a"], [1.0, 2.0])
+
+    def test_rank_of(self):
+        assert rank_of("b", ["a", "b", "c"], [0.1, 0.9, 0.5]) == 1.0
+
+    def test_rank_of_unknown(self):
+        with pytest.raises(ConfigurationError):
+            rank_of("x", ["a"], [1.0])
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_nan(self):
+        assert math.isnan(kendall_tau([1, 1, 1], [1, 2, 3]))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1], [1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    @given(
+        st.lists(st.integers(-50, 50), min_size=3, max_size=25),
+        st.data(),
+    )
+    def test_matches_scipy_tau_b(self, x, data):
+        y = data.draw(
+            st.lists(st.integers(-50, 50), min_size=len(x), max_size=len(x))
+        )
+        ours = kendall_tau(x, y)
+        theirs = scipy.stats.kendalltau(x, y).statistic
+        if math.isnan(ours) or math.isnan(theirs):
+            assert math.isnan(ours) and math.isnan(theirs)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    @given(st.lists(st.floats(-10, 10), min_size=3, max_size=20, unique=True))
+    def test_tau_is_symmetric(self, x):
+        y = list(reversed(x))
+        assert kendall_tau(x, y) == pytest.approx(kendall_tau(y, x))
+
+
+class TestSpearmanRho:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3], [5, 9, 11]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_nan(self):
+        assert math.isnan(spearman_rho([2, 2, 2], [1, 2, 3]))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ConfigurationError):
+            spearman_rho([1], [2])
+
+    @pytest.mark.filterwarnings("ignore::scipy.stats.ConstantInputWarning")
+    @given(
+        st.lists(st.integers(-50, 50), min_size=3, max_size=25),
+        st.data(),
+    )
+    def test_matches_scipy(self, x, data):
+        y = data.draw(
+            st.lists(st.integers(-50, 50), min_size=len(x), max_size=len(x))
+        )
+        ours = spearman_rho(x, y)
+        theirs = scipy.stats.spearmanr(x, y).statistic
+        if math.isnan(ours) or math.isnan(theirs):
+            assert math.isnan(ours) and math.isnan(theirs)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+class TestTopKOverlap:
+    def test_full_overlap(self):
+        assert top_k_overlap(["a", "b", "c"], ["b", "a", "c"], 2) == 1.0
+
+    def test_no_overlap(self):
+        assert top_k_overlap(["a", "b"], ["c", "d"], 2) == 0.0
+
+    def test_partial(self):
+        assert top_k_overlap(["a", "b", "c"], ["a", "x", "y"], 3) == pytest.approx(1 / 3)
+
+    def test_k_zero_raises(self):
+        with pytest.raises(ConfigurationError):
+            top_k_overlap(["a"], ["a"], 0)
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(ConfigurationError):
+            top_k_overlap(["a"], ["a", "b"], 2)
+
+
+class TestKendallsW:
+    def test_perfect_agreement(self):
+        from repro.stats.rank import kendalls_w
+
+        raters = [[3.0, 2.0, 1.0], [30.0, 20.0, 10.0], [0.9, 0.5, 0.1]]
+        assert kendalls_w(raters) == pytest.approx(1.0)
+
+    def test_perfect_disagreement_two_raters(self):
+        from repro.stats.rank import kendalls_w
+
+        raters = [[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]]
+        assert kendalls_w(raters) == pytest.approx(0.0, abs=1e-9)
+
+    def test_partial_agreement_in_between(self):
+        from repro.stats.rank import kendalls_w
+
+        raters = [[1, 2, 3, 4], [1, 2, 4, 3], [2, 1, 3, 4]]
+        w = kendalls_w(raters)
+        assert 0.0 < w < 1.0
+
+    def test_all_ties_is_nan(self):
+        import math
+
+        from repro.stats.rank import kendalls_w
+
+        raters = [[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]]
+        assert math.isnan(kendalls_w(raters))
+
+    def test_needs_two_raters(self):
+        from repro.stats.rank import kendalls_w
+
+        with pytest.raises(ConfigurationError):
+            kendalls_w([[1, 2, 3]])
+
+    def test_needs_two_items(self):
+        from repro.stats.rank import kendalls_w
+
+        with pytest.raises(ConfigurationError):
+            kendalls_w([[1], [2]])
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.stats.rank import kendalls_w
+
+        with pytest.raises(ConfigurationError):
+            kendalls_w([[1, 2], [1, 2, 3]])
+
+    def test_more_agreeing_raters_raise_w(self):
+        from repro.stats.rank import kendalls_w
+
+        mixed = [[1, 2, 3, 4], [4, 3, 2, 1], [1, 2, 3, 4]]
+        aligned = [[1, 2, 3, 4], [1, 2, 3, 4], [1, 2, 3, 4]]
+        assert kendalls_w(aligned) > kendalls_w(mixed)
+
+    @given(
+        st.integers(2, 6).flatmap(
+            lambda m: st.lists(
+                st.lists(st.floats(0, 10), min_size=m, max_size=m),
+                min_size=2,
+                max_size=6,
+            )
+        )
+    )
+    def test_w_bounded(self, raters):
+        import math
+
+        from repro.stats.rank import kendalls_w
+
+        w = kendalls_w(raters)
+        if not math.isnan(w):
+            assert -1e-9 <= w <= 1.0 + 1e-9

@@ -1,0 +1,105 @@
+"""Tests for JSON persistence of benchmark artifacts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.persist import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_json,
+    report_from_dict,
+    report_to_dict,
+    save_json,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.corpus import corpus_workload
+
+
+class TestWorkloadRoundTrip:
+    def test_generated_workload(self, small_workload):
+        rebuilt = workload_from_dict(workload_to_dict(small_workload))
+        assert rebuilt.name == small_workload.name
+        assert rebuilt.units == small_workload.units
+        assert rebuilt.truth == small_workload.truth
+        assert rebuilt.profiles == small_workload.profiles
+        assert rebuilt.config == small_workload.config
+
+    def test_corpus_workload(self):
+        corpus = corpus_workload()
+        rebuilt = workload_from_dict(workload_to_dict(corpus))
+        assert rebuilt.truth == corpus.truth
+        assert rebuilt.units == corpus.units
+
+    def test_schema_mismatch_rejected(self, small_workload):
+        payload = workload_to_dict(small_workload)
+        payload["schema"] = "repro/workload@99"
+        with pytest.raises(ConfigurationError, match="schema"):
+            workload_from_dict(payload)
+
+    def test_payload_is_json_safe(self, small_workload):
+        import json
+
+        json.dumps(workload_to_dict(small_workload))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31), n_units=st.integers(5, 40))
+    def test_any_generated_workload_round_trips(self, seed, n_units):
+        workload = generate_workload(WorkloadConfig(n_units=n_units, seed=seed))
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert rebuilt == workload
+
+
+class TestReportAndCampaignRoundTrip:
+    def test_report(self, reference_campaign):
+        report = reference_campaign.results[0].report
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt == report
+
+    def test_campaign(self, reference_campaign):
+        rebuilt = campaign_from_dict(campaign_to_dict(reference_campaign))
+        assert rebuilt == reference_campaign
+
+    def test_campaign_reanalysis_after_round_trip(
+        self, reference_campaign, small_workload
+    ):
+        """The archived campaign supports the same downstream analyses."""
+        from repro.bench.pertype import campaign_breakdowns
+        from repro.metrics import definitions as d
+
+        rebuilt = campaign_from_dict(campaign_to_dict(reference_campaign))
+        assert rebuilt.metric_values(d.MCC) == reference_campaign.metric_values(d.MCC)
+        breakdowns = campaign_breakdowns(rebuilt, small_workload.truth)
+        assert set(breakdowns) == set(rebuilt.tool_names)
+
+    def test_report_schema_checked(self, reference_campaign):
+        payload = report_to_dict(reference_campaign.results[0].report)
+        payload["schema"] = "nope"
+        with pytest.raises(ConfigurationError):
+            report_from_dict(payload)
+
+    def test_campaign_schema_checked(self, reference_campaign):
+        payload = campaign_to_dict(reference_campaign)
+        del payload["schema"]
+        with pytest.raises(ConfigurationError):
+            campaign_from_dict(payload)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, reference_campaign):
+        path = tmp_path / "campaign.json"
+        save_json(campaign_to_dict(reference_campaign), path)
+        rebuilt = campaign_from_dict(load_json(path))
+        assert rebuilt == reference_campaign
+
+    def test_save_is_stable(self, tmp_path, small_workload):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_json(workload_to_dict(small_workload), a)
+        save_json(workload_to_dict(small_workload), b)
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,83 @@
+"""Tests for RNG helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro._rng import derive_seed, rng_from_seed, spawn
+
+
+class TestRng:
+    def test_rng_from_int(self):
+        a = rng_from_seed(5).random()
+        b = rng_from_seed(5).random()
+        assert a == b
+
+    def test_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert rng_from_seed(rng) is rng
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(5, "x") == derive_seed(5, "x")
+
+    def test_derive_seed_key_sensitive(self):
+        assert derive_seed(5, "x") != derive_seed(5, "y")
+
+    def test_derive_seed_parent_sensitive(self):
+        assert derive_seed(5, "x") != derive_seed(6, "x")
+
+    def test_derive_seed_range(self):
+        for key in ("a", "b", "c"):
+            seed = derive_seed(123, key)
+            assert 0 <= seed < 2**63 - 1
+
+    def test_spawn_streams_independent(self):
+        a = spawn(5, "x").random(10)
+        b = spawn(5, "y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_reproducible(self):
+        assert np.array_equal(spawn(5, "x").random(10), spawn(5, "x").random(10))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.ConfigurationError,
+            errors.MetricError,
+            errors.UndefinedMetricError,
+            errors.WorkloadError,
+            errors.ToolError,
+            errors.McdaError,
+            errors.InconsistentJudgmentError,
+            errors.ElicitationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, errors.ReproError)
+
+    def test_undefined_metric_is_metric_error(self):
+        assert issubclass(errors.UndefinedMetricError, errors.MetricError)
+
+    def test_inconsistent_judgment_is_mcda_error(self):
+        assert issubclass(errors.InconsistentJudgmentError, errors.McdaError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("boom")
+
+
+class TestPublicApi:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,98 @@
+"""Tests for the reference tool suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import definitions as d
+from repro.tools.suite import real_tool_suite, reference_suite, simulated_pool
+
+
+class TestSuiteComposition:
+    def test_eight_tools(self):
+        assert len(reference_suite()) == 8
+
+    def test_unique_names(self):
+        names = [tool.name for tool in reference_suite()]
+        assert len(set(names)) == len(names)
+
+    def test_partition(self):
+        reference = {t.name for t in reference_suite(seed=1)}
+        real = {t.name for t in real_tool_suite(seed=1)}
+        simulated = {t.name for t in simulated_pool(seed=1)}
+        assert reference == real | simulated
+        assert not (real & simulated)
+
+
+class TestSuiteOperatingSpace:
+    """The suite must span the precision/recall space the study needs."""
+
+    def test_grep_scanner_has_total_recall(self, reference_campaign):
+        cm = reference_campaign.confusion_for("SA-Grep")
+        assert d.RECALL.compute(cm) == 1.0
+        assert d.PRECISION.compute(cm) < 0.5
+
+    def test_deep_analyzer_is_precise_but_incomplete(self, reference_campaign):
+        cm = reference_campaign.confusion_for("SA-Deep")
+        assert d.PRECISION.compute(cm) > 0.9
+        assert d.RECALL.compute(cm) < 1.0
+
+    def test_flow_analyzer_false_positives_on_decoys(self, reference_campaign):
+        cm = reference_campaign.confusion_for("SA-Flow")
+        assert d.RECALL.compute(cm) == 1.0
+        assert cm.fp > 0
+
+    def test_dynamic_tools_are_precise_with_modest_recall(self, reference_campaign):
+        for name in ("PT-Spider", "PT-Probe"):
+            cm = reference_campaign.confusion_for(name)
+            assert d.PRECISION.compute(cm) > 0.6, name
+            assert d.RECALL.compute(cm) < 0.8, name
+
+    def test_cautious_probe_quieter_than_spider(self, reference_campaign):
+        probe = reference_campaign.confusion_for("PT-Probe")
+        spider = reference_campaign.confusion_for("PT-Spider")
+        assert probe.fp <= spider.fp
+        assert d.RECALL.compute(probe) < d.RECALL.compute(spider)
+
+    def test_recall_spread_is_wide(self, reference_campaign):
+        recalls = [
+            d.RECALL.compute(r.confusion) for r in reference_campaign.results
+        ]
+        assert max(recalls) - min(recalls) > 0.4
+
+    def test_precision_spread_is_wide(self, reference_campaign):
+        precisions = [
+            d.PRECISION.compute(r.confusion) for r in reference_campaign.results
+        ]
+        assert max(precisions) - min(precisions) > 0.4
+
+    def test_no_tool_dominates_all_others(self, reference_campaign):
+        """The suite would be a boring benchmark if one tool were best on
+        both axes simultaneously against every other tool."""
+        values = [
+            (d.RECALL.compute(r.confusion), d.PRECISION.compute(r.confusion))
+            for r in reference_campaign.results
+        ]
+        for recall, precision in values:
+            dominates_all = all(
+                (recall >= other_recall and precision >= other_precision)
+                for other_recall, other_precision in values
+            )
+            assert not dominates_all
+
+
+class TestSeedPropagation:
+    def test_same_seed_same_reports(self, small_workload):
+        a = reference_suite(seed=7)
+        b = reference_suite(seed=7)
+        for tool_a, tool_b in zip(a, b):
+            assert tool_a.analyze(small_workload) == tool_b.analyze(small_workload)
+
+    def test_stochastic_tools_respond_to_seed(self, small_workload):
+        spider_a = reference_suite(seed=7)[3]
+        spider_b = reference_suite(seed=8)[3]
+        assert spider_a.name == spider_b.name == "PT-Spider"
+        assert (
+            spider_a.analyze(small_workload).flagged_sites
+            != spider_b.analyze(small_workload).flagged_sites
+        )

@@ -1,0 +1,114 @@
+"""Tests for thresholded tools and operating-point selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ToolError
+from repro.scenarios.cost_model import CostStructure
+from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.tools.thresholded import ThresholdedTool, optimal_threshold, threshold_sweep
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadConfig(n_units=250, prevalence=0.2, decoy_fraction=0.6, seed=47)
+    )
+
+
+class TestThresholdedTool:
+    def test_zero_threshold_is_identity(self, workload):
+        base = PatternScanner()
+        wrapped = ThresholdedTool(base, 0.0)
+        assert wrapped.analyze(workload).flagged_sites == base.analyze(
+            workload
+        ).flagged_sites
+
+    def test_raising_threshold_shrinks_the_report(self, workload):
+        base = TaintAnalyzer(trust_sanitizers=False)
+        low = ThresholdedTool(base, 0.2).analyze(workload)
+        high = ThresholdedTool(base, 0.8).analyze(workload)
+        assert high.flagged_sites < low.flagged_sites
+
+    def test_impossible_threshold_silences_the_tool(self, workload):
+        wrapped = ThresholdedTool(PatternScanner(), 1.0)
+        report = wrapped.analyze(workload)
+        # PatternScanner confidences max out at 0.6 < 1.0.
+        assert report.n_detections == 0
+
+    def test_name_encodes_threshold(self):
+        assert ThresholdedTool(PatternScanner(), 0.5).name == "PatternScanner@0.5"
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.5])
+    def test_threshold_validation(self, threshold):
+        with pytest.raises(ToolError):
+            ThresholdedTool(PatternScanner(), threshold)
+
+
+class TestThresholdSweep:
+    def test_points_sorted_and_complete(self, workload):
+        points = threshold_sweep(
+            PatternScanner(), workload, thresholds=(0.5, 0.0, 0.9)
+        )
+        assert [p.threshold for p in points] == [0.0, 0.5, 0.9]
+
+    def test_reports_shrink_monotonically(self, workload):
+        points = threshold_sweep(
+            TaintAnalyzer(trust_sanitizers=False),
+            workload,
+            thresholds=(0.0, 0.3, 0.6, 0.9),
+        )
+        reported = [p.confusion.predicted_positives for p in points]
+        assert reported == sorted(reported, reverse=True)
+
+    def test_cost_attached_when_requested(self, workload):
+        cost = CostStructure(5, 1)
+        points = threshold_sweep(PatternScanner(), workload, cost=cost)
+        for point in points:
+            assert point.expected_cost == pytest.approx(
+                cost.expected_cost(point.confusion)
+            )
+
+    def test_cost_omitted_by_default(self, workload):
+        points = threshold_sweep(PatternScanner(), workload, thresholds=(0.0,))
+        assert points[0].expected_cost is None
+
+    def test_empty_thresholds_rejected(self, workload):
+        with pytest.raises(ToolError):
+            threshold_sweep(PatternScanner(), workload, thresholds=())
+
+    def test_out_of_range_threshold_rejected(self, workload):
+        with pytest.raises(ToolError):
+            threshold_sweep(PatternScanner(), workload, thresholds=(0.5, 1.2))
+
+
+class TestOptimalThreshold:
+    def test_optimal_threshold_monotone_in_cost_ratio(self, workload):
+        """The costlier a miss, the lower (or equal) the optimal cut-off:
+        alarm-dominated economics always dial the tool up at least as far
+        as miss-dominated economics do."""
+        ratios = (100.0, 10.0, 2.0, 1.0)
+        optima = [
+            optimal_threshold(
+                PatternScanner(), workload, CostStructure(cost_fn=r, cost_fp=1.0)
+            ).threshold
+            for r in ratios
+        ]
+        assert optima == sorted(optima)
+
+    def test_extreme_miss_cost_keeps_every_confident_finding(self, workload):
+        """With misses one-thousand-fold costlier, no threshold that drops
+        a true finding can win; the optimum keeps all true positives."""
+        best = optimal_threshold(
+            PatternScanner(), workload, CostStructure(cost_fn=1000, cost_fp=1)
+        )
+        assert best.confusion.fn == 0
+
+    def test_optimum_minimizes_over_the_sweep(self, workload):
+        cost = CostStructure(3, 1)
+        points = threshold_sweep(PatternScanner(), workload, cost=cost)
+        best = optimal_threshold(PatternScanner(), workload, cost)
+        assert best.expected_cost == min(p.expected_cost for p in points)

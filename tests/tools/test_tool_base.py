@@ -1,0 +1,52 @@
+"""Tests for the detection tool interface types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tools.base import Detection, DetectionReport
+from repro.workload.code_model import SinkSite
+from repro.workload.taxonomy import VulnerabilityType
+
+SQLI = VulnerabilityType.SQL_INJECTION
+SITE_A = SinkSite("u1", 1, SQLI)
+SITE_B = SinkSite("u2", 4, SQLI)
+
+
+class TestDetection:
+    def test_valid(self):
+        detection = Detection(site=SITE_A, confidence=0.8)
+        assert detection.confidence == 0.8
+
+    def test_default_confidence(self):
+        assert Detection(site=SITE_A).confidence == 1.0
+
+    @pytest.mark.parametrize("confidence", [0.0, -0.5, 1.5])
+    def test_rejects_bad_confidence(self, confidence):
+        with pytest.raises(ToolError):
+            Detection(site=SITE_A, confidence=confidence)
+
+
+class TestDetectionReport:
+    def test_flagged_sites(self):
+        report = DetectionReport(
+            tool_name="t",
+            workload_name="w",
+            detections=(Detection(SITE_A), Detection(SITE_B)),
+        )
+        assert report.flagged_sites == {SITE_A, SITE_B}
+        assert report.n_detections == 2
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ToolError, match="twice"):
+            DetectionReport(
+                tool_name="t",
+                workload_name="w",
+                detections=(Detection(SITE_A), Detection(SITE_A, confidence=0.5)),
+            )
+
+    def test_empty_report(self):
+        report = DetectionReport(tool_name="t", workload_name="w", detections=())
+        assert report.flagged_sites == frozenset()
+        assert report.n_detections == 0

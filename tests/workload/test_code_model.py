@@ -1,0 +1,134 @@
+"""Tests for the mini-IR code model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.taxonomy import VulnerabilityType
+
+SQLI = VulnerabilityType.SQL_INJECTION
+XSS = VulnerabilityType.XSS
+
+
+def simple_unit() -> CodeUnit:
+    return CodeUnit(
+        unit_id="u1",
+        statements=(
+            Statement(StatementKind.INPUT, target="a"),
+            Statement(StatementKind.ASSIGN, target="b", sources=("a",)),
+            Statement(StatementKind.SINK, sources=("b",), vuln_type=SQLI),
+        ),
+    )
+
+
+class TestStatementValidation:
+    def test_input_defines_target(self):
+        Statement(StatementKind.INPUT, target="x")
+
+    def test_input_must_not_read(self):
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.INPUT, target="x", sources=("y",))
+
+    def test_input_needs_target(self):
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.INPUT)
+
+    def test_const_shape(self):
+        Statement(StatementKind.CONST, target="x")
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.CONST, target="x", sources=("y",))
+
+    def test_assign_needs_one_source(self):
+        Statement(StatementKind.ASSIGN, target="x", sources=("y",))
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.ASSIGN, target="x", sources=())
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.ASSIGN, target="x", sources=("y", "z"))
+
+    def test_concat_needs_sources(self):
+        Statement(StatementKind.CONCAT, target="x", sources=("y", "z"))
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.CONCAT, target="x", sources=())
+
+    def test_sanitize_needs_vuln_type(self):
+        Statement(StatementKind.SANITIZE, target="x", sources=("y",), vuln_type=SQLI)
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.SANITIZE, target="x", sources=("y",))
+
+    def test_sink_reads_exactly_one(self):
+        Statement(StatementKind.SINK, sources=("y",), vuln_type=SQLI)
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.SINK, sources=("y", "z"), vuln_type=SQLI)
+
+    def test_sink_defines_nothing(self):
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.SINK, target="x", sources=("y",), vuln_type=SQLI)
+
+    def test_sink_needs_vuln_type(self):
+        with pytest.raises(WorkloadError):
+            Statement(StatementKind.SINK, sources=("y",))
+
+
+class TestCodeUnit:
+    def test_valid_unit(self):
+        unit = simple_unit()
+        assert len(unit) == 3
+
+    def test_empty_unit_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            CodeUnit(unit_id="", statements=())
+
+    def test_use_before_definition_rejected(self):
+        with pytest.raises(WorkloadError, match="used before definition"):
+            CodeUnit(
+                unit_id="u",
+                statements=(
+                    Statement(StatementKind.ASSIGN, target="b", sources=("a",)),
+                ),
+            )
+
+    def test_sink_sites(self):
+        unit = CodeUnit(
+            unit_id="u2",
+            statements=(
+                Statement(StatementKind.INPUT, target="a"),
+                Statement(StatementKind.SINK, sources=("a",), vuln_type=SQLI),
+                Statement(StatementKind.SINK, sources=("a",), vuln_type=XSS),
+            ),
+        )
+        sites = unit.sink_sites()
+        assert sites == [SinkSite("u2", 1, SQLI), SinkSite("u2", 2, XSS)]
+        assert sites[0].vuln_type is SQLI
+        assert sites[1].vuln_type is XSS
+
+    def test_no_sinks(self):
+        unit = CodeUnit(
+            unit_id="u3",
+            statements=(Statement(StatementKind.INPUT, target="a"),),
+        )
+        assert unit.sink_sites() == []
+
+    def test_statement_at_bounds(self):
+        unit = simple_unit()
+        assert unit.statement_at(0).kind is StatementKind.INPUT
+        with pytest.raises(WorkloadError):
+            unit.statement_at(3)
+        with pytest.raises(WorkloadError):
+            unit.statement_at(-1)
+
+
+class TestSinkSite:
+    def test_identity_ignores_vuln_type(self):
+        # Sites are identified by (unit, statement); the type is metadata.
+        assert SinkSite("u", 1, SQLI) == SinkSite("u", 1, XSS)
+
+    def test_ordering(self):
+        a = SinkSite("u1", 1, SQLI)
+        b = SinkSite("u1", 2, SQLI)
+        c = SinkSite("u2", 0, SQLI)
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_hashable(self):
+        assert len({SinkSite("u", 1, SQLI), SinkSite("u", 1, SQLI)}) == 1

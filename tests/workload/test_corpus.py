@@ -1,0 +1,166 @@
+"""Tests for the hand-written workload corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import run_campaign, score_report
+from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.suite import reference_suite
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.workload.code_model import SinkSite
+from repro.workload.corpus import corpus_units, corpus_workload
+from repro.workload.oracle import vulnerable_sites
+from repro.workload.taxonomy import VulnerabilityType
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return corpus_workload()
+
+
+class TestCorpusContent:
+    def test_twenty_units(self):
+        assert len(corpus_units()) == 20
+
+    def test_unique_unit_ids(self):
+        ids = [u.unit_id for u in corpus_units()]
+        assert len(set(ids)) == len(ids)
+
+    def test_site_and_vulnerability_counts(self, corpus):
+        assert corpus.n_sites == 23
+        assert corpus.truth.n_vulnerable == 12
+
+    def test_documented_vulnerable_units(self, corpus):
+        vulnerable_units = {site.unit_id for site in corpus.truth.vulnerable}
+        assert vulnerable_units == {
+            "login-naive",
+            "search-echo",
+            "download-wrong-variable",
+            "report-deep-pipeline",
+            "backup-raw-command",
+            "ldap-partial-fix",
+            "xpath-wrong-sanitizer",
+            "audit-logger",
+            "profile-tooltip",
+            "search-paginated",
+            "webhook-healthcheck",
+            "invoice-xpath",
+        }
+
+    def test_documented_safe_units(self, corpus):
+        safe_units = {
+            site.unit_id
+            for site in corpus.truth.sites
+            if site not in corpus.truth.vulnerable
+        }
+        assert {"login-parameterized", "download-checked", "ping-escaped",
+                "status-static", "csv-export-static", "avatar-upload",
+                "group-lookup", "health-endpoint"} <= safe_units
+
+    def test_covers_all_vulnerability_classes(self, corpus):
+        covered = {site.vuln_type for site in corpus.truth.sites}
+        assert covered == set(VulnerabilityType)
+
+    def test_truth_matches_oracle(self, corpus):
+        for unit in corpus.units:
+            oracle = vulnerable_sites(unit)
+            for site in unit.sink_sites():
+                assert (site in oracle) == (site in corpus.truth.vulnerable)
+
+    def test_profiles_complete_and_consistent(self, corpus):
+        assert set(corpus.profiles) == set(corpus.truth.sites)
+        for site, profile in corpus.profiles.items():
+            assert profile.vulnerable == (site in corpus.truth.vulnerable)
+            assert 0.0 <= profile.difficulty <= 1.0
+            assert profile.chain_length >= 1
+
+
+class TestCorpusStories:
+    """Each unit encodes a specific analysis trap; verify the traps spring."""
+
+    def test_search_echo_is_the_cross_class_trap(self, corpus):
+        sqli = SinkSite("search-echo", 4, VulnerabilityType.SQL_INJECTION)
+        xss = SinkSite("search-echo", 7, VulnerabilityType.XSS)
+        assert not corpus.truth.is_vulnerable(sqli)
+        assert corpus.truth.is_vulnerable(xss)
+
+    def test_wrong_variable_download_fools_no_flow_tools(self, corpus):
+        # The sanitizer-respecting pattern scanner is fooled (sanitizer is
+        # textually above the sink), the taint analyzer is not.
+        site = SinkSite("download-wrong-variable", 2, VulnerabilityType.PATH_TRAVERSAL)
+        scanner = PatternScanner(respect_sanitizers=True).analyze(corpus)
+        assert site not in scanner.flagged_sites  # false negative!
+        analyzer = TaintAnalyzer().analyze(corpus)
+        assert site in analyzer.flagged_sites
+
+    def test_deep_pipeline_defeats_shallow_analysis(self, corpus):
+        site = SinkSite("report-deep-pipeline", 8, VulnerabilityType.XSS)
+        shallow = TaintAnalyzer(max_chain_depth=3).analyze(corpus)
+        assert site not in shallow.flagged_sites
+        unlimited = TaintAnalyzer().analyze(corpus)
+        assert site in unlimited.flagged_sites
+
+    def test_audit_logger_defeats_first_operand_analysis(self, corpus):
+        site = SinkSite("audit-logger", 4, VulnerabilityType.COMMAND_INJECTION)
+        lossy = TaintAnalyzer(concat_taint_loss=True).analyze(corpus)
+        assert site not in lossy.flagged_sites
+        sound = TaintAnalyzer().analyze(corpus)
+        assert site in sound.flagged_sites
+
+    def test_profile_tooltip_unrefactoring_bug(self, corpus):
+        # The escaped sink is safe, the raw-tooltip sink is not.
+        escaped = SinkSite("profile-tooltip", 2, VulnerabilityType.XSS)
+        tooltip = SinkSite("profile-tooltip", 4, VulnerabilityType.XSS)
+        assert not corpus.truth.is_vulnerable(escaped)
+        assert corpus.truth.is_vulnerable(tooltip)
+
+    def test_paginated_search_partial_fix(self, corpus):
+        # Sanitizing the page size does not save the raw sort column.
+        site = SinkSite("search-paginated", 5, VulnerabilityType.SQL_INJECTION)
+        assert corpus.truth.is_vulnerable(site)
+        # ...and a sanitizer-respecting syntactic scanner is fooled into
+        # silence by the visible same-class sanitizer above the sink.
+        scanner = PatternScanner(respect_sanitizers=True).analyze(corpus)
+        assert site not in scanner.flagged_sites
+
+    def test_webhook_mixed_concat_defeats_first_operand_analysis(self, corpus):
+        site = SinkSite("webhook-healthcheck", 5, VulnerabilityType.COMMAND_INJECTION)
+        # Tainted path arrives through the third concat operand.
+        lossy = TaintAnalyzer(concat_taint_loss=True).analyze(corpus)
+        assert site not in lossy.flagged_sites
+        sound = TaintAnalyzer().analyze(corpus)
+        assert site in sound.flagged_sites
+
+    def test_invoice_pipeline_is_the_second_depth_stressor(self, corpus):
+        site = SinkSite("invoice-xpath", 8, VulnerabilityType.XPATH_INJECTION)
+        shallow = TaintAnalyzer(max_chain_depth=4).analyze(corpus)
+        assert site not in shallow.flagged_sites
+        assert site in TaintAnalyzer().analyze(corpus).flagged_sites
+
+    def test_avatar_upload_post_sanitizer_hops_stay_safe(self, corpus):
+        site = SinkSite("avatar-upload", 6, VulnerabilityType.PATH_TRAVERSAL)
+        assert not corpus.truth.is_vulnerable(site)
+        # Even the sanitizer-ignoring analyzer flags it (it sees taint),
+        # which is exactly the decoy behaviour the unit encodes.
+        blind = TaintAnalyzer(trust_sanitizers=False).analyze(corpus)
+        assert site in blind.flagged_sites
+
+    def test_health_endpoint_never_flagged_by_anyone(self, corpus):
+        site = SinkSite("health-endpoint", 1, VulnerabilityType.XSS)
+        for tool in (
+            PatternScanner(),
+            TaintAnalyzer(trust_sanitizers=False),
+        ):
+            assert site not in tool.analyze(corpus).flagged_sites
+
+    def test_unlimited_taint_analyzer_is_exact_on_corpus(self, corpus):
+        cm = score_report(TaintAnalyzer().analyze(corpus), corpus.truth)
+        assert cm.fp == 0
+        assert cm.fn == 0
+
+    def test_reference_suite_runs_on_corpus(self, corpus):
+        campaign = run_campaign(reference_suite(seed=5), corpus)
+        assert len(campaign.results) == 8
+        for result in campaign.results:
+            assert result.confusion.total == corpus.n_sites

@@ -1,0 +1,166 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.oracle import vulnerable_sites
+from repro.workload.taxonomy import VulnerabilityType
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize("n_units", [0, -5])
+    def test_rejects_bad_unit_count(self, n_units):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(n_units=n_units)
+
+    @pytest.mark.parametrize("prevalence", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_prevalence(self, prevalence):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(prevalence=prevalence)
+
+    @pytest.mark.parametrize("sites", [(0, 2), (3, 1)])
+    def test_rejects_bad_sites_per_unit(self, sites):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(sites_per_unit=sites)
+
+    @pytest.mark.parametrize("chain", [(0, 3), (5, 2)])
+    def test_rejects_bad_chain_range(self, chain):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(chain_length_range=chain)
+
+    def test_rejects_empty_type_mix(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(type_mix={})
+
+    def test_rejects_negative_type_weights(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(type_mix={VulnerabilityType.XSS: -1.0})
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(type_mix={VulnerabilityType.XSS: 0.0})
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_rejects_bad_decoy_fraction(self, fraction):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(decoy_fraction=fraction)
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        config = WorkloadConfig(n_units=50, seed=9)
+        a = generate_workload(config)
+        b = generate_workload(config)
+        assert a.truth == b.truth
+        assert [u.unit_id for u in a.units] == [u.unit_id for u in b.units]
+        assert a.profiles == b.profiles
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(n_units=50, seed=1))
+        b = generate_workload(WorkloadConfig(n_units=50, seed=2))
+        assert a.truth.vulnerable != b.truth.vulnerable
+
+    def test_unit_count(self):
+        workload = generate_workload(WorkloadConfig(n_units=30, seed=3))
+        assert len(workload.units) == 30
+
+    def test_sites_within_configured_range(self):
+        workload = generate_workload(
+            WorkloadConfig(n_units=40, sites_per_unit=(2, 4), seed=3)
+        )
+        per_unit: dict[str, int] = {}
+        for site in workload.truth.sites:
+            per_unit[site.unit_id] = per_unit.get(site.unit_id, 0) + 1
+        assert all(2 <= count <= 4 for count in per_unit.values())
+
+    def test_realized_prevalence_near_configured(self):
+        workload = generate_workload(
+            WorkloadConfig(n_units=800, prevalence=0.2, seed=5)
+        )
+        assert workload.prevalence == pytest.approx(0.2, abs=0.03)
+
+    def test_ground_truth_matches_oracle(self):
+        """The generator's intent and the oracle must agree on every site."""
+        workload = generate_workload(WorkloadConfig(n_units=60, seed=11))
+        for unit in workload.units:
+            oracle_verdicts = vulnerable_sites(unit)
+            for site in unit.sink_sites():
+                assert (site in oracle_verdicts) == (site in workload.truth.vulnerable)
+
+    def test_profiles_cover_every_site(self):
+        workload = generate_workload(WorkloadConfig(n_units=40, seed=7))
+        assert set(workload.profiles) == set(workload.truth.sites)
+
+    def test_profile_flags_consistent(self):
+        workload = generate_workload(WorkloadConfig(n_units=60, seed=13))
+        for site, profile in workload.profiles.items():
+            assert profile.vulnerable == (site in workload.truth.vulnerable)
+            assert 0.0 <= profile.difficulty <= 1.0
+            low, high = workload.config.chain_length_range
+            assert low <= profile.chain_length <= high
+
+    def test_type_mix_respected(self):
+        workload = generate_workload(
+            WorkloadConfig(
+                n_units=200,
+                type_mix={VulnerabilityType.SQL_INJECTION: 1.0},
+                seed=17,
+            )
+        )
+        assert all(
+            site.vuln_type is VulnerabilityType.SQL_INJECTION
+            for site in workload.truth.sites
+        )
+
+    def test_unit_lookup(self):
+        workload = generate_workload(WorkloadConfig(n_units=5, seed=1, name="lk"))
+        unit = workload.units[2]
+        assert workload.unit(unit.unit_id) is unit
+        with pytest.raises(ConfigurationError):
+            workload.unit("missing")
+
+    def test_decoys_present_among_safe_sites(self):
+        workload = generate_workload(
+            WorkloadConfig(n_units=200, decoy_fraction=1.0, seed=19)
+        )
+        safe_profiles = [p for p in workload.profiles.values() if not p.vulnerable]
+        assert safe_profiles
+        assert all(p.sanitizer_present for p in safe_profiles)
+
+    def test_no_decoys_when_disabled(self):
+        workload = generate_workload(
+            WorkloadConfig(n_units=100, decoy_fraction=0.0,
+                           cross_class_sanitizer_rate=0.0, seed=19)
+        )
+        assert not any(
+            p.sanitizer_present for p in workload.profiles.values()
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_units=st.integers(5, 60),
+    prevalence=st.floats(0.05, 0.6),
+    decoy=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_generated_workloads_are_internally_consistent(n_units, prevalence, decoy, seed):
+    """Any valid config yields a workload whose truth matches the oracle."""
+    workload = generate_workload(
+        WorkloadConfig(
+            n_units=n_units, prevalence=prevalence, decoy_fraction=decoy, seed=seed
+        )
+    )
+    assert workload.n_sites >= n_units
+    for unit in workload.units[:10]:
+        oracle = vulnerable_sites(unit)
+        for site in unit.sink_sites():
+            assert (site in oracle) == (site in workload.truth.vulnerable)

@@ -1,0 +1,67 @@
+"""Tests for ground-truth bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.code_model import SinkSite
+from repro.workload.ground_truth import GroundTruth
+from repro.workload.taxonomy import VulnerabilityType
+
+SQLI = VulnerabilityType.SQL_INJECTION
+XSS = VulnerabilityType.XSS
+
+S1 = SinkSite("u1", 1, SQLI)
+S2 = SinkSite("u1", 3, XSS)
+S3 = SinkSite("u2", 0, SQLI)
+
+
+class TestConstruction:
+    def test_from_sites(self):
+        truth = GroundTruth.from_sites([S1, S2, S3], [S1])
+        assert truth.n_sites == 3
+        assert truth.n_vulnerable == 1
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(WorkloadError):
+            GroundTruth.from_sites([S1, S1], [])
+
+    def test_stray_vulnerable_rejected(self):
+        with pytest.raises(WorkloadError):
+            GroundTruth.from_sites([S1], [S2])
+
+    def test_empty_truth_allowed(self):
+        truth = GroundTruth.from_sites([], [])
+        assert truth.n_sites == 0
+
+
+class TestQueries:
+    def test_is_vulnerable(self):
+        truth = GroundTruth.from_sites([S1, S2], [S2])
+        assert truth.is_vulnerable(S2)
+        assert not truth.is_vulnerable(S1)
+
+    def test_is_vulnerable_unknown_site(self):
+        truth = GroundTruth.from_sites([S1], [])
+        with pytest.raises(WorkloadError):
+            truth.is_vulnerable(S3)
+
+    def test_prevalence(self):
+        truth = GroundTruth.from_sites([S1, S2, S3], [S1, S3])
+        assert truth.prevalence == pytest.approx(2 / 3)
+
+    def test_prevalence_of_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            _ = GroundTruth.from_sites([], []).prevalence
+
+    def test_by_type(self):
+        truth = GroundTruth.from_sites([S1, S2, S3], [S1, S2])
+        sqli_only = truth.by_type(SQLI)
+        assert set(sqli_only.sites) == {S1, S3}
+        assert sqli_only.vulnerable == {S1}
+
+    def test_by_type_empty_class(self):
+        truth = GroundTruth.from_sites([S1], [S1])
+        none = truth.by_type(VulnerabilityType.LDAP_INJECTION)
+        assert none.n_sites == 0

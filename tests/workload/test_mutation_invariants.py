@@ -1,0 +1,124 @@
+"""Property-based invariants of the mutation operators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.code_model import SinkSite
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.mutations import break_site, extend_chain, fix_site
+from repro.workload.oracle import vulnerable_sites
+
+workload_seeds = st.integers(0, 2**31)
+
+
+def make_workload(seed: int):
+    return generate_workload(
+        WorkloadConfig(
+            n_units=40, prevalence=0.25, decoy_fraction=0.7, seed=seed, name="mut"
+        )
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=workload_seeds, pick=st.integers(0, 10**6))
+def test_fix_any_vulnerable_site_reduces_count_by_exactly_one(seed, pick):
+    workload = make_workload(seed)
+    vulnerable = sorted(workload.truth.vulnerable)
+    if not vulnerable:
+        return
+    site = vulnerable[pick % len(vulnerable)]
+    fixed = fix_site(workload, site)
+    assert fixed.truth.n_vulnerable == workload.truth.n_vulnerable - 1
+    assert fixed.truth.n_sites == workload.truth.n_sites
+    # The fixed workload remains fully oracle-consistent.
+    unit = fixed.unit(site.unit_id)
+    oracle = vulnerable_sites(unit)
+    for unit_site in unit.sink_sites():
+        assert (unit_site in oracle) == fixed.truth.is_vulnerable(unit_site)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=workload_seeds, pick=st.integers(0, 10**6))
+def test_break_any_decoy_makes_it_vulnerable(seed, pick):
+    # break_site downgrades every same-class sanitizer above the sink, so
+    # another same-class decoy in the same unit can regress alongside the
+    # target: the count grows by at least one, not exactly one.
+    workload = make_workload(seed)
+    decoys = sorted(
+        site
+        for site in workload.truth.sites
+        if not workload.profiles[site].vulnerable
+        and workload.profiles[site].sanitizer_present
+    )
+    if not decoys:
+        return
+    site = decoys[pick % len(decoys)]
+    broken = break_site(workload, site)
+    assert broken.truth.is_vulnerable(site)
+    assert broken.truth.n_vulnerable >= workload.truth.n_vulnerable + 1
+    assert broken.truth.n_sites == workload.truth.n_sites
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=workload_seeds, pick=st.integers(0, 10**6), hops=st.integers(1, 6))
+def test_extend_chain_preserves_every_verdict(seed, pick, hops):
+    workload = make_workload(seed)
+    sites = sorted(workload.truth.sites)
+    site = sites[pick % len(sites)]
+    extended = extend_chain(workload, site, hops=hops)
+    assert extended.truth.n_vulnerable == workload.truth.n_vulnerable
+    assert extended.truth.n_sites == workload.truth.n_sites
+    moved = SinkSite(site.unit_id, site.statement_index + hops, site.vuln_type)
+    assert extended.truth.is_vulnerable(moved) == workload.truth.is_vulnerable(site)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=workload_seeds)
+def test_fix_then_break_reopens_the_site(seed):
+    """Fixing a vulnerability and then regressing the fixed site makes the
+    site vulnerable again.  The vulnerable count is at least restored —
+    break_site downgrades *every* same-class sanitizer above the sink, so
+    a same-class decoy earlier in the unit may regress along with it."""
+    workload = make_workload(seed)
+    vulnerable = sorted(workload.truth.vulnerable)
+    if not vulnerable:
+        return
+    site = vulnerable[0]
+    fixed = fix_site(workload, site)
+    moved = SinkSite(site.unit_id, site.statement_index + 1, site.vuln_type)
+    regressed = break_site(fixed, moved)
+    assert regressed.truth.is_vulnerable(moved)
+    assert regressed.truth.n_vulnerable >= workload.truth.n_vulnerable
+    assert regressed.truth.n_vulnerable > fixed.truth.n_vulnerable
+
+
+def test_mutation_chain_remains_serializable():
+    """Mutated workloads keep all invariants persistence relies on.
+
+    Note the second mutation picks its site from the *fixed* workload —
+    after an insertion, sites of the touched unit have new indices.
+    """
+    from repro.persist import workload_from_dict, workload_to_dict
+
+    workload = make_workload(7)
+    site = sorted(workload.truth.vulnerable)[0]
+    fixed = fix_site(workload, site)
+    mutated = extend_chain(fixed, sorted(fixed.truth.sites)[0], 2)
+    rebuilt = workload_from_dict(workload_to_dict(mutated))
+    assert rebuilt.truth == mutated.truth
+    assert rebuilt.units == mutated.units
+
+
+def test_fix_is_idempotent_protection():
+    """A fixed site cannot be fixed twice (the second call must raise)."""
+    workload = make_workload(11)
+    site = sorted(workload.truth.vulnerable)[0]
+    from repro.errors import WorkloadError
+
+    fixed = fix_site(workload, site)
+    moved = SinkSite(site.unit_id, site.statement_index + 1, site.vuln_type)
+    with pytest.raises(WorkloadError, match="already safe"):
+        fix_site(fixed, moved)

@@ -1,0 +1,165 @@
+"""Tests for workload mutations (fixes, regressions, chain extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import score_report
+from repro.errors import WorkloadError
+from repro.metrics import definitions as d
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.workload.code_model import SinkSite
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.mutations import break_site, extend_chain, fix_site
+from repro.workload.oracle import vulnerable_sites
+
+
+@pytest.fixture()
+def workload():
+    return generate_workload(
+        WorkloadConfig(n_units=120, prevalence=0.2, decoy_fraction=0.6, seed=37)
+    )
+
+
+def first_vulnerable(workload) -> SinkSite:
+    return sorted(workload.truth.vulnerable)[0]
+
+
+def first_decoy(workload) -> SinkSite:
+    for site in sorted(workload.truth.sites):
+        profile = workload.profiles[site]
+        if not profile.vulnerable and profile.sanitizer_present:
+            return site
+    raise AssertionError("no decoy in workload")
+
+
+class TestFixSite:
+    def test_fix_makes_site_safe(self, workload):
+        site = first_vulnerable(workload)
+        fixed = fix_site(workload, site)
+        moved = SinkSite(site.unit_id, site.statement_index + 1, site.vuln_type)
+        assert not fixed.truth.is_vulnerable(moved)
+
+    def test_fix_reduces_vulnerable_count_by_one(self, workload):
+        site = first_vulnerable(workload)
+        fixed = fix_site(workload, site)
+        assert fixed.truth.n_vulnerable == workload.truth.n_vulnerable - 1
+        assert fixed.truth.n_sites == workload.truth.n_sites
+
+    def test_fix_only_touches_target_unit(self, workload):
+        site = first_vulnerable(workload)
+        fixed = fix_site(workload, site)
+        for unit in fixed.units:
+            if unit.unit_id != site.unit_id:
+                assert unit == workload.unit(unit.unit_id)
+
+    def test_fixed_workload_is_oracle_consistent(self, workload):
+        site = first_vulnerable(workload)
+        fixed = fix_site(workload, site)
+        unit = fixed.unit(site.unit_id)
+        oracle = vulnerable_sites(unit)
+        for unit_site in unit.sink_sites():
+            assert (unit_site in oracle) == fixed.truth.is_vulnerable(unit_site)
+
+    def test_fixing_safe_site_rejected(self, workload):
+        safe = next(
+            s for s in workload.truth.sites if not workload.truth.is_vulnerable(s)
+        )
+        with pytest.raises(WorkloadError, match="already safe"):
+            fix_site(workload, safe)
+
+    def test_tools_notice_the_fix(self, workload):
+        site = first_vulnerable(workload)
+        analyzer = TaintAnalyzer()
+        before = score_report(analyzer.analyze(workload), workload.truth)
+        fixed = fix_site(workload, site)
+        after = score_report(analyzer.analyze(fixed), fixed.truth)
+        # The exact analyzer stays exact: one fewer true positive to find.
+        assert after.tp == before.tp - 1
+        assert after.fp == 0 and after.fn == 0
+
+    def test_metrics_respond_to_the_fix(self, workload):
+        """End-to-end monotonicity: after fixing one vulnerability, a fixed
+        flag-everything tool's precision drops and the workload gets safer."""
+        from repro.tools.pattern_scanner import PatternScanner
+
+        site = first_vulnerable(workload)
+        scanner = PatternScanner()
+        before = score_report(scanner.analyze(workload), workload.truth)
+        fixed = fix_site(workload, site)
+        after = score_report(scanner.analyze(fixed), fixed.truth)
+        assert d.PRECISION.compute(after) < d.PRECISION.compute(before)
+
+    def test_profiles_stay_complete(self, workload):
+        fixed = fix_site(workload, first_vulnerable(workload))
+        assert set(fixed.profiles) == set(fixed.truth.sites)
+
+
+class TestBreakSite:
+    def test_break_makes_decoy_vulnerable(self, workload):
+        site = first_decoy(workload)
+        broken = break_site(workload, site)
+        assert broken.truth.is_vulnerable(site)
+        assert broken.truth.n_vulnerable == workload.truth.n_vulnerable + 1
+
+    def test_break_is_oracle_consistent(self, workload):
+        site = first_decoy(workload)
+        broken = break_site(workload, site)
+        unit = broken.unit(site.unit_id)
+        oracle = vulnerable_sites(unit)
+        for unit_site in unit.sink_sites():
+            assert (unit_site in oracle) == broken.truth.is_vulnerable(unit_site)
+
+    def test_breaking_vulnerable_site_rejected(self, workload):
+        with pytest.raises(WorkloadError, match="already vulnerable"):
+            break_site(workload, first_vulnerable(workload))
+
+    def test_breaking_clean_site_rejected(self, workload):
+        clean = next(
+            s
+            for s in workload.truth.sites
+            if not workload.profiles[s].vulnerable
+            and not workload.profiles[s].sanitizer_present
+        )
+        with pytest.raises(WorkloadError, match="clean"):
+            break_site(workload, clean)
+
+    def test_sanitizer_aware_tool_catches_the_regression(self, workload):
+        site = first_decoy(workload)
+        analyzer = TaintAnalyzer()
+        assert site not in analyzer.analyze(workload).flagged_sites
+        broken = break_site(workload, site)
+        assert site in analyzer.analyze(broken).flagged_sites
+
+
+class TestExtendChain:
+    def test_truth_unchanged(self, workload):
+        site = first_vulnerable(workload)
+        extended = extend_chain(workload, site, hops=3)
+        moved = SinkSite(site.unit_id, site.statement_index + 3, site.vuln_type)
+        assert extended.truth.is_vulnerable(moved)
+        assert extended.truth.n_vulnerable == workload.truth.n_vulnerable
+
+    def test_depth_budgeted_tool_loses_the_site(self, workload):
+        site = first_vulnerable(workload)
+        shallow = TaintAnalyzer(max_chain_depth=8)
+        assert site in shallow.analyze(workload).flagged_sites
+        extended = extend_chain(workload, site, hops=12)
+        moved = SinkSite(site.unit_id, site.statement_index + 12, site.vuln_type)
+        assert moved not in shallow.analyze(extended).flagged_sites
+
+    def test_unbounded_tool_keeps_the_site(self, workload):
+        site = first_vulnerable(workload)
+        extended = extend_chain(workload, site, hops=12)
+        moved = SinkSite(site.unit_id, site.statement_index + 12, site.vuln_type)
+        assert moved in TaintAnalyzer().analyze(extended).flagged_sites
+
+    def test_invalid_hops_rejected(self, workload):
+        with pytest.raises(WorkloadError):
+            extend_chain(workload, first_vulnerable(workload), hops=0)
+
+    def test_non_sink_site_rejected(self, workload):
+        site = first_vulnerable(workload)
+        bogus = SinkSite(site.unit_id, 0, site.vuln_type)
+        with pytest.raises(WorkloadError, match="sink"):
+            extend_chain(workload, bogus)

@@ -1,0 +1,158 @@
+"""Tests for the exact taint oracle on hand-built units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.oracle import is_site_vulnerable, taint_state_after, vulnerable_sites
+from repro.workload.taxonomy import VulnerabilityType
+
+SQLI = VulnerabilityType.SQL_INJECTION
+XSS = VulnerabilityType.XSS
+
+I = StatementKind.INPUT
+C = StatementKind.CONST
+A = StatementKind.ASSIGN
+CC = StatementKind.CONCAT
+SAN = StatementKind.SANITIZE
+SK = StatementKind.SINK
+
+
+def unit(*statements: Statement) -> CodeUnit:
+    return CodeUnit(unit_id="u", statements=tuple(statements))
+
+
+class TestDirectFlows:
+    def test_input_to_sink_is_vulnerable(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 1, SQLI)}
+
+    def test_const_to_sink_is_safe(self):
+        u = unit(
+            Statement(C, target="a"),
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == set()
+
+    def test_long_chain_stays_tainted(self):
+        statements = [Statement(I, target="v0")]
+        for i in range(20):
+            statements.append(Statement(A, target=f"v{i+1}", sources=(f"v{i}",)))
+        statements.append(Statement(SK, sources=("v20",), vuln_type=XSS))
+        u = unit(*statements)
+        assert is_site_vulnerable(u, SinkSite("u", 21, XSS))
+
+    def test_overwrite_with_const_clears_taint(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(C, target="a"),  # a reassigned to a constant
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == set()
+
+
+class TestSanitizers:
+    def test_matching_sanitizer_makes_safe(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SAN, target="b", sources=("a",), vuln_type=SQLI),
+            Statement(SK, sources=("b",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == set()
+
+    def test_cross_class_sanitizer_does_not_help(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SAN, target="b", sources=("a",), vuln_type=XSS),
+            Statement(SK, sources=("b",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 2, SQLI)}
+
+    def test_sanitizer_only_affects_its_output(self):
+        # The original variable stays dangerous.
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SAN, target="b", sources=("a",), vuln_type=SQLI),
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 2, SQLI)}
+
+    def test_two_sanitizers_two_classes(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SAN, target="b", sources=("a",), vuln_type=SQLI),
+            Statement(SAN, target="c", sources=("b",), vuln_type=XSS),
+            Statement(SK, sources=("c",), vuln_type=SQLI),
+            Statement(SK, sources=("c",), vuln_type=XSS),
+        )
+        assert vulnerable_sites(u) == set()
+
+
+class TestConcat:
+    def test_concat_unions_taint(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(C, target="b"),
+            Statement(CC, target="c", sources=("b", "a")),
+            Statement(SK, sources=("c",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 3, SQLI)}
+
+    def test_concat_of_constants_is_clean(self):
+        u = unit(
+            Statement(C, target="a"),
+            Statement(C, target="b"),
+            Statement(CC, target="c", sources=("a", "b")),
+            Statement(SK, sources=("c",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == set()
+
+    def test_concat_mixes_sanitized_and_raw(self):
+        # Sanitized data concatenated with raw input is dangerous again.
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SAN, target="b", sources=("a",), vuln_type=SQLI),
+            Statement(I, target="c"),
+            Statement(CC, target="d", sources=("b", "c")),
+            Statement(SK, sources=("d",), vuln_type=SQLI),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 4, SQLI)}
+
+
+class TestTaintStates:
+    def test_states_one_per_statement(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(A, target="b", sources=("a",)),
+            Statement(SK, sources=("b",), vuln_type=SQLI),
+        )
+        states = taint_state_after(u)
+        assert len(states) == 3
+        assert "a" in states[0]
+        assert "b" in states[1]
+
+    def test_input_taints_all_classes(self):
+        u = unit(Statement(I, target="a"))
+        states = taint_state_after(u)
+        assert states[0]["a"] == frozenset(VulnerabilityType)
+
+    def test_is_site_vulnerable_rejects_non_sink(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+        )
+        with pytest.raises(ValueError, match="not a sink"):
+            is_site_vulnerable(u, SinkSite("u", 0, SQLI))
+
+    def test_multiple_sites_independent(self):
+        u = unit(
+            Statement(I, target="a"),
+            Statement(SK, sources=("a",), vuln_type=SQLI),
+            Statement(C, target="b"),
+            Statement(SK, sources=("b",), vuln_type=XSS),
+        )
+        assert vulnerable_sites(u) == {SinkSite("u", 1, SQLI)}
