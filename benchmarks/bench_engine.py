@@ -1,0 +1,58 @@
+"""Bench — the experiment engine itself: cache warmth and parallelism.
+
+Times ``run all`` through the engine three ways — cold artifact store,
+warm re-run on the same store, and a cold parallel run — and prints a
+one-line summary per comparison.  Shape claims: a warm store re-runs the
+whole suite without a single artifact miss, and a parallel run is
+byte-identical to the serial one (the engine's core determinism contract).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.engine import ArtifactStore, run_experiments
+
+ALL_IDS = [f"R{i}" for i in range(1, 20)]
+SEED = 2015
+JOBS = 4
+
+
+def _timed(**kwargs):
+    started = time.perf_counter()
+    run = run_experiments(ALL_IDS, seed=SEED, **kwargs)
+    return run, time.perf_counter() - started
+
+
+def test_bench_engine_cold_warm_parallel(save_result):
+    store = ArtifactStore()
+    cold, cold_s = _timed(store=store, jobs=1)
+    warm, warm_s = _timed(store=store, jobs=1)
+    parallel, parallel_s = _timed(jobs=JOBS)
+
+    # A warm store replays every experiment from cache: zero misses.
+    assert warm.manifest.cache_counts()["miss"] == 0
+    assert warm_s < cold_s
+    # The reference campaign is computed exactly once per (seed, n_units).
+    campaign = cold.manifest.cache_counts("campaign:reference[n_units=600")
+    assert campaign["miss"] == 1
+    # Parallelism changes the wall clock only, never the reports.
+    for key in ALL_IDS:
+        assert parallel.results[key].render() == cold.results[key].render()
+
+    lines = [
+        f"engine run all (seed {SEED}): cold {cold_s:.1f}s, "
+        f"warm cache {warm_s:.2f}s "
+        f"({cold.manifest.cache_counts()['miss']} misses -> 0)",
+        f"engine run all (seed {SEED}): serial {cold_s:.1f}s, "
+        f"jobs={JOBS} {parallel_s:.1f}s, reports byte-identical",
+    ]
+    for line in lines:
+        print(line)
+    save_result("engine", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(__import__("pytest").main([__file__, "-q", "-s"]))

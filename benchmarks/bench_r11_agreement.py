@@ -13,8 +13,10 @@ from repro.bench.experiments import r11_agreement
 from repro.metrics.registry import core_candidates
 
 
-def test_bench_r11_agreement(benchmark, save_result):
-    result = benchmark.pedantic(r11_agreement.run, rounds=1, iterations=1)
+def test_bench_r11_agreement(benchmark, save_result, engine_context):
+    result = benchmark.pedantic(
+        lambda: r11_agreement.run(context=engine_context), rounds=1, iterations=1
+    )
     save_result("R11", result.render())
     print()
     print(result.render())

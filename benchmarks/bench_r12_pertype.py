@@ -14,8 +14,8 @@ from repro.metrics import definitions as d
 from repro.workload.taxonomy import VulnerabilityType
 
 
-def test_bench_r12_pertype(benchmark, save_result):
-    result = benchmark(r12_pertype.run)
+def test_bench_r12_pertype(benchmark, save_result, engine_context):
+    result = benchmark(lambda: r12_pertype.run(context=engine_context))
     save_result("R12", result.render())
     print()
     print(result.render())

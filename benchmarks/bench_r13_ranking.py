@@ -12,8 +12,8 @@ from __future__ import annotations
 from repro.bench.experiments import r13_ranking
 
 
-def test_bench_r13_ranking(benchmark, save_result):
-    result = benchmark(r13_ranking.run)
+def test_bench_r13_ranking(benchmark, save_result, engine_context):
+    result = benchmark(lambda: r13_ranking.run(context=engine_context))
     save_result("R13", result.render())
     print()
     print(result.sections["values"])

@@ -12,8 +12,8 @@ from __future__ import annotations
 from repro.bench.experiments import r14_significance
 
 
-def test_bench_r14_significance(benchmark, save_result):
-    result = benchmark(r14_significance.run)
+def test_bench_r14_significance(benchmark, save_result, engine_context):
+    result = benchmark(lambda: r14_significance.run(context=engine_context))
     save_result("R14", result.render())
     print()
     print(result.render())

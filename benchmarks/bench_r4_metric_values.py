@@ -13,8 +13,8 @@ import math
 from repro.bench.experiments import r4_metric_values
 
 
-def test_bench_r4_metric_values(benchmark, save_result):
-    result = benchmark(r4_metric_values.run)
+def test_bench_r4_metric_values(benchmark, save_result, engine_context):
+    result = benchmark(lambda: r4_metric_values.run(context=engine_context))
     save_result("R4", result.render())
     print()
     print(result.render())

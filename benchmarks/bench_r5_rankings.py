@@ -11,8 +11,8 @@ from __future__ import annotations
 from repro.bench.experiments import r5_rankings
 
 
-def test_bench_r5_rankings(benchmark, save_result):
-    result = benchmark(r5_rankings.run)
+def test_bench_r5_rankings(benchmark, save_result, engine_context):
+    result = benchmark(lambda: r5_rankings.run(context=engine_context))
     save_result("R5", result.render())
     print()
     print(result.render())

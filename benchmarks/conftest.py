@@ -20,6 +20,15 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def engine_context():
+    """A shared engine context so campaign-consuming benches time their own
+    analysis, not the repeated regeneration of the reference campaign."""
+    from repro.bench.engine import RunContext
+
+    return RunContext()
+
+
 @pytest.fixture
 def save_result(results_dir):
     """Write an experiment's rendered report to the results directory."""

@@ -1,4 +1,14 @@
-"""Benchmark harness: campaign runner and experiment drivers."""
+"""Benchmark harness: campaign runner, experiment engine and drivers."""
+
+from repro.bench.engine import (
+    ArtifactStore,
+    EngineRun,
+    ExperimentSpec,
+    RunContext,
+    RunManifest,
+    run_experiments,
+)
+from repro.bench.result import DEFAULT_SEED, ExperimentResult
 
 from repro.bench.repeatability import RunNoiseSummary, tool_run_noise
 from repro.bench.suite import SuiteResult, ranking_stability, run_suite
@@ -37,4 +47,17 @@ __all__ = [
     "breakdown_report",
     "campaign_breakdowns",
     "macro_average",
-    "micro_average","CampaignResult", "ToolResult", "run_campaign", "score_report"]
+    "micro_average",
+    "CampaignResult",
+    "ToolResult",
+    "run_campaign",
+    "score_report",
+    "ArtifactStore",
+    "EngineRun",
+    "ExperimentSpec",
+    "RunContext",
+    "RunManifest",
+    "run_experiments",
+    "DEFAULT_SEED",
+    "ExperimentResult",
+]

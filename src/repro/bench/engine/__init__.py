@@ -1,0 +1,61 @@
+"""Declarative experiment engine: specs, shared artifacts, scheduling.
+
+The engine replaces the old call-each-other experiment chain with three
+pieces:
+
+- :class:`ExperimentSpec` — per-experiment metadata (id, title, seedless
+  flag, declared dependencies) registered by each driver module;
+- :class:`ArtifactStore` / :class:`RunContext` — keyed memoization of the
+  shared artifacts (reference workload, campaign, properties matrices,
+  upstream experiment results), with an optional on-disk JSON tier built on
+  :mod:`repro.persist`;
+- :func:`run_experiments` — a scheduler that topologically orders the
+  dependency graph, optionally runs independent experiments in parallel,
+  and emits a :class:`RunManifest` recording wall times and cache traffic.
+
+Serial and parallel runs at the same seed produce byte-identical rendered
+reports; the manifest is how you check that the expensive artifacts were
+computed exactly once.
+"""
+
+from repro.bench.engine.artifacts import (
+    ArtifactCodec,
+    ArtifactEvent,
+    ArtifactKey,
+    ArtifactStore,
+)
+from repro.bench.engine.context import RunContext, UncacheableParameter, ensure_context
+from repro.bench.engine.manifest import (
+    MANIFEST_SCHEMA,
+    ExperimentRunRecord,
+    RunManifest,
+)
+from repro.bench.engine.scheduler import EngineRun, run_experiments, topological_order
+from repro.bench.engine.spec import (
+    ExperimentSpec,
+    all_specs,
+    experiment_ids,
+    get_spec,
+    register_spec,
+)
+
+__all__ = [
+    "ArtifactCodec",
+    "ArtifactEvent",
+    "ArtifactKey",
+    "ArtifactStore",
+    "RunContext",
+    "UncacheableParameter",
+    "ensure_context",
+    "MANIFEST_SCHEMA",
+    "ExperimentRunRecord",
+    "RunManifest",
+    "EngineRun",
+    "run_experiments",
+    "topological_order",
+    "ExperimentSpec",
+    "all_specs",
+    "experiment_ids",
+    "get_spec",
+    "register_spec",
+]

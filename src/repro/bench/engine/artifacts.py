@@ -1,0 +1,186 @@
+"""Keyed artifact store: compute shared benchmark artifacts exactly once.
+
+The reproduction's expensive artifacts — the reference workload, the scored
+campaign, the properties matrix, whole experiment results — are pure
+functions of a small parameter tuple (seed, sizes, registry).  The store
+memoizes them under explicit keys so every downstream experiment reuses one
+computation, records every request as a hit/miss event for the run
+manifest, and optionally persists workloads and campaigns to disk through
+:mod:`repro.persist`'s schema-tagged JSON so a warm re-run skips tool
+execution entirely.
+
+Thread safety: a per-key lock serializes computation of the same artifact,
+so two experiments racing for the campaign under ``--jobs N`` still produce
+exactly one computation; distinct keys compute concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ArtifactKey", "ArtifactCodec", "ArtifactEvent", "ArtifactStore"]
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one artifact: kind, name, and normalized parameters."""
+
+    kind: str
+    """Artifact family (``workload``, ``campaign``, ``experiment``...)."""
+    name: str
+    """Instance within the family (``reference``, ``R3``...)."""
+    params: tuple[tuple[str, Any], ...] = ()
+    """Sorted ``(param, canonical value)`` pairs."""
+
+    @property
+    def token(self) -> str:
+        """Stable human-readable form, used in manifests and filenames."""
+        rendered = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}:{self.name}[{rendered}]"
+
+    @property
+    def filename(self) -> str:
+        """Collision-safe on-disk name for the disk cache tier."""
+        digest = hashlib.sha256(self.token.encode("utf-8")).hexdigest()[:16]
+        return f"{self.kind}-{self.name}-{digest}.json"
+
+
+@dataclass(frozen=True)
+class ArtifactCodec:
+    """JSON round-trip for one artifact kind (enables the disk tier)."""
+
+    to_dict: Callable[[Any], dict[str, Any]]
+    from_dict: Callable[[dict[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class ArtifactEvent:
+    """One store request, for manifest accounting."""
+
+    key: str
+    """The artifact's :attr:`ArtifactKey.token`."""
+    status: str
+    """``hit`` | ``disk-hit`` | ``miss`` | ``uncached``."""
+    requester: str
+    """Experiment id (or ``engine``) that asked for the artifact."""
+    seconds: float = 0.0
+    """Compute time for misses; ~0 for hits."""
+
+
+class ArtifactStore:
+    """In-memory artifact cache with an optional on-disk JSON tier."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._values: dict[ArtifactKey, Any] = {}
+        self._events: list[ArtifactEvent] = []
+        self._key_locks: dict[ArtifactKey, threading.Lock] = {}
+        self._master = threading.Lock()
+
+    # -- bookkeeping --------------------------------------------------------
+    def _lock_for(self, key: ArtifactKey) -> threading.Lock:
+        with self._master:
+            return self._key_locks.setdefault(key, threading.Lock())
+
+    def _record(
+        self, key: ArtifactKey, status: str, requester: str | None, seconds: float = 0.0
+    ) -> None:
+        event = ArtifactEvent(
+            key=key.token,
+            status=status,
+            requester=requester or "engine",
+            seconds=seconds,
+        )
+        with self._master:
+            self._events.append(event)
+
+    @property
+    def events(self) -> list[ArtifactEvent]:
+        """Every request recorded so far (insertion order)."""
+        with self._master:
+            return list(self._events)
+
+    def events_for(self, requester: str) -> list[ArtifactEvent]:
+        """Requests attributed to one experiment."""
+        return [e for e in self.events if e.requester == requester]
+
+    def counts(self, key_prefix: str = "") -> dict[str, int]:
+        """Event totals by status, optionally filtered by key prefix."""
+        totals = {"hit": 0, "disk-hit": 0, "miss": 0, "uncached": 0}
+        for event in self.events:
+            if event.key.startswith(key_prefix):
+                totals[event.status] = totals.get(event.status, 0) + 1
+        return totals
+
+    def __len__(self) -> int:
+        with self._master:
+            return len(self._values)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        with self._master:
+            return key in self._values
+
+    # -- the cache ----------------------------------------------------------
+    def record_uncached(self, key: ArtifactKey, requester: str | None) -> None:
+        """Note a request that bypassed the cache (unkeyable parameters)."""
+        self._record(key, "uncached", requester)
+
+    def get_or_compute(
+        self,
+        key: ArtifactKey,
+        compute: Callable[[], Any],
+        codec: ArtifactCodec | None = None,
+        requester: str | None = None,
+    ) -> Any:
+        """The artifact for ``key``, computing (and caching) it on first use.
+
+        Lookup order: memory, then disk (when a ``codec`` and ``cache_dir``
+        are available), then ``compute()``.  Disk payloads go through the
+        codec's ``from_dict``, which validates the persisted schema tag and
+        fails loudly on drift rather than misparsing.
+        """
+        lock = self._lock_for(key)
+        with lock:
+            with self._master:
+                if key in self._values:
+                    value = self._values[key]
+                    hit = True
+                else:
+                    hit = False
+            if hit:
+                self._record(key, "hit", requester)
+                return value
+
+            path = None
+            if codec is not None and self.cache_dir is not None:
+                path = self.cache_dir / key.filename
+                if path.exists():
+                    from repro.persist import load_json
+
+                    started = time.perf_counter()
+                    value = codec.from_dict(load_json(path))
+                    elapsed = time.perf_counter() - started
+                    with self._master:
+                        self._values[key] = value
+                    self._record(key, "disk-hit", requester, elapsed)
+                    return value
+
+            started = time.perf_counter()
+            value = compute()
+            elapsed = time.perf_counter() - started
+            with self._master:
+                self._values[key] = value
+            self._record(key, "miss", requester, elapsed)
+            if path is not None:
+                from repro.persist import save_json
+
+                save_json(codec.to_dict(value), path)
+            return value

@@ -1,0 +1,153 @@
+"""Run manifests: the observability record of one engine run.
+
+Every engine run emits a manifest — per-experiment wall time, the artifact
+requests each experiment made (with hit/miss status), effective seeds, and
+store-wide totals — as schema-tagged JSON.  Operators diff manifests across
+commits to track the performance trajectory, and tests assert cache
+semantics ("the campaign was computed exactly once") on them instead of
+instrumenting internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.engine.artifacts import ArtifactEvent
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentRunRecord", "RunManifest", "MANIFEST_SCHEMA"]
+
+MANIFEST_SCHEMA = "repro/run-manifest@1"
+
+
+@dataclass(frozen=True)
+class ExperimentRunRecord:
+    """One experiment's entry in the run manifest."""
+
+    experiment_id: str
+    title: str
+    seed: int | None
+    """Effective seed (``None`` for seedless experiments)."""
+    wall_seconds: float
+    artifacts: tuple[ArtifactEvent, ...] = ()
+    """Artifact requests attributed to this experiment, in order."""
+
+    @property
+    def cache_counts(self) -> dict[str, int]:
+        """Hit/miss totals over this experiment's artifact requests."""
+        totals = {"hit": 0, "disk-hit": 0, "miss": 0, "uncached": 0}
+        for event in self.artifacts:
+            totals[event.status] = totals.get(event.status, 0) + 1
+        return totals
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "artifacts": [
+                {
+                    "key": event.key,
+                    "status": event.status,
+                    "seconds": event.seconds,
+                }
+                for event in self.artifacts
+            ],
+            "cache": self.cache_counts,
+        }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The full record of one engine run."""
+
+    seed: int
+    jobs: int
+    wall_seconds: float
+    records: tuple[ExperimentRunRecord, ...]
+    cache_dir: str | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def experiment_ids(self) -> list[str]:
+        return [record.experiment_id for record in self.records]
+
+    def record_for(self, experiment_id: str) -> ExperimentRunRecord:
+        """One experiment's record, by id."""
+        for record in self.records:
+            if record.experiment_id == experiment_id:
+                return record
+        raise ConfigurationError(
+            f"manifest has no record for {experiment_id!r}; "
+            f"present: {self.experiment_ids}"
+        )
+
+    def cache_counts(self, key_prefix: str = "") -> dict[str, int]:
+        """Hit/miss totals across every experiment, optionally filtered to
+        artifact keys starting with ``key_prefix`` (e.g. ``"campaign:"``)."""
+        totals = {"hit": 0, "disk-hit": 0, "miss": 0, "uncached": 0}
+        for record in self.records:
+            for event in record.artifacts:
+                if event.key.startswith(key_prefix):
+                    totals[event.status] = totals.get(event.status, 0) + 1
+        return totals
+
+    def summary_line(self) -> str:
+        """A one-line human summary for logs and perf tracking."""
+        totals = self.cache_counts()
+        return (
+            f"{len(self.records)} experiments in {self.wall_seconds:.1f}s "
+            f"(jobs={self.jobs}, seed={self.seed}; artifact cache: "
+            f"{totals['hit']} hits, {totals['disk-hit']} disk hits, "
+            f"{totals['miss']} misses)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize with the manifest schema tag."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cache_dir": self.cache_dir,
+            "experiments": [record.to_dict() for record in self.records],
+            "totals": self.cache_counts(),
+            **({"extra": self.extra} if self.extra else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest, failing loudly on schema drift."""
+        found = payload.get("schema")
+        if found != MANIFEST_SCHEMA:
+            raise ConfigurationError(
+                f"expected schema {MANIFEST_SCHEMA!r}, found {found!r}"
+            )
+        records = tuple(
+            ExperimentRunRecord(
+                experiment_id=entry["experiment_id"],
+                title=entry["title"],
+                seed=entry["seed"],
+                wall_seconds=entry["wall_seconds"],
+                artifacts=tuple(
+                    ArtifactEvent(
+                        key=event["key"],
+                        status=event["status"],
+                        requester=entry["experiment_id"],
+                        seconds=event["seconds"],
+                    )
+                    for event in entry["artifacts"]
+                ),
+            )
+            for entry in payload["experiments"]
+        )
+        return cls(
+            seed=payload["seed"],
+            jobs=payload["jobs"],
+            wall_seconds=payload["wall_seconds"],
+            records=records,
+            cache_dir=payload.get("cache_dir"),
+            extra=payload.get("extra", {}),
+        )

@@ -1,7 +1,10 @@
-"""Experiment drivers R1..R11 (one per reproduced table/figure).
+"""Experiment drivers R1..R19 (one per reproduced table/figure).
 
 See DESIGN.md for the experiment index.  Each module exposes
-``run(...) -> ExperimentResult``.
+``run(...) -> ExperimentResult`` and registers an
+:class:`~repro.bench.engine.spec.ExperimentSpec` describing its id, title,
+artifact kind, seedlessness and upstream dependencies.  ``ALL_EXPERIMENTS``
+is derived from that registry — the modules are the single source of truth.
 """
 
 from repro.bench.experiments import (
@@ -25,31 +28,12 @@ from repro.bench.experiments import (
     r18_thresholds,
     r19_run_noise,
 )
+from repro.bench.engine.spec import all_specs
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 
-#: R1-R11 reproduce the paper's tables/figures; R12-R14 are extensions
-#: (per-type aggregation, ranking metrics, significance testing).
-ALL_EXPERIMENTS = {
-    "R1": r1_catalog.run,
-    "R2": r2_properties.run,
-    "R3": r3_campaign.run,
-    "R4": r4_metric_values.run,
-    "R5": r5_rankings.run,
-    "R6": r6_prevalence.run,
-    "R7": r7_discrimination.run,
-    "R8": r8_scenarios.run,
-    "R9": r9_ahp.run,
-    "R10": r10_sensitivity.run,
-    "R11": r11_agreement.run,
-    "R12": r12_pertype.run,
-    "R13": r13_ranking.run,
-    "R14": r14_significance.run,
-    "R15": r15_difficulty.run,
-    "R16": r16_stability.run,
-    "R17": r17_workload_stability.run,
-    "R18": r18_thresholds.run,
-    "R19": r19_run_noise.run,
-}
+#: Experiment id -> ``run`` callable, in index order.  R1-R11 reproduce the
+#: paper's tables/figures; R12-R19 are extensions.
+ALL_EXPERIMENTS = {spec.experiment_id: spec.runner for spec in all_specs()}
 
 __all__ = [
     "DEFAULT_SEED",

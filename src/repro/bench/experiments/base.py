@@ -1,47 +1,17 @@
 """Common experiment infrastructure.
 
-Every reproduction experiment (R1..R11, see DESIGN.md) is a module exposing
+Every reproduction experiment (R1..R19, see DESIGN.md) is a module exposing
 ``run(...) -> ExperimentResult``.  The result carries both machine-readable
 data (for tests and the agreement experiment) and rendered text sections
 (the paper-table/figure analogues) so benches and examples just print it.
+
+The definitions live in :mod:`repro.bench.result` (a leaf module the
+engine can import without triggering this package's ``__init__``); this
+module re-exports them for the experiment drivers and existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.errors import ConfigurationError
+from repro.bench.result import DEFAULT_SEED, ExperimentResult
 
 __all__ = ["ExperimentResult", "DEFAULT_SEED"]
-
-#: One seed to rule the reproduction: every experiment derives its streams
-#: from this unless the caller overrides it.
-DEFAULT_SEED = 2015
-
-
-@dataclass(frozen=True)
-class ExperimentResult:
-    """Outcome of one experiment run."""
-
-    experiment_id: str
-    title: str
-    sections: dict[str, str] = field(default_factory=dict)
-    """Rendered text blocks (tables/figures), keyed by section name."""
-    data: dict[str, object] = field(default_factory=dict)
-    """Machine-readable payload for tests and downstream experiments."""
-
-    def render(self) -> str:
-        """The full printable report of the experiment."""
-        blocks = [f"=== {self.experiment_id}: {self.title} ==="]
-        blocks.extend(self.sections.values())
-        return "\n\n".join(blocks)
-
-    def section(self, name: str) -> str:
-        """One rendered section by name."""
-        try:
-            return self.sections[name]
-        except KeyError:
-            raise ConfigurationError(
-                f"experiment {self.experiment_id} has no section {name!r}; "
-                f"available: {list(self.sections)}"
-            ) from None

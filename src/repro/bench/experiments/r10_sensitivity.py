@@ -15,8 +15,9 @@ decays as the heaviest criteria are perturbed.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r2_properties import run as run_r2
 from repro.experts.elicitation import elicit_hierarchy
 from repro.experts.panel import ExpertPanel, default_panel
 from repro.mcda.sensitivity import weight_sensitivity
@@ -26,7 +27,7 @@ from repro.reporting.figures import ascii_chart
 from repro.reporting.tables import format_table
 from repro.scenarios.scenarios import Scenario, canonical_scenarios
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -36,15 +37,17 @@ def run(
     seed: int = DEFAULT_SEED,
     n_resamples: int = 120,
     properties_matrix: PropertiesMatrix | None = None,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Perturb elicited criteria weights per scenario; measure stability."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
     scenarios = scenarios if scenarios is not None else canonical_scenarios()
     panel = panel if panel is not None else default_panel(seed=seed)
     if properties_matrix is None:
-        properties_matrix = run_r2(
-            registry=registry, seed=seed, n_resamples=n_resamples
-        ).data["matrix"]
+        properties_matrix = ctx.properties_matrix(
+            registry, n_resamples=n_resamples, seed=seed
+        )
 
     sections: dict[str, str] = {}
     overall: dict[str, float] = {}
@@ -130,3 +133,14 @@ def run(
             "baseline_winners": baseline_winners,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R10",
+        title="MCDA weight sensitivity",
+        artifact="figure",
+        runner=run,
+        cache_defaults={"n_resamples": 120},
+    )
+)

@@ -9,15 +9,15 @@ benchmark report, per scenario").
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r8_scenarios import run as run_r8
-from repro.bench.experiments.r9_ahp import run as run_r9
-from repro.metrics.registry import MetricRegistry, core_candidates
+from repro.metrics.registry import MetricRegistry
 from repro.reporting.tables import format_table
 from repro.scenarios.scenarios import Scenario, canonical_scenarios
 from repro.stats.rank import top_k_overlap
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -26,14 +26,18 @@ def run(
     seed: int = DEFAULT_SEED,
     n_pools: int = 40,
     n_resamples: int = 120,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Cross the R8 and R9 rankings and render the agreement table."""
-    registry = registry if registry is not None else core_candidates()
-    scenarios = scenarios if scenarios is not None else canonical_scenarios()
-    r8 = run_r8(registry=registry, scenarios=scenarios, seed=seed, n_pools=n_pools)
-    r9 = run_r9(
-        registry=registry, scenarios=scenarios, seed=seed, n_resamples=n_resamples
+    ctx = ensure_context(context, seed=seed)
+    r8 = ctx.experiment(
+        "R8", registry=registry, scenarios=scenarios, seed=seed, n_pools=n_pools
     )
+    r9 = ctx.experiment(
+        "R9", registry=registry, scenarios=scenarios, seed=seed,
+        n_resamples=n_resamples,
+    )
+    scenarios = scenarios if scenarios is not None else canonical_scenarios()
     analytical: dict[str, list[str]] = r8.data["rankings"]
     mcda: dict[str, list[str]] = r9.data["rankings"]
 
@@ -101,3 +105,15 @@ def run(
             "mcda": mcda,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R11",
+        title="Analytical vs MCDA agreement",
+        artifact="table, headline",
+        runner=run,
+        depends_on=("R8", "R9"),
+        cache_defaults={"n_pools": 40, "n_resamples": 120},
+    )
+)

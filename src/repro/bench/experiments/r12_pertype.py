@@ -13,26 +13,28 @@ from __future__ import annotations
 
 import math
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import run as run_r3
 from repro.bench.pertype import campaign_breakdowns, macro_average, micro_average
 from repro.metrics import definitions
 from repro.metrics.base import Metric
 from repro.reporting.tables import format_table
 from repro.stats.rank import kendall_tau
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
     seed: int = DEFAULT_SEED,
     n_units: int = 600,
     metric: Metric = definitions.F1,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Break the reference campaign down by class and compare aggregations."""
-    r3 = run_r3(seed=seed, n_units=n_units)
-    campaign = r3.data["campaign"]
-    workload = r3.data["workload"]
+    ctx = ensure_context(context, seed=seed)
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
+    workload = ctx.workload(n_units=n_units, seed=seed)
     breakdowns = campaign_breakdowns(campaign, workload.truth)
 
     # Table 1: per-class metric values per tool.
@@ -92,3 +94,15 @@ def run(
             "micro_winner": micro_winner,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R12",
+        title="Per-type breakdown and aggregation",
+        artifact="extension",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600},
+    )
+)

@@ -12,22 +12,27 @@ from __future__ import annotations
 
 import math
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import run as run_r3
 from repro.metrics import definitions
 from repro.metrics.curves import auc_roc, average_precision, roc_points, score_sites
 from repro.reporting.figures import ascii_chart
 from repro.reporting.tables import format_table
 from repro.stats.rank import kendall_tau
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
-def run(seed: int = DEFAULT_SEED, n_units: int = 600) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+    context: RunContext | None = None,
+) -> ExperimentResult:
     """Compute ranking metrics per tool and compare with fixed-threshold ones."""
-    r3 = run_r3(seed=seed, n_units=n_units)
-    campaign = r3.data["campaign"]
-    workload = r3.data["workload"]
+    ctx = ensure_context(context, seed=seed)
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
+    workload = ctx.workload(n_units=n_units, seed=seed)
 
     auc: dict[str, float] = {}
     ap: dict[str, float] = {}
@@ -97,3 +102,15 @@ def run(seed: int = DEFAULT_SEED, n_units: int = 600) -> ExperimentResult:
         sections={"values": values_table, "roc": chart, "agreement": tau_table},
         data={"auc": auc, "ap": ap, "taus": taus},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R13",
+        title="Threshold-free ranking metrics",
+        artifact="extension",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600},
+    )
+)

@@ -10,21 +10,25 @@ experiments produce.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import run as run_r3
 from repro.reporting.tables import format_table
 from repro.stats.significance import mcnemar_exact, paired_outcomes, wilson_interval
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
-    seed: int = DEFAULT_SEED, n_units: int = 600, alpha: float = 0.05
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+    alpha: float = 0.05,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """McNemar matrix + Wilson intervals for the reference campaign."""
-    r3 = run_r3(seed=seed, n_units=n_units)
-    campaign = r3.data["campaign"]
-    workload = r3.data["workload"]
+    ctx = ensure_context(context, seed=seed)
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
+    workload = ctx.workload(n_units=n_units, seed=seed)
     names = campaign.tool_names
 
     p_values: dict[tuple[str, str], float] = {}
@@ -93,3 +97,15 @@ def run(
             "alpha": alpha,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R14",
+        title="Statistical significance of tool differences",
+        artifact="extension",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600, "alpha": 0.05},
+    )
+)

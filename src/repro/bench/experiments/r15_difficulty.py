@@ -10,22 +10,27 @@ for the right reasons, not by fiat.
 
 from __future__ import annotations
 
-from repro.bench.campaign import run_campaign
+from repro.bench.engine.context import (
+    RunContext,
+    campaign_codec,
+    ensure_context,
+    workload_codec,
+)
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 from repro.reporting.figures import ascii_chart
 from repro.reporting.tables import format_table
-from repro.tools.suite import reference_suite
-from repro.workload.generator import WorkloadConfig, generate_workload
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 _BINS = ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.01))
 _TRACKED = ("SA-Grep", "SA-Deep", "PT-Spider", "VS-Gamma")
 
 
-def run(seed: int = DEFAULT_SEED, n_units: int = 900) -> ExperimentResult:
-    """Per-difficulty-bin recall for representative tools."""
-    workload = generate_workload(
+def _difficulty_workload(seed: int, n_units: int):
+    from repro.workload.generator import WorkloadConfig, generate_workload
+
+    return generate_workload(
         WorkloadConfig(
             n_units=n_units,
             prevalence=0.2,
@@ -34,7 +39,36 @@ def run(seed: int = DEFAULT_SEED, n_units: int = 900) -> ExperimentResult:
             name="difficulty",
         )
     )
-    campaign = run_campaign(reference_suite(seed=seed), workload)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    n_units: int = 900,
+    context: RunContext | None = None,
+) -> ExperimentResult:
+    """Per-difficulty-bin recall for representative tools."""
+    ctx = ensure_context(context, seed=seed)
+    workload = ctx.artifact(
+        "workload",
+        "difficulty",
+        {"seed": seed, "n_units": n_units},
+        lambda: _difficulty_workload(seed, n_units),
+        codec=workload_codec(),
+    )
+
+    def _campaign():
+        from repro.bench.campaign import run_campaign
+        from repro.tools.suite import reference_suite
+
+        return run_campaign(reference_suite(seed=seed), workload)
+
+    campaign = ctx.artifact(
+        "campaign",
+        "difficulty",
+        {"seed": seed, "n_units": n_units},
+        _campaign,
+        codec=campaign_codec(),
+    )
 
     vulnerable = [
         (site, workload.profiles[site].difficulty)
@@ -86,3 +120,14 @@ def run(seed: int = DEFAULT_SEED, n_units: int = 900) -> ExperimentResult:
         sections={"recall_by_bin": table, "chart": chart},
         data={"recalls": recalls, "bin_sizes": bin_sizes},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R15",
+        title="Difficulty model validation",
+        artifact="extension",
+        runner=run,
+        cache_defaults={"n_units": 900},
+    )
+)

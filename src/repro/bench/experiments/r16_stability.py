@@ -13,8 +13,9 @@ from __future__ import annotations
 from collections import Counter
 
 from repro._rng import derive_seed
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r2_properties import run as run_r2
 from repro.experts.elicitation import validate_scenario
 from repro.experts.panel import default_panel
 from repro.metrics.registry import MetricRegistry, core_candidates
@@ -22,7 +23,7 @@ from repro.reporting.tables import format_table
 from repro.scenarios.adequacy import AdequacyConfig, rank_metrics_for_scenario
 from repro.scenarios.scenarios import canonical_scenarios
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -31,13 +32,15 @@ def run(
     n_replicas: int = 12,
     n_pools: int = 25,
     n_resamples: int = 80,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Winner distributions over ``n_replicas`` independent seeds."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
     scenarios = canonical_scenarios()
-    properties_matrix = run_r2(
-        registry=registry, seed=seed, n_resamples=n_resamples
-    ).data["matrix"]
+    properties_matrix = ctx.properties_matrix(
+        registry, n_resamples=n_resamples, seed=seed
+    )
 
     analytical: dict[str, Counter] = {s.key: Counter() for s in scenarios}
     mcda: dict[str, Counter] = {s.key: Counter() for s in scenarios}
@@ -82,3 +85,14 @@ def run(
             "n_replicas": n_replicas,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R16",
+        title="Seed stability of the conclusions",
+        artifact="extension",
+        runner=run,
+        cache_defaults={"n_replicas": 12, "n_pools": 25, "n_resamples": 80},
+    )
+)

@@ -17,8 +17,9 @@ and a benchmark report lives on rankings.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r7_discrimination import run as run_r7
 from repro.bench.suite import ranking_stability, run_suite
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
@@ -26,7 +27,7 @@ from repro.stats.rank import kendall_tau
 from repro.tools.suite import reference_suite
 from repro.workload.generator import WorkloadConfig, generate_workload
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def _family(
@@ -57,8 +58,11 @@ def run(
     registry: MetricRegistry | None = None,
     seed: int = DEFAULT_SEED,
     n_units: int = 300,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Cross-workload ranking stability per metric, per variation axis."""
+    ctx = ensure_context(context, seed=seed)
+    registry_param = registry
     registry = registry if registry is not None else core_candidates()
     tools = reference_suite(seed=seed)
 
@@ -103,7 +107,9 @@ def run(
     )
 
     # Cross-experiment link: stability vs R7 discriminative power.
-    r7 = run_r7(registry=registry, seed=seed, n_units=max(n_units, 300))
+    r7 = ctx.experiment(
+        "R7", registry=registry_param, seed=seed, n_units=max(n_units, 300)
+    )
     separation = r7.data["separation"]
     symbols = list(combined)
     link_tau = kendall_tau(
@@ -129,3 +135,14 @@ def run(
             "tau_vs_separation": link_tau,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R17",
+        title="Cross-workload ranking stability",
+        artifact="extension",
+        runner=run,
+        cache_defaults={"n_units": 300},
+    )
+)

@@ -11,8 +11,9 @@ corollary of the paper's metric-selection argument.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import reference_workload
 from repro.reporting.figures import ascii_chart
 from repro.reporting.tables import format_table
 from repro.scenarios.scenarios import Scenario, canonical_scenarios
@@ -20,7 +21,7 @@ from repro.tools.pattern_scanner import PatternScanner
 from repro.tools.suite import reference_suite
 from repro.tools.thresholded import optimal_threshold, threshold_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 _THRESHOLDS = (0.0, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
@@ -29,10 +30,12 @@ def run(
     scenarios: list[Scenario] | None = None,
     seed: int = DEFAULT_SEED,
     n_units: int = 600,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Threshold sweeps and per-scenario optima."""
+    ctx = ensure_context(context, seed=seed)
     scenarios = scenarios if scenarios is not None else canonical_scenarios()
-    workload = reference_workload(seed=seed, n_units=n_units)
+    workload = ctx.workload(n_units=n_units, seed=seed)
     subjects = [
         PatternScanner(name="SA-Grep"),
         next(t for t in reference_suite(seed=seed) if t.name == "PT-Spider"),
@@ -82,3 +85,14 @@ def run(
         sections=sections,
         data={"optima": optima},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R18",
+        title="Scenario-optimal confidence thresholds",
+        artifact="extension",
+        runner=run,
+        cache_defaults={"n_units": 600},
+    )
+)

@@ -9,8 +9,9 @@ whether averaging runs is mandatory before its error bars mean anything.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import reference_workload
 from repro.bench.repeatability import tool_run_noise
 from repro.metrics import definitions
 from repro.metrics.base import Metric
@@ -19,7 +20,7 @@ from repro.tools.dynamic_injector import DynamicInjector
 from repro.tools.simulated import SimulatedTool, ToolProfile
 from repro.tools.taint_analyzer import TaintAnalyzer
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -27,9 +28,11 @@ def run(
     n_units: int = 600,
     n_runs: int = 15,
     metric: Metric = definitions.F1,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Run-noise table for a deterministic, a dynamic and a simulated tool."""
-    workload = reference_workload(seed=seed, n_units=n_units)
+    ctx = ensure_context(context, seed=seed)
+    workload = ctx.workload(n_units=n_units, seed=seed)
 
     factories = {
         "SA-Deep (static)": lambda run_seed: TaintAnalyzer(
@@ -84,3 +87,14 @@ def run(
         sections={"noise": table},
         data={"summaries": summaries},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R19",
+        title="Tool run noise vs sampling noise",
+        artifact="extension",
+        runner=run,
+        cache_defaults={"n_units": 600, "n_runs": 15},
+    )
+)

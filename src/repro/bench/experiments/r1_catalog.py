@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import math
 
+from repro.bench.engine.context import RunContext
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import ExperimentResult
 from repro.metrics.registry import MetricRegistry, default_registry
 from repro.reporting.tables import format_table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def _bound(value: float) -> str:
@@ -23,7 +25,9 @@ def _bound(value: float) -> str:
     return format(value, "g")
 
 
-def run(registry: MetricRegistry | None = None) -> ExperimentResult:
+def run(
+    registry: MetricRegistry | None = None, context: RunContext | None = None
+) -> ExperimentResult:
     """Generate the catalog table for ``registry`` (default: all candidates)."""
     registry = registry if registry is not None else default_registry()
     rows = []
@@ -64,3 +68,14 @@ def run(registry: MetricRegistry | None = None) -> ExperimentResult:
         sections={"catalog": table},
         data={"n_metrics": len(registry), "symbols": registry.symbols},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R1",
+        title="Metric catalog",
+        artifact="table",
+        runner=run,
+        seedless=True,
+    )
+)

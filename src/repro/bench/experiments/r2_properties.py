@@ -10,13 +10,14 @@ the scenario/MCDA studies.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 from repro.metrics.registry import MetricRegistry, default_registry
-from repro.properties.base import AssessmentContext
-from repro.properties.matrix import PropertiesMatrix, build_properties_matrix
+from repro.properties.matrix import PropertiesMatrix
 from repro.reporting.tables import format_table
 
-__all__ = ["run", "screened_out"]
+__all__ = ["run", "screened_out", "SPEC"]
 
 #: Hard screening thresholds: a benchmark-grade metric must be bounded and
 #: defined on (nearly) all outcomes.
@@ -35,11 +36,12 @@ def run(
     registry: MetricRegistry | None = None,
     seed: int = DEFAULT_SEED,
     n_resamples: int = 120,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Assess every candidate and render the properties matrix."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else default_registry()
-    context = AssessmentContext.default(seed=seed, n_resamples=n_resamples)
-    matrix = build_properties_matrix(registry, context=context)
+    matrix = ctx.properties_matrix(registry, n_resamples=n_resamples, seed=seed)
 
     rows = []
     for symbol in matrix.metric_symbols:
@@ -66,3 +68,14 @@ def run(
             "screened_out": [s for s in matrix.metric_symbols if s not in kept],
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R2",
+        title="Good-metric properties matrix",
+        artifact="table",
+        runner=run,
+        cache_defaults={"n_resamples": 120},
+    )
+)

@@ -8,13 +8,14 @@ study (tools x detected/false-alarmed/missed).
 
 from __future__ import annotations
 
-from repro.bench.campaign import CampaignResult, run_campaign
+from repro.bench.campaign import CampaignResult
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 from repro.reporting.tables import format_table
-from repro.tools.suite import reference_suite
 from repro.workload.generator import Workload, WorkloadConfig, generate_workload
 
-__all__ = ["reference_workload", "run"]
+__all__ = ["reference_workload", "run", "SPEC"]
 
 
 def reference_workload(seed: int = DEFAULT_SEED, n_units: int = 600) -> Workload:
@@ -31,10 +32,15 @@ def reference_workload(seed: int = DEFAULT_SEED, n_units: int = 600) -> Workload
     )
 
 
-def run(seed: int = DEFAULT_SEED, n_units: int = 600) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    n_units: int = 600,
+    context: RunContext | None = None,
+) -> ExperimentResult:
     """Run the reference campaign and render the raw-results table."""
-    workload = reference_workload(seed=seed, n_units=n_units)
-    campaign: CampaignResult = run_campaign(reference_suite(seed=seed), workload)
+    ctx = ensure_context(context, seed=seed)
+    workload = ctx.workload(n_units=n_units, seed=seed)
+    campaign: CampaignResult = ctx.campaign(n_units=n_units, seed=seed)
 
     rows = []
     for result in campaign.results:
@@ -63,3 +69,14 @@ def run(seed: int = DEFAULT_SEED, n_units: int = 600) -> ExperimentResult:
         sections={"raw_results": table},
         data={"campaign": campaign, "workload": workload},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R3",
+        title="Reference benchmarking campaign",
+        artifact="table",
+        runner=run,
+        cache_defaults={"n_units": 600},
+    )
+)

@@ -7,23 +7,25 @@ different metrics already *look* like they will order the tools differently.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import run as run_r3
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
     registry: MetricRegistry | None = None,
     seed: int = DEFAULT_SEED,
     n_units: int = 600,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Evaluate ``registry`` (default: screened core candidates) on R3."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
-    r3 = run_r3(seed=seed, n_units=n_units)
-    campaign = r3.data["campaign"]
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
 
     values: dict[str, dict[str, float]] = {}
     rows = []
@@ -42,3 +44,15 @@ def run(
         sections={"values": table},
         data={"values": values, "campaign": campaign},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R4",
+        title="Metric values per tool",
+        artifact="table",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600},
+    )
+)

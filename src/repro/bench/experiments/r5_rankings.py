@@ -11,24 +11,26 @@ from __future__ import annotations
 
 import math
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r4_metric_values import run as run_r4
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
 from repro.stats.rank import kendall_tau, rank_scores
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
     registry: MetricRegistry | None = None,
     seed: int = DEFAULT_SEED,
     n_units: int = 600,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Rank the campaign tools under every metric and cross-correlate."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
-    r4 = run_r4(registry=registry, seed=seed, n_units=n_units)
-    campaign = r4.data["campaign"]
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
     tool_names = campaign.tool_names
 
     goodness: dict[str, list[float]] = {}
@@ -84,3 +86,15 @@ def run(
             "tool_names": tool_names,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R5",
+        title="Metric-induced tool rankings + tau matrix",
+        artifact="table",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600},
+    )
+)

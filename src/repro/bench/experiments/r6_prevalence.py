@@ -18,6 +18,8 @@ import math
 
 import numpy as np
 
+from repro.bench.engine.context import RunContext
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import ExperimentResult
 from repro.metrics import definitions
 from repro.metrics.base import Metric
@@ -25,7 +27,7 @@ from repro.properties.base import OperatingPoint
 from repro.reporting.figures import ascii_chart
 from repro.reporting.tables import format_table
 
-__all__ = ["run", "STABILITY_METRICS"]
+__all__ = ["run", "STABILITY_METRICS", "SPEC"]
 
 #: Metrics plotted in the stability panel.
 STABILITY_METRICS: tuple[Metric, ...] = (
@@ -47,6 +49,7 @@ def run(
     total_sites: float = 10_000.0,
     min_prevalence: float = 0.01,
     max_prevalence: float = 0.5,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Sweep prevalence analytically and render both panels."""
     prevalences = [
@@ -130,3 +133,15 @@ def run(
         },
         data={"series": series, "swings": swings, "flips": flips},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R6",
+        title="Metric behaviour vs prevalence",
+        artifact="figure",
+        runner=run,
+        seedless=True,
+        cache_defaults={"n_points": 25},
+    )
+)

@@ -10,13 +10,14 @@ decorative.
 from __future__ import annotations
 
 from repro._rng import derive_seed
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r3_campaign import run as run_r3
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
 from repro.stats.bootstrap import bootstrap_metric, separation_fraction
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -24,11 +25,12 @@ def run(
     seed: int = DEFAULT_SEED,
     n_units: int = 600,
     n_resamples: int = 200,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Bootstrap every metric for every tool; rank metrics by separation."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
-    r3 = run_r3(seed=seed, n_units=n_units)
-    campaign = r3.data["campaign"]
+    campaign = ctx.campaign(n_units=n_units, seed=seed)
 
     separation: dict[str, float] = {}
     ci_rows = []
@@ -71,3 +73,15 @@ def run(
         sections={"intervals": ci_table, "separation": separation_table},
         data={"separation": separation, "ranking": [s for s, _ in ranking]},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R7",
+        title="Discriminative power",
+        artifact="figure",
+        runner=run,
+        depends_on=("R3",),
+        cache_defaults={"n_units": 600, "n_resamples": 200},
+    )
+)

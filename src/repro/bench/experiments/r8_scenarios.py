@@ -9,13 +9,15 @@ expected-cost ranking (paid at field prevalence) over sampled tool pools.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
 from repro.scenarios.adequacy import AdequacyConfig, rank_metrics_for_scenario
 from repro.scenarios.scenarios import Scenario, canonical_scenarios
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -23,6 +25,7 @@ def run(
     scenarios: list[Scenario] | None = None,
     seed: int = DEFAULT_SEED,
     n_pools: int = 40,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Compute and render per-scenario adequacy tables."""
     registry = registry if registry is not None else core_candidates()
@@ -81,3 +84,14 @@ def run(
         sections=sections,
         data={"rankings": rankings, "adequacy": adequacy},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R8",
+        title="Scenario analysis, analytical selection",
+        artifact="table",
+        runner=run,
+        cache_defaults={"n_pools": 40},
+    )
+)

@@ -8,8 +8,9 @@ winners computed from the same criteria weights as a method cross-check.
 
 from __future__ import annotations
 
+from repro.bench.engine.context import RunContext, ensure_context
+from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
-from repro.bench.experiments.r2_properties import run as run_r2
 from repro.experts.panel import ExpertPanel, default_panel
 from repro.experts.elicitation import validate_scenario
 from repro.mcda.saw import simple_additive_weighting
@@ -19,7 +20,7 @@ from repro.properties.matrix import PropertiesMatrix
 from repro.reporting.tables import format_table
 from repro.scenarios.scenarios import Scenario, canonical_scenarios
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(
@@ -29,15 +30,17 @@ def run(
     seed: int = DEFAULT_SEED,
     n_resamples: int = 120,
     properties_matrix: PropertiesMatrix | None = None,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Run the expert-validated AHP (plus SAW/TOPSIS cross-checks)."""
+    ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else core_candidates()
     scenarios = scenarios if scenarios is not None else canonical_scenarios()
     panel = panel if panel is not None else default_panel(seed=seed)
     if properties_matrix is None:
-        properties_matrix = run_r2(
-            registry=registry, seed=seed, n_resamples=n_resamples
-        ).data["matrix"]
+        properties_matrix = ctx.properties_matrix(
+            registry, n_resamples=n_resamples, seed=seed
+        )
 
     sections: dict[str, str] = {}
     rankings: dict[str, list[str]] = {}
@@ -122,3 +125,14 @@ def run(
             "properties_matrix": properties_matrix,
         },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="R9",
+        title="MCDA (AHP) validation with expert judgment",
+        artifact="table",
+        runner=run,
+        cache_defaults={"n_resamples": 120},
+    )
+)

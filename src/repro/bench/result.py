@@ -1,0 +1,50 @@
+"""The experiment result type and the canonical reproduction seed.
+
+This lives outside the :mod:`repro.bench.experiments` package on purpose:
+the engine (specs, contexts, scheduler) and every experiment driver both
+need these names, and importing anything from inside the experiments
+package triggers its ``__init__`` — which imports all nineteen drivers,
+which import the engine.  A leaf module breaks that cycle.
+:mod:`repro.bench.experiments.base` re-exports both names, so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentResult", "DEFAULT_SEED"]
+
+#: One seed to rule the reproduction: every experiment derives its streams
+#: from this unless the caller overrides it.
+DEFAULT_SEED = 2015
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    sections: dict[str, str] = field(default_factory=dict)
+    """Rendered text blocks (tables/figures), keyed by section name."""
+    data: dict[str, object] = field(default_factory=dict)
+    """Machine-readable payload for tests and downstream experiments."""
+
+    def render(self) -> str:
+        """The full printable report of the experiment."""
+        blocks = [f"=== {self.experiment_id}: {self.title} ==="]
+        blocks.extend(self.sections.values())
+        return "\n\n".join(blocks)
+
+    def section(self, name: str) -> str:
+        """One rendered section by name."""
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"experiment {self.experiment_id} has no section {name!r}; "
+                f"available: {list(self.sections)}"
+            ) from None

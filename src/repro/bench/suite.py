@@ -59,16 +59,34 @@ class SuiteResult:
 
 
 def run_suite(
-    tools: Sequence[VulnerabilityDetectionTool], workloads: Sequence[Workload]
+    tools: Sequence[VulnerabilityDetectionTool],
+    workloads: Sequence[Workload],
+    jobs: int = 1,
 ) -> SuiteResult:
-    """Run every tool over every workload."""
+    """Run every tool over every workload.
+
+    ``jobs > 1`` scores workloads concurrently in threads.  Campaigns on
+    distinct workloads share no mutable state (every tool draws from seeds
+    fixed at construction), so the result is identical to a serial run and
+    campaigns stay keyed in workload order either way.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if not workloads:
         raise ConfigurationError("suite needs at least one workload")
     names = [w.name for w in workloads]
     if len(set(names)) != len(names):
         raise ConfigurationError("workload names must be unique within a suite")
+    if jobs == 1 or len(workloads) == 1:
+        return SuiteResult(
+            campaigns={w.name: run_campaign(tools, w) for w in workloads}
+        )
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        scored = list(pool.map(lambda w: run_campaign(tools, w), workloads))
     return SuiteResult(
-        campaigns={w.name: run_campaign(tools, w) for w in workloads}
+        campaigns={w.name: c for w, c in zip(workloads, scored)}
     )
 
 

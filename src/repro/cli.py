@@ -6,25 +6,29 @@ Usage::
     python -m repro run R6 R11            # run specific experiments
     python -m repro run all --seed 7      # everything, custom seed
     python -m repro run R8 --out results  # also write results/<id>.txt
+    python -m repro run all --jobs 4      # parallel over the dependency graph
+    python -m repro run all --cache-dir .cache --manifest run.json
 
-Experiments R1-R11 reproduce the paper's tables and figures; R12-R14 are
-extensions.  All runs are deterministic in ``--seed``.
+Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
+extensions.  All runs are deterministic in ``--seed`` — ``--jobs N``
+produces byte-identical reports to a serial run, only faster.  Everything
+the CLI knows about an experiment (title, artifact kind, seedlessness,
+dependencies) comes from its registered
+:class:`~repro.bench.engine.spec.ExperimentSpec`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.bench.experiments import ALL_EXPERIMENTS, DEFAULT_SEED
+from repro.bench.engine.scheduler import run_experiments
+from repro.bench.engine.spec import all_specs, experiment_ids
+from repro.bench.result import DEFAULT_SEED
 
 __all__ = ["main", "build_parser"]
-
-#: Experiments that take no ``seed`` keyword (R1 is static, R6 analytic).
-_SEEDLESS = {"R1", "R6"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,64 +76,80 @@ def build_parser() -> argparse.ArgumentParser:
         dest="output_format",
         help="output format for --out files (text or GitHub markdown)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiments in N threads (default 1: serial)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist workloads/campaigns to DIR so warm re-runs skip them",
+    )
+    run_parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the run manifest (timings, cache hits, seeds) to FILE",
+    )
     return parser
 
 
 def _normalize_ids(requested: Sequence[str]) -> list[str]:
+    known = experiment_ids()
     if any(item.lower() == "all" for item in requested):
-        return list(ALL_EXPERIMENTS)
+        return known
     ids = []
     for item in requested:
         key = item.upper()
-        if key not in ALL_EXPERIMENTS:
+        if key not in known:
             raise SystemExit(
-                f"unknown experiment {item!r}; known: {', '.join(ALL_EXPERIMENTS)}"
+                f"unknown experiment {item!r}; known: {', '.join(known)}"
             )
         ids.append(key)
     return ids
 
 
 def _cmd_list() -> int:
-    titles = {
-        "R1": "Metric catalog (table)",
-        "R2": "Good-metric properties matrix (table)",
-        "R3": "Reference benchmarking campaign (table)",
-        "R4": "Metric values per tool (table)",
-        "R5": "Metric-induced tool rankings + tau matrix (table)",
-        "R6": "Metric behaviour vs prevalence (figure)",
-        "R7": "Discriminative power (figure)",
-        "R8": "Scenario analysis, analytical selection (table)",
-        "R9": "MCDA (AHP) validation with expert judgment (table)",
-        "R10": "MCDA weight sensitivity (figure)",
-        "R11": "Analytical vs MCDA agreement (table, headline)",
-        "R12": "Per-type breakdown and aggregation (extension)",
-        "R13": "Threshold-free ranking metrics (extension)",
-        "R14": "Statistical significance of tool differences (extension)",
-        "R15": "Difficulty model validation (extension)",
-        "R16": "Seed stability of the conclusions (extension)",
-        "R17": "Cross-workload ranking stability (extension)",
-        "R18": "Scenario-optimal confidence thresholds (extension)",
-        "R19": "Tool run noise vs sampling noise (extension)",
-    }
-    for key in ALL_EXPERIMENTS:
-        print(f"{key:4s} {titles.get(key, '')}")
+    for spec in all_specs():
+        print(f"{spec.experiment_id:4s} {spec.list_line}")
     return 0
 
 
 def _cmd_run(
-    ids: list[str], seed: int, out: Path | None, quiet: bool, output_format: str
+    ids: list[str],
+    seed: int,
+    out: Path | None,
+    quiet: bool,
+    output_format: str,
+    jobs: int,
+    cache_dir: Path | None,
+    manifest_path: Path | None,
 ) -> int:
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
+    run = run_experiments(
+        ids,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    )
     for key in ids:
-        driver = ALL_EXPERIMENTS[key]
-        started = time.perf_counter()
-        result = driver() if key in _SEEDLESS else driver(seed=seed)
-        elapsed = time.perf_counter() - started
+        result = run.results[key]
+        record = run.manifest.record_for(key)
         if not quiet:
             print(result.render())
             print()
-        print(f"[{key} completed in {elapsed:.1f}s]", file=sys.stderr)
+        print(
+            f"[{key} completed in {record.wall_seconds:.1f}s]", file=sys.stderr
+        )
         if out is not None:
             if output_format == "md":
                 from repro.reporting.markdown import experiment_to_markdown
@@ -142,6 +162,11 @@ def _cmd_run(
                 (out / f"{key.lower()}.txt").write_text(
                     result.render() + "\n", encoding="utf-8"
                 )
+    if manifest_path is not None:
+        from repro.persist import save_json
+
+        save_json(run.manifest.to_dict(), manifest_path)
+    print(f"[{run.manifest.summary_line()}]", file=sys.stderr)
     return 0
 
 
@@ -156,4 +181,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.out,
         args.quiet,
         args.output_format,
+        args.jobs,
+        args.cache_dir,
+        args.manifest,
     )

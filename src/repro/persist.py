@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.bench.campaign import CampaignResult, ToolResult
+from repro.bench.result import ExperimentResult
 from repro.errors import ConfigurationError
 from repro.metrics.confusion import ConfusionMatrix
 from repro.tools.base import Detection, DetectionReport
@@ -30,6 +31,8 @@ __all__ = [
     "report_from_dict",
     "campaign_to_dict",
     "campaign_from_dict",
+    "experiment_result_to_dict",
+    "experiment_result_from_dict",
     "save_json",
     "load_json",
 ]
@@ -37,6 +40,7 @@ __all__ = [
 _WORKLOAD_SCHEMA = "repro/workload@1"
 _REPORT_SCHEMA = "repro/report@1"
 _CAMPAIGN_SCHEMA = "repro/campaign@1"
+_EXPERIMENT_SCHEMA = "repro/experiment@1"
 
 
 def _require_schema(payload: dict[str, Any], expected: str) -> None:
@@ -245,6 +249,66 @@ def campaign_from_dict(payload: dict[str, Any]) -> CampaignResult:
         for entry in payload["results"]
     )
     return CampaignResult(workload_name=payload["workload_name"], results=results)
+
+
+# ---------------------------------------------------------------------------
+# Experiment results
+# ---------------------------------------------------------------------------
+def _is_json_safe(value: Any) -> bool:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, list):
+        return all(_is_json_safe(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _is_json_safe(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+def experiment_result_to_dict(
+    result: ExperimentResult, strict: bool = True
+) -> dict[str, Any]:
+    """Serialize an experiment result (rendered sections + JSON-safe data).
+
+    ``data`` values that do not survive a JSON round-trip exactly (objects,
+    tuples, non-string dict keys) are rejected when ``strict`` — archiving
+    should fail loudly, not silently drop payload — or recorded under
+    ``omitted_data_keys`` when ``strict=False``.
+    """
+    data: dict[str, Any] = {}
+    omitted: list[str] = []
+    for key, value in result.data.items():
+        if _is_json_safe(value):
+            data[key] = value
+        elif strict:
+            raise ConfigurationError(
+                f"experiment {result.experiment_id}: data[{key!r}] is not "
+                f"JSON-safe ({type(value).__name__}); pass strict=False to "
+                f"omit such keys"
+            )
+        else:
+            omitted.append(key)
+    return {
+        "schema": _EXPERIMENT_SCHEMA,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "sections": dict(result.sections),
+        "data": data,
+        "omitted_data_keys": omitted,
+    }
+
+
+def experiment_result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an experiment result (omitted data keys stay absent)."""
+    _require_schema(payload, _EXPERIMENT_SCHEMA)
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        sections=dict(payload["sections"]),
+        data=dict(payload["data"]),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,125 @@
+"""Tests for the CLI layered on the experiment engine (in-process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.engine.manifest import MANIFEST_SCHEMA
+from repro.bench.engine.spec import all_specs
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 19
+        assert lines[0].startswith("R1 ")
+        assert "Metric catalog (table)" in lines[0]
+
+    def test_lines_come_from_the_specs(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for spec in all_specs():
+            assert f"{spec.experiment_id:4s} {spec.list_line}" in out
+
+
+class TestRun:
+    def test_unknown_id_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown experiment 'R99'"):
+            main(["run", "R99"])
+
+    def test_run_r1_prints_report_and_timing(self, capsys):
+        assert main(["run", "R1"]) == 0
+        captured = capsys.readouterr()
+        assert "=== R1: Metric catalog ===" in captured.out
+        assert "[R1 completed in" in captured.err
+
+    def test_quiet_suppresses_stdout(self, capsys):
+        main(["run", "R1", "--quiet"])
+        captured = capsys.readouterr()
+        assert "=== R1" not in captured.out
+        assert "[R1 completed in" in captured.err
+
+    def test_out_writes_text_reports(self, tmp_path, capsys):
+        main(["run", "R5", "--quiet", "--out", str(tmp_path)])
+        capsys.readouterr()
+        written = (tmp_path / "r5.txt").read_text(encoding="utf-8")
+        assert written.startswith("=== R5:")
+
+    def test_out_format_md_writes_markdown(self, tmp_path, capsys):
+        main(["run", "R5", "--quiet", "--out", str(tmp_path), "--format", "md"])
+        capsys.readouterr()
+        assert (tmp_path / "r5.md").exists()
+        assert not (tmp_path / "r5.txt").exists()
+        assert "R5" in (tmp_path / "r5.md").read_text(encoding="utf-8")
+
+    def test_multiple_ids_print_in_requested_order(self, capsys):
+        main(["run", "R4", "R3", "--quiet"])
+        err = capsys.readouterr().err
+        assert err.index("[R4 completed") < err.index("[R3 completed")
+
+
+class TestEngineFlags:
+    def test_jobs_matches_serial_output(self, capsys):
+        main(["run", "R3", "R4", "R5", "--seed", "2015"])
+        serial = capsys.readouterr().out
+        main(["run", "R3", "R4", "R5", "--seed", "2015", "--jobs", "4"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_jobs_zero_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="--jobs must be >= 1"):
+            main(["run", "R1", "--jobs", "0"])
+
+    def test_manifest_written_with_schema(self, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        main(["run", "R3", "R4", "--quiet", "--manifest", str(manifest_path)])
+        capsys.readouterr()
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert [e["experiment_id"] for e in payload["experiments"]] == ["R3", "R4"]
+        campaign = [
+            event
+            for record in payload["experiments"]
+            for event in record["artifacts"]
+            if event["key"].startswith("campaign:reference")
+        ]
+        assert [event["status"] for event in campaign] == ["miss", "hit"]
+
+    def test_cache_dir_persists_and_warm_run_disk_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold_manifest = tmp_path / "cold.json"
+        warm_manifest = tmp_path / "warm.json"
+        main(
+            ["run", "R3", "--quiet", "--cache-dir", str(cache),
+             "--manifest", str(cold_manifest)]
+        )
+        cold_out = capsys.readouterr().out
+        assert any(cache.iterdir()), "cold run must persist artifacts"
+        main(
+            ["run", "R3", "--cache-dir", str(cache),
+             "--manifest", str(warm_manifest)]
+        )
+        capsys.readouterr()
+        warm = json.loads(warm_manifest.read_text(encoding="utf-8"))
+        assert warm["totals"]["disk-hit"] >= 1
+        assert warm["totals"]["miss"] < json.loads(
+            cold_manifest.read_text(encoding="utf-8")
+        )["totals"]["miss"]
+        del cold_out
+
+
+class TestParser:
+    def test_run_requires_at_least_one_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "R1"])
+        assert args.seed == 2015
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.manifest is None

@@ -103,3 +103,98 @@ class TestFiles:
         save_json(workload_to_dict(small_workload), a)
         save_json(workload_to_dict(small_workload), b)
         assert a.read_text() == b.read_text()
+
+
+class TestExperimentResultRoundTrip:
+    def make(self):
+        from repro.bench.result import ExperimentResult
+
+        return ExperimentResult(
+            experiment_id="R5",
+            title="Metric-induced tool rankings",
+            sections={"rankings": "table text", "tau": "matrix text"},
+            data={"taus": {"F1": 0.8}, "names": ["a", "b"], "n": 3},
+        )
+
+    def test_round_trip(self):
+        from repro.persist import (
+            experiment_result_from_dict,
+            experiment_result_to_dict,
+        )
+
+        rebuilt = experiment_result_from_dict(
+            experiment_result_to_dict(self.make())
+        )
+        original = self.make()
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.title == original.title
+        assert rebuilt.sections == original.sections
+        assert rebuilt.data == original.data
+        assert rebuilt.render() == original.render()
+
+    def test_payload_survives_json(self):
+        import json
+
+        from repro.persist import (
+            experiment_result_from_dict,
+            experiment_result_to_dict,
+        )
+
+        payload = json.loads(json.dumps(experiment_result_to_dict(self.make())))
+        assert experiment_result_from_dict(payload).data == self.make().data
+
+    def test_schema_tagged_and_checked(self):
+        from repro.persist import (
+            experiment_result_from_dict,
+            experiment_result_to_dict,
+        )
+
+        payload = experiment_result_to_dict(self.make())
+        assert payload["schema"] == "repro/experiment@1"
+        payload["schema"] = "repro/experiment@99"
+        with pytest.raises(ConfigurationError, match="schema"):
+            experiment_result_from_dict(payload)
+
+    def test_strict_rejects_non_json_data(self):
+        from repro.bench.result import ExperimentResult
+        from repro.persist import experiment_result_to_dict
+
+        result = ExperimentResult(
+            experiment_id="RX",
+            title="x",
+            data={"objects": object()},
+        )
+        with pytest.raises(ConfigurationError, match="JSON-safe"):
+            experiment_result_to_dict(result)
+
+    def test_lenient_omits_and_records_non_json_data(self):
+        from repro.bench.result import ExperimentResult
+        from repro.persist import (
+            experiment_result_from_dict,
+            experiment_result_to_dict,
+        )
+
+        result = ExperimentResult(
+            experiment_id="RX",
+            title="x",
+            data={"ok": 1, "objects": object(), "tuple_keys": {(1, 2): "x"}},
+        )
+        payload = experiment_result_to_dict(result, strict=False)
+        assert payload["data"] == {"ok": 1}
+        assert sorted(payload["omitted_data_keys"]) == ["objects", "tuple_keys"]
+        assert experiment_result_from_dict(payload).data == {"ok": 1}
+
+    def test_real_experiment_result_persists_lenient(self, tmp_path):
+        from repro.bench.experiments.r5_rankings import run as run_r5
+        from repro.persist import (
+            experiment_result_from_dict,
+            experiment_result_to_dict,
+            load_json,
+            save_json,
+        )
+
+        result = run_r5(seed=2015)
+        path = tmp_path / "r5.json"
+        save_json(experiment_result_to_dict(result, strict=False), path)
+        rebuilt = experiment_result_from_dict(load_json(path))
+        assert rebuilt.render() == result.render()
