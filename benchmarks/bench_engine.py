@@ -1,10 +1,15 @@
-"""Bench — the experiment engine itself: cache warmth and parallelism.
+"""Bench — the experiment engine itself: cache warmth, parallelism, tracing.
 
 Times ``run all`` through the engine three ways — cold artifact store,
 warm re-run on the same store, and a cold parallel run — and prints a
 one-line summary per comparison.  Shape claims: a warm store re-runs the
 whole suite without a single artifact miss, and a parallel run is
 byte-identical to the serial one (the engine's core determinism contract).
+
+A second bench measures the observability layer itself: best-of-three cold
+runs with the tracer enabled vs disabled.  The instrumentation must stay
+cheap enough to leave on (<5% wall-time overhead is the design target; the
+assert allows slack for machine noise).
 """
 
 from __future__ import annotations
@@ -12,10 +17,15 @@ from __future__ import annotations
 import time
 
 from repro.bench.engine import ArtifactStore, run_experiments
+from repro.obs import Observability
 
 ALL_IDS = [f"R{i}" for i in range(1, 20)]
 SEED = 2015
 JOBS = 4
+#: Subset used for the tracing-overhead comparison: covers the shared
+#: campaign, metric loops and dependent experiments without paying for the
+#: slow bootstrap-heavy ids three times over.
+OVERHEAD_IDS = ["R1", "R3", "R4", "R5", "R12", "R13"]
 
 
 def _timed(**kwargs):
@@ -50,6 +60,42 @@ def test_bench_engine_cold_warm_parallel(save_result):
     for line in lines:
         print(line)
     save_result("engine", "\n".join(lines))
+
+
+def test_bench_tracing_overhead(save_result):
+    def best_of(n: int, traced: bool) -> tuple[float, Observability]:
+        best, best_obs = float("inf"), None
+        for _ in range(n):
+            obs = Observability.enabled() if traced else Observability()
+            started = time.perf_counter()
+            run_experiments(OVERHEAD_IDS, seed=SEED, obs=obs)
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best, best_obs = elapsed, obs
+        return best, best_obs
+
+    plain_s, plain_obs = best_of(3, traced=False)
+    traced_s, traced_obs = best_of(3, traced=True)
+    overhead = (traced_s - plain_s) / plain_s
+
+    # The disabled tracer records nothing; the enabled one covers the run.
+    assert len(plain_obs.tracer) == 0
+    names = {record.name for record in traced_obs.tracer.spans}
+    assert "engine.run" in names and "artifact.compute" in names
+    # Design target is <5%; allow slack for shared-machine timing noise,
+    # but an instrumentation regression (an order of magnitude) still trips.
+    assert overhead < 0.25, (
+        f"tracing overhead {overhead:.1%} (plain {plain_s:.2f}s, "
+        f"traced {traced_s:.2f}s) — expected ~<5%"
+    )
+
+    line = (
+        f"engine tracing overhead ({len(OVERHEAD_IDS)} experiments, "
+        f"best of 3): off {plain_s:.2f}s, on {traced_s:.2f}s "
+        f"({overhead:+.1%}, {len(traced_obs.tracer)} spans recorded)"
+    )
+    print(line)
+    save_result("engine_tracing_overhead", line)
 
 
 if __name__ == "__main__":

@@ -8,10 +8,18 @@ whether the campaign can actually tell the variants apart, at two workload
 sizes.  The punchline is the paper's repeatability concern in action: the
 same change that is invisible at 300 sites is significant at 3000.
 
+The same discipline applies to the benchmark infrastructure itself: pass
+two ``--metrics-out`` dumps from ``python -m repro run`` and the example
+diffs them instead, flagging cache-hit-rate drops and wall-time growth
+between the runs.
+
 Run:  python examples/regression_tracking.py
+      python examples/regression_tracking.py before.json after.json
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro import WorkloadConfig, generate_workload
 from repro.bench.campaign import score_report
@@ -77,7 +85,21 @@ def analyze_change(n_units: int, n_mutations: int, seed: int) -> list[object]:
     ]
 
 
+def diff_metrics_dumps(before_path: str, after_path: str) -> None:
+    """Diff two ``--metrics-out`` dumps and print the regression report."""
+    from repro.obs import diff_dumps
+    from repro.persist import load_json
+
+    diff = diff_dumps(load_json(before_path), load_json(after_path))
+    print(f"Engine metrics diff: {before_path} -> {after_path}")
+    print()
+    print(diff.render())
+
+
 def main() -> None:
+    if len(sys.argv) == 3:
+        diff_metrics_dumps(sys.argv[1], sys.argv[2])
+        return
     rows = [
         analyze_change(n_units=300, n_mutations=10, seed=3),
         analyze_change(n_units=3000, n_mutations=10, seed=3),

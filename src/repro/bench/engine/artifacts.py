@@ -12,6 +12,12 @@ execution entirely.
 Thread safety: a per-key lock serializes computation of the same artifact,
 so two experiments racing for the campaign under ``--jobs N`` still produce
 exactly one computation; distinct keys compute concurrently.
+
+Observability: the store carries the run's :class:`~repro.obs.Observability`
+bundle — every request bumps an ``engine.cache.*`` counter, computes and
+disk loads open ``artifact.*`` spans, and compute time feeds the
+``engine.artifact.compute_seconds`` histogram.  The manifest's per-run event
+log and the metrics registry therefore agree by construction.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+from repro.obs import Observability
 
 __all__ = ["ArtifactKey", "ArtifactCodec", "ArtifactEvent", "ArtifactStore"]
 
@@ -76,10 +84,15 @@ class ArtifactEvent:
 class ArtifactStore:
     """In-memory artifact cache with an optional on-disk JSON tier."""
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.obs = obs if obs is not None else Observability()
         self._values: dict[ArtifactKey, Any] = {}
         self._events: list[ArtifactEvent] = []
         self._key_locks: dict[ArtifactKey, threading.Lock] = {}
@@ -101,6 +114,7 @@ class ArtifactStore:
         )
         with self._master:
             self._events.append(event)
+        self.obs.metrics.inc(f"engine.cache.{status.replace('-', '_')}")
 
     @property
     def events(self) -> list[ArtifactEvent]:
@@ -132,6 +146,16 @@ class ArtifactStore:
     def record_uncached(self, key: ArtifactKey, requester: str | None) -> None:
         """Note a request that bypassed the cache (unkeyable parameters)."""
         self._record(key, "uncached", requester)
+
+    def peek(self, key: ArtifactKey) -> Any:
+        """The cached value for ``key`` without recording a cache event.
+
+        For engine bookkeeping (collecting already-computed results), so
+        manifest and metrics totals reflect experiment work only.  Raises
+        ``KeyError`` when the artifact has not been computed.
+        """
+        with self._master:
+            return self._values[key]
 
     def get_or_compute(
         self,
@@ -166,21 +190,29 @@ class ArtifactStore:
                     from repro.persist import load_json
 
                     started = time.perf_counter()
-                    value = codec.from_dict(load_json(path))
+                    with self.obs.tracer.span("artifact.disk_load", key=key.token):
+                        value = codec.from_dict(load_json(path))
                     elapsed = time.perf_counter() - started
                     with self._master:
                         self._values[key] = value
                     self._record(key, "disk-hit", requester, elapsed)
+                    self.obs.metrics.inc("engine.artifacts.loaded")
                     return value
 
             started = time.perf_counter()
-            value = compute()
+            with self.obs.tracer.span(
+                "artifact.compute", key=key.token, kind=key.kind
+            ):
+                value = compute()
             elapsed = time.perf_counter() - started
             with self._master:
                 self._values[key] = value
             self._record(key, "miss", requester, elapsed)
+            self.obs.metrics.observe("engine.artifact.compute_seconds", elapsed)
             if path is not None:
                 from repro.persist import save_json
 
-                save_json(codec.to_dict(value), path)
+                with self.obs.tracer.span("artifact.persist", key=key.token):
+                    save_json(codec.to_dict(value), path)
+                self.obs.metrics.inc("engine.artifacts.persisted")
             return value

@@ -32,6 +32,7 @@ from repro.bench.result import DEFAULT_SEED, ExperimentResult
 if TYPE_CHECKING:
     from repro.bench.campaign import CampaignResult
     from repro.metrics.registry import MetricRegistry
+    from repro.obs import MetricsRegistry, Observability
     from repro.properties.matrix import PropertiesMatrix
     from repro.workload.generator import Workload
 
@@ -104,6 +105,27 @@ class RunContext:
         """A deterministic child seed for a named substream of this run."""
         return derive_seed(self.seed, key)
 
+    # -- observability ------------------------------------------------------
+    @property
+    def obs(self) -> "Observability":
+        """The run's observability bundle (lives on the shared store)."""
+        return self.store.obs
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """Counter/gauge/histogram registry for this run."""
+        return self.store.obs.metrics
+
+    def span(self, name: str, **args: Any):
+        """Open a tracer span attributed to this run (no-op when disabled).
+
+        Experiment drivers instrument themselves with
+        ``with ctx.span("r4.metric_values", metrics=len(registry)): ...``;
+        the spans land in the same timeline the engine writes for
+        ``--trace``.
+        """
+        return self.store.obs.tracer.span(name, **args)
+
     # -- generic keyed artifacts -------------------------------------------
     def artifact(
         self,
@@ -131,7 +153,11 @@ class RunContext:
         def compute() -> "Workload":
             from repro.bench.experiments.r3_campaign import reference_workload
 
-            return reference_workload(seed=seed, n_units=n_units)
+            workload = reference_workload(seed=seed, n_units=n_units)
+            self.metrics.inc(
+                "engine.workload.units_generated", len(workload.units)
+            )
+            return workload
 
         return self.artifact(
             "workload",
@@ -149,9 +175,11 @@ class RunContext:
             from repro.bench.campaign import run_campaign
             from repro.tools.suite import reference_suite
 
-            return run_campaign(
-                reference_suite(seed=seed), self.workload(n_units=n_units, seed=seed)
-            )
+            workload = self.workload(n_units=n_units, seed=seed)
+            campaign = run_campaign(reference_suite(seed=seed), workload)
+            self.metrics.inc("engine.campaign.tools_run", len(campaign.results))
+            self.metrics.inc("engine.campaign.sites_scored", workload.n_sites)
+            return campaign
 
         return self.artifact(
             "campaign",
@@ -186,6 +214,21 @@ class RunContext:
         )
 
     # -- upstream experiment results ---------------------------------------
+    def _experiment_key(
+        self, spec: Any, passed: dict[str, Any]
+    ) -> ArtifactKey | None:
+        """The cache key for one experiment invocation; ``None`` if unkeyable."""
+        merged: dict[str, Any] = {**spec.cache_defaults, **passed}
+        if not spec.seedless:
+            merged.setdefault("seed", self.seed)
+        try:
+            key_params = tuple(
+                sorted((k, _canonical(v)) for k, v in merged.items())
+            )
+        except UncacheableParameter:
+            return None
+        return ArtifactKey("experiment", spec.experiment_id, key_params)
+
     def experiment(self, experiment_id: str, **params: Any) -> ExperimentResult:
         """Run (or reuse) experiment ``experiment_id`` with ``params``.
 
@@ -202,23 +245,36 @@ class RunContext:
             # — manifest records are then identical in serial and parallel.
             return spec.runner(context=self, **passed)
 
-        merged: dict[str, Any] = {**spec.cache_defaults, **passed}
-        if not spec.seedless:
-            merged.setdefault("seed", self.seed)
-        try:
-            key_params = tuple(
-                sorted((k, _canonical(v)) for k, v in merged.items())
-            )
-        except UncacheableParameter:
+        key = self._experiment_key(spec, passed)
+        if key is None:
             self.store.record_uncached(
                 ArtifactKey("experiment", spec.experiment_id),
                 requester=self.experiment_id,
             )
             return compute()
-        key = ArtifactKey("experiment", spec.experiment_id, key_params)
         return self.store.get_or_compute(
             key, compute, requester=self.experiment_id
         )
+
+    def experiment_result(
+        self, experiment_id: str, **params: Any
+    ) -> ExperimentResult:
+        """Like :meth:`experiment`, but an already-computed result comes back
+        without recording a cache event.
+
+        The scheduler collects results through this after the run, so the
+        manifest and the metrics counters reflect experiment work only —
+        not the engine's own bookkeeping lookups.
+        """
+        spec = get_spec(experiment_id)
+        passed = {k: v for k, v in params.items() if v is not None}
+        key = self._experiment_key(spec, passed)
+        if key is not None:
+            try:
+                return self.store.peek(key)
+            except KeyError:
+                pass
+        return self.experiment(experiment_id, **params)
 
 
 def ensure_context(

@@ -69,6 +69,13 @@ class RunManifest:
     records: tuple[ExperimentRunRecord, ...]
     cache_dir: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
+    """Free-form additions; the scheduler stores the tracer's span summary
+    under ``extra["observability"]`` when tracing is enabled."""
+
+    @property
+    def observability(self) -> dict[str, Any] | None:
+        """The span summary recorded for this run, if it was traced."""
+        return self.extra.get("observability")
 
     @property
     def experiment_ids(self) -> list[str]:

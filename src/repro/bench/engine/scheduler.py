@@ -7,6 +7,13 @@ component downstream derives its streams from explicit seeds (see
 :mod:`repro._rng`), and shared artifacts are deduplicated under per-key
 locks, so a parallel run produces byte-identical rendered reports to a
 serial run at the same seed; only the wall clock changes.
+
+Observability: the whole run executes under an ``engine.run`` span, each
+experiment under an ``experiment.<id>`` span (optionally wrapped in
+cProfile via ``--profile``), and the scheduler feeds the
+``engine.experiments.*`` counters and ``engine.experiment.seconds``
+histogram; when tracing is on, the span summary lands in the manifest's
+``extra["observability"]``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.bench.engine.manifest import ExperimentRunRecord, RunManifest
 from repro.bench.engine.spec import ExperimentSpec, get_spec
 from repro.bench.result import DEFAULT_SEED, ExperimentResult
 from repro.errors import ConfigurationError
+from repro.obs import Observability
 
 __all__ = ["EngineRun", "run_experiments", "topological_order"]
 
@@ -68,14 +76,29 @@ def topological_order(ids: Sequence[str]) -> list[ExperimentSpec]:
 
 def _execute(spec: ExperimentSpec, context: RunContext) -> ExperimentRunRecord:
     """Run one experiment via the context; return its manifest record."""
+    obs = context.obs
     child = context.for_experiment(spec.experiment_id)
     already = len(context.store.events_for(spec.experiment_id))
+    params = {} if spec.seedless else {"seed": context.seed}
+    obs.metrics.inc("engine.experiments.scheduled")
     started = time.perf_counter()
-    if spec.seedless:
-        child.experiment(spec.experiment_id)
-    else:
-        child.experiment(spec.experiment_id, seed=context.seed)
+    try:
+        with obs.tracer.span(
+            f"experiment.{spec.experiment_id}",
+            title=spec.title,
+            seed=None if spec.seedless else context.seed,
+        ):
+            if obs.profiler is not None:
+                with obs.profiler.profile(spec.experiment_id):
+                    child.experiment(spec.experiment_id, **params)
+            else:
+                child.experiment(spec.experiment_id, **params)
+    except BaseException:
+        obs.metrics.inc("engine.experiments.failed")
+        raise
     elapsed = time.perf_counter() - started
+    obs.metrics.inc("engine.experiments.completed")
+    obs.metrics.observe("engine.experiment.seconds", elapsed)
     events = context.store.events_for(spec.experiment_id)[already:]
     return ExperimentRunRecord(
         experiment_id=spec.experiment_id,
@@ -92,6 +115,7 @@ def run_experiments(
     jobs: int = 1,
     store: ArtifactStore | None = None,
     cache_dir: str | None = None,
+    obs: Observability | None = None,
 ) -> EngineRun:
     """Run ``ids`` through the engine; returns results plus a manifest.
 
@@ -99,40 +123,57 @@ def run_experiments(
     Determinism is unaffected: every experiment receives the same explicit
     seed either way, and shared artifacts are computed exactly once under
     per-key locks regardless of arrival order.
+
+    ``obs`` carries the run's tracer/metrics/profiler bundle; when a
+    ``store`` is reused across runs, passing ``obs`` rebinds the store's
+    bundle so a warm run can still be traced on its own timeline.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     ordered = topological_order(ids)
     if store is None:
-        store = ArtifactStore(cache_dir=cache_dir)
+        store = ArtifactStore(cache_dir=cache_dir, obs=obs)
+    elif obs is not None:
+        store.obs = obs
+    obs = store.obs
     context = RunContext(seed=seed, store=store)
 
     records: dict[str, ExperimentRunRecord] = {}
     run_started = time.perf_counter()
-    if jobs == 1 or len(ordered) == 1:
-        for spec in ordered:
-            records[spec.experiment_id] = _execute(spec, context)
-    else:
-        records.update(_run_parallel(ordered, context, jobs))
+    with obs.tracer.span(
+        "engine.run", seed=seed, jobs=jobs, experiments=len(ordered)
+    ):
+        if jobs == 1 or len(ordered) == 1:
+            for spec in ordered:
+                records[spec.experiment_id] = _execute(spec, context)
+        else:
+            records.update(_run_parallel(ordered, context, jobs))
     wall = time.perf_counter() - run_started
+    obs.metrics.inc("engine.runs")
+    obs.metrics.set_gauge("engine.wall_seconds", wall)
+    obs.metrics.set_gauge("engine.jobs", jobs)
 
     # Duplicate requested ids collapse to one execution and one record.
+    # Result collection peeks at the store without recording cache events,
+    # so manifest and metrics totals reflect experiment work only.
     requested = list(dict.fromkeys(get_spec(i).experiment_id for i in ids))
     results = {
-        key: context.for_experiment(key).experiment(
+        key: context.for_experiment(key).experiment_result(
             key, **({} if get_spec(key).seedless else {"seed": seed})
         )
         for key in requested
     }
-    # The retrieval hits just above are bookkeeping, not experiment work;
-    # drop them so manifest counts reflect the run itself.
     manifest_records = tuple(records[key] for key in requested)
+    extra = {}
+    if obs.tracer.enabled:
+        extra["observability"] = {"spans": obs.tracer.summary()}
     manifest = RunManifest(
         seed=seed,
         jobs=jobs,
         wall_seconds=wall,
         records=manifest_records,
         cache_dir=str(store.cache_dir) if store.cache_dir is not None else None,
+        extra=extra,
     )
     return EngineRun(results=results, manifest=manifest, store=store)
 

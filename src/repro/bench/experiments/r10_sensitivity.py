@@ -55,7 +55,9 @@ def run(
     baseline_winners: dict[str, str] = {}
 
     for scenario in scenarios:
-        hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+        with ctx.span("r10.elicit_hierarchy", scenario=scenario.key):
+            hierarchy = elicit_hierarchy(scenario, properties_matrix, panel)
+        ctx.metrics.inc("experiment.R10.units_processed")
         criteria_weights = hierarchy.criteria.priorities()
         local_priorities = {
             criterion: matrix.priorities()

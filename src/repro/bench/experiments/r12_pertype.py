@@ -35,7 +35,9 @@ def run(
     ctx = ensure_context(context, seed=seed)
     campaign = ctx.campaign(n_units=n_units, seed=seed)
     workload = ctx.workload(n_units=n_units, seed=seed)
-    breakdowns = campaign_breakdowns(campaign, workload.truth)
+    with ctx.span("r12.breakdowns", tools=len(campaign.results)):
+        breakdowns = campaign_breakdowns(campaign, workload.truth)
+    ctx.metrics.inc("experiment.R12.units_processed", len(breakdowns))
 
     # Table 1: per-class metric values per tool.
     types = next(iter(breakdowns.values())).types

@@ -39,9 +39,11 @@ def run(
     roc_series: dict[str, list[tuple[float, float]]] = {}
     rows = []
     for result in campaign.results:
-        sites = score_sites(result.report, workload.truth)
-        auc[result.tool_name] = auc_roc(sites)
-        ap[result.tool_name] = average_precision(sites)
+        with ctx.span("metric.compute", tool=result.tool_name, experiment="R13"):
+            sites = score_sites(result.report, workload.truth)
+            auc[result.tool_name] = auc_roc(sites)
+            ap[result.tool_name] = average_precision(sites)
+        ctx.metrics.inc("experiment.R13.units_processed")
         rows.append(
             [
                 result.tool_name,

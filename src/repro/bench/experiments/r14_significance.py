@@ -35,27 +35,29 @@ def run(
     matrix_rows = []
     significant_pairs = 0
     total_pairs = 0
-    for a in names:
-        row: list[object] = [a]
-        for b in names:
-            if a == b:
-                row.append(float("nan"))
-                continue
-            key = (a, b)
-            if (b, a) in p_values:
-                p_values[key] = p_values[(b, a)]
-            else:
-                outcomes = paired_outcomes(
-                    campaign.result_for(a).report,
-                    campaign.result_for(b).report,
-                    workload.truth,
-                )
-                p_values[key] = mcnemar_exact(outcomes)
-                total_pairs += 1
-                if p_values[key] < alpha:
-                    significant_pairs += 1
-            row.append(p_values[key])
-        matrix_rows.append(row)
+    with ctx.span("r14.mcnemar_matrix", tools=len(names)):
+        for a in names:
+            row: list[object] = [a]
+            for b in names:
+                if a == b:
+                    row.append(float("nan"))
+                    continue
+                key = (a, b)
+                if (b, a) in p_values:
+                    p_values[key] = p_values[(b, a)]
+                else:
+                    outcomes = paired_outcomes(
+                        campaign.result_for(a).report,
+                        campaign.result_for(b).report,
+                        workload.truth,
+                    )
+                    p_values[key] = mcnemar_exact(outcomes)
+                    total_pairs += 1
+                    if p_values[key] < alpha:
+                        significant_pairs += 1
+                row.append(p_values[key])
+            matrix_rows.append(row)
+    ctx.metrics.inc("experiment.R14.units_processed", total_pairs)
     mcnemar_table = format_table(
         headers=["p-value", *names],
         rows=matrix_rows,

@@ -45,6 +45,7 @@ def run(
     analytical: dict[str, Counter] = {s.key: Counter() for s in scenarios}
     mcda: dict[str, Counter] = {s.key: Counter() for s in scenarios}
     for replica in range(n_replicas):
+        ctx.metrics.inc("experiment.R16.units_processed")
         replica_seed = derive_seed(seed, f"stability:{replica}")
         config = AdequacyConfig(n_pools=n_pools, seed=replica_seed)
         panel = default_panel(seed=replica_seed)

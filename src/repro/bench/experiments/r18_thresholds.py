@@ -48,9 +48,13 @@ def run(
         rows = []
         optima[tool.name] = {}
         for scenario in scenarios:
-            points = threshold_sweep(
-                tool, workload, thresholds=_THRESHOLDS, cost=scenario.cost
-            )
+            with ctx.span(
+                "r18.threshold_sweep", tool=tool.name, scenario=scenario.key
+            ):
+                points = threshold_sweep(
+                    tool, workload, thresholds=_THRESHOLDS, cost=scenario.cost
+                )
+            ctx.metrics.inc("experiment.R18.units_processed", len(points))
             series[scenario.key] = [
                 (p.threshold, p.expected_cost) for p in points
             ]

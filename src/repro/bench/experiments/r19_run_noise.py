@@ -55,9 +55,11 @@ def run(
     rows = []
     summaries = {}
     for label, factory in factories.items():
-        summary = tool_run_noise(
-            factory, workload, metric, n_runs=n_runs, seed=seed
-        )
+        with ctx.span("r19.run_noise", tool=label, runs=n_runs):
+            summary = tool_run_noise(
+                factory, workload, metric, n_runs=n_runs, seed=seed
+            )
+        ctx.metrics.inc("experiment.R19.units_processed", n_runs)
         summaries[label] = summary
         rows.append(
             [

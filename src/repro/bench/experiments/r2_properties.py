@@ -42,6 +42,7 @@ def run(
     ctx = ensure_context(context, seed=seed)
     registry = registry if registry is not None else default_registry()
     matrix = ctx.properties_matrix(registry, n_resamples=n_resamples, seed=seed)
+    ctx.metrics.inc("experiment.R2.units_processed", len(matrix.metric_symbols))
 
     rows = []
     for symbol in matrix.metric_symbols:

@@ -42,6 +42,7 @@ def run(
     workload = ctx.workload(n_units=n_units, seed=seed)
     campaign: CampaignResult = ctx.campaign(n_units=n_units, seed=seed)
 
+    ctx.metrics.inc("experiment.R3.units_processed", len(campaign.results))
     rows = []
     for result in campaign.results:
         cm = result.confusion

@@ -29,10 +29,15 @@ def run(
 
     values: dict[str, dict[str, float]] = {}
     rows = []
-    for metric in registry:
-        per_tool = campaign.metric_values(metric)
-        values[metric.symbol] = per_tool
-        rows.append([metric.symbol] + [per_tool[name] for name in campaign.tool_names])
+    with ctx.span("r4.metric_values"):
+        for metric in registry:
+            with ctx.span("metric.compute", metric=metric.symbol, experiment="R4"):
+                per_tool = campaign.metric_values(metric)
+            values[metric.symbol] = per_tool
+            rows.append(
+                [metric.symbol] + [per_tool[name] for name in campaign.tool_names]
+            )
+    ctx.metrics.inc("experiment.R4.units_processed", len(values))
     table = format_table(
         headers=["metric", *campaign.tool_names],
         rows=rows,

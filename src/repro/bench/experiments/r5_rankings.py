@@ -35,13 +35,16 @@ def run(
 
     goodness: dict[str, list[float]] = {}
     ranks: dict[str, list[float]] = {}
-    for metric in registry:
-        scores = [
-            g if math.isfinite(g := metric.goodness(campaign.confusion_for(name))) else -math.inf
-            for name in tool_names
-        ]
-        goodness[metric.symbol] = scores
-        ranks[metric.symbol] = rank_scores(scores, higher_is_better=True)
+    with ctx.span("r5.rank_tools"):
+        for metric in registry:
+            with ctx.span("metric.compute", metric=metric.symbol, experiment="R5"):
+                scores = [
+                    g if math.isfinite(g := metric.goodness(campaign.confusion_for(name))) else -math.inf
+                    for name in tool_names
+                ]
+            goodness[metric.symbol] = scores
+            ranks[metric.symbol] = rank_scores(scores, higher_is_better=True)
+    ctx.metrics.inc("experiment.R5.units_processed", len(goodness))
 
     rank_rows = [
         [symbol] + [ranks[symbol][i] for i in range(len(tool_names))]

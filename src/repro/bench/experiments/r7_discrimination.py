@@ -36,25 +36,27 @@ def run(
     ci_rows = []
     for metric in registry:
         summaries = []
-        for result in campaign.results:
-            summary = bootstrap_metric(
-                metric,
-                result.confusion,
-                n_resamples=n_resamples,
-                seed=derive_seed(seed, f"r7:{metric.symbol}:{result.tool_name}"),
-            )
-            summaries.append(summary)
-            ci_rows.append(
-                [
-                    metric.symbol,
-                    result.tool_name,
-                    summary.point_estimate,
-                    summary.ci_low,
-                    summary.ci_high,
-                    summary.width,
-                ]
-            )
-        separation[metric.symbol] = separation_fraction(summaries)
+        with ctx.span("metric.compute", metric=metric.symbol, experiment="R7"):
+            for result in campaign.results:
+                summary = bootstrap_metric(
+                    metric,
+                    result.confusion,
+                    n_resamples=n_resamples,
+                    seed=derive_seed(seed, f"r7:{metric.symbol}:{result.tool_name}"),
+                )
+                summaries.append(summary)
+                ci_rows.append(
+                    [
+                        metric.symbol,
+                        result.tool_name,
+                        summary.point_estimate,
+                        summary.ci_low,
+                        summary.ci_high,
+                        summary.width,
+                    ]
+                )
+            separation[metric.symbol] = separation_fraction(summaries)
+    ctx.metrics.inc("experiment.R7.units_processed", len(separation))
 
     ci_table = format_table(
         headers=["metric", "tool", "value", "ci low", "ci high", "ci width"],

@@ -55,7 +55,9 @@ def run(
     alternatives = list(properties_matrix.metric_symbols)
 
     for scenario in scenarios:
-        validation = validate_scenario(scenario, properties_matrix, panel)
+        with ctx.span("r9.validate_scenario", scenario=scenario.key):
+            validation = validate_scenario(scenario, properties_matrix, panel)
+        ctx.metrics.inc("experiment.R9.units_processed")
         rankings[scenario.key] = validation.ahp.ranking
         consistency[scenario.key] = validation.ahp.max_consistency_ratio
         concordance[scenario.key] = validation.panel_concordance

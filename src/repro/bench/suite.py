@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.bench.campaign import CampaignResult, run_campaign
 from repro.errors import ConfigurationError
 from repro.metrics.base import Metric
+from repro.obs import Observability
 from repro.stats.rank import kendall_tau
 from repro.tools.base import VulnerabilityDetectionTool
 from repro.workload.generator import Workload
@@ -62,6 +63,7 @@ def run_suite(
     tools: Sequence[VulnerabilityDetectionTool],
     workloads: Sequence[Workload],
     jobs: int = 1,
+    obs: Observability | None = None,
 ) -> SuiteResult:
     """Run every tool over every workload.
 
@@ -69,6 +71,9 @@ def run_suite(
     distinct workloads share no mutable state (every tool draws from seeds
     fixed at construction), so the result is identical to a serial run and
     campaigns stay keyed in workload order either way.
+
+    ``obs`` traces one ``suite.campaign`` span per workload and counts the
+    units and sites scored (``suite.*`` counters).
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -77,14 +82,26 @@ def run_suite(
     names = [w.name for w in workloads]
     if len(set(names)) != len(names):
         raise ConfigurationError("workload names must be unique within a suite")
+    obs = obs if obs is not None else Observability()
+
+    def score(workload: Workload) -> CampaignResult:
+        with obs.tracer.span(
+            "suite.campaign", workload=workload.name, tools=len(tools)
+        ):
+            campaign = run_campaign(tools, workload)
+        obs.metrics.inc("suite.campaigns_scored")
+        obs.metrics.inc("suite.units_processed", len(workload.units))
+        obs.metrics.inc("suite.sites_processed", workload.n_sites)
+        return campaign
+
     if jobs == 1 or len(workloads) == 1:
         return SuiteResult(
-            campaigns={w.name: run_campaign(tools, w) for w in workloads}
+            campaigns={w.name: score(w) for w in workloads}
         )
     from concurrent.futures import ThreadPoolExecutor
 
     with ThreadPoolExecutor(max_workers=jobs) as pool:
-        scored = list(pool.map(lambda w: run_campaign(tools, w), workloads))
+        scored = list(pool.map(score, workloads))
     return SuiteResult(
         campaigns={w.name: c for w, c in zip(workloads, scored)}
     )

@@ -8,6 +8,9 @@ Usage::
     python -m repro run R8 --out results  # also write results/<id>.txt
     python -m repro run all --jobs 4      # parallel over the dependency graph
     python -m repro run all --cache-dir .cache --manifest run.json
+    python -m repro run all --trace t.json --metrics-out m.json
+    python -m repro run R3 R4 --profile   # cProfile each experiment -> results/
+    python -m repro stats m.json          # print a metrics dump as tables
 
 Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
 extensions.  All runs are deterministic in ``--seed`` — ``--jobs N``
@@ -97,6 +100,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run manifest (timings, cache hits, seeds) to FILE",
     )
+    run_parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record spans and write a Chrome-trace-format timeline to FILE "
+            "(open in chrome://tracing or https://ui.perfetto.dev)"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the run's counters/gauges/histograms to FILE as JSON",
+    )
+    run_parser.add_argument(
+        "--profile",
+        type=Path,
+        nargs="?",
+        const=Path("results"),
+        default=None,
+        metavar="DIR",
+        help=(
+            "wrap each experiment in cProfile; write per-experiment .pstats "
+            "plus a hotspots.txt table to DIR (default: results/)"
+        ),
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="print a --metrics-out dump as readable tables"
+    )
+    stats_parser.add_argument(
+        "metrics_file", type=Path, metavar="FILE", help="a --metrics-out JSON dump"
+    )
+    stats_parser.add_argument(
+        "--prefix",
+        default="",
+        metavar="PREFIX",
+        help="only show series whose name starts with PREFIX (e.g. engine.cache.)",
+    )
     return parser
 
 
@@ -130,16 +175,26 @@ def _cmd_run(
     jobs: int,
     cache_dir: Path | None,
     manifest_path: Path | None,
+    trace_path: Path | None = None,
+    metrics_path: Path | None = None,
+    profile_dir: Path | None = None,
 ) -> int:
+    from repro.obs import Observability, Profiler, Tracer
+
     if jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
+    profiler = Profiler(profile_dir) if profile_dir is not None else None
+    obs = Observability(
+        tracer=Tracer(enabled=trace_path is not None), profiler=profiler
+    )
     run = run_experiments(
         ids,
         seed=seed,
         jobs=jobs,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
+        obs=obs,
     )
     for key in ids:
         result = run.results[key]
@@ -166,7 +221,36 @@ def _cmd_run(
         from repro.persist import save_json
 
         save_json(run.manifest.to_dict(), manifest_path)
+    if trace_path is not None:
+        from repro.persist import save_json
+
+        save_json(obs.tracer.to_chrome_trace(), trace_path)
+        print(
+            f"[trace: {len(obs.tracer)} spans -> {trace_path}]", file=sys.stderr
+        )
+    if metrics_path is not None:
+        from repro.persist import save_json
+
+        save_json(obs.metrics.to_dict(), metrics_path)
+        print(f"[metrics -> {metrics_path}]", file=sys.stderr)
+    if profiler is not None:
+        hotspots = profiler.write_hotspots()
+        print(
+            f"[profiles: {len(profiler.reports)} .pstats + {hotspots}]",
+            file=sys.stderr,
+        )
     print(f"[{run.manifest.summary_line()}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(metrics_file: Path, prefix: str) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.persist import load_json
+
+    if not metrics_file.exists():
+        raise SystemExit(f"no such metrics dump: {metrics_file}")
+    registry = MetricsRegistry.from_dict(load_json(metrics_file))
+    print(registry.render(prefix))
     return 0
 
 
@@ -175,6 +259,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "stats":
+        return _cmd_stats(args.metrics_file, args.prefix)
     return _cmd_run(
         _normalize_ids(args.experiments),
         args.seed,
@@ -184,4 +270,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.jobs,
         args.cache_dir,
         args.manifest,
+        args.trace,
+        args.metrics_out,
+        args.profile,
     )

@@ -1,0 +1,126 @@
+"""Opt-in cProfile hooks: per-experiment ``.pstats`` plus a hotspot table.
+
+``--profile`` wraps each experiment's execution in :mod:`cProfile`,
+persists the raw profile as ``<id>.pstats`` (loadable with
+``python -m pstats`` or snakeviz), and keeps the top-N functions by
+cumulative time so the engine can print one consolidated hotspot table at
+the end of the run.  CPython profilers attach per thread, so profiling
+composes with ``--jobs N``: each worker profiles only the experiment it is
+executing.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["HotspotRow", "ProfileReport", "Profiler"]
+
+
+@dataclass(frozen=True)
+class HotspotRow:
+    """One function in a profile's top-N by cumulative time."""
+
+    location: str
+    """``file:line(function)`` with the path shortened to its tail."""
+    calls: int
+    cumulative_seconds: float
+    own_seconds: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One profiled experiment: where its raw stats live plus the top-N."""
+
+    name: str
+    pstats_path: Path
+    hotspots: tuple[HotspotRow, ...]
+
+
+def _short_location(func: tuple[str, int, str]) -> str:
+    filename, line, name = func
+    if filename == "~":  # builtins render as ~:0(<built-in ...>)
+        return name
+    tail = "/".join(Path(filename).parts[-2:])
+    return f"{tail}:{line}({name})"
+
+
+class Profiler:
+    """Collects per-experiment cProfile runs under one output directory."""
+
+    def __init__(self, out_dir: str | Path, top_n: int = 15) -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.top_n = top_n
+        self._reports: list[ProfileReport] = []
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def profile(self, name: str) -> Iterator[None]:
+        """Profile the block, writing ``<name>.pstats`` into ``out_dir``."""
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            path = self.out_dir / f"{name.lower()}.pstats"
+            profile.dump_stats(path)
+            stats = pstats.Stats(profile)
+            ranked = sorted(
+                stats.stats.items(), key=lambda item: item[1][3], reverse=True
+            )
+            hotspots = tuple(
+                HotspotRow(
+                    location=_short_location(func),
+                    calls=nc,
+                    cumulative_seconds=ct,
+                    own_seconds=tt,
+                )
+                for func, (cc, nc, tt, ct, callers) in ranked[: self.top_n]
+            )
+            report = ProfileReport(name=name, pstats_path=path, hotspots=hotspots)
+            with self._lock:
+                self._reports.append(report)
+
+    @property
+    def reports(self) -> list[ProfileReport]:
+        with self._lock:
+            return sorted(self._reports, key=lambda r: r.name)
+
+    def hotspot_table(self) -> str:
+        """The consolidated top-N table across every profiled experiment."""
+        from repro.reporting.tables import format_table
+
+        reports = self.reports
+        if not reports:
+            return "(nothing profiled)"
+        sections = []
+        for report in reports:
+            sections.append(
+                format_table(
+                    headers=["function", "calls", "cumulative s", "own s"],
+                    rows=[
+                        [
+                            row.location,
+                            row.calls,
+                            round(row.cumulative_seconds, 4),
+                            round(row.own_seconds, 4),
+                        ]
+                        for row in report.hotspots
+                    ],
+                    title=f"Hotspots — {report.name} ({report.pstats_path.name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def write_hotspots(self, path: str | Path | None = None) -> Path:
+        """Write the hotspot table next to the ``.pstats`` files."""
+        target = Path(path) if path is not None else self.out_dir / "hotspots.txt"
+        target.write_text(self.hotspot_table() + "\n", encoding="utf-8")
+        return target

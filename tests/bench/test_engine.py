@@ -333,6 +333,102 @@ class TestEnsureContext:
         assert ctx.stream_seed("x") == derive_seed(7, "x")
 
 
+class TestObservabilityIntegration:
+    """The metrics dump, the manifest and the trace describe the same run."""
+
+    def run_traced(self, jobs: int = 1):
+        from repro.obs import Observability
+
+        obs = Observability.enabled()
+        run = run_experiments(FAST_SUBSET, seed=2015, jobs=jobs, obs=obs)
+        return run, obs
+
+    def test_cache_counters_equal_manifest_totals(self):
+        run, obs = self.run_traced()
+        totals = run.manifest.cache_counts()
+        counters = obs.metrics.counter_values("engine.cache.")
+        for status in ("hit", "miss", "disk-hit", "uncached"):
+            name = f"engine.cache.{status.replace('-', '_')}"
+            assert counters.get(name, 0) == totals[status], status
+
+    def test_experiment_lifecycle_counters(self):
+        run, obs = self.run_traced()
+        counters = obs.metrics.counter_values("engine.experiments.")
+        n = len(FAST_SUBSET)
+        assert counters["engine.experiments.scheduled"] == n
+        assert counters["engine.experiments.completed"] == n
+        assert counters.get("engine.experiments.failed", 0) == 0
+        assert obs.metrics.histogram("engine.experiment.seconds").count == n
+        del run
+
+    def test_spans_cover_the_taxonomy(self):
+        run, obs = self.run_traced()
+        names = {record.name for record in obs.tracer.spans}
+        assert "engine.run" in names
+        for key in FAST_SUBSET:
+            assert f"experiment.{key}" in names
+        assert "artifact.compute" in names
+        assert "metric.compute" in names
+        del run
+
+    def test_experiment_spans_nest_under_engine_run(self):
+        run, obs = self.run_traced()
+        by_id = {record.span_id: record for record in obs.tracer.spans}
+        roots = [r for r in obs.tracer.spans if r.name == "engine.run"]
+        assert len(roots) == 1
+        for record in obs.tracer.spans:
+            if record.name.startswith("experiment."):
+                assert by_id[record.parent_id].name == "engine.run"
+        del run
+
+    def test_manifest_embeds_the_span_summary_when_tracing(self):
+        run, obs = self.run_traced()
+        summary = run.manifest.observability["spans"]
+        assert summary == obs.tracer.summary()
+        assert summary["engine.run"]["count"] == 1
+        untraced = run_experiments(["R1"], seed=2015)
+        assert untraced.manifest.observability is None
+
+    def test_parallel_traced_run_is_byte_identical_to_serial(self):
+        serial, serial_obs = self.run_traced(jobs=1)
+        parallel, parallel_obs = self.run_traced(jobs=4)
+        for key in FAST_SUBSET:
+            assert serial.results[key].render() == parallel.results[key].render()
+        # Same work happened, whatever the interleaving: identical counters
+        # and identical span-name census (timings aside).
+        assert serial_obs.metrics.counter_values() == (
+            parallel_obs.metrics.counter_values()
+        )
+        assert {n: s["count"] for n, s in serial_obs.tracer.summary().items()} == {
+            n: s["count"] for n, s in parallel_obs.tracer.summary().items()
+        }
+
+    def test_units_processed_counters_recorded_per_experiment(self):
+        run, obs = self.run_traced()
+        counters = obs.metrics.counter_values("experiment.")
+        for key in ("R3", "R4", "R5", "R13"):
+            assert counters[f"experiment.{key}.units_processed"] > 0
+        del run
+
+    def test_default_run_keeps_metrics_but_no_spans(self):
+        store = ArtifactStore()
+        run = run_experiments(["R1"], seed=2015, store=store)
+        assert len(store.obs.tracer) == 0
+        assert store.obs.metrics.counter_values("engine.experiments.")[
+            "engine.experiments.completed"
+        ] == 1
+        del run
+
+    def test_profiler_wraps_each_experiment(self, tmp_path):
+        from repro.obs import Observability, Profiler
+
+        obs = Observability(profiler=Profiler(tmp_path))
+        run_experiments(["R1", "R2"], seed=2015, obs=obs)
+        assert {r.name for r in obs.profiler.reports} == {"R1", "R2"}
+        assert (tmp_path / "r1.pstats").exists()
+        assert (tmp_path / "r2.pstats").exists()
+
+
 class TestArtifactCodecHelpers:
     def test_key_token_is_stable(self):
         key = ArtifactKey("campaign", "reference", (("n_units", 600), ("seed", 2015)))

@@ -1,0 +1,162 @@
+"""Tests for the metrics registry and the dump differ."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import METRICS_SCHEMA, MetricsRegistry, diff_dumps
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        assert registry.counter("hits").value == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            registry.inc("hits", -1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("wall", 3.5)
+        registry.set_gauge("wall", 1.25)
+        assert registry.gauge("wall").value == 1.25
+
+    def test_histogram_buckets_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]  # <=1, <=10, +inf
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(105.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="ascending"):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_prefix_filtering_and_sorting(self):
+        registry = MetricsRegistry()
+        for name in ("engine.cache.miss", "engine.cache.hit", "suite.units"):
+            registry.inc(name)
+        values = registry.counter_values("engine.cache.")
+        assert list(values) == ["engine.cache.hit", "engine.cache.miss"]
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def bump(_: int) -> None:
+            for _ in range(100):
+                registry.inc("n")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(bump, range(8)))
+        assert registry.counter("n").value == 800
+
+
+class TestRoundTrip:
+    def populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("engine.cache.hit", 4)
+        registry.inc("engine.cache.miss", 2)
+        registry.set_gauge("engine.wall_seconds", 12.5)
+        registry.observe("engine.experiment.seconds", 0.25)
+        return registry
+
+    def test_to_dict_is_schema_tagged_json(self):
+        payload = self.populated().to_dict()
+        assert payload["schema"] == METRICS_SCHEMA
+        json.dumps(payload)
+
+    def test_from_dict_rebuilds_every_instrument(self):
+        original = self.populated()
+        payload = json.loads(json.dumps(original.to_dict()))
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_schema_drift_rejected(self):
+        payload = self.populated().to_dict()
+        payload["schema"] = "repro/metrics@99"
+        with pytest.raises(ConfigurationError, match="schema"):
+            MetricsRegistry.from_dict(payload)
+
+    def test_render_lists_each_section(self):
+        text = self.populated().render()
+        assert "Counters" in text
+        assert "Gauges" in text
+        assert "Histograms" in text
+        assert "engine.cache.hit" in text
+
+    def test_render_prefix_narrows(self):
+        text = self.populated().render("engine.cache.")
+        assert "engine.cache.hit" in text
+        assert "engine.wall_seconds" not in text
+
+    def test_render_empty_registry(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+class TestDiffDumps:
+    def dump(self, hit: int, miss: int, wall: float) -> dict:
+        registry = MetricsRegistry()
+        registry.inc("engine.cache.hit", hit)
+        registry.inc("engine.cache.miss", miss)
+        registry.set_gauge("engine.wall_seconds", wall)
+        return registry.to_dict()
+
+    def test_no_change_flags_nothing(self):
+        dump = self.dump(hit=8, miss=2, wall=10.0)
+        diff = diff_dumps(dump, dump)
+        assert diff.regressions == ()
+        assert diff.counter_deltas == {}
+        assert "No counter changed" in diff.render()
+
+    def test_hit_rate_drop_is_flagged(self):
+        diff = diff_dumps(
+            self.dump(hit=8, miss=2, wall=10.0),
+            self.dump(hit=2, miss=8, wall=10.0),
+        )
+        assert any("hit rate" in finding for finding in diff.regressions)
+        assert diff.hit_rate_before == pytest.approx(0.8)
+        assert diff.hit_rate_after == pytest.approx(0.2)
+        assert "REGRESSIONS FLAGGED" in diff.render()
+
+    def test_wall_time_growth_is_flagged(self):
+        diff = diff_dumps(
+            self.dump(hit=8, miss=2, wall=10.0),
+            self.dump(hit=8, miss=2, wall=20.0),
+        )
+        assert any("wall time" in finding for finding in diff.regressions)
+
+    def test_growth_below_threshold_passes(self):
+        diff = diff_dumps(
+            self.dump(hit=8, miss=2, wall=10.0),
+            self.dump(hit=8, miss=2, wall=10.5),
+        )
+        assert diff.regressions == ()
+
+    def test_counter_deltas_report_before_and_after(self):
+        diff = diff_dumps(
+            self.dump(hit=8, miss=2, wall=10.0),
+            self.dump(hit=9, miss=2, wall=10.0),
+        )
+        assert diff.counter_deltas == {"engine.cache.hit": (8, 9)}
+
+    def test_schema_checked_on_both_sides(self):
+        good = self.dump(hit=1, miss=1, wall=1.0)
+        with pytest.raises(ConfigurationError, match="schema"):
+            diff_dumps(good, {"schema": "nope"})

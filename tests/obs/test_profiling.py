@@ -1,0 +1,64 @@
+"""Tests for the cProfile hooks: .pstats files plus the hotspot table."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.obs import Profiler
+
+
+def burn(n: int = 20_000) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfiler:
+    def test_writes_loadable_pstats(self, tmp_path):
+        profiler = Profiler(tmp_path)
+        with profiler.profile("R3"):
+            burn()
+        path = tmp_path / "r3.pstats"
+        assert path.exists()
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_report_ranks_by_cumulative_time(self, tmp_path):
+        profiler = Profiler(tmp_path, top_n=5)
+        with profiler.profile("R3"):
+            burn()
+        (report,) = profiler.reports
+        assert report.name == "R3"
+        assert 0 < len(report.hotspots) <= 5
+        cumulative = [row.cumulative_seconds for row in report.hotspots]
+        assert cumulative == sorted(cumulative, reverse=True)
+        assert any("burn" in row.location for row in report.hotspots)
+
+    def test_reports_sorted_by_name(self, tmp_path):
+        profiler = Profiler(tmp_path)
+        for name in ("R9", "R3"):
+            with profiler.profile(name):
+                burn(1000)
+        assert [r.name for r in profiler.reports] == ["R3", "R9"]
+
+    def test_exception_still_dumps_the_profile(self, tmp_path):
+        profiler = Profiler(tmp_path)
+        with pytest.raises(RuntimeError):
+            with profiler.profile("R5"):
+                raise RuntimeError("boom")
+        assert (tmp_path / "r5.pstats").exists()
+        assert [r.name for r in profiler.reports] == ["R5"]
+
+    def test_hotspot_table_and_write(self, tmp_path):
+        profiler = Profiler(tmp_path)
+        with profiler.profile("R3"):
+            burn()
+        table = profiler.hotspot_table()
+        assert "Hotspots — R3" in table
+        assert "cumulative s" in table
+        target = profiler.write_hotspots()
+        assert target == tmp_path / "hotspots.txt"
+        assert target.read_text(encoding="utf-8").startswith(table[:20])
+
+    def test_empty_profiler_renders_placeholder(self, tmp_path):
+        assert Profiler(tmp_path).hotspot_table() == "(nothing profiled)"

@@ -1,0 +1,154 @@
+"""Tests for the tracer: nesting, threads, Chrome-trace round trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import TRACE_SCHEMA, Tracer, spans_from_chrome_trace
+
+
+class TestSpans:
+    def test_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.duration >= 0
+        assert record.parent_id is None
+        assert record.thread_id == threading.get_ident()
+
+    def test_nested_spans_record_in_close_order_with_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert [inner.name, outer.name] == ["inner", "outer"]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.start >= outer.start
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.spans
+        assert a.parent_id == b.parent_id == outer.span_id
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        for _ in range(10):
+            with tracer.span("x"):
+                pass
+        ids = [record.span_id for record in tracer.spans]
+        assert len(set(ids)) == 10
+
+    def test_args_sorted_and_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("x", b=2, a="one", weird=object()):
+            pass
+        (record,) = tracer.spans
+        keys = [k for k, _ in record.args]
+        assert keys == sorted(keys)
+        assert json.dumps(dict(record.args))  # must serialize
+
+    def test_exception_still_closes_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert len(tracer) == 1
+        assert tracer.spans[0].name == "doomed"
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span_id:
+            assert span_id is None
+        assert len(tracer) == 0
+        assert tracer.spans == []
+
+
+class TestThreading:
+    def test_parallel_workers_get_independent_span_trees(self):
+        tracer = Tracer()
+
+        def work(i: int) -> None:
+            with tracer.span("outer", worker=i):
+                with tracer.span("inner", worker=i):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(work, range(8)))
+
+        spans = tracer.spans
+        assert len(spans) == 16
+        by_id = {record.span_id: record for record in spans}
+        for record in spans:
+            if record.name != "inner":
+                continue
+            parent = by_id[record.parent_id]
+            assert parent.name == "outer"
+            # The parent is on the same thread and carries the same worker.
+            assert parent.thread_id == record.thread_id
+            assert dict(parent.args)["worker"] == dict(record.args)["worker"]
+
+
+class TestSummary:
+    def test_aggregates_per_name_sorted(self):
+        tracer = Tracer()
+        for name in ("b", "a", "b"):
+            with tracer.span(name):
+                pass
+        summary = tracer.summary()
+        assert list(summary) == ["a", "b"]
+        assert summary["b"]["count"] == 2
+        assert summary["a"]["seconds"] >= 0
+
+
+class TestChromeTrace:
+    def make_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("outer", seed=7):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_export_shape(self):
+        payload = self.make_tracer().to_chrome_trace()
+        assert payload["otherData"]["schema"] == TRACE_SCHEMA
+        assert payload["displayTimeUnit"] == "ms"
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in payload["traceEvents"])
+        json.dumps(payload)  # Perfetto gets real JSON
+
+    def test_events_sorted_by_start(self):
+        payload = self.make_tracer().to_chrome_trace()
+        timestamps = [e["ts"] for e in payload["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_round_trip_preserves_spans(self):
+        tracer = self.make_tracer()
+        payload = json.loads(json.dumps(tracer.to_chrome_trace()))
+        rebuilt = spans_from_chrome_trace(payload)
+        original = sorted(tracer.spans, key=lambda r: r.span_id)
+        rebuilt = sorted(rebuilt, key=lambda r: r.span_id)
+        assert [r.name for r in rebuilt] == [r.name for r in original]
+        assert [r.parent_id for r in rebuilt] == [r.parent_id for r in original]
+        assert [dict(r.args) for r in rebuilt] == [dict(r.args) for r in original]
+        for got, want in zip(rebuilt, original):
+            assert got.duration == pytest.approx(want.duration, abs=1e-9)
+
+    def test_schema_drift_rejected(self):
+        payload = self.make_tracer().to_chrome_trace()
+        payload["otherData"]["schema"] = "repro/trace@99"
+        with pytest.raises(ConfigurationError, match="schema"):
+            spans_from_chrome_trace(payload)

@@ -112,6 +112,69 @@ class TestEngineFlags:
         del cold_out
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_perfetto_loadable_json(self, tmp_path, capsys):
+        from repro.obs import TRACE_SCHEMA, spans_from_chrome_trace
+
+        trace_path = tmp_path / "t.json"
+        main(["run", "R1", "--quiet", "--trace", str(trace_path)])
+        err = capsys.readouterr().err
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert payload["otherData"]["schema"] == TRACE_SCHEMA
+        assert payload["traceEvents"], "a run must record spans"
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        spans = spans_from_chrome_trace(payload)
+        assert {"engine.run", "experiment.R1"} <= {s.name for s in spans}
+        assert f"[trace: {len(spans)} spans -> {trace_path}]" in err
+
+    def test_metrics_out_counters_match_manifest(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        manifest_path = tmp_path / "run.json"
+        main(
+            ["run", "R3", "R4", "--quiet", "--jobs", "2",
+             "--metrics-out", str(metrics_path),
+             "--manifest", str(manifest_path)]
+        )
+        capsys.readouterr()
+        counters = json.loads(metrics_path.read_text(encoding="utf-8"))["counters"]
+        totals = json.loads(manifest_path.read_text(encoding="utf-8"))["totals"]
+        for status, total in totals.items():
+            assert counters.get(
+                f"engine.cache.{status.replace('-', '_')}", 0
+            ) == total, status
+        assert counters["engine.experiments.completed"] == 2
+
+    def test_profile_writes_pstats_and_hotspots(self, tmp_path, capsys):
+        main(["run", "R1", "--quiet", "--profile", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert (tmp_path / "r1.pstats").exists()
+        hotspots = (tmp_path / "hotspots.txt").read_text(encoding="utf-8")
+        assert "Hotspots — R1" in hotspots
+        assert "[profiles: 1 .pstats" in err
+
+    def test_stats_renders_a_dump(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        main(["run", "R1", "--quiet", "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        assert main(["stats", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "engine.experiments.completed" in out
+
+    def test_stats_prefix_filters(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        main(["run", "R1", "--quiet", "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        main(["stats", str(metrics_path), "--prefix", "engine.cache."])
+        out = capsys.readouterr().out
+        assert "engine.cache.miss" in out
+        assert "engine.experiments.completed" not in out
+
+    def test_stats_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such metrics dump"):
+            main(["stats", str(tmp_path / "nope.json")])
+
+
 class TestParser:
     def test_run_requires_at_least_one_id(self):
         with pytest.raises(SystemExit):
@@ -123,3 +186,12 @@ class TestParser:
         assert args.jobs == 1
         assert args.cache_dir is None
         assert args.manifest is None
+        assert args.trace is None
+        assert args.metrics_out is None
+        assert args.profile is None
+
+    def test_bare_profile_defaults_to_results_dir(self):
+        from pathlib import Path
+
+        args = build_parser().parse_args(["run", "R1", "--profile"])
+        assert args.profile == Path("results")

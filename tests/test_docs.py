@@ -1,0 +1,95 @@
+"""The docs are checked like code: links resolve, fenced examples work.
+
+Runs ``tools/check_docs.py`` over ``README.md`` and every ``docs/*.md`` on
+each test run, so the documentation cannot silently rot behind the code
+(the CI docs job calls the same checker).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+DOC_FILES = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_file_is_healthy(path):
+    problems = check_docs.check_file(path)
+    assert problems == [], "\n".join(str(p) for p in problems)
+
+
+def test_docs_exist_and_are_indexed():
+    assert (ROOT / "docs" / "index.md").exists()
+    index = (ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+    for page in ("architecture.md", "observability.md", "benchmarking.md"):
+        assert page in index, f"docs/index.md must link {page}"
+
+
+class TestCheckerItself:
+    """The checker must actually catch problems, not just pass clean files."""
+
+    def test_broken_link_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [gone](missing.md)\n", encoding="utf-8")
+        problems = check_docs.check_file(page)
+        assert len(problems) == 1
+        assert "missing.md" in problems[0].message
+
+    def test_links_inside_code_are_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "`sink[class](w)` in a table\n\n```\nv := sanitize[class](w)\n```\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_file(page) == []
+
+    def test_failing_doctest_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```python\n>>> 1 + 1\n3\n```\n", encoding="utf-8"
+        )
+        problems = check_docs.check_file(page)
+        assert len(problems) == 1
+        assert "doctest failed" in problems[0].message
+
+    def test_syntax_error_reported_without_doctest_prompts(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```python\ndef broken(:\n```\n", encoding="utf-8")
+        problems = check_docs.check_file(page)
+        assert len(problems) == 1
+        assert "does not compile" in problems[0].message
+
+    def test_skip_marker_opts_a_block_out(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "<!-- docs-check: skip -->\n```python\ndef broken(:\n```\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_file(page) == []
+
+    def test_main_reports_missing_file(self, capsys):
+        assert check_docs.main(["/nonexistent/page.md"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_main_default_run_is_clean(self, capsys):
+        assert check_docs.main([]) == 0
+        assert "docs ok" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Docs checker: fenced python examples must work, internal links must resolve.
+
+The docs pages document an executable system, so they are checked like
+code: every fenced ``python`` block either runs under :mod:`doctest` (when
+it contains ``>>>`` prompts) or must at least compile, and every relative
+markdown link must point at a file that exists.  `tests/test_docs.py` runs
+this over ``docs/*.md`` and ``README.md`` on every test run, and the docs
+CI job calls it directly — so the observability and architecture pages
+cannot rot the way the pre-engine README quickstart did.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py README.md docs/*.md
+
+A block can opt out of execution (e.g. it needs files that only exist
+mid-walkthrough) by preceding the fence with ``<!-- docs-check: skip -->``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["DocProblem", "check_file", "extract_fenced_blocks", "main"]
+
+_FENCE = re.compile(
+    r"(?P<skip><!--\s*docs-check:\s*skip\s*-->\s*\n)?"
+    r"^```(?P<lang>[A-Za-z0-9_+-]*)[^\n]*\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@dataclass(frozen=True)
+class DocProblem:
+    """One broken thing in one markdown file."""
+
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def extract_fenced_blocks(text: str) -> list[tuple[int, str, str, bool]]:
+    """``(start_line, language, body, skipped)`` for every fenced block."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start("body")) + 1
+        blocks.append(
+            (
+                line,
+                match.group("lang").lower(),
+                match.group("body"),
+                match.group("skip") is not None,
+            )
+        )
+    return blocks
+
+
+def _check_python_block(path: Path, line: int, body: str) -> list[DocProblem]:
+    if ">>>" in body:
+        # Interactive examples run for real under doctest.
+        runner = doctest.DocTestRunner(verbose=False)
+        parser = doctest.DocTestParser()
+        try:
+            test = parser.get_doctest(
+                body, {"__name__": "__docs__"}, str(path), str(path), line
+            )
+        except ValueError as error:
+            return [DocProblem(path, line, f"unparseable doctest: {error}")]
+        results = runner.run(test, clear_globs=True)
+        if results.failed:
+            return [
+                DocProblem(
+                    path, line, f"doctest failed ({results.failed} example(s))"
+                )
+            ]
+        return []
+    try:
+        compile(body, f"{path}:{line}", "exec")
+    except SyntaxError as error:
+        return [
+            DocProblem(
+                path,
+                line + (error.lineno or 1) - 1,
+                f"python block does not compile: {error.msg}",
+            )
+        ]
+    return []
+
+
+_CODE_SPAN = re.compile(r"`[^`\n]*`")
+
+
+def _blank_code(text: str) -> str:
+    """Replace code (fenced blocks and inline spans) with spaces.
+
+    Keeps every newline, so line numbers computed against the blanked text
+    still point at the original file; keeps link syntax out of code from
+    being mistaken for markdown links (``sink[class](w)``).
+    """
+
+    def blank(match: re.Match) -> str:
+        return "".join(c if c == "\n" else " " for c in match.group(0))
+
+    text = _FENCE.sub(blank, text)
+    return _CODE_SPAN.sub(blank, text)
+
+
+def _check_links(path: Path, text: str) -> list[DocProblem]:
+    problems = []
+    text = _blank_code(text)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                DocProblem(path, line, f"broken internal link: {target}")
+            )
+    return problems
+
+
+def check_file(path: Path) -> list[DocProblem]:
+    """Every problem in one markdown file (fenced python + internal links)."""
+    text = path.read_text(encoding="utf-8")
+    problems = _check_links(path, text)
+    for line, lang, body, skipped in extract_fenced_blocks(text):
+        if lang != "python" or skipped:
+            continue
+        problems.extend(_check_python_block(path, line, body))
+    return sorted(problems, key=lambda p: p.line)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if not args:
+        root = Path(__file__).resolve().parent.parent
+        args = [str(root / "README.md")] + sorted(
+            str(p) for p in (root / "docs").glob("*.md")
+        )
+    problems: list[DocProblem] = []
+    for name in args:
+        path = Path(name)
+        if not path.exists():
+            problems.append(DocProblem(path, 0, "file does not exist"))
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(args)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
