@@ -1,4 +1,4 @@
-"""Bench — the experiment engine itself: cache warmth, parallelism, tracing.
+"""Bench — the experiment engine itself: cache warmth, parallelism, kernels.
 
 Times ``run all`` through the engine three ways — cold artifact store,
 warm re-run on the same store, and a cold parallel run — and prints a
@@ -10,11 +10,24 @@ A second bench measures the observability layer itself: best-of-three cold
 runs with the tracer enabled vs disabled.  The instrumentation must stay
 cheap enough to leave on (<5% wall-time overhead is the design target; the
 assert allows slack for machine noise).
+
+Two perf benches cover the vectorized paths: bootstrap throughput compares
+the scalar reference loop (``bootstrap_metric_scalar``) against the batch
+kernels over the full metric catalog and asserts identical statistics, and
+the executor bench compares ``--executor thread`` against ``process`` on a
+bootstrap-heavy subset and asserts identical reports.
+
+Every bench also folds its numbers into ``results/BENCH_engine.json``
+(schema-tagged, machine-readable) so perf claims in the docs trace to
+committed measurements.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 from repro.bench.engine import ArtifactStore, run_experiments
 from repro.obs import Observability
@@ -26,6 +39,33 @@ JOBS = 4
 #: campaign, metric loops and dependent experiments without paying for the
 #: slow bootstrap-heavy ids three times over.
 OVERHEAD_IDS = ["R1", "R3", "R4", "R5", "R12", "R13"]
+#: Subset used for the thread-vs-process comparison: independent,
+#: CPU-bound experiments where worker processes can actually help.
+EXECUTOR_IDS = ["R2", "R7", "R18", "R19"]
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_engine.json"
+BENCH_JSON_SCHEMA = "repro/bench-engine@1"
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one bench's numbers into the machine-readable dump.
+
+    Read-update-write so a partial run (one bench alone) refreshes its own
+    section without clobbering the others.
+    """
+    data: dict = {"schema": BENCH_JSON_SCHEMA}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            existing = {}
+        if existing.get("schema") == BENCH_JSON_SCHEMA:
+            data = existing
+    data[section] = payload
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def _timed(**kwargs):
@@ -60,6 +100,133 @@ def test_bench_engine_cold_warm_parallel(save_result):
     for line in lines:
         print(line)
     save_result("engine", "\n".join(lines))
+    _update_bench_json(
+        "suite",
+        {
+            "experiments": len(ALL_IDS),
+            "seed": SEED,
+            "cold_seconds": round(cold_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "parallel_jobs": JOBS,
+            "parallel_seconds": round(parallel_s, 3),
+        },
+    )
+
+
+def test_bench_bootstrap_throughput(save_result):
+    """Vectorized bootstrap vs the scalar reference loop, full catalog.
+
+    Same seeds feed both paths, so the summaries must be *identical* — the
+    batch resampler draws the very same multinomial stream the per-resample
+    loop does.  The speedup floor is deliberately conservative (shared CI
+    machines are noisy); the measured number, typically well past the 10x
+    design target, is what lands in the results files.
+    """
+    from repro._rng import derive_seed
+    from repro.metrics.confusion import ConfusionMatrix
+    from repro.metrics.registry import default_registry
+    from repro.stats.bootstrap import bootstrap_metric, bootstrap_metric_scalar
+
+    registry = default_registry()
+    cm = ConfusionMatrix(tp=40, fp=25, fn=20, tn=515)
+    n_resamples = 200
+
+    def catalog_pass(fn):
+        started = time.perf_counter()
+        summaries = [
+            fn(
+                metric,
+                cm,
+                n_resamples=n_resamples,
+                seed=derive_seed(SEED, f"bench:{metric.symbol}"),
+            )
+            for metric in registry
+        ]
+        return summaries, time.perf_counter() - started
+
+    scalar_s = batch_s = float("inf")
+    scalar_summaries = batch_summaries = None
+    for _ in range(3):
+        summaries, elapsed = catalog_pass(bootstrap_metric_scalar)
+        if elapsed < scalar_s:
+            scalar_s, scalar_summaries = elapsed, summaries
+        summaries, elapsed = catalog_pass(bootstrap_metric)
+        if elapsed < batch_s:
+            batch_s, batch_summaries = elapsed, summaries
+
+    # Identical statistics, not merely close: same seed -> same stream ->
+    # same summary, NaN fields included (hence repr comparison).
+    assert [repr(s) for s in scalar_summaries] == [
+        repr(s) for s in batch_summaries
+    ]
+    speedup = scalar_s / batch_s
+    resamples = len(registry) * n_resamples
+    assert speedup >= 3.0, (
+        f"batch bootstrap only {speedup:.1f}x faster than the scalar loop "
+        f"(scalar {scalar_s:.3f}s, batch {batch_s:.3f}s) — expected >=10x "
+        f"on an unloaded machine"
+    )
+
+    line = (
+        f"bootstrap {len(registry)} metrics x {n_resamples} resamples "
+        f"(best of 3): scalar {scalar_s:.3f}s, batch {batch_s:.3f}s "
+        f"({speedup:.1f}x, {resamples / batch_s:,.0f} resamples/s)"
+    )
+    print(line)
+    save_result("engine_bootstrap_throughput", line)
+    _update_bench_json(
+        "bootstrap",
+        {
+            "metrics": len(registry),
+            "n_resamples": n_resamples,
+            "scalar_seconds": round(scalar_s, 4),
+            "batch_seconds": round(batch_s, 4),
+            "speedup": round(speedup, 1),
+            "resamples_per_second": round(resamples / batch_s),
+        },
+    )
+
+
+def test_bench_executor_thread_vs_process(save_result):
+    """``--executor process`` on a CPU-bound subset, against threads.
+
+    The contract under test is identity: both executors must render the
+    same reports at the same seed.  The wall-clock ratio is recorded, not
+    asserted — on a single-core runner process workers cannot win, and the
+    committed numbers are what document the multi-core speedup.
+    """
+
+    def timed(executor):
+        started = time.perf_counter()
+        run = run_experiments(EXECUTOR_IDS, seed=SEED, jobs=JOBS, executor=executor)
+        return run, time.perf_counter() - started
+
+    thread_run, thread_s = timed("thread")
+    process_run, process_s = timed("process")
+    for key in EXECUTOR_IDS:
+        assert (
+            process_run.results[key].render() == thread_run.results[key].render()
+        )
+
+    speedup = thread_s / process_s
+    line = (
+        f"executor {'+'.join(EXECUTOR_IDS)} (jobs={JOBS}, "
+        f"{os.cpu_count()} cores): thread {thread_s:.2f}s, "
+        f"process {process_s:.2f}s ({speedup:.2f}x), reports byte-identical"
+    )
+    print(line)
+    save_result("engine_executor", line)
+    _update_bench_json(
+        "executor",
+        {
+            "experiments": EXECUTOR_IDS,
+            "jobs": JOBS,
+            "cpu_count": os.cpu_count(),
+            "thread_seconds": round(thread_s, 3),
+            "process_seconds": round(process_s, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
 
 
 def test_bench_tracing_overhead(save_result):
@@ -96,6 +263,15 @@ def test_bench_tracing_overhead(save_result):
     )
     print(line)
     save_result("engine_tracing_overhead", line)
+    _update_bench_json(
+        "tracing",
+        {
+            "experiments": len(OVERHEAD_IDS),
+            "off_seconds": round(plain_s, 3),
+            "on_seconds": round(traced_s, 3),
+            "overhead_fraction": round(overhead, 4),
+        },
+    )
 
 
 if __name__ == "__main__":

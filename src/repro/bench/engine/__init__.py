@@ -30,7 +30,13 @@ from repro.bench.engine.manifest import (
     ExperimentRunRecord,
     RunManifest,
 )
-from repro.bench.engine.scheduler import EngineRun, run_experiments, topological_order
+from repro.bench.engine.process import ProcessOutcome, execute_in_process
+from repro.bench.engine.scheduler import (
+    EXECUTORS,
+    EngineRun,
+    run_experiments,
+    topological_order,
+)
 from repro.bench.engine.spec import (
     ExperimentSpec,
     all_specs,
@@ -51,6 +57,9 @@ __all__ = [
     "ExperimentRunRecord",
     "RunManifest",
     "EngineRun",
+    "EXECUTORS",
+    "ProcessOutcome",
+    "execute_in_process",
     "run_experiments",
     "topological_order",
     "ExperimentSpec",

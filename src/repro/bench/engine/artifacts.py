@@ -157,6 +157,17 @@ class ArtifactStore:
         with self._master:
             return self._values[key]
 
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Seed the in-memory tier with an externally computed value.
+
+        No cache event is recorded: the computation happened elsewhere
+        (a worker process, a prior run) and is already attributed there.
+        A later :meth:`peek` or :meth:`get_or_compute` for ``key`` finds
+        the value without recomputing.
+        """
+        with self._master:
+            self._values[key] = value
+
     def get_or_compute(
         self,
         key: ArtifactKey,

@@ -1,0 +1,103 @@
+"""Worker-process side of the ``--executor process`` path.
+
+``ProcessPoolExecutor`` sidesteps the GIL for CPU-bound experiments, but it
+imposes two disciplines the thread executor never needed: everything that
+crosses the process boundary must pickle, and observability recorded in a
+worker must travel back explicitly or be lost.  This module implements
+both halves of that contract:
+
+- The worker is addressed by *experiment id*, not by spec — specs carry the
+  driver callable, which may close over module state, so the worker
+  re-resolves the id through the registry (``get_spec`` imports the
+  experiments package on demand, so this works under any start method).
+- Each worker process keeps one persistent
+  :class:`~repro.bench.engine.artifacts.ArtifactStore` per
+  ``(seed, cache_dir)``, so later tasks landing on the same worker reuse
+  in-memory artifacts the way threads share the parent store (plus the
+  shared disk tier when ``cache_dir`` is set).
+- Every *task* gets a fresh observability bundle, so its metrics dump and
+  span list describe exactly that task's work; the parent merges outcomes
+  without double counting (see ``scheduler._merge_outcome``).
+
+Determinism is unchanged: experiments receive the same explicit seeds under
+either executor, and every stochastic substream downstream is derived from
+them (:mod:`repro._rng`), so thread and process runs render byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.engine.artifacts import ArtifactEvent, ArtifactStore
+from repro.bench.engine.context import RunContext
+from repro.bench.engine.spec import get_spec
+from repro.bench.result import ExperimentResult
+from repro.obs import Observability, SpanRecord, Tracer
+
+__all__ = ["ProcessOutcome", "execute_in_process"]
+
+#: One persistent store per worker process, keyed by ``(seed, cache_dir)``.
+#: Worker processes are reused across tasks, so the second experiment a
+#: worker runs finds the reference workload/campaign already in memory.
+_WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
+
+
+@dataclass(frozen=True)
+class ProcessOutcome:
+    """Everything one worker-side experiment sends back to the parent."""
+
+    experiment_id: str
+    title: str
+    seed: int | None
+    """Effective seed (``None`` for seedless experiments)."""
+    wall_seconds: float
+    events: tuple[ArtifactEvent, ...]
+    """Artifact requests attributed to this experiment in the worker."""
+    result: ExperimentResult
+    metrics_dump: dict[str, Any]
+    """This task's :meth:`~repro.obs.MetricsRegistry.to_dict` dump."""
+    spans: tuple[SpanRecord, ...]
+    """This task's closed spans (empty unless tracing was requested)."""
+    trace_epoch_unix: float
+    """Wall-clock anchor of the worker tracer's epoch, for stitching."""
+
+
+def execute_in_process(
+    experiment_id: str, seed: int, cache_dir: str | None, trace: bool
+) -> ProcessOutcome:
+    """Run one experiment in this worker process; return a picklable outcome."""
+    spec = get_spec(experiment_id)
+    store_key = (seed, cache_dir)
+    store = _WORKER_STORES.get(store_key)
+    if store is None:
+        store = _WORKER_STORES[store_key] = ArtifactStore(cache_dir=cache_dir)
+    # A fresh bundle per task: its dump holds only this task's traffic, so
+    # the parent can merge every outcome without double counting.
+    obs = Observability(tracer=Tracer(enabled=trace))
+    store.obs = obs
+    context = RunContext(seed=seed, store=store)
+    child = context.for_experiment(experiment_id)
+    already = len(store.events_for(experiment_id))
+    params = {} if spec.seedless else {"seed": seed}
+    started = time.perf_counter()
+    with obs.tracer.span(
+        f"experiment.{experiment_id}",
+        title=spec.title,
+        seed=None if spec.seedless else seed,
+    ):
+        result = child.experiment(experiment_id, **params)
+    elapsed = time.perf_counter() - started
+    return ProcessOutcome(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        seed=None if spec.seedless else seed,
+        wall_seconds=elapsed,
+        events=tuple(store.events_for(experiment_id)[already:]),
+        result=result,
+        metrics_dump=obs.metrics.to_dict(),
+        spans=tuple(obs.tracer.spans),
+        trace_epoch_unix=obs.tracer.epoch_unix,
+    )

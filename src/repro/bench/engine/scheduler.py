@@ -2,11 +2,15 @@
 
 Orders the requested experiments topologically over their declared
 ``depends_on`` edges and runs them — serially in canonical order, or in
-parallel with :mod:`concurrent.futures` when ``jobs > 1``.  Every stochastic
-component downstream derives its streams from explicit seeds (see
-:mod:`repro._rng`), and shared artifacts are deduplicated under per-key
-locks, so a parallel run produces byte-identical rendered reports to a
-serial run at the same seed; only the wall clock changes.
+parallel with :mod:`concurrent.futures` when ``jobs > 1``.  Two parallel
+executors are available: ``thread`` (the default) shares one in-memory
+artifact store across a :class:`~concurrent.futures.ThreadPoolExecutor`,
+while ``process`` dispatches to worker processes (see
+:mod:`repro.bench.engine.process`) for CPU-bound speedups past the GIL.
+Every stochastic component downstream derives its streams from explicit
+seeds (see :mod:`repro._rng`), and shared artifacts are deduplicated under
+per-key locks, so a parallel run produces byte-identical rendered reports
+to a serial run at the same seed; only the wall clock changes.
 
 Observability: the whole run executes under an ``engine.run`` span, each
 experiment under an ``experiment.<id>`` span (optionally wrapped in
@@ -20,18 +24,28 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 
 from repro.bench.engine.artifacts import ArtifactStore
 from repro.bench.engine.context import RunContext
 from repro.bench.engine.manifest import ExperimentRunRecord, RunManifest
+from repro.bench.engine.process import ProcessOutcome, execute_in_process
 from repro.bench.engine.spec import ExperimentSpec, get_spec
 from repro.bench.result import DEFAULT_SEED, ExperimentResult
 from repro.errors import ConfigurationError
 from repro.obs import Observability
 
-__all__ = ["EngineRun", "run_experiments", "topological_order"]
+__all__ = ["EngineRun", "EXECUTORS", "run_experiments", "topological_order"]
+
+#: Valid values for ``run_experiments(..., executor=...)`` / ``--executor``.
+EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -116,34 +130,55 @@ def run_experiments(
     store: ArtifactStore | None = None,
     cache_dir: str | None = None,
     obs: Observability | None = None,
+    executor: str = "thread",
 ) -> EngineRun:
     """Run ``ids`` through the engine; returns results plus a manifest.
 
-    ``jobs > 1`` executes independent experiments concurrently in threads.
-    Determinism is unaffected: every experiment receives the same explicit
-    seed either way, and shared artifacts are computed exactly once under
-    per-key locks regardless of arrival order.
+    ``jobs > 1`` executes independent experiments concurrently — in threads
+    by default, or in worker processes with ``executor="process"`` (which
+    always uses a :class:`~concurrent.futures.ProcessPoolExecutor`, even at
+    ``jobs=1``).  Determinism is unaffected: every experiment receives the
+    same explicit seed either way, and shared artifacts are computed
+    exactly once under per-key locks regardless of arrival order.
 
     ``obs`` carries the run's tracer/metrics/profiler bundle; when a
     ``store`` is reused across runs, passing ``obs`` rebinds the store's
-    bundle so a warm run can still be traced on its own timeline.
+    bundle so a warm run can still be traced on its own timeline.  The
+    process executor merges each worker's metrics and spans back into this
+    bundle; profiling is thread-executor-only, because cProfile sessions
+    cannot be merged across processes.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if executor not in EXECUTORS:
+        raise ConfigurationError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
     ordered = topological_order(ids)
     if store is None:
         store = ArtifactStore(cache_dir=cache_dir, obs=obs)
     elif obs is not None:
         store.obs = obs
     obs = store.obs
+    if executor == "process" and obs.profiler is not None:
+        raise ConfigurationError(
+            "profiling requires the thread executor: cProfile sessions "
+            "cannot be merged across worker processes"
+        )
     context = RunContext(seed=seed, store=store)
 
     records: dict[str, ExperimentRunRecord] = {}
     run_started = time.perf_counter()
     with obs.tracer.span(
-        "engine.run", seed=seed, jobs=jobs, experiments=len(ordered)
+        "engine.run",
+        seed=seed,
+        jobs=jobs,
+        experiments=len(ordered),
+        executor=executor,
     ):
-        if jobs == 1 or len(ordered) == 1:
+        if executor == "process":
+            records.update(_run_process(ordered, context, jobs))
+        elif jobs == 1 or len(ordered) == 1:
             for spec in ordered:
                 records[spec.experiment_id] = _execute(spec, context)
         else:
@@ -211,3 +246,84 @@ def _run_parallel(
                     deps.discard(key)
             submit_ready()
     return records
+
+
+def _run_process(
+    ordered: Sequence[ExperimentSpec], context: RunContext, jobs: int
+) -> dict[str, ExperimentRunRecord]:
+    """Submit experiments to worker processes as dependencies complete.
+
+    Workers compute; the parent merges.  Each completed
+    :class:`~repro.bench.engine.process.ProcessOutcome` seeds the parent
+    store with the experiment result (so result collection peeks find it),
+    folds the worker's metrics dump into the parent registry, and stitches
+    the worker's spans onto the parent timeline.
+    """
+    store = context.store
+    obs = store.obs
+    cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
+    trace = obs.tracer.enabled
+    in_set = {spec.experiment_id for spec in ordered}
+    pending = {
+        spec.experiment_id: {dep for dep in spec.depends_on if dep in in_set}
+        for spec in ordered
+    }
+    specs = {spec.experiment_id: spec for spec in ordered}
+    records: dict[str, ExperimentRunRecord] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures: dict[Future, str] = {}
+
+        def submit_ready() -> None:
+            ready = sorted(
+                (key for key, deps in pending.items() if not deps),
+                key=lambda key: specs[key].index,
+            )
+            for key in ready:
+                del pending[key]
+                obs.metrics.inc("engine.experiments.scheduled")
+                future = pool.submit(
+                    execute_in_process, key, context.seed, cache_dir, trace
+                )
+                futures[future] = key
+
+        submit_ready()
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                key = futures.pop(future)
+                try:
+                    outcome = future.result()  # re-raises experiment errors
+                except BaseException:
+                    obs.metrics.inc("engine.experiments.failed")
+                    raise
+                records[key] = _merge_outcome(specs[key], context, outcome)
+                for deps in pending.values():
+                    deps.discard(key)
+            submit_ready()
+    return records
+
+
+def _merge_outcome(
+    spec: ExperimentSpec, context: RunContext, outcome: ProcessOutcome
+) -> ExperimentRunRecord:
+    """Fold one worker outcome into the parent run's store and bundle."""
+    obs = context.obs
+    params = {} if spec.seedless else {"seed": context.seed}
+    key = context._experiment_key(spec, params)
+    if key is not None:
+        context.store.put(key, outcome.result)
+    obs.metrics.merge_dict(outcome.metrics_dump)
+    obs.metrics.inc("engine.experiments.completed")
+    obs.metrics.observe("engine.experiment.seconds", outcome.wall_seconds)
+    if obs.tracer.enabled and outcome.spans:
+        obs.tracer.ingest(
+            outcome.spans,
+            offset_seconds=outcome.trace_epoch_unix - obs.tracer.epoch_unix,
+        )
+    return ExperimentRunRecord(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        seed=outcome.seed,
+        wall_seconds=outcome.wall_seconds,
+        artifacts=outcome.events,
+    )

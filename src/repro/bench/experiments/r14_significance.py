@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.bench.engine.context import RunContext, ensure_context
 from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.metrics.batch import ConfusionBatch, safe_div_array
 from repro.reporting.tables import format_table
 from repro.stats.significance import mcnemar_exact, paired_outcomes, wilson_interval
 
@@ -64,8 +65,14 @@ def run(
         title=f"McNemar exact test between tool pairs (alpha = {alpha:g})",
     )
 
+    # Point estimates for all tools in one vectorized pass (elementwise
+    # identical to the per-matrix properties); Wilson bounds stay scalar —
+    # they are O(#tools) and exercise the exact integer path.
+    batch = ConfusionBatch.from_matrices([r.confusion for r in campaign.results])
+    recalls = batch.tpr
+    precisions = safe_div_array(batch.tp, batch.predicted_positives)
     interval_rows = []
-    for result in campaign.results:
+    for index, result in enumerate(campaign.results):
         cm = result.confusion
         recall_low, recall_high = wilson_interval(int(cm.tp), int(cm.positives))
         if cm.predicted_positives > 0:
@@ -77,9 +84,9 @@ def run(
         interval_rows.append(
             [
                 result.tool_name,
-                cm.tpr,
+                float(recalls[index]),
                 f"[{recall_low:.3f}, {recall_high:.3f}]",
-                cm.tp / cm.predicted_positives if cm.predicted_positives else float("nan"),
+                float(precisions[index]),
                 f"[{precision_low:.3f}, {precision_high:.3f}]",
             ]
         )

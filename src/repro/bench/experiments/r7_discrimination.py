@@ -15,7 +15,7 @@ from repro.bench.engine.spec import ExperimentSpec, register_spec
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 from repro.metrics.registry import MetricRegistry, core_candidates
 from repro.reporting.tables import format_table
-from repro.stats.bootstrap import bootstrap_metric, separation_fraction
+from repro.stats.bootstrap import SeparationResult, bootstrap_metric, separation_detail
 
 __all__ = ["run", "SPEC"]
 
@@ -33,11 +33,15 @@ def run(
     campaign = ctx.campaign(n_units=n_units, seed=seed)
 
     separation: dict[str, float] = {}
+    details: dict[str, SeparationResult] = {}
     ci_rows = []
     for metric in registry:
         summaries = []
         with ctx.span("metric.compute", metric=metric.symbol, experiment="R7"):
             for result in campaign.results:
+                # Explicit per-(metric, tool) child seeds keep the draws
+                # independent of evaluation order, so thread- and
+                # process-executor runs produce identical summaries.
                 summary = bootstrap_metric(
                     metric,
                     result.confusion,
@@ -55,7 +59,13 @@ def run(
                         summary.width,
                     ]
                 )
-            separation[metric.symbol] = separation_fraction(summaries)
+            detail = separation_detail(summaries)
+            details[metric.symbol] = detail
+            # No defined pair means no separation evidence at all; rank such
+            # a metric at the bottom but surface the undefined-pair count.
+            separation[metric.symbol] = (
+                detail.fraction if detail.n_defined_pairs else 0.0
+            )
     ctx.metrics.inc("experiment.R7.units_processed", len(separation))
 
     ci_table = format_table(
@@ -65,15 +75,24 @@ def run(
     )
     ranking = sorted(separation.items(), key=lambda kv: (-kv[1], kv[0]))
     separation_table = format_table(
-        headers=["metric", "separated tool pairs (fraction)"],
-        rows=[[symbol, fraction] for symbol, fraction in ranking],
-        title="Discriminative power (non-overlapping CIs over all tool pairs)",
+        headers=["metric", "separated tool pairs (fraction)", "undefined pairs"],
+        rows=[
+            [symbol, fraction, details[symbol].n_undefined_pairs]
+            for symbol, fraction in ranking
+        ],
+        title="Discriminative power (non-overlapping CIs over defined tool pairs)",
     )
     return ExperimentResult(
         experiment_id="R7",
         title="Discriminative power",
         sections={"intervals": ci_table, "separation": separation_table},
-        data={"separation": separation, "ranking": [s for s, _ in ranking]},
+        data={
+            "separation": separation,
+            "ranking": [s for s, _ in ranking],
+            "undefined_pairs": {
+                symbol: detail.n_undefined_pairs for symbol, detail in details.items()
+            },
+        },
     )
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --seed 7      # everything, custom seed
     python -m repro run R8 --out results  # also write results/<id>.txt
     python -m repro run all --jobs 4      # parallel over the dependency graph
+    python -m repro run all --jobs 4 --executor process   # multi-core
     python -m repro run all --cache-dir .cache --manifest run.json
     python -m repro run all --trace t.json --metrics-out m.json
     python -m repro run R3 R4 --profile   # cProfile each experiment -> results/
@@ -85,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run independent experiments in N threads (default 1: serial)",
+    )
+    run_parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "how --jobs parallelism executes: 'thread' (default) shares one "
+            "in-memory artifact store; 'process' uses worker processes for "
+            "CPU-bound speedups (pair with --cache-dir to share artifacts)"
+        ),
     )
     run_parser.add_argument(
         "--cache-dir",
@@ -178,11 +189,17 @@ def _cmd_run(
     trace_path: Path | None = None,
     metrics_path: Path | None = None,
     profile_dir: Path | None = None,
+    executor: str = "thread",
 ) -> int:
     from repro.obs import Observability, Profiler, Tracer
 
     if jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    if profile_dir is not None and executor == "process":
+        raise SystemExit(
+            "--profile requires --executor thread (cProfile sessions cannot "
+            "be merged across worker processes)"
+        )
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
     profiler = Profiler(profile_dir) if profile_dir is not None else None
@@ -195,6 +212,7 @@ def _cmd_run(
         jobs=jobs,
         cache_dir=str(cache_dir) if cache_dir is not None else None,
         obs=obs,
+        executor=executor,
     )
     for key in ids:
         result = run.results[key]
@@ -273,4 +291,5 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.trace,
         args.metrics_out,
         args.profile,
+        args.executor,
     )

@@ -3,17 +3,21 @@
 Public surface:
 
 - :class:`ConfusionMatrix` — the raw benchmark outcome.
+- :class:`ConfusionBatch` — ``n`` matrices as columns, for vectorized kernels.
 - :class:`Metric` and its catalog in :mod:`repro.metrics.definitions`.
 - :class:`MetricRegistry`, :func:`default_registry`, :func:`core_candidates`.
 """
 
 from repro.metrics import curves, definitions
 from repro.metrics.base import Metric, MetricFamily, MetricInfo, Orientation
+from repro.metrics.batch import ConfusionBatch, safe_div_array
 from repro.metrics.confusion import ConfusionMatrix
 from repro.metrics.registry import MetricRegistry, core_candidates, default_registry
 
 __all__ = [
     "ConfusionMatrix",
+    "ConfusionBatch",
+    "safe_div_array",
     "Metric",
     "MetricFamily",
     "MetricInfo",

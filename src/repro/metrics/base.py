@@ -13,9 +13,15 @@ import enum
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import UndefinedMetricError
+import numpy as np
+
+from repro.errors import ConfigurationError, UndefinedMetricError
 from repro.metrics.confusion import ConfusionMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.metrics.batch import ConfusionBatch
 
 __all__ = ["Metric", "MetricFamily", "Orientation", "MetricInfo"]
 
@@ -95,6 +101,29 @@ class Metric(ABC):
     def value_or_nan(self, cm: ConfusionMatrix) -> float:
         """Return the metric value, or ``nan`` where it is undefined."""
         return self._compute(cm)
+
+    def compute_batch(self, batch: "ConfusionBatch") -> np.ndarray:
+        """Evaluate the metric over every row of ``batch`` at numpy speed.
+
+        Returns a shape-``(len(batch),)`` float array with ``nan`` where the
+        metric is undefined — the vectorized counterpart of
+        :meth:`value_or_nan`, and elementwise bit-identical to it.  Metrics
+        that do not override :meth:`_compute_batch` fall back to a scalar
+        loop, so custom metrics keep working unchanged.
+        """
+        values = np.asarray(self._compute_batch(batch), dtype=float)
+        if values.shape != (len(batch),):
+            raise ConfigurationError(
+                f"{self.symbol} batch kernel returned shape {values.shape}, "
+                f"expected ({len(batch)},)"
+            )
+        return values
+
+    def _compute_batch(self, batch: "ConfusionBatch") -> np.ndarray:
+        """Batch kernel; override with vectorized numpy for hot metrics."""
+        return np.array(
+            [self._compute(batch.matrix(i)) for i in range(len(batch))], dtype=float
+        )
 
     def is_defined(self, cm: ConfusionMatrix) -> bool:
         """Whether the metric has a finite value for ``cm``."""

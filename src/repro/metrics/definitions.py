@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.metrics.base import Metric, MetricFamily, MetricInfo, Orientation, safe_div
+from repro.metrics.batch import ConfusionBatch, safe_div_array
 from repro.metrics.confusion import ConfusionMatrix
 
 __all__ = [
@@ -102,6 +105,9 @@ class Recall(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tp, cm.positives)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tp, batch.positives)
+
 
 class Specificity(Metric):
     """Fraction of safe sites the tool correctly stays silent about (TNR)."""
@@ -121,6 +127,9 @@ class Specificity(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tn, cm.negatives)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tn, batch.negatives)
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +158,9 @@ class Precision(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tp, cm.predicted_positives)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tp, batch.predicted_positives)
+
 
 class NegativePredictiveValue(Metric):
     """Fraction of unreported sites that are truly safe (NPV)."""
@@ -168,6 +180,9 @@ class NegativePredictiveValue(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tn, cm.predicted_negatives)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tn, batch.predicted_negatives)
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +212,9 @@ class Accuracy(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return (cm.tp + cm.tn) / cm.total
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return (batch.tp + batch.tn) / batch.total
+
 
 class ErrorRate(Metric):
     """Fraction of all sites classified incorrectly (1 - accuracy)."""
@@ -216,6 +234,9 @@ class ErrorRate(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return (cm.fp + cm.fn) / cm.total
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return (batch.fp + batch.fn) / batch.total
 
 
 class BalancedAccuracy(Metric):
@@ -238,6 +259,9 @@ class BalancedAccuracy(Metric):
         tpr = safe_div(cm.tp, cm.positives)
         tnr = safe_div(cm.tn, cm.negatives)
         return (tpr + tnr) / 2.0
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return (batch.tpr + batch.tnr) / 2.0
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +297,12 @@ class FMeasure(Metric):
         b2 = self.beta * self.beta
         return safe_div((1.0 + b2) * cm.tp, (1.0 + b2) * cm.tp + b2 * cm.fn + cm.fp)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        b2 = self.beta * self.beta
+        return safe_div_array(
+            (1.0 + b2) * batch.tp, (1.0 + b2) * batch.tp + b2 * batch.fn + batch.fp
+        )
+
 
 class MatthewsCorrelation(Metric):
     """Matthews correlation coefficient (phi coefficient of the 2x2 table).
@@ -300,6 +330,15 @@ class MatthewsCorrelation(Metric):
         )
         return safe_div(cm.tp * cm.tn - cm.fp * cm.fn, denominator)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        denominator = np.sqrt(
+            batch.predicted_positives
+            * batch.positives
+            * batch.negatives
+            * batch.predicted_negatives
+        )
+        return safe_div_array(batch.tp * batch.tn - batch.fp * batch.fn, denominator)
+
 
 class Informedness(Metric):
     """Youden's J: TPR + TNR - 1; probability of an informed decision.
@@ -326,6 +365,9 @@ class Informedness(Metric):
         tnr = safe_div(cm.tn, cm.negatives)
         return tpr + tnr - 1.0
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return batch.tpr + batch.tnr - 1.0
+
 
 class Markedness(Metric):
     """PPV + NPV - 1; the predictive-value dual of informedness."""
@@ -346,6 +388,11 @@ class Markedness(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         ppv = safe_div(cm.tp, cm.predicted_positives)
         npv = safe_div(cm.tn, cm.predicted_negatives)
+        return ppv + npv - 1.0
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        ppv = safe_div_array(batch.tp, batch.predicted_positives)
+        npv = safe_div_array(batch.tn, batch.predicted_negatives)
         return ppv + npv - 1.0
 
 
@@ -371,6 +418,11 @@ class GMean(Metric):
         product = tpr * tnr
         return math.sqrt(product) if product >= 0 else float("nan")
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        # tpr/tnr are >= 0 or nan, so the product is never negative and
+        # np.sqrt propagates nan quietly — same policy as the scalar guard.
+        return np.sqrt(batch.tpr * batch.tnr)
+
 
 class FowlkesMallows(Metric):
     """Geometric mean of precision and recall."""
@@ -394,6 +446,10 @@ class FowlkesMallows(Metric):
         product = ppv * tpr
         return math.sqrt(product) if product >= 0 else float("nan")
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        ppv = safe_div_array(batch.tp, batch.predicted_positives)
+        return np.sqrt(ppv * batch.tpr)
+
 
 class JaccardIndex(Metric):
     """Jaccard index / critical success index: TP over the union of alarms
@@ -414,6 +470,9 @@ class JaccardIndex(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tp, cm.tp + cm.fp + cm.fn)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tp, batch.tp + batch.fp + batch.fn)
 
 
 class CohenKappa(Metric):
@@ -440,6 +499,15 @@ class CohenKappa(Metric):
         ) / (n * n)
         return safe_div(p_observed - p_expected, 1.0 - p_expected)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        n = batch.total
+        p_observed = (batch.tp + batch.tn) / n
+        p_expected = (
+            batch.positives * batch.predicted_positives
+            + batch.negatives * batch.predicted_negatives
+        ) / (n * n)
+        return safe_div_array(p_observed - p_expected, 1.0 - p_expected)
+
 
 # ---------------------------------------------------------------------------
 # Likelihood family
@@ -465,6 +533,9 @@ class DiagnosticOddsRatio(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.tp * cm.tn, cm.fp * cm.fn)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tp * batch.tn, batch.fp * batch.fn)
+
 
 class PositiveLikelihoodRatio(Metric):
     """TPR / FPR: how much a report raises the odds the site is vulnerable."""
@@ -487,6 +558,9 @@ class PositiveLikelihoodRatio(Metric):
         fpr = safe_div(cm.fp, cm.negatives)
         return safe_div(tpr, fpr)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.tpr, batch.fpr)
+
 
 class NegativeLikelihoodRatio(Metric):
     """FNR / TNR: how much silence lowers the odds the site is vulnerable."""
@@ -508,6 +582,9 @@ class NegativeLikelihoodRatio(Metric):
         fnr = safe_div(cm.fn, cm.positives)
         tnr = safe_div(cm.tn, cm.negatives)
         return safe_div(fnr, tnr)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.fnr, batch.tnr)
 
 
 # ---------------------------------------------------------------------------
@@ -532,6 +609,9 @@ class FalsePositiveRate(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.fp, cm.negatives)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.fp, batch.negatives)
+
 
 class FalseNegativeRate(Metric):
     """Fraction of vulnerable sites missed (miss rate)."""
@@ -551,6 +631,9 @@ class FalseNegativeRate(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.fn, cm.positives)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.fn, batch.positives)
 
 
 class FalseDiscoveryRate(Metric):
@@ -572,6 +655,9 @@ class FalseDiscoveryRate(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.fp, cm.predicted_positives)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.fp, batch.predicted_positives)
+
 
 class FalseOmissionRate(Metric):
     """Fraction of unreported sites that are actually vulnerable."""
@@ -591,6 +677,9 @@ class FalseOmissionRate(Metric):
 
     def _compute(self, cm: ConfusionMatrix) -> float:
         return safe_div(cm.fn, cm.predicted_negatives)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return safe_div_array(batch.fn, batch.predicted_negatives)
 
 
 # ---------------------------------------------------------------------------
@@ -623,6 +712,12 @@ class PrevalenceThreshold(Metric):
         product = tpr * fpr
         return safe_div(math.sqrt(product) - fpr, tpr - fpr)
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        tpr, fpr = batch.tpr, batch.fpr
+        # tpr/fpr are >= 0 or nan (never negative), so the scalar guards
+        # reduce to nan propagation, which np.sqrt provides for free.
+        return safe_div_array(np.sqrt(tpr * fpr) - fpr, tpr - fpr)
+
 
 class Lift(Metric):
     """Precision relative to prevalence: how much better than blind guessing
@@ -644,6 +739,10 @@ class Lift(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         ppv = safe_div(cm.tp, cm.predicted_positives)
         return safe_div(ppv, cm.prevalence)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        ppv = safe_div_array(batch.tp, batch.predicted_positives)
+        return safe_div_array(ppv, batch.prevalence)
 
 
 # ---------------------------------------------------------------------------
@@ -683,6 +782,9 @@ class ExpectedCost(Metric):
     def _compute(self, cm: ConfusionMatrix) -> float:
         return (self.cost_fn * cm.fn + self.cost_fp * cm.fp) / cm.total
 
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        return (self.cost_fn * batch.fn + self.cost_fp * batch.fp) / batch.total
+
 
 class NormalizedExpectedCost(Metric):
     """Expected cost normalized by the cost of the trivial majority policy.
@@ -716,6 +818,14 @@ class NormalizedExpectedCost(Metric):
             self._raw.cost_fn * prevalence, self._raw.cost_fp * (1.0 - prevalence)
         )
         return safe_div(raw, trivial)
+
+    def _compute_batch(self, batch: ConfusionBatch) -> np.ndarray:
+        raw = self._raw._compute_batch(batch)
+        prevalence = batch.prevalence
+        trivial = np.minimum(
+            self._raw.cost_fn * prevalence, self._raw.cost_fp * (1.0 - prevalence)
+        )
+        return safe_div_array(raw, trivial)
 
 
 # ---------------------------------------------------------------------------

@@ -222,6 +222,38 @@ class MetricsRegistry:
                 histogram._total = float(entry["total"])
         return registry
 
+    def merge_dict(self, payload: dict[str, Any]) -> None:
+        """Fold another registry's dump into this one, in place.
+
+        Counters add, gauges take the incoming value, histograms add
+        bucket-by-bucket (bucket layouts must match).  This is how the
+        process executor folds each worker task's metrics into the parent
+        run's registry, so ``--metrics-out`` sees one merged picture no
+        matter which executor ran the experiments.
+        """
+        found = payload.get("schema")
+        if found != METRICS_SCHEMA:
+            raise ConfigurationError(
+                f"expected schema {METRICS_SCHEMA!r}, found {found!r}"
+            )
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, entry in payload.get("histograms", {}).items():
+            buckets = tuple(float(b) for b in entry["buckets"])
+            histogram = self.histogram(name, buckets)
+            if histogram.buckets != buckets:
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{histogram.buckets} != {buckets}"
+                )
+            with histogram._lock:
+                for index, count in enumerate(entry["counts"]):
+                    histogram._counts[index] += int(count)
+                histogram._count += int(entry["count"])
+                histogram._total += float(entry["total"])
+
     def render(self, prefix: str = "") -> str:
         """Human-readable tables, the body of ``repro stats``."""
         from repro.reporting.tables import format_table

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
@@ -70,6 +70,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch = time.perf_counter()
+        self.epoch_unix = time.time()
+        """Wall-clock time of the tracer's epoch; lets two tracers' span
+        timelines be aligned (see :meth:`ingest`)."""
         self._next_id = 0
 
     # -- recording ----------------------------------------------------------
@@ -112,6 +115,37 @@ class Tracer:
             )
             with self._lock:
                 self._records.append(record)
+
+    def ingest(
+        self, records: Iterable[SpanRecord], offset_seconds: float = 0.0
+    ) -> None:
+        """Stitch spans recorded by another tracer onto this timeline.
+
+        ``offset_seconds`` shifts the incoming starts onto this tracer's
+        epoch — pass the difference of the two tracers' ``epoch_unix``
+        anchors.  Span ids are remapped so merged records never collide
+        with locally recorded ones; parent links *within* the batch are
+        preserved.  This is how the process executor folds worker-side
+        span trees into the parent run's single exported trace.
+        """
+        if not self.enabled:
+            return
+        batch = list(records)
+        with self._lock:
+            mapping = {record.span_id: self._next_id + i for i, record in enumerate(batch)}
+            self._next_id += len(batch)
+            for record in batch:
+                self._records.append(
+                    SpanRecord(
+                        name=record.name,
+                        start=record.start + offset_seconds,
+                        duration=record.duration,
+                        thread_id=record.thread_id,
+                        span_id=mapping[record.span_id],
+                        parent_id=mapping.get(record.parent_id),
+                        args=record.args,
+                    )
+                )
 
     # -- reading back -------------------------------------------------------
     @property

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._rng import spawn
+from repro._rng import derive_seed, spawn
 from repro.errors import ConfigurationError
 from repro.metrics.base import Metric
 from repro.metrics.confusion import ConfusionMatrix
@@ -138,3 +138,13 @@ class AssessmentContext:
     def rng(self, key: str) -> np.random.Generator:
         """Deterministic substream for a named check."""
         return spawn(self.seed, f"properties:{key}")
+
+    def stream_seed(self, key: str) -> int:
+        """Integer seed of the named substream (:meth:`rng` without state).
+
+        ``default_rng(stream_seed(key))`` draws the same stream as
+        ``rng(key)``; checks that hand the seed to other code (for example
+        :func:`repro.stats.bootstrap.bootstrap_metric`) should pass this
+        integer so the callee's draws cannot depend on call order.
+        """
+        return derive_seed(self.seed, f"properties:{key}")

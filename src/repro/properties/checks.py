@@ -340,13 +340,13 @@ class Discriminance(MetricProperty):
                 metric,
                 cm_weak,
                 n_resamples=context.n_resamples,
-                seed=context.rng(f"disc:{index}:weak"),
+                seed=context.stream_seed(f"disc:{index}:weak"),
             )
             summary_strong = bootstrap_metric(
                 metric,
                 cm_strong,
                 n_resamples=context.n_resamples,
-                seed=context.rng(f"disc:{index}:strong"),
+                seed=context.stream_seed(f"disc:{index}:strong"),
             )
             noise = math.hypot(summary_weak.std, summary_strong.std)
             if (
@@ -392,7 +392,7 @@ class Repeatability(MetricProperty):
                 metric,
                 cm,
                 n_resamples=context.n_resamples,
-                seed=context.rng(f"repeat:{index}"),
+                seed=context.stream_seed(f"repeat:{index}"),
             )
             if math.isfinite(summary.std):
                 normalized_stds.append(summary.std / scale)

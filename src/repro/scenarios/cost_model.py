@@ -12,9 +12,15 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.metrics.confusion import ConfusionMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.metrics.batch import ConfusionBatch
 
 __all__ = ["CostStructure"]
 
@@ -47,6 +53,10 @@ class CostStructure:
     def expected_cost(self, cm: ConfusionMatrix) -> float:
         """Average misclassification cost per analysis site."""
         return (self.cost_fn * cm.fn + self.cost_fp * cm.fp) / cm.total
+
+    def expected_cost_batch(self, batch: "ConfusionBatch") -> "np.ndarray":
+        """Vectorized :meth:`expected_cost` over a batch (elementwise equal)."""
+        return (self.cost_fn * batch.fn + self.cost_fp * batch.fp) / batch.total
 
     def total_cost(self, cm: ConfusionMatrix) -> float:
         """Total misclassification cost of the whole campaign outcome."""

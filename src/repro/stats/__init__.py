@@ -2,9 +2,12 @@
 
 from repro.stats.bootstrap import (
     BootstrapSummary,
+    SeparationResult,
     bootstrap_metric,
+    bootstrap_metric_scalar,
     intervals_separated,
     percentile_interval,
+    separation_detail,
     separation_fraction,
 )
 from repro.stats.significance import (
@@ -29,9 +32,12 @@ __all__ = [
     "paired_outcomes",
     "wilson_interval",
     "BootstrapSummary",
+    "SeparationResult",
     "bootstrap_metric",
+    "bootstrap_metric_scalar",
     "intervals_separated",
     "percentile_interval",
+    "separation_detail",
     "separation_fraction",
     "kendall_tau",
     "kendalls_w",

@@ -5,6 +5,14 @@ finite workload, it still *separates* tools whose true quality differs — the
 "discriminating" characteristic of a good metric.  This module provides the
 resampling utilities behind experiment R7 (discriminative power) and the
 repeatability property check in R2.
+
+:func:`bootstrap_metric` draws all resamples with one batched multinomial and
+evaluates the metric through its vectorized kernel
+(:meth:`~repro.metrics.base.Metric.compute_batch`); the retired per-resample
+loop survives as :func:`bootstrap_metric_scalar`, the reference
+implementation the benchmarks and parity tests compare against.  Both paths
+consume the generator's bit stream identically, so they return byte-identical
+summaries for the same seed.
 """
 
 from __future__ import annotations
@@ -18,13 +26,17 @@ import numpy as np
 from repro._rng import rng_from_seed
 from repro.errors import ConfigurationError
 from repro.metrics.base import Metric
+from repro.metrics.batch import ConfusionBatch
 from repro.metrics.confusion import ConfusionMatrix
 
 __all__ = [
     "BootstrapSummary",
+    "SeparationResult",
     "bootstrap_metric",
+    "bootstrap_metric_scalar",
     "percentile_interval",
     "intervals_separated",
+    "separation_detail",
     "separation_fraction",
 ]
 
@@ -54,15 +66,57 @@ class BootstrapSummary:
         return self.ci_high - self.ci_low
 
 
-def percentile_interval(values: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:
-    """Percentile bootstrap confidence interval over ``values`` (nan-free)."""
+def percentile_interval(
+    values: Sequence[float] | np.ndarray, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval over ``values`` (nan-free).
+
+    Accepts any sequence; an existing float array is used as-is (no copy), so
+    the bootstrap fast path pays for conversion exactly once.
+    """
     if not 0.0 < confidence < 1.0:
         raise ConfigurationError(f"confidence={confidence} must be in (0, 1)")
-    if len(values) == 0:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
         raise ConfigurationError("cannot build an interval from no values")
     alpha = (1.0 - confidence) / 2.0
-    low, high = np.quantile(np.asarray(values, dtype=float), [alpha, 1.0 - alpha])
+    low, high = np.quantile(array, [alpha, 1.0 - alpha])
     return float(low), float(high)
+
+
+def _summarize(
+    metric: Metric,
+    cm: ConfusionMatrix,
+    values: np.ndarray,
+    n_resamples: int,
+    confidence: float,
+) -> BootstrapSummary:
+    """Fold per-resample metric values into a summary (shared by both paths)."""
+    finite = values[np.isfinite(values)]
+    point_estimate = metric.value_or_nan(cm)
+    if finite.size == 0:
+        nan = float("nan")
+        return BootstrapSummary(
+            metric_symbol=metric.symbol,
+            point_estimate=point_estimate,
+            mean=nan,
+            std=nan,
+            ci_low=nan,
+            ci_high=nan,
+            n_resamples=n_resamples,
+            n_defined=0,
+        )
+    ci_low, ci_high = percentile_interval(finite, confidence)
+    return BootstrapSummary(
+        metric_symbol=metric.symbol,
+        point_estimate=point_estimate,
+        mean=float(finite.mean()),
+        std=float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_resamples=n_resamples,
+        n_defined=int(finite.size),
+    )
 
 
 def bootstrap_metric(
@@ -78,39 +132,49 @@ def bootstrap_metric(
     drawn from the observed proportions) and recomputes the metric.  Undefined
     resamples are dropped but counted, because frequent undefinedness is
     itself a finding (the R2 "definedness" property).
+
+    All resamples are drawn with a single batched multinomial and evaluated
+    through the metric's vectorized kernel; for the same ``seed`` the result
+    is byte-identical to :func:`bootstrap_metric_scalar`.
+
+    .. warning::
+       Passing a ``Generator`` as ``seed`` makes the result depend on how far
+       the generator has already advanced, i.e. on *call order*.  Experiments
+       that must reproduce across execution backends (thread vs. process
+       executors schedule work differently) should pass an explicit integer
+       child seed — see :func:`repro._rng.derive_seed` — instead of sharing a
+       stateful generator.
     """
     if n_resamples < 2:
         raise ConfigurationError(f"n_resamples={n_resamples} must be >= 2")
     rng = rng_from_seed(seed)
-    values: list[float] = []
-    for _ in range(n_resamples):
-        value = metric.value_or_nan(cm.resample(rng))
-        if math.isfinite(value):
-            values.append(value)
-    if not values:
-        nan = float("nan")
-        return BootstrapSummary(
-            metric_symbol=metric.symbol,
-            point_estimate=metric.value_or_nan(cm),
-            mean=nan,
-            std=nan,
-            ci_low=nan,
-            ci_high=nan,
-            n_resamples=n_resamples,
-            n_defined=0,
-        )
-    array = np.asarray(values, dtype=float)
-    ci_low, ci_high = percentile_interval(values, confidence)
-    return BootstrapSummary(
-        metric_symbol=metric.symbol,
-        point_estimate=metric.value_or_nan(cm),
-        mean=float(array.mean()),
-        std=float(array.std(ddof=1)) if len(values) > 1 else 0.0,
-        ci_low=ci_low,
-        ci_high=ci_high,
-        n_resamples=n_resamples,
-        n_defined=len(values),
+    batch = ConfusionBatch.resample(cm, n_resamples, rng)
+    values = metric.compute_batch(batch)
+    return _summarize(metric, cm, values, n_resamples, confidence)
+
+
+def bootstrap_metric_scalar(
+    metric: Metric,
+    cm: ConfusionMatrix,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    seed: int | np.random.Generator = 0,
+) -> BootstrapSummary:
+    """Reference implementation of :func:`bootstrap_metric`: one resample and
+    one scalar metric evaluation per Python-loop iteration.
+
+    Kept (rather than deleted) so the equivalence of the vectorized path is a
+    *tested* claim — see the parity tests and ``benchmarks/bench_engine.py``,
+    which also uses this loop as the speedup baseline.
+    """
+    if n_resamples < 2:
+        raise ConfigurationError(f"n_resamples={n_resamples} must be >= 2")
+    rng = rng_from_seed(seed)
+    values = np.array(
+        [metric.value_or_nan(cm.resample(rng)) for _ in range(n_resamples)],
+        dtype=float,
     )
+    return _summarize(metric, cm, values, n_resamples, confidence)
 
 
 def intervals_separated(a: BootstrapSummary, b: BootstrapSummary) -> bool:
@@ -128,16 +192,60 @@ def intervals_separated(a: BootstrapSummary, b: BootstrapSummary) -> bool:
     return a.ci_low > b.ci_high or b.ci_low > a.ci_high
 
 
-def separation_fraction(summaries: Sequence[BootstrapSummary]) -> float:
-    """Fraction of tool pairs a metric separates (non-overlapping CIs)."""
+@dataclass(frozen=True, slots=True)
+class SeparationResult:
+    """Pairwise interval-separation census for one metric across tools.
+
+    Pairs where either interval is NaN (the metric was undefined in every
+    resample for that tool) are *counted and reported* instead of being
+    silently folded into "not separated": an undefined interval says nothing
+    about whether the tools differ, and hiding it understates both the
+    metric's separation and its definedness problem.
+    """
+
+    n_tools: int
+    n_separated: int
+    n_defined_pairs: int
+    n_undefined_pairs: int
+    """Pairs skipped because at least one interval was NaN."""
+
+    @property
+    def n_pairs(self) -> int:
+        """All tool pairs, defined or not."""
+        return self.n_defined_pairs + self.n_undefined_pairs
+
+    @property
+    def fraction(self) -> float:
+        """Separated fraction of *defined* pairs; NaN if no pair is defined."""
+        if self.n_defined_pairs == 0:
+            return float("nan")
+        return self.n_separated / self.n_defined_pairs
+
+
+def separation_detail(summaries: Sequence[BootstrapSummary]) -> SeparationResult:
+    """Vectorized pairwise census over all ``n*(n-1)/2`` tool pairs."""
     n = len(summaries)
     if n < 2:
         raise ConfigurationError("separation needs at least two tools")
-    pairs = 0
-    separated = 0
-    for i in range(n):
-        for j in range(i + 1, n):
-            pairs += 1
-            if intervals_separated(summaries[i], summaries[j]):
-                separated += 1
-    return separated / pairs
+    lows = np.array([s.ci_low for s in summaries], dtype=float)
+    highs = np.array([s.ci_high for s in summaries], dtype=float)
+    defined = np.isfinite(lows) & np.isfinite(highs)
+    i, j = np.triu_indices(n, k=1)
+    pair_defined = defined[i] & defined[j]
+    separated = (lows[i] > highs[j]) | (lows[j] > highs[i])
+    return SeparationResult(
+        n_tools=n,
+        n_separated=int(np.count_nonzero(separated & pair_defined)),
+        n_defined_pairs=int(np.count_nonzero(pair_defined)),
+        n_undefined_pairs=int(np.count_nonzero(~pair_defined)),
+    )
+
+
+def separation_fraction(summaries: Sequence[BootstrapSummary]) -> float:
+    """Fraction of tool pairs a metric separates (non-overlapping CIs).
+
+    Computed over pairs whose intervals are both defined; NaN when no such
+    pair exists.  Use :func:`separation_detail` to also see how many pairs
+    were undefined.
+    """
+    return separation_detail(summaries).fraction

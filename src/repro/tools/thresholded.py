@@ -67,23 +67,29 @@ def threshold_sweep(
     if any(not 0.0 <= t <= 1.0 for t in thresholds):
         raise ToolError("thresholds must lie in [0, 1]")
     full = tool.analyze(workload)
-    points = []
-    for threshold in sorted(thresholds):
+    ordered = sorted(thresholds)
+    confusions = []
+    for threshold in ordered:
         kept = tuple(d for d in full.detections if d.confidence >= threshold)
         report = DetectionReport(
             tool_name=f"{tool.name}@{threshold:g}",
             workload_name=workload.name,
             detections=kept,
         )
-        confusion = score_report(report, workload.truth)
-        points.append(
-            ThresholdPoint(
-                threshold=threshold,
-                confusion=confusion,
-                expected_cost=cost.expected_cost(confusion) if cost else None,
-            )
-        )
-    return points
+        confusions.append(score_report(report, workload.truth))
+    if cost is not None:
+        # One vectorized pass over the whole dial; elementwise identical to
+        # calling cost.expected_cost per point.
+        from repro.metrics.batch import ConfusionBatch
+
+        costs = cost.expected_cost_batch(ConfusionBatch.from_matrices(confusions))
+        expected = [float(value) for value in costs]
+    else:
+        expected = [None] * len(ordered)
+    return [
+        ThresholdPoint(threshold=threshold, confusion=confusion, expected_cost=value)
+        for threshold, confusion, value in zip(ordered, confusions, expected)
+    ]
 
 
 def optimal_threshold(

@@ -275,6 +275,66 @@ class TestSchedulerParallel:
         assert run.manifest.experiment_ids == requested
 
 
+class TestProcessExecutor:
+    def test_renders_match_thread_executor(self):
+        thread = run_experiments(["R1", "R4"], seed=2015, jobs=2)
+        process = run_experiments(
+            ["R1", "R4"], seed=2015, jobs=2, executor="process"
+        )
+        for key in ("R1", "R4"):
+            assert (
+                thread.results[key].render() == process.results[key].render()
+            )
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            run_experiments(["R1"], executor="fiber")
+
+    def test_profiling_requires_thread_executor(self, tmp_path):
+        from repro.obs import Observability, Profiler
+
+        obs = Observability(profiler=Profiler(tmp_path))
+        with pytest.raises(ConfigurationError, match="thread executor"):
+            run_experiments(["R1"], executor="process", obs=obs)
+
+    def test_worker_metrics_merge_into_parent(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        run_experiments(
+            ["R1", "R4"], seed=2015, jobs=2, obs=obs, executor="process"
+        )
+        counters = obs.metrics.counter_values()
+        # Scheduling is parent-side bookkeeping; cache traffic and the
+        # experiment's own counters happened in the workers and arrive
+        # only through the merged dumps.
+        assert counters["engine.experiments.scheduled"] == 2
+        assert counters["engine.experiments.completed"] == 2
+        assert counters.get("engine.cache.miss", 0) >= 1
+        assert counters.get("experiment.R4.units_processed", 0) > 0
+
+    def test_worker_spans_stitch_into_parent_trace(self):
+        from repro.obs import Observability, Tracer
+
+        obs = Observability(tracer=Tracer(enabled=True))
+        run_experiments(
+            ["R1", "R4"], seed=2015, jobs=2, obs=obs, executor="process"
+        )
+        summary = obs.tracer.summary()
+        assert "engine.run" in summary  # recorded by the parent
+        assert "experiment.R1" in summary  # recorded in a worker
+        assert "experiment.R4" in summary
+        span_ids = [record.span_id for record in obs.tracer.spans]
+        assert len(span_ids) == len(set(span_ids))  # remapped, no collisions
+
+    def test_manifest_records_worker_artifacts(self):
+        run = run_experiments(["R4"], seed=2015, executor="process")
+        record = run.manifest.record_for("R4")
+        assert record.seed == 2015
+        assert record.wall_seconds >= 0
+        assert record.cache_counts["miss"] >= 1
+
+
 class TestRunManifest:
     def run_once(self):
         return run_experiments(["R3", "R4"], seed=2015)

@@ -1,0 +1,199 @@
+"""Scalar-vs-batch parity for every registered metric kernel.
+
+The vectorized kernels in ``definitions.py`` promise to be elementwise
+*bit-identical* to ``value_or_nan`` — not merely close.  These tests sweep
+randomly generated confusion matrices (hypothesis-style, with a fixed seed so
+failures reproduce) plus a hand-picked set of degenerate matrices where one
+or more margins collapse to zero, and assert exact equality (``nan``-aware)
+for every metric the default registry knows about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import ConfusionBatch, ConfusionMatrix, Metric, default_registry
+from repro.metrics.base import MetricFamily, MetricInfo, Orientation
+from repro.metrics.batch import safe_div_array
+
+#: Matrices with collapsed margins: no positives, no negatives, no reports,
+#: no silence, single-cell masses.  These exercise every undefined branch.
+DEGENERATE = [
+    ConfusionMatrix(1, 0, 0, 0),
+    ConfusionMatrix(0, 1, 0, 0),
+    ConfusionMatrix(0, 0, 1, 0),
+    ConfusionMatrix(0, 0, 0, 1),
+    ConfusionMatrix(5, 5, 0, 0),  # everything reported
+    ConfusionMatrix(0, 0, 5, 5),  # nothing reported
+    ConfusionMatrix(5, 0, 5, 0),  # no negatives
+    ConfusionMatrix(0, 5, 0, 5),  # no positives
+    ConfusionMatrix(7, 0, 0, 3),  # perfect tool
+    ConfusionMatrix(0, 3, 7, 0),  # perfectly wrong tool
+]
+
+
+def random_matrices(n: int, seed: int, high: int = 60) -> list[ConfusionMatrix]:
+    rng = np.random.default_rng(seed)
+    matrices = []
+    while len(matrices) < n:
+        counts = rng.integers(0, high, size=4)
+        if counts.sum() == 0:
+            continue  # an empty matrix is invalid by construction
+        matrices.append(ConfusionMatrix(*(float(c) for c in counts)))
+    return matrices
+
+
+def assert_elementwise_identical(metric: Metric, matrices: list[ConfusionMatrix]) -> None:
+    batch = ConfusionBatch.from_matrices(matrices)
+    vectorized = metric.compute_batch(batch)
+    scalar = np.array([metric.value_or_nan(cm) for cm in matrices], dtype=float)
+    assert vectorized.shape == scalar.shape
+    mismatch = ~((vectorized == scalar) | (np.isnan(vectorized) & np.isnan(scalar)))
+    assert not mismatch.any(), (
+        f"{metric.symbol}: batch kernel diverges from scalar path at rows "
+        f"{np.where(mismatch)[0][:5].tolist()}: "
+        f"{vectorized[mismatch][:5]} != {scalar[mismatch][:5]}"
+    )
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize(
+        "metric", list(default_registry()), ids=lambda m: m.symbol
+    )
+    def test_random_sweep(self, metric):
+        assert_elementwise_identical(metric, random_matrices(300, seed=20150))
+
+    @pytest.mark.parametrize(
+        "metric", list(default_registry()), ids=lambda m: m.symbol
+    )
+    def test_degenerate_matrices(self, metric):
+        assert_elementwise_identical(metric, DEGENERATE)
+
+    @pytest.mark.parametrize(
+        "metric", list(default_registry()), ids=lambda m: m.symbol
+    )
+    def test_resampled_batch(self, metric):
+        # The actual shape of bootstrap inputs: multinomial resamples of one
+        # matrix, including a needle-in-haystack one that loses all its
+        # positives in some resamples.
+        for cm in (ConfusionMatrix(60, 40, 20, 380), ConfusionMatrix(1, 0, 0, 30)):
+            batch = ConfusionBatch.resample(cm, 200, seed=99)
+            vectorized = metric.compute_batch(batch)
+            scalar = np.array(
+                [metric.value_or_nan(batch.matrix(i)) for i in range(len(batch))]
+            )
+            assert np.array_equal(vectorized, scalar, equal_nan=True), metric.symbol
+
+    def test_no_numpy_warnings_leak(self):
+        # Kernels must stay silent even on fully degenerate inputs.
+        import warnings
+
+        batch = ConfusionBatch.from_matrices(DEGENERATE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for metric in default_registry():
+                metric.compute_batch(batch)
+
+
+class TestGenericFallback:
+    class _Custom(Metric):
+        """A metric without a vectorized kernel: exercises the base fallback."""
+
+        info = MetricInfo(
+            name="Custom",
+            symbol="CST",
+            formula="TP - FP",
+            family=MetricFamily.COMPOSITE,
+            orientation=Orientation.HIGHER_IS_BETTER,
+            lower_bound=-float("inf"),
+            upper_bound=float("inf"),
+            chance_corrected=False,
+            uses_tn=False,
+            popularity=0.0,
+        )
+
+        def _compute(self, cm):
+            return cm.tp - cm.fp
+
+    def test_fallback_loops_the_scalar_path(self):
+        metric = self._Custom()
+        matrices = random_matrices(25, seed=3)
+        batch = ConfusionBatch.from_matrices(matrices)
+        expected = np.array([metric.value_or_nan(cm) for cm in matrices])
+        assert np.array_equal(metric.compute_batch(batch), expected)
+
+    def test_bad_kernel_shape_is_rejected(self):
+        class Broken(self._Custom):
+            def _compute_batch(self, batch):
+                return np.zeros(len(batch) + 1)
+
+        batch = ConfusionBatch.from_matrices(DEGENERATE)
+        with pytest.raises(ConfigurationError, match="batch kernel returned shape"):
+            Broken().compute_batch(batch)
+
+
+class TestConfusionBatch:
+    def test_resample_matches_sequential_scalar_resamples(self):
+        cm = ConfusionMatrix(60, 40, 20, 380)
+        batch = ConfusionBatch.resample(cm, 50, seed=123)
+        rng = np.random.default_rng(123)
+        sequential = [cm.resample(rng) for _ in range(50)]
+        assert batch.matrices() == sequential
+
+    def test_from_matrices_round_trips(self):
+        matrices = random_matrices(10, seed=1)
+        assert ConfusionBatch.from_matrices(matrices).matrices() == matrices
+
+    def test_aggregates_mirror_scalar_properties(self):
+        matrices = random_matrices(40, seed=5) + DEGENERATE
+        batch = ConfusionBatch.from_matrices(matrices)
+        for i, cm in enumerate(matrices):
+            assert batch.total[i] == cm.total
+            assert batch.positives[i] == cm.positives
+            assert batch.negatives[i] == cm.negatives
+            assert batch.predicted_positives[i] == cm.predicted_positives
+            assert batch.predicted_negatives[i] == cm.predicted_negatives
+            assert batch.prevalence[i] == cm.prevalence
+            for rate in ("tpr", "fpr", "tnr", "fnr"):
+                left, right = getattr(batch, rate)[i], getattr(cm, rate)
+                assert left == right or (np.isnan(left) and np.isnan(right))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one matrix"):
+            ConfusionBatch.from_matrices([])
+        with pytest.raises(ConfigurationError, match="must be 1-D"):
+            ConfusionBatch(
+                tp=np.zeros((2, 2)), fp=np.zeros((2, 2)),
+                fn=np.zeros((2, 2)), tn=np.ones((2, 2)),
+            )
+        with pytest.raises(ConfigurationError, match="disagree in shape"):
+            ConfusionBatch(
+                tp=np.ones(3), fp=np.ones(2), fn=np.ones(3), tn=np.ones(3)
+            )
+        with pytest.raises(ConfigurationError, match="finite and >= 0"):
+            ConfusionBatch(
+                tp=np.array([-1.0]), fp=np.array([1.0]),
+                fn=np.array([1.0]), tn=np.array([1.0]),
+            )
+        with pytest.raises(ConfigurationError, match=">= 1 site"):
+            ConfusionBatch(
+                tp=np.array([0.0]), fp=np.array([0.0]),
+                fn=np.array([0.0]), tn=np.array([0.0]),
+            )
+        with pytest.raises(ConfigurationError, match="n_resamples"):
+            ConfusionBatch.resample(ConfusionMatrix(1, 1, 1, 1), 0, seed=0)
+
+
+class TestSafeDivArray:
+    def test_matches_scalar_safe_div(self):
+        from repro.metrics.base import safe_div
+
+        numerators = np.array([1.0, 0.0, -2.0, np.nan, 5.0])
+        denominators = np.array([2.0, 0.0, 4.0, 2.0, 0.0])
+        out = safe_div_array(numerators, denominators)
+        expected = np.array(
+            [safe_div(n, d) for n, d in zip(numerators, denominators)]
+        )
+        assert np.array_equal(out, expected, equal_nan=True)

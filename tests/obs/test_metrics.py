@@ -110,6 +110,53 @@ class TestRoundTrip:
         assert MetricsRegistry().render() == "(no metrics recorded)"
 
 
+class TestMergeDict:
+    def test_counters_add_and_gauges_take_incoming(self):
+        parent = MetricsRegistry()
+        parent.inc("engine.cache.hit", 2)
+        worker = MetricsRegistry()
+        worker.inc("engine.cache.hit", 3)
+        worker.inc("engine.cache.miss")
+        worker.set_gauge("engine.jobs", 4)
+        parent.merge_dict(worker.to_dict())
+        assert parent.counter("engine.cache.hit").value == 5
+        assert parent.counter("engine.cache.miss").value == 1
+        assert parent.gauge("engine.jobs").value == 4.0
+
+    def test_histograms_add_bucket_by_bucket(self):
+        parent = MetricsRegistry()
+        parent.observe("seconds", 0.002)
+        worker = MetricsRegistry()
+        worker.observe("seconds", 0.002)
+        worker.observe("seconds", 2.0)
+        parent.merge_dict(worker.to_dict())
+        merged = parent.histogram("seconds")
+        assert merged.count == 3
+        assert merged.total == pytest.approx(0.002 + 0.002 + 2.0)
+        assert sum(merged.counts) == 3
+
+    def test_merge_is_round_trip_equivalent(self):
+        worker = MetricsRegistry()
+        worker.inc("a", 7)
+        worker.observe("s", 0.5)
+        parent = MetricsRegistry()
+        parent.merge_dict(worker.to_dict())
+        assert parent.to_dict() == worker.to_dict()
+
+    def test_schema_drift_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="schema"):
+            parent.merge_dict({"schema": "repro/metrics@99"})
+
+    def test_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("seconds", (1.0, 2.0))
+        worker = MetricsRegistry()
+        worker.histogram("seconds", (5.0, 6.0)).observe(5.5)
+        with pytest.raises(ConfigurationError, match="bucket mismatch"):
+            parent.merge_dict(worker.to_dict())
+
+
 class TestDiffDumps:
     def dump(self, hit: int, miss: int, wall: float) -> dict:
         registry = MetricsRegistry()

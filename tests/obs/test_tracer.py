@@ -102,6 +102,61 @@ class TestThreading:
             assert dict(parent.args)["worker"] == dict(record.args)["worker"]
 
 
+class TestIngest:
+    def make_remote(self):
+        remote = Tracer()
+        with remote.span("outer"):
+            with remote.span("inner"):
+                pass
+        return remote
+
+    def test_ingested_spans_join_the_timeline(self):
+        local = Tracer()
+        with local.span("local.work"):
+            pass
+        remote = self.make_remote()
+        local.ingest(remote.spans)
+        names = {record.name for record in local.spans}
+        assert names == {"local.work", "outer", "inner"}
+
+    def test_ids_remapped_without_collisions(self):
+        local = Tracer()
+        with local.span("local.work"):
+            pass
+        remote = self.make_remote()
+        local.ingest(remote.spans)
+        ids = [record.span_id for record in local.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_parent_links_within_batch_preserved(self):
+        local = Tracer()
+        local.ingest(self.make_remote().spans)
+        by_name = {record.name: record for record in local.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_offset_shifts_starts(self):
+        local = Tracer()
+        remote = self.make_remote()
+        local.ingest(remote.spans, offset_seconds=100.0)
+        outer_remote = next(r for r in remote.spans if r.name == "outer")
+        outer_local = next(r for r in local.spans if r.name == "outer")
+        assert outer_local.start == pytest.approx(outer_remote.start + 100.0)
+
+    def test_disabled_tracer_ignores_ingest(self):
+        local = Tracer(enabled=False)
+        local.ingest(self.make_remote().spans)
+        assert len(local) == 0
+
+    def test_epoch_unix_anchors_two_tracers(self):
+        import time
+
+        before = time.time()
+        tracer = Tracer()
+        after = time.time()
+        assert before <= tracer.epoch_unix <= after
+
+
 class TestSummary:
     def test_aggregates_per_name_sorted(self):
         tracer = Tracer()

@@ -12,8 +12,10 @@ from repro.metrics.confusion import ConfusionMatrix
 from repro.stats.bootstrap import (
     BootstrapSummary,
     bootstrap_metric,
+    bootstrap_metric_scalar,
     intervals_separated,
     percentile_interval,
+    separation_detail,
     separation_fraction,
 )
 
@@ -94,6 +96,48 @@ class TestBootstrapMetric:
     def test_too_few_resamples_raises(self):
         with pytest.raises(ConfigurationError):
             bootstrap_metric(d.RECALL, CM, n_resamples=1, seed=3)
+        with pytest.raises(ConfigurationError):
+            bootstrap_metric_scalar(d.RECALL, CM, n_resamples=1, seed=3)
+
+
+class TestVectorizedMatchesScalar:
+    """The batched path must be byte-identical to the reference loop."""
+
+    @pytest.mark.parametrize(
+        "metric", [d.RECALL, d.PRECISION, d.F1, d.MCC, d.KAPPA, d.DOR, d.LIFT],
+        ids=lambda m: m.symbol,
+    )
+    @pytest.mark.parametrize("seed", [0, 3, 2015])
+    def test_summaries_identical(self, metric, seed):
+        fast = bootstrap_metric(metric, CM, n_resamples=120, seed=seed)
+        slow = bootstrap_metric_scalar(metric, CM, n_resamples=120, seed=seed)
+        assert fast == slow
+
+    def test_identical_on_partially_undefined_metric(self):
+        needle = ConfusionMatrix(tp=1, fp=0, fn=0, tn=30)
+        fast = bootstrap_metric(d.RECALL, needle, n_resamples=300, seed=3)
+        slow = bootstrap_metric_scalar(d.RECALL, needle, n_resamples=300, seed=3)
+        assert fast == slow
+        assert fast.n_defined < fast.n_resamples
+
+    def test_identical_with_generator_seed(self):
+        import numpy as np
+
+        fast = bootstrap_metric(
+            d.F1, CM, n_resamples=80, seed=np.random.default_rng(11)
+        )
+        slow = bootstrap_metric_scalar(
+            d.F1, CM, n_resamples=80, seed=np.random.default_rng(11)
+        )
+        assert fast == slow
+
+    def test_percentile_interval_accepts_ndarray(self):
+        import numpy as np
+
+        values = np.arange(101, dtype=float)
+        assert percentile_interval(values, confidence=0.9) == percentile_interval(
+            values.tolist(), confidence=0.9
+        )
 
 
 class TestSeparation:
@@ -132,3 +176,49 @@ class TestSeparation:
     def test_separation_needs_two(self):
         with pytest.raises(ConfigurationError):
             separation_fraction([make_summary(0, 1)])
+
+    def test_detail_counts_nan_pairs_instead_of_hiding_them(self):
+        nan = float("nan")
+        undefined = BootstrapSummary(
+            metric_symbol="X", point_estimate=0.5, mean=nan, std=nan,
+            ci_low=nan, ci_high=nan, n_resamples=10, n_defined=0,
+        )
+        summaries = [make_summary(0.0, 0.1), make_summary(0.2, 0.3), undefined]
+        detail = separation_detail(summaries)
+        assert detail.n_tools == 3
+        assert detail.n_pairs == 3
+        assert detail.n_undefined_pairs == 2
+        assert detail.n_defined_pairs == 1
+        assert detail.n_separated == 1
+        # The undefined pairs no longer drag the fraction down.
+        assert detail.fraction == 1.0
+        assert separation_fraction(summaries) == 1.0
+
+    def test_detail_all_nan_is_nan_fraction(self):
+        nan = float("nan")
+        undefined = BootstrapSummary(
+            metric_symbol="X", point_estimate=0.5, mean=nan, std=nan,
+            ci_low=nan, ci_high=nan, n_resamples=10, n_defined=0,
+        )
+        detail = separation_detail([undefined, undefined])
+        assert detail.n_defined_pairs == 0
+        assert math.isnan(detail.fraction)
+        assert math.isnan(separation_fraction([undefined, undefined]))
+
+    def test_detail_agrees_with_pairwise_loop(self):
+        summaries = [
+            make_summary(0.0, 0.1),
+            make_summary(0.05, 0.2),
+            make_summary(0.3, 0.4),
+            make_summary(0.45, 0.5),
+        ]
+        detail = separation_detail(summaries)
+        n = len(summaries)
+        expected = sum(
+            intervals_separated(summaries[i], summaries[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+        assert detail.n_separated == expected
+        assert detail.n_pairs == n * (n - 1) // 2
+        assert detail.n_undefined_pairs == 0

@@ -74,6 +74,20 @@ class TestEngineFlags:
         with pytest.raises(SystemExit, match="--jobs must be >= 1"):
             main(["run", "R1", "--jobs", "0"])
 
+    def test_process_executor_matches_thread_output(self, capsys):
+        main(["run", "R1", "R4", "--seed", "2015", "--jobs", "2"])
+        threaded = capsys.readouterr().out
+        main(
+            ["run", "R1", "R4", "--seed", "2015", "--jobs", "2",
+             "--executor", "process"]
+        )
+        processed = capsys.readouterr().out
+        assert processed == threaded
+
+    def test_profile_with_process_executor_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="--executor thread"):
+            main(["run", "R1", "--profile", "--executor", "process"])
+
     def test_manifest_written_with_schema(self, tmp_path, capsys):
         manifest_path = tmp_path / "run.json"
         main(["run", "R3", "R4", "--quiet", "--manifest", str(manifest_path)])
@@ -189,6 +203,15 @@ class TestParser:
         assert args.trace is None
         assert args.metrics_out is None
         assert args.profile is None
+        assert args.executor == "thread"
+
+    def test_executor_accepts_thread_and_process_only(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["run", "R1", "--executor", "process"]
+        ).executor == "process"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "R1", "--executor", "fiber"])
 
     def test_bare_profile_defaults_to_results_dir(self):
         from pathlib import Path

@@ -1,0 +1,128 @@
+"""Benchmark smoke checker: the perf claims must stay checkable in seconds.
+
+The full benchmark suite (``benchmarks/``) regenerates every reproduction
+artifact and takes minutes; CI cannot afford that on every push, but it
+*can* afford to verify that the machinery behind the committed numbers
+still works.  This checker runs three fast probes:
+
+1. **Kernel parity** — the vectorized batch kernels produce exactly the
+   scalar values over a handful of confusion matrices (including a
+   degenerate one), for every registered metric.
+2. **Resampler stream identity** — the single-call multinomial resampler
+   draws the same stream as the per-resample scalar loop at the same seed,
+   so ``bootstrap_metric`` and ``bootstrap_metric_scalar`` must return
+   identical summaries.
+3. **Dump schema** — ``results/BENCH_engine.json``, when present, carries
+   the expected schema tag and the sections the docs cite.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_engine.json"
+BENCH_JSON_SCHEMA = "repro/bench-engine@1"
+#: Sections the docs cite; a partial bench run must not silently drop one.
+REQUIRED_SECTIONS = ("suite", "bootstrap", "executor", "tracing")
+
+
+def check_kernel_parity() -> list[str]:
+    """Batch kernels must equal the scalar path, NaN-for-NaN."""
+    import math
+
+    from repro.metrics.batch import ConfusionBatch
+    from repro.metrics.confusion import ConfusionMatrix
+    from repro.metrics.registry import default_registry
+
+    matrices = [
+        ConfusionMatrix(tp=40, fp=25, fn=20, tn=515),
+        ConfusionMatrix(tp=1, fp=0, fn=0, tn=30),
+        ConfusionMatrix(tp=0, fp=0, fn=5, tn=5),  # degenerate: no positives found
+        ConfusionMatrix(tp=7, fp=3, fn=2, tn=0),
+    ]
+    batch = ConfusionBatch.from_matrices(matrices)
+    problems = []
+    for metric in default_registry():
+        values = metric.compute_batch(batch)
+        for index, cm in enumerate(matrices):
+            scalar = metric.value_or_nan(cm)
+            vector = float(values[index])
+            same = (
+                math.isnan(scalar) and math.isnan(vector)
+            ) or scalar == vector
+            if not same:
+                problems.append(
+                    f"kernel parity: {metric.symbol} at matrix {index}: "
+                    f"scalar {scalar!r} != batch {vector!r}"
+                )
+    return problems
+
+
+def check_resampler_identity() -> list[str]:
+    """Batch and scalar bootstrap must agree exactly at the same seed."""
+    from repro.metrics.confusion import ConfusionMatrix
+    from repro.metrics.registry import default_registry
+    from repro.stats.bootstrap import bootstrap_metric, bootstrap_metric_scalar
+
+    cm = ConfusionMatrix(tp=40, fp=25, fn=20, tn=515)
+    problems = []
+    for metric in list(default_registry())[:5]:
+        batch = bootstrap_metric(metric, cm, n_resamples=50, seed=2015)
+        scalar = bootstrap_metric_scalar(metric, cm, n_resamples=50, seed=2015)
+        if repr(batch) != repr(scalar):
+            problems.append(
+                f"resampler identity: {metric.symbol}: "
+                f"{batch!r} != {scalar!r}"
+            )
+    return problems
+
+
+def check_bench_json() -> list[str]:
+    """The committed dump must be schema-tagged and structurally complete."""
+    if not BENCH_JSON.exists():
+        # Fresh checkouts before the first bench run have no dump; that is
+        # not an error — the schema only has to hold once one exists.
+        return []
+    try:
+        payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"bench json: {BENCH_JSON} is not valid JSON: {error}"]
+    problems = []
+    found = payload.get("schema")
+    if found != BENCH_JSON_SCHEMA:
+        problems.append(
+            f"bench json: expected schema {BENCH_JSON_SCHEMA!r}, found {found!r}"
+        )
+    for section in REQUIRED_SECTIONS:
+        if section not in payload:
+            problems.append(f"bench json: missing section {section!r}")
+    bootstrap = payload.get("bootstrap", {})
+    if bootstrap and bootstrap.get("speedup", 0) < 1.0:
+        problems.append(
+            "bench json: recorded bootstrap speedup below 1x — the batch "
+            f"path regressed ({bootstrap.get('speedup')})"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = (
+        check_kernel_parity() + check_resampler_identity() + check_bench_json()
+    )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} benchmark problem(s)", file=sys.stderr)
+        return 1
+    print("bench ok: kernels, resampler stream, and dump schema checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
