@@ -9,9 +9,15 @@ pieces:
   shared artifacts (reference workload, campaign, properties matrices,
   upstream experiment results), with an optional on-disk JSON tier built on
   :mod:`repro.persist`;
-- :func:`run_experiments` — a scheduler that topologically orders the
-  dependency graph, optionally runs independent experiments in parallel,
-  and emits a :class:`RunManifest` recording wall times and cache traffic.
+- :func:`run_experiments` — a fault-tolerant scheduler that topologically
+  orders the dependency graph, optionally runs independent experiments in
+  parallel, survives failures (``keep_going`` / ``retries`` / ``timeout``,
+  cascade-skipping dependents), resumes interrupted runs from a prior
+  manifest, and emits a :class:`RunManifest` recording wall times, cache
+  traffic and per-experiment statuses;
+- :mod:`~repro.bench.engine.faults` — a deterministic fault-injection
+  harness (fail-on-attempt-K, hang-for-N-seconds, corrupt-artifact-bytes)
+  the test suite uses to exercise every failure path on both executors.
 
 Serial and parallel runs at the same seed produce byte-identical rendered
 reports; the manifest is how you check that the expensive artifacts were
@@ -25,15 +31,25 @@ from repro.bench.engine.artifacts import (
     ArtifactStore,
 )
 from repro.bench.engine.context import RunContext, UncacheableParameter, ensure_context
+from repro.bench.engine.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_file,
+    parse_fault,
+)
 from repro.bench.engine.manifest import (
     MANIFEST_SCHEMA,
+    STATUSES,
     ExperimentRunRecord,
+    FailureRecord,
     RunManifest,
 )
 from repro.bench.engine.process import ProcessOutcome, execute_in_process
 from repro.bench.engine.scheduler import (
     EXECUTORS,
     EngineRun,
+    ErrorPolicy,
     run_experiments,
     topological_order,
 )
@@ -53,10 +69,18 @@ __all__ = [
     "RunContext",
     "UncacheableParameter",
     "ensure_context",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_file",
+    "parse_fault",
     "MANIFEST_SCHEMA",
+    "STATUSES",
     "ExperimentRunRecord",
+    "FailureRecord",
     "RunManifest",
     "EngineRun",
+    "ErrorPolicy",
     "EXECUTORS",
     "ProcessOutcome",
     "execute_in_process",

@@ -13,6 +13,15 @@ Thread safety: a per-key lock serializes computation of the same artifact,
 so two experiments racing for the campaign under ``--jobs N`` still produce
 exactly one computation; distinct keys compute concurrently.
 
+Integrity: disk-tier entries are written atomically (temp file +
+``os.replace``) inside a sha256-digest envelope
+(:func:`repro.persist.save_cache_entry`).  A cache file that is truncated,
+garbage, digest-mismatched, or schema-drifted is *quarantined* — renamed
+to ``<name>.corrupt`` — and the artifact is transparently recomputed; the
+event is recorded with status ``corrupt`` (feeding the
+``engine.cache.corrupt`` counter) so operators can see rot without the run
+ever crashing on it.
+
 Observability: the store carries the run's :class:`~repro.obs.Observability`
 bundle — every request bumps an ``engine.cache.*`` counter, computes and
 disk loads open ``artifact.*`` spans, and compute time feeds the
@@ -23,6 +32,7 @@ log and the metrics registry therefore agree by construction.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
 from collections.abc import Callable
@@ -74,7 +84,7 @@ class ArtifactEvent:
     key: str
     """The artifact's :attr:`ArtifactKey.token`."""
     status: str
-    """``hit`` | ``disk-hit`` | ``miss`` | ``uncached``."""
+    """``hit`` | ``disk-hit`` | ``miss`` | ``uncached`` | ``corrupt``."""
     requester: str
     """Experiment id (or ``engine``) that asked for the artifact."""
     seconds: float = 0.0
@@ -128,7 +138,7 @@ class ArtifactStore:
 
     def counts(self, key_prefix: str = "") -> dict[str, int]:
         """Event totals by status, optionally filtered by key prefix."""
-        totals = {"hit": 0, "disk-hit": 0, "miss": 0, "uncached": 0}
+        totals = {"hit": 0, "disk-hit": 0, "miss": 0, "uncached": 0, "corrupt": 0}
         for event in self.events:
             if event.key.startswith(key_prefix):
                 totals[event.status] = totals.get(event.status, 0) + 1
@@ -198,17 +208,43 @@ class ArtifactStore:
             if codec is not None and self.cache_dir is not None:
                 path = self.cache_dir / key.filename
                 if path.exists():
-                    from repro.persist import load_json
+                    from repro.errors import (
+                        ArtifactCorruptError,
+                        ConfigurationError,
+                        PersistError,
+                    )
+                    from repro.persist import load_cache_entry
 
                     started = time.perf_counter()
-                    with self.obs.tracer.span("artifact.disk_load", key=key.token):
-                        value = codec.from_dict(load_json(path))
-                    elapsed = time.perf_counter() - started
-                    with self._master:
-                        self._values[key] = value
-                    self._record(key, "disk-hit", requester, elapsed)
-                    self.obs.metrics.inc("engine.artifacts.loaded")
-                    return value
+                    try:
+                        with self.obs.tracer.span(
+                            "artifact.disk_load", key=key.token
+                        ):
+                            value = codec.from_dict(load_cache_entry(path))
+                    except (
+                        PersistError,
+                        ArtifactCorruptError,
+                        ConfigurationError,
+                    ) as error:
+                        # Truncated, garbage, digest-mismatched or
+                        # schema-drifted entries must not kill a warm run:
+                        # quarantine the file and fall through to compute.
+                        quarantine = path.with_name(path.name + ".corrupt")
+                        os.replace(path, quarantine)
+                        self._record(key, "corrupt", requester)
+                        with self.obs.tracer.span(
+                            "artifact.quarantine",
+                            key=key.token,
+                            reason=type(error).__name__,
+                        ):
+                            pass
+                    else:
+                        elapsed = time.perf_counter() - started
+                        with self._master:
+                            self._values[key] = value
+                        self._record(key, "disk-hit", requester, elapsed)
+                        self.obs.metrics.inc("engine.artifacts.loaded")
+                        return value
 
             started = time.perf_counter()
             with self.obs.tracer.span(
@@ -221,9 +257,9 @@ class ArtifactStore:
             self._record(key, "miss", requester, elapsed)
             self.obs.metrics.observe("engine.artifact.compute_seconds", elapsed)
             if path is not None:
-                from repro.persist import save_json
+                from repro.persist import save_cache_entry
 
                 with self.obs.tracer.span("artifact.persist", key=key.token):
-                    save_json(codec.to_dict(value), path)
+                    save_cache_entry(codec.to_dict(value), path)
                 self.obs.metrics.inc("engine.artifacts.persisted")
             return value

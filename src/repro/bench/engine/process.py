@@ -28,14 +28,18 @@ reports.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.bench.engine.artifacts import ArtifactEvent, ArtifactStore
 from repro.bench.engine.context import RunContext
 from repro.bench.engine.spec import get_spec
 from repro.bench.result import ExperimentResult
 from repro.obs import Observability, SpanRecord, Tracer
+
+if TYPE_CHECKING:
+    from repro.bench.engine.faults import FaultSpec
 
 __all__ = ["ProcessOutcome", "execute_in_process"]
 
@@ -66,9 +70,23 @@ class ProcessOutcome:
 
 
 def execute_in_process(
-    experiment_id: str, seed: int, cache_dir: str | None, trace: bool
+    experiment_id: str,
+    seed: int,
+    cache_dir: str | None,
+    trace: bool,
+    attempt: int = 1,
+    fault: "FaultSpec | None" = None,
 ) -> ProcessOutcome:
-    """Run one experiment in this worker process; return a picklable outcome."""
+    """Run one experiment in this worker process; return a picklable outcome.
+
+    ``attempt`` is assigned by the parent scheduler (retries resubmit with
+    the same seed but a higher attempt number); ``fault`` is the
+    deterministic :class:`~repro.bench.engine.faults.FaultSpec` targeting
+    this experiment, if the run installed one — applied worker-side so the
+    process executor exercises exactly the same failure paths as the
+    thread executor.  A raised fault (or any experiment exception) pickles
+    back to the parent, which owns retry/keep-going/skip decisions.
+    """
     spec = get_spec(experiment_id)
     store_key = (seed, cache_dir)
     store = _WORKER_STORES.get(store_key)
@@ -82,13 +100,23 @@ def execute_in_process(
     child = context.for_experiment(experiment_id)
     already = len(store.events_for(experiment_id))
     params = {} if spec.seedless else {"seed": seed}
+    retry_span = (
+        obs.tracer.span(
+            "experiment.retry", experiment=experiment_id, attempt=attempt
+        )
+        if attempt > 1
+        else nullcontext()
+    )
     started = time.perf_counter()
-    with obs.tracer.span(
-        f"experiment.{experiment_id}",
-        title=spec.title,
-        seed=None if spec.seedless else seed,
-    ):
-        result = child.experiment(experiment_id, **params)
+    with retry_span:
+        with obs.tracer.span(
+            f"experiment.{experiment_id}",
+            title=spec.title,
+            seed=None if spec.seedless else seed,
+        ):
+            if fault is not None:
+                fault.apply(attempt)
+            result = child.experiment(experiment_id, **params)
     elapsed = time.perf_counter() - started
     return ProcessOutcome(
         experiment_id=spec.experiment_id,

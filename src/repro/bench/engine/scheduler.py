@@ -1,4 +1,4 @@
-"""Dependency-aware experiment scheduler.
+"""Dependency-aware, fault-tolerant experiment scheduler.
 
 Orders the requested experiments topologically over their declared
 ``depends_on`` edges and runs them — serially in canonical order, or in
@@ -12,12 +12,39 @@ seeds (see :mod:`repro._rng`), and shared artifacts are deduplicated under
 per-key locks, so a parallel run produces byte-identical rendered reports
 to a serial run at the same seed; only the wall clock changes.
 
+Fault tolerance (the :class:`ErrorPolicy`): real campaigns are long and
+failure-prone, so a failing experiment no longer aborts the suite by
+default semantics alone —
+
+- ``retries=N`` re-runs a failed experiment up to N extra times *with the
+  same explicit seed*, so a transient-failure rerun is bit-identical to a
+  clean run;
+- ``keep_going=True`` captures a terminal failure as a structured
+  :class:`~repro.bench.engine.manifest.FailureRecord` in the manifest,
+  cascade-**skips** its in-set dependents (with a recorded reason), and
+  lets every independent experiment run to completion;
+- ``timeout=SECONDS`` bounds each attempt's wall time; an over-budget
+  experiment is recorded with status ``timeout`` and its future abandoned
+  (threads cannot be killed — the stale result, when it eventually
+  arrives, is discarded rather than recorded);
+- without ``keep_going``, the first terminal failure aborts the run: not-
+  yet-started futures are cancelled, in-flight ones drained, and a
+  :class:`~repro.errors.ExperimentFailedError` (or
+  :class:`~repro.errors.ExperimentTimeoutError`) is raised with the
+  original exception as ``__cause__``.
+
+``resume_from=`` re-executes only a prior manifest's non-completed
+experiments (against the warm artifact store / disk cache) and carries the
+completed records over, so a crash-interrupted campaign finishes without
+redoing finished work.
+
 Observability: the whole run executes under an ``engine.run`` span, each
-experiment under an ``experiment.<id>`` span (optionally wrapped in
-cProfile via ``--profile``), and the scheduler feeds the
-``engine.experiments.*`` counters and ``engine.experiment.seconds``
-histogram; when tracing is on, the span summary lands in the manifest's
-``extra["observability"]``.
+experiment under an ``experiment.<id>`` span (retry attempts additionally
+under ``experiment.retry``), and the scheduler feeds the
+``engine.experiments.*`` counters — ``scheduled`` / ``completed`` /
+``failed`` / ``retried`` / ``skipped`` / ``timeout`` — plus the
+``engine.experiment.seconds`` histogram; when tracing is on, the span
+summary lands in the manifest's ``extra["observability"]``.
 """
 
 from __future__ import annotations
@@ -31,21 +58,60 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.bench.engine.artifacts import ArtifactStore
 from repro.bench.engine.context import RunContext
-from repro.bench.engine.manifest import ExperimentRunRecord, RunManifest
+from repro.bench.engine.faults import FaultPlan
+from repro.bench.engine.manifest import (
+    ExperimentRunRecord,
+    FailureRecord,
+    RunManifest,
+)
 from repro.bench.engine.process import ProcessOutcome, execute_in_process
 from repro.bench.engine.spec import ExperimentSpec, get_spec
 from repro.bench.result import DEFAULT_SEED, ExperimentResult
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    ExperimentFailedError,
+    ExperimentTimeoutError,
+)
 from repro.obs import Observability
 
-__all__ = ["EngineRun", "EXECUTORS", "run_experiments", "topological_order"]
+__all__ = [
+    "EngineRun",
+    "ErrorPolicy",
+    "EXECUTORS",
+    "run_experiments",
+    "topological_order",
+]
 
 #: Valid values for ``run_experiments(..., executor=...)`` / ``--executor``.
 EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ErrorPolicy:
+    """What the scheduler does when an experiment fails or hangs."""
+
+    keep_going: bool = False
+    """Record terminal failures and continue instead of aborting."""
+    retries: int = 0
+    """Extra attempts per experiment after the first failure."""
+    timeout: float | None = None
+    """Per-attempt wall-clock budget in seconds (``None`` = unbounded)."""
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.timeout}"
+            )
 
 
 @dataclass(frozen=True)
@@ -53,10 +119,16 @@ class EngineRun:
     """Results + manifest of one engine invocation."""
 
     results: dict[str, ExperimentResult]
-    """Experiment results keyed by id, in requested order."""
+    """Results of experiments that *completed*, keyed by id, in requested
+    order (failed/skipped/timed-out experiments have no result)."""
     manifest: RunManifest
     store: ArtifactStore
     """The artifact store used (reusable for warm follow-up runs)."""
+
+    @property
+    def ok(self) -> bool:
+        """Whether every experiment completed."""
+        return self.manifest.ok
 
 
 def topological_order(ids: Sequence[str]) -> list[ExperimentSpec]:
@@ -88,31 +160,44 @@ def topological_order(ids: Sequence[str]) -> list[ExperimentSpec]:
     return ordered
 
 
-def _execute(spec: ExperimentSpec, context: RunContext) -> ExperimentRunRecord:
-    """Run one experiment via the context; return its manifest record."""
+def _execute(
+    spec: ExperimentSpec,
+    context: RunContext,
+    attempt: int = 1,
+    faults: FaultPlan | None = None,
+) -> ExperimentRunRecord:
+    """Run one attempt of one experiment; return its manifest record.
+
+    Lifecycle counters are the *scheduler's* job — a record returned here
+    only counts once the scheduler accepts it, so an abandoned (timed-out)
+    attempt that eventually finishes cannot skew the totals.
+    """
     obs = context.obs
     child = context.for_experiment(spec.experiment_id)
     already = len(context.store.events_for(spec.experiment_id))
     params = {} if spec.seedless else {"seed": context.seed}
-    obs.metrics.inc("engine.experiments.scheduled")
+    retry_span = (
+        obs.tracer.span(
+            "experiment.retry", experiment=spec.experiment_id, attempt=attempt
+        )
+        if attempt > 1
+        else nullcontext()
+    )
     started = time.perf_counter()
-    try:
+    with retry_span:
         with obs.tracer.span(
             f"experiment.{spec.experiment_id}",
             title=spec.title,
             seed=None if spec.seedless else context.seed,
         ):
+            if faults is not None:
+                faults.apply(spec.experiment_id, attempt)
             if obs.profiler is not None:
                 with obs.profiler.profile(spec.experiment_id):
                     child.experiment(spec.experiment_id, **params)
             else:
                 child.experiment(spec.experiment_id, **params)
-    except BaseException:
-        obs.metrics.inc("engine.experiments.failed")
-        raise
     elapsed = time.perf_counter() - started
-    obs.metrics.inc("engine.experiments.completed")
-    obs.metrics.observe("engine.experiment.seconds", elapsed)
     events = context.store.events_for(spec.experiment_id)[already:]
     return ExperimentRunRecord(
         experiment_id=spec.experiment_id,
@@ -120,17 +205,23 @@ def _execute(spec: ExperimentSpec, context: RunContext) -> ExperimentRunRecord:
         seed=None if spec.seedless else context.seed,
         wall_seconds=elapsed,
         artifacts=tuple(events),
+        attempts=attempt,
     )
 
 
 def run_experiments(
-    ids: Sequence[str],
+    ids: Sequence[str] = (),
     seed: int = DEFAULT_SEED,
     jobs: int = 1,
     store: ArtifactStore | None = None,
     cache_dir: str | None = None,
     obs: Observability | None = None,
     executor: str = "thread",
+    keep_going: bool = False,
+    retries: int = 0,
+    timeout: float | None = None,
+    faults: FaultPlan | None = None,
+    resume_from: RunManifest | None = None,
 ) -> EngineRun:
     """Run ``ids`` through the engine; returns results plus a manifest.
 
@@ -138,8 +229,20 @@ def run_experiments(
     by default, or in worker processes with ``executor="process"`` (which
     always uses a :class:`~concurrent.futures.ProcessPoolExecutor`, even at
     ``jobs=1``).  Determinism is unaffected: every experiment receives the
-    same explicit seed either way, and shared artifacts are computed
-    exactly once under per-key locks regardless of arrival order.
+    same explicit seed either way (retries included), and shared artifacts
+    are computed exactly once under per-key locks regardless of arrival
+    order.
+
+    ``keep_going`` / ``retries`` / ``timeout`` form the error policy (see
+    :class:`ErrorPolicy` and the module docstring).  ``faults`` installs a
+    deterministic :class:`~repro.bench.engine.faults.FaultPlan`, used by
+    the test suite and the CI smoke to exercise the failure paths.
+
+    ``resume_from`` takes a prior run's manifest: only its non-completed
+    experiments are (re-)executed — at the *manifest's* seed, so the
+    combined results are bit-identical to a single clean run — and its
+    completed records are carried into the new manifest unchanged (their
+    results are not re-collected).  ``ids`` is ignored when resuming.
 
     ``obs`` carries the run's tracer/metrics/profiler bundle; when a
     ``store`` is reused across runs, passing ``obs`` rebinds the store's
@@ -148,13 +251,30 @@ def run_experiments(
     bundle; profiling is thread-executor-only, because cProfile sessions
     cannot be merged across processes.
     """
+    policy = ErrorPolicy(keep_going=keep_going, retries=retries, timeout=timeout)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if executor not in EXECUTORS:
         raise ConfigurationError(
             f"executor must be one of {EXECUTORS}, got {executor!r}"
         )
-    ordered = topological_order(ids)
+
+    carried: dict[str, ExperimentRunRecord] = {}
+    if resume_from is not None:
+        seed = resume_from.seed
+        requested = list(resume_from.experiment_ids)
+        carried = {
+            record.experiment_id: record
+            for record in resume_from.records
+            if record.completed
+        }
+        run_ids = [key for key in requested if key not in carried]
+    else:
+        # Duplicate requested ids collapse to one execution and one record.
+        requested = list(dict.fromkeys(get_spec(i).experiment_id for i in ids))
+        run_ids = list(requested)
+
+    ordered = topological_order(run_ids)
     if store is None:
         store = ArtifactStore(cache_dir=cache_dir, obs=obs)
     elif obs is not None:
@@ -176,32 +296,41 @@ def run_experiments(
         experiments=len(ordered),
         executor=executor,
     ):
-        if executor == "process":
-            records.update(_run_process(ordered, context, jobs))
-        elif jobs == 1 or len(ordered) == 1:
-            for spec in ordered:
-                records[spec.experiment_id] = _execute(spec, context)
+        if not ordered:
+            pass
+        elif (
+            executor == "thread"
+            and policy.timeout is None
+            and (jobs == 1 or len(ordered) == 1)
+        ):
+            records.update(_run_serial(ordered, context, policy, faults))
         else:
-            records.update(_run_parallel(ordered, context, jobs))
+            records.update(
+                _run_pooled(ordered, context, jobs, executor, policy, faults)
+            )
     wall = time.perf_counter() - run_started
     obs.metrics.inc("engine.runs")
     obs.metrics.set_gauge("engine.wall_seconds", wall)
     obs.metrics.set_gauge("engine.jobs", jobs)
 
-    # Duplicate requested ids collapse to one execution and one record.
     # Result collection peeks at the store without recording cache events,
-    # so manifest and metrics totals reflect experiment work only.
-    requested = list(dict.fromkeys(get_spec(i).experiment_id for i in ids))
+    # so manifest and metrics totals reflect experiment work only.  Only
+    # completed experiments of *this* run have results to collect.
     results = {
         key: context.for_experiment(key).experiment_result(
             key, **({} if get_spec(key).seedless else {"seed": seed})
         )
         for key in requested
+        if key in records and records[key].completed
     }
-    manifest_records = tuple(records[key] for key in requested)
-    extra = {}
+    manifest_records = tuple(
+        carried[key] if key in carried else records[key] for key in requested
+    )
+    extra: dict[str, object] = {}
     if obs.tracer.enabled:
         extra["observability"] = {"spans": obs.tracer.summary()}
+    if resume_from is not None:
+        extra["resume"] = {"carried": sorted(carried)}
     manifest = RunManifest(
         seed=seed,
         jobs=jobs,
@@ -213,51 +342,132 @@ def run_experiments(
     return EngineRun(results=results, manifest=manifest, store=store)
 
 
-def _run_parallel(
-    ordered: Sequence[ExperimentSpec], context: RunContext, jobs: int
+# ---------------------------------------------------------------------------
+# Shared failure bookkeeping
+# ---------------------------------------------------------------------------
+def _note_completed(obs: Observability, record: ExperimentRunRecord) -> None:
+    obs.metrics.inc("engine.experiments.completed")
+    obs.metrics.observe("engine.experiment.seconds", record.wall_seconds)
+
+
+def _failed_record(
+    spec: ExperimentSpec, seed: int, failure: FailureRecord, status: str
+) -> ExperimentRunRecord:
+    return ExperimentRunRecord(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        seed=None if spec.seedless else seed,
+        wall_seconds=0.0,
+        artifacts=(),
+        status=status,
+        attempts=failure.attempts,
+        failure=failure,
+    )
+
+
+def _skip_record(
+    spec: ExperimentSpec, seed: int, dep: str, dep_status: str
+) -> ExperimentRunRecord:
+    return ExperimentRunRecord(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        seed=None if spec.seedless else seed,
+        wall_seconds=0.0,
+        artifacts=(),
+        status="skipped",
+        attempts=0,
+        skip_reason=f"dependency {dep} {dep_status}",
+    )
+
+
+def _fatal_error(key: str, error: BaseException, attempts: int) -> EngineError:
+    fatal = ExperimentFailedError(
+        f"experiment {key} failed after {attempts} attempt(s): "
+        f"{type(error).__name__}: {error}",
+        experiment_id=key,
+        attempts=attempts,
+    )
+    fatal.__cause__ = error
+    return fatal
+
+
+# ---------------------------------------------------------------------------
+# Serial fast path (thread semantics, no pool, no timeout)
+# ---------------------------------------------------------------------------
+def _run_serial(
+    ordered: Sequence[ExperimentSpec],
+    context: RunContext,
+    policy: ErrorPolicy,
+    faults: FaultPlan | None,
 ) -> dict[str, ExperimentRunRecord]:
-    """Submit experiments as their in-set dependencies complete."""
+    obs = context.obs
     in_set = {spec.experiment_id for spec in ordered}
-    pending = {
-        spec.experiment_id: {dep for dep in spec.depends_on if dep in in_set}
-        for spec in ordered
-    }
-    specs = {spec.experiment_id: spec for spec in ordered}
+    failed_like: dict[str, str] = {}  # id -> terminal non-completed status
     records: dict[str, ExperimentRunRecord] = {}
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
-        futures: dict[Future, str] = {}
-
-        def submit_ready() -> None:
-            ready = sorted(
-                (key for key, deps in pending.items() if not deps),
-                key=lambda key: specs[key].index,
+    for spec in ordered:
+        key = spec.experiment_id
+        bad = [
+            dep
+            for dep in spec.depends_on
+            if dep in in_set and dep in failed_like
+        ]
+        if bad:
+            records[key] = _skip_record(
+                spec, context.seed, bad[0], failed_like[bad[0]]
             )
-            for key in ready:
-                del pending[key]
-                futures[pool.submit(_execute, specs[key], context)] = key
-
-        submit_ready()
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                key = futures.pop(future)
-                records[key] = future.result()  # re-raises experiment errors
-                for deps in pending.values():
-                    deps.discard(key)
-            submit_ready()
+            failed_like[key] = "skipped"
+            obs.metrics.inc("engine.experiments.skipped")
+            continue
+        obs.metrics.inc("engine.experiments.scheduled")
+        attempt = 1
+        while True:
+            try:
+                record = _execute(spec, context, attempt=attempt, faults=faults)
+            except Exception as error:
+                if attempt <= policy.retries:
+                    obs.metrics.inc("engine.experiments.retried")
+                    attempt += 1
+                    continue
+                obs.metrics.inc("engine.experiments.failed")
+                if not policy.keep_going:
+                    raise _fatal_error(key, error, attempt) from error
+                failure = FailureRecord.from_exception(error, attempts=attempt)
+                records[key] = _failed_record(
+                    spec, context.seed, failure, "failed"
+                )
+                failed_like[key] = "failed"
+                break
+            _note_completed(obs, record)
+            records[key] = record
+            break
     return records
 
 
-def _run_process(
-    ordered: Sequence[ExperimentSpec], context: RunContext, jobs: int
+# ---------------------------------------------------------------------------
+# Pooled path (thread or process executor)
+# ---------------------------------------------------------------------------
+def _run_pooled(
+    ordered: Sequence[ExperimentSpec],
+    context: RunContext,
+    jobs: int,
+    executor: str,
+    policy: ErrorPolicy,
+    faults: FaultPlan | None,
 ) -> dict[str, ExperimentRunRecord]:
-    """Submit experiments to worker processes as dependencies complete.
+    """Submit experiments as their in-set dependencies complete.
 
-    Workers compute; the parent merges.  Each completed
-    :class:`~repro.bench.engine.process.ProcessOutcome` seeds the parent
-    store with the experiment result (so result collection peeks find it),
-    folds the worker's metrics dump into the parent registry, and stitches
-    the worker's spans onto the parent timeline.
+    Workers compute; the parent merges and judges.  Submission is
+    throttled to the number of free worker slots so a per-attempt
+    ``timeout`` measures execution time, not queue time.  A future that
+    outlives its deadline is *abandoned*: its slot stays occupied until it
+    actually finishes (threads cannot be killed), but its eventual result
+    is discarded and its dependents are cascade-skipped immediately.
+
+    On a fatal error (first terminal failure without ``keep_going``),
+    not-yet-started futures are cancelled and in-flight ones drained
+    before the exception is re-raised — a fast-fail run neither leaks
+    workers nor interleaves half-finished store writes with the caller's
+    error handling.
     """
     store = context.store
     obs = store.obs
@@ -270,41 +480,180 @@ def _run_process(
     }
     specs = {spec.experiment_id: spec for spec in ordered}
     records: dict[str, ExperimentRunRecord] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures: dict[Future, str] = {}
+    failed_like: dict[str, str] = {}
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+
+    pool = pool_cls(max_workers=jobs)
+    # future -> (experiment id, attempt, monotonic deadline or None)
+    active: dict[Future, tuple[str, int, float | None]] = {}
+    abandoned: set[Future] = set()
+    try:
+
+        def submit(key: str, attempt: int) -> None:
+            deadline = (
+                None
+                if policy.timeout is None
+                else time.monotonic() + policy.timeout
+            )
+            if executor == "process":
+                fault = (
+                    faults.for_experiment(key) if faults is not None else None
+                )
+                future = pool.submit(
+                    execute_in_process,
+                    key,
+                    context.seed,
+                    cache_dir,
+                    trace,
+                    attempt,
+                    fault,
+                )
+            else:
+                future = pool.submit(
+                    _execute, specs[key], context, attempt, faults
+                )
+            active[future] = (key, attempt, deadline)
+
+        def cascade_skip() -> None:
+            changed = True
+            while changed:
+                changed = False
+                for key in list(pending):
+                    bad = [dep for dep in pending[key] if dep in failed_like]
+                    if bad:
+                        del pending[key]
+                        records[key] = _skip_record(
+                            specs[key], context.seed, bad[0], failed_like[bad[0]]
+                        )
+                        failed_like[key] = "skipped"
+                        obs.metrics.inc("engine.experiments.skipped")
+                        changed = True
 
         def submit_ready() -> None:
-            ready = sorted(
-                (key for key, deps in pending.items() if not deps),
-                key=lambda key: specs[key].index,
-            )
-            for key in ready:
+            while len(active) + len(abandoned) < jobs:
+                ready = sorted(
+                    (key for key, deps in pending.items() if not deps),
+                    key=lambda key: specs[key].index,
+                )
+                if not ready:
+                    return
+                key = ready[0]
                 del pending[key]
                 obs.metrics.inc("engine.experiments.scheduled")
-                future = pool.submit(
-                    execute_in_process, key, context.seed, cache_dir, trace
-                )
-                futures[future] = key
+                submit(key, 1)
+
+        def drain_and_raise(fatal: EngineError) -> None:
+            # Cancel whatever never started; drain whatever is running so
+            # no worker outlives the run or races a store write against
+            # the caller's error handling.
+            still_running = [
+                future
+                for future in (*active, *abandoned)
+                if not future.cancel()
+            ]
+            if still_running:
+                wait(still_running)
+            raise fatal
 
         submit_ready()
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+        while active or (pending and abandoned):
+            now = time.monotonic()
+            deadlines = [
+                deadline
+                for (_, _, deadline) in active.values()
+                if deadline is not None
+            ]
+            wait_timeout = (
+                max(0.0, min(deadlines) - now) if deadlines else None
+            )
+            done, _ = wait(
+                set(active) | abandoned,
+                timeout=wait_timeout,
+                return_when=FIRST_COMPLETED,
+            )
             for future in done:
-                key = futures.pop(future)
-                try:
-                    outcome = future.result()  # re-raises experiment errors
-                except BaseException:
+                if future in abandoned:
+                    # A timed-out straggler finally finished; its result
+                    # was already recorded as a timeout — discard.
+                    abandoned.discard(future)
+                    continue
+                key, attempt, _ = active.pop(future)
+                error = future.exception()
+                if error is None:
+                    if executor == "process":
+                        records[key] = _merge_outcome(
+                            specs[key], context, future.result(), attempt
+                        )
+                    else:
+                        record = future.result()
+                        _note_completed(obs, record)
+                        records[key] = record
+                    for deps in pending.values():
+                        deps.discard(key)
+                elif isinstance(error, Exception) and attempt <= policy.retries:
+                    obs.metrics.inc("engine.experiments.retried")
+                    submit(key, attempt + 1)
+                else:
                     obs.metrics.inc("engine.experiments.failed")
-                    raise
-                records[key] = _merge_outcome(specs[key], context, outcome)
-                for deps in pending.values():
-                    deps.discard(key)
+                    if not policy.keep_going or not isinstance(
+                        error, Exception
+                    ):
+                        drain_and_raise(_fatal_error(key, error, attempt))
+                    failure = FailureRecord.from_exception(
+                        error, attempts=attempt
+                    )
+                    records[key] = _failed_record(
+                        specs[key], context.seed, failure, "failed"
+                    )
+                    failed_like[key] = "failed"
+            now = time.monotonic()
+            for future, (key, attempt, deadline) in list(active.items()):
+                if deadline is None or future.done() or now < deadline:
+                    continue
+                del active[future]
+                if not future.cancel():
+                    abandoned.add(future)
+                obs.metrics.inc("engine.experiments.timeout")
+                failure = FailureRecord(
+                    error_type="ExperimentTimeoutError",
+                    message=(
+                        f"attempt {attempt} exceeded the "
+                        f"{policy.timeout}s timeout"
+                    ),
+                    traceback="",
+                    attempts=attempt,
+                )
+                if not policy.keep_going:
+                    drain_and_raise(
+                        ExperimentTimeoutError(
+                            f"experiment {key} exceeded the "
+                            f"{policy.timeout}s timeout "
+                            f"(attempt {attempt})",
+                            experiment_id=key,
+                            timeout=policy.timeout,
+                        )
+                    )
+                records[key] = _failed_record(
+                    specs[key], context.seed, failure, "timeout"
+                )
+                failed_like[key] = "timeout"
+            cascade_skip()
             submit_ready()
+    finally:
+        # A timed-out worker cannot be killed, and the caller must not
+        # wait out the hang a timeout was meant to bound: when futures
+        # were abandoned, shut down without waiting (stragglers are
+        # joined at interpreter exit).  A clean or drained run has no
+        # live futures, so waiting there is instant.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
     return records
 
 
 def _merge_outcome(
-    spec: ExperimentSpec, context: RunContext, outcome: ProcessOutcome
+    spec: ExperimentSpec,
+    context: RunContext,
+    outcome: ProcessOutcome,
+    attempt: int = 1,
 ) -> ExperimentRunRecord:
     """Fold one worker outcome into the parent run's store and bundle."""
     obs = context.obs
@@ -326,4 +675,5 @@ def _merge_outcome(
         seed=outcome.seed,
         wall_seconds=outcome.wall_seconds,
         artifacts=outcome.events,
+        attempts=attempt,
     )

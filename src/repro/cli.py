@@ -11,6 +11,8 @@ Usage::
     python -m repro run all --cache-dir .cache --manifest run.json
     python -m repro run all --trace t.json --metrics-out m.json
     python -m repro run R3 R4 --profile   # cProfile each experiment -> results/
+    python -m repro run all --keep-going --retries 2 --manifest run.json
+    python -m repro run --resume run.json # re-run only what didn't complete
     python -m repro stats m.json          # print a metrics dump as tables
 
 Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
@@ -19,6 +21,12 @@ produces byte-identical reports to a serial run, only faster.  Everything
 the CLI knows about an experiment (title, artifact kind, seedlessness,
 dependencies) comes from its registered
 :class:`~repro.bench.engine.spec.ExperimentSpec`.
+
+Failure handling: ``--keep-going`` isolates failures (dependents are
+cascade-skipped, independents still run), ``--retries N`` re-attempts at
+the same seed, ``--timeout SECONDS`` bounds each attempt, and the exit
+code is non-zero whenever any experiment did not complete.  ``--resume
+MANIFEST`` re-executes only the non-completed experiments of a prior run.
 """
 
 from __future__ import annotations
@@ -51,9 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         metavar="ID",
-        help="experiment ids (e.g. R6 R11) or 'all'",
+        help="experiment ids (e.g. R6 R11) or 'all' (optional with --resume)",
     )
     run_parser.add_argument(
         "--seed",
@@ -140,6 +148,58 @@ def build_parser() -> argparse.ArgumentParser:
             "plus a hotspots.txt table to DIR (default: results/)"
         ),
     )
+    run_parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "on experiment failure, keep running experiments that do not "
+            "depend on the failed one (dependents are skipped); the exit "
+            "code is still non-zero"
+        ),
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-attempt a failed experiment up to N extra times at the same "
+            "seed (default 0; timeouts are never retried)"
+        ),
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-attempt wall-clock budget in seconds; experiments past it "
+            "are recorded with status 'timeout' (never retried)"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "re-execute only the non-completed experiments of a prior run's "
+            "--manifest file; seed is taken from the manifest, completed "
+            "records are carried over verbatim"
+        ),
+    )
+    run_parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        dest="inject_faults",
+        help=(
+            "testing only: inject a deterministic fault, e.g. 'R3' (always "
+            "fail), 'R3:fail=2' (fail first 2 attempts), 'R3:hang=1.5' "
+            "(sleep 1.5s per attempt); repeatable"
+        ),
+    )
 
     stats_parser = subparsers.add_parser(
         "stats", help="print a --metrics-out dump as readable tables"
@@ -190,8 +250,17 @@ def _cmd_run(
     metrics_path: Path | None = None,
     profile_dir: Path | None = None,
     executor: str = "thread",
+    keep_going: bool = False,
+    retries: int = 0,
+    timeout: float | None = None,
+    resume_path: Path | None = None,
+    inject_faults: list[str] | None = None,
 ) -> int:
+    from repro.bench.engine.faults import FaultPlan, parse_fault
+    from repro.bench.engine.manifest import RunManifest
+    from repro.errors import EngineError
     from repro.obs import Observability, Profiler, Tracer
+    from repro.persist import load_json
 
     if jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
@@ -200,23 +269,66 @@ def _cmd_run(
             "--profile requires --executor thread (cProfile sessions cannot "
             "be merged across worker processes)"
         )
+    resume_from = None
+    if resume_path is not None:
+        if not resume_path.exists():
+            raise SystemExit(f"no such manifest: {resume_path}")
+        resume_from = RunManifest.from_dict(load_json(resume_path))
+        ids = resume_from.experiment_ids
+    faults = (
+        FaultPlan(tuple(parse_fault(spec) for spec in inject_faults))
+        if inject_faults
+        else None
+    )
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
     profiler = Profiler(profile_dir) if profile_dir is not None else None
     obs = Observability(
         tracer=Tracer(enabled=trace_path is not None), profiler=profiler
     )
-    run = run_experiments(
-        ids,
-        seed=seed,
-        jobs=jobs,
-        cache_dir=str(cache_dir) if cache_dir is not None else None,
-        obs=obs,
-        executor=executor,
-    )
+    try:
+        run = run_experiments(
+            ids,
+            seed=seed,
+            jobs=jobs,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            obs=obs,
+            executor=executor,
+            keep_going=keep_going,
+            retries=retries,
+            timeout=timeout,
+            faults=faults,
+            resume_from=resume_from,
+        )
+    except EngineError as error:
+        raise SystemExit(f"run aborted — {error}") from error
     for key in ids:
-        result = run.results[key]
         record = run.manifest.record_for(key)
+        if not record.completed:
+            if record.status == "skipped":
+                print(f"[{key} skipped: {record.skip_reason}]", file=sys.stderr)
+            else:
+                failure = record.failure
+                detail = (
+                    f"{failure.error_type}: {failure.message}"
+                    if failure is not None
+                    else record.status
+                )
+                print(
+                    f"[{key} {record.status} after {record.attempts} "
+                    f"attempt{'s' if record.attempts != 1 else ''}: {detail}]",
+                    file=sys.stderr,
+                )
+            continue
+        result = run.results.get(key)
+        if result is None:
+            # Carried over verbatim from the resumed manifest; its rendered
+            # report was produced by the original run.
+            print(
+                f"[{key} completed in {record.wall_seconds:.1f}s (resumed)]",
+                file=sys.stderr,
+            )
+            continue
         if not quiet:
             print(result.render())
             print()
@@ -258,7 +370,7 @@ def _cmd_run(
             file=sys.stderr,
         )
     print(f"[{run.manifest.summary_line()}]", file=sys.stderr)
-    return 0
+    return 0 if run.manifest.ok else 1
 
 
 def _cmd_stats(metrics_file: Path, prefix: str) -> int:
@@ -279,8 +391,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "stats":
         return _cmd_stats(args.metrics_file, args.prefix)
+    if not args.experiments and args.resume is None:
+        raise SystemExit(
+            "experiment ids required (e.g. 'repro run R6 R11' or "
+            "'repro run all'), unless resuming with --resume MANIFEST"
+        )
+    if args.experiments and args.resume is not None:
+        raise SystemExit(
+            "--resume re-runs the manifest's own experiment set; "
+            "don't pass experiment ids alongside it"
+        )
     return _cmd_run(
-        _normalize_ids(args.experiments),
+        _normalize_ids(args.experiments) if args.experiments else [],
         args.seed,
         args.out,
         args.quiet,
@@ -292,4 +414,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.metrics_out,
         args.profile,
         args.executor,
+        args.keep_going,
+        args.retries,
+        args.timeout,
+        args.resume,
+        args.inject_faults,
     )

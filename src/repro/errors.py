@@ -3,7 +3,14 @@
 All exceptions raised by this library derive from :class:`ReproError` so a
 caller can catch library failures with a single ``except`` clause while still
 letting programming errors (``TypeError``, ``ValueError`` from misuse of the
-Python language itself) propagate untouched.
+Python language itself) propagate untouched.  That contract covers the
+experiment engine too: scheduler-level failures surface as
+:class:`EngineError` subclasses, and persistence failures as
+:class:`PersistError`, so ``except ReproError`` still catches everything
+the library itself raises.  The one deliberate exception is
+:class:`repro.bench.engine.faults.InjectedFault`, which simulates an
+*arbitrary third-party tool crash* and therefore derives from
+``RuntimeError`` on purpose.
 """
 
 from __future__ import annotations
@@ -49,3 +56,59 @@ class InconsistentJudgmentError(McdaError):
 
 class ElicitationError(ReproError):
     """Expert judgment elicitation could not be completed."""
+
+
+class PersistError(ReproError):
+    """A persisted artifact could not be read back (truncated, garbage...).
+
+    Carries the offending ``path`` so callers (and the artifact store's
+    quarantine logic) can act on the file without parsing the message.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class EngineError(ReproError):
+    """Base class for experiment-engine failures (scheduling, execution)."""
+
+
+class ExperimentFailedError(EngineError):
+    """An experiment exhausted its retry budget and terminally failed.
+
+    ``__cause__`` carries the last underlying exception; ``experiment_id``
+    and ``attempts`` identify what failed and how hard the engine tried.
+    """
+
+    def __init__(
+        self, message: str, experiment_id: str | None = None, attempts: int = 1
+    ) -> None:
+        super().__init__(message)
+        self.experiment_id = experiment_id
+        self.attempts = attempts
+
+
+class ExperimentTimeoutError(EngineError):
+    """An experiment exceeded the run's ``--timeout`` budget."""
+
+    def __init__(
+        self,
+        message: str,
+        experiment_id: str | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.experiment_id = experiment_id
+        self.timeout = timeout
+
+
+class ArtifactCorruptError(EngineError):
+    """A disk-cached artifact failed its integrity check (digest/schema).
+
+    The artifact store quarantines the file and recomputes; this error is
+    what the integrity layer raises internally to trigger that path."""
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path

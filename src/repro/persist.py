@@ -6,17 +6,27 @@ many times.  This module round-trips the three artifacts worth archiving —
 workloads, detection reports and scored campaigns — through plain JSON with
 an explicit schema tag, so archives fail loudly rather than misparse when
 the format evolves.
+
+Durability: every write goes through :func:`save_json`, which serializes in
+memory, writes a sibling temp file and atomically :func:`os.replace`\\ s it
+into place — an interrupted write can never leave truncated JSON at the
+final path.  The artifact store's disk tier additionally wraps payloads in
+a sha256-digest envelope (:func:`save_cache_entry` /
+:func:`load_cache_entry`) so silently corrupted bytes are detected on load
+and quarantined instead of poisoning warm runs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from repro.bench.campaign import CampaignResult, ToolResult
 from repro.bench.result import ExperimentResult
-from repro.errors import ConfigurationError
+from repro.errors import ArtifactCorruptError, ConfigurationError, PersistError
 from repro.metrics.confusion import ConfusionMatrix
 from repro.tools.base import Detection, DetectionReport
 from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
@@ -35,6 +45,10 @@ __all__ = [
     "experiment_result_from_dict",
     "save_json",
     "load_json",
+    "payload_digest",
+    "save_cache_entry",
+    "load_cache_entry",
+    "CACHE_ENTRY_SCHEMA",
 ]
 
 _WORKLOAD_SCHEMA = "repro/workload@1"
@@ -315,12 +329,94 @@ def experiment_result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
 # Files
 # ---------------------------------------------------------------------------
 def save_json(payload: dict[str, Any], path: str | Path) -> None:
-    """Write a serialized artifact to ``path`` (stable key order)."""
-    Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    """Atomically write a serialized artifact to ``path`` (stable key order).
+
+    The payload is serialized in memory first, written to a sibling
+    temporary file, and moved into place with :func:`os.replace` — so a
+    crash (or a serialization error) mid-write can never leave a partial
+    file at the final path: readers see either the old content or the new
+    content, never truncated JSON.
+    """
+    path = Path(path)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_json(path: str | Path) -> dict[str, Any]:
-    """Read a serialized artifact from ``path``."""
-    return json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read a serialized artifact from ``path``.
+
+    Truncated or garbage files raise :class:`~repro.errors.PersistError`
+    (carrying the path) instead of leaking a raw ``JSONDecodeError``.
+    """
+    path = Path(path)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise PersistError(
+            f"corrupt JSON in {path}: {error}", path=str(path)
+        ) from error
+
+
+# ---------------------------------------------------------------------------
+# Integrity-checked cache entries (the artifact store's disk tier)
+# ---------------------------------------------------------------------------
+CACHE_ENTRY_SCHEMA = "repro/cache-entry@1"
+
+
+def payload_digest(payload: dict[str, Any]) -> str:
+    """The sha256 hex digest of ``payload``'s canonical JSON form."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def save_cache_entry(payload: dict[str, Any], path: str | Path) -> None:
+    """Atomically write ``payload`` wrapped in a digest-bearing envelope.
+
+    The envelope records the sha256 of the payload's canonical JSON, so a
+    reader can detect silent corruption (bit flips, partial copies, manual
+    edits) that still happens to parse as JSON.
+    """
+    save_json(
+        {
+            "schema": CACHE_ENTRY_SCHEMA,
+            "sha256": payload_digest(payload),
+            "payload": payload,
+        },
+        path,
+    )
+
+
+def load_cache_entry(path: str | Path) -> dict[str, Any]:
+    """Read an envelope written by :func:`save_cache_entry`; verify digest.
+
+    Raises :class:`~repro.errors.PersistError` for unreadable JSON and
+    :class:`~repro.errors.ArtifactCorruptError` when the envelope is not a
+    cache entry or the embedded digest does not match the payload.
+    """
+    envelope = load_json(path)
+    found = envelope.get("schema") if isinstance(envelope, dict) else None
+    if found != CACHE_ENTRY_SCHEMA:
+        raise ArtifactCorruptError(
+            f"{path}: expected cache envelope {CACHE_ENTRY_SCHEMA!r}, "
+            f"found {found!r}",
+            path=str(path),
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptError(
+            f"{path}: cache envelope has no payload object", path=str(path)
+        )
+    expected = envelope.get("sha256")
+    actual = payload_digest(payload)
+    if expected != actual:
+        raise ArtifactCorruptError(
+            f"{path}: payload digest mismatch (recorded {expected!r}, "
+            f"computed {actual!r})",
+            path=str(path),
+        )
+    return payload

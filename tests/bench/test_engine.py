@@ -187,14 +187,26 @@ class TestArtifactStore:
         assert second.truth == first.truth
         assert second.units == first.units
 
-    def test_disk_payload_schema_checked(self, tmp_path):
+    def test_schema_mismatched_disk_payload_quarantined(self, tmp_path):
+        # Pre-integrity-envelope (or plain wrong-schema) cache files are
+        # quarantined and recomputed, not fatal.
+        from repro.bench.experiments.r3_campaign import reference_workload
+
         key = ArtifactKey("workload", "reference", (("seed", 7),))
-        (tmp_path / key.filename).write_text(
+        path = tmp_path / key.filename
+        path.write_text(
             json.dumps({"schema": "repro/workload@99"}), encoding="utf-8"
         )
         store = ArtifactStore(cache_dir=tmp_path)
-        with pytest.raises(ConfigurationError, match="schema"):
-            store.get_or_compute(key, lambda: None, codec=workload_codec())
+        value = store.get_or_compute(
+            key,
+            lambda: reference_workload(seed=7, n_units=40),
+            codec=workload_codec(),
+        )
+        assert len(value.units) == 40
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert store.counts()["corrupt"] == 1
+        assert store.counts()["miss"] == 1
 
     def test_no_codec_means_memory_only(self, tmp_path):
         store = ArtifactStore(cache_dir=tmp_path)

@@ -191,8 +191,14 @@ class TestObservabilityFlags:
 
 class TestParser:
     def test_run_requires_at_least_one_id(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run"])
+        # ids are optional at parse time (--resume supplies them), so the
+        # check happens in main().
+        with pytest.raises(SystemExit, match="experiment ids required"):
+            main(["run"])
+
+    def test_run_rejects_ids_alongside_resume(self, tmp_path):
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["run", "R1", "--resume", str(tmp_path / "m.json")])
 
     def test_defaults(self):
         args = build_parser().parse_args(["run", "R1"])

@@ -6,13 +6,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ArtifactCorruptError, ConfigurationError, PersistError
 from repro.persist import (
     campaign_from_dict,
     campaign_to_dict,
+    load_cache_entry,
     load_json,
+    payload_digest,
     report_from_dict,
     report_to_dict,
+    save_cache_entry,
     save_json,
     workload_from_dict,
     workload_to_dict,
@@ -103,6 +106,91 @@ class TestFiles:
         save_json(workload_to_dict(small_workload), a)
         save_json(workload_to_dict(small_workload), b)
         assert a.read_text() == b.read_text()
+
+
+class TestCorruptFiles:
+    def test_truncated_json_raises_persist_error_with_path(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        save_json({"a": list(range(100))}, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistError, match="truncated.json") as exc_info:
+            load_json(path)
+        assert exc_info.value.path == str(path)
+
+    def test_garbage_json_raises_persist_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"not json {{{ \x00\xff")
+        with pytest.raises(PersistError, match="corrupt JSON"):
+            load_json(path)
+
+    def test_persist_error_is_catchable_as_repro_error(self, tmp_path):
+        from repro.errors import ReproError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_json(path)
+
+
+class TestAtomicSave:
+    def test_failed_serialization_leaves_existing_file_intact(self, tmp_path):
+        path = tmp_path / "keep.json"
+        save_json({"version": 1}, path)
+        with pytest.raises(TypeError):
+            save_json({"bad": object()}, path)
+        assert load_json(path) == {"version": 1}
+
+    def test_no_tmp_residue_after_save(self, tmp_path):
+        path = tmp_path / "clean.json"
+        save_json({"ok": True}, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["clean.json"]
+
+    def test_no_tmp_residue_after_failed_save(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json({"bad": object()}, tmp_path / "never.json")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCacheEntryEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "entry.json"
+        payload = {"schema": "repro/workload@1", "name": "w", "n": [1, 2, 3]}
+        save_cache_entry(payload, path)
+        assert load_cache_entry(path) == payload
+
+    def test_digest_is_deterministic(self):
+        payload = {"b": 2, "a": 1}
+        assert payload_digest(payload) == payload_digest({"a": 1, "b": 2})
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "entry.json"
+        save_cache_entry({"value": 1}, path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["payload"]["value"] = 2
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        with pytest.raises(ArtifactCorruptError, match="digest"):
+            load_cache_entry(path)
+
+    def test_raw_legacy_payload_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "entry.json"
+        path.write_text(
+            json.dumps({"schema": "repro/workload@1"}), encoding="utf-8"
+        )
+        with pytest.raises(ArtifactCorruptError, match="envelope"):
+            load_cache_entry(path)
+
+    def test_truncated_envelope_raises_persist_error(self, tmp_path):
+        path = tmp_path / "entry.json"
+        save_cache_entry({"value": 1}, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistError):
+            load_cache_entry(path)
 
 
 class TestExperimentResultRoundTrip:

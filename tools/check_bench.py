@@ -14,6 +14,10 @@ still works.  This checker runs three fast probes:
    identical summaries.
 3. **Dump schema** — ``results/BENCH_engine.json``, when present, carries
    the expected schema tag and the sections the docs cite.
+4. **Fault-injection smoke** — a real ``repro run --keep-going`` with an
+   injected mid-graph failure must isolate it (independents complete,
+   dependents skip), write a structurally sound partial manifest, and
+   exit non-zero.
 
 Usage::
 
@@ -23,7 +27,10 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_engine.json"
@@ -111,16 +118,73 @@ def check_bench_json() -> list[str]:
     return problems
 
 
+def check_fault_injection() -> list[str]:
+    """An injected failure must isolate, manifest correctly, and exit 1."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest_path = Path(tmp) / "manifest.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run", "R1", "R3", "R4",
+                "--quiet", "--jobs", "2", "--keep-going",
+                "--inject-fault", "R3", "--manifest", str(manifest_path),
+            ],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        problems = []
+        if proc.returncode == 0:
+            problems.append(
+                "fault smoke: keep-going run with a failure exited 0 "
+                "(must be non-zero)"
+            )
+        if not manifest_path.exists():
+            problems.append(
+                "fault smoke: no manifest written for the partial run"
+            )
+            return problems
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        statuses = {
+            entry["experiment_id"]: entry["status"]
+            for entry in payload["experiments"]
+        }
+        expected = {"R1": "completed", "R3": "failed", "R4": "skipped"}
+        if statuses != expected:
+            problems.append(
+                f"fault smoke: expected statuses {expected}, got {statuses}"
+            )
+        failed = next(
+            e for e in payload["experiments"] if e["experiment_id"] == "R3"
+        )
+        if failed.get("failure", {}).get("error_type") != "InjectedFault":
+            problems.append(
+                "fault smoke: R3's manifest record lacks a structured "
+                f"InjectedFault failure: {failed.get('failure')!r}"
+            )
+        return problems
+
+
 def main() -> int:
     problems = (
-        check_kernel_parity() + check_resampler_identity() + check_bench_json()
+        check_kernel_parity()
+        + check_resampler_identity()
+        + check_bench_json()
+        + check_fault_injection()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} benchmark problem(s)", file=sys.stderr)
         return 1
-    print("bench ok: kernels, resampler stream, and dump schema checked")
+    print(
+        "bench ok: kernels, resampler stream, dump schema, and "
+        "fault-injection smoke checked"
+    )
     return 0
 
 
