@@ -1,0 +1,225 @@
+"""Bench — sharded streaming campaigns: exactness, throughput, memory bound.
+
+Three claims back the scaling docs, and each is measured here rather than
+asserted from theory:
+
+1. **Exactness** — the streaming accumulator's totals are bit-identical to
+   the in-memory path (`materialized_totals`) at the canonical seed,
+   including a shard size that does not divide the corpus evenly.
+2. **Throughput** — units/second through the full CLI path
+   (``repro run --scale N --shard-size K``), measured in a child process
+   so peak RSS (``ru_maxrss``) is the run's own high-water mark, not the
+   test harness's.
+3. **Bounded memory** — growing the corpus 10x at a fixed shard size must
+   not grow peak RSS anywhere near 10x: the corpus never exists in memory,
+   only one shard plus the accumulator's running totals.
+
+Numbers land in ``results/BENCH_shard.json`` (schema-tagged) and the
+throughput table in ``docs/scaling.md`` is regenerated in place between
+its markers, so the docs cite committed measurements.
+
+The default run is a smoke-sized sweep; set ``BENCH_SHARD_FULL=1`` to
+measure the million-unit campaign the docs table reports (several minutes
+on one core).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.bench.streaming import (
+    CampaignAccumulator,
+    evaluate_shard,
+    materialized_totals,
+)
+from repro.tools.suite import reference_suite
+from repro.workload.sharded import plan_shards
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "results" / "BENCH_shard.json"
+BENCH_JSON_SCHEMA = "repro/bench-shard@1"
+SEED = 2015
+
+SCALING_DOC = ROOT / "docs" / "scaling.md"
+DOC_TABLE_BEGIN = "<!-- shard-bench:rows:begin -->"
+DOC_TABLE_END = "<!-- shard-bench:rows:end -->"
+
+#: Smoke sweep (seconds); BENCH_SHARD_FULL=1 adds the scales the docs cite.
+SMOKE_SCALES = [(2_000, 500), (10_000, 2_000)]
+FULL_SCALES = [(100_000, 10_000), (1_000_000, 10_000)]
+
+#: Child process that runs the real CLI path and reports its own rusage.
+_CHILD = """
+import json, resource, sys, time
+from repro.cli import main
+scale, shard_size = int(sys.argv[1]), int(sys.argv[2])
+started = time.perf_counter()
+code = main(["run", "--scale", str(scale), "--shard-size", str(shard_size),
+             "--quiet", "--seed", "2015"])
+wall = time.perf_counter() - started
+print(json.dumps({
+    "exit_code": code,
+    "wall_seconds": wall,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _full() -> bool:
+    return os.environ.get("BENCH_SHARD_FULL") == "1"
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one bench's numbers into the dump without clobbering others."""
+    data: dict = {"schema": BENCH_JSON_SCHEMA}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            existing = {}
+        if existing.get("schema") == BENCH_JSON_SCHEMA:
+            data = existing
+    data[section] = payload
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _measure_cli(scale: int, shard_size: int) -> dict:
+    """One ``repro run --scale`` in a child process; wall + peak RSS."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(scale), str(shard_size)],
+        env=env,
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=3600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    sample = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert sample["exit_code"] == 0
+    return {
+        "scale": scale,
+        "shard_size": shard_size,
+        "wall_seconds": round(sample["wall_seconds"], 3),
+        "units_per_second": round(scale / sample["wall_seconds"], 1),
+        "peak_rss_mb": round(sample["peak_rss_kb"] / 1024, 1),
+    }
+
+
+def _render_doc_table(rows: list[dict]) -> str:
+    lines = [
+        "| units | shard size | wall (s) | units/s | peak RSS (MB) |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['scale']:,} | {row['shard_size']:,} "
+            f"| {row['wall_seconds']:.1f} | {row['units_per_second']:,.0f} "
+            f"| {row['peak_rss_mb']:.0f} |"
+        )
+    return "\n".join(lines)
+
+
+def _refresh_scaling_doc(rows: list[dict]) -> None:
+    """Rewrite docs/scaling.md's throughput table between its markers."""
+    if not SCALING_DOC.exists():
+        return
+    text = SCALING_DOC.read_text(encoding="utf-8")
+    if DOC_TABLE_BEGIN not in text or DOC_TABLE_END not in text:
+        return
+    head, rest = text.split(DOC_TABLE_BEGIN, 1)
+    _, tail = rest.split(DOC_TABLE_END, 1)
+    SCALING_DOC.write_text(
+        head + DOC_TABLE_BEGIN + "\n" + _render_doc_table(rows) + "\n"
+        + DOC_TABLE_END + tail,
+        encoding="utf-8",
+    )
+
+
+def test_bench_shard_streaming_exactness():
+    """Streaming totals == in-memory totals, exactly, ragged split included."""
+    plan = plan_shards(scale=2_000, shard_size=512, seed=SEED)
+    tools = reference_suite(seed=SEED)
+    accumulator = CampaignAccumulator([tool.name for tool in tools])
+    for spec in plan:
+        accumulator.fold(
+            evaluate_shard(tools, plan.generate(spec.index), spec.index)
+        )
+    streaming = accumulator.result()
+    reference = materialized_totals(tools, plan)
+    identical = streaming.confusions == reference.confusions
+    assert identical, "streaming totals diverged from the in-memory path"
+    assert streaming.n_sites == reference.n_sites
+    _update_bench_json(
+        "parity",
+        {
+            "seed": SEED,
+            "scale": plan.scale,
+            "shard_size": plan.shard_size,
+            "n_shards": plan.n_shards,
+            "n_sites": streaming.n_sites,
+            "identical": identical,
+        },
+    )
+
+
+def test_bench_shard_throughput(results_dir):
+    """Units/second and peak RSS through the CLI, across scales."""
+    from repro.reporting.tables import format_table
+
+    sweep = SMOKE_SCALES + (FULL_SCALES if _full() else [])
+    rows = [_measure_cli(scale, shard_size) for scale, shard_size in sweep]
+    _update_bench_json("throughput", {"seed": SEED, "jobs": 1, "rows": rows})
+    rendered = format_table(
+        headers=["units", "shard size", "wall s", "units/s", "peak RSS MB"],
+        rows=[
+            [
+                row["scale"],
+                row["shard_size"],
+                row["wall_seconds"],
+                row["units_per_second"],
+                row["peak_rss_mb"],
+            ]
+            for row in rows
+        ],
+        title=f"Sharded campaign throughput (seed {SEED}, jobs=1)",
+    )
+    (results_dir / "shard_scale.txt").write_text(rendered + "\n", encoding="utf-8")
+    print(rendered)
+    if _full():
+        _refresh_scaling_doc(rows)
+
+
+def test_bench_shard_memory_is_bounded():
+    """10x the corpus at fixed shard size must stay far from 10x the RSS."""
+    if _full():
+        small_scale, large_scale, shard_size = 100_000, 1_000_000, 10_000
+    else:
+        small_scale, large_scale, shard_size = 2_000, 20_000, 1_000
+    small = _measure_cli(small_scale, shard_size)
+    large = _measure_cli(large_scale, shard_size)
+    growth = large["peak_rss_mb"] / small["peak_rss_mb"]
+    _update_bench_json(
+        "memory",
+        {
+            "shard_size": shard_size,
+            "small": small,
+            "large": large,
+            "corpus_growth": large_scale / small_scale,
+            "rss_growth": round(growth, 2),
+        },
+    )
+    # The corpus grew 10x; a streaming run's high-water mark is one shard
+    # plus constant accumulator state, so RSS growth must stay small.
+    assert growth < 3.0, (
+        f"peak RSS grew {growth:.2f}x for a 10x corpus — streaming is "
+        "holding more than one shard"
+    )

@@ -31,6 +31,13 @@ from repro.bench.campaign import (
     run_campaign,
     score_report,
 )
+from repro.bench.streaming import (
+    CampaignAccumulator,
+    ShardCells,
+    StreamingCampaignResult,
+    evaluate_shard,
+    materialized_totals,
+)
 
 __all__ = [
     "RunNoiseSummary",
@@ -52,6 +59,11 @@ __all__ = [
     "ToolResult",
     "run_campaign",
     "score_report",
+    "CampaignAccumulator",
+    "ShardCells",
+    "StreamingCampaignResult",
+    "evaluate_shard",
+    "materialized_totals",
     "ArtifactStore",
     "EngineRun",
     "ExperimentSpec",

@@ -46,6 +46,15 @@ from repro.bench.engine.manifest import (
     RunManifest,
 )
 from repro.bench.engine.process import ProcessOutcome, execute_in_process
+from repro.bench.engine.shards import (
+    SHARD_MANIFEST_SCHEMA,
+    SHARD_STATUSES,
+    ShardedCampaignRun,
+    ShardRunManifest,
+    ShardRunRecord,
+    run_sharded_campaign,
+    shard_fault_id,
+)
 from repro.bench.engine.scheduler import (
     EXECUTORS,
     EngineRun,
@@ -84,6 +93,13 @@ __all__ = [
     "EXECUTORS",
     "ProcessOutcome",
     "execute_in_process",
+    "SHARD_MANIFEST_SCHEMA",
+    "SHARD_STATUSES",
+    "ShardedCampaignRun",
+    "ShardRunManifest",
+    "ShardRunRecord",
+    "run_sharded_campaign",
+    "shard_fault_id",
     "run_experiments",
     "topological_order",
     "ExperimentSpec",

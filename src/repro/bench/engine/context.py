@@ -75,12 +75,14 @@ def _canonical(value: Any) -> Any:
 
 
 def workload_codec() -> ArtifactCodec:
+    """Disk codec for Workload artifacts (repro/workload@1)."""
     from repro.persist import workload_from_dict, workload_to_dict
 
     return ArtifactCodec(to_dict=workload_to_dict, from_dict=workload_from_dict)
 
 
 def campaign_codec() -> ArtifactCodec:
+    """Disk codec for CampaignResult artifacts (repro/campaign@1)."""
     from repro.persist import campaign_from_dict, campaign_to_dict
 
     return ArtifactCodec(to_dict=campaign_to_dict, from_dict=campaign_from_dict)

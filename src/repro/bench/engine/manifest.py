@@ -74,6 +74,7 @@ class FailureRecord:
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """Serialize for the manifest."""
         return {
             "error_type": self.error_type,
             "message": self.message,
@@ -83,6 +84,7 @@ class FailureRecord:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "FailureRecord":
+        """Rebuild a failure record from its manifest entry."""
         return cls(
             error_type=payload["error_type"],
             message=payload["message"],
@@ -120,6 +122,7 @@ class ExperimentRunRecord:
 
     @property
     def completed(self) -> bool:
+        """Whether this experiment finished and delivered its report."""
         return self.status == "completed"
 
     @property
@@ -131,6 +134,7 @@ class ExperimentRunRecord:
         return totals
 
     def to_dict(self) -> dict[str, Any]:
+        """Serialize for the manifest (failure record inline, if any)."""
         payload: dict[str, Any] = {
             "experiment_id": self.experiment_id,
             "title": self.title,
@@ -176,6 +180,7 @@ class RunManifest:
 
     @property
     def experiment_ids(self) -> list[str]:
+        """The run's experiment ids, in record order."""
         return [record.experiment_id for record in self.records]
 
     @property

@@ -1,0 +1,724 @@
+"""Shard campaign runner: million-unit campaigns as engine sub-tasks.
+
+:func:`run_sharded_campaign` drives a :class:`~repro.workload.sharded.
+ShardPlan` through the engine's machinery the way the scheduler drives
+experiments: each shard is an independent sub-task that generates its
+workload, evaluates the tool suite, and returns a
+:class:`~repro.bench.streaming.ShardCells`; the parent folds cells into a
+:class:`~repro.bench.streaming.CampaignAccumulator` as they arrive and
+discards the shard, so peak memory is bounded by ``jobs`` shards, never by
+the corpus.
+
+Engine semantics carry over wholesale:
+
+- **executors** — shards run serially, in a thread pool, or in worker
+  processes (``executor="process"``), with per-worker persistent artifact
+  stores exactly like :mod:`repro.bench.engine.process`;
+- **caching** — each shard's cells are memoized in the artifact store
+  under ``kind="shard-cells"`` and persisted to ``cache_dir`` as
+  ``repro/shard-cells@1`` entries, so a warm re-run folds cached cells
+  without generating or analyzing anything;
+- **fault tolerance** — ``retries`` re-attempts a failed shard (the shard
+  seed is a pure function of its index, so a recovered run is
+  bit-identical to a clean one), ``keep_going`` records the failure and
+  finishes every other shard, and ``resume_from`` re-executes only the
+  non-completed shards of a prior :class:`ShardRunManifest`, folding the
+  carried cells verbatim;
+- **fault injection** — a :class:`~repro.bench.engine.faults.FaultPlan`
+  targets shards by :func:`shard_fault_id` (``S000003`` for shard 3), so
+  ``--inject-fault s3:fail=1`` exercises the retry path deterministically;
+- **observability** — every shard runs under ``shard.generate`` /
+  ``shard.evaluate`` spans and feeds the ``engine.shards.*`` counters, so
+  a million-unit run is traceable in Perfetto like any experiment run.
+
+Totals are exact for any executor, fold order, retry count, or resume
+history — see :mod:`repro.bench.streaming` for the contract.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.engine.artifacts import ArtifactCodec, ArtifactKey, ArtifactStore
+from repro.bench.engine.faults import FaultPlan, FaultSpec
+from repro.bench.engine.manifest import FailureRecord
+from repro.bench.result import DEFAULT_SEED
+from repro.bench.streaming import (
+    CampaignAccumulator,
+    ShardCells,
+    StreamingCampaignResult,
+    evaluate_shard,
+)
+from repro.errors import ConfigurationError, ExperimentFailedError
+from repro.obs import Observability, SpanRecord, Tracer
+from repro.tools.suite import reference_suite
+from repro.workload.sharded import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
+
+__all__ = [
+    "SHARD_MANIFEST_SCHEMA",
+    "SHARD_STATUSES",
+    "ShardRunRecord",
+    "ShardRunManifest",
+    "ShardedCampaignRun",
+    "shard_fault_id",
+    "run_sharded_campaign",
+]
+
+SHARD_MANIFEST_SCHEMA = "repro/shard-run@1"
+
+#: Valid values of :attr:`ShardRunRecord.status` (shards have no
+#: dependencies, so there is no ``skipped``; timeouts are unsupported).
+SHARD_STATUSES = ("completed", "failed")
+
+
+def shard_fault_id(index: int) -> str:
+    """The fault-plan id targeting shard ``index`` (``S000003`` for 3).
+
+    Matches what ``parse_fault`` produces for ``--inject-fault s3`` /
+    ``--inject-fault S000003`` after its uppercasing, so the CLI's fault
+    syntax addresses shards without new parsing rules.
+    """
+    return f"S{index:06d}"
+
+
+def _fault_for_shard(faults: FaultPlan | None, index: int) -> FaultSpec | None:
+    """The fault targeting shard ``index``, accepting padded or bare ids."""
+    if faults is None:
+        return None
+    for candidate in (shard_fault_id(index), f"S{index}"):
+        fault = faults.for_experiment(candidate)
+        if fault is not None:
+            return fault
+    return None
+
+
+def _shard_cells_codec() -> ArtifactCodec:
+    from repro.persist import shard_cells_from_dict, shard_cells_to_dict
+
+    return ArtifactCodec(
+        to_dict=shard_cells_to_dict, from_dict=shard_cells_from_dict
+    )
+
+
+def _shard_key(plan: ShardPlan, index: int) -> ArtifactKey:
+    """The artifact-store key of shard ``index``'s cells."""
+    return ArtifactKey(
+        kind="shard-cells",
+        name=f"s{index:06d}",
+        params=(
+            ("scale", plan.scale),
+            ("seed", plan.seed),
+            ("shard_size", plan.shard_size),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ShardRunRecord:
+    """One shard's entry in the shard-run manifest."""
+
+    index: int
+    seed: int
+    """The shard's own generation seed (derived, recorded for audit)."""
+    n_units: int
+    status: str = "completed"
+    """``completed`` | ``failed``."""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    cells: ShardCells | None = None
+    """The shard's confusion cells (``None`` for failed shards); stored in
+    the manifest so ``--resume`` folds them without re-evaluating."""
+    failure: FailureRecord | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in SHARD_STATUSES:
+            raise ConfigurationError(
+                f"invalid shard status {self.status!r}; expected one of "
+                f"{SHARD_STATUSES}"
+            )
+        if self.status == "completed" and self.cells is None:
+            raise ConfigurationError(
+                f"completed shard {self.index} record carries no cells"
+            )
+
+    @property
+    def completed(self) -> bool:
+        """Whether this shard delivered its cells."""
+        return self.status == "completed"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize for the manifest (cells inline as shard-cells@1)."""
+        from repro.persist import shard_cells_to_dict
+
+        payload: dict[str, Any] = {
+            "index": self.index,
+            "seed": self.seed,
+            "n_units": self.n_units,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.cells is not None:
+            payload["cells"] = shard_cells_to_dict(self.cells)
+        if self.failure is not None:
+            payload["failure"] = self.failure.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardRunRecord":
+        """Rebuild one record (cells validation re-runs on construction)."""
+        from repro.persist import shard_cells_from_dict
+
+        return cls(
+            index=payload["index"],
+            seed=payload["seed"],
+            n_units=payload["n_units"],
+            status=payload.get("status", "completed"),
+            attempts=payload.get("attempts", 1),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            cells=(
+                shard_cells_from_dict(payload["cells"])
+                if payload.get("cells") is not None
+                else None
+            ),
+            failure=(
+                FailureRecord.from_dict(payload["failure"])
+                if payload.get("failure") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ShardRunManifest:
+    """The full record of one sharded campaign run.
+
+    Doubles as the resume token: completed records carry their cells, so
+    ``run_sharded_campaign(resume_from=manifest)`` folds them verbatim and
+    re-executes only the failed shards — at the same derived shard seeds,
+    so the finished totals are bit-identical to an uninterrupted run.
+    """
+
+    seed: int
+    scale: int
+    shard_size: int
+    jobs: int
+    executor: str
+    wall_seconds: float
+    records: tuple[ShardRunRecord, ...]
+    cache_dir: str | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every shard completed."""
+        return all(record.completed for record in self.records)
+
+    @property
+    def n_shards(self) -> int:
+        """Shards in the plan this run covered."""
+        return len(self.records)
+
+    @property
+    def incomplete_indices(self) -> list[int]:
+        """Shards a ``--resume`` run must re-execute."""
+        return [r.index for r in self.records if not r.completed]
+
+    def record_for(self, index: int) -> ShardRunRecord:
+        """One shard's record, by index."""
+        for record in self.records:
+            if record.index == index:
+                return record
+        raise ConfigurationError(
+            f"manifest has no record for shard {index}; "
+            f"covers {len(self.records)} shards"
+        )
+
+    def status_counts(self) -> dict[str, int]:
+        """How many shards ended in each status."""
+        totals = {status: 0 for status in SHARD_STATUSES}
+        for record in self.records:
+            totals[record.status] += 1
+        return totals
+
+    def summary_line(self) -> str:
+        """A one-line human summary for logs and perf tracking."""
+        units = sum(r.n_units for r in self.records if r.completed)
+        line = (
+            f"{units} units in {len(self.records)} shards "
+            f"(shard_size={self.shard_size}) in {self.wall_seconds:.1f}s "
+            f"(jobs={self.jobs}, executor={self.executor}, seed={self.seed})"
+        )
+        failed = self.status_counts()["failed"]
+        if failed:
+            line += f" [{failed} failed]"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize with the shard-run schema tag."""
+        return {
+            "schema": SHARD_MANIFEST_SCHEMA,
+            "seed": self.seed,
+            "scale": self.scale,
+            "shard_size": self.shard_size,
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "wall_seconds": self.wall_seconds,
+            "cache_dir": self.cache_dir,
+            "shards": [record.to_dict() for record in self.records],
+            "statuses": self.status_counts(),
+            **({"extra": self.extra} if self.extra else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardRunManifest":
+        """Rebuild a shard-run manifest, failing loudly on schema drift."""
+        found = payload.get("schema")
+        if found != SHARD_MANIFEST_SCHEMA:
+            raise ConfigurationError(
+                f"expected schema {SHARD_MANIFEST_SCHEMA!r}, found {found!r}"
+            )
+        return cls(
+            seed=payload["seed"],
+            scale=payload["scale"],
+            shard_size=payload["shard_size"],
+            jobs=payload["jobs"],
+            executor=payload["executor"],
+            wall_seconds=payload["wall_seconds"],
+            records=tuple(
+                ShardRunRecord.from_dict(entry) for entry in payload["shards"]
+            ),
+            cache_dir=payload.get("cache_dir"),
+            extra=payload.get("extra", {}),
+        )
+
+
+@dataclass(frozen=True)
+class ShardedCampaignRun:
+    """Totals + manifest of one sharded campaign invocation."""
+
+    totals: StreamingCampaignResult | None
+    """Corpus-wide campaign totals (``None`` when no shard completed)."""
+    manifest: ShardRunManifest
+    store: ArtifactStore
+    """The artifact store used (reusable for warm follow-up runs)."""
+
+    @property
+    def ok(self) -> bool:
+        """Whether every shard completed."""
+        return self.manifest.ok
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (shared by the serial, thread and process paths)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """Everything one worker-side shard sends back to the parent."""
+
+    index: int
+    n_units: int
+    wall_seconds: float
+    cells: ShardCells
+    metrics_dump: dict[str, Any] | None = None
+    spans: tuple[SpanRecord, ...] = ()
+    trace_epoch_unix: float = 0.0
+
+
+def _evaluate_one(
+    plan: ShardPlan,
+    index: int,
+    attempt: int,
+    store: ArtifactStore,
+    tools: list,
+    fault: FaultSpec | None,
+) -> _ShardOutcome:
+    """Run one attempt of one shard against ``store``; return its outcome.
+
+    The cells are memoized under the shard's artifact key, so a warm store
+    (or a populated ``cache_dir``) satisfies the shard without generating
+    its workload; the fault hook fires *before* the cache lookup, so
+    injected failures exercise the retry path even on warm runs.
+    """
+    obs = store.obs
+    spec = plan.spec(index)
+    started = time.perf_counter()
+    if fault is not None:
+        fault.apply(attempt)
+
+    def compute() -> ShardCells:
+        with obs.tracer.span(
+            "shard.generate", shard=index, units=spec.n_units, seed=spec.seed
+        ):
+            workload = plan.generate(index)
+        obs.metrics.inc("engine.shards.units", len(workload.units))
+        obs.metrics.inc("engine.shards.sites", workload.n_sites)
+        with obs.tracer.span(
+            "shard.evaluate", shard=index, tools=len(tools)
+        ):
+            return evaluate_shard(tools, workload, index)
+
+    cells = store.get_or_compute(
+        _shard_key(plan, index),
+        compute,
+        codec=_shard_cells_codec(),
+        requester=f"shard:{index}",
+    )
+    return _ShardOutcome(
+        index=index,
+        n_units=spec.n_units,
+        wall_seconds=time.perf_counter() - started,
+        cells=cells,
+    )
+
+
+#: One persistent store per worker process, keyed by ``(seed, cache_dir)``
+#: — the shard counterpart of ``process._WORKER_STORES``.
+_WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
+
+
+def _evaluate_in_process(
+    plan: ShardPlan,
+    index: int,
+    attempt: int,
+    cache_dir: str | None,
+    trace: bool,
+    fault: FaultSpec | None,
+) -> _ShardOutcome:
+    """Worker-process entry point: evaluate one shard, return a picklable
+    outcome carrying this task's metrics dump and spans for parent-side
+    merging (mirrors :func:`repro.bench.engine.process.execute_in_process`).
+    """
+    store_key = (plan.seed, cache_dir)
+    store = _WORKER_STORES.get(store_key)
+    if store is None:
+        store = _WORKER_STORES[store_key] = ArtifactStore(cache_dir=cache_dir)
+    # A fresh bundle per task, so the parent merges without double counting.
+    obs = Observability(tracer=Tracer(enabled=trace))
+    store.obs = obs
+    tools = reference_suite(seed=plan.seed)
+    outcome = _evaluate_one(plan, index, attempt, store, tools, fault)
+    return _ShardOutcome(
+        index=outcome.index,
+        n_units=outcome.n_units,
+        wall_seconds=outcome.wall_seconds,
+        cells=outcome.cells,
+        metrics_dump=obs.metrics.to_dict(),
+        spans=tuple(obs.tracer.spans),
+        trace_epoch_unix=obs.tracer.epoch_unix,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+def run_sharded_campaign(
+    scale: int | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    executor: str = "thread",
+    keep_going: bool = False,
+    retries: int = 0,
+    store: ArtifactStore | None = None,
+    cache_dir: str | None = None,
+    obs: Observability | None = None,
+    faults: FaultPlan | None = None,
+    resume_from: ShardRunManifest | None = None,
+) -> ShardedCampaignRun:
+    """Run the reference suite over a sharded ``scale``-unit corpus.
+
+    Shards execute under the requested executor with the engine's error
+    policy (``retries`` re-attempts at the same derived shard seed;
+    ``keep_going`` records terminal failures and continues; without it the
+    first terminal failure aborts with
+    :class:`~repro.errors.ExperimentFailedError` after draining in-flight
+    shards).  Completed cells fold into a
+    :class:`~repro.bench.streaming.CampaignAccumulator` as they arrive —
+    the corpus never exists in memory, and the totals are bit-identical to
+    the in-memory path regardless of ``jobs``/``executor``/fold order.
+
+    ``resume_from`` takes a prior run's :class:`ShardRunManifest`:
+    completed shards' cells are folded verbatim from the manifest and only
+    the failed shards re-execute, at the plan parameters recorded in the
+    manifest (``scale``/``shard_size``/``seed`` arguments are ignored).
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if executor not in ("thread", "process"):
+        raise ConfigurationError(
+            f"executor must be one of ('thread', 'process'), got {executor!r}"
+        )
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+
+    carried: dict[int, ShardRunRecord] = {}
+    if resume_from is None and scale is None:
+        raise ConfigurationError("scale is required unless resuming from a manifest")
+    if resume_from is not None:
+        scale = resume_from.scale
+        shard_size = resume_from.shard_size
+        seed = resume_from.seed
+        carried = {
+            record.index: record
+            for record in resume_from.records
+            if record.completed
+        }
+    plan = plan_shards(scale=scale, shard_size=shard_size, seed=seed)
+
+    if store is None:
+        store = ArtifactStore(cache_dir=cache_dir, obs=obs)
+    elif obs is not None:
+        store.obs = obs
+    obs = store.obs
+    if executor == "process" and obs.profiler is not None:
+        raise ConfigurationError(
+            "profiling requires the thread executor: cProfile sessions "
+            "cannot be merged across worker processes"
+        )
+
+    accumulator = CampaignAccumulator(
+        [tool.name for tool in reference_suite(seed=seed)]
+    )
+    records: dict[int, ShardRunRecord] = {}
+    for record in carried.values():
+        accumulator.fold(record.cells)
+    pending = [
+        index for index in range(plan.n_shards) if index not in carried
+    ]
+
+    run_started = time.perf_counter()
+    with obs.tracer.span(
+        "engine.shard_run",
+        seed=seed,
+        scale=scale,
+        shard_size=shard_size,
+        shards=len(pending),
+        jobs=jobs,
+        executor=executor,
+    ):
+        if executor == "thread" and jobs == 1:
+            records.update(
+                _run_shards_serial(
+                    plan, pending, store, accumulator, keep_going, retries,
+                    faults,
+                )
+            )
+        elif pending:
+            records.update(
+                _run_shards_pooled(
+                    plan, pending, store, accumulator, jobs, executor,
+                    keep_going, retries, faults,
+                )
+            )
+    wall = time.perf_counter() - run_started
+    obs.metrics.inc("engine.shard_runs")
+
+    manifest_records = tuple(
+        carried[index] if index in carried else records[index]
+        for index in sorted({*carried, *records})
+    )
+    extra: dict[str, Any] = {}
+    if obs.tracer.enabled:
+        extra["observability"] = {"spans": obs.tracer.summary()}
+    if resume_from is not None:
+        extra["resume"] = {"carried": sorted(carried)}
+    manifest = ShardRunManifest(
+        seed=seed,
+        scale=scale,
+        shard_size=shard_size,
+        jobs=jobs,
+        executor=executor,
+        wall_seconds=wall,
+        records=manifest_records,
+        cache_dir=str(store.cache_dir) if store.cache_dir is not None else None,
+        extra=extra,
+    )
+    totals = accumulator.result() if accumulator.folded else None
+    return ShardedCampaignRun(totals=totals, manifest=manifest, store=store)
+
+
+def _completed_record(
+    plan: ShardPlan, outcome: _ShardOutcome, attempt: int
+) -> ShardRunRecord:
+    return ShardRunRecord(
+        index=outcome.index,
+        seed=plan.spec(outcome.index).seed,
+        n_units=outcome.n_units,
+        status="completed",
+        attempts=attempt,
+        wall_seconds=outcome.wall_seconds,
+        cells=outcome.cells,
+    )
+
+
+def _failed_shard_record(
+    plan: ShardPlan, index: int, failure: FailureRecord
+) -> ShardRunRecord:
+    spec = plan.spec(index)
+    return ShardRunRecord(
+        index=index,
+        seed=spec.seed,
+        n_units=spec.n_units,
+        status="failed",
+        attempts=failure.attempts,
+        wall_seconds=0.0,
+        cells=None,
+        failure=failure,
+    )
+
+
+def _shard_fatal(index: int, error: BaseException, attempts: int):
+    fatal = ExperimentFailedError(
+        f"shard {index} failed after {attempts} attempt(s): "
+        f"{type(error).__name__}: {error}",
+        experiment_id=shard_fault_id(index),
+        attempts=attempts,
+    )
+    fatal.__cause__ = error
+    return fatal
+
+
+def _run_shards_serial(
+    plan: ShardPlan,
+    pending: list[int],
+    store: ArtifactStore,
+    accumulator: CampaignAccumulator,
+    keep_going: bool,
+    retries: int,
+    faults: FaultPlan | None,
+) -> dict[int, ShardRunRecord]:
+    obs = store.obs
+    tools = reference_suite(seed=plan.seed)
+    records: dict[int, ShardRunRecord] = {}
+    for index in pending:
+        obs.metrics.inc("engine.shards.scheduled")
+        fault = _fault_for_shard(faults, index)
+        attempt = 1
+        while True:
+            try:
+                outcome = _evaluate_one(
+                    plan, index, attempt, store, tools, fault
+                )
+            except Exception as error:
+                if attempt <= retries:
+                    obs.metrics.inc("engine.shards.retried")
+                    attempt += 1
+                    continue
+                obs.metrics.inc("engine.shards.failed")
+                if not keep_going:
+                    raise _shard_fatal(index, error, attempt) from error
+                failure = FailureRecord.from_exception(error, attempts=attempt)
+                records[index] = _failed_shard_record(plan, index, failure)
+                break
+            obs.metrics.inc("engine.shards.completed")
+            obs.metrics.observe("engine.shard.seconds", outcome.wall_seconds)
+            accumulator.fold(outcome.cells)
+            records[index] = _completed_record(plan, outcome, attempt)
+            break
+    return records
+
+
+def _run_shards_pooled(
+    plan: ShardPlan,
+    pending: list[int],
+    store: ArtifactStore,
+    accumulator: CampaignAccumulator,
+    jobs: int,
+    executor: str,
+    keep_going: bool,
+    retries: int,
+    faults: FaultPlan | None,
+) -> dict[int, ShardRunRecord]:
+    """Pooled shard execution: submit up to ``jobs`` shards, fold as they
+    finish.  Submission is throttled so at most ``jobs`` shard workloads
+    (plus their futures' cells) are alive at once — the memory bound the
+    streaming path exists to provide."""
+    obs = store.obs
+    cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
+    trace = obs.tracer.enabled
+    tools = reference_suite(seed=plan.seed) if executor == "thread" else None
+    records: dict[int, ShardRunRecord] = {}
+    queue = list(pending)
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    pool = pool_cls(max_workers=jobs)
+    active: dict[Future, tuple[int, int]] = {}  # future -> (index, attempt)
+    try:
+
+        def submit(index: int, attempt: int) -> None:
+            fault = _fault_for_shard(faults, index)
+            if executor == "process":
+                future = pool.submit(
+                    _evaluate_in_process,
+                    plan, index, attempt, cache_dir, trace, fault,
+                )
+            else:
+                future = pool.submit(
+                    _evaluate_one, plan, index, attempt, store, tools, fault
+                )
+            active[future] = (index, attempt)
+
+        def submit_ready() -> None:
+            while queue and len(active) < jobs:
+                index = queue.pop(0)
+                obs.metrics.inc("engine.shards.scheduled")
+                submit(index, 1)
+
+        def drain_and_raise(fatal: Exception) -> None:
+            still_running = [
+                future for future in active if not future.cancel()
+            ]
+            if still_running:
+                wait(still_running)
+            raise fatal
+
+        submit_ready()
+        while active:
+            done, _ = wait(set(active), return_when=FIRST_COMPLETED)
+            for future in done:
+                index, attempt = active.pop(future)
+                error = future.exception()
+                if error is None:
+                    outcome = future.result()
+                    if executor == "process":
+                        if outcome.metrics_dump is not None:
+                            obs.metrics.merge_dict(outcome.metrics_dump)
+                        if trace and outcome.spans:
+                            obs.tracer.ingest(
+                                outcome.spans,
+                                offset_seconds=(
+                                    outcome.trace_epoch_unix
+                                    - obs.tracer.epoch_unix
+                                ),
+                            )
+                        store.put(_shard_key(plan, index), outcome.cells)
+                    obs.metrics.inc("engine.shards.completed")
+                    obs.metrics.observe(
+                        "engine.shard.seconds", outcome.wall_seconds
+                    )
+                    accumulator.fold(outcome.cells)
+                    records[index] = _completed_record(plan, outcome, attempt)
+                elif isinstance(error, Exception) and attempt <= retries:
+                    obs.metrics.inc("engine.shards.retried")
+                    submit(index, attempt + 1)
+                else:
+                    obs.metrics.inc("engine.shards.failed")
+                    if not keep_going or not isinstance(error, Exception):
+                        drain_and_raise(_shard_fatal(index, error, attempt))
+                    failure = FailureRecord.from_exception(
+                        error, attempts=attempt
+                    )
+                    records[index] = _failed_shard_record(plan, index, failure)
+            submit_ready()
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return records

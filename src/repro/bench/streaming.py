@@ -1,0 +1,334 @@
+"""Streaming campaign aggregation: exact totals without the corpus in memory.
+
+The scalar campaign path (:func:`repro.bench.campaign.run_campaign`) holds a
+whole workload and every tool report in memory at once — fine at the
+paper's scale, impossible at 10⁶ units.  This module provides the streaming
+counterpart for sharded corpora (:mod:`repro.workload.sharded`):
+
+- :func:`evaluate_shard` runs the ordinary scalar campaign over *one*
+  shard's workload and condenses it to a :class:`ShardCells` — four
+  confusion cells per tool plus shard totals, a few hundred bytes;
+- :class:`CampaignAccumulator` folds shard cells into running per-tool
+  totals and finalizes them as a :class:`StreamingCampaignResult`.
+
+Exactness contract: confusion cells are non-negative integers, and float64
+addition of integers below 2⁵³ is exact and order-independent — so the
+accumulator's totals are **bit-identical** to materializing every shard
+campaign in memory and summing scalar
+:class:`~repro.metrics.confusion.ConfusionMatrix` cells
+(:func:`materialized_totals`), for any fold order, executor, or retry
+history.  Each shard's cells in turn come from the unmodified
+:func:`~repro.bench.campaign.run_campaign`/``score_report`` path, so
+nothing about scoring semantics changes at scale; memory is bounded by one
+shard, not by the corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.campaign import CampaignResult, run_campaign
+from repro.errors import ConfigurationError
+from repro.metrics.base import Metric
+from repro.metrics.batch import ConfusionBatch
+from repro.metrics.confusion import ConfusionMatrix
+from repro.tools.base import VulnerabilityDetectionTool
+from repro.workload.generator import Workload
+from repro.workload.sharded import ShardPlan
+
+__all__ = [
+    "ShardCells",
+    "StreamingCampaignResult",
+    "CampaignAccumulator",
+    "evaluate_shard",
+    "materialized_totals",
+]
+
+
+@dataclass(frozen=True)
+class ShardCells:
+    """One shard's campaign outcome, condensed to per-tool confusion cells.
+
+    This is what crosses process boundaries and what the artifact store
+    caches (``repro/shard-cells@1``): everything needed to fold the shard
+    into corpus totals, and nothing sized by the shard's content.
+    """
+
+    shard_index: int
+    """Which shard of the plan these cells summarize."""
+    tool_names: tuple[str, ...]
+    """Tools in campaign order; cell tuples are parallel to this."""
+    tp: tuple[int, ...]
+    fp: tuple[int, ...]
+    fn: tuple[int, ...]
+    tn: tuple[int, ...]
+    n_units: int
+    """Units in the shard's workload."""
+    n_sites: int
+    """Analysis sites scored per tool."""
+    n_vulnerable: int
+    """Truly vulnerable sites in the shard (tp + fn of every tool)."""
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.tool_names), len(self.tp), len(self.fp),
+            len(self.fn), len(self.tn),
+        }
+        if lengths != {len(self.tool_names)} or not self.tool_names:
+            raise ConfigurationError(
+                "shard cells need one (tp, fp, fn, tn) row per tool"
+            )
+        for row in range(len(self.tool_names)):
+            tp, fp, fn, tn = (
+                self.tp[row], self.fp[row], self.fn[row], self.tn[row],
+            )
+            if min(tp, fp, fn, tn) < 0:
+                raise ConfigurationError("confusion cells must be >= 0")
+            if tp + fp + fn + tn != self.n_sites:
+                raise ConfigurationError(
+                    f"tool {self.tool_names[row]!r}: cells sum to "
+                    f"{tp + fp + fn + tn}, expected n_sites={self.n_sites}"
+                )
+            if tp + fn != self.n_vulnerable:
+                raise ConfigurationError(
+                    f"tool {self.tool_names[row]!r}: tp+fn={tp + fn} "
+                    f"disagrees with n_vulnerable={self.n_vulnerable}"
+                )
+
+    @classmethod
+    def from_campaign(
+        cls, campaign: CampaignResult, shard_index: int, n_units: int
+    ) -> "ShardCells":
+        """Condense one shard's scored campaign to its cells."""
+        confusions = [result.confusion for result in campaign.results]
+        first = confusions[0]
+        return cls(
+            shard_index=shard_index,
+            tool_names=tuple(campaign.tool_names),
+            tp=tuple(int(cm.tp) for cm in confusions),
+            fp=tuple(int(cm.fp) for cm in confusions),
+            fn=tuple(int(cm.fn) for cm in confusions),
+            tn=tuple(int(cm.tn) for cm in confusions),
+            n_units=n_units,
+            n_sites=int(first.tp + first.fp + first.fn + first.tn),
+            n_vulnerable=int(first.tp + first.fn),
+        )
+
+
+def evaluate_shard(
+    tools: Sequence[VulnerabilityDetectionTool],
+    workload: Workload,
+    shard_index: int,
+) -> ShardCells:
+    """Run the ordinary scalar campaign over one shard; return its cells.
+
+    This *is* :func:`~repro.bench.campaign.run_campaign` — same tool order,
+    same site-exact :func:`~repro.bench.campaign.score_report` loop — so
+    streaming totals inherit the scalar path's semantics by construction.
+    """
+    campaign = run_campaign(tools, workload)
+    return ShardCells.from_campaign(
+        campaign, shard_index=shard_index, n_units=len(workload.units)
+    )
+
+
+@dataclass(frozen=True)
+class StreamingCampaignResult:
+    """Exact corpus-wide campaign totals, finalized from an accumulator.
+
+    The streaming counterpart of
+    :class:`~repro.bench.campaign.CampaignResult`: per-tool confusion
+    matrices over the whole corpus, without the per-site reports a scalar
+    campaign carries.
+    """
+
+    tool_names: tuple[str, ...]
+    confusions: tuple[ConfusionMatrix, ...]
+    """Corpus-total confusion matrix per tool, parallel to ``tool_names``."""
+    n_units: int
+    n_sites: int
+    n_vulnerable: int
+    shard_indices: tuple[int, ...]
+    """Shards folded into these totals, in fold order."""
+
+    @property
+    def n_shards(self) -> int:
+        """How many shards the totals cover."""
+        return len(self.shard_indices)
+
+    @property
+    def prevalence(self) -> float:
+        """Realized corpus prevalence (vulnerable sites / all sites)."""
+        return self.n_vulnerable / self.n_sites
+
+    def confusion_for(self, tool_name: str) -> ConfusionMatrix:
+        """Corpus-total confusion matrix of one tool."""
+        for name, confusion in zip(self.tool_names, self.confusions):
+            if name == tool_name:
+                return confusion
+        raise ConfigurationError(
+            f"no totals for tool {tool_name!r}; have {list(self.tool_names)}"
+        )
+
+    def metric_values(self, metric: Metric) -> dict[str, float]:
+        """``metric`` on every tool's corpus totals (``nan`` if undefined)."""
+        return {
+            name: metric.value_or_nan(confusion)
+            for name, confusion in zip(self.tool_names, self.confusions)
+        }
+
+    def batch(self) -> ConfusionBatch:
+        """The totals as a :class:`ConfusionBatch` (one row per tool)."""
+        return ConfusionBatch.from_matrices(self.confusions)
+
+
+class CampaignAccumulator:
+    """Folds per-shard confusion cells into exact corpus totals.
+
+    Running totals are float64 vectors over the tool axis; because every
+    fold adds non-negative integers (exact in float64 far beyond any
+    realistic corpus), the result is independent of fold order and
+    bit-identical to the in-memory sum.  Each shard folds at most once —
+    a retried or resumed shard that re-delivers its cells is rejected
+    rather than silently double counted.
+    """
+
+    def __init__(self, tool_names: Sequence[str]) -> None:
+        if not tool_names:
+            raise ConfigurationError("accumulator needs at least one tool")
+        self.tool_names = tuple(tool_names)
+        n = len(self.tool_names)
+        self._tp = np.zeros(n, dtype=np.float64)
+        self._fp = np.zeros(n, dtype=np.float64)
+        self._fn = np.zeros(n, dtype=np.float64)
+        self._tn = np.zeros(n, dtype=np.float64)
+        self._n_units = 0
+        self._n_sites = 0
+        self._n_vulnerable = 0
+        self._order: list[int] = []
+        self._folded: set[int] = set()
+
+    @property
+    def folded(self) -> frozenset[int]:
+        """Indices of the shards folded so far."""
+        return frozenset(self._folded)
+
+    @property
+    def n_units(self) -> int:
+        """Units covered by the folds so far."""
+        return self._n_units
+
+    def fold(self, cells: ShardCells) -> None:
+        """Add one shard's cells to the running totals (exactly once)."""
+        if cells.tool_names != self.tool_names:
+            raise ConfigurationError(
+                f"shard {cells.shard_index} scored tools "
+                f"{list(cells.tool_names)}, accumulator expects "
+                f"{list(self.tool_names)}"
+            )
+        if cells.shard_index in self._folded:
+            raise ConfigurationError(
+                f"shard {cells.shard_index} already folded — folding it "
+                f"again would double count its cells"
+            )
+        self._tp += np.asarray(cells.tp, dtype=np.float64)
+        self._fp += np.asarray(cells.fp, dtype=np.float64)
+        self._fn += np.asarray(cells.fn, dtype=np.float64)
+        self._tn += np.asarray(cells.tn, dtype=np.float64)
+        self._n_units += cells.n_units
+        self._n_sites += cells.n_sites
+        self._n_vulnerable += cells.n_vulnerable
+        self._folded.add(cells.shard_index)
+        self._order.append(cells.shard_index)
+
+    def merge(self, other: "CampaignAccumulator") -> None:
+        """Fold another accumulator's totals in (shard sets must not overlap).
+
+        Lets per-worker accumulators combine at the end of a parallel run;
+        exactness and order-independence carry over from :meth:`fold`.
+        """
+        if other.tool_names != self.tool_names:
+            raise ConfigurationError(
+                "cannot merge accumulators over different tool suites"
+            )
+        overlap = self._folded & other._folded
+        if overlap:
+            raise ConfigurationError(
+                f"cannot merge: shards {sorted(overlap)} are in both "
+                f"accumulators"
+            )
+        self._tp += other._tp
+        self._fp += other._fp
+        self._fn += other._fn
+        self._tn += other._tn
+        self._n_units += other._n_units
+        self._n_sites += other._n_sites
+        self._n_vulnerable += other._n_vulnerable
+        self._folded |= other._folded
+        self._order.extend(other._order)
+
+    def result(self) -> StreamingCampaignResult:
+        """Finalize the totals folded so far."""
+        if not self._folded:
+            raise ConfigurationError(
+                "no shards folded — nothing to finalize"
+            )
+        confusions = tuple(
+            ConfusionMatrix(
+                tp=float(self._tp[row]),
+                fp=float(self._fp[row]),
+                fn=float(self._fn[row]),
+                tn=float(self._tn[row]),
+            )
+            for row in range(len(self.tool_names))
+        )
+        return StreamingCampaignResult(
+            tool_names=self.tool_names,
+            confusions=confusions,
+            n_units=self._n_units,
+            n_sites=self._n_sites,
+            n_vulnerable=self._n_vulnerable,
+            shard_indices=tuple(self._order),
+        )
+
+
+def materialized_totals(
+    tools: Sequence[VulnerabilityDetectionTool], plan: ShardPlan
+) -> StreamingCampaignResult:
+    """The in-memory reference path: every shard campaign alive at once.
+
+    Materializes every shard workload *and* every scalar
+    :class:`~repro.bench.campaign.CampaignResult`, then sums their
+    confusion cells tool by tool in plain Python — no accumulator, no
+    float64 vectors.  The streaming path must match this bit for bit; the
+    parity tests and ``check_bench`` assert exactly that.  Only sensible
+    at small scale (memory grows with the corpus).
+    """
+    workloads = [plan.generate(spec.index) for spec in plan]
+    campaigns = [run_campaign(tools, workload) for workload in workloads]
+    tool_names = tuple(campaigns[0].tool_names)
+    confusions = []
+    for name in tool_names:
+        tp = fp = fn = tn = 0.0
+        for campaign in campaigns:
+            cm = campaign.confusion_for(name)
+            tp += cm.tp
+            fp += cm.fp
+            fn += cm.fn
+            tn += cm.tn
+        confusions.append(ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn))
+    n_sites = sum(workload.n_sites for workload in workloads)
+    n_vulnerable = sum(
+        len(workload.truth.vulnerable) for workload in workloads
+    )
+    return StreamingCampaignResult(
+        tool_names=tool_names,
+        confusions=tuple(confusions),
+        n_units=sum(len(workload.units) for workload in workloads),
+        n_sites=n_sites,
+        n_vulnerable=n_vulnerable,
+        shard_indices=tuple(spec.index for spec in plan),
+    )

@@ -13,6 +13,7 @@ Usage::
     python -m repro run R3 R4 --profile   # cProfile each experiment -> results/
     python -m repro run all --keep-going --retries 2 --manifest run.json
     python -m repro run --resume run.json # re-run only what didn't complete
+    python -m repro run --scale 1000000 --shard-size 10000  # streaming campaign
     python -m repro stats m.json          # print a metrics dump as tables
 
 Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
@@ -27,6 +28,13 @@ cascade-skipped, independents still run), ``--retries N`` re-attempts at
 the same seed, ``--timeout SECONDS`` bounds each attempt, and the exit
 code is non-zero whenever any experiment did not complete.  ``--resume
 MANIFEST`` re-executes only the non-completed experiments of a prior run.
+
+Scale: ``--scale N`` switches ``run`` into sharded streaming-campaign mode
+— the reference suite is evaluated over an N-unit corpus partitioned into
+``--shard-size`` shards, with per-shard retry/keep-going/resume semantics
+and memory bounded by the shard size (see ``docs/scaling.md``).  ``--resume``
+detects shard manifests by their schema tag, so the same flag resumes both
+kinds of run.
 """
 
 from __future__ import annotations
@@ -68,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SEED,
         help=f"master seed (default {DEFAULT_SEED})",
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "instead of experiments, run a sharded streaming campaign over "
+            "N workload units (memory bounded by --shard-size, totals "
+            "bit-identical to the in-memory path; see docs/scaling.md)"
+        ),
+    )
+    run_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "units per shard for --scale runs (default 10000); any shard "
+            "is regenerable in isolation from its derived seed"
+        ),
     )
     run_parser.add_argument(
         "--out",
@@ -373,6 +402,121 @@ def _cmd_run(
     return 0 if run.manifest.ok else 1
 
 
+def _cmd_run_scale(
+    scale: int | None,
+    shard_size: int,
+    seed: int,
+    quiet: bool,
+    jobs: int,
+    executor: str,
+    cache_dir: Path | None,
+    manifest_path: Path | None,
+    trace_path: Path | None,
+    metrics_path: Path | None,
+    keep_going: bool,
+    retries: int,
+    resume_path: Path | None,
+    inject_faults: list[str] | None,
+) -> int:
+    from repro.bench.engine.faults import FaultPlan, parse_fault
+    from repro.bench.engine.shards import ShardRunManifest, run_sharded_campaign
+    from repro.errors import EngineError
+    from repro.obs import Observability, Tracer
+    from repro.persist import load_json
+    from repro.reporting.tables import format_table
+
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    resume_from = None
+    if resume_path is not None:
+        if not resume_path.exists():
+            raise SystemExit(f"no such manifest: {resume_path}")
+        resume_from = ShardRunManifest.from_dict(load_json(resume_path))
+    elif scale is None or scale < 1:
+        raise SystemExit(f"--scale must be >= 1, got {scale}")
+    if shard_size < 1:
+        raise SystemExit(f"--shard-size must be >= 1, got {shard_size}")
+    faults = (
+        FaultPlan(tuple(parse_fault(spec) for spec in inject_faults))
+        if inject_faults
+        else None
+    )
+    obs = Observability(tracer=Tracer(enabled=trace_path is not None))
+    try:
+        run = run_sharded_campaign(
+            scale=scale,
+            shard_size=shard_size,
+            seed=seed,
+            jobs=jobs,
+            executor=executor,
+            keep_going=keep_going,
+            retries=retries,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            obs=obs,
+            faults=faults,
+            resume_from=resume_from,
+        )
+    except EngineError as error:
+        raise SystemExit(f"run aborted — {error}") from error
+    for record in run.manifest.records:
+        if record.completed:
+            continue
+        failure = record.failure
+        detail = (
+            f"{failure.error_type}: {failure.message}"
+            if failure is not None
+            else record.status
+        )
+        print(
+            f"[shard {record.index} {record.status} after {record.attempts} "
+            f"attempt{'s' if record.attempts != 1 else ''}: {detail}]",
+            file=sys.stderr,
+        )
+    totals = run.totals
+    if totals is not None and not quiet:
+        rows = [
+            [
+                name,
+                int(confusion.tp),
+                int(confusion.fp),
+                int(confusion.fn),
+                int(confusion.tn),
+                int(confusion.tp + confusion.fp),
+            ]
+            for name, confusion in zip(totals.tool_names, totals.confusions)
+        ]
+        print(
+            format_table(
+                headers=["tool", "TP", "FP", "FN", "TN", "reported"],
+                rows=rows,
+                title=(
+                    f"Sharded campaign totals — {totals.n_units} units in "
+                    f"{totals.n_shards} shards: {totals.n_sites} sites, "
+                    f"prevalence {totals.prevalence:.3f}"
+                ),
+            )
+        )
+        print()
+    if manifest_path is not None:
+        from repro.persist import save_json
+
+        save_json(run.manifest.to_dict(), manifest_path)
+    if trace_path is not None:
+        from repro.persist import save_json
+
+        save_json(obs.tracer.to_chrome_trace(), trace_path)
+        print(
+            f"[trace: {len(obs.tracer)} spans -> {trace_path}]", file=sys.stderr
+        )
+    if metrics_path is not None:
+        from repro.persist import save_json
+
+        save_json(obs.metrics.to_dict(), metrics_path)
+        print(f"[metrics -> {metrics_path}]", file=sys.stderr)
+    print(f"[{run.manifest.summary_line()}]", file=sys.stderr)
+    return 0 if run.manifest.ok else 1
+
+
 def _cmd_stats(metrics_file: Path, prefix: str) -> int:
     from repro.obs import MetricsRegistry
     from repro.persist import load_json
@@ -391,6 +535,54 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "stats":
         return _cmd_stats(args.metrics_file, args.prefix)
+    resume_schema = None
+    if args.resume is not None and args.resume.exists():
+        from repro.persist import load_json
+
+        resume_schema = load_json(args.resume).get("schema")
+    sharded = args.scale is not None or resume_schema == "repro/shard-run@1"
+    if sharded:
+        if args.experiments:
+            raise SystemExit(
+                "--scale runs a sharded campaign, not experiments; don't "
+                "pass experiment ids alongside it"
+            )
+        if args.scale is not None and args.resume is not None:
+            raise SystemExit(
+                "--resume re-runs the shard manifest's own plan; don't "
+                "pass --scale alongside it"
+            )
+        if args.out is not None:
+            raise SystemExit("--out applies to experiment runs, not --scale")
+        if args.profile is not None:
+            raise SystemExit(
+                "--profile applies to experiment runs, not --scale"
+            )
+        if args.timeout is not None:
+            raise SystemExit(
+                "--timeout is not supported for --scale runs; bound failures "
+                "with --retries/--keep-going instead"
+            )
+        from repro.workload.sharded import DEFAULT_SHARD_SIZE
+
+        return _cmd_run_scale(
+            args.scale,
+            args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE,
+            args.seed,
+            args.quiet,
+            args.jobs,
+            args.executor,
+            args.cache_dir,
+            args.manifest,
+            args.trace,
+            args.metrics_out,
+            args.keep_going,
+            args.retries,
+            args.resume,
+            args.inject_faults,
+        )
+    if args.shard_size is not None:
+        raise SystemExit("--shard-size requires --scale")
     if not args.experiments and args.resume is None:
         raise SystemExit(
             "experiment ids required (e.g. 'repro run R6 R11' or "

@@ -143,26 +143,32 @@ class ConfusionBatch:
     # ------------------------------------------------------------------
     @property
     def total(self) -> np.ndarray:
+        """Sites per matrix: TP + FP + FN + TN."""
         return self.tp + self.fp + self.fn + self.tn
 
     @property
     def positives(self) -> np.ndarray:
+        """Ground-truth vulnerable sites: TP + FN."""
         return self.tp + self.fn
 
     @property
     def negatives(self) -> np.ndarray:
+        """Ground-truth clean sites: FP + TN."""
         return self.fp + self.tn
 
     @property
     def predicted_positives(self) -> np.ndarray:
+        """Sites the tool flagged: TP + FP."""
         return self.tp + self.fp
 
     @property
     def predicted_negatives(self) -> np.ndarray:
+        """Sites the tool passed over: FN + TN."""
         return self.fn + self.tn
 
     @property
     def prevalence(self) -> np.ndarray:
+        """Fraction of sites that are truly vulnerable."""
         return self.positives / self.total
 
     # ------------------------------------------------------------------
@@ -170,18 +176,22 @@ class ConfusionBatch:
     # ------------------------------------------------------------------
     @property
     def tpr(self) -> np.ndarray:
+        """True-positive rate (recall): TP / (TP + FN)."""
         return safe_div_array(self.tp, self.positives)
 
     @property
     def fpr(self) -> np.ndarray:
+        """False-positive rate: FP / (FP + TN)."""
         return safe_div_array(self.fp, self.negatives)
 
     @property
     def tnr(self) -> np.ndarray:
+        """True-negative rate (specificity): TN / (FP + TN)."""
         return safe_div_array(self.tn, self.negatives)
 
     @property
     def fnr(self) -> np.ndarray:
+        """False-negative rate: FN / (TP + FN)."""
         return safe_div_array(self.fn, self.positives)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -52,10 +52,12 @@ class Counter:
 
     @property
     def value(self) -> int:
+        """The current total."""
         with self._lock:
             return self._value
 
     def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0); counters are monotonic."""
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (amount={amount})"
@@ -74,10 +76,12 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        """The last value set."""
         with self._lock:
             return self._value
 
     def set(self, value: float) -> None:
+        """Overwrite the gauge."""
         with self._lock:
             self._value = float(value)
 
@@ -104,6 +108,7 @@ class Histogram:
         self._count = 0
 
     def observe(self, value: float) -> None:
+        """Record one sample into its bucket."""
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
@@ -112,11 +117,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """How many samples were observed."""
         with self._lock:
             return self._count
 
     @property
     def total(self) -> float:
+        """Sum of all observed samples."""
         with self._lock:
             return self._total
 
@@ -139,12 +146,14 @@ class MetricsRegistry:
 
     # -- instruments --------------------------------------------------------
     def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
         with self._instrument_lock:
             if name not in self._counters:
                 self._counters[name] = Counter(name, self._lock)
             return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
         with self._instrument_lock:
             if name not in self._gauges:
                 self._gauges[name] = Gauge(name, self._lock)
@@ -153,6 +162,7 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
     ) -> Histogram:
+        """The histogram named ``name``, created on first use."""
         with self._instrument_lock:
             if name not in self._histograms:
                 self._histograms[name] = Histogram(name, self._lock, buckets)
@@ -164,9 +174,11 @@ class MetricsRegistry:
         self.counter(name).inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``, creating it on first use."""
         self.gauge(name).set(value)
 
     def observe(self, name: str, value: float) -> None:
+        """Record a sample into histogram ``name``, creating it on first use."""
         self.histogram(name).observe(value)
 
     # -- reading back -------------------------------------------------------
@@ -177,6 +189,7 @@ class MetricsRegistry:
         return {name: self._counters[name].value for name in names}
 
     def gauge_values(self, prefix: str = "") -> dict[str, float]:
+        """Gauge values, name-sorted, optionally filtered by prefix."""
         with self._instrument_lock:
             names = sorted(n for n in self._gauges if n.startswith(prefix))
         return {name: self._gauges[name].value for name in names}
@@ -328,6 +341,7 @@ class MetricsDiff:
     """Human-readable findings; empty means no regression flagged."""
 
     def render(self) -> str:
+        """A before/after counter table plus any flagged regressions."""
         from repro.reporting.tables import format_table
 
         rows = [

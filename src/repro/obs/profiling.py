@@ -90,6 +90,7 @@ class Profiler:
 
     @property
     def reports(self) -> list[ProfileReport]:
+        """Every captured profile, name-sorted."""
         with self._lock:
             return sorted(self._reports, key=lambda r: r.name)
 

@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.bench.campaign import CampaignResult, ToolResult
 from repro.bench.result import ExperimentResult
+from repro.bench.streaming import ShardCells
 from repro.errors import ArtifactCorruptError, ConfigurationError, PersistError
 from repro.metrics.confusion import ConfusionMatrix
 from repro.tools.base import Detection, DetectionReport
@@ -43,6 +44,8 @@ __all__ = [
     "campaign_from_dict",
     "experiment_result_to_dict",
     "experiment_result_from_dict",
+    "shard_cells_to_dict",
+    "shard_cells_from_dict",
     "save_json",
     "load_json",
     "payload_digest",
@@ -55,6 +58,7 @@ _WORKLOAD_SCHEMA = "repro/workload@1"
 _REPORT_SCHEMA = "repro/report@1"
 _CAMPAIGN_SCHEMA = "repro/campaign@1"
 _EXPERIMENT_SCHEMA = "repro/experiment@1"
+_SHARD_CELLS_SCHEMA = "repro/shard-cells@1"
 
 
 def _require_schema(payload: dict[str, Any], expected: str) -> None:
@@ -322,6 +326,41 @@ def experiment_result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
         title=payload["title"],
         sections=dict(payload["sections"]),
         data=dict(payload["data"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard cells (the streaming campaign's cacheable unit)
+# ---------------------------------------------------------------------------
+def shard_cells_to_dict(cells: ShardCells) -> dict[str, Any]:
+    """Serialize one shard's per-tool confusion cells."""
+    return {
+        "schema": _SHARD_CELLS_SCHEMA,
+        "shard_index": cells.shard_index,
+        "tool_names": list(cells.tool_names),
+        "tp": list(cells.tp),
+        "fp": list(cells.fp),
+        "fn": list(cells.fn),
+        "tn": list(cells.tn),
+        "n_units": cells.n_units,
+        "n_sites": cells.n_sites,
+        "n_vulnerable": cells.n_vulnerable,
+    }
+
+
+def shard_cells_from_dict(payload: dict[str, Any]) -> ShardCells:
+    """Rebuild shard cells; consistency validation re-runs on construction."""
+    _require_schema(payload, _SHARD_CELLS_SCHEMA)
+    return ShardCells(
+        shard_index=payload["shard_index"],
+        tool_names=tuple(payload["tool_names"]),
+        tp=tuple(payload["tp"]),
+        fp=tuple(payload["fp"]),
+        fn=tuple(payload["fn"]),
+        tn=tuple(payload["tn"]),
+        n_units=payload["n_units"],
+        n_sites=payload["n_sites"],
+        n_vulnerable=payload["n_vulnerable"],
     )
 
 

@@ -66,6 +66,7 @@ class Boundedness(MetricProperty):
     description = "values confined to a known finite interval"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         info = metric.info
         if not (math.isfinite(info.lower_bound) and math.isfinite(info.upper_bound)):
             return PropertyAssessment(
@@ -112,6 +113,7 @@ class Definedness(MetricProperty):
     description = "defined for degenerate benchmark outcomes"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         regular = context.matrices()
         degenerate = context.degenerate_matrices()
         regular_defined = sum(1 for cm in regular if metric.is_defined(cm)) / len(regular)
@@ -147,6 +149,7 @@ class PrevalenceInvariance(MetricProperty):
     description = "insensitive to the workload's vulnerability rate"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         scale = _scale_for(metric, context)
         swings = []
         for point in context.operating_points:
@@ -223,6 +226,7 @@ class _ResponsivenessShare(MetricProperty):
         return detection, silence
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         detection, silence = self._mean_responses(metric, context)
         total = detection + silence
         if total == 0:
@@ -282,6 +286,7 @@ class ChanceCorrection(MetricProperty):
     description = "scores all uninformed tools identically"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         scale = _scale_for(metric, context)
         values = []
         for rate in (0.05, 0.2, 0.4, 0.6, 0.8, 0.95):
@@ -323,6 +328,7 @@ class Discriminance(MetricProperty):
     description = "separates close tools under sampling noise"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         prevalence = 0.15
         pairs = [
             (
@@ -383,6 +389,7 @@ class Repeatability(MetricProperty):
     description = "low variance across same-population workloads"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         scale = _scale_for(metric, context)
         point = OperatingPoint(tpr=0.7, fpr=0.1)
         normalized_stds = []

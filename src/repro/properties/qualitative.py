@@ -62,6 +62,7 @@ class Understandability(MetricProperty):
     description = "interpretable by practitioners without statistical training"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         score, rationale = UNDERSTANDABILITY_SCORES.get(
             metric.symbol, _DEFAULT_UNDERSTANDABILITY
         )
@@ -86,6 +87,7 @@ class Acceptance(MetricProperty):
     description = "established in the benchmarking literature"
 
     def assess(self, metric: Metric, context: AssessmentContext) -> PropertyAssessment:
+        """Score ``metric`` on this property (see the class docstring)."""
         popularity = metric.info.popularity
         return PropertyAssessment(
             property_name=self.name,

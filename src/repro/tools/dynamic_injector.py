@@ -54,6 +54,7 @@ class DynamicInjector(VulnerabilityDetectionTool):
         self.confidence = confidence
 
     def analyze(self, workload: Workload) -> DetectionReport:
+        """Probe each site with seeded payloads; report triggered faults."""
         rng = spawn(derive_seed(self.seed, self.name), f"dynamic:{workload.name}")
         detections: list[Detection] = []
         for site in workload.truth.sites:

@@ -35,6 +35,7 @@ class PatternScanner(VulnerabilityDetectionTool):
         self.confidence = confidence
 
     def analyze(self, workload: Workload) -> DetectionReport:
+        """Flag every site whose code matches a known vulnerable pattern."""
         detections: list[Detection] = []
         for unit in workload.units:
             detections.extend(self._scan_unit(unit))

@@ -80,6 +80,7 @@ class SimulatedTool(VulnerabilityDetectionTool):
         self.seed = seed
 
     def analyze(self, workload: Workload) -> DetectionReport:
+        """Sample detections at this tool's configured TPR/FPR, seeded per workload."""
         rng = spawn(derive_seed(self.seed, self.name), f"simulated:{workload.name}")
         detections: list[Detection] = []
         for site in workload.truth.sites:

@@ -61,6 +61,7 @@ class TaintAnalyzer(VulnerabilityDetectionTool):
         self.confidence = confidence
 
     def analyze(self, workload: Workload) -> DetectionReport:
+        """Trace source-to-sink flows; flag sites reached by untrusted data."""
         detections: list[Detection] = []
         for unit in workload.units:
             detections.extend(self._analyze_unit(unit))

@@ -33,6 +33,7 @@ class ThresholdedTool(VulnerabilityDetectionTool):
         self.threshold = threshold
 
     def analyze(self, workload: Workload) -> DetectionReport:
+        """Run the base tool, then keep only detections above the threshold."""
         full = self.base.analyze(workload)
         kept = [d for d in full.detections if d.confidence >= self.threshold]
         return self._report(workload, kept)

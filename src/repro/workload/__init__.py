@@ -10,6 +10,13 @@ from repro.workload.generator import (
     generate_workload,
 )
 from repro.workload.ground_truth import GroundTruth
+from repro.workload.sharded import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    ShardSpec,
+    plan_shards,
+    shard_seed,
+)
 from repro.workload.oracle import is_site_vulnerable, taint_state_after, vulnerable_sites
 from repro.workload.taxonomy import TRAITS, VulnerabilityTraits, VulnerabilityType
 
@@ -28,6 +35,11 @@ __all__ = [
     "WorkloadConfig",
     "generate_workload",
     "GroundTruth",
+    "DEFAULT_SHARD_SIZE",
+    "ShardPlan",
+    "ShardSpec",
+    "plan_shards",
+    "shard_seed",
     "is_site_vulnerable",
     "taint_state_after",
     "vulnerable_sites",

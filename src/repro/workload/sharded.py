@@ -1,0 +1,172 @@
+"""Sharded workload generation: seed-addressed partitions of one corpus.
+
+The in-memory generator (:mod:`repro.workload.generator`) tops out at a few
+thousand units — a million-unit corpus would hold every statement of every
+unit alive at once.  A :class:`ShardPlan` instead *describes* such a corpus
+as a sequence of independent shards, each a complete
+:class:`~repro.workload.generator.Workload` of at most ``shard_size`` units,
+and materializes any one of them on demand.
+
+Determinism contract:
+
+- the corpus identity is ``(seed, scale, shard_size, base config)`` — two
+  plans with the same identity describe bit-identical corpora;
+- each shard draws from its own child seed,
+  ``shard_seed(seed, index) = derive_seed(seed, f"shard:{index}")``
+  (:func:`repro._rng.derive_seed`), so **any shard is regenerable in
+  isolation**: no shard's content depends on another shard having been
+  generated, on generation order, or on which process generates it;
+- shard workload names are unique and stable
+  (``{base.name}-s{index:06d}``), so per-workload tool substreams (which
+  key on the workload name, see :mod:`repro.tools`) differ across shards
+  and repeat exactly across runs.
+
+The plan itself holds no units: memory scales with ``shard_size``, never
+with ``scale``.  The streaming campaign layer
+(:mod:`repro.bench.streaming`) folds per-shard confusion cells into exact
+corpus totals without ever materializing two shards at once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro._rng import derive_seed
+from repro.errors import ConfigurationError
+from repro.workload.generator import Workload, WorkloadConfig, generate_workload
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ShardSpec",
+    "ShardPlan",
+    "shard_seed",
+    "plan_shards",
+]
+
+#: Default units per shard: large enough to amortize per-shard overhead,
+#: small enough that one shard's workload stays well under 100 MB resident.
+DEFAULT_SHARD_SIZE = 10_000
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """The child seed shard ``index`` of corpus ``seed`` generates from.
+
+    ``derive_seed(seed, f"shard:{index}")`` — a pure function of the corpus
+    seed and the shard index, so a shard can be regenerated alone, in any
+    process, without touching its siblings.
+    """
+    return derive_seed(seed, f"shard:{index}")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Identity of one shard: its index, size, child seed and workload name."""
+
+    index: int
+    """Position in the corpus (0-based; the last shard may be ragged)."""
+    n_units: int
+    """Units this shard generates (``shard_size``, except a ragged tail)."""
+    seed: int
+    """The shard's own generation seed (see :func:`shard_seed`)."""
+    name: str
+    """The shard workload's name (``{base}-s{index:06d}``, unique per shard)."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of a ``scale``-unit corpus into shards.
+
+    The plan is pure description — iterating it yields :class:`ShardSpec`
+    identities, and :meth:`generate` materializes one shard's workload at a
+    time.  Everything is derived from ``(seed, scale, shard_size, base)``,
+    so plans pickle across process boundaries and rebuild identically.
+    """
+
+    scale: int
+    """Total units in the corpus across all shards."""
+    shard_size: int
+    """Maximum units per shard (the last shard takes the remainder)."""
+    seed: int
+    """The corpus master seed; every shard seed is derived from it."""
+    base: WorkloadConfig = field(default_factory=WorkloadConfig)
+    """Template config; per-shard configs override n_units, seed and name."""
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ConfigurationError(f"scale={self.scale} must be >= 1")
+        if self.shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size={self.shard_size} must be >= 1"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """How many shards the corpus partitions into (last may be ragged)."""
+        return math.ceil(self.scale / self.shard_size)
+
+    def units_in(self, index: int) -> int:
+        """Units in shard ``index`` (``shard_size`` except a ragged tail)."""
+        self._check_index(index)
+        if index == self.n_shards - 1:
+            return self.scale - self.shard_size * (self.n_shards - 1)
+        return self.shard_size
+
+    def spec(self, index: int) -> ShardSpec:
+        """The identity of shard ``index``."""
+        self._check_index(index)
+        return ShardSpec(
+            index=index,
+            n_units=self.units_in(index),
+            seed=shard_seed(self.seed, index),
+            name=f"{self.base.name}-s{index:06d}",
+        )
+
+    def config_for(self, index: int) -> WorkloadConfig:
+        """The full :class:`WorkloadConfig` shard ``index`` generates from."""
+        spec = self.spec(index)
+        return replace(
+            self.base, n_units=spec.n_units, seed=spec.seed, name=spec.name
+        )
+
+    def generate(self, index: int) -> Workload:
+        """Materialize shard ``index`` as a complete workload.
+
+        Independent of every other shard: the same ``(plan, index)`` pair
+        produces the same workload whether generated alone, in order, or in
+        a worker process.
+        """
+        return generate_workload(self.config_for(index))
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __iter__(self) -> Iterator[ShardSpec]:
+        for index in range(self.n_shards):
+            yield self.spec(index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_shards:
+            raise ConfigurationError(
+                f"shard index {index} out of range for {self.n_shards} shards"
+            )
+
+
+def plan_shards(
+    scale: int,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    seed: int = 0,
+    base: WorkloadConfig | None = None,
+) -> ShardPlan:
+    """Partition a ``scale``-unit corpus into a :class:`ShardPlan`.
+
+    ``base`` supplies the non-size workload parameters (prevalence, type
+    mix, difficulty knobs...); its ``n_units``/``seed``/``name`` fields are
+    overridden per shard.  The default base matches
+    :class:`~repro.workload.generator.WorkloadConfig`'s defaults with the
+    corpus seed and the name ``"corpus"``.
+    """
+    if base is None:
+        base = WorkloadConfig(seed=seed, name="corpus")
+    return ShardPlan(scale=scale, shard_size=shard_size, seed=seed, base=base)

@@ -224,3 +224,106 @@ class TestParser:
 
         args = build_parser().parse_args(["run", "R1", "--profile"])
         assert args.profile == Path("results")
+
+
+class TestScale:
+    def test_scale_run_prints_totals_and_summary(self, capsys):
+        assert main(["run", "--scale", "90", "--shard-size", "30"]) == 0
+        captured = capsys.readouterr()
+        assert "Sharded campaign totals — 90 units in 3 shards" in captured.out
+        assert "[90 units in 3 shards (shard_size=30)" in captured.err
+
+    def test_scale_manifest_has_shard_schema(self, tmp_path, capsys):
+        manifest_path = tmp_path / "shards.json"
+        main(
+            ["run", "--scale", "60", "--shard-size", "30", "--quiet",
+             "--jobs", "2", "--manifest", str(manifest_path)]
+        )
+        capsys.readouterr()
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro/shard-run@1"
+        assert payload["scale"] == 60
+        assert [r["status"] for r in payload["shards"]] == ["completed"] * 2
+        assert all(r["cells"] is not None for r in payload["shards"])
+
+    def test_injected_fault_without_keep_going_aborts(self, capsys):
+        with pytest.raises(SystemExit, match="run aborted — shard 1"):
+            main(
+                ["run", "--scale", "60", "--shard-size", "30", "--quiet",
+                 "--inject-fault", "S1"]
+            )
+
+    def test_keep_going_then_resume_completes_the_run(self, tmp_path, capsys):
+        manifest_path = tmp_path / "shards.json"
+        code = main(
+            ["run", "--scale", "90", "--shard-size", "30", "--quiet",
+             "--keep-going", "--inject-fault", "s1",
+             "--manifest", str(manifest_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[shard 1 failed after 1 attempt: InjectedFault" in captured.err
+        assert main(["run", "--quiet", "--resume", str(manifest_path)]) == 0
+        err = capsys.readouterr().err
+        assert "[90 units in 3 shards (shard_size=30)" in err
+
+    def test_retries_recover_and_totals_render(self, capsys):
+        code = main(
+            ["run", "--scale", "60", "--shard-size", "30",
+             "--retries", "1", "--inject-fault", "S0:fail=1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Sharded campaign totals" in captured.out
+
+    def test_trace_and_metrics_record_shard_activity(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        main(
+            ["run", "--scale", "60", "--shard-size", "30", "--quiet",
+             "--trace", str(trace_path), "--metrics-out", str(metrics_path)]
+        )
+        capsys.readouterr()
+        events = json.loads(trace_path.read_text(encoding="utf-8"))["traceEvents"]
+        assert {"engine.shard_run", "shard.generate", "shard.evaluate"} <= {
+            e["name"] for e in events
+        }
+        counters = json.loads(metrics_path.read_text(encoding="utf-8"))["counters"]
+        assert counters["engine.shards.completed"] == 2
+        assert counters["engine.shards.units"] == 60
+
+    def test_scale_rejects_experiment_ids(self):
+        with pytest.raises(SystemExit, match="not experiments"):
+            main(["run", "R1", "--scale", "100"])
+
+    def test_scale_rejects_resume_out_profile_timeout(self, tmp_path):
+        with pytest.raises(SystemExit, match="don't pass --scale alongside"):
+            main(["run", "--scale", "10", "--resume", str(tmp_path / "m.json")])
+        with pytest.raises(SystemExit, match="--out applies to experiment"):
+            main(["run", "--scale", "10", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit, match="--profile applies to experiment"):
+            main(["run", "--scale", "10", "--profile"])
+        with pytest.raises(SystemExit, match="--timeout is not supported"):
+            main(["run", "--scale", "10", "--timeout", "5"])
+
+    def test_shard_size_requires_scale(self):
+        with pytest.raises(SystemExit, match="--shard-size requires --scale"):
+            main(["run", "R1", "--shard-size", "10"])
+
+    def test_invalid_scale_values_are_clean_errors(self):
+        with pytest.raises(SystemExit, match="--scale must be >= 1"):
+            main(["run", "--scale", "0"])
+        with pytest.raises(SystemExit, match="--shard-size must be >= 1"):
+            main(["run", "--scale", "10", "--shard-size", "0"])
+
+    def test_resume_with_experiment_manifest_uses_experiment_path(
+        self, tmp_path, capsys
+    ):
+        # An experiment-engine manifest routes to the experiment resume
+        # path, not the sharded one, based on its schema tag.
+        manifest_path = tmp_path / "run.json"
+        main(["run", "R1", "--quiet", "--manifest", str(manifest_path)])
+        capsys.readouterr()
+        assert main(["run", "--quiet", "--resume", str(manifest_path)]) == 0
+        err = capsys.readouterr().err
+        assert "R1" in err

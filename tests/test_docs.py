@@ -31,17 +31,25 @@ check_docs = _load_checker()
 DOC_FILES = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
 
 
+CLI_FLAGS = check_docs.known_cli_flags()
+
+
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
 def test_doc_file_is_healthy(path):
-    problems = check_docs.check_file(path)
+    problems = check_docs.check_file(path, cli_flags=CLI_FLAGS)
     assert problems == [], "\n".join(str(p) for p in problems)
 
 
 def test_docs_exist_and_are_indexed():
     assert (ROOT / "docs" / "index.md").exists()
     index = (ROOT / "docs" / "index.md").read_text(encoding="utf-8")
-    for page in ("architecture.md", "observability.md", "benchmarking.md"):
+    for page in ("architecture.md", "observability.md", "benchmarking.md", "scaling.md"):
         assert page in index, f"docs/index.md must link {page}"
+
+
+def test_public_api_is_fully_docstringed():
+    problems = check_docs.check_api_docstrings(ROOT / "src" / "repro")
+    assert problems == [], "\n".join(str(p) for p in problems)
 
 
 class TestCheckerItself:
@@ -85,6 +93,60 @@ class TestCheckerItself:
             encoding="utf-8",
         )
         assert check_docs.check_file(page) == []
+
+    def test_unknown_cli_flag_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "run with `repro run --frobnicate` for speed\n", encoding="utf-8"
+        )
+        problems = check_docs.check_file(page, cli_flags=CLI_FLAGS)
+        assert len(problems) == 1
+        assert "--frobnicate" in problems[0].message
+
+    def test_known_cli_flags_pass(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "`--jobs 4` pairs well with `--cache-dir DIR`\n", encoding="utf-8"
+        )
+        assert check_docs.check_file(page, cli_flags=CLI_FLAGS) == []
+
+    def test_foreign_tool_flags_are_exempt(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "pytest benchmarks/ --benchmark-only runs the perf suite\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_file(page, cli_flags=CLI_FLAGS) == []
+
+    def test_known_flags_cover_run_and_scale_surface(self):
+        assert {
+            "--jobs", "--seed", "--executor", "--keep-going", "--retries",
+            "--resume", "--scale", "--shard-size", "--inject-fault",
+        } <= CLI_FLAGS
+
+    def test_docstring_checker_flags_a_bare_function(self, tmp_path):
+        src = tmp_path / "repro"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            '"""A module."""\n\n\ndef exposed():\n    return 1\n\n\ndef _hidden():\n    return 2\n',
+            encoding="utf-8",
+        )
+        problems = check_docs.check_api_docstrings(src)
+        assert [p.message for p in problems] == [
+            "public function `exposed` has no docstring"
+        ]
+
+    def test_docstring_checker_recurses_into_public_classes(self, tmp_path):
+        src = tmp_path / "repro"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            '"""A module."""\n\n\nclass Tool:\n    """A tool."""\n\n    def analyze(self):\n        return 0\n',
+            encoding="utf-8",
+        )
+        problems = check_docs.check_api_docstrings(src)
+        assert [p.message for p in problems] == [
+            "public function `Tool.analyze` has no docstring"
+        ]
 
     def test_main_reports_missing_file(self, capsys):
         assert check_docs.main(["/nonexistent/page.md"]) == 1

@@ -1,0 +1,121 @@
+"""Tests for the sharded workload layer (plan math, determinism, isolation)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro._rng import derive_seed
+from repro.errors import ConfigurationError
+from repro.workload.generator import WorkloadConfig
+from repro.workload.sharded import (
+    DEFAULT_SHARD_SIZE,
+    ShardPlan,
+    plan_shards,
+    shard_seed,
+)
+
+
+class TestPlanMath:
+    def test_even_split(self):
+        plan = plan_shards(scale=100, shard_size=25, seed=1)
+        assert plan.n_shards == 4
+        assert [spec.n_units for spec in plan] == [25, 25, 25, 25]
+
+    def test_ragged_tail_takes_the_remainder(self):
+        plan = plan_shards(scale=103, shard_size=25, seed=1)
+        assert plan.n_shards == 5
+        assert [spec.n_units for spec in plan] == [25, 25, 25, 25, 3]
+
+    def test_unit_counts_always_sum_to_scale(self):
+        for scale, shard_size in [(1, 1), (1, 10), (9, 4), (10, 10), (11, 10)]:
+            plan = plan_shards(scale=scale, shard_size=shard_size, seed=0)
+            assert sum(spec.n_units for spec in plan) == scale
+
+    def test_shard_larger_than_scale_is_one_shard(self):
+        plan = plan_shards(scale=7, shard_size=100, seed=0)
+        assert plan.n_shards == 1
+        assert plan.units_in(0) == 7
+
+    def test_default_shard_size(self):
+        assert plan_shards(scale=10**6).shard_size == DEFAULT_SHARD_SIZE
+
+    def test_len_and_iter_agree(self):
+        plan = plan_shards(scale=55, shard_size=10, seed=3)
+        assert len(plan) == len(list(plan)) == 6
+
+    def test_invalid_parameters_are_clean_errors(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            plan_shards(scale=0, shard_size=10)
+        with pytest.raises(ConfigurationError, match="shard_size"):
+            plan_shards(scale=10, shard_size=0)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            plan_shards(scale=10, shard_size=10).spec(1)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            plan_shards(scale=10, shard_size=10).spec(-1)
+
+
+class TestDeterminismContract:
+    def test_shard_seed_is_the_documented_derivation(self):
+        assert shard_seed(2015, 3) == derive_seed(2015, "shard:3")
+
+    def test_shard_seeds_differ_across_indices_and_corpus_seeds(self):
+        seeds = {shard_seed(2015, index) for index in range(50)}
+        assert len(seeds) == 50
+        assert shard_seed(2015, 0) != shard_seed(2016, 0)
+
+    def test_shard_names_are_unique_and_stable(self):
+        plan = plan_shards(scale=30, shard_size=10, seed=2015)
+        names = [spec.name for spec in plan]
+        assert names == ["corpus-s000000", "corpus-s000001", "corpus-s000002"]
+
+    def test_config_for_overrides_only_identity_fields(self):
+        base = WorkloadConfig(prevalence=0.3, seed=7, name="special")
+        plan = ShardPlan(scale=20, shard_size=10, seed=7, base=base)
+        config = plan.config_for(1)
+        assert config.prevalence == 0.3
+        assert config.n_units == 10
+        assert config.seed == shard_seed(7, 1)
+        assert config.name == "special-s000001"
+
+    def test_plan_pickles_and_rebuilds_identically(self):
+        plan = plan_shards(scale=30, shard_size=10, seed=2015)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert [spec for spec in clone] == [spec for spec in plan]
+
+
+class TestShardIsolation:
+    def test_any_shard_regenerates_in_isolation(self):
+        plan = plan_shards(scale=60, shard_size=20, seed=2015)
+        # Generate shard 2 alone, then as part of a full sweep: identical.
+        alone = plan.generate(2)
+        swept = [plan.generate(index) for index in range(plan.n_shards)][2]
+        assert alone.units == swept.units
+        assert alone.truth.sites == swept.truth.sites
+        assert alone.truth.vulnerable == swept.truth.vulnerable
+
+    def test_shards_do_not_share_content(self):
+        plan = plan_shards(scale=40, shard_size=20, seed=2015)
+        first, second = plan.generate(0), plan.generate(1)
+        assert first.name != second.name
+        assert {u.unit_id for u in first.units}.isdisjoint(
+            u.unit_id for u in second.units
+        )
+        assert first.units != second.units
+
+    def test_same_identity_same_corpus_different_seed_different_corpus(self):
+        plan_a = plan_shards(scale=20, shard_size=10, seed=2015)
+        plan_b = plan_shards(scale=20, shard_size=10, seed=2015)
+        plan_c = plan_shards(scale=20, shard_size=10, seed=2016)
+        assert plan_a.generate(0).units == plan_b.generate(0).units
+        assert plan_a.generate(0).units != plan_c.generate(0).units
+
+    def test_generated_shard_matches_its_spec(self):
+        plan = plan_shards(scale=25, shard_size=10, seed=2015)
+        for spec in plan:
+            workload = plan.generate(spec.index)
+            assert len(workload.units) == spec.n_units
+            assert workload.name == spec.name
+            assert workload.config.seed == spec.seed

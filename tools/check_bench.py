@@ -12,12 +12,16 @@ still works.  This checker runs three fast probes:
    draws the same stream as the per-resample scalar loop at the same seed,
    so ``bootstrap_metric`` and ``bootstrap_metric_scalar`` must return
    identical summaries.
-3. **Dump schema** — ``results/BENCH_engine.json``, when present, carries
-   the expected schema tag and the sections the docs cite.
+3. **Dump schema** — ``results/BENCH_engine.json`` and
+   ``results/BENCH_shard.json``, when present, carry the expected schema
+   tags and the sections the docs cite.
 4. **Fault-injection smoke** — a real ``repro run --keep-going`` with an
    injected mid-graph failure must isolate it (independents complete,
    dependents skip), write a structurally sound partial manifest, and
    exit non-zero.
+5. **Shard-scale smoke** — a small ``repro run --scale`` campaign on both
+   executors must exit 0, write a ``repro/shard-run@1`` manifest whose
+   per-shard cells fold to identical totals across executors.
 
 Usage::
 
@@ -37,6 +41,11 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_engine.
 BENCH_JSON_SCHEMA = "repro/bench-engine@1"
 #: Sections the docs cite; a partial bench run must not silently drop one.
 REQUIRED_SECTIONS = ("suite", "bootstrap", "executor", "tracing")
+
+SHARD_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_shard.json"
+SHARD_JSON_SCHEMA = "repro/bench-shard@1"
+#: Sections docs/scaling.md cites.
+SHARD_SECTIONS = ("parity", "throughput", "memory")
 
 
 def check_kernel_parity() -> list[str]:
@@ -118,6 +127,96 @@ def check_bench_json() -> list[str]:
     return problems
 
 
+def check_shard_json() -> list[str]:
+    """The shard dump must be schema-tagged, complete, and record parity."""
+    if not SHARD_JSON.exists():
+        return []
+    try:
+        payload = json.loads(SHARD_JSON.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"shard json: {SHARD_JSON} is not valid JSON: {error}"]
+    problems = []
+    found = payload.get("schema")
+    if found != SHARD_JSON_SCHEMA:
+        problems.append(
+            f"shard json: expected schema {SHARD_JSON_SCHEMA!r}, found {found!r}"
+        )
+    for section in SHARD_SECTIONS:
+        if section not in payload:
+            problems.append(f"shard json: missing section {section!r}")
+    if payload.get("parity", {}).get("identical") is not True:
+        problems.append(
+            "shard json: parity section does not record identical totals"
+        )
+    rows = payload.get("throughput", {}).get("rows", [])
+    if not rows:
+        problems.append("shard json: throughput section has no rows")
+    for row in rows:
+        missing = {
+            "scale", "shard_size", "wall_seconds",
+            "units_per_second", "peak_rss_mb",
+        } - set(row)
+        if missing:
+            problems.append(f"shard json: throughput row lacks {sorted(missing)}")
+    return problems
+
+
+def check_shard_scale() -> list[str]:
+    """A small sharded run on each executor: exit 0, identical totals."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    problems: list[str] = []
+    totals_by_executor: dict[str, list] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for executor in ("thread", "process"):
+            manifest_path = Path(tmp) / f"shards-{executor}.json"
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "run",
+                    "--scale", "400", "--shard-size", "150",
+                    "--jobs", "2", "--executor", executor,
+                    "--quiet", "--manifest", str(manifest_path),
+                ],
+                env=env,
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            if proc.returncode != 0:
+                problems.append(
+                    f"shard smoke ({executor}): exited "
+                    f"{proc.returncode}: {proc.stderr[-500:]}"
+                )
+                continue
+            payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if payload.get("schema") != "repro/shard-run@1":
+                problems.append(
+                    f"shard smoke ({executor}): manifest schema is "
+                    f"{payload.get('schema')!r}, expected 'repro/shard-run@1'"
+                )
+                continue
+            records = payload["shards"]
+            if [r["status"] for r in records] != ["completed"] * 3:
+                problems.append(
+                    f"shard smoke ({executor}): expected 3 completed shards, "
+                    f"got {[r['status'] for r in records]}"
+                )
+                continue
+            totals_by_executor[executor] = [
+                [r["cells"]["tp"], r["cells"]["fp"], r["cells"]["fn"], r["cells"]["tn"]]
+                for r in records
+            ]
+    if len(totals_by_executor) == 2:
+        if totals_by_executor["thread"] != totals_by_executor["process"]:
+            problems.append(
+                "shard smoke: per-shard cells differ between thread and "
+                "process executors"
+            )
+    return problems
+
+
 def check_fault_injection() -> list[str]:
     """An injected failure must isolate, manifest correctly, and exit 1."""
     repo_root = Path(__file__).resolve().parent.parent
@@ -174,7 +273,9 @@ def main() -> int:
         check_kernel_parity()
         + check_resampler_identity()
         + check_bench_json()
+        + check_shard_json()
         + check_fault_injection()
+        + check_shard_scale()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
@@ -182,8 +283,8 @@ def main() -> int:
         print(f"{len(problems)} benchmark problem(s)", file=sys.stderr)
         return 1
     print(
-        "bench ok: kernels, resampler stream, dump schema, and "
-        "fault-injection smoke checked"
+        "bench ok: kernels, resampler stream, dump schemas, fault-injection "
+        "smoke, and shard-scale smoke checked"
     )
     return 0
 

@@ -8,6 +8,15 @@ this over ``docs/*.md`` and ``README.md`` on every test run, and the docs
 CI job calls it directly — so the observability and architecture pages
 cannot rot the way the pre-engine README quickstart did.
 
+Two drift checks go beyond the markdown itself:
+
+- every ``--flag`` a doc mentions must actually exist on the ``repro``
+  CLI (lines invoking other tools — pytest, pip, git — are exempt), so a
+  renamed flag cannot survive in prose or diagrams;
+- every public function, class, and method under ``src/repro/`` must
+  carry a docstring, so the API surface the docs describe stays
+  self-describing.
+
 Usage::
 
     PYTHONPATH=src python tools/check_docs.py README.md docs/*.md
@@ -18,13 +27,22 @@ mid-walkthrough) by preceding the fence with ``<!-- docs-check: skip -->``.
 
 from __future__ import annotations
 
+import argparse
+import ast
 import doctest
 import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["DocProblem", "check_file", "extract_fenced_blocks", "main"]
+__all__ = [
+    "DocProblem",
+    "check_api_docstrings",
+    "check_file",
+    "extract_fenced_blocks",
+    "known_cli_flags",
+    "main",
+]
 
 _FENCE = re.compile(
     r"(?P<skip><!--\s*docs-check:\s*skip\s*-->\s*\n)?"
@@ -131,10 +149,96 @@ def _check_links(path: Path, text: str) -> list[DocProblem]:
     return problems
 
 
-def check_file(path: Path) -> list[DocProblem]:
-    """Every problem in one markdown file (fenced python + internal links)."""
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+# Lines invoking these tools carry flags that are not ours to validate.
+_FOREIGN_COMMANDS = re.compile(r"\b(pytest|pip|git|cargo|go|npm|docker)\b")
+
+
+def known_cli_flags() -> frozenset[str]:
+    """Every ``--flag`` the ``repro`` CLI accepts, across all subcommands."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+    parsers = [build_parser()]
+    while parsers:
+        parser = parsers.pop()
+        for action in parser._actions:
+            flags.update(
+                option
+                for option in action.option_strings
+                if option.startswith("--")
+            )
+            if isinstance(action, argparse._SubParsersAction):
+                parsers.extend(action.choices.values())
+    return frozenset(flags)
+
+
+def _check_cli_flags(
+    path: Path, text: str, flags: frozenset[str]
+) -> list[DocProblem]:
+    """Every ``--flag`` a doc mentions must exist on the ``repro`` CLI."""
+    problems = []
+    for offset, line_text in enumerate(text.splitlines()):
+        if _FOREIGN_COMMANDS.search(line_text):
+            continue
+        for match in _FLAG.finditer(line_text):
+            if match.group(0) not in flags:
+                problems.append(
+                    DocProblem(
+                        path,
+                        offset + 1,
+                        f"documents unknown CLI flag {match.group(0)} "
+                        "(not accepted by any `repro` subcommand)",
+                    )
+                )
+    return problems
+
+
+def _public_defs(body, prefix=""):
+    """``(node, qualified_name)`` for every public def/class, recursively."""
+    for node in body:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if node.name.startswith("_"):
+            continue
+        yield node, f"{prefix}{node.name}"
+        if isinstance(node, ast.ClassDef):
+            yield from _public_defs(node.body, prefix=f"{node.name}.")
+
+
+def check_api_docstrings(src_root: Path) -> list[DocProblem]:
+    """Every public symbol under ``src_root`` must carry a docstring."""
+    problems = []
+    for source in sorted(src_root.rglob("*.py")):
+        if any(part.startswith("_") for part in source.relative_to(src_root).parts):
+            continue
+        tree = ast.parse(source.read_text(encoding="utf-8"), filename=str(source))
+        if ast.get_docstring(tree) is None:
+            problems.append(DocProblem(source, 1, "module has no docstring"))
+        for node, name in _public_defs(tree.body):
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                problems.append(
+                    DocProblem(
+                        source,
+                        node.lineno,
+                        f"public {kind} `{name}` has no docstring",
+                    )
+                )
+    return problems
+
+
+def check_file(
+    path: Path, cli_flags: frozenset[str] | None = None
+) -> list[DocProblem]:
+    """Every problem in one markdown file (examples, links, flag drift)."""
     text = path.read_text(encoding="utf-8")
     problems = _check_links(path, text)
+    if cli_flags is None:
+        cli_flags = known_cli_flags()
+    problems.extend(_check_cli_flags(path, text, cli_flags))
     for line, lang, body, skipped in extract_fenced_blocks(text):
         if lang != "python" or skipped:
             continue
@@ -143,25 +247,34 @@ def check_file(path: Path) -> list[DocProblem]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Check the named markdown files (default: README + docs/) and the API."""
+    root = Path(__file__).resolve().parent.parent
+    if str(root / "src") not in sys.path:
+        sys.path.insert(0, str(root / "src"))  # plain `python tools/check_docs.py`
     args = sys.argv[1:] if argv is None else list(argv)
     if not args:
-        root = Path(__file__).resolve().parent.parent
         args = [str(root / "README.md")] + sorted(
             str(p) for p in (root / "docs").glob("*.md")
         )
+    flags = known_cli_flags()
     problems: list[DocProblem] = []
     for name in args:
         path = Path(name)
         if not path.exists():
             problems.append(DocProblem(path, 0, "file does not exist"))
             continue
-        problems.extend(check_file(path))
+        problems.extend(check_file(path, cli_flags=flags))
+    api_problems = check_api_docstrings(root / "src" / "repro")
+    problems.extend(api_problems)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print(f"docs ok: {len(args)} file(s) checked")
+    print(
+        f"docs ok: {len(args)} file(s) checked, "
+        "public API fully docstringed, no CLI-flag drift"
+    )
     return 0
 
 
