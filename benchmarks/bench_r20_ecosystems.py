@@ -1,0 +1,47 @@
+"""Bench R20 — regenerate the cross-ecosystem metric-adequacy grid.
+
+Extension analogue: the paper's scenario-dependent winner result, pushed
+along a second axis.  Shape claims: every registered ecosystem produces a
+full winner row, and at least one (scenario, ecosystem) cell picks a
+different metric than the web-services baseline — the adequate metric is a
+property of the deployment regime, not of the metric catalog.
+
+Besides ``results/r20.txt``, this bench archives the machine-readable grid
+as ``results/BENCH_ecosystems.json`` (schema ``repro/bench-ecosystems@1``)
+for the CI schema check in ``tools/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.experiments import r20_ecosystems
+from repro.workload.ecosystems import ecosystem_names
+
+ECOSYSTEMS_JSON_SCHEMA = "repro/bench-ecosystems@1"
+
+
+def test_bench_r20_ecosystems(benchmark, save_result, results_dir):
+    result = benchmark.pedantic(r20_ecosystems.run, rounds=1, iterations=1)
+    save_result("R20", result.render())
+    print()
+    print(result.sections["winner_grid"])
+
+    winners = result.data["winners"]
+    flips = result.data["flips"]
+    names = ecosystem_names()
+    assert result.data["ecosystems"] == names
+    for scenario_key, row in winners.items():
+        assert set(row) == set(names), scenario_key
+    # The acceptance claim: the winning metric is ecosystem-dependent.
+    assert len(flips) >= 1
+
+    payload = {
+        "schema": ECOSYSTEMS_JSON_SCHEMA,
+        "ecosystems": result.data["ecosystems"],
+        "winners": winners,
+        "taus": result.data["taus"],
+        "flips": flips,
+    }
+    out = results_dir / "BENCH_ecosystems.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -68,6 +68,9 @@ class CampaignResult:
 
     workload_name: str
     results: tuple[ToolResult, ...]
+    ecosystem: str = "web-services"
+    """Ecosystem of the workload the campaign ran on (identity only; the
+    default keeps campaigns predating ecosystems loadable unchanged)."""
 
     def __post_init__(self) -> None:
         names = [r.tool_name for r in self.results]
@@ -108,4 +111,8 @@ def run_campaign(
         report = tool.analyze(workload)
         confusion = score_report(report, workload.truth)
         results.append(ToolResult(tool_name=tool.name, report=report, confusion=confusion))
-    return CampaignResult(workload_name=workload.name, results=tuple(results))
+    return CampaignResult(
+        workload_name=workload.name,
+        results=tuple(results),
+        ecosystem=workload.config.ecosystem,
+    )

@@ -60,7 +60,8 @@ from repro.bench.streaming import (
 )
 from repro.errors import ConfigurationError, ExperimentFailedError
 from repro.obs import Observability, SpanRecord, Tracer
-from repro.tools.suite import reference_suite
+from repro.tools.families import get_family, suite_for_ecosystem
+from repro.workload.ecosystems import DEFAULT_ECOSYSTEM, get_ecosystem
 from repro.workload.sharded import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 
 __all__ = [
@@ -109,8 +110,15 @@ def _shard_cells_codec() -> ArtifactCodec:
     )
 
 
-def _shard_key(plan: ShardPlan, index: int) -> ArtifactKey:
-    """The artifact-store key of shard ``index``'s cells."""
+def _shard_key(
+    plan: ShardPlan, index: int, families: tuple[str, ...]
+) -> ArtifactKey:
+    """The artifact-store key of shard ``index``'s cells.
+
+    Keyed by ecosystem and tool families as well as the plan geometry, so
+    same-seed campaigns over different ecosystems (or suite subsets) never
+    collide in a shared cache.
+    """
     return ArtifactKey(
         kind="shard-cells",
         name=f"s{index:06d}",
@@ -118,6 +126,8 @@ def _shard_key(plan: ShardPlan, index: int) -> ArtifactKey:
             ("scale", plan.scale),
             ("seed", plan.seed),
             ("shard_size", plan.shard_size),
+            ("ecosystem", plan.ecosystem),
+            ("families", ",".join(families)),
         ),
     )
 
@@ -216,6 +226,11 @@ class ShardRunManifest:
     wall_seconds: float
     records: tuple[ShardRunRecord, ...]
     cache_dir: str | None = None
+    ecosystem: str = DEFAULT_ECOSYSTEM
+    """Ecosystem the corpus was generated under (resume restores it)."""
+    tool_families: tuple[str, ...] | None = None
+    """Resolved tool-family keys the suite was built from (``None`` in
+    manifests predating tool families: the historical reference suite)."""
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -256,7 +271,8 @@ class ShardRunManifest:
         line = (
             f"{units} units in {len(self.records)} shards "
             f"(shard_size={self.shard_size}) in {self.wall_seconds:.1f}s "
-            f"(jobs={self.jobs}, executor={self.executor}, seed={self.seed})"
+            f"(jobs={self.jobs}, executor={self.executor}, seed={self.seed}, "
+            f"ecosystem={self.ecosystem})"
         )
         failed = self.status_counts()["failed"]
         if failed:
@@ -274,6 +290,12 @@ class ShardRunManifest:
             "executor": self.executor,
             "wall_seconds": self.wall_seconds,
             "cache_dir": self.cache_dir,
+            "ecosystem": self.ecosystem,
+            **(
+                {"tool_families": list(self.tool_families)}
+                if self.tool_families is not None
+                else {}
+            ),
             "shards": [record.to_dict() for record in self.records],
             "statuses": self.status_counts(),
             **({"extra": self.extra} if self.extra else {}),
@@ -298,6 +320,12 @@ class ShardRunManifest:
                 ShardRunRecord.from_dict(entry) for entry in payload["shards"]
             ),
             cache_dir=payload.get("cache_dir"),
+            ecosystem=payload.get("ecosystem", DEFAULT_ECOSYSTEM),
+            tool_families=(
+                tuple(payload["tool_families"])
+                if payload.get("tool_families") is not None
+                else None
+            ),
             extra=payload.get("extra", {}),
         )
 
@@ -340,6 +368,7 @@ def _evaluate_one(
     attempt: int,
     store: ArtifactStore,
     tools: list,
+    families: tuple[str, ...],
     fault: FaultSpec | None,
 ) -> _ShardOutcome:
     """Run one attempt of one shard against ``store``; return its outcome.
@@ -368,7 +397,7 @@ def _evaluate_one(
             return evaluate_shard(tools, workload, index)
 
     cells = store.get_or_compute(
-        _shard_key(plan, index),
+        _shard_key(plan, index, families),
         compute,
         codec=_shard_cells_codec(),
         requester=f"shard:{index}",
@@ -392,6 +421,7 @@ def _evaluate_in_process(
     attempt: int,
     cache_dir: str | None,
     trace: bool,
+    families: tuple[str, ...],
     fault: FaultSpec | None,
 ) -> _ShardOutcome:
     """Worker-process entry point: evaluate one shard, return a picklable
@@ -405,8 +435,8 @@ def _evaluate_in_process(
     # A fresh bundle per task, so the parent merges without double counting.
     obs = Observability(tracer=Tracer(enabled=trace))
     store.obs = obs
-    tools = reference_suite(seed=plan.seed)
-    outcome = _evaluate_one(plan, index, attempt, store, tools, fault)
+    tools = suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
+    outcome = _evaluate_one(plan, index, attempt, store, tools, families, fault)
     return _ShardOutcome(
         index=outcome.index,
         n_units=outcome.n_units,
@@ -434,8 +464,17 @@ def run_sharded_campaign(
     obs: Observability | None = None,
     faults: FaultPlan | None = None,
     resume_from: ShardRunManifest | None = None,
+    ecosystem: str = DEFAULT_ECOSYSTEM,
+    tool_families: tuple[str, ...] | None = None,
 ) -> ShardedCampaignRun:
-    """Run the reference suite over a sharded ``scale``-unit corpus.
+    """Run an ecosystem's tool suite over a sharded ``scale``-unit corpus.
+
+    ``ecosystem`` selects the registered
+    :class:`~repro.workload.ecosystems.EcosystemProfile` that shapes every
+    shard's workload and (by default) the tool suite; ``tool_families``
+    restricts the suite to a subset of registered families.  The default
+    ecosystem runs the historical reference suite over the historical
+    corpus, bit-identically to runs predating these parameters.
 
     Shards execute under the requested executor with the engine's error
     policy (``retries`` re-attempts at the same derived shard seed;
@@ -468,12 +507,24 @@ def run_sharded_campaign(
         scale = resume_from.scale
         shard_size = resume_from.shard_size
         seed = resume_from.seed
+        ecosystem = resume_from.ecosystem
+        tool_families = resume_from.tool_families
         carried = {
             record.index: record
             for record in resume_from.records
             if record.completed
         }
-    plan = plan_shards(scale=scale, shard_size=shard_size, seed=seed)
+    profile = get_ecosystem(ecosystem)
+    families = (
+        tuple(tool_families)
+        if tool_families is not None
+        else profile.tool_families
+    )
+    for family_key in families:
+        get_family(family_key)  # fail fast, listing registered names
+    plan = plan_shards(
+        scale=scale, shard_size=shard_size, seed=seed, ecosystem=ecosystem
+    )
 
     if store is None:
         store = ArtifactStore(cache_dir=cache_dir, obs=obs)
@@ -487,7 +538,13 @@ def run_sharded_campaign(
         )
 
     accumulator = CampaignAccumulator(
-        [tool.name for tool in reference_suite(seed=seed)]
+        [
+            tool.name
+            for tool in suite_for_ecosystem(
+                profile, seed=seed, families=families
+            )
+        ],
+        ecosystem=ecosystem,
     )
     records: dict[int, ShardRunRecord] = {}
     for record in carried.values():
@@ -505,19 +562,20 @@ def run_sharded_campaign(
         shards=len(pending),
         jobs=jobs,
         executor=executor,
+        ecosystem=ecosystem,
     ):
         if executor == "thread" and jobs == 1:
             records.update(
                 _run_shards_serial(
-                    plan, pending, store, accumulator, keep_going, retries,
-                    faults,
+                    plan, pending, store, accumulator, families, keep_going,
+                    retries, faults,
                 )
             )
         elif pending:
             records.update(
                 _run_shards_pooled(
-                    plan, pending, store, accumulator, jobs, executor,
-                    keep_going, retries, faults,
+                    plan, pending, store, accumulator, families, jobs,
+                    executor, keep_going, retries, faults,
                 )
             )
     wall = time.perf_counter() - run_started
@@ -541,6 +599,8 @@ def run_sharded_campaign(
         wall_seconds=wall,
         records=manifest_records,
         cache_dir=str(store.cache_dir) if store.cache_dir is not None else None,
+        ecosystem=ecosystem,
+        tool_families=families,
         extra=extra,
     )
     totals = accumulator.result() if accumulator.folded else None
@@ -593,12 +653,13 @@ def _run_shards_serial(
     pending: list[int],
     store: ArtifactStore,
     accumulator: CampaignAccumulator,
+    families: tuple[str, ...],
     keep_going: bool,
     retries: int,
     faults: FaultPlan | None,
 ) -> dict[int, ShardRunRecord]:
     obs = store.obs
-    tools = reference_suite(seed=plan.seed)
+    tools = suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
     records: dict[int, ShardRunRecord] = {}
     for index in pending:
         obs.metrics.inc("engine.shards.scheduled")
@@ -607,7 +668,7 @@ def _run_shards_serial(
         while True:
             try:
                 outcome = _evaluate_one(
-                    plan, index, attempt, store, tools, fault
+                    plan, index, attempt, store, tools, families, fault
                 )
             except Exception as error:
                 if attempt <= retries:
@@ -633,6 +694,7 @@ def _run_shards_pooled(
     pending: list[int],
     store: ArtifactStore,
     accumulator: CampaignAccumulator,
+    families: tuple[str, ...],
     jobs: int,
     executor: str,
     keep_going: bool,
@@ -646,7 +708,11 @@ def _run_shards_pooled(
     obs = store.obs
     cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
     trace = obs.tracer.enabled
-    tools = reference_suite(seed=plan.seed) if executor == "thread" else None
+    tools = (
+        suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
+        if executor == "thread"
+        else None
+    )
     records: dict[int, ShardRunRecord] = {}
     queue = list(pending)
     pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
@@ -659,11 +725,12 @@ def _run_shards_pooled(
             if executor == "process":
                 future = pool.submit(
                     _evaluate_in_process,
-                    plan, index, attempt, cache_dir, trace, fault,
+                    plan, index, attempt, cache_dir, trace, families, fault,
                 )
             else:
                 future = pool.submit(
-                    _evaluate_one, plan, index, attempt, store, tools, fault
+                    _evaluate_one,
+                    plan, index, attempt, store, tools, families, fault,
                 )
             active[future] = (index, attempt)
 
@@ -700,7 +767,9 @@ def _run_shards_pooled(
                                     - obs.tracer.epoch_unix
                                 ),
                             )
-                        store.put(_shard_key(plan, index), outcome.cells)
+                        store.put(
+                            _shard_key(plan, index, families), outcome.cells
+                        )
                     obs.metrics.inc("engine.shards.completed")
                     obs.metrics.observe(
                         "engine.shard.seconds", outcome.wall_seconds

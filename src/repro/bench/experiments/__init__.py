@@ -1,4 +1,4 @@
-"""Experiment drivers R1..R19 (one per reproduced table/figure).
+"""Experiment drivers R1..R20 (one per reproduced table/figure).
 
 See DESIGN.md for the experiment index.  Each module exposes
 ``run(...) -> ExperimentResult`` and registers an
@@ -27,12 +27,13 @@ from repro.bench.experiments import (
     r17_workload_stability,
     r18_thresholds,
     r19_run_noise,
+    r20_ecosystems,
 )
 from repro.bench.engine.spec import all_specs
 from repro.bench.experiments.base import DEFAULT_SEED, ExperimentResult
 
 #: Experiment id -> ``run`` callable, in index order.  R1-R11 reproduce the
-#: paper's tables/figures; R12-R19 are extensions.
+#: paper's tables/figures; R12-R20 are extensions.
 ALL_EXPERIMENTS = {spec.experiment_id: spec.runner for spec in all_specs()}
 
 __all__ = [
@@ -58,4 +59,5 @@ __all__ = [
     "r17_workload_stability",
     "r18_thresholds",
     "r19_run_noise",
+    "r20_ecosystems",
 ]

@@ -36,6 +36,7 @@ from repro.metrics.base import Metric
 from repro.metrics.batch import ConfusionBatch
 from repro.metrics.confusion import ConfusionMatrix
 from repro.tools.base import VulnerabilityDetectionTool
+from repro.workload.ecosystems import DEFAULT_ECOSYSTEM
 from repro.workload.generator import Workload
 from repro.workload.sharded import ShardPlan
 
@@ -71,6 +72,10 @@ class ShardCells:
     """Analysis sites scored per tool."""
     n_vulnerable: int
     """Truly vulnerable sites in the shard (tp + fn of every tool)."""
+    ecosystem: str = DEFAULT_ECOSYSTEM
+    """Ecosystem of the shard's workload.  Cells of different ecosystems
+    never fold into one total; the default keeps cached cells predating
+    ecosystems loadable unchanged."""
 
     def __post_init__(self) -> None:
         lengths = {
@@ -115,6 +120,7 @@ class ShardCells:
             n_units=n_units,
             n_sites=int(first.tp + first.fp + first.fn + first.tn),
             n_vulnerable=int(first.tp + first.fn),
+            ecosystem=campaign.ecosystem,
         )
 
 
@@ -153,6 +159,8 @@ class StreamingCampaignResult:
     n_vulnerable: int
     shard_indices: tuple[int, ...]
     """Shards folded into these totals, in fold order."""
+    ecosystem: str = DEFAULT_ECOSYSTEM
+    """Ecosystem every folded shard belonged to."""
 
     @property
     def n_shards(self) -> int:
@@ -196,10 +204,13 @@ class CampaignAccumulator:
     rather than silently double counted.
     """
 
-    def __init__(self, tool_names: Sequence[str]) -> None:
+    def __init__(
+        self, tool_names: Sequence[str], ecosystem: str = DEFAULT_ECOSYSTEM
+    ) -> None:
         if not tool_names:
             raise ConfigurationError("accumulator needs at least one tool")
         self.tool_names = tuple(tool_names)
+        self.ecosystem = ecosystem
         n = len(self.tool_names)
         self._tp = np.zeros(n, dtype=np.float64)
         self._fp = np.zeros(n, dtype=np.float64)
@@ -229,6 +240,13 @@ class CampaignAccumulator:
                 f"{list(cells.tool_names)}, accumulator expects "
                 f"{list(self.tool_names)}"
             )
+        if cells.ecosystem != self.ecosystem:
+            raise ConfigurationError(
+                f"shard {cells.shard_index} is ecosystem "
+                f"{cells.ecosystem!r}, accumulator totals "
+                f"{self.ecosystem!r} — cross-ecosystem folds would mix "
+                f"incomparable corpora"
+            )
         if cells.shard_index in self._folded:
             raise ConfigurationError(
                 f"shard {cells.shard_index} already folded — folding it "
@@ -253,6 +271,11 @@ class CampaignAccumulator:
         if other.tool_names != self.tool_names:
             raise ConfigurationError(
                 "cannot merge accumulators over different tool suites"
+            )
+        if other.ecosystem != self.ecosystem:
+            raise ConfigurationError(
+                f"cannot merge accumulators of ecosystems "
+                f"{self.ecosystem!r} and {other.ecosystem!r}"
             )
         overlap = self._folded & other._folded
         if overlap:
@@ -292,6 +315,7 @@ class CampaignAccumulator:
             n_sites=self._n_sites,
             n_vulnerable=self._n_vulnerable,
             shard_indices=tuple(self._order),
+            ecosystem=self.ecosystem,
         )
 
 
@@ -331,4 +355,5 @@ def materialized_totals(
         n_sites=n_sites,
         n_vulnerable=n_vulnerable,
         shard_indices=tuple(spec.index for spec in plan),
+        ecosystem=plan.ecosystem,
     )

@@ -14,6 +14,9 @@ Usage::
     python -m repro run all --keep-going --retries 2 --manifest run.json
     python -m repro run --resume run.json # re-run only what didn't complete
     python -m repro run --scale 1000000 --shard-size 10000  # streaming campaign
+    python -m repro run --scale 5000 --ecosystem npm-deps   # another ecosystem
+    python -m repro run --scale 5000 --ecosystem all        # every ecosystem
+    python -m repro run --list-ecosystems  # print the registries
     python -m repro stats m.json          # print a metrics dump as tables
 
 Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
@@ -30,11 +33,18 @@ code is non-zero whenever any experiment did not complete.  ``--resume
 MANIFEST`` re-executes only the non-completed experiments of a prior run.
 
 Scale: ``--scale N`` switches ``run`` into sharded streaming-campaign mode
-— the reference suite is evaluated over an N-unit corpus partitioned into
-``--shard-size`` shards, with per-shard retry/keep-going/resume semantics
-and memory bounded by the shard size (see ``docs/scaling.md``).  ``--resume``
-detects shard manifests by their schema tag, so the same flag resumes both
-kinds of run.
+— an ecosystem's tool suite is evaluated over an N-unit corpus partitioned
+into ``--shard-size`` shards, with per-shard retry/keep-going/resume
+semantics and memory bounded by the shard size (see ``docs/scaling.md``).
+``--resume`` detects shard manifests by their schema tag, so the same flag
+resumes both kinds of run.
+
+Ecosystems: ``--ecosystem NAME`` selects which registered
+:class:`~repro.workload.ecosystems.EcosystemProfile` shapes the corpus and
+the suite (``all`` loops every registered ecosystem); ``--tool-family KEY``
+(repeatable) restricts the suite to specific registered families; and
+``--list-ecosystems`` prints both registries.  Unknown names fail with a
+one-line error listing what is registered.
 """
 
 from __future__ import annotations
@@ -97,6 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
             "units per shard for --scale runs (default 10000); any shard "
             "is regenerable in isolation from its derived seed"
         ),
+    )
+    run_parser.add_argument(
+        "--ecosystem",
+        default=None,
+        metavar="NAME",
+        help=(
+            "ecosystem regime for --scale campaigns: a registered name "
+            "(see --list-ecosystems), or 'all' to run every registered "
+            "ecosystem in sequence (default: web-services)"
+        ),
+    )
+    run_parser.add_argument(
+        "--tool-family",
+        action="append",
+        default=None,
+        metavar="KEY",
+        dest="tool_families",
+        help=(
+            "restrict the --scale suite to this registered tool family "
+            "(repeatable; default: the ecosystem's own family list)"
+        ),
+    )
+    run_parser.add_argument(
+        "--list-ecosystems",
+        action="store_true",
+        help="print the registered ecosystems and tool families, then exit",
     )
     run_parser.add_argument(
         "--out",
@@ -417,6 +453,8 @@ def _cmd_run_scale(
     retries: int,
     resume_path: Path | None,
     inject_faults: list[str] | None,
+    ecosystem: str | None = None,
+    tool_families: list[str] | None = None,
 ) -> int:
     from repro.bench.engine.faults import FaultPlan, parse_fault
     from repro.bench.engine.shards import ShardRunManifest, run_sharded_campaign
@@ -441,6 +479,8 @@ def _cmd_run_scale(
         if inject_faults
         else None
     )
+    from repro.workload.ecosystems import DEFAULT_ECOSYSTEM
+
     obs = Observability(tracer=Tracer(enabled=trace_path is not None))
     try:
         run = run_sharded_campaign(
@@ -455,6 +495,10 @@ def _cmd_run_scale(
             obs=obs,
             faults=faults,
             resume_from=resume_from,
+            ecosystem=ecosystem if ecosystem is not None else DEFAULT_ECOSYSTEM,
+            tool_families=(
+                tuple(tool_families) if tool_families is not None else None
+            ),
         )
     except EngineError as error:
         raise SystemExit(f"run aborted — {error}") from error
@@ -490,7 +534,8 @@ def _cmd_run_scale(
                 headers=["tool", "TP", "FP", "FN", "TN", "reported"],
                 rows=rows,
                 title=(
-                    f"Sharded campaign totals — {totals.n_units} units in "
+                    f"Sharded campaign totals [{totals.ecosystem}] — "
+                    f"{totals.n_units} units in "
                     f"{totals.n_shards} shards: {totals.n_sites} sites, "
                     f"prevalence {totals.prevalence:.3f}"
                 ),
@@ -517,6 +562,58 @@ def _cmd_run_scale(
     return 0 if run.manifest.ok else 1
 
 
+def _cmd_list_ecosystems() -> int:
+    from repro.tools.families import all_families
+    from repro.workload.ecosystems import all_ecosystems
+
+    print("ecosystems:")
+    for profile in all_ecosystems():
+        print(
+            f"  {profile.name:14s} {profile.title} "
+            f"(prevalence {profile.prevalence:.3f}; "
+            f"families: {', '.join(profile.tool_families)})"
+        )
+    print("tool families:")
+    for family in all_families():
+        print(f"  {family.key:10s} {family.title}")
+    return 0
+
+
+def _validate_ecosystem_args(args: "argparse.Namespace") -> None:
+    """Fail fast on unknown/ill-combined --ecosystem / --tool-family."""
+    from repro.errors import ConfigurationError
+    from repro.tools.families import get_family
+    from repro.workload.ecosystems import get_ecosystem
+
+    sharded = args.scale is not None
+    if args.ecosystem is not None:
+        if not sharded:
+            raise SystemExit("--ecosystem requires --scale")
+        if args.resume is not None:
+            raise SystemExit(
+                "--resume restores the manifest's own ecosystem; don't "
+                "pass --ecosystem alongside it"
+            )
+        if args.ecosystem != "all":
+            try:
+                get_ecosystem(args.ecosystem)
+            except ConfigurationError as error:
+                raise SystemExit(str(error)) from error
+        elif args.manifest is not None:
+            raise SystemExit(
+                "--ecosystem all runs several campaigns; --manifest would "
+                "overwrite one file per run — pick a single ecosystem"
+            )
+    if args.tool_families is not None:
+        if not sharded:
+            raise SystemExit("--tool-family requires --scale")
+        for key in args.tool_families:
+            try:
+                get_family(key)
+            except ConfigurationError as error:
+                raise SystemExit(str(error)) from error
+
+
 def _cmd_stats(metrics_file: Path, prefix: str) -> int:
     from repro.obs import MetricsRegistry
     from repro.persist import load_json
@@ -535,6 +632,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "stats":
         return _cmd_stats(args.metrics_file, args.prefix)
+    if args.list_ecosystems:
+        return _cmd_list_ecosystems()
+    _validate_ecosystem_args(args)
     resume_schema = None
     if args.resume is not None and args.resume.exists():
         from repro.persist import load_json
@@ -565,9 +665,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         from repro.workload.sharded import DEFAULT_SHARD_SIZE
 
+        shard_size = (
+            args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE
+        )
+        if args.ecosystem == "all":
+            from repro.workload.ecosystems import ecosystem_names
+
+            worst = 0
+            for name in ecosystem_names():
+                print(f"[ecosystem {name}]", file=sys.stderr)
+                code = _cmd_run_scale(
+                    args.scale,
+                    shard_size,
+                    args.seed,
+                    args.quiet,
+                    args.jobs,
+                    args.executor,
+                    args.cache_dir,
+                    None,
+                    args.trace,
+                    args.metrics_out,
+                    args.keep_going,
+                    args.retries,
+                    None,
+                    args.inject_faults,
+                    ecosystem=name,
+                    tool_families=args.tool_families,
+                )
+                worst = max(worst, code)
+            return worst
         return _cmd_run_scale(
             args.scale,
-            args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE,
+            shard_size,
             args.seed,
             args.quiet,
             args.jobs,
@@ -580,6 +709,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.retries,
             args.resume,
             args.inject_faults,
+            ecosystem=args.ecosystem,
+            tool_families=args.tool_families,
         )
     if args.shard_size is not None:
         raise SystemExit("--shard-size requires --scale")

@@ -127,6 +127,7 @@ def workload_to_dict(workload: Workload) -> dict[str, Any]:
             "type_mix": {t.value: w for t, w in config.type_mix.items()},
             "seed": config.seed,
             "name": config.name,
+            "ecosystem": config.ecosystem,
         },
         "units": [
             {
@@ -171,6 +172,7 @@ def workload_from_dict(payload: dict[str, Any]) -> Workload:
         },
         seed=config_data["seed"],
         name=config_data["name"],
+        ecosystem=config_data.get("ecosystem", "web-services"),
     )
     units = tuple(
         CodeUnit(
@@ -239,6 +241,7 @@ def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
     return {
         "schema": _CAMPAIGN_SCHEMA,
         "workload_name": campaign.workload_name,
+        "ecosystem": campaign.ecosystem,
         "results": [
             {
                 "tool_name": result.tool_name,
@@ -266,7 +269,11 @@ def campaign_from_dict(payload: dict[str, Any]) -> CampaignResult:
         )
         for entry in payload["results"]
     )
-    return CampaignResult(workload_name=payload["workload_name"], results=results)
+    return CampaignResult(
+        workload_name=payload["workload_name"],
+        results=results,
+        ecosystem=payload.get("ecosystem", "web-services"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -345,6 +352,7 @@ def shard_cells_to_dict(cells: ShardCells) -> dict[str, Any]:
         "n_units": cells.n_units,
         "n_sites": cells.n_sites,
         "n_vulnerable": cells.n_vulnerable,
+        "ecosystem": cells.ecosystem,
     }
 
 
@@ -361,6 +369,7 @@ def shard_cells_from_dict(payload: dict[str, Any]) -> ShardCells:
         n_units=payload["n_units"],
         n_sites=payload["n_sites"],
         n_vulnerable=payload["n_vulnerable"],
+        ecosystem=payload.get("ecosystem", "web-services"),
     )
 
 

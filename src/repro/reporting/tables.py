@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["format_cell", "format_table"]
+__all__ = ["format_cell", "format_table", "format_grid"]
 
 
 def format_cell(value: object, float_format: str = ".3f") -> str:
@@ -85,3 +85,33 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(render_line(r) for r in rendered_rows)
     return "\n".join(lines)
+
+
+def format_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[object]],
+    corner: str = "",
+    title: str | None = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render a labeled rows x columns grid as an aligned text table.
+
+    A convenience over :func:`format_table` for cross-tabulations (scenario
+    x ecosystem, metric x regime...): ``cells[i][j]`` is the value at
+    ``(row_labels[i], col_labels[j])``, and ``corner`` names the row axis
+    in the header.  Shape mismatches raise, like :func:`format_table`.
+    """
+    if len(cells) != len(row_labels):
+        raise ConfigurationError(
+            f"grid has {len(cells)} cell rows, expected {len(row_labels)}"
+        )
+    rows = [
+        [label, *row] for label, row in zip(row_labels, cells)
+    ]
+    return format_table(
+        headers=[corner, *col_labels],
+        rows=rows,
+        title=title,
+        float_format=float_format,
+    )

@@ -3,7 +3,18 @@ parametric simulated scanners."""
 
 from repro.tools.base import Detection, DetectionReport, VulnerabilityDetectionTool
 from repro.tools.dynamic_injector import DynamicInjector
+from repro.tools.ensemble import EnsembleTool
+from repro.tools.families import (
+    ToolFamily,
+    all_families,
+    build_family,
+    family_names,
+    get_family,
+    register_family,
+    suite_for_ecosystem,
+)
 from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.sca_matcher import ScaMatcher, is_dependency_unit
 from repro.tools.simulated import SimulatedTool, ToolProfile
 from repro.tools.suite import real_tool_suite, reference_suite, simulated_pool
 from repro.tools.taint_analyzer import TaintAnalyzer
@@ -19,7 +30,17 @@ __all__ = [
     "DetectionReport",
     "VulnerabilityDetectionTool",
     "DynamicInjector",
+    "EnsembleTool",
+    "ToolFamily",
+    "all_families",
+    "build_family",
+    "family_names",
+    "get_family",
+    "register_family",
+    "suite_for_ecosystem",
     "PatternScanner",
+    "ScaMatcher",
+    "is_dependency_unit",
     "SimulatedTool",
     "ToolProfile",
     "TaintAnalyzer",

@@ -1,0 +1,330 @@
+"""Tool-family registry: archetype suites, parameterized by ecosystem.
+
+The reproduction's tools fall into *families* — static analyzers, dynamic
+testers, simulated commercial scanners, and (new with the ecosystem
+registry) DAST-style probers, SCA-style version matchers and an
+ensemble/consensus meta-tool.  A :class:`ToolFamily` packages one
+archetype's construction as a builder taking ``(seed, ecosystem profile)``,
+so every layer (campaign helpers, the sharded engine runner, the CLI, the
+R20 experiment) builds suites the same way: look the family up, call its
+builder.
+
+The historical suites are byte-compatible: ``web-services`` lists families
+``("sa", "pt", "vs")`` whose builders construct exactly the tools
+:func:`repro.tools.suite.reference_suite` always did, with the same names,
+profiles and seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.tools.base import VulnerabilityDetectionTool
+from repro.tools.dynamic_injector import DynamicInjector
+from repro.tools.ensemble import EnsembleTool
+from repro.tools.pattern_scanner import PatternScanner
+from repro.tools.sca_matcher import ScaMatcher
+from repro.tools.simulated import SimulatedTool, ToolProfile
+from repro.tools.taint_analyzer import TaintAnalyzer
+from repro.workload.ecosystems import (
+    DEFAULT_ECOSYSTEM,
+    EcosystemProfile,
+    get_ecosystem,
+)
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = [
+    "ToolFamily",
+    "register_family",
+    "get_family",
+    "family_names",
+    "all_families",
+    "build_family",
+    "suite_for_ecosystem",
+]
+
+#: A family builder: ``(seed, ecosystem profile) -> tools``.
+FamilyBuilder = Callable[[int, EcosystemProfile], list[VulnerabilityDetectionTool]]
+
+
+@dataclass(frozen=True)
+class ToolFamily:
+    """One tool archetype: a name, a description, and a suite builder."""
+
+    key: str
+    title: str
+    description: str
+    builder: FamilyBuilder
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("tool family key must be non-empty")
+
+    def build(
+        self, seed: int, profile: EcosystemProfile
+    ) -> list[VulnerabilityDetectionTool]:
+        """Construct this family's tools for ``(seed, profile)``."""
+        return self.builder(seed, profile)
+
+
+_REGISTRY: dict[str, ToolFamily] = {}
+
+
+def register_family(family: ToolFamily) -> ToolFamily:
+    """Register ``family``; re-registration must reuse the same builder."""
+    existing = _REGISTRY.get(family.key)
+    if existing is not None and existing.builder is not family.builder:
+        raise ConfigurationError(
+            f"tool family {family.key!r} registered twice with different "
+            f"builders"
+        )
+    _REGISTRY[family.key] = family
+    return family
+
+
+def get_family(key: str) -> ToolFamily:
+    """The registered family for ``key``; unknown keys list the registry."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown tool family {key!r}; known: {', '.join(family_names())}"
+        ) from None
+
+
+def family_names() -> list[str]:
+    """Registered family keys, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_families() -> list[ToolFamily]:
+    """Every registered family, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def build_family(
+    key: str, seed: int, ecosystem: str | EcosystemProfile = DEFAULT_ECOSYSTEM
+) -> list[VulnerabilityDetectionTool]:
+    """Build one family's tools for ``(seed, ecosystem)``."""
+    profile = (
+        ecosystem
+        if isinstance(ecosystem, EcosystemProfile)
+        else get_ecosystem(ecosystem)
+    )
+    return get_family(key).build(seed, profile)
+
+
+def suite_for_ecosystem(
+    ecosystem: str | EcosystemProfile = DEFAULT_ECOSYSTEM,
+    seed: int = 0,
+    families: Sequence[str] | None = None,
+) -> list[VulnerabilityDetectionTool]:
+    """The tool suite of ``ecosystem``: its families' builds, concatenated.
+
+    ``families`` restricts the suite to a subset (campaign ablations, the
+    CLI's ``--tool-family``); the default is the profile's own
+    ``tool_families``.  Unknown family keys fail with the registry listing.
+    """
+    profile = (
+        ecosystem
+        if isinstance(ecosystem, EcosystemProfile)
+        else get_ecosystem(ecosystem)
+    )
+    keys = tuple(families) if families is not None else profile.tool_families
+    if not keys:
+        raise ConfigurationError("suite needs at least one tool family")
+    suite: list[VulnerabilityDetectionTool] = []
+    for key in keys:
+        suite.extend(build_family(key, seed, profile))
+    names = [tool.name for tool in suite]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"families {list(keys)} produce duplicate tool names: {names}"
+        )
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# Builders (the historical suites live here now; repro.tools.suite delegates)
+# ---------------------------------------------------------------------------
+def _build_sa(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    return [
+        PatternScanner(name="SA-Grep", respect_sanitizers=False),
+        TaintAnalyzer(name="SA-Flow", trust_sanitizers=False),
+        TaintAnalyzer(name="SA-Deep", trust_sanitizers=True, max_chain_depth=4),
+    ]
+
+
+def _build_pt(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    return [
+        DynamicInjector(
+            name="PT-Spider",
+            payload_coverage=0.9,
+            difficulty_penalty=0.45,
+            false_alarm_rate=0.03,
+            seed=seed,
+        ),
+        DynamicInjector(
+            name="PT-Probe",
+            payload_coverage=0.6,
+            difficulty_penalty=0.6,
+            false_alarm_rate=0.005,
+            seed=seed,
+        ),
+    ]
+
+
+def _build_vs(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    return [
+        SimulatedTool(
+            "VS-Alpha",
+            ToolProfile(
+                recall=0.70,
+                fpr=0.10,
+                recall_by_type={
+                    VulnerabilityType.SQL_INJECTION: 0.85,
+                    VulnerabilityType.XPATH_INJECTION: 0.45,
+                },
+                difficulty_sensitivity=0.25,
+            ),
+            seed=seed,
+        ),
+        SimulatedTool(
+            "VS-Beta",
+            ToolProfile(recall=0.92, fpr=0.35, difficulty_sensitivity=0.10),
+            seed=seed,
+        ),
+        SimulatedTool(
+            "VS-Gamma",
+            ToolProfile(recall=0.40, fpr=0.01, difficulty_sensitivity=0.45),
+            seed=seed,
+        ),
+    ]
+
+
+def _build_dast(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    # Low-recall, very-low-FP prober: a crawler with a shallow payload set
+    # that only reports responses it can positively confirm.
+    return [
+        DynamicInjector(
+            name="DAST-Crawl",
+            payload_coverage=0.5,
+            difficulty_penalty=0.75,
+            false_alarm_rate=0.002,
+            seed=seed,
+        ),
+    ]
+
+
+def _build_sca(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    return [
+        ScaMatcher(
+            name="SCA-Lock",
+            db_coverage=0.9,
+            version_noise=0.02,
+            dependency_fraction=profile.dependency_fraction,
+            seed=seed,
+        ),
+    ]
+
+
+def _build_ensemble(
+    seed: int, profile: EcosystemProfile
+) -> list[VulnerabilityDetectionTool]:
+    # Members are the ecosystem's other families, built exactly as they are
+    # standalone, so the consensus votes over the very reports the suite's
+    # individual tools produce.
+    members: list[VulnerabilityDetectionTool] = []
+    for key in profile.tool_families:
+        if key != "ensemble":
+            members.extend(build_family(key, seed, profile))
+    if not members:
+        raise ConfigurationError(
+            f"ecosystem {profile.name!r} lists only the ensemble family; "
+            f"a consensus needs member families"
+        )
+    quorum = max(2, math.ceil(len(members) / 2)) if len(members) > 1 else 1
+    return [EnsembleTool("ENS-Vote", members=members, quorum=quorum)]
+
+
+register_family(
+    ToolFamily(
+        key="sa",
+        title="Static analyzers",
+        description=(
+            "Syntactic and taint-based source analysis: total-recall "
+            "grep, a sanitizer-blind flow analysis, and a depth-bounded "
+            "sanitizer-aware analysis."
+        ),
+        builder=_build_sa,
+    )
+)
+register_family(
+    ToolFamily(
+        key="pt",
+        title="Penetration testers",
+        description=(
+            "Black-box payload injectors with broad (Spider) and narrow "
+            "(Probe) dictionaries."
+        ),
+        builder=_build_pt,
+    )
+)
+register_family(
+    ToolFamily(
+        key="vs",
+        title="Commercial scanners (simulated)",
+        description=(
+            "Parametric scanners spanning the balanced/aggressive/"
+            "conservative operating points the original campaigns report."
+        ),
+        builder=_build_vs,
+    )
+)
+register_family(
+    ToolFamily(
+        key="dast",
+        title="DAST prober",
+        description=(
+            "Confirmation-only dynamic prober: low recall, near-zero false "
+            "alarms."
+        ),
+        builder=_build_dast,
+    )
+)
+register_family(
+    ToolFamily(
+        key="sca",
+        title="SCA version matcher",
+        description=(
+            "Database lookup over dependency-shaped units only; "
+            "difficulty-independent recall inside its visibility, blind "
+            "outside it."
+        ),
+        builder=_build_sca,
+    )
+)
+register_family(
+    ToolFamily(
+        key="ensemble",
+        title="Consensus meta-tool",
+        description=(
+            "Majority vote over the ecosystem's other families' reports "
+            "(triage-consensus style)."
+        ),
+        builder=_build_ensemble,
+    )
+)

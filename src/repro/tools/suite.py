@@ -18,74 +18,32 @@ space those campaigns reported —
 ``VS-Gamma``  simulated conservative scanner: silent unless certain
 ===========  ==================================================================
 
-Every experiment that needs "the tools under benchmarking" uses
-:func:`reference_suite` so results are comparable across experiments.
+Construction lives in the tool-family registry
+(:mod:`repro.tools.families`); the helpers here are thin lookups kept for
+their call sites and their names.  Every experiment that needs "the tools
+under benchmarking" uses :func:`reference_suite` so results are comparable
+across experiments.
 """
 
 from __future__ import annotations
 
 from repro.tools.base import VulnerabilityDetectionTool
-from repro.tools.dynamic_injector import DynamicInjector
-from repro.tools.pattern_scanner import PatternScanner
-from repro.tools.simulated import SimulatedTool, ToolProfile
-from repro.tools.taint_analyzer import TaintAnalyzer
-from repro.workload.taxonomy import VulnerabilityType
+from repro.tools.families import suite_for_ecosystem
+from repro.workload.ecosystems import DEFAULT_ECOSYSTEM
 
 __all__ = ["reference_suite", "real_tool_suite", "simulated_pool"]
 
 
 def real_tool_suite(seed: int = 0) -> list[VulnerabilityDetectionTool]:
-    """The five detectors with actual analysis logic."""
-    return [
-        PatternScanner(name="SA-Grep", respect_sanitizers=False),
-        TaintAnalyzer(name="SA-Flow", trust_sanitizers=False),
-        TaintAnalyzer(name="SA-Deep", trust_sanitizers=True, max_chain_depth=4),
-        DynamicInjector(
-            name="PT-Spider",
-            payload_coverage=0.9,
-            difficulty_penalty=0.45,
-            false_alarm_rate=0.03,
-            seed=seed,
-        ),
-        DynamicInjector(
-            name="PT-Probe",
-            payload_coverage=0.6,
-            difficulty_penalty=0.6,
-            false_alarm_rate=0.005,
-            seed=seed,
-        ),
-    ]
+    """The five detectors with actual analysis logic (families sa + pt)."""
+    return suite_for_ecosystem(DEFAULT_ECOSYSTEM, seed=seed, families=("sa", "pt"))
 
 
 def simulated_pool(seed: int = 0) -> list[VulnerabilityDetectionTool]:
     """Three simulated commercial scanners filling out the operating space."""
-    return [
-        SimulatedTool(
-            "VS-Alpha",
-            ToolProfile(
-                recall=0.70,
-                fpr=0.10,
-                recall_by_type={
-                    VulnerabilityType.SQL_INJECTION: 0.85,
-                    VulnerabilityType.XPATH_INJECTION: 0.45,
-                },
-                difficulty_sensitivity=0.25,
-            ),
-            seed=seed,
-        ),
-        SimulatedTool(
-            "VS-Beta",
-            ToolProfile(recall=0.92, fpr=0.35, difficulty_sensitivity=0.10),
-            seed=seed,
-        ),
-        SimulatedTool(
-            "VS-Gamma",
-            ToolProfile(recall=0.40, fpr=0.01, difficulty_sensitivity=0.45),
-            seed=seed,
-        ),
-    ]
+    return suite_for_ecosystem(DEFAULT_ECOSYSTEM, seed=seed, families=("vs",))
 
 
 def reference_suite(seed: int = 0) -> list[VulnerabilityDetectionTool]:
     """The eight-tool suite every reproduction experiment benchmarks."""
-    return real_tool_suite(seed) + simulated_pool(seed)
+    return suite_for_ecosystem(DEFAULT_ECOSYSTEM, seed=seed)

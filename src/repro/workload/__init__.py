@@ -3,6 +3,14 @@
 from repro.workload.corpus import corpus_units, corpus_workload
 from repro.workload.mutations import break_site, extend_chain, fix_site
 from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
+from repro.workload.ecosystems import (
+    DEFAULT_ECOSYSTEM,
+    EcosystemProfile,
+    all_ecosystems,
+    ecosystem_names,
+    get_ecosystem,
+    register_ecosystem,
+)
 from repro.workload.generator import (
     SiteProfile,
     Workload,
@@ -27,6 +35,12 @@ __all__ = [
     "extend_chain",
     "fix_site",
     "CodeUnit",
+    "DEFAULT_ECOSYSTEM",
+    "EcosystemProfile",
+    "all_ecosystems",
+    "ecosystem_names",
+    "get_ecosystem",
+    "register_ecosystem",
     "SinkSite",
     "Statement",
     "StatementKind",

@@ -1,0 +1,291 @@
+"""Ecosystem profiles: per-ecosystem workload regimes, as a registry.
+
+The original study benchmarked tools over one ecosystem (vulnerable web
+services).  Follow-up work — ground-truth campaigns across multiple
+ecosystems, the Android-tool effectiveness studies — shows that the workload
+characteristics the paper's analysis depends on (prevalence regime,
+vulnerability-type mix, difficulty curve, sanitizer density) shift radically
+between ecosystems, and with them the operating points of the tools.  An
+:class:`EcosystemProfile` captures one such regime as data; the registry
+makes every layer above (sharded generation, tool suites, campaigns, the
+CLI, the R20 cross-ecosystem experiment) parameterizable by ecosystem name.
+
+Parity contract: the ``web-services`` profile *is* the historical default —
+its parameters equal :class:`~repro.workload.generator.WorkloadConfig`'s
+defaults field for field, and nothing in the generation seed path depends
+on the ecosystem name for the default ecosystem — so every pre-registry
+artifact regenerates bit-identically (guarded by
+``tests/workload/test_ecosystems.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import WorkloadConfig
+from repro.workload.taxonomy import VulnerabilityType
+
+__all__ = [
+    "DEFAULT_ECOSYSTEM",
+    "EcosystemProfile",
+    "register_ecosystem",
+    "get_ecosystem",
+    "ecosystem_names",
+    "all_ecosystems",
+]
+
+#: The ecosystem every historical artifact was generated under.  Workloads,
+#: campaigns and shard plans that never name an ecosystem use this one and
+#: are bit-identical to their pre-registry counterparts.
+DEFAULT_ECOSYSTEM = "web-services"
+
+
+def _uniform_mix() -> dict[VulnerabilityType, float]:
+    return {v: 1.0 / len(VulnerabilityType) for v in VulnerabilityType}
+
+
+@dataclass(frozen=True)
+class EcosystemProfile:
+    """One ecosystem's workload regime, as generator-ready parameters.
+
+    The workload fields mirror :class:`~repro.workload.generator.
+    WorkloadConfig` (and are validated to the same bounds);
+    ``dependency_fraction`` and ``tool_families`` parameterize the tool
+    side: which fraction of units are dependency-shaped (the only units an
+    SCA-style detector can see, see :mod:`repro.tools.sca_matcher`) and
+    which registered tool families make up the ecosystem's suite
+    (:func:`repro.tools.families.suite_for_ecosystem`).
+    """
+
+    name: str
+    title: str
+    description: str
+    prevalence: float
+    decoy_fraction: float
+    sites_per_unit: tuple[int, int]
+    chain_length_range: tuple[int, int]
+    cross_class_sanitizer_rate: float
+    type_mix: dict[VulnerabilityType, float] = field(default_factory=_uniform_mix)
+    dependency_fraction: float = 0.1
+    tool_families: tuple[str, ...] = ("sa", "pt", "vs")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("ecosystem name must be non-empty")
+        if not 0.0 < self.prevalence < 1.0:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: prevalence={self.prevalence} "
+                f"must be in (0, 1)"
+            )
+        if not 0.0 <= self.decoy_fraction <= 1.0:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: decoy_fraction="
+                f"{self.decoy_fraction} must be in [0, 1]"
+            )
+        for label, bounds in (
+            ("sites_per_unit", self.sites_per_unit),
+            ("chain_length_range", self.chain_length_range),
+        ):
+            low, high = bounds
+            if not 1 <= low <= high:
+                raise ConfigurationError(
+                    f"ecosystem {self.name!r}: {label}={bounds} must be "
+                    f"1 <= lo <= hi"
+                )
+        if not 0.0 <= self.cross_class_sanitizer_rate <= 1.0:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: cross_class_sanitizer_rate must "
+                f"be in [0, 1]"
+            )
+        if not self.type_mix:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: type_mix must not be empty"
+            )
+        if any(weight < 0 for weight in self.type_mix.values()):
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: type_mix weights must be "
+                f"non-negative"
+            )
+        if sum(self.type_mix.values()) <= 0:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: type_mix weights must sum to a "
+                f"positive number"
+            )
+        if not 0.0 <= self.dependency_fraction <= 1.0:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: dependency_fraction="
+                f"{self.dependency_fraction} must be in [0, 1]"
+            )
+        if not self.tool_families:
+            raise ConfigurationError(
+                f"ecosystem {self.name!r}: tool_families must not be empty"
+            )
+
+    def workload_config(
+        self, n_units: int, seed: int, name: str | None = None
+    ) -> WorkloadConfig:
+        """A :class:`WorkloadConfig` generating this ecosystem's workloads.
+
+        ``name`` defaults to the ecosystem name; callers that need several
+        workloads per ecosystem (shards, replicates) pass distinct names so
+        tool substreams stay independent.
+        """
+        return WorkloadConfig(
+            n_units=n_units,
+            sites_per_unit=self.sites_per_unit,
+            prevalence=self.prevalence,
+            decoy_fraction=self.decoy_fraction,
+            chain_length_range=self.chain_length_range,
+            cross_class_sanitizer_rate=self.cross_class_sanitizer_rate,
+            type_mix=dict(self.type_mix),
+            seed=seed,
+            name=name if name is not None else self.name,
+            ecosystem=self.name,
+        )
+
+
+_REGISTRY: dict[str, EcosystemProfile] = {}
+
+
+def register_ecosystem(profile: EcosystemProfile) -> EcosystemProfile:
+    """Register ``profile``; re-registration must be an identical profile."""
+    existing = _REGISTRY.get(profile.name)
+    if existing is not None and existing != profile:
+        raise ConfigurationError(
+            f"ecosystem {profile.name!r} registered twice with different "
+            f"profiles"
+        )
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_ecosystem(name: str) -> EcosystemProfile:
+    """The registered profile for ``name``; unknown names list the registry."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ecosystem {name!r}; known: {', '.join(ecosystem_names())}"
+        ) from None
+
+
+def ecosystem_names() -> list[str]:
+    """Registered ecosystem names, default first, then registration order."""
+    names = list(_REGISTRY)
+    if DEFAULT_ECOSYSTEM in names:
+        names.remove(DEFAULT_ECOSYSTEM)
+        names.insert(0, DEFAULT_ECOSYSTEM)
+    return names
+
+
+def all_ecosystems() -> list[EcosystemProfile]:
+    """Every registered profile, in :func:`ecosystem_names` order."""
+    return [_REGISTRY[name] for name in ecosystem_names()]
+
+
+_T = VulnerabilityType
+
+register_ecosystem(
+    EcosystemProfile(
+        name=DEFAULT_ECOSYSTEM,
+        title="Vulnerable web services",
+        description=(
+            "The study's original regime: injection-heavy web services with "
+            "moderate prevalence, a rich sanitizer culture (half of the safe "
+            "sites are sanitized decoys) and a uniform class mix."
+        ),
+        prevalence=0.15,
+        decoy_fraction=0.5,
+        sites_per_unit=(1, 3),
+        chain_length_range=(1, 6),
+        cross_class_sanitizer_rate=0.25,
+        type_mix=_uniform_mix(),
+        dependency_fraction=0.1,
+        tool_families=("sa", "pt", "vs"),
+    )
+)
+
+register_ecosystem(
+    EcosystemProfile(
+        name="android",
+        title="Android applications",
+        description=(
+            "Mobile apps: fewer vulnerable sites than web services, long "
+            "propagation chains through framework callbacks (hard for every "
+            "analysis), a class mix dominated by SQL/path/command injection, "
+            "and a noticeable native-dependency surface."
+        ),
+        prevalence=0.08,
+        decoy_fraction=0.35,
+        sites_per_unit=(1, 4),
+        chain_length_range=(2, 8),
+        cross_class_sanitizer_rate=0.15,
+        type_mix={
+            _T.SQL_INJECTION: 0.25,
+            _T.XSS: 0.20,
+            _T.PATH_TRAVERSAL: 0.25,
+            _T.COMMAND_INJECTION: 0.20,
+            _T.LDAP_INJECTION: 0.05,
+            _T.XPATH_INJECTION: 0.05,
+        },
+        dependency_fraction=0.25,
+        tool_families=("sa", "vs", "dast", "ensemble"),
+    )
+)
+
+register_ecosystem(
+    EcosystemProfile(
+        name="npm-deps",
+        title="npm dependency trees",
+        description=(
+            "Package-ecosystem auditing: the overwhelming majority of units "
+            "are dependency-shaped (visible to SCA version matching), true "
+            "vulnerabilities are rare, chains are shallow, and sanitizer "
+            "decoys are uncommon."
+        ),
+        prevalence=0.035,
+        decoy_fraction=0.2,
+        sites_per_unit=(1, 2),
+        chain_length_range=(1, 3),
+        cross_class_sanitizer_rate=0.10,
+        type_mix={
+            _T.SQL_INJECTION: 0.05,
+            _T.XSS: 0.25,
+            _T.PATH_TRAVERSAL: 0.30,
+            _T.COMMAND_INJECTION: 0.30,
+            _T.LDAP_INJECTION: 0.05,
+            _T.XPATH_INJECTION: 0.05,
+        },
+        dependency_fraction=0.85,
+        tool_families=("sca", "vs", "dast", "ensemble"),
+    )
+)
+
+register_ecosystem(
+    EcosystemProfile(
+        name="iac",
+        title="Infrastructure-as-code",
+        description=(
+            "Configuration scanning: misconfigurations are common (high "
+            "prevalence), propagation is shallow and nearly sanitizer-free, "
+            "and the class mix concentrates on command/path/LDAP-style "
+            "injection into provisioning templates."
+        ),
+        prevalence=0.30,
+        decoy_fraction=0.15,
+        sites_per_unit=(2, 5),
+        chain_length_range=(1, 2),
+        cross_class_sanitizer_rate=0.05,
+        type_mix={
+            _T.SQL_INJECTION: 0.05,
+            _T.XSS: 0.05,
+            _T.PATH_TRAVERSAL: 0.30,
+            _T.COMMAND_INJECTION: 0.40,
+            _T.LDAP_INJECTION: 0.15,
+            _T.XPATH_INJECTION: 0.05,
+        },
+        dependency_fraction=0.45,
+        tool_families=("sa", "sca", "ensemble"),
+    )
+)

@@ -73,8 +73,15 @@ class WorkloadConfig:
     )
     seed: int = 0
     name: str = "synthetic"
+    ecosystem: str = "web-services"
+    """Which ecosystem regime this workload belongs to (a registry name, see
+    :mod:`repro.workload.ecosystems`).  Identity only: generation streams
+    never consume it, so the default ecosystem is bit-identical to configs
+    that predate the field."""
 
     def __post_init__(self) -> None:
+        if not self.ecosystem:
+            raise ConfigurationError("ecosystem must be non-empty")
         if self.n_units <= 0:
             raise ConfigurationError(f"n_units={self.n_units} must be positive")
         low, high = self.sites_per_unit
@@ -126,6 +133,11 @@ class Workload:
     def prevalence(self) -> float:
         """Realized (not configured) prevalence."""
         return self.truth.prevalence
+
+    @property
+    def ecosystem(self) -> str:
+        """The ecosystem regime this workload was generated under."""
+        return self.config.ecosystem
 
 
 def _choose_type(

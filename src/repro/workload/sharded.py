@@ -12,10 +12,12 @@ Determinism contract:
 - the corpus identity is ``(seed, scale, shard_size, base config)`` — two
   plans with the same identity describe bit-identical corpora;
 - each shard draws from its own child seed,
-  ``shard_seed(seed, index) = derive_seed(seed, f"shard:{index}")``
-  (:func:`repro._rng.derive_seed`), so **any shard is regenerable in
-  isolation**: no shard's content depends on another shard having been
-  generated, on generation order, or on which process generates it;
+  ``shard_seed(seed, index, ecosystem)`` (:func:`repro._rng.derive_seed`
+  over ``f"shard:{index}"`` for the default ecosystem, historical form, or
+  ``f"shard:{ecosystem}:{index}"`` otherwise), so **any shard is
+  regenerable in isolation**: no shard's content depends on another shard
+  having been generated, on generation order, or on which process
+  generates it;
 - shard workload names are unique and stable
   (``{base.name}-s{index:06d}``), so per-workload tool substreams (which
   key on the workload name, see :mod:`repro.tools`) differ across shards
@@ -35,6 +37,7 @@ from typing import Iterator
 
 from repro._rng import derive_seed
 from repro.errors import ConfigurationError
+from repro.workload.ecosystems import DEFAULT_ECOSYSTEM, get_ecosystem
 from repro.workload.generator import Workload, WorkloadConfig, generate_workload
 
 __all__ = [
@@ -50,14 +53,22 @@ __all__ = [
 DEFAULT_SHARD_SIZE = 10_000
 
 
-def shard_seed(seed: int, index: int) -> int:
+def shard_seed(
+    seed: int, index: int, ecosystem: str = DEFAULT_ECOSYSTEM
+) -> int:
     """The child seed shard ``index`` of corpus ``seed`` generates from.
 
-    ``derive_seed(seed, f"shard:{index}")`` — a pure function of the corpus
-    seed and the shard index, so a shard can be regenerated alone, in any
-    process, without touching its siblings.
+    A pure function of the corpus seed, the shard index and the ecosystem,
+    so a shard can be regenerated alone, in any process, without touching
+    its siblings.  The default ecosystem keeps the historical derivation
+    key ``f"shard:{index}"`` (corpora predating ecosystems stay
+    bit-identical); every other ecosystem derives from
+    ``f"shard:{ecosystem}:{index}"``, so same-seed corpora of different
+    ecosystems share no shard streams.
     """
-    return derive_seed(seed, f"shard:{index}")
+    if ecosystem == DEFAULT_ECOSYSTEM:
+        return derive_seed(seed, f"shard:{index}")
+    return derive_seed(seed, f"shard:{ecosystem}:{index}")
 
 
 @dataclass(frozen=True)
@@ -102,6 +113,11 @@ class ShardPlan:
             )
 
     @property
+    def ecosystem(self) -> str:
+        """The ecosystem every shard of this corpus belongs to."""
+        return self.base.ecosystem
+
+    @property
     def n_shards(self) -> int:
         """How many shards the corpus partitions into (last may be ragged)."""
         return math.ceil(self.scale / self.shard_size)
@@ -119,7 +135,7 @@ class ShardPlan:
         return ShardSpec(
             index=index,
             n_units=self.units_in(index),
-            seed=shard_seed(self.seed, index),
+            seed=shard_seed(self.seed, index, self.base.ecosystem),
             name=f"{self.base.name}-s{index:06d}",
         )
 
@@ -158,15 +174,32 @@ def plan_shards(
     shard_size: int = DEFAULT_SHARD_SIZE,
     seed: int = 0,
     base: WorkloadConfig | None = None,
+    ecosystem: str | None = None,
 ) -> ShardPlan:
     """Partition a ``scale``-unit corpus into a :class:`ShardPlan`.
 
     ``base`` supplies the non-size workload parameters (prevalence, type
     mix, difficulty knobs...); its ``n_units``/``seed``/``name`` fields are
-    overridden per shard.  The default base matches
+    overridden per shard.  ``ecosystem`` instead derives the base from the
+    registered :class:`~repro.workload.ecosystems.EcosystemProfile` of that
+    name (base name ``corpus`` for the default ecosystem, ``corpus-{name}``
+    otherwise).  Passing both is allowed only when they agree.  With
+    neither, the base matches
     :class:`~repro.workload.generator.WorkloadConfig`'s defaults with the
-    corpus seed and the name ``"corpus"``.
+    corpus seed and the name ``"corpus"`` — the historical corpus,
+    bit-identical to plans predating ecosystems.
     """
-    if base is None:
+    if base is not None:
+        if ecosystem is not None and base.ecosystem != ecosystem:
+            raise ConfigurationError(
+                f"base config is ecosystem {base.ecosystem!r} but "
+                f"ecosystem={ecosystem!r} was requested"
+            )
+    elif ecosystem is None or ecosystem == DEFAULT_ECOSYSTEM:
         base = WorkloadConfig(seed=seed, name="corpus")
+    else:
+        profile = get_ecosystem(ecosystem)
+        base = profile.workload_config(
+            n_units=shard_size, seed=seed, name=f"corpus-{ecosystem}"
+        )
     return ShardPlan(scale=scale, shard_size=shard_size, seed=seed, base=base)

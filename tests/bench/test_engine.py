@@ -24,9 +24,9 @@ from repro.bench.engine.spec import (
 )
 from repro.errors import ConfigurationError
 
-ALL_IDS = [f"R{i}" for i in range(1, 20)]
+ALL_IDS = [f"R{i}" for i in range(1, 21)]
 #: A cheap slice of the suite covering shared artifacts and a diamond of
-#: dependencies; used where running all nineteen would be wasteful.
+#: dependencies; used where running all twenty would be wasteful.
 FAST_SUBSET = ["R1", "R3", "R4", "R5", "R6", "R12", "R13"]
 
 CAMPAIGN_600 = "campaign:reference[n_units=600,seed=2015]"

@@ -40,11 +40,11 @@ class TestExperimentResult:
 
 
 class TestExperimentRegistry:
-    def test_nineteen_experiments(self):
-        assert len(ALL_EXPERIMENTS) == 19
+    def test_twenty_experiments(self):
+        assert len(ALL_EXPERIMENTS) == 20
 
     def test_ids_sequential(self):
-        assert list(ALL_EXPERIMENTS) == [f"R{i}" for i in range(1, 20)]
+        assert list(ALL_EXPERIMENTS) == [f"R{i}" for i in range(1, 21)]
 
     def test_default_seed_is_publication_year(self):
         assert DEFAULT_SEED == 2015

@@ -15,7 +15,7 @@ class TestList:
     def test_lists_every_registered_experiment(self, capsys):
         assert main(["list"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 19
+        assert len(lines) == 20
         assert lines[0].startswith("R1 ")
         assert "Metric catalog (table)" in lines[0]
 
@@ -230,7 +230,10 @@ class TestScale:
     def test_scale_run_prints_totals_and_summary(self, capsys):
         assert main(["run", "--scale", "90", "--shard-size", "30"]) == 0
         captured = capsys.readouterr()
-        assert "Sharded campaign totals — 90 units in 3 shards" in captured.out
+        assert (
+            "Sharded campaign totals [web-services] — 90 units in 3 shards"
+            in captured.out
+        )
         assert "[90 units in 3 shards (shard_size=30)" in captured.err
 
     def test_scale_manifest_has_shard_schema(self, tmp_path, capsys):
@@ -327,3 +330,71 @@ class TestScale:
         assert main(["run", "--quiet", "--resume", str(manifest_path)]) == 0
         err = capsys.readouterr().err
         assert "R1" in err
+
+
+class TestEcosystemFlags:
+    def test_list_ecosystems_prints_both_registries(self, capsys):
+        from repro.tools.families import family_names
+        from repro.workload.ecosystems import ecosystem_names
+
+        assert main(["run", "--list-ecosystems"]) == 0
+        out = capsys.readouterr().out
+        for name in ecosystem_names():
+            assert name in out
+        for key in family_names():
+            assert key in out
+
+    def test_ecosystem_run_labels_the_totals(self, tmp_path, capsys):
+        manifest_path = tmp_path / "eco.json"
+        code = main(
+            ["run", "--scale", "40", "--shard-size", "20",
+             "--ecosystem", "npm-deps", "--manifest", str(manifest_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[npm-deps]" in captured.out
+        assert "ecosystem=npm-deps" in captured.err
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert payload["ecosystem"] == "npm-deps"
+
+    def test_unknown_ecosystem_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown ecosystem 'bogus'"):
+            main(["run", "--scale", "40", "--ecosystem", "bogus"])
+
+    def test_unknown_tool_family_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown tool family 'nope'"):
+            main(["run", "--scale", "40", "--tool-family", "nope"])
+
+    def test_ecosystem_requires_scale(self):
+        with pytest.raises(SystemExit, match="--ecosystem requires --scale"):
+            main(["run", "R1", "--ecosystem", "npm-deps"])
+
+    def test_tool_family_requires_scale(self):
+        with pytest.raises(SystemExit, match="--tool-family requires --scale"):
+            main(["run", "R1", "--tool-family", "sa"])
+
+    def test_ecosystem_rejected_alongside_resume(self, tmp_path):
+        with pytest.raises(SystemExit, match="--ecosystem"):
+            main(
+                ["run", "--resume", str(tmp_path / "m.json"),
+                 "--ecosystem", "npm-deps"]
+            )
+
+    def test_ecosystem_all_runs_every_registry_entry(self, capsys):
+        from repro.workload.ecosystems import ecosystem_names
+
+        code = main(
+            ["run", "--scale", "30", "--shard-size", "15",
+             "--ecosystem", "all", "--quiet"]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        for name in ecosystem_names():
+            assert f"[ecosystem {name}]" in err
+
+    def test_ecosystem_all_rejects_manifest(self, tmp_path):
+        with pytest.raises(SystemExit, match="--ecosystem all"):
+            main(
+                ["run", "--scale", "30", "--ecosystem", "all",
+                 "--manifest", str(tmp_path / "m.json")]
+            )

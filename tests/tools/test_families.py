@@ -1,0 +1,249 @@
+"""Tests for the tool-family registry, SCA matcher and ensemble tool.
+
+The family registry is the single construction path for every suite in the
+repo, so two things must hold: the default ecosystem reproduces the
+historical ``reference_suite`` exactly, and *every* family yields sane
+confusion matrices on *every* registered ecosystem — including the
+ensemble, whose members are themselves built from the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import run_campaign
+from repro.errors import ConfigurationError, ToolError
+from repro.tools.ensemble import EnsembleTool
+from repro.tools.families import (
+    all_families,
+    build_family,
+    family_names,
+    get_family,
+    suite_for_ecosystem,
+)
+from repro.tools.sca_matcher import ScaMatcher, is_dependency_unit
+from repro.tools.simulated import SimulatedTool, ToolProfile
+from repro.tools.suite import real_tool_suite, reference_suite, simulated_pool
+from repro.workload.ecosystems import (
+    DEFAULT_ECOSYSTEM,
+    all_ecosystems,
+    get_ecosystem,
+)
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """One small workload per registered ecosystem."""
+    return {
+        profile.name: generate_workload(
+            profile.workload_config(n_units=40, seed=11)
+        )
+        for profile in all_ecosystems()
+    }
+
+
+class TestFamilyRegistry:
+    def test_expected_families_registered(self):
+        assert {"sa", "pt", "vs", "dast", "sca", "ensemble"} <= set(
+            family_names()
+        )
+
+    def test_get_roundtrip_and_titles(self):
+        for key in family_names():
+            family = get_family(key)
+            assert family.key == key
+            assert family.title
+
+    def test_unknown_family_lists_known_keys(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_family("oracle")
+        message = str(excinfo.value)
+        assert "unknown tool family 'oracle'" in message
+        for key in family_names():
+            assert key in message
+
+    def test_all_families_matches_names(self):
+        assert [f.key for f in all_families()] == family_names()
+
+    def test_build_family_accepts_name_or_profile(self):
+        by_name = build_family("vs", seed=3, ecosystem="npm-deps")
+        by_profile = build_family("vs", seed=3, ecosystem=get_ecosystem("npm-deps"))
+        assert [t.name for t in by_name] == [t.name for t in by_profile]
+
+
+class TestSuiteParity:
+    """The registry path reproduces the historical suites bit-for-bit."""
+
+    def test_reference_suite_matches_registry(self, small_workload):
+        legacy = run_campaign(reference_suite(seed=2015), small_workload)
+        registry = run_campaign(
+            suite_for_ecosystem(DEFAULT_ECOSYSTEM, seed=2015), small_workload
+        )
+        legacy_cells = {
+            r.tool_name: (r.confusion.tp, r.confusion.fp, r.confusion.fn, r.confusion.tn)
+            for r in legacy.results
+        }
+        registry_cells = {
+            r.tool_name: (r.confusion.tp, r.confusion.fp, r.confusion.fn, r.confusion.tn)
+            for r in registry.results
+        }
+        assert legacy_cells == registry_cells
+
+    def test_real_suite_is_sa_plus_pt(self):
+        names = [t.name for t in real_tool_suite(seed=1)]
+        registry = [
+            t.name
+            for t in suite_for_ecosystem(
+                DEFAULT_ECOSYSTEM, seed=1, families=("sa", "pt")
+            )
+        ]
+        assert names == registry
+
+    def test_simulated_pool_is_vs(self):
+        names = [t.name for t in simulated_pool(seed=1)]
+        registry = [
+            t.name
+            for t in suite_for_ecosystem(DEFAULT_ECOSYSTEM, seed=1, families=("vs",))
+        ]
+        assert names == registry
+
+    def test_explicit_empty_families_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suite_for_ecosystem(DEFAULT_ECOSYSTEM, families=())
+
+
+class TestScaMatcher:
+    def test_only_flags_dependency_units(self, workloads):
+        workload = workloads["npm-deps"]
+        fraction = get_ecosystem("npm-deps").dependency_fraction
+        tool = ScaMatcher(dependency_fraction=fraction, seed=4)
+        report = tool.analyze(workload)
+        assert report.n_detections > 0
+        for site in report.flagged_sites:
+            assert is_dependency_unit(site.unit_id, fraction)
+
+    def test_zero_fraction_sees_nothing(self, workloads):
+        tool = ScaMatcher(dependency_fraction=0.0, seed=4)
+        assert tool.analyze(workloads[DEFAULT_ECOSYSTEM]).n_detections == 0
+
+    def test_partition_is_seed_free(self):
+        assert is_dependency_unit("unit-001", 1.0)
+        assert not is_dependency_unit("unit-001", 0.0)
+        first = [is_dependency_unit(f"u{i}", 0.5) for i in range(50)]
+        second = [is_dependency_unit(f"u{i}", 0.5) for i in range(50)]
+        assert first == second
+
+    def test_reports_are_deterministic(self, workloads):
+        workload = workloads["npm-deps"]
+        a = ScaMatcher(dependency_fraction=0.85, seed=9).analyze(workload)
+        b = ScaMatcher(dependency_fraction=0.85, seed=9).analyze(workload)
+        assert a.flagged_sites == b.flagged_sites
+
+    def test_validation_bounds(self):
+        with pytest.raises(ToolError):
+            ScaMatcher(db_coverage=0.0)
+        with pytest.raises(ToolError):
+            ScaMatcher(db_coverage=1.5)
+        with pytest.raises(ToolError):
+            ScaMatcher(version_noise=1.0)
+        with pytest.raises(ToolError):
+            ScaMatcher(dependency_fraction=-0.2)
+        with pytest.raises(ToolError):
+            is_dependency_unit("u", 1.5)
+
+
+class TestToolProfileBounds:
+    def test_rate_bounds(self):
+        with pytest.raises(ToolError):
+            ToolProfile(recall=1.2, fpr=0.1)
+        with pytest.raises(ToolError):
+            ToolProfile(recall=0.5, fpr=-0.1)
+
+    def test_sensitivity_and_ranking_bounds(self):
+        with pytest.raises(ToolError):
+            ToolProfile(recall=0.5, fpr=0.1, difficulty_sensitivity=1.5)
+        with pytest.raises(ToolError):
+            ToolProfile(recall=0.5, fpr=0.1, ranking_quality=-0.5)
+
+
+class TestEnsemble:
+    def _members(self, seed=0):
+        return [
+            SimulatedTool(f"M{i}", ToolProfile(recall=0.8, fpr=0.05), seed + i)
+            for i in range(3)
+        ]
+
+    def test_quorum_full_consensus_is_intersection(self, workloads):
+        workload = workloads[DEFAULT_ECOSYSTEM]
+        members = self._members()
+        flagged = [m.analyze(workload).flagged_sites for m in members]
+        ensemble = EnsembleTool("ENS", members, quorum=len(members))
+        expected = frozenset.intersection(*flagged)
+        assert ensemble.analyze(workload).flagged_sites == expected
+
+    def test_quorum_one_is_union(self, workloads):
+        workload = workloads[DEFAULT_ECOSYSTEM]
+        members = self._members()
+        flagged = [m.analyze(workload).flagged_sites for m in members]
+        ensemble = EnsembleTool("ENS", members, quorum=1)
+        expected = frozenset.union(*flagged)
+        assert ensemble.analyze(workload).flagged_sites == expected
+
+    def test_majority_shrinks_the_union(self, workloads):
+        workload = workloads[DEFAULT_ECOSYSTEM]
+        members = self._members()
+        union = EnsembleTool("U", members, quorum=1).analyze(workload)
+        majority = EnsembleTool("M", members, quorum=2).analyze(workload)
+        assert majority.flagged_sites <= union.flagged_sites
+
+    def test_validation(self):
+        with pytest.raises(ToolError):
+            EnsembleTool("E", [], quorum=1)
+        members = self._members()
+        with pytest.raises(ToolError):
+            EnsembleTool("E", members, quorum=0)
+        with pytest.raises(ToolError):
+            EnsembleTool("E", members, quorum=4)
+        duplicated = [members[0], members[0]]
+        with pytest.raises(ToolError):
+            EnsembleTool("E", duplicated, quorum=1)
+
+
+class TestEveryFamilyOnEveryEcosystem:
+    """Property sweep: all (family, ecosystem) pairs yield sane matrices."""
+
+    def test_confusion_matrices_are_sane(self, workloads):
+        for profile in all_ecosystems():
+            workload = workloads[profile.name]
+            suite = suite_for_ecosystem(profile, seed=17)
+            assert [t.name for t in suite]  # non-empty, unique names
+            assert len({t.name for t in suite}) == len(suite)
+            campaign = run_campaign(suite, workload)
+            for result in campaign.results:
+                cm = result.confusion
+                label = f"{result.tool_name} on {profile.name}"
+                assert min(cm.tp, cm.fp, cm.fn, cm.tn) >= 0, label
+                assert cm.tp + cm.fp + cm.fn + cm.tn == workload.n_sites, label
+                assert cm.tp + cm.fn == workload.truth.n_vulnerable, label
+
+    def test_every_family_builds_everywhere(self):
+        for profile in all_ecosystems():
+            for key in family_names():
+                tools = build_family(key, seed=5, ecosystem=profile)
+                assert tools, f"{key} on {profile.name}"
+
+    def test_ensemble_member_count_tracks_the_profile(self):
+        for profile in all_ecosystems():
+            if "ensemble" not in profile.tool_families:
+                continue
+            (ensemble,) = build_family("ensemble", seed=5, ecosystem=profile)
+            non_ensemble = [
+                k for k in profile.tool_families if k != "ensemble"
+            ]
+            expected = sum(
+                len(build_family(k, seed=5, ecosystem=profile))
+                for k in non_ensemble
+            )
+            assert len(ensemble.members) == expected
+            assert 1 <= ensemble.quorum <= len(ensemble.members)

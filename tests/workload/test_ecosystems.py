@@ -1,0 +1,200 @@
+"""Tests for the ecosystem registry and its bit-parity contract.
+
+The load-bearing invariant: the ``web-services`` profile IS the historical
+default.  Workloads, shard plans and shard seeds produced through the
+registry must be indistinguishable from the pre-registry code paths, so
+every previously committed number stays valid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.ecosystems import (
+    DEFAULT_ECOSYSTEM,
+    EcosystemProfile,
+    all_ecosystems,
+    ecosystem_names,
+    get_ecosystem,
+)
+from repro.persist import payload_digest, workload_to_dict
+from repro.workload.generator import WorkloadConfig, generate_workload
+from repro.workload.sharded import plan_shards, shard_seed
+
+
+def _digest(workload) -> str:
+    return payload_digest(workload_to_dict(workload))
+
+
+class TestRegistry:
+    def test_at_least_four_ecosystems(self):
+        assert len(ecosystem_names()) >= 4
+
+    def test_default_is_registered_and_listed_first(self):
+        names = ecosystem_names()
+        assert DEFAULT_ECOSYSTEM == "web-services"
+        assert names[0] == DEFAULT_ECOSYSTEM
+
+    def test_expected_profiles_present(self):
+        names = set(ecosystem_names())
+        assert {"web-services", "android", "npm-deps", "iac"} <= names
+
+    def test_get_roundtrip(self):
+        for name in ecosystem_names():
+            assert get_ecosystem(name).name == name
+
+    def test_unknown_name_lists_known_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_ecosystem("cobol-mainframe")
+        message = str(excinfo.value)
+        assert "unknown ecosystem 'cobol-mainframe'" in message
+        for name in ecosystem_names():
+            assert name in message
+
+    def test_all_ecosystems_matches_names(self):
+        assert [p.name for p in all_ecosystems()] == ecosystem_names()
+
+
+class TestProfileValidation:
+    def _profile(self, **overrides):
+        base = dataclasses.asdict(get_ecosystem(DEFAULT_ECOSYSTEM))
+        base.update(overrides, name="candidate")
+        return EcosystemProfile(**base)
+
+    def test_valid_profile_constructs(self):
+        assert self._profile().name == "candidate"
+
+    def test_prevalence_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self._profile(prevalence=0.0)
+        with pytest.raises(ConfigurationError):
+            self._profile(prevalence=1.5)
+
+    def test_decoy_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self._profile(decoy_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            self._profile(decoy_fraction=1.1)
+
+    def test_dependency_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self._profile(dependency_fraction=-0.01)
+        with pytest.raises(ConfigurationError):
+            self._profile(dependency_fraction=1.01)
+
+    def test_site_and_chain_ranges(self):
+        with pytest.raises(ConfigurationError):
+            self._profile(sites_per_unit=(3, 1))
+        with pytest.raises(ConfigurationError):
+            self._profile(chain_length_range=(0, 4))
+
+    def test_empty_name_rejected(self):
+        base = dataclasses.asdict(get_ecosystem(DEFAULT_ECOSYSTEM))
+        base["name"] = ""
+        with pytest.raises(ConfigurationError):
+            EcosystemProfile(**base)
+
+    def test_empty_tool_families_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._profile(tool_families=())
+
+
+class TestDefaultParity:
+    """web-services through the registry == the historical hard-coded path."""
+
+    def test_workload_config_matches_defaults_field_by_field(self):
+        profile = get_ecosystem(DEFAULT_ECOSYSTEM)
+        via_registry = profile.workload_config(n_units=500, seed=0, name="synthetic")
+        legacy = WorkloadConfig()
+        assert via_registry == legacy
+
+    def test_generated_workload_is_bit_identical(self):
+        profile = get_ecosystem(DEFAULT_ECOSYSTEM)
+        config = profile.workload_config(n_units=60, seed=2015, name="parity")
+        legacy = WorkloadConfig(n_units=60, seed=2015, name="parity")
+        a = generate_workload(config)
+        b = generate_workload(legacy)
+        assert _digest(a) == _digest(b)
+
+    def test_monolithic_reference_sites_are_identical(self):
+        profile = get_ecosystem(DEFAULT_ECOSYSTEM)
+        config = profile.workload_config(n_units=50, seed=2015, name="reference")
+
+        def signature(workload):
+            return [
+                (
+                    site.unit_id,
+                    site.statement_index,
+                    site.vuln_type.name,
+                    workload.truth.is_vulnerable(site),
+                )
+                for unit in workload.units
+                for site in unit.sink_sites()
+            ]
+
+        via_registry = generate_workload(config)
+        legacy = generate_workload(
+            WorkloadConfig(n_units=50, seed=2015, name="reference")
+        )
+        assert signature(via_registry) == signature(legacy)
+
+    def test_sharded_plan_parity(self):
+        default_plan = plan_shards(scale=40, shard_size=15, seed=2015)
+        eco_plan = plan_shards(
+            scale=40, shard_size=15, seed=2015, ecosystem=DEFAULT_ECOSYSTEM
+        )
+        assert [s.seed for s in default_plan] == [s.seed for s in eco_plan]
+        assert [s.name for s in default_plan] == [s.name for s in eco_plan]
+        assert default_plan.ecosystem == eco_plan.ecosystem == DEFAULT_ECOSYSTEM
+
+    def test_shard_seed_legacy_derivation_unchanged(self):
+        # The committed value from before the ecosystem refactor.
+        assert shard_seed(0, 0) == 5105162613023424296
+        assert shard_seed(0, 0, ecosystem=DEFAULT_ECOSYSTEM) == shard_seed(0, 0)
+
+    def test_known_plan_seeds_unchanged(self):
+        plan = plan_shards(scale=40, shard_size=15, seed=2015)
+        assert [s.seed for s in plan] == [
+            1618721210305684906,
+            7157056137290320331,
+            6473460885196618996,
+        ]
+
+
+class TestEcosystemIsolation:
+    """Non-default ecosystems draw from namespaced, independent streams."""
+
+    def test_shard_seeds_differ_by_ecosystem(self):
+        default_seed = shard_seed(7, 0)
+        npm_seed = shard_seed(7, 0, ecosystem="npm-deps")
+        iac_seed = shard_seed(7, 0, ecosystem="iac")
+        assert len({default_seed, npm_seed, iac_seed}) == 3
+
+    def test_plan_names_carry_the_ecosystem(self):
+        plan = plan_shards(scale=30, shard_size=15, seed=1, ecosystem="npm-deps")
+        assert all(s.name.startswith("corpus-npm-deps") for s in plan)
+        assert plan.ecosystem == "npm-deps"
+
+    def test_plan_rejects_base_plus_ecosystem(self):
+        base = WorkloadConfig(n_units=10, seed=1, name="x")
+        with pytest.raises(ConfigurationError):
+            plan_shards(scale=10, shard_size=5, base=base, ecosystem="npm-deps")
+
+    def test_ecosystem_workloads_differ_from_default(self):
+        default = generate_workload(
+            get_ecosystem(DEFAULT_ECOSYSTEM).workload_config(n_units=40, seed=3)
+        )
+        android = generate_workload(
+            get_ecosystem("android").workload_config(n_units=40, seed=3)
+        )
+        assert _digest(default) != _digest(android)
+
+    def test_workload_records_its_ecosystem(self):
+        workload = generate_workload(
+            get_ecosystem("iac").workload_config(n_units=10, seed=5)
+        )
+        assert workload.ecosystem == "iac"
+        assert workload.config.ecosystem == "iac"

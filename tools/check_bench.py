@@ -22,6 +22,14 @@ still works.  This checker runs three fast probes:
 5. **Shard-scale smoke** — a small ``repro run --scale`` campaign on both
    executors must exit 0, write a ``repro/shard-run@1`` manifest whose
    per-shard cells fold to identical totals across executors.
+6. **Cross-ecosystem smoke** — the same sharded run under a non-default
+   ``--ecosystem`` must record the ecosystem and its tool families in the
+   manifest, produce per-shard cells identical across executors, and
+   diverge from the default ecosystem's cells (different workload, not a
+   relabel).
+7. **Ecosystems dump schema** — ``results/BENCH_ecosystems.json``, when
+   present, carries the expected schema tag, a full winner grid, and at
+   least one recorded winner flip.
 
 Usage::
 
@@ -46,6 +54,13 @@ SHARD_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_shard.j
 SHARD_JSON_SCHEMA = "repro/bench-shard@1"
 #: Sections docs/scaling.md cites.
 SHARD_SECTIONS = ("parity", "throughput", "memory")
+
+ECOSYSTEMS_JSON = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_ecosystems.json"
+)
+ECOSYSTEMS_JSON_SCHEMA = "repro/bench-ecosystems@1"
+#: Sections docs/workloads.md cites from the R20 dump.
+ECOSYSTEMS_SECTIONS = ("ecosystems", "winners", "taus", "flips")
 
 
 def check_kernel_parity() -> list[str]:
@@ -217,6 +232,119 @@ def check_shard_scale() -> list[str]:
     return problems
 
 
+def check_ecosystems_json() -> list[str]:
+    """The R20 dump must be schema-tagged, complete, and record a flip."""
+    if not ECOSYSTEMS_JSON.exists():
+        return []
+    try:
+        payload = json.loads(ECOSYSTEMS_JSON.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"ecosystems json: {ECOSYSTEMS_JSON} is not valid JSON: {error}"]
+    problems = []
+    found = payload.get("schema")
+    if found != ECOSYSTEMS_JSON_SCHEMA:
+        problems.append(
+            f"ecosystems json: expected schema {ECOSYSTEMS_JSON_SCHEMA!r}, "
+            f"found {found!r}"
+        )
+    for section in ECOSYSTEMS_SECTIONS:
+        if section not in payload:
+            problems.append(f"ecosystems json: missing section {section!r}")
+    names = payload.get("ecosystems", [])
+    if len(names) < 4:
+        problems.append(
+            f"ecosystems json: registry dump lists {len(names)} ecosystems, "
+            "expected at least 4"
+        )
+    for scenario_key, row in payload.get("winners", {}).items():
+        missing = set(names) - set(row)
+        if missing:
+            problems.append(
+                f"ecosystems json: winner row {scenario_key!r} lacks "
+                f"{sorted(missing)}"
+            )
+    if not payload.get("flips"):
+        problems.append(
+            "ecosystems json: no winner flips recorded — the cross-ecosystem "
+            "claim (the adequate metric is ecosystem-dependent) is not backed"
+        )
+    for flip in payload.get("flips", []):
+        missing = {"scenario", "ecosystem", "baseline", "winner"} - set(flip)
+        if missing:
+            problems.append(f"ecosystems json: flip lacks {sorted(missing)}")
+    return problems
+
+
+def check_cross_ecosystem() -> list[str]:
+    """Sharded runs under two ecosystems: parity per executor, divergence."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    problems: list[str] = []
+    cells: dict[tuple[str, str], list] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for ecosystem in ("web-services", "npm-deps"):
+            for executor in ("thread", "process"):
+                manifest_path = Path(tmp) / f"eco-{ecosystem}-{executor}.json"
+                proc = subprocess.run(
+                    [
+                        sys.executable, "-m", "repro", "run",
+                        "--scale", "120", "--shard-size", "60",
+                        "--jobs", "2", "--executor", executor,
+                        "--ecosystem", ecosystem,
+                        "--quiet", "--manifest", str(manifest_path),
+                    ],
+                    env=env,
+                    cwd=repo_root,
+                    capture_output=True,
+                    text=True,
+                    timeout=300,
+                )
+                if proc.returncode != 0:
+                    problems.append(
+                        f"ecosystem smoke ({ecosystem}/{executor}): exited "
+                        f"{proc.returncode}: {proc.stderr[-500:]}"
+                    )
+                    continue
+                payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+                if payload.get("ecosystem") != ecosystem:
+                    problems.append(
+                        f"ecosystem smoke ({ecosystem}/{executor}): manifest "
+                        f"records ecosystem {payload.get('ecosystem')!r}"
+                    )
+                    continue
+                if ecosystem != "web-services" and not payload.get(
+                    "tool_families"
+                ):
+                    problems.append(
+                        f"ecosystem smoke ({ecosystem}/{executor}): manifest "
+                        "lacks the resolved tool_families"
+                    )
+                cells[(ecosystem, executor)] = [
+                    [
+                        r["cells"]["tp"], r["cells"]["fp"],
+                        r["cells"]["fn"], r["cells"]["tn"],
+                    ]
+                    for r in payload["shards"]
+                ]
+    for ecosystem in ("web-services", "npm-deps"):
+        thread = cells.get((ecosystem, "thread"))
+        process = cells.get((ecosystem, "process"))
+        if thread is not None and process is not None and thread != process:
+            problems.append(
+                f"ecosystem smoke ({ecosystem}): per-shard cells differ "
+                "between thread and process executors"
+            )
+    default = cells.get(("web-services", "thread"))
+    other = cells.get(("npm-deps", "thread"))
+    if default is not None and other is not None and default == other:
+        problems.append(
+            "ecosystem smoke: npm-deps produced the same cells as "
+            "web-services — the ecosystem is not reaching the workload"
+        )
+    return problems
+
+
 def check_fault_injection() -> list[str]:
     """An injected failure must isolate, manifest correctly, and exit 1."""
     repo_root = Path(__file__).resolve().parent.parent
@@ -274,8 +402,10 @@ def main() -> int:
         + check_resampler_identity()
         + check_bench_json()
         + check_shard_json()
+        + check_ecosystems_json()
         + check_fault_injection()
         + check_shard_scale()
+        + check_cross_ecosystem()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
@@ -284,7 +414,7 @@ def main() -> int:
         return 1
     print(
         "bench ok: kernels, resampler stream, dump schemas, fault-injection "
-        "smoke, and shard-scale smoke checked"
+        "smoke, shard-scale smoke, and cross-ecosystem smoke checked"
     )
     return 0
 
