@@ -414,6 +414,38 @@ def _evaluate_one(
 #: — the shard counterpart of ``process._WORKER_STORES``.
 _WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
 
+#: Per-worker-process run context ``(plan, cache_dir, trace, families)``,
+#: installed once by :func:`_init_shard_worker` so per-task submissions
+#: pickle only ``(index, attempt, fault)`` instead of re-shipping the plan
+#: (and its full workload config) with every shard.
+_WORKER_CONTEXT: tuple[ShardPlan, str | None, bool, tuple[str, ...]] | None = None
+
+
+def _init_shard_worker(
+    plan: ShardPlan,
+    cache_dir: str | None,
+    trace: bool,
+    families: tuple[str, ...],
+) -> None:
+    """Process-pool initializer: pin the run context in this worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (plan, cache_dir, trace, families)
+
+
+def _evaluate_in_worker(
+    index: int, attempt: int, fault: FaultSpec | None
+) -> _ShardOutcome:
+    """Worker task body: evaluate one shard against the pinned context."""
+    if _WORKER_CONTEXT is None:
+        raise ConfigurationError(
+            "shard worker used without _init_shard_worker; "
+            "submit through _run_shards_pooled"
+        )
+    plan, cache_dir, trace, families = _WORKER_CONTEXT
+    return _evaluate_in_process(
+        plan, index, attempt, cache_dir, trace, families, fault
+    )
+
 
 def _evaluate_in_process(
     plan: ShardPlan,
@@ -715,18 +747,24 @@ def _run_shards_pooled(
     )
     records: dict[int, ShardRunRecord] = {}
     queue = list(pending)
-    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-    pool = pool_cls(max_workers=jobs)
+    if executor == "process":
+        # The plan (and its workload config) crosses the process boundary
+        # once per worker via the initializer; per-task payloads carry
+        # only the shard index, attempt and fault spec.
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_shard_worker,
+            initargs=(plan, cache_dir, trace, families),
+        )
+    else:
+        pool = ThreadPoolExecutor(max_workers=jobs)
     active: dict[Future, tuple[int, int]] = {}  # future -> (index, attempt)
     try:
 
         def submit(index: int, attempt: int) -> None:
             fault = _fault_for_shard(faults, index)
             if executor == "process":
-                future = pool.submit(
-                    _evaluate_in_process,
-                    plan, index, attempt, cache_dir, trace, families, fault,
-                )
+                future = pool.submit(_evaluate_in_worker, index, attempt, fault)
             else:
                 future = pool.submit(
                     _evaluate_one,

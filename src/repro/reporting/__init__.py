@@ -1,13 +1,17 @@
-"""Plain-text tables, ASCII figures and markdown rendering."""
+"""Plain-text tables, ASCII figures, markdown and bench-table rendering."""
 
+from repro.reporting.benchtables import BenchTable, bench_tables, refresh_doc
 from repro.reporting.figures import ascii_chart
 from repro.reporting.markdown import experiment_to_markdown, format_markdown_table
 from repro.reporting.tables import format_cell, format_table
 
 __all__ = [
+    "BenchTable",
     "ascii_chart",
+    "bench_tables",
     "experiment_to_markdown",
     "format_markdown_table",
     "format_cell",
     "format_table",
+    "refresh_doc",
 ]

@@ -14,7 +14,7 @@ from repro.tools.families import (
     suite_for_ecosystem,
 )
 from repro.tools.pattern_scanner import PatternScanner
-from repro.tools.sca_matcher import ScaMatcher, is_dependency_unit
+from repro.tools.sca_matcher import ScaMatcher, dependency_mask, is_dependency_unit
 from repro.tools.simulated import SimulatedTool, ToolProfile
 from repro.tools.suite import real_tool_suite, reference_suite, simulated_pool
 from repro.tools.taint_analyzer import TaintAnalyzer
@@ -40,6 +40,7 @@ __all__ = [
     "suite_for_ecosystem",
     "PatternScanner",
     "ScaMatcher",
+    "dependency_mask",
     "is_dependency_unit",
     "SimulatedTool",
     "ToolProfile",

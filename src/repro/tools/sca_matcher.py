@@ -22,12 +22,16 @@ We model that with two mechanisms:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from repro._rng import derive_seed, spawn
 from repro.errors import ToolError
 from repro.tools.base import Detection, DetectionReport, VulnerabilityDetectionTool
 from repro.workload.generator import Workload
 
-__all__ = ["is_dependency_unit", "ScaMatcher"]
+__all__ = ["is_dependency_unit", "dependency_mask", "ScaMatcher"]
 
 _HASH_BUCKETS = 10**9
 
@@ -46,6 +50,32 @@ def is_dependency_unit(unit_id: str, dependency_fraction: float) -> bool:
         )
     bucket = derive_seed(0, f"dependency-unit:{unit_id}") % _HASH_BUCKETS
     return bucket < dependency_fraction * _HASH_BUCKETS
+
+
+def dependency_mask(
+    unit_ids: Sequence[str], dependency_fraction: float
+) -> np.ndarray:
+    """:func:`is_dependency_unit` over a whole corpus, as a bool array.
+
+    Element ``i`` equals ``is_dependency_unit(unit_ids[i], fraction)`` —
+    the same hash partition, validated once and evaluated per *unit*
+    rather than per site.  This is the column the batched generation
+    path (:meth:`repro.workload.columnar.ShardColumns.dependency_mask`)
+    exposes.
+    """
+    if not 0.0 <= dependency_fraction <= 1.0:
+        raise ToolError(
+            f"dependency_fraction={dependency_fraction} must be in [0, 1]"
+        )
+    cut = dependency_fraction * _HASH_BUCKETS
+    return np.fromiter(
+        (
+            derive_seed(0, f"dependency-unit:{unit_id}") % _HASH_BUCKETS < cut
+            for unit_id in unit_ids
+        ),
+        dtype=bool,
+        count=len(unit_ids),
+    )
 
 
 class ScaMatcher(VulnerabilityDetectionTool):
@@ -77,8 +107,18 @@ class ScaMatcher(VulnerabilityDetectionTool):
         """Match dependency-shaped units against the simulated database."""
         rng = spawn(derive_seed(self.seed, self.name), f"sca:{workload.name}")
         detections: list[Detection] = []
+        # The hash partition is per unit, not per site; memoize it so
+        # multi-site units hash once (verdicts, and therefore the RNG
+        # stream, are unchanged).
+        visible: dict[str, bool] = {}
         for site in workload.truth.sites:
-            if not is_dependency_unit(site.unit_id, self.dependency_fraction):
+            unit_visible = visible.get(site.unit_id)
+            if unit_visible is None:
+                unit_visible = is_dependency_unit(
+                    site.unit_id, self.dependency_fraction
+                )
+                visible[site.unit_id] = unit_visible
+            if not unit_visible:
                 continue
             profile = workload.profiles[site]
             probability = (

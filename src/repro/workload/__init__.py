@@ -11,11 +11,19 @@ from repro.workload.ecosystems import (
     get_ecosystem,
     register_ecosystem,
 )
+from repro.workload.columnar import (
+    ShardColumns,
+    decode_columns,
+    generate_workload_batch,
+    materialize_workload,
+    supports_batch,
+)
 from repro.workload.generator import (
     SiteProfile,
     Workload,
     WorkloadConfig,
     generate_workload,
+    generate_workload_scalar,
 )
 from repro.workload.ground_truth import GroundTruth
 from repro.workload.sharded import (
@@ -48,6 +56,12 @@ __all__ = [
     "Workload",
     "WorkloadConfig",
     "generate_workload",
+    "generate_workload_scalar",
+    "generate_workload_batch",
+    "ShardColumns",
+    "decode_columns",
+    "materialize_workload",
+    "supports_batch",
     "GroundTruth",
     "DEFAULT_SHARD_SIZE",
     "ShardPlan",

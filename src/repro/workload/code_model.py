@@ -21,7 +21,14 @@ from dataclasses import dataclass, field
 from repro.errors import WorkloadError
 from repro.workload.taxonomy import VulnerabilityType
 
-__all__ = ["StatementKind", "Statement", "CodeUnit", "SinkSite"]
+__all__ = [
+    "StatementKind",
+    "Statement",
+    "CodeUnit",
+    "SinkSite",
+    "trusted_statement",
+    "trusted_unit",
+]
 
 
 class StatementKind(enum.Enum):
@@ -125,3 +132,37 @@ class CodeUnit:
 
     def __len__(self) -> int:
         return len(self.statements)
+
+
+def trusted_statement(
+    kind: StatementKind,
+    target: str | None,
+    sources: tuple[str, ...],
+    vuln_type: VulnerabilityType | None,
+) -> Statement:
+    """Construct a :class:`Statement` without running validation.
+
+    For bulk producers whose output is well-formed *by construction* and
+    covered by their own parity tests (the columnar batch generator);
+    everyone else should use the validating constructor.  The result is
+    indistinguishable from a validated statement — same type, same
+    fields, same equality and hash.
+    """
+    statement = object.__new__(Statement)
+    object.__setattr__(statement, "kind", kind)
+    object.__setattr__(statement, "target", target)
+    object.__setattr__(statement, "sources", sources)
+    object.__setattr__(statement, "vuln_type", vuln_type)
+    return statement
+
+
+def trusted_unit(unit_id: str, statements: tuple[Statement, ...]) -> CodeUnit:
+    """Construct a :class:`CodeUnit` without the def-before-use scan.
+
+    Same contract as :func:`trusted_statement`: only for producers that
+    guarantee validity by construction and prove it with parity tests.
+    """
+    unit = object.__new__(CodeUnit)
+    object.__setattr__(unit, "unit_id", unit_id)
+    object.__setattr__(unit, "statements", statements)
+    return unit

@@ -32,7 +32,13 @@ from repro.workload.ground_truth import GroundTruth
 from repro.workload.oracle import vulnerable_sites
 from repro.workload.taxonomy import VulnerabilityType
 
-__all__ = ["SiteProfile", "WorkloadConfig", "Workload", "generate_workload"]
+__all__ = [
+    "SiteProfile",
+    "WorkloadConfig",
+    "Workload",
+    "generate_workload",
+    "generate_workload_scalar",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,11 +124,17 @@ class Workload:
     config: WorkloadConfig
 
     def unit(self, unit_id: str) -> CodeUnit:
-        """Look up a unit by id."""
-        for unit in self.units:
-            if unit.unit_id == unit_id:
-                return unit
-        raise ConfigurationError(f"unknown unit {unit_id!r}")
+        """Look up a unit by id (O(1) after the first call)."""
+        try:
+            index = self._unit_index
+        except AttributeError:
+            index = {unit.unit_id: unit for unit in self.units}
+            # Lazy cache on a frozen dataclass; pure function of `units`.
+            object.__setattr__(self, "_unit_index", index)
+        try:
+            return index[unit_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown unit {unit_id!r}") from None
 
     @property
     def n_sites(self) -> int:
@@ -248,9 +260,30 @@ def _build_site_statements(
 def generate_workload(config: WorkloadConfig) -> Workload:
     """Generate a workload from ``config``, deterministically in its seed.
 
-    Ground truth is recomputed from the taint oracle over the generated
-    units; an internal consistency check asserts it matches the generator's
-    intent for every site.
+    Dispatches to the columnar batch path
+    (:func:`repro.workload.columnar.generate_workload_batch`) whenever the
+    config is within its range, falling back to
+    :func:`generate_workload_scalar` otherwise.  The two paths are
+    byte-identical for every supported config — same RNG stream, same
+    statements, same ground truth — guarded by
+    ``tests/workload/test_batch_parity.py``; the dispatch is therefore a
+    pure wall-clock change, exactly like the vectorized bootstrap on the
+    metric side.
+    """
+    from repro.workload.columnar import generate_workload_batch, supports_batch
+
+    if supports_batch(config):
+        return generate_workload_batch(config)
+    return generate_workload_scalar(config)
+
+
+def generate_workload_scalar(config: WorkloadConfig) -> Workload:
+    """Generate a workload one RNG draw at a time — the reference path.
+
+    The obviously-correct implementation the batch path is held to:
+    ground truth is recomputed from the taint oracle over the generated
+    units, and an internal consistency check asserts it matches the
+    generator's intent for every site.
     """
     rng = spawn(config.seed, f"workload:{config.name}")
     units: list[CodeUnit] = []

@@ -39,9 +39,31 @@ class GroundTruth:
         """Build from any iterables, normalizing container types."""
         return cls(sites=tuple(sites), vulnerable=frozenset(vulnerable))
 
+    @classmethod
+    def trusted(
+        cls, sites: tuple[SinkSite, ...], vulnerable: Iterable[SinkSite]
+    ) -> "GroundTruth":
+        """Build without the duplicate/stray-site validation pass.
+
+        Only for producers whose site lists are unique and closed by
+        construction and whose output is parity-tested against the
+        validating path (the columnar batch generator).  The result is
+        equal (``==``) to a validated instance built from the same data.
+        """
+        truth = object.__new__(cls)
+        object.__setattr__(truth, "sites", sites)
+        object.__setattr__(truth, "vulnerable", frozenset(vulnerable))
+        return truth
+
     def is_vulnerable(self, site: SinkSite) -> bool:
-        """Oracle verdict for one site."""
-        if site not in set(self.sites):
+        """Oracle verdict for one site (O(1) after the first call)."""
+        try:
+            site_set = self._site_set
+        except AttributeError:
+            site_set = frozenset(self.sites)
+            # Lazy cache on a frozen dataclass; pure function of `sites`.
+            object.__setattr__(self, "_site_set", site_set)
+        if site not in site_set:
             raise WorkloadError(f"unknown site {site}")
         return site in self.vulnerable
 

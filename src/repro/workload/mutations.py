@@ -14,6 +14,8 @@ replacement.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.errors import WorkloadError
 from repro.workload.code_model import CodeUnit, SinkSite, Statement, StatementKind
 from repro.workload.generator import SiteProfile, Workload
@@ -81,9 +83,14 @@ def _replace_unit(
     )
 
 
-def _fresh_variable(unit: CodeUnit, stem: str) -> str:
-    """A variable name no statement of the unit defines."""
-    existing = {s.target for s in unit.statements if s.target is not None}
+def _fresh_variable(statements: Iterable[Statement], stem: str) -> str:
+    """A variable name none of ``statements`` defines.
+
+    Takes the raw statements rather than a :class:`CodeUnit` so callers
+    building a unit incrementally (``extend_chain``) can probe candidate
+    names without re-validating the whole unit on every hop.
+    """
+    existing = {s.target for s in statements if s.target is not None}
     candidate = stem
     counter = 0
     while candidate in existing:
@@ -111,7 +118,7 @@ def fix_site(workload: Workload, site: SinkSite) -> Workload:
     if not workload.truth.is_vulnerable(site):
         raise WorkloadError(f"{site} is already safe; nothing to fix")
     unit, sink = _require_sink(workload, site)
-    fixed_var = _fresh_variable(unit, "patched")
+    fixed_var = _fresh_variable(unit.statements, "patched")
     sanitize = Statement(
         StatementKind.SANITIZE,
         target=fixed_var,
@@ -178,10 +185,7 @@ def extend_chain(workload: Workload, site: SinkSite, hops: int = 2) -> Workload:
     current = sink.sources[0]
     inserted: list[Statement] = []
     for hop in range(hops):
-        nxt = _fresh_variable(
-            CodeUnit(unit_id=unit.unit_id, statements=tuple(statements + inserted)),
-            f"hop{hop}",
-        )
+        nxt = _fresh_variable(statements + inserted, f"hop{hop}")
         inserted.append(
             Statement(StatementKind.ASSIGN, target=nxt, sources=(current,))
         )

@@ -151,9 +151,26 @@ class ShardPlan:
 
         Independent of every other shard: the same ``(plan, index)`` pair
         produces the same workload whether generated alone, in order, or in
-        a worker process.
+        a worker process.  Runs through the columnar batch path whenever
+        the base config supports it (every registered ecosystem does), so
+        both the thread and the process executors of
+        :func:`repro.bench.engine.shards.run_sharded_campaign` generate at
+        batch speed without doing anything.
         """
         return generate_workload(self.config_for(index))
+
+    def columns(self, index: int):
+        """Shard ``index`` as a columnar record, skipping materialization.
+
+        Returns the :class:`~repro.workload.columnar.ShardColumns` the
+        batch path decodes for this shard — for consumers that want the
+        arrays (labels, difficulty, dependency mask) without paying for
+        the object graph.  Requires the base config to be within
+        :func:`~repro.workload.columnar.supports_batch`.
+        """
+        from repro.workload.columnar import decode_columns
+
+        return decode_columns(self.config_for(index))
 
     def __len__(self) -> int:
         return self.n_shards

@@ -52,6 +52,111 @@ def test_public_api_is_fully_docstringed():
     assert problems == [], "\n".join(str(p) for p in problems)
 
 
+class TestBenchTableFreshness:
+    """Marker-delimited bench tables must match their committed dumps —
+    and the checker must catch every way they can drift."""
+
+    PAYLOAD = {
+        "schema": "repro/bench-shard@1",
+        "throughput": {
+            "rows": [
+                {
+                    "scale": 2000,
+                    "shard_size": 500,
+                    "wall_seconds": 0.5,
+                    "units_per_second": 4000.0,
+                    "peak_rss_mb": 60.0,
+                }
+            ]
+        },
+        "generation": {
+            "rows": [
+                {
+                    "ecosystem": "web-services",
+                    "n_units": 2000,
+                    "scalar_units_per_second": 4000.0,
+                    "batch_units_per_second": 50000.0,
+                    "speedup": 12.5,
+                    "identical": True,
+                }
+            ]
+        },
+    }
+
+    def _fresh_doc(self) -> str:
+        from repro.reporting.benchtables import bench_tables
+
+        parts = ["# scaling\n"]
+        for table in bench_tables():
+            parts.append(
+                table.begin + "\n" + table.render(self.PAYLOAD) + "\n" + table.end
+            )
+        return "\n\n".join(parts) + "\n"
+
+    def _root(self, tmp_path, doc_text):
+        import json
+
+        (tmp_path / "results").mkdir()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "results" / "BENCH_shard.json").write_text(
+            json.dumps(self.PAYLOAD), encoding="utf-8"
+        )
+        (tmp_path / "docs" / "scaling.md").write_text(doc_text, encoding="utf-8")
+        return tmp_path
+
+    def test_fresh_tables_pass(self, tmp_path):
+        root = self._root(tmp_path, self._fresh_doc())
+        assert check_docs.check_bench_tables(root) == []
+
+    def test_stale_table_reported(self, tmp_path):
+        root = self._root(
+            tmp_path, self._fresh_doc().replace("| 2,000 |", "| 2,001 |")
+        )
+        problems = check_docs.check_bench_tables(root)
+        assert len(problems) == 1
+        assert "stale" in problems[0].message
+        assert "shard-throughput" in problems[0].message
+
+    def test_missing_markers_reported(self, tmp_path):
+        from repro.reporting.benchtables import bench_tables
+
+        generation = next(t for t in bench_tables() if t.key == "shard-generation")
+        root = self._root(
+            tmp_path, self._fresh_doc().replace(generation.begin, "<!-- gone -->")
+        )
+        problems = check_docs.check_bench_tables(root)
+        assert len(problems) == 1
+        assert "no markers" in problems[0].message
+
+    def test_missing_dump_is_not_a_problem(self, tmp_path):
+        root = self._root(tmp_path, self._fresh_doc())
+        (root / "results" / "BENCH_shard.json").unlink()
+        assert check_docs.check_bench_tables(root) == []
+
+    def test_invalid_dump_reported(self, tmp_path):
+        root = self._root(tmp_path, self._fresh_doc())
+        (root / "results" / "BENCH_shard.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        problems = check_docs.check_bench_tables(root)
+        assert problems and "not valid JSON" in problems[0].message
+
+    def test_refresh_doc_makes_a_stale_table_fresh(self, tmp_path):
+        from repro.reporting.benchtables import bench_tables, refresh_doc
+
+        root = self._root(
+            tmp_path, self._fresh_doc().replace("| 2,000 |", "| 9,999 |")
+        )
+        assert check_docs.check_bench_tables(root) != []
+        changed = [t.key for t in bench_tables() if refresh_doc(t, root)]
+        assert changed == ["shard-throughput"]
+        assert check_docs.check_bench_tables(root) == []
+
+    def test_committed_tables_are_fresh(self):
+        problems = check_docs.check_bench_tables(ROOT)
+        assert problems == [], "\n".join(str(p) for p in problems)
+
+
 class TestCheckerItself:
     """The checker must actually catch problems, not just pass clean files."""
 

@@ -12,6 +12,10 @@ still works.  This checker runs three fast probes:
    draws the same stream as the per-resample scalar loop at the same seed,
    so ``bootstrap_metric`` and ``bootstrap_metric_scalar`` must return
    identical summaries.
+2b. **Generation parity** — the columnar workload generator produces
+   byte-identical output to the scalar reference on a small corpus, and
+   is not slower than it (the 10x claim lives in the full bench; CI only
+   guards the machinery and the direction).
 3. **Dump schema** — ``results/BENCH_engine.json`` and
    ``results/BENCH_shard.json``, when present, carry the expected schema
    tags and the sections the docs cite.
@@ -53,7 +57,7 @@ REQUIRED_SECTIONS = ("suite", "bootstrap", "executor", "tracing")
 SHARD_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_shard.json"
 SHARD_JSON_SCHEMA = "repro/bench-shard@1"
 #: Sections docs/scaling.md cites.
-SHARD_SECTIONS = ("parity", "throughput", "memory")
+SHARD_SECTIONS = ("parity", "generation", "throughput", "memory")
 
 ECOSYSTEMS_JSON = (
     Path(__file__).resolve().parent.parent / "results" / "BENCH_ecosystems.json"
@@ -111,6 +115,43 @@ def check_resampler_identity() -> list[str]:
                 f"resampler identity: {metric.symbol}: "
                 f"{batch!r} != {scalar!r}"
             )
+    return problems
+
+
+def check_generation_smoke() -> list[str]:
+    """Columnar generation: identical bytes, and no slower than scalar."""
+    import time
+
+    from repro.persist import payload_digest, workload_to_dict
+    from repro.workload.columnar import generate_workload_batch, supports_batch
+    from repro.workload.generator import WorkloadConfig, generate_workload_scalar
+
+    config = WorkloadConfig(n_units=400, seed=2015, name="bench-smoke")
+    if not supports_batch(config):
+        return [
+            "generation smoke: the default config is outside the columnar "
+            "path's envelope — campaigns would silently run scalar"
+        ]
+    problems = []
+    generate_workload_batch(config)  # warm caches: steady-state comparison
+    started = time.perf_counter()
+    scalar = generate_workload_scalar(config)
+    scalar_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    batch = generate_workload_batch(config)
+    batch_wall = time.perf_counter() - started
+    if payload_digest(workload_to_dict(scalar)) != payload_digest(
+        workload_to_dict(batch)
+    ):
+        problems.append(
+            "generation smoke: columnar output is not byte-identical to the "
+            "scalar reference at seed 2015"
+        )
+    if batch_wall > scalar_wall:
+        problems.append(
+            "generation smoke: columnar path is slower than scalar "
+            f"({batch_wall:.3f}s vs {scalar_wall:.3f}s for 400 units)"
+        )
     return problems
 
 
@@ -173,6 +214,27 @@ def check_shard_json() -> list[str]:
         } - set(row)
         if missing:
             problems.append(f"shard json: throughput row lacks {sorted(missing)}")
+    generation = payload.get("generation", {}).get("rows", [])
+    if "generation" in payload and not generation:
+        problems.append("shard json: generation section has no rows")
+    for row in generation:
+        missing = {
+            "ecosystem", "n_units", "scalar_units_per_second",
+            "batch_units_per_second", "speedup", "identical",
+        } - set(row)
+        if missing:
+            problems.append(f"shard json: generation row lacks {sorted(missing)}")
+            continue
+        if row["identical"] is not True:
+            problems.append(
+                f"shard json: generation row {row['ecosystem']!r} does not "
+                "record byte-identical output"
+            )
+        if row["speedup"] < 1.0:
+            problems.append(
+                f"shard json: generation row {row['ecosystem']!r} records a "
+                f"slowdown ({row['speedup']}) — the columnar path regressed"
+            )
     return problems
 
 
@@ -400,6 +462,7 @@ def main() -> int:
     problems = (
         check_kernel_parity()
         + check_resampler_identity()
+        + check_generation_smoke()
         + check_bench_json()
         + check_shard_json()
         + check_ecosystems_json()
@@ -413,8 +476,9 @@ def main() -> int:
         print(f"{len(problems)} benchmark problem(s)", file=sys.stderr)
         return 1
     print(
-        "bench ok: kernels, resampler stream, dump schemas, fault-injection "
-        "smoke, shard-scale smoke, and cross-ecosystem smoke checked"
+        "bench ok: kernels, resampler stream, generation parity, dump "
+        "schemas, fault-injection smoke, shard-scale smoke, and "
+        "cross-ecosystem smoke checked"
     )
     return 0
 

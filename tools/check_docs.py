@@ -8,14 +8,19 @@ this over ``docs/*.md`` and ``README.md`` on every test run, and the docs
 CI job calls it directly — so the observability and architecture pages
 cannot rot the way the pre-engine README quickstart did.
 
-Two drift checks go beyond the markdown itself:
+Three drift checks go beyond the markdown itself:
 
 - every ``--flag`` a doc mentions must actually exist on the ``repro``
   CLI (lines invoking other tools — pytest, pip, git — are exempt), so a
   renamed flag cannot survive in prose or diagrams;
 - every public function, class, and method under ``src/repro/`` must
   carry a docstring, so the API surface the docs describe stays
-  self-describing.
+  self-describing;
+- every marker-delimited bench table registered in
+  :mod:`repro.reporting.benchtables` must equal its regeneration from the
+  committed ``results/BENCH_*.json`` dump, so a docs table cannot cite
+  numbers the dump no longer backs (a stale table fails here and in the
+  docs CI job; rerun ``benchmarks/bench_shard_scale.py`` to refresh).
 
 Usage::
 
@@ -38,6 +43,7 @@ from pathlib import Path
 __all__ = [
     "DocProblem",
     "check_api_docstrings",
+    "check_bench_tables",
     "check_file",
     "extract_fenced_blocks",
     "known_cli_flags",
@@ -230,6 +236,72 @@ def check_api_docstrings(src_root: Path) -> list[DocProblem]:
     return problems
 
 
+def check_bench_tables(root: Path) -> list[DocProblem]:
+    """Marker-delimited bench tables must match their committed dumps.
+
+    For every table registered in :func:`repro.reporting.benchtables.
+    bench_tables`: when the dump it cites is committed (a fresh checkout
+    without bench results is fine) and carries the table's section, the
+    doc must carry the markers and the text between them must equal the
+    renderer's output byte for byte.  Anything else — hand-edited rows,
+    a bench rerun that forgot the doc, markers deleted in a rewrite —
+    is reported with the command that regenerates the table.
+    """
+    import json
+
+    from repro.reporting.benchtables import bench_tables, table_in_doc
+
+    problems = []
+    for table in bench_tables():
+        results = root / table.results
+        doc = root / table.doc
+        if not results.exists():
+            continue
+        try:
+            payload = json.loads(results.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            problems.append(
+                DocProblem(results, 0, f"bench dump is not valid JSON: {error}")
+            )
+            continue
+        if table.section not in payload:
+            # An incomplete dump is the bench checker's problem
+            # (tools/check_bench.py), not a docs-freshness one.
+            continue
+        if not doc.exists():
+            problems.append(
+                DocProblem(
+                    doc, 0, f"bench table {table.key!r} registered but doc missing"
+                )
+            )
+            continue
+        text = doc.read_text(encoding="utf-8")
+        current = table_in_doc(table, text)
+        if current is None:
+            problems.append(
+                DocProblem(
+                    doc,
+                    0,
+                    f"bench table {table.key!r} has no markers "
+                    f"({table.begin} … {table.end}) but {table.results} "
+                    f"carries a {table.section!r} section to render",
+                )
+            )
+            continue
+        if current != table.render(payload):
+            line = text[: text.index(table.begin)].count("\n") + 1
+            problems.append(
+                DocProblem(
+                    doc,
+                    line,
+                    f"bench table {table.key!r} is stale against "
+                    f"{table.results}; rerun `PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_shard_scale.py` to regenerate it",
+                )
+            )
+    return problems
+
+
 def check_file(
     path: Path, cli_flags: frozenset[str] | None = None
 ) -> list[DocProblem]:
@@ -266,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         problems.extend(check_file(path, cli_flags=flags))
     api_problems = check_api_docstrings(root / "src" / "repro")
     problems.extend(api_problems)
+    problems.extend(check_bench_tables(root))
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -273,7 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"docs ok: {len(args)} file(s) checked, "
-        "public API fully docstringed, no CLI-flag drift"
+        "public API fully docstringed, no CLI-flag drift, "
+        "bench tables fresh"
     )
     return 0
 
