@@ -6,16 +6,21 @@ one-line summary per comparison.  Shape claims: a warm store re-runs the
 whole suite without a single artifact miss, and a parallel run is
 byte-identical to the serial one (the engine's core determinism contract).
 
-A second bench measures the observability layer itself: best-of-three cold
-runs with the tracer enabled vs disabled.  The instrumentation must stay
-cheap enough to leave on (<5% wall-time overhead is the design target; the
-assert allows slack for machine noise).
+A second bench measures the observability layer itself: interleaved
+sharded-campaign runs with the tracer enabled vs disabled.  The
+instrumentation must stay cheap enough to leave on — <5% wall-time
+overhead, *enforced* (the ring-lane tracer is what makes the target
+holdable without slack).
 
-Two perf benches cover the vectorized paths: bootstrap throughput compares
+Three perf benches cover the parallel rails: bootstrap throughput compares
 the scalar reference loop (``bootstrap_metric_scalar``) against the batch
-kernels over the full metric catalog and asserts identical statistics, and
-the executor bench compares ``--executor thread`` against ``process`` on a
-bootstrap-heavy subset and asserts identical reports.
+kernels over the full metric catalog and asserts identical statistics; the
+executor bench compares ``--executor thread`` against ``process`` on a
+bootstrap-heavy subset and asserts identical reports; and the transport
+bench times a sharded campaign across thread/process × pickle/shm and
+asserts byte-identical cells.  Multi-core speedup assertions are skipped
+(with a logged reason) when ``cpu_count < 2`` — every recorded section
+carries ``cpu_count`` so single-core numbers read as what they are.
 
 Every bench also folds its numbers into ``results/BENCH_engine.json``
 (schema-tagged, machine-readable) so perf claims in the docs trace to
@@ -35,10 +40,6 @@ from repro.obs import Observability
 ALL_IDS = [f"R{i}" for i in range(1, 20)]
 SEED = 2015
 JOBS = 4
-#: Subset used for the tracing-overhead comparison: covers the shared
-#: campaign, metric loops and dependent experiments without paying for the
-#: slow bootstrap-heavy ids three times over.
-OVERHEAD_IDS = ["R1", "R3", "R4", "R5", "R12", "R13"]
 #: Subset used for the thread-vs-process comparison: independent,
 #: CPU-bound experiments where worker processes can actually help.
 EXECUTOR_IDS = ["R2", "R7", "R18", "R19"]
@@ -66,6 +67,14 @@ def _update_bench_json(section: str, payload: dict) -> None:
     BENCH_JSON.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    # Re-render every registered doc table fed by this dump, so a bench
+    # run can never leave docs/ stale (check_docs would flag it).
+    from repro.reporting.benchtables import bench_tables, refresh_doc
+
+    root = BENCH_JSON.parent.parent
+    for table in bench_tables():
+        if table.results == "results/BENCH_engine.json":
+            refresh_doc(table, root)
 
 
 def _timed(**kwargs):
@@ -191,10 +200,13 @@ def test_bench_executor_thread_vs_process(save_result):
     """``--executor process`` on a CPU-bound subset, against threads.
 
     The contract under test is identity: both executors must render the
-    same reports at the same seed.  The wall-clock ratio is recorded, not
-    asserted — on a single-core runner process workers cannot win, and the
-    committed numbers are what document the multi-core speedup.
+    same reports at the same seed.  The wall-clock ratio is asserted only
+    on multi-core machines — on a single core, process workers cannot win
+    by construction, so the assertion is skipped with a logged reason and
+    ``cpu_count`` rides prominently in every recorded artifact so a
+    single-core number is never mistaken for a regression.
     """
+    cpu_count = os.cpu_count() or 1
 
     def timed(executor):
         started = time.perf_counter()
@@ -209,10 +221,22 @@ def test_bench_executor_thread_vs_process(save_result):
         )
 
     speedup = thread_s / process_s
+    if cpu_count >= 2:
+        assert speedup >= 1.0, (
+            f"process executor slower than threads on {cpu_count} cores "
+            f"(thread {thread_s:.2f}s, process {process_s:.2f}s)"
+        )
+        note = ""
+    else:
+        note = (
+            f" [speedup assertion skipped: cpu_count={cpu_count}, "
+            f"a process win is impossible on one core]"
+        )
     line = (
         f"executor {'+'.join(EXECUTOR_IDS)} (jobs={JOBS}, "
-        f"{os.cpu_count()} cores): thread {thread_s:.2f}s, "
-        f"process {process_s:.2f}s ({speedup:.2f}x), reports byte-identical"
+        f"cpu_count={cpu_count}): thread {thread_s:.2f}s, "
+        f"process {process_s:.2f}s ({speedup:.2f}x), reports "
+        f"byte-identical{note}"
     )
     print(line)
     save_result("engine_executor", line)
@@ -221,55 +245,204 @@ def test_bench_executor_thread_vs_process(save_result):
         {
             "experiments": EXECUTOR_IDS,
             "jobs": JOBS,
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
             "thread_seconds": round(thread_s, 3),
             "process_seconds": round(process_s, 3),
             "speedup": round(speedup, 2),
+            "speedup_asserted": cpu_count >= 2,
         },
     )
 
 
-def test_bench_tracing_overhead(save_result):
-    def best_of(n: int, traced: bool) -> tuple[float, Observability]:
-        best, best_obs = float("inf"), None
-        for _ in range(n):
-            obs = Observability.enabled() if traced else Observability()
-            started = time.perf_counter()
-            run_experiments(OVERHEAD_IDS, seed=SEED, obs=obs)
-            elapsed = time.perf_counter() - started
-            if elapsed < best:
-                best, best_obs = elapsed, obs
-        return best, best_obs
+#: Sharded campaign used for the tracing-overhead measurement: big enough
+#: that per-unit work dominates process startup, small enough to repeat.
+TRACING_SCALE = 4_000
+TRACING_SHARD_SIZE = 500
 
-    plain_s, plain_obs = best_of(3, traced=False)
-    traced_s, traced_obs = best_of(3, traced=True)
+#: The enforced tracing-overhead ceiling.  This is the design target
+#: itself, not a slacked stand-in: with the ring-lane tracer a traced
+#: campaign must stay within 5% of an untraced one.
+TRACING_OVERHEAD_GUARD = 0.05
+
+
+def test_bench_tracing_overhead(save_result):
+    """``--trace`` on a sharded campaign must cost <5%, enforced.
+
+    Runs are interleaved (off, on, off, on, ...) so slow drift on a shared
+    machine hits both sides equally, and each side takes its best time.
+    """
+    from repro.bench.engine.shards import run_sharded_campaign
+    from repro.obs import Tracer
+
+    def timed(traced: bool) -> tuple[float, Observability]:
+        obs = Observability(tracer=Tracer(enabled=traced))
+        started = time.perf_counter()
+        run_sharded_campaign(
+            scale=TRACING_SCALE,
+            shard_size=TRACING_SHARD_SIZE,
+            seed=SEED,
+            jobs=1,
+            executor="thread",
+            obs=obs,
+        )
+        return time.perf_counter() - started, obs
+
+    timed(False), timed(True)  # warm caches off both measurements
+    plain_s = traced_s = float("inf")
+    plain_obs = traced_obs = None
+    for _ in range(4):
+        elapsed, obs = timed(False)
+        if elapsed < plain_s:
+            plain_s, plain_obs = elapsed, obs
+        elapsed, obs = timed(True)
+        if elapsed < traced_s:
+            traced_s, traced_obs = elapsed, obs
     overhead = (traced_s - plain_s) / plain_s
 
     # The disabled tracer records nothing; the enabled one covers the run.
     assert len(plain_obs.tracer) == 0
     names = {record.name for record in traced_obs.tracer.spans}
-    assert "engine.run" in names and "artifact.compute" in names
-    # Design target is <5%; allow slack for shared-machine timing noise,
-    # but an instrumentation regression (an order of magnitude) still trips.
-    assert overhead < 0.25, (
+    assert "engine.shard_run" in names and "shard.evaluate" in names
+    assert overhead < TRACING_OVERHEAD_GUARD, (
         f"tracing overhead {overhead:.1%} (plain {plain_s:.2f}s, "
-        f"traced {traced_s:.2f}s) — expected ~<5%"
+        f"traced {traced_s:.2f}s) exceeds the enforced "
+        f"{TRACING_OVERHEAD_GUARD:.0%} ceiling"
     )
 
     line = (
-        f"engine tracing overhead ({len(OVERHEAD_IDS)} experiments, "
-        f"best of 3): off {plain_s:.2f}s, on {traced_s:.2f}s "
-        f"({overhead:+.1%}, {len(traced_obs.tracer)} spans recorded)"
+        f"tracing overhead ({TRACING_SCALE}-unit sharded campaign, "
+        f"best of 4 interleaved): off {plain_s:.2f}s, on {traced_s:.2f}s "
+        f"({overhead:+.1%}, {len(traced_obs.tracer)} spans recorded, "
+        f"guard <{TRACING_OVERHEAD_GUARD:.0%})"
     )
     print(line)
     save_result("engine_tracing_overhead", line)
     _update_bench_json(
         "tracing",
         {
-            "experiments": len(OVERHEAD_IDS),
+            "campaign_scale": TRACING_SCALE,
+            "shard_size": TRACING_SHARD_SIZE,
             "off_seconds": round(plain_s, 3),
             "on_seconds": round(traced_s, 3),
             "overhead_fraction": round(overhead, 4),
+            "guard_fraction": TRACING_OVERHEAD_GUARD,
+        },
+    )
+
+
+#: Sharded campaign for the transport comparison.  ``BENCH_ENGINE_FULL=1``
+#: grows it to the acceptance-criteria scale (100k units).
+TRANSPORT_SCALE = (
+    100_000 if os.environ.get("BENCH_ENGINE_FULL") else 20_000
+)
+TRANSPORT_SHARD_SIZE = 2_000
+
+
+def test_bench_transport(save_result):
+    """Thread vs process×{pickle, shm} on one sharded campaign.
+
+    Two contracts: the cells of every configuration are identical (the
+    transport moves bytes, never changes them), and on a multi-core
+    machine the shared-memory process path beats threads by >=1.5x.  On a
+    single core the speedup assertion is skipped (logged below) and the
+    process path must merely stay close to threads — worker reuse and the
+    columnar ring are what keep it from *losing*, which is exactly the
+    regression this bench would catch.
+    """
+    from repro.bench.engine.shards import run_sharded_campaign
+    from repro.bench.engine.transport import shutdown_cached_pools
+
+    cpu_count = os.cpu_count() or 1
+    configs = [
+        ("thread", "pickle"),
+        ("process", "pickle"),
+        ("process", "shm"),
+    ]
+
+    def timed(executor: str, transport: str):
+        started = time.perf_counter()
+        run = run_sharded_campaign(
+            scale=TRANSPORT_SCALE,
+            shard_size=TRANSPORT_SHARD_SIZE,
+            seed=SEED,
+            jobs=JOBS,
+            executor=executor,
+            transport=transport,
+        )
+        return run, time.perf_counter() - started
+
+    shutdown_cached_pools()  # cold start, then one warm-up lap per config
+    for executor, transport in configs:
+        run_sharded_campaign(
+            scale=2_000,
+            shard_size=TRANSPORT_SHARD_SIZE,
+            seed=SEED,
+            jobs=JOBS,
+            executor=executor,
+            transport=transport,
+        )
+    results = {}
+    for executor, transport in configs:
+        run, elapsed = timed(executor, transport)
+        assert run.ok
+        assert run.manifest.extra["transport"] == (
+            transport if executor == "process" else "pickle"
+        )
+        results[(executor, transport)] = (run, elapsed)
+
+    # Cells must be byte-identical across every executor x transport.
+    reference = [
+        record.cells
+        for record in results[("thread", "pickle")][0].manifest.records
+    ]
+    for (executor, transport), (run, _) in results.items():
+        assert [r.cells for r in run.manifest.records] == reference, (
+            f"{executor}/{transport} produced different cells"
+        )
+
+    thread_s = results[("thread", "pickle")][1]
+    pickle_s = results[("process", "pickle")][1]
+    shm_s = results[("process", "shm")][1]
+    shm_speedup = thread_s / shm_s
+    if cpu_count >= 2:
+        assert shm_speedup >= 1.5, (
+            f"process+shm only {shm_speedup:.2f}x threads on {cpu_count} "
+            f"cores (thread {thread_s:.2f}s, shm {shm_s:.2f}s) — "
+            f"expected >=1.5x"
+        )
+        note = ""
+    else:
+        # One core: a process win is impossible; the contract degrades to
+        # "never slower than threads" (generous noise slack).
+        assert shm_s <= thread_s * 1.25, (
+            f"process+shm {shm_s:.2f}s vs thread {thread_s:.2f}s on one "
+            f"core — the process path must not lose to threads"
+        )
+        note = (
+            f" [>=1.5x assertion skipped: cpu_count={cpu_count}, asserted "
+            f"non-regression instead]"
+        )
+    line = (
+        f"transport {TRANSPORT_SCALE}-unit campaign (jobs={JOBS}, "
+        f"cpu_count={cpu_count}): thread {thread_s:.2f}s, "
+        f"process+pickle {pickle_s:.2f}s, process+shm {shm_s:.2f}s "
+        f"({shm_speedup:.2f}x vs thread), cells identical{note}"
+    )
+    print(line)
+    save_result("engine_transport", line)
+    _update_bench_json(
+        "transport",
+        {
+            "campaign_scale": TRANSPORT_SCALE,
+            "shard_size": TRANSPORT_SHARD_SIZE,
+            "jobs": JOBS,
+            "cpu_count": cpu_count,
+            "thread_seconds": round(thread_s, 3),
+            "process_pickle_seconds": round(pickle_s, 3),
+            "process_shm_seconds": round(shm_s, 3),
+            "shm_speedup_vs_thread": round(shm_speedup, 2),
+            "cells_identical": True,
+            "speedup_asserted": cpu_count >= 2,
         },
     )
 

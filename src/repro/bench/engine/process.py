@@ -44,9 +44,24 @@ if TYPE_CHECKING:
 __all__ = ["ProcessOutcome", "execute_in_process"]
 
 #: One persistent store per worker process, keyed by ``(seed, cache_dir)``.
-#: Worker processes are reused across tasks, so the second experiment a
-#: worker runs finds the reference workload/campaign already in memory.
+#: Worker processes are reused across tasks — and, now that pools are
+#: cached, across whole ``run_experiments`` calls — so the second
+#: experiment a worker runs finds the reference workload/campaign already
+#: in memory.  Bounded FIFO: a long session cycling seeds must not pin
+#: every store it ever warmed.
 _WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
+
+_WORKER_STORE_CACHE_SIZE = 4
+
+
+def _worker_store(seed: int, cache_dir: str | None) -> ArtifactStore:
+    store_key = (seed, cache_dir)
+    store = _WORKER_STORES.get(store_key)
+    if store is None:
+        store = _WORKER_STORES[store_key] = ArtifactStore(cache_dir=cache_dir)
+        while len(_WORKER_STORES) > _WORKER_STORE_CACHE_SIZE:
+            _WORKER_STORES.pop(next(iter(_WORKER_STORES)))
+    return store
 
 
 @dataclass(frozen=True)
@@ -88,10 +103,7 @@ def execute_in_process(
     back to the parent, which owns retry/keep-going/skip decisions.
     """
     spec = get_spec(experiment_id)
-    store_key = (seed, cache_dir)
-    store = _WORKER_STORES.get(store_key)
-    if store is None:
-        store = _WORKER_STORES[store_key] = ArtifactStore(cache_dir=cache_dir)
+    store = _worker_store(seed, cache_dir)
     # A fresh bundle per task: its dump holds only this task's traffic, so
     # the parent can merge every outcome without double counting.
     obs = Observability(tracer=Tracer(enabled=trace))

@@ -53,8 +53,8 @@ import time
 from collections.abc import Sequence
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
-    ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
@@ -64,6 +64,7 @@ from dataclasses import dataclass
 from repro.bench.engine.artifacts import ArtifactStore
 from repro.bench.engine.context import RunContext
 from repro.bench.engine.faults import FaultPlan
+from repro.bench.engine.transport import cached_process_pool, evict_process_pool
 from repro.bench.engine.manifest import (
     ExperimentRunRecord,
     FailureRecord,
@@ -481,9 +482,14 @@ def _run_pooled(
     specs = {spec.experiment_id: spec for spec in ordered}
     records: dict[str, ExperimentRunRecord] = {}
     failed_like: dict[str, str] = {}
-    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-
-    pool = pool_cls(max_workers=jobs)
+    # Process pools are cached across run_experiments calls (workers keep
+    # their per-process stores warm); thread pools are cheap and per-call.
+    pool_key = ("experiments", context.seed, cache_dir)
+    if executor == "process":
+        pool = cached_process_pool(pool_key, max_workers=jobs)
+    else:
+        pool = ThreadPoolExecutor(max_workers=jobs)
+    broken = False
     # future -> (experiment id, attempt, monotonic deadline or None)
     active: dict[Future, tuple[str, int, float | None]] = {}
     abandoned: set[Future] = set()
@@ -590,6 +596,14 @@ def _run_pooled(
                         records[key] = record
                     for deps in pending.values():
                         deps.discard(key)
+                elif isinstance(error, BrokenExecutor):
+                    # A dead worker fails every sibling future the same
+                    # way; retrying against the broken pool (or caching it
+                    # for the next run) only spreads the poison.
+                    broken = True
+                    evict_process_pool(pool_key)
+                    obs.metrics.inc("engine.experiments.failed")
+                    drain_and_raise(_fatal_error(key, error, attempt))
                 elif isinstance(error, Exception) and attempt <= policy.retries:
                     obs.metrics.inc("engine.experiments.retried")
                     submit(key, attempt + 1)
@@ -645,7 +659,12 @@ def _run_pooled(
         # were abandoned, shut down without waiting (stragglers are
         # joined at interpreter exit).  A clean or drained run has no
         # live futures, so waiting there is instant.
-        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        if executor != "process":
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        elif not broken and (abandoned or active):
+            # The cached pool must not hand the next run a worker that is
+            # wedged in (or mid-way through) this run's tasks.
+            evict_process_pool(pool_key)
     return records
 
 

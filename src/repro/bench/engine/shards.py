@@ -13,7 +13,15 @@ Engine semantics carry over wholesale:
 
 - **executors** — shards run serially, in a thread pool, or in worker
   processes (``executor="process"``), with per-worker persistent artifact
-  stores exactly like :mod:`repro.bench.engine.process`;
+  stores exactly like :mod:`repro.bench.engine.process`; process pools
+  are cached across campaigns (:mod:`repro.bench.engine.transport`), so
+  follow-up runs find warm workers;
+- **transport** — process workers ship their cells home either as a
+  pickled outcome (``transport="pickle"``) or as a flat int64 vector
+  written into a shared-memory :class:`~repro.bench.engine.transport.
+  CellRing` slot (``"shm"``, the ``"auto"`` choice on POSIX); cells are
+  byte-identical either way, and submission is chunked so at most
+  ``jobs × chunk`` futures are in flight;
 - **caching** — each shard's cells are memoized in the artifact store
   under ``kind="shard-cells"`` and persisted to ``cache_dir`` as
   ``repro/shard-cells@1`` entries, so a warm re-run folds cached cells
@@ -40,8 +48,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
-    ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
@@ -51,6 +59,13 @@ from typing import Any
 from repro.bench.engine.artifacts import ArtifactCodec, ArtifactKey, ArtifactStore
 from repro.bench.engine.faults import FaultPlan, FaultSpec
 from repro.bench.engine.manifest import FailureRecord
+from repro.bench.engine.transport import (
+    DEFAULT_CHUNK,
+    CellRing,
+    cached_process_pool,
+    evict_process_pool,
+    resolve_transport,
+)
 from repro.bench.result import DEFAULT_SEED
 from repro.bench.streaming import (
     CampaignAccumulator,
@@ -351,15 +366,22 @@ class ShardedCampaignRun:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class _ShardOutcome:
-    """Everything one worker-side shard sends back to the parent."""
+    """Everything one worker-side shard sends back to the parent.
+
+    Under the shared-memory transport ``cells`` is ``None`` and ``slot``
+    names the :class:`~repro.bench.engine.transport.CellRing` slot the
+    worker wrote the flattened cells into; the parent rebuilds them with
+    :meth:`ShardCells.from_array`.
+    """
 
     index: int
     n_units: int
     wall_seconds: float
-    cells: ShardCells
+    cells: ShardCells | None
     metrics_dump: dict[str, Any] | None = None
     spans: tuple[SpanRecord, ...] = ()
     trace_epoch_unix: float = 0.0
+    slot: int | None = None
 
 
 def _evaluate_one(
@@ -410,73 +432,128 @@ def _evaluate_one(
     )
 
 
-#: One persistent store per worker process, keyed by ``(seed, cache_dir)``
-#: — the shard counterpart of ``process._WORKER_STORES``.
+@dataclass(frozen=True)
+class _WorkerContext:
+    """The ~100-byte per-task context a shard submission ships.
+
+    Replaces the old pool-initializer pinning: the plan is a pure function
+    of ``(scale, shard_size, seed, ecosystem)``, so workers rebuild (and
+    cache) it from these fields instead of unpickling the full plan — which
+    is what lets one cached pool serve *different* campaigns across
+    :func:`run_sharded_campaign` calls.  ``ring_name`` (plus the ring
+    geometry) is set under the shared-memory transport.
+    """
+
+    scale: int
+    shard_size: int
+    seed: int
+    ecosystem: str
+    cache_dir: str | None
+    trace: bool
+    families: tuple[str, ...]
+    ring_name: str | None = None
+    ring_slots: int = 0
+    ring_slot_ints: int = 0
+
+
+#: Worker-process caches, all keyed by fields of the task's
+#: :class:`_WorkerContext` so one long-lived worker serves many campaigns:
+#: persistent artifact stores (the shard counterpart of
+#: ``process._WORKER_STORES``), reconstructed shard plans, built tool
+#: suites, and the attached cell ring.
 _WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
+_WORKER_PLANS: dict[tuple[int, int, int, str], ShardPlan] = {}
+_WORKER_SUITES: dict[tuple[str, int, tuple[str, ...]], list] = {}
+_WORKER_RING: Any | None = None
 
-#: Per-worker-process run context ``(plan, cache_dir, trace, families)``,
-#: installed once by :func:`_init_shard_worker` so per-task submissions
-#: pickle only ``(index, attempt, fault)`` instead of re-shipping the plan
-#: (and its full workload config) with every shard.
-_WORKER_CONTEXT: tuple[ShardPlan, str | None, bool, tuple[str, ...]] | None = None
+#: Bound on each per-worker cache; campaigns cycle through few distinct
+#: keys, so a tiny FIFO keeps reuse while bounding a long session.
+_WORKER_CACHE_SIZE = 4
 
 
-def _init_shard_worker(
-    plan: ShardPlan,
-    cache_dir: str | None,
-    trace: bool,
-    families: tuple[str, ...],
-) -> None:
-    """Process-pool initializer: pin the run context in this worker."""
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = (plan, cache_dir, trace, families)
+def _cache_bounded(cache: dict, key: Any, value: Any) -> Any:
+    cache[key] = value
+    while len(cache) > _WORKER_CACHE_SIZE:
+        cache.pop(next(iter(cache)))
+    return value
+
+
+def _worker_ring(ctx: _WorkerContext):
+    """The attached cell ring for ``ctx``, (re)attaching on name change."""
+    global _WORKER_RING
+    from repro.bench.engine.transport import CellRing
+
+    if _WORKER_RING is not None and _WORKER_RING.name != ctx.ring_name:
+        _WORKER_RING.close()
+        _WORKER_RING = None
+    if _WORKER_RING is None:
+        _WORKER_RING = CellRing.attach(
+            ctx.ring_name, ctx.ring_slots, ctx.ring_slot_ints
+        )
+    return _WORKER_RING
 
 
 def _evaluate_in_worker(
-    index: int, attempt: int, fault: FaultSpec | None
-) -> _ShardOutcome:
-    """Worker task body: evaluate one shard against the pinned context."""
-    if _WORKER_CONTEXT is None:
-        raise ConfigurationError(
-            "shard worker used without _init_shard_worker; "
-            "submit through _run_shards_pooled"
-        )
-    plan, cache_dir, trace, families = _WORKER_CONTEXT
-    return _evaluate_in_process(
-        plan, index, attempt, cache_dir, trace, families, fault
-    )
-
-
-def _evaluate_in_process(
-    plan: ShardPlan,
+    ctx: _WorkerContext,
     index: int,
     attempt: int,
-    cache_dir: str | None,
-    trace: bool,
-    families: tuple[str, ...],
     fault: FaultSpec | None,
+    slot: int | None,
 ) -> _ShardOutcome:
-    """Worker-process entry point: evaluate one shard, return a picklable
+    """Worker-process task body: evaluate one shard, return a picklable
     outcome carrying this task's metrics dump and spans for parent-side
     merging (mirrors :func:`repro.bench.engine.process.execute_in_process`).
+    Under the shared-memory transport (``slot`` given) the cells leave
+    through the ring and the returned outcome carries only the slot.
     """
-    store_key = (plan.seed, cache_dir)
+    plan_key = (ctx.scale, ctx.shard_size, ctx.seed, ctx.ecosystem)
+    plan = _WORKER_PLANS.get(plan_key)
+    if plan is None:
+        plan = _cache_bounded(
+            _WORKER_PLANS,
+            plan_key,
+            plan_shards(
+                scale=ctx.scale,
+                shard_size=ctx.shard_size,
+                seed=ctx.seed,
+                ecosystem=ctx.ecosystem,
+            ),
+        )
+    store_key = (ctx.seed, ctx.cache_dir)
     store = _WORKER_STORES.get(store_key)
     if store is None:
-        store = _WORKER_STORES[store_key] = ArtifactStore(cache_dir=cache_dir)
+        store = _cache_bounded(
+            _WORKER_STORES, store_key, ArtifactStore(cache_dir=ctx.cache_dir)
+        )
+    suite_key = (ctx.ecosystem, ctx.seed, ctx.families)
+    tools = _WORKER_SUITES.get(suite_key)
+    if tools is None:
+        tools = _cache_bounded(
+            _WORKER_SUITES,
+            suite_key,
+            suite_for_ecosystem(
+                ctx.ecosystem, seed=ctx.seed, families=ctx.families
+            ),
+        )
     # A fresh bundle per task, so the parent merges without double counting.
-    obs = Observability(tracer=Tracer(enabled=trace))
+    obs = Observability(tracer=Tracer(enabled=ctx.trace))
     store.obs = obs
-    tools = suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
-    outcome = _evaluate_one(plan, index, attempt, store, tools, families, fault)
+    outcome = _evaluate_one(
+        plan, index, attempt, store, tools, ctx.families, fault
+    )
+    cells: ShardCells | None = outcome.cells
+    if slot is not None:
+        _worker_ring(ctx).write(slot, cells.to_array())
+        cells = None
     return _ShardOutcome(
         index=outcome.index,
         n_units=outcome.n_units,
         wall_seconds=outcome.wall_seconds,
-        cells=outcome.cells,
+        cells=cells,
         metrics_dump=obs.metrics.to_dict(),
         spans=tuple(obs.tracer.spans),
         trace_epoch_unix=obs.tracer.epoch_unix,
+        slot=slot,
     )
 
 
@@ -498,6 +575,8 @@ def run_sharded_campaign(
     resume_from: ShardRunManifest | None = None,
     ecosystem: str = DEFAULT_ECOSYSTEM,
     tool_families: tuple[str, ...] | None = None,
+    transport: str = "auto",
+    chunk: int = DEFAULT_CHUNK,
 ) -> ShardedCampaignRun:
     """Run an ecosystem's tool suite over a sharded ``scale``-unit corpus.
 
@@ -522,6 +601,13 @@ def run_sharded_campaign(
     completed shards' cells are folded verbatim from the manifest and only
     the failed shards re-execute, at the plan parameters recorded in the
     manifest (``scale``/``shard_size``/``seed`` arguments are ignored).
+
+    ``transport`` selects how process-executor results cross the process
+    boundary — ``"shm"`` (flattened cells through a shared-memory ring),
+    ``"pickle"`` (the legacy object path), or ``"auto"`` (shm where
+    supported); both yield byte-identical cells.  ``chunk`` scales the
+    submission window: up to ``jobs × chunk`` shard futures stay in
+    flight, keeping workers fed while the parent folds.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -531,6 +617,9 @@ def run_sharded_campaign(
         )
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    transport = resolve_transport(transport, executor)
 
     carried: dict[int, ShardRunRecord] = {}
     if resume_from is None and scale is None:
@@ -607,7 +696,7 @@ def run_sharded_campaign(
             records.update(
                 _run_shards_pooled(
                     plan, pending, store, accumulator, families, jobs,
-                    executor, keep_going, retries, faults,
+                    executor, keep_going, retries, faults, transport, chunk,
                 )
             )
     wall = time.perf_counter() - run_started
@@ -617,7 +706,7 @@ def run_sharded_campaign(
         carried[index] if index in carried else records[index]
         for index in sorted({*carried, *records})
     )
-    extra: dict[str, Any] = {}
+    extra: dict[str, Any] = {"transport": transport}
     if obs.tracer.enabled:
         extra["observability"] = {"spans": obs.tracer.summary()}
     if resume_from is not None:
@@ -640,7 +729,10 @@ def run_sharded_campaign(
 
 
 def _completed_record(
-    plan: ShardPlan, outcome: _ShardOutcome, attempt: int
+    plan: ShardPlan,
+    outcome: _ShardOutcome,
+    attempt: int,
+    cells: ShardCells | None = None,
 ) -> ShardRunRecord:
     return ShardRunRecord(
         index=outcome.index,
@@ -649,7 +741,7 @@ def _completed_record(
         status="completed",
         attempts=attempt,
         wall_seconds=outcome.wall_seconds,
-        cells=outcome.cells,
+        cells=cells if cells is not None else outcome.cells,
     )
 
 
@@ -732,11 +824,21 @@ def _run_shards_pooled(
     keep_going: bool,
     retries: int,
     faults: FaultPlan | None,
+    transport: str,
+    chunk: int,
 ) -> dict[int, ShardRunRecord]:
-    """Pooled shard execution: submit up to ``jobs`` shards, fold as they
-    finish.  Submission is throttled so at most ``jobs`` shard workloads
-    (plus their futures' cells) are alive at once — the memory bound the
-    streaming path exists to provide."""
+    """Pooled shard execution: keep up to ``jobs × chunk`` shards in
+    flight, fold as they finish.  Only ``jobs`` shard *workloads* are ever
+    alive (one per worker) — the window just queues compact work items so
+    workers never idle while the parent folds — preserving the memory
+    bound the streaming path exists to provide.
+
+    Process pools come from the transport module's cache keyed by campaign
+    identity, so their workers (and the stores/plans/suites those pin)
+    survive across calls; thread pools are cheap and stay per-call.  Under
+    ``transport="shm"`` a :class:`~repro.bench.engine.transport.CellRing`
+    sized to the window carries every result's cells.
+    """
     obs = store.obs
     cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
     trace = obs.tracer.enabled
@@ -747,33 +849,52 @@ def _run_shards_pooled(
     )
     records: dict[int, ShardRunRecord] = {}
     queue = list(pending)
+    window = jobs * chunk
+    ring: CellRing | None = None
+    pool_key = ("shards", plan.seed, cache_dir, plan.ecosystem)
     if executor == "process":
-        # The plan (and its workload config) crosses the process boundary
-        # once per worker via the initializer; per-task payloads carry
-        # only the shard index, attempt and fault spec.
-        pool = ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_shard_worker,
-            initargs=(plan, cache_dir, trace, families),
+        pool = cached_process_pool(pool_key, max_workers=jobs)
+        if transport == "shm":
+            ring = CellRing.create(
+                n_slots=min(window, len(pending)) or 1,
+                slot_ints=5 + 4 * len(accumulator.tool_names),
+            )
+        ctx = _WorkerContext(
+            scale=plan.scale,
+            shard_size=plan.shard_size,
+            seed=plan.seed,
+            ecosystem=plan.ecosystem,
+            cache_dir=cache_dir,
+            trace=trace,
+            families=families,
+            ring_name=ring.name if ring is not None else None,
+            ring_slots=ring.n_slots if ring is not None else 0,
+            ring_slot_ints=ring.slot_ints if ring is not None else 0,
         )
     else:
         pool = ThreadPoolExecutor(max_workers=jobs)
-    active: dict[Future, tuple[int, int]] = {}  # future -> (index, attempt)
+    # future -> (index, attempt, slot)
+    active: dict[Future, tuple[int, int, int | None]] = {}
+    broken = False
     try:
 
         def submit(index: int, attempt: int) -> None:
             fault = _fault_for_shard(faults, index)
             if executor == "process":
-                future = pool.submit(_evaluate_in_worker, index, attempt, fault)
+                slot = ring.acquire() if ring is not None else None
+                future = pool.submit(
+                    _evaluate_in_worker, ctx, index, attempt, fault, slot
+                )
             else:
+                slot = None
                 future = pool.submit(
                     _evaluate_one,
                     plan, index, attempt, store, tools, families, fault,
                 )
-            active[future] = (index, attempt)
+            active[future] = (index, attempt, slot)
 
         def submit_ready() -> None:
-            while queue and len(active) < jobs:
+            while queue and len(active) < window:
                 index = queue.pop(0)
                 obs.metrics.inc("engine.shards.scheduled")
                 submit(index, 1)
@@ -782,7 +903,7 @@ def _run_shards_pooled(
             still_running = [
                 future for future in active if not future.cancel()
             ]
-            if still_running:
+            if still_running and not broken:
                 wait(still_running)
             raise fatal
 
@@ -790,11 +911,23 @@ def _run_shards_pooled(
         while active:
             done, _ = wait(set(active), return_when=FIRST_COMPLETED)
             for future in done:
-                index, attempt = active.pop(future)
+                index, attempt, slot = active.pop(future)
                 error = future.exception()
                 if error is None:
                     outcome = future.result()
                     if executor == "process":
+                        cells = outcome.cells
+                        if ring is not None and outcome.slot is not None:
+                            cells = ShardCells.from_array(
+                                ring.read(
+                                    outcome.slot, 5 + 4 * len(
+                                        accumulator.tool_names
+                                    )
+                                ),
+                                accumulator.tool_names,
+                                ecosystem=plan.ecosystem,
+                            )
+                            ring.release(outcome.slot)
                         if outcome.metrics_dump is not None:
                             obs.metrics.merge_dict(outcome.metrics_dump)
                         if trace and outcome.spans:
@@ -805,16 +938,30 @@ def _run_shards_pooled(
                                     - obs.tracer.epoch_unix
                                 ),
                             )
-                        store.put(
-                            _shard_key(plan, index, families), outcome.cells
-                        )
+                        store.put(_shard_key(plan, index, families), cells)
+                    else:
+                        cells = outcome.cells
                     obs.metrics.inc("engine.shards.completed")
                     obs.metrics.observe(
                         "engine.shard.seconds", outcome.wall_seconds
                     )
-                    accumulator.fold(outcome.cells)
-                    records[index] = _completed_record(plan, outcome, attempt)
-                elif isinstance(error, Exception) and attempt <= retries:
+                    accumulator.fold(cells)
+                    records[index] = _completed_record(
+                        plan, outcome, attempt, cells
+                    )
+                    continue
+                # The failed task never folded, so its slot is dead weight.
+                if ring is not None and slot is not None:
+                    ring.release(slot)
+                if isinstance(error, BrokenExecutor):
+                    # A dead worker poisons the whole pool: every sibling
+                    # future fails the same way, and a cached pool would
+                    # poison later campaigns too.  Evict and abort.
+                    broken = True
+                    evict_process_pool(pool_key)
+                    obs.metrics.inc("engine.shards.failed")
+                    drain_and_raise(_shard_fatal(index, error, attempt))
+                if isinstance(error, Exception) and attempt <= retries:
                     obs.metrics.inc("engine.shards.retried")
                     submit(index, attempt + 1)
                 else:
@@ -827,5 +974,14 @@ def _run_shards_pooled(
                     records[index] = _failed_shard_record(plan, index, failure)
             submit_ready()
     finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        if executor == "thread":
+            pool.shutdown(wait=True, cancel_futures=True)
+        elif broken:
+            pass  # already evicted and shut down
+        elif active:
+            # Aborting with tasks still in flight: a cached pool would hand
+            # the next campaign a worker mid-task, so retire this one.
+            evict_process_pool(pool_key)
+        if ring is not None:
+            ring.close()
     return records

@@ -1,0 +1,251 @@
+"""Zero-copy result transport and pool reuse for parallel campaigns.
+
+Two costs dominated the process executor before this module existed: every
+``run_sharded_campaign`` call paid full worker warm-up (interpreter fork,
+artifact-store construction, tool-suite build) for a pool it then threw
+away, and every result crossed the boundary as a pickled object graph.
+This module removes both:
+
+- :class:`CellRing` — a ``multiprocessing.shared_memory`` ring of
+  fixed-size int64 slots.  Workers write each shard's flattened confusion
+  cells (:meth:`ShardCells.to_array
+  <repro.bench.streaming.ShardCells.to_array>` layout) straight into a
+  slot; the future returns only the slot number, and the parent rebuilds
+  the cells from the buffer — no pickling of the columnar payload.  The
+  parent owns slot allocation, so a ring sized to the submission window
+  (``jobs × chunk``) can never overflow.
+- a **process-pool cache** — pools persist across
+  ``run_sharded_campaign`` calls keyed by campaign identity, so worker
+  processes (and the per-worker stores, plans, and tool suites they pin)
+  amortize over a whole session instead of one call.  Pools are evicted
+  (and shut down) on LRU overflow, on a :class:`BrokenExecutor`, or at
+  interpreter exit.
+
+The pickle transport stays available behind ``transport="pickle"`` for
+spawn-unsafe platforms and as the parity reference: both transports must
+yield byte-identical cells (``tests/bench/test_streaming_campaign.py`` and
+``tools/check_bench.py`` assert it).
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TRANSPORTS",
+    "DEFAULT_CHUNK",
+    "resolve_transport",
+    "CellRing",
+    "cached_process_pool",
+    "evict_process_pool",
+    "shutdown_cached_pools",
+]
+
+#: Accepted ``transport=`` values: ``auto`` resolves per platform, ``shm``
+#: forces the shared-memory ring, ``pickle`` forces the legacy path.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+#: Default submission-window multiplier: at most ``jobs × chunk`` shard
+#: futures are in flight, so workers never stall on parent-side folding
+#: while the parent's memory stays bounded by the window, not the corpus.
+DEFAULT_CHUNK = 4
+
+
+def resolve_transport(transport: str, executor: str) -> str:
+    """Resolve a ``transport=`` request to the concrete wire format.
+
+    ``auto`` picks the shared-memory ring for process pools on platforms
+    that fork (POSIX), and pickle elsewhere: under ``spawn`` the ring
+    still works but buys nothing over pickle for payloads this small,
+    and Windows keeps extra per-segment bookkeeping we do not test
+    against.  The thread executor never serializes results, so its
+    resolved transport is always ``pickle`` (the in-memory hand-off).
+    """
+    if transport not in TRANSPORTS:
+        raise ConfigurationError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if executor != "process":
+        return "pickle"
+    if transport == "auto":
+        return "shm" if sys.platform != "win32" else "pickle"
+    return transport
+
+
+class CellRing:
+    """A shared-memory ring of fixed-size int64 result slots.
+
+    The parent :meth:`create`\\ s the ring and hands out slot numbers with
+    work items; a worker :meth:`attach`\\ es once, writes its flattened
+    cells into the assigned slot, and ships only the slot number back.
+    Slot lifecycle is entirely parent-side (allocate on submit, release
+    after fold — or on failure, since a failed task never wrote its slot),
+    and a completed future is the happens-before edge that makes the
+    worker's slot write visible, so no locking is needed on the buffer.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, n_slots: int, slot_ints: int
+    ) -> None:
+        self._shm = shm
+        self.n_slots = n_slots
+        self.slot_ints = slot_ints
+        self._array = np.ndarray(
+            (n_slots, slot_ints), dtype=np.int64, buffer=shm.buf
+        )
+        self._owner = False
+        self._free: list[int] = []
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    @classmethod
+    def create(cls, n_slots: int, slot_ints: int) -> "CellRing":
+        """Create (parent side) a ring of ``n_slots`` × ``slot_ints`` int64."""
+        if n_slots < 1 or slot_ints < 1:
+            raise ConfigurationError(
+                f"ring needs positive geometry, got {n_slots}x{slot_ints}"
+            )
+        shm = shared_memory.SharedMemory(
+            create=True, size=n_slots * slot_ints * 8
+        )
+        ring = cls(shm, n_slots, slot_ints)
+        ring._owner = True
+        ring._free = list(range(n_slots))
+        return ring
+
+    @classmethod
+    def attach(cls, name: str, n_slots: int, slot_ints: int) -> "CellRing":
+        """Attach (worker side) to a ring the parent created.
+
+        Python 3.11's ``resource_tracker`` registers shared-memory
+        segments on *attach* as well as create.  Pool workers share the
+        parent's tracker process (the fd is inherited), which keeps one
+        name *set* per resource type — so the attach-side registration is
+        an idempotent no-op there, and the parent's :meth:`close` remains
+        the single unlink/unregister.  (Unregistering here instead would
+        delete the parent's entry from that shared set and turn the
+        eventual unlink into a tracker error.)
+        """
+        return cls(shared_memory.SharedMemory(name=name), n_slots, slot_ints)
+
+    # -- parent-side slot lifecycle -----------------------------------------
+    def acquire(self) -> int:
+        """Claim a free slot for an in-flight task (parent side)."""
+        if not self._free:
+            raise ConfigurationError(
+                "cell ring exhausted — submission window exceeded ring size"
+            )
+        return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list once its result is folded."""
+        self._free.append(slot)
+
+    # -- the buffer ----------------------------------------------------------
+    def write(self, slot: int, flat: np.ndarray) -> None:
+        """Write one flattened cells vector into ``slot`` (worker side)."""
+        values = np.asarray(flat, dtype=np.int64).reshape(-1)
+        if values.shape[0] > self.slot_ints:
+            raise ConfigurationError(
+                f"cells vector ({values.shape[0]} ints) exceeds ring slot "
+                f"({self.slot_ints} ints)"
+            )
+        self._array[slot, : values.shape[0]] = values
+
+    def read(self, slot: int, n_ints: int) -> np.ndarray:
+        """Copy ``n_ints`` of one slot out of the buffer (parent side)."""
+        return np.array(self._array[slot, :n_ints])
+
+    def close(self) -> None:
+        """Detach; the creating side also unlinks the segment."""
+        self._array = None
+        self._shm.close()
+        if self._owner:
+            self._shm.unlink()
+            self._owner = False
+
+
+# ---------------------------------------------------------------------------
+# Cached process pools
+# ---------------------------------------------------------------------------
+#: How many distinct cached pools stay warm at once.  Each pool holds
+#: ``max_workers`` live interpreters, so the cap is deliberately tiny —
+#: enough for a campaign plus a follow-up at different parameters.
+_POOL_CACHE_SIZE = 2
+
+_pool_lock = threading.Lock()
+_pools: dict[tuple[Any, ...], ProcessPoolExecutor] = {}
+
+
+def cached_process_pool(
+    key: tuple[Any, ...], max_workers: int
+) -> ProcessPoolExecutor:
+    """A process pool cached under ``key``, surviving across calls.
+
+    The same key returns the same warm pool (its workers keep their
+    per-process stores, plans, and tool suites), provided the worker count
+    still fits; a pool cached with fewer workers than requested is
+    replaced.  Insertion order doubles as LRU order — re-fetching a key
+    moves it to the back, and overflowing :data:`_POOL_CACHE_SIZE` shuts
+    down the front.
+    """
+    if max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if sys.platform != "win32":
+        # Start the resource tracker *before* the pool forks: workers then
+        # inherit it, so their shared-memory attach registrations land in
+        # the parent tracker's (idempotent) name set instead of spawning
+        # per-worker trackers that would try to clean up the parent's
+        # segments at worker exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    with _pool_lock:
+        pool = _pools.pop(key, None)
+        if pool is not None and pool._max_workers < max_workers:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        _pools[key] = pool  # (re)insert at LRU back
+        while len(_pools) > _POOL_CACHE_SIZE:
+            oldest = next(iter(_pools))
+            _pools.pop(oldest).shutdown(wait=False, cancel_futures=True)
+        return pool
+
+
+def evict_process_pool(key: tuple[Any, ...], wait: bool = False) -> None:
+    """Drop (and shut down) the pool cached under ``key``, if any.
+
+    Callers evict on :class:`concurrent.futures.BrokenExecutor` — a broken
+    pool poisons every later submission — and on abandoned futures, where
+    a worker may still be wedged in a task.
+    """
+    with _pool_lock:
+        pool = _pools.pop(key, None)
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+def shutdown_cached_pools() -> None:
+    """Shut down every cached pool (tests and interpreter exit)."""
+    with _pool_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_cached_pools)

@@ -103,6 +103,67 @@ class ShardCells:
                     f"disagrees with n_vulnerable={self.n_vulnerable}"
                 )
 
+    def to_array(self) -> np.ndarray:
+        """Flatten to the columnar wire layout (int64, length ``5 + 4n``).
+
+        Layout: ``[shard_index, n_units, n_sites, n_vulnerable, n_tools]``
+        header followed by the four cell rows, each ``n_tools`` wide, in
+        ``tp, fp, fn, tn`` order.  Tool names and ecosystem are *not*
+        encoded — they are properties of the campaign, shared out of band
+        (the shared-memory transport pins them in the worker context) and
+        restored by :meth:`from_array`.
+        """
+        n = len(self.tool_names)
+        out = np.empty(5 + 4 * n, dtype=np.int64)
+        out[0] = self.shard_index
+        out[1] = self.n_units
+        out[2] = self.n_sites
+        out[3] = self.n_vulnerable
+        out[4] = n
+        out[5 : 5 + n] = self.tp
+        out[5 + n : 5 + 2 * n] = self.fp
+        out[5 + 2 * n : 5 + 3 * n] = self.fn
+        out[5 + 3 * n :] = self.tn
+        return out
+
+    @classmethod
+    def from_array(
+        cls,
+        array: np.ndarray,
+        tool_names: Sequence[str],
+        ecosystem: str = DEFAULT_ECOSYSTEM,
+    ) -> "ShardCells":
+        """Rebuild cells from :meth:`to_array` output plus the shared context.
+
+        Validates the embedded tool count against ``tool_names`` before the
+        dataclass re-runs its own cell invariants, so a torn or misframed
+        buffer fails loudly instead of folding garbage.
+        """
+        flat = np.asarray(array, dtype=np.int64).reshape(-1)
+        names = tuple(tool_names)
+        if flat.shape[0] < 5 or int(flat[4]) != len(names):
+            raise ConfigurationError(
+                f"cells buffer encodes {int(flat[4]) if flat.shape[0] >= 5 else '?'} "
+                f"tools, expected {len(names)}"
+            )
+        n = len(names)
+        if flat.shape[0] != 5 + 4 * n:
+            raise ConfigurationError(
+                f"cells buffer has {flat.shape[0]} slots, expected {5 + 4 * n}"
+            )
+        return cls(
+            shard_index=int(flat[0]),
+            tool_names=names,
+            tp=tuple(int(v) for v in flat[5 : 5 + n]),
+            fp=tuple(int(v) for v in flat[5 + n : 5 + 2 * n]),
+            fn=tuple(int(v) for v in flat[5 + 2 * n : 5 + 3 * n]),
+            tn=tuple(int(v) for v in flat[5 + 3 * n :]),
+            n_units=int(flat[1]),
+            n_sites=int(flat[2]),
+            n_vulnerable=int(flat[3]),
+            ecosystem=ecosystem,
+        )
+
     @classmethod
     def from_campaign(
         cls, campaign: CampaignResult, shard_index: int, n_units: int

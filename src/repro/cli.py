@@ -56,6 +56,7 @@ from pathlib import Path
 
 from repro.bench.engine.scheduler import run_experiments
 from repro.bench.engine.spec import all_specs, experiment_ids
+from repro.bench.engine.transport import DEFAULT_CHUNK
 from repro.bench.result import DEFAULT_SEED
 
 __all__ = ["main", "build_parser"]
@@ -168,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
             "how --jobs parallelism executes: 'thread' (default) shares one "
             "in-memory artifact store; 'process' uses worker processes for "
             "CPU-bound speedups (pair with --cache-dir to share artifacts)"
+        ),
+    )
+    run_parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help=(
+            "how --scale process-executor results cross the process "
+            "boundary: 'shm' ships cells through a shared-memory ring, "
+            "'pickle' uses the legacy object path, 'auto' (default) picks "
+            "shm where supported; both are byte-identical"
+        ),
+    )
+    run_parser.add_argument(
+        "--chunk",
+        type=int,
+        default=DEFAULT_CHUNK,
+        metavar="C",
+        help=(
+            f"submission window multiplier for --scale runs: keep up to "
+            f"jobs*C shard futures in flight (default {DEFAULT_CHUNK})"
         ),
     )
     run_parser.add_argument(
@@ -455,6 +477,8 @@ def _cmd_run_scale(
     inject_faults: list[str] | None,
     ecosystem: str | None = None,
     tool_families: list[str] | None = None,
+    transport: str = "auto",
+    chunk: int = DEFAULT_CHUNK,
 ) -> int:
     from repro.bench.engine.faults import FaultPlan, parse_fault
     from repro.bench.engine.shards import ShardRunManifest, run_sharded_campaign
@@ -474,6 +498,8 @@ def _cmd_run_scale(
         raise SystemExit(f"--scale must be >= 1, got {scale}")
     if shard_size < 1:
         raise SystemExit(f"--shard-size must be >= 1, got {shard_size}")
+    if chunk < 1:
+        raise SystemExit(f"--chunk must be >= 1, got {chunk}")
     faults = (
         FaultPlan(tuple(parse_fault(spec) for spec in inject_faults))
         if inject_faults
@@ -499,6 +525,8 @@ def _cmd_run_scale(
             tool_families=(
                 tuple(tool_families) if tool_families is not None else None
             ),
+            transport=transport,
+            chunk=chunk,
         )
     except EngineError as error:
         raise SystemExit(f"run aborted — {error}") from error
@@ -691,6 +719,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     args.inject_faults,
                     ecosystem=name,
                     tool_families=args.tool_families,
+                    transport=args.transport,
+                    chunk=args.chunk,
                 )
                 worst = max(worst, code)
             return worst
@@ -711,9 +741,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.inject_faults,
             ecosystem=args.ecosystem,
             tool_families=args.tool_families,
+            transport=args.transport,
+            chunk=args.chunk,
         )
     if args.shard_size is not None:
         raise SystemExit("--shard-size requires --scale")
+    if args.transport != "auto":
+        raise SystemExit("--transport applies to --scale runs")
+    if args.chunk != DEFAULT_CHUNK:
+        raise SystemExit("--chunk applies to --scale runs")
     if not args.experiments and args.resume is None:
         raise SystemExit(
             "experiment ids required (e.g. 'repro run R6 R11' or "

@@ -9,8 +9,11 @@ dumps diff into a regression report (cache-hit-rate drops, wall-time
 growth) — the same discipline the benchmarked tools are held to, applied
 to the benchmark itself.
 
-Everything is thread-safe under one registry lock; instrument handles are
-cheap views, so ``registry.inc("engine.cache.hit")`` is fine on hot paths.
+Everything is thread-safe: gauges and histograms serialize under one
+registry lock, while counter bumps are lock-free (per-thread cells, summed
+at read time) and ``registry.inc("engine.cache.hit")`` skips the
+instrument lock once the counter exists — cheap enough for per-unit hot
+paths.
 """
 
 from __future__ import annotations
@@ -43,18 +46,36 @@ DEFAULT_SECONDS_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
+
+    Bumps are lock-free: each thread owns a private one-element list cell
+    (registered under the lock on first touch, bumped without it — the
+    cell is only ever written by its owning thread, so ``cell[0] +=
+    amount`` can never race).  Reads sum the cells, so :attr:`value` is
+    exact whenever no increment is mid-flight and never undercounts a
+    completed one.
+    """
+
+    __slots__ = ("name", "_lock", "_local", "_cells")
 
     def __init__(self, name: str, lock: threading.Lock) -> None:
         self.name = name
         self._lock = lock
-        self._value = 0
+        self._local = threading.local()
+        self._cells: list[list[int]] = []
+
+    def _cell(self) -> list[int]:
+        cell = [0]
+        with self._lock:
+            self._cells.append(cell)
+        self._local.cell = cell
+        return cell
 
     @property
     def value(self) -> int:
-        """The current total."""
+        """The current total across every thread's cell."""
         with self._lock:
-            return self._value
+            return sum(cell[0] for cell in self._cells)
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (>= 0); counters are monotonic."""
@@ -62,8 +83,11 @@ class Counter:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (amount={amount})"
             )
-        with self._lock:
-            self._value += amount
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._cell()
+        cell[0] += amount
 
 
 class Gauge:
@@ -170,8 +194,17 @@ class MetricsRegistry:
 
     # -- hot-path conveniences ----------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
-        """Increment counter ``name``, creating it on first use."""
-        self.counter(name).inc(amount)
+        """Increment counter ``name``, creating it on first use.
+
+        The lookup skips the instrument lock once the counter exists:
+        ``_counters`` is only ever mutated while holding the lock, so a
+        bare ``dict.get`` either sees the finished counter or misses and
+        takes the locked creation path.
+        """
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self.counter(name)
+        counter.inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name``, creating it on first use."""

@@ -10,9 +10,19 @@ and `Perfetto <https://ui.perfetto.dev>`_, and aggregates into a per-name
 summary small enough to embed in a run manifest.
 
 Tracing is opt-in: a tracer constructed with ``enabled=False`` turns
-``span()`` into a reusable no-op context manager, so the instrumentation
+``span()`` into a shared no-op context manager, so the instrumentation
 threaded through the engine costs nearly nothing when nobody asked for a
 timeline.
+
+Hot-path design (the *ring lane*): closing a span appends one preallocated
+ring-buffer slot — an interned name id, two ``perf_counter_ns`` readings,
+and the raw args mapping — under a single short lock hold.  No
+:class:`SpanRecord` is built, nothing is sorted, and no value is coerced
+until the ring *drains* into the nested record lane (on wraparound, on any
+read, or at export), so a span costs a small constant on the recording
+side and the expensive bookkeeping runs once per drained batch.  See
+``docs/observability.md`` for when spans sit in the ring versus the nested
+lane.
 
 .. _Chrome trace format:
    https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
@@ -20,18 +30,29 @@ timeline.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from collections.abc import Iterable, Iterator
-from contextlib import contextmanager
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
 
-__all__ = ["SpanRecord", "Tracer", "TRACE_SCHEMA", "spans_from_chrome_trace"]
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "TRACE_SCHEMA",
+    "DEFAULT_RING_CAPACITY",
+    "spans_from_chrome_trace",
+]
 
 TRACE_SCHEMA = "repro/trace@1"
+
+#: Ring-lane slots preallocated per tracer.  Sized so steady-state span
+#: traffic (a few thousand spans per experiment) drains in large batches;
+#: memory cost is one tuple reference per slot.
+DEFAULT_RING_CAPACITY = 4096
 
 
 def _json_safe(value: Any) -> Any:
@@ -61,60 +82,174 @@ class SpanRecord:
     """Sorted ``(key, value)`` annotations passed to :meth:`Tracer.span`."""
 
 
-class Tracer:
-    """Thread-safe span recorder with Chrome-trace-format export."""
+class _NoopSpan:
+    """The shared context manager a disabled tracer hands out.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Stateless and therefore reentrant: one module-level instance serves
+    every ``span()`` call on every disabled tracer, so the disabled path
+    allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """One live span: the context manager :meth:`Tracer.span` returns.
+
+    A plain ``__slots__`` class instead of ``@contextmanager`` — the
+    generator machinery alone costs more than the whole ring-lane write.
+    """
+
+    __slots__ = ("_tracer", "_name", "_args", "_span_id", "_parent_id", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> int:
+        tracer = self._tracer
+        local = tracer._local
+        try:
+            stack = local.stack
+        except AttributeError:
+            stack = local.stack = []
+        self._parent_id = stack[-1] if stack else None
+        span_id = next(tracer._ids)
+        self._span_id = span_id
+        stack.append(span_id)
+        self._start_ns = time.perf_counter_ns()
+        return span_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        tracer = self._tracer
+        tracer._local.stack.pop()
+        name = self._name
+        name_id = tracer._name_ids.get(name)
+        if name_id is None:
+            name_id = tracer._intern(name)
+        entry = (
+            name_id,
+            self._start_ns,
+            end_ns - self._start_ns,
+            threading.get_ident(),
+            self._span_id,
+            self._parent_id,
+            self._args or None,
+        )
+        with tracer._lock:
+            seq = tracer._seq
+            tracer._seq = seq + 1
+            ring = tracer._ring
+            if ring:
+                slot = seq % len(ring)
+                if ring[slot] is not None:
+                    tracer._drain_locked()
+                ring[slot] = (seq, entry)
+                tracer._ring_live += 1
+            else:
+                tracer._records.append((seq, tracer._entry_record(entry)))
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with Chrome-trace-format export.
+
+    ``ring_capacity`` sizes the hot-path ring lane; ``0`` disables it, so
+    every span builds its :class:`SpanRecord` eagerly on close (the
+    reference slow path the fast-path tests compare against).
+    """
+
+    def __init__(
+        self, enabled: bool = True, ring_capacity: int = DEFAULT_RING_CAPACITY
+    ) -> None:
+        if ring_capacity < 0:
+            raise ConfigurationError(
+                f"ring_capacity must be >= 0, got {ring_capacity}"
+            )
         self.enabled = enabled
-        self._records: list[SpanRecord] = []
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._epoch = time.perf_counter()
+        self._epoch_ns = time.perf_counter_ns()
+        self._epoch = self._epoch_ns * 1e-9
         self.epoch_unix = time.time()
         """Wall-clock time of the tracer's epoch; lets two tracers' span
         timelines be aligned (see :meth:`ingest`)."""
-        self._next_id = 0
+        self._ids = itertools.count()
+        self._seq = 0
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
+        #: Ring lane: preallocated ``(seq, entry)`` slots, drained to
+        #: ``_records`` on wraparound or on any read.
+        self._ring: list[tuple[int, tuple] | None] = [None] * ring_capacity
+        self._ring_live = 0
+        #: Nested record lane: ``(seq, SpanRecord)`` in close order.
+        self._records: list[tuple[int, SpanRecord]] = []
 
     # -- recording ----------------------------------------------------------
-    def _stack(self) -> list[int]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
-
-    @contextmanager
-    def span(self, name: str, **args: Any) -> Iterator[int | None]:
+    def span(self, name: str, **args: Any):
         """Open a span named ``name`` until the ``with`` block exits.
 
-        Yields the span id (``None`` when tracing is disabled).  The span is
-        recorded on close, so exceptions still leave a complete timeline.
+        The context manager yields the span id (``None`` when tracing is
+        disabled).  The span is recorded on close, so exceptions still
+        leave a complete timeline.
         """
         if not self.enabled:
-            yield None
-            return
+            return _NOOP_SPAN
+        return _Span(self, name, args)
+
+    def _intern(self, name: str) -> int:
+        """Assign (or look up) the ring-lane id of a span name."""
         with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
-        stack = self._stack()
-        parent_id = stack[-1] if stack else None
-        stack.append(span_id)
-        started = time.perf_counter()
-        try:
-            yield span_id
-        finally:
-            duration = time.perf_counter() - started
-            stack.pop()
-            record = SpanRecord(
-                name=name,
-                start=started - self._epoch,
-                duration=duration,
-                thread_id=threading.get_ident(),
-                span_id=span_id,
-                parent_id=parent_id,
-                args=tuple(sorted((k, _json_safe(v)) for k, v in args.items())),
-            )
-            with self._lock:
-                self._records.append(record)
+            name_id = self._name_ids.get(name)
+            if name_id is None:
+                name_id = len(self._names)
+                self._names.append(name)
+                self._name_ids[name] = name_id
+            return name_id
+
+    def _entry_record(self, entry: tuple) -> SpanRecord:
+        """Build the full :class:`SpanRecord` a ring entry deferred."""
+        name_id, start_ns, dur_ns, thread_id, span_id, parent_id, args = entry
+        return SpanRecord(
+            name=self._names[name_id],
+            start=(start_ns - self._epoch_ns) * 1e-9,
+            duration=dur_ns * 1e-9,
+            thread_id=thread_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            args=(
+                tuple(sorted((k, _json_safe(v)) for k, v in args.items()))
+                if args
+                else ()
+            ),
+        )
+
+    def _drain_locked(self) -> None:
+        """Move every live ring entry into the record lane (lock held).
+
+        Entries drain in close (``seq``) order, and every live entry's seq
+        exceeds every already-drained record's, so ``_records`` stays
+        sorted by construction.
+        """
+        if not self._ring_live:
+            return
+        live = sorted(slot for slot in self._ring if slot is not None)
+        for seq, entry in live:
+            self._records.append((seq, self._entry_record(entry)))
+        for slot in range(len(self._ring)):
+            self._ring[slot] = None
+        self._ring_live = 0
 
     def ingest(
         self, records: Iterable[SpanRecord], offset_seconds: float = 0.0
@@ -132,18 +267,23 @@ class Tracer:
             return
         batch = list(records)
         with self._lock:
-            mapping = {record.span_id: self._next_id + i for i, record in enumerate(batch)}
-            self._next_id += len(batch)
+            self._drain_locked()
+            mapping = {record.span_id: next(self._ids) for record in batch}
             for record in batch:
+                seq = self._seq
+                self._seq = seq + 1
                 self._records.append(
-                    SpanRecord(
-                        name=record.name,
-                        start=record.start + offset_seconds,
-                        duration=record.duration,
-                        thread_id=record.thread_id,
-                        span_id=mapping[record.span_id],
-                        parent_id=mapping.get(record.parent_id),
-                        args=record.args,
+                    (
+                        seq,
+                        SpanRecord(
+                            name=record.name,
+                            start=record.start + offset_seconds,
+                            duration=record.duration,
+                            thread_id=record.thread_id,
+                            span_id=mapping[record.span_id],
+                            parent_id=mapping.get(record.parent_id),
+                            args=record.args,
+                        ),
                     )
                 )
 
@@ -152,11 +292,12 @@ class Tracer:
     def spans(self) -> list[SpanRecord]:
         """Every closed span so far, in close order."""
         with self._lock:
-            return list(self._records)
+            self._drain_locked()
+            return [record for _, record in self._records]
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._records)
+            return len(self._records) + self._ring_live
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-name totals: ``{name: {"count": n, "seconds": total}}``.

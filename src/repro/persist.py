@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
@@ -46,6 +47,7 @@ __all__ = [
     "experiment_result_from_dict",
     "shard_cells_to_dict",
     "shard_cells_from_dict",
+    "shard_cells_from_array",
     "save_json",
     "load_json",
     "payload_digest",
@@ -371,6 +373,19 @@ def shard_cells_from_dict(payload: dict[str, Any]) -> ShardCells:
         n_vulnerable=payload["n_vulnerable"],
         ecosystem=payload.get("ecosystem", "web-services"),
     )
+
+
+def shard_cells_from_array(
+    array: Any, tool_names: Sequence[str], ecosystem: str = "web-services"
+) -> ShardCells:
+    """Rebuild shard cells from the flat int64 wire layout.
+
+    The buffer-backed counterpart of :func:`shard_cells_from_dict` for the
+    shared-memory transport: the array carries only the numbers (see
+    :meth:`ShardCells.to_array` for the layout), so the caller supplies the
+    campaign context the wire format deliberately omits.
+    """
+    return ShardCells.from_array(array, tool_names, ecosystem=ecosystem)
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@ __all__ = [
     "BenchTable",
     "bench_tables",
     "refresh_doc",
+    "render_engine_transport",
     "render_shard_generation",
     "render_shard_throughput",
     "table_in_doc",
@@ -65,6 +66,27 @@ def render_shard_generation(payload: dict) -> str:
             f"| {row['scalar_units_per_second']:,.0f} "
             f"| {row['batch_units_per_second']:,.0f} "
             f"| {row['speedup']:.1f}x |"
+        )
+    return "\n".join(lines)
+
+
+def render_engine_transport(payload: dict) -> str:
+    """The executor × transport wall-time table from the engine dump."""
+    section = payload["transport"]
+    thread = section["thread_seconds"]
+    rows = [
+        ("thread", "in-memory", thread),
+        ("process", "pickle", section["process_pickle_seconds"]),
+        ("process", "shm ring", section["process_shm_seconds"]),
+    ]
+    lines = [
+        "| executor | transport | wall (s) | vs thread |",
+        "|---|---|---|---|",
+    ]
+    for executor, transport, seconds in rows:
+        lines.append(
+            f"| {executor} | {transport} | {seconds:.2f} "
+            f"| {thread / seconds:.2f}x |"
         )
     return "\n".join(lines)
 
@@ -109,6 +131,15 @@ def bench_tables() -> tuple[BenchTable, ...]:
             results="results/BENCH_shard.json",
             section="generation",
             render=render_shard_generation,
+        ),
+        BenchTable(
+            key="engine-transport",
+            doc="docs/scaling.md",
+            begin="<!-- engine-bench:transport:begin -->",
+            end="<!-- engine-bench:transport:end -->",
+            results="results/BENCH_engine.json",
+            section="transport",
+            render=render_engine_transport,
         ),
     )
 

@@ -310,8 +310,12 @@ class TestProcessExecutor:
             run_experiments(["R1"], executor="process", obs=obs)
 
     def test_worker_metrics_merge_into_parent(self):
+        from repro.bench.engine.transport import shutdown_cached_pools
         from repro.obs import Observability
 
+        # Pools are cached across runs; start cold so worker-side cache
+        # misses (and the compute they trigger) are guaranteed to happen.
+        shutdown_cached_pools()
         obs = Observability()
         run_experiments(
             ["R1", "R4"], seed=2015, jobs=2, obs=obs, executor="process"
@@ -340,6 +344,9 @@ class TestProcessExecutor:
         assert len(span_ids) == len(set(span_ids))  # remapped, no collisions
 
     def test_manifest_records_worker_artifacts(self):
+        from repro.bench.engine.transport import shutdown_cached_pools
+
+        shutdown_cached_pools()  # cold workers, so the miss is guaranteed
         run = run_experiments(["R4"], seed=2015, executor="process")
         record = run.manifest.record_for("R4")
         assert record.seed == 2015

@@ -100,6 +100,78 @@ class TestStreamingParity:
             assert run.totals.confusions == reference.confusions, kwargs
 
 
+class TestTransportParity:
+    """The transport invariant: wire format changes wall clock, not cells."""
+
+    def run_campaign(self, **kwargs):
+        run = run_sharded_campaign(
+            scale=130, shard_size=50, seed=SEED, **kwargs
+        )
+        assert run.ok
+        return run
+
+    def test_cells_identical_across_executor_and_transport(self):
+        reference = self.run_campaign(jobs=2)
+        assert reference.manifest.extra["transport"] == "pickle"
+        reference_cells = [r.cells for r in reference.manifest.records]
+        for transport in ("pickle", "shm", "auto"):
+            run = self.run_campaign(
+                jobs=2, executor="process", transport=transport
+            )
+            resolved = run.manifest.extra["transport"]
+            if transport != "auto":
+                assert resolved == transport
+            cells = [r.cells for r in run.manifest.records]
+            assert cells == reference_cells, transport
+
+    def test_thread_executor_never_resolves_to_shm(self):
+        run = self.run_campaign(jobs=2, transport="shm")
+        assert run.manifest.extra["transport"] == "pickle"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            run_sharded_campaign(
+                scale=60, shard_size=30, seed=SEED, transport="carrier-pigeon"
+            )
+
+    def test_chunk_bounds_validated(self):
+        with pytest.raises(ConfigurationError, match="chunk"):
+            run_sharded_campaign(
+                scale=60, shard_size=30, seed=SEED, chunk=0
+            )
+
+    def test_cells_array_round_trip(self):
+        plan = plan_shards(scale=90, shard_size=45, seed=SEED)
+        tools = reference_suite(seed=SEED)
+        for spec in plan:
+            cells = evaluate_shard(
+                tools, plan.generate(spec.index), spec.index
+            )
+            rebuilt = ShardCells.from_array(
+                cells.to_array(), cells.tool_names, ecosystem=cells.ecosystem
+            )
+            assert rebuilt == cells
+
+    def test_warm_pool_reused_across_campaigns(self):
+        from repro.bench.engine.transport import (
+            cached_process_pool,
+            shutdown_cached_pools,
+        )
+
+        shutdown_cached_pools()
+        first = self.run_campaign(jobs=2, executor="process", transport="shm")
+        # The campaign's pool stayed cached: fetching the same key returns
+        # the same live executor instead of forking a fresh one.
+        pool = cached_process_pool(("shards", SEED, None, "web-services"), 2)
+        again = cached_process_pool(("shards", SEED, None, "web-services"), 2)
+        assert pool is again
+        second = self.run_campaign(jobs=2, executor="process", transport="shm")
+        assert [r.cells for r in second.manifest.records] == [
+            r.cells for r in first.manifest.records
+        ]
+        shutdown_cached_pools()
+
+
 class TestAccumulatorGuards:
     def _cells(self, index=0):
         return ShardCells(

@@ -83,13 +83,40 @@ class TestBenchTableFreshness:
         },
     }
 
+    ENGINE_PAYLOAD = {
+        "schema": "repro/bench-engine@1",
+        "transport": {
+            "campaign_scale": 20000,
+            "shard_size": 2000,
+            "jobs": 4,
+            "cpu_count": 4,
+            "thread_seconds": 2.0,
+            "process_pickle_seconds": 2.5,
+            "process_shm_seconds": 1.0,
+            "shm_speedup_vs_thread": 2.0,
+            "cells_identical": True,
+            "speedup_asserted": True,
+        },
+    }
+
+    def _payload_for(self, table) -> dict:
+        return (
+            self.ENGINE_PAYLOAD
+            if table.results == "results/BENCH_engine.json"
+            else self.PAYLOAD
+        )
+
     def _fresh_doc(self) -> str:
         from repro.reporting.benchtables import bench_tables
 
         parts = ["# scaling\n"]
         for table in bench_tables():
             parts.append(
-                table.begin + "\n" + table.render(self.PAYLOAD) + "\n" + table.end
+                table.begin
+                + "\n"
+                + table.render(self._payload_for(table))
+                + "\n"
+                + table.end
             )
         return "\n\n".join(parts) + "\n"
 
@@ -100,6 +127,9 @@ class TestBenchTableFreshness:
         (tmp_path / "docs").mkdir()
         (tmp_path / "results" / "BENCH_shard.json").write_text(
             json.dumps(self.PAYLOAD), encoding="utf-8"
+        )
+        (tmp_path / "results" / "BENCH_engine.json").write_text(
+            json.dumps(self.ENGINE_PAYLOAD), encoding="utf-8"
         )
         (tmp_path / "docs" / "scaling.md").write_text(doc_text, encoding="utf-8")
         return tmp_path

@@ -24,8 +24,10 @@ still works.  This checker runs three fast probes:
    dependents skip), write a structurally sound partial manifest, and
    exit non-zero.
 5. **Shard-scale smoke** — a small ``repro run --scale`` campaign on both
-   executors must exit 0, write a ``repro/shard-run@1`` manifest whose
-   per-shard cells fold to identical totals across executors.
+   executors *and both process transports* (pickle and the shared-memory
+   ring) must exit 0, write a ``repro/shard-run@1`` manifest recording
+   the resolved transport, and produce per-shard cells identical across
+   every executor × transport combination.
 6. **Cross-ecosystem smoke** — the same sharded run under a non-default
    ``--ecosystem`` must record the ecosystem and its tool families in the
    manifest, produce per-shard cells identical across executors, and
@@ -52,7 +54,7 @@ from pathlib import Path
 BENCH_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_engine.json"
 BENCH_JSON_SCHEMA = "repro/bench-engine@1"
 #: Sections the docs cite; a partial bench run must not silently drop one.
-REQUIRED_SECTIONS = ("suite", "bootstrap", "executor", "tracing")
+REQUIRED_SECTIONS = ("suite", "bootstrap", "executor", "tracing", "transport")
 
 SHARD_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_shard.json"
 SHARD_JSON_SCHEMA = "repro/bench-shard@1"
@@ -180,6 +182,52 @@ def check_bench_json() -> list[str]:
             "bench json: recorded bootstrap speedup below 1x — the batch "
             f"path regressed ({bootstrap.get('speedup')})"
         )
+    tracing = payload.get("tracing", {})
+    if tracing:
+        overhead = tracing.get("overhead_fraction")
+        guard = tracing.get("guard_fraction")
+        if overhead is None or guard is None:
+            problems.append(
+                "bench json: tracing section lacks overhead_fraction / "
+                "guard_fraction"
+            )
+        elif overhead >= guard:
+            problems.append(
+                f"bench json: recorded tracing overhead {overhead:.1%} is at "
+                f"or over the {guard:.0%} guard — the fast path regressed"
+            )
+    transport = payload.get("transport", {})
+    if transport:
+        missing = {
+            "campaign_scale", "shard_size", "jobs", "cpu_count",
+            "thread_seconds", "process_pickle_seconds", "process_shm_seconds",
+            "shm_speedup_vs_thread", "cells_identical", "speedup_asserted",
+        } - set(transport)
+        if missing:
+            problems.append(
+                f"bench json: transport section lacks {sorted(missing)}"
+            )
+        else:
+            if transport["cells_identical"] is not True:
+                problems.append(
+                    "bench json: transport section does not record "
+                    "byte-identical cells across executors and transports"
+                )
+            # The >=1.5x shm claim only holds where parallelism is possible;
+            # the bench records whether it asserted it, keyed on cpu_count.
+            if transport["cpu_count"] >= 2 and not transport["speedup_asserted"]:
+                problems.append(
+                    "bench json: transport dump comes from a multi-core "
+                    "machine but did not assert the shm speedup"
+                )
+            if (
+                transport["speedup_asserted"]
+                and transport["shm_speedup_vs_thread"] < 1.5
+            ):
+                problems.append(
+                    "bench json: asserted shm speedup below 1.5x "
+                    f"({transport['shm_speedup_vs_thread']})"
+                )
     return problems
 
 
@@ -239,20 +287,27 @@ def check_shard_json() -> list[str]:
 
 
 def check_shard_scale() -> list[str]:
-    """A small sharded run on each executor: exit 0, identical totals."""
+    """Sharded runs per executor × transport: exit 0, identical totals."""
     repo_root = Path(__file__).resolve().parent.parent
     env = dict(os.environ)
     env["PYTHONPATH"] = str(repo_root / "src")
     problems: list[str] = []
-    totals_by_executor: dict[str, list] = {}
+    totals_by_config: dict[str, list] = {}
+    configs = (
+        ("thread", "auto"),
+        ("process", "pickle"),
+        ("process", "shm"),
+    )
     with tempfile.TemporaryDirectory() as tmp:
-        for executor in ("thread", "process"):
-            manifest_path = Path(tmp) / f"shards-{executor}.json"
+        for executor, transport in configs:
+            label = f"{executor}/{transport}"
+            manifest_path = Path(tmp) / f"shards-{executor}-{transport}.json"
             proc = subprocess.run(
                 [
                     sys.executable, "-m", "repro", "run",
                     "--scale", "400", "--shard-size", "150",
                     "--jobs", "2", "--executor", executor,
+                    "--transport", transport,
                     "--quiet", "--manifest", str(manifest_path),
                 ],
                 env=env,
@@ -263,34 +318,46 @@ def check_shard_scale() -> list[str]:
             )
             if proc.returncode != 0:
                 problems.append(
-                    f"shard smoke ({executor}): exited "
+                    f"shard smoke ({label}): exited "
                     f"{proc.returncode}: {proc.stderr[-500:]}"
                 )
                 continue
             payload = json.loads(manifest_path.read_text(encoding="utf-8"))
             if payload.get("schema") != "repro/shard-run@1":
                 problems.append(
-                    f"shard smoke ({executor}): manifest schema is "
+                    f"shard smoke ({label}): manifest schema is "
                     f"{payload.get('schema')!r}, expected 'repro/shard-run@1'"
+                )
+                continue
+            # The manifest records the *resolved* transport: threads never
+            # serialize (always "pickle"), process honours the request.
+            expected_transport = "pickle" if executor == "thread" else transport
+            recorded = payload.get("extra", {}).get("transport")
+            if recorded != expected_transport:
+                problems.append(
+                    f"shard smoke ({label}): manifest records transport "
+                    f"{recorded!r}, expected {expected_transport!r}"
                 )
                 continue
             records = payload["shards"]
             if [r["status"] for r in records] != ["completed"] * 3:
                 problems.append(
-                    f"shard smoke ({executor}): expected 3 completed shards, "
+                    f"shard smoke ({label}): expected 3 completed shards, "
                     f"got {[r['status'] for r in records]}"
                 )
                 continue
-            totals_by_executor[executor] = [
+            totals_by_config[label] = [
                 [r["cells"]["tp"], r["cells"]["fp"], r["cells"]["fn"], r["cells"]["tn"]]
                 for r in records
             ]
-    if len(totals_by_executor) == 2:
-        if totals_by_executor["thread"] != totals_by_executor["process"]:
-            problems.append(
-                "shard smoke: per-shard cells differ between thread and "
-                "process executors"
-            )
+    if len(totals_by_config) == len(configs):
+        reference = totals_by_config["thread/auto"]
+        for label, totals in totals_by_config.items():
+            if totals != reference:
+                problems.append(
+                    f"shard smoke: per-shard cells under {label} differ "
+                    "from the thread reference"
+                )
     return problems
 
 
@@ -477,8 +544,8 @@ def main() -> int:
         return 1
     print(
         "bench ok: kernels, resampler stream, generation parity, dump "
-        "schemas, fault-injection smoke, shard-scale smoke, and "
-        "cross-ecosystem smoke checked"
+        "schemas, fault-injection smoke, shard-scale smoke (executor x "
+        "transport parity), and cross-ecosystem smoke checked"
     )
     return 0
 
