@@ -42,7 +42,22 @@ from typing import Any
 
 from repro.obs import Observability
 
-__all__ = ["ArtifactKey", "ArtifactCodec", "ArtifactEvent", "ArtifactStore"]
+__all__ = [
+    "CORRUPT_RETENTION_CAP",
+    "ArtifactKey",
+    "ArtifactCodec",
+    "ArtifactEvent",
+    "ArtifactStore",
+]
+
+#: How many quarantined ``*.corrupt`` files a cache dir retains.  Each
+#: quarantine keeps the evidence for a post-mortem, but a store hammered by
+#: e.g. a flaky disk would otherwise accumulate them without bound — beyond
+#: the cap the oldest (by mtime) are deleted, the prune is counted on
+#: ``engine.cache.corrupt_pruned``, and the survivor count is published as
+#: the ``engine.cache.corrupt_files`` gauge (also shown by
+#: ``repro stats --cache-dir``).
+CORRUPT_RETENTION_CAP = 16
 
 
 @dataclass(frozen=True)
@@ -238,6 +253,7 @@ class ArtifactStore:
                             reason=type(error).__name__,
                         ):
                             pass
+                        self._prune_corrupt()
                     else:
                         elapsed = time.perf_counter() - started
                         with self._master:
@@ -263,3 +279,34 @@ class ArtifactStore:
                     save_cache_entry(codec.to_dict(value), path)
                 self.obs.metrics.inc("engine.artifacts.persisted")
             return value
+
+    def _prune_corrupt(self) -> None:
+        """Age out quarantined files beyond :data:`CORRUPT_RETENTION_CAP`.
+
+        Runs after every quarantine, so the cache dir holds at most the cap
+        of ``*.corrupt`` post-mortem files — newest kept, oldest (by mtime)
+        deleted.  The surviving count lands on the
+        ``engine.cache.corrupt_files`` gauge either way.
+        """
+        if self.cache_dir is None:
+            return
+        corrupt = []
+        for entry in Path(self.cache_dir).glob("*.corrupt"):
+            try:
+                corrupt.append((entry.stat().st_mtime, entry))
+            except OSError:
+                continue  # raced with another pruner; already gone
+        corrupt.sort(key=lambda pair: pair[0])
+        excess = max(0, len(corrupt) - CORRUPT_RETENTION_CAP)
+        pruned = 0
+        for _, entry in corrupt[:excess]:
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            pruned += 1
+        if pruned:
+            self.obs.metrics.inc("engine.cache.corrupt_pruned", pruned)
+        self.obs.metrics.set_gauge(
+            "engine.cache.corrupt_files", float(len(corrupt) - pruned)
+        )

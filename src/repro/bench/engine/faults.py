@@ -16,7 +16,18 @@ executor without any real flakiness:
   the experiment body runs, long enough to trip a scheduler ``timeout``;
 - **corrupt-artifact-bytes** — :func:`corrupt_file` truncates or
   overwrites an on-disk cache file, exercising the store's
-  quarantine-and-recompute path.
+  quarantine-and-recompute path;
+- **kill-the-worker** — :class:`FaultSpec.kill_attempts` makes the task
+  ``os._exit`` mid-attempt, simulating a segfaulting tool process; the
+  sharded runner's supervision must rebuild the pool and re-dispatch
+  (and quarantine the shard when the kills never stop);
+- **parent-side chaos** — a fault addressed to :data:`PARENT_FAULT_ID`
+  is applied by the *campaign parent*, not a worker: ``kill=K`` SIGKILLs
+  the parent after K folded shards (exercising ``--resume`` journal
+  replay) and ``stop=N`` requests a graceful drain after N folds
+  (exercising the SIGTERM path without process plumbing);
+- **torn-journal-tail** — :func:`tear_file` truncates trailing bytes,
+  simulating a crash mid-append to the write-ahead journal.
 
 The injection point is the scheduler's per-attempt execution hook (thread
 executor) and :func:`~repro.bench.engine.process.execute_in_process`
@@ -33,6 +44,7 @@ isolation must survive.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,10 +57,22 @@ __all__ = [
     "FaultPlan",
     "parse_fault",
     "corrupt_file",
+    "tear_file",
+    "ALWAYS",
+    "KILL_EXIT_CODE",
+    "PARENT_FAULT_ID",
 ]
 
 #: ``fail_attempts`` value meaning "fail every attempt" (no retry recovers).
 ALWAYS = 10**9
+
+#: Exit status a kill fault dies with (visibly distinct from exit 1).
+KILL_EXIT_CODE = 70
+
+#: Fault id whose clauses the campaign *parent* applies (``--inject-fault
+#: parent:kill=2`` SIGKILLs the parent after two folds; ``parent:stop=2``
+#: requests a graceful drain instead).
+PARENT_FAULT_ID = "PARENT"
 
 
 class InjectedFault(RuntimeError):
@@ -66,6 +90,14 @@ class FaultSpec:
     """Sleep this long before the experiment body (0 disables hanging)."""
     hang_attempts: int | None = None
     """Hang on attempts ``1..hang_attempts``; ``None`` = every attempt."""
+    kill_attempts: int = 0
+    """``os._exit`` the executing process on attempts ``1..kill_attempts``
+    (a simulated segfault; requires the process executor).  On the
+    :data:`PARENT_FAULT_ID` spec this instead SIGKILLs the campaign
+    parent after ``kill_attempts`` folded shards."""
+    stop_after: int = 0
+    """Parent-side only: request a graceful drain after this many folded
+    shards (0 disables; ignored on worker-targeted specs)."""
 
     def __post_init__(self) -> None:
         if self.fail_attempts < 0:
@@ -76,13 +108,25 @@ class FaultSpec:
             raise ConfigurationError(
                 f"hang_seconds must be >= 0, got {self.hang_seconds}"
             )
+        if self.kill_attempts < 0:
+            raise ConfigurationError(
+                f"kill_attempts must be >= 0, got {self.kill_attempts}"
+            )
+        if self.stop_after < 0:
+            raise ConfigurationError(
+                f"stop_after must be >= 0, got {self.stop_after}"
+            )
 
     def apply(self, attempt: int) -> None:
-        """Execute this fault for ``attempt`` (sleep, then maybe raise)."""
+        """Execute this fault for ``attempt`` (sleep, die, or raise)."""
         if self.hang_seconds > 0 and (
             self.hang_attempts is None or attempt <= self.hang_attempts
         ):
             time.sleep(self.hang_seconds)
+        if attempt <= self.kill_attempts:
+            # A real segfault gives no one a chance to clean up; neither
+            # does this.  The runner's supervision layer must cope.
+            os._exit(KILL_EXIT_CODE)
         if attempt <= self.fail_attempts:
             raise InjectedFault(
                 f"injected fault: {self.experiment_id} attempt {attempt} "
@@ -128,6 +172,9 @@ def parse_fault(text: str) -> FaultSpec:
         R4:fail=2           fail attempts 1 and 2, then succeed
         R4:hang=1.5         sleep 1.5s before every attempt
         R4:fail=1:hang=0.2  both
+        S2:kill=1           os._exit the worker on attempt 1 (shard 2)
+        PARENT:kill=2       SIGKILL the campaign parent after 2 folds
+        PARENT:stop=2       graceful drain request after 2 folds
 
     """
     parts = text.split(":")
@@ -136,6 +183,8 @@ def parse_fault(text: str) -> FaultSpec:
         raise ConfigurationError(f"empty experiment id in fault {text!r}")
     fail_attempts = ALWAYS if len(parts) == 1 else 0
     hang_seconds = 0.0
+    kill_attempts = 0
+    stop_after = 0
     for clause in parts[1:]:
         name, _, value = clause.partition("=")
         try:
@@ -143,10 +192,14 @@ def parse_fault(text: str) -> FaultSpec:
                 fail_attempts = ALWAYS if value == "" else int(value)
             elif name == "hang":
                 hang_seconds = float(value)
+            elif name == "kill":
+                kill_attempts = ALWAYS if value == "" else int(value)
+            elif name == "stop":
+                stop_after = int(value)
             else:
                 raise ConfigurationError(
-                    f"unknown fault clause {name!r} in {text!r} "
-                    f"(expected fail=K or hang=SECONDS)"
+                    f"unknown fault clause {name!r} in {text!r} (expected "
+                    f"fail=K, hang=SECONDS, kill=K or stop=N)"
                 )
         except ValueError:
             raise ConfigurationError(
@@ -156,6 +209,8 @@ def parse_fault(text: str) -> FaultSpec:
         experiment_id=experiment_id,
         fail_attempts=fail_attempts,
         hang_seconds=hang_seconds,
+        kill_attempts=kill_attempts,
+        stop_after=stop_after,
     )
 
 
@@ -182,3 +237,17 @@ def corrupt_file(path: str | Path, mode: str = "truncate") -> None:
             f"unknown corruption mode {mode!r} "
             f"(expected truncate, garbage or flip)"
         )
+
+
+def tear_file(path: str | Path, n_bytes: int = 16) -> None:
+    """Truncate the last ``n_bytes`` of a file (a torn journal tail).
+
+    Simulates the parent dying mid-append: the write-ahead journal's
+    replay must discard the damaged final record and recover everything
+    before it.
+    """
+    if n_bytes < 1:
+        raise ConfigurationError(f"n_bytes must be >= 1, got {n_bytes}")
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(0, len(data) - n_bytes)])

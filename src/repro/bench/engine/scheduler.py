@@ -602,6 +602,7 @@ def _run_pooled(
                     # for the next run) only spreads the poison.
                     broken = True
                     evict_process_pool(pool_key)
+                    obs.metrics.inc("engine.workers.crashed")
                     obs.metrics.inc("engine.experiments.failed")
                     drain_and_raise(_fatal_error(key, error, attempt))
                 elif isinstance(error, Exception) and attempt <= policy.retries:

@@ -37,15 +37,35 @@ Engine semantics carry over wholesale:
   ``--inject-fault s3:fail=1`` exercises the retry path deterministically;
 - **observability** — every shard runs under ``shard.generate`` /
   ``shard.evaluate`` spans and feeds the ``engine.shards.*`` counters, so
-  a million-unit run is traceable in Perfetto like any experiment run.
+  a million-unit run is traceable in Perfetto like any experiment run;
+- **crash safety** — a dead worker (``BrokenExecutor``) no longer aborts
+  the campaign: the runner rebuilds the process pool (bounded rebuilds
+  with exponential backoff) and re-dispatches the in-flight shards,
+  probing them one at a time so the shard that actually killed the
+  worker is attributable; a shard that kills ``quarantine_after``
+  workers is recorded with status ``quarantined`` and the campaign
+  continues under ``keep_going``.  ``wal_path`` appends every folded
+  shard to an fsync'd write-ahead journal
+  (:mod:`repro.bench.engine.wal`), so a SIGKILL'd *parent* recovers via
+  ``resume_journal`` — replay the journal, re-run only missing shards,
+  bit-identical totals.  A :class:`~repro.bench.engine.supervise.
+  ShutdownSignal` drains in-flight shards on SIGTERM/SIGINT and still
+  writes the partial manifest, and ``timeout`` arms a heartbeat watchdog
+  (:class:`~repro.bench.engine.supervise.HeartbeatBoard`) that times out
+  *hung* workers (silent heartbeat) rather than slow ones.
 
-Totals are exact for any executor, fold order, retry count, or resume
-history — see :mod:`repro.bench.streaming` for the contract.
+Totals are exact for any executor, fold order, retry count, crash
+history, or resume history — see :mod:`repro.bench.streaming` for the
+contract and ``docs/benchmarking.md`` ("Crash recovery") for the
+operational story.
 """
 
 from __future__ import annotations
 
+import os
+import signal as signal_module
 import time
+from collections.abc import Callable
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -57,15 +77,18 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.engine.artifacts import ArtifactCodec, ArtifactKey, ArtifactStore
-from repro.bench.engine.faults import FaultPlan, FaultSpec
+from repro.bench.engine.faults import PARENT_FAULT_ID, FaultPlan, FaultSpec
 from repro.bench.engine.manifest import FailureRecord
+from repro.bench.engine.supervise import HeartbeatBoard, ShutdownSignal
 from repro.bench.engine.transport import (
     DEFAULT_CHUNK,
     CellRing,
     cached_process_pool,
     evict_process_pool,
+    reclaim_leaked_segments,
     resolve_transport,
 )
+from repro.bench.engine.wal import JournalHeader, ShardJournal
 from repro.bench.result import DEFAULT_SEED
 from repro.bench.streaming import (
     CampaignAccumulator,
@@ -73,7 +96,13 @@ from repro.bench.streaming import (
     StreamingCampaignResult,
     evaluate_shard,
 )
-from repro.errors import ConfigurationError, ExperimentFailedError
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    ExperimentFailedError,
+    ExperimentTimeoutError,
+    WorkerCrashError,
+)
 from repro.obs import Observability, SpanRecord, Tracer
 from repro.tools.families import get_family, suite_for_ecosystem
 from repro.workload.ecosystems import DEFAULT_ECOSYSTEM, get_ecosystem
@@ -82,6 +111,8 @@ from repro.workload.sharded import DEFAULT_SHARD_SIZE, ShardPlan, plan_shards
 __all__ = [
     "SHARD_MANIFEST_SCHEMA",
     "SHARD_STATUSES",
+    "DEFAULT_QUARANTINE_AFTER",
+    "DEFAULT_MAX_POOL_REBUILDS",
     "ShardRunRecord",
     "ShardRunManifest",
     "ShardedCampaignRun",
@@ -89,11 +120,24 @@ __all__ = [
     "run_sharded_campaign",
 ]
 
-SHARD_MANIFEST_SCHEMA = "repro/shard-run@1"
+SHARD_MANIFEST_SCHEMA = "repro/shard-run@2"
+
+#: Schemas :meth:`ShardRunManifest.from_dict` accepts: @2 added the
+#: ``quarantined`` / ``timeout`` statuses; @1 manifests are a strict
+#: subset, so resuming them keeps working.
+_ACCEPTED_SCHEMAS = ("repro/shard-run@1", SHARD_MANIFEST_SCHEMA)
 
 #: Valid values of :attr:`ShardRunRecord.status` (shards have no
-#: dependencies, so there is no ``skipped``; timeouts are unsupported).
-SHARD_STATUSES = ("completed", "failed")
+#: dependencies, so there is no ``skipped``).  ``quarantined`` marks a
+#: shard that kept killing its workers; ``timeout`` a shard whose worker
+#: went silent past the heartbeat budget.
+SHARD_STATUSES = ("completed", "failed", "quarantined", "timeout")
+
+#: A shard that kills this many workers is quarantined as poisonous.
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: The campaign aborts after this many process-pool rebuilds.
+DEFAULT_MAX_POOL_REBUILDS = 5
 
 
 def shard_fault_id(index: int) -> str:
@@ -156,7 +200,7 @@ class ShardRunRecord:
     """The shard's own generation seed (derived, recorded for audit)."""
     n_units: int
     status: str = "completed"
-    """``completed`` | ``failed``."""
+    """``completed`` | ``failed`` | ``quarantined`` | ``timeout``."""
     attempts: int = 1
     wall_seconds: float = 0.0
     cells: ShardCells | None = None
@@ -249,13 +293,25 @@ class ShardRunManifest:
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property
+    def planned_shards(self) -> int:
+        """Shards the recorded plan geometry implies (``ceil(scale /
+        shard_size)``) — the denominator ``ok`` is judged against."""
+        return (self.scale + self.shard_size - 1) // self.shard_size
+
+    @property
     def ok(self) -> bool:
-        """Whether every shard completed."""
-        return all(record.completed for record in self.records)
+        """Whether every *planned* shard is present and completed.
+
+        A manifest written by an interrupted (drained) run carries fewer
+        records than the plan; it must not read as ok just because every
+        shard it did run completed."""
+        return len(self.records) == self.planned_shards and all(
+            record.completed for record in self.records
+        )
 
     @property
     def n_shards(self) -> int:
-        """Shards in the plan this run covered."""
+        """Shards this run actually recorded (``<= planned_shards``)."""
         return len(self.records)
 
     @property
@@ -289,9 +345,10 @@ class ShardRunManifest:
             f"(jobs={self.jobs}, executor={self.executor}, seed={self.seed}, "
             f"ecosystem={self.ecosystem})"
         )
-        failed = self.status_counts()["failed"]
-        if failed:
-            line += f" [{failed} failed]"
+        counts = self.status_counts()
+        for status in ("failed", "quarantined", "timeout"):
+            if counts[status]:
+                line += f" [{counts[status]} {status}]"
         return line
 
     def to_dict(self) -> dict[str, Any]:
@@ -320,9 +377,9 @@ class ShardRunManifest:
     def from_dict(cls, payload: dict[str, Any]) -> "ShardRunManifest":
         """Rebuild a shard-run manifest, failing loudly on schema drift."""
         found = payload.get("schema")
-        if found != SHARD_MANIFEST_SCHEMA:
+        if found not in _ACCEPTED_SCHEMAS:
             raise ConfigurationError(
-                f"expected schema {SHARD_MANIFEST_SCHEMA!r}, found {found!r}"
+                f"expected a schema in {_ACCEPTED_SCHEMAS}, found {found!r}"
             )
         return cls(
             seed=payload["seed"],
@@ -360,6 +417,12 @@ class ShardedCampaignRun:
         """Whether every shard completed."""
         return self.manifest.ok
 
+    @property
+    def interrupted(self) -> bool:
+        """Whether a shutdown request drained this run before it finished
+        (the manifest is partial; ``--resume`` picks up the rest)."""
+        return "interrupted" in self.manifest.extra
+
 
 # ---------------------------------------------------------------------------
 # Shard execution (shared by the serial, thread and process paths)
@@ -392,17 +455,23 @@ def _evaluate_one(
     tools: list,
     families: tuple[str, ...],
     fault: FaultSpec | None,
+    beat: Callable[[], None] | None = None,
 ) -> _ShardOutcome:
     """Run one attempt of one shard against ``store``; return its outcome.
 
     The cells are memoized under the shard's artifact key, so a warm store
     (or a populated ``cache_dir``) satisfies the shard without generating
     its workload; the fault hook fires *before* the cache lookup, so
-    injected failures exercise the retry path even on warm runs.
+    injected failures exercise the retry path even on warm runs.  ``beat``
+    (when a heartbeat watchdog is armed) is called at phase boundaries —
+    task start, generate→evaluate, completion — so a hung shard goes
+    silent while a slow one keeps beating.
     """
     obs = store.obs
     spec = plan.spec(index)
     started = time.perf_counter()
+    if beat is not None:
+        beat()
     if fault is not None:
         fault.apply(attempt)
 
@@ -413,6 +482,8 @@ def _evaluate_one(
             workload = plan.generate(index)
         obs.metrics.inc("engine.shards.units", len(workload.units))
         obs.metrics.inc("engine.shards.sites", workload.n_sites)
+        if beat is not None:
+            beat()
         with obs.tracer.span(
             "shard.evaluate", shard=index, tools=len(tools)
         ):
@@ -424,6 +495,8 @@ def _evaluate_one(
         codec=_shard_cells_codec(),
         requester=f"shard:{index}",
     )
+    if beat is not None:
+        beat()
     return _ShardOutcome(
         index=index,
         n_units=spec.n_units,
@@ -454,6 +527,10 @@ class _WorkerContext:
     ring_name: str | None = None
     ring_slots: int = 0
     ring_slot_ints: int = 0
+    board_name: str | None = None
+    """Heartbeat-board segment name (set when ``--timeout`` arms the
+    watchdog on the process executor)."""
+    board_slots: int = 0
 
 
 #: Worker-process caches, all keyed by fields of the task's
@@ -465,6 +542,7 @@ _WORKER_STORES: dict[tuple[int, str | None], ArtifactStore] = {}
 _WORKER_PLANS: dict[tuple[int, int, int, str], ShardPlan] = {}
 _WORKER_SUITES: dict[tuple[str, int, tuple[str, ...]], list] = {}
 _WORKER_RING: Any | None = None
+_WORKER_BOARD: Any | None = None
 
 #: Bound on each per-worker cache; campaigns cycle through few distinct
 #: keys, so a tiny FIFO keeps reuse while bounding a long session.
@@ -493,18 +571,32 @@ def _worker_ring(ctx: _WorkerContext):
     return _WORKER_RING
 
 
+def _worker_board(ctx: _WorkerContext):
+    """The attached heartbeat board for ``ctx``, re-attaching on change."""
+    global _WORKER_BOARD
+    if _WORKER_BOARD is not None and _WORKER_BOARD.name != ctx.board_name:
+        _WORKER_BOARD.close()
+        _WORKER_BOARD = None
+    if _WORKER_BOARD is None:
+        _WORKER_BOARD = HeartbeatBoard.attach(ctx.board_name, ctx.board_slots)
+    return _WORKER_BOARD
+
+
 def _evaluate_in_worker(
     ctx: _WorkerContext,
     index: int,
     attempt: int,
     fault: FaultSpec | None,
     slot: int | None,
+    hb_slot: int | None = None,
 ) -> _ShardOutcome:
     """Worker-process task body: evaluate one shard, return a picklable
     outcome carrying this task's metrics dump and spans for parent-side
     merging (mirrors :func:`repro.bench.engine.process.execute_in_process`).
     Under the shared-memory transport (``slot`` given) the cells leave
-    through the ring and the returned outcome carries only the slot.
+    through the ring and the returned outcome carries only the slot;
+    ``hb_slot`` names this task's heartbeat-board slot when the parent's
+    watchdog is armed.
     """
     plan_key = (ctx.scale, ctx.shard_size, ctx.seed, ctx.ecosystem)
     plan = _WORKER_PLANS.get(plan_key)
@@ -538,8 +630,11 @@ def _evaluate_in_worker(
     # A fresh bundle per task, so the parent merges without double counting.
     obs = Observability(tracer=Tracer(enabled=ctx.trace))
     store.obs = obs
+    beat = None
+    if hb_slot is not None and ctx.board_name is not None:
+        beat = _worker_board(ctx).beater(hb_slot)
     outcome = _evaluate_one(
-        plan, index, attempt, store, tools, ctx.families, fault
+        plan, index, attempt, store, tools, ctx.families, fault, beat
     )
     cells: ShardCells | None = outcome.cells
     if slot is not None:
@@ -560,6 +655,70 @@ def _evaluate_in_worker(
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
+class _FoldSink:
+    """Where completed cells go: accumulator, optional journal, chaos.
+
+    Folding and journalling are one step so the write-ahead journal can
+    never drift from the totals; the parent-side chaos faults
+    (``PARENT:kill=K`` / ``PARENT:stop=N``) hook here because "after N
+    folded shards" is the only deterministic parent-side clock.
+    """
+
+    def __init__(
+        self,
+        accumulator: CampaignAccumulator,
+        journal: ShardJournal | None,
+        obs: Observability,
+        shutdown: ShutdownSignal,
+        parent_fault: FaultSpec | None = None,
+    ) -> None:
+        self.accumulator = accumulator
+        self.journal = journal
+        self.obs = obs
+        self.shutdown = shutdown
+        self.parent_fault = parent_fault
+        self.folds = 0
+
+    @property
+    def tool_names(self) -> tuple[str, ...]:
+        """The accumulator's tool ordering (fixes the cells framing)."""
+        return self.accumulator.tool_names
+
+    def fold(self, cells: ShardCells) -> None:
+        """Fold one freshly computed shard (journalled, chaos-eligible)."""
+        self.accumulator.fold(cells)
+        self._append(cells)
+        self.folds += 1
+        self._apply_parent_fault()
+
+    def fold_carried(self, cells: ShardCells, append: bool = False) -> None:
+        """Fold a shard carried from a manifest or a journal replay.
+
+        Manifest resume passes ``append=True`` so a fresh ``--wal``
+        journal starts complete; journal resume passes ``False`` — the
+        record is already on disk.
+        """
+        self.accumulator.fold(cells)
+        if append:
+            self._append(cells)
+
+    def _append(self, cells: ShardCells) -> None:
+        if self.journal is not None:
+            self.journal.append_cells(cells.to_array())
+            self.obs.metrics.inc("engine.wal.records")
+
+    def _apply_parent_fault(self) -> None:
+        fault = self.parent_fault
+        if fault is None:
+            return
+        if fault.kill_attempts and self.folds >= fault.kill_attempts:
+            # A simulated parent crash: SIGKILL flushes nothing — which is
+            # the point; the journal already holds every folded shard.
+            os.kill(os.getpid(), signal_module.SIGKILL)
+        if fault.stop_after and self.folds >= fault.stop_after:
+            self.shutdown.request("injected parent stop")
+
+
 def run_sharded_campaign(
     scale: int | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
@@ -577,6 +736,12 @@ def run_sharded_campaign(
     tool_families: tuple[str, ...] | None = None,
     transport: str = "auto",
     chunk: int = DEFAULT_CHUNK,
+    timeout: float | None = None,
+    wal_path: str | None = None,
+    resume_journal: str | None = None,
+    shutdown: ShutdownSignal | None = None,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+    max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
 ) -> ShardedCampaignRun:
     """Run an ecosystem's tool suite over a sharded ``scale``-unit corpus.
 
@@ -608,6 +773,20 @@ def run_sharded_campaign(
     supported); both yield byte-identical cells.  ``chunk`` scales the
     submission window: up to ``jobs × chunk`` shard futures stay in
     flight, keeping workers fed while the parent folds.
+
+    Crash safety (see ``docs/benchmarking.md``, "Crash recovery"): a dead
+    worker triggers supervision — the pool is rebuilt (bounded by
+    ``max_pool_rebuilds``) and crashed shards are re-probed one at a
+    time, quarantining any shard attributed ``quarantine_after`` worker
+    kills.  ``wal_path`` appends every folded shard to an fsync'd
+    journal; ``resume_journal`` replays one and re-runs only the missing
+    shards (mutually exclusive with ``resume_from``).  ``shutdown`` is a
+    cooperative drain request (the CLI arms it on SIGTERM/SIGINT): when
+    requested, nothing new is submitted, in-flight shards finish, and the
+    partial manifest is still returned (``extra["interrupted"]`` lists
+    the unfinished shards).  ``timeout`` arms a heartbeat watchdog that
+    times out shards whose worker goes *silent* for that many seconds —
+    hung, not merely slow.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -619,11 +798,44 @@ def run_sharded_campaign(
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
     if chunk < 1:
         raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    if quarantine_after < 1:
+        raise ConfigurationError(
+            f"quarantine_after must be >= 1, got {quarantine_after}"
+        )
+    if max_pool_rebuilds < 0:
+        raise ConfigurationError(
+            f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+        )
+    if resume_from is not None and resume_journal is not None:
+        raise ConfigurationError(
+            "resume_from and resume_journal are mutually exclusive — "
+            "pick the manifest or the journal, not both"
+        )
+    if resume_journal is not None and wal_path is not None:
+        raise ConfigurationError(
+            "resume_journal keeps appending to its own journal; "
+            "wal_path cannot redirect it"
+        )
+    if faults is not None and executor != "process":
+        for spec in faults.faults:
+            if spec.kill_attempts and spec.experiment_id != PARENT_FAULT_ID:
+                raise ConfigurationError(
+                    "kill faults require executor='process': a killed "
+                    "thread worker would take the campaign parent with it"
+                )
     transport = resolve_transport(transport, executor)
+    if shutdown is None:
+        shutdown = ShutdownSignal()
 
     carried: dict[int, ShardRunRecord] = {}
-    if resume_from is None and scale is None:
-        raise ConfigurationError("scale is required unless resuming from a manifest")
+    journal: ShardJournal | None = None
+    replay = None
+    if resume_from is None and resume_journal is None and scale is None:
+        raise ConfigurationError(
+            "scale is required unless resuming from a manifest or journal"
+        )
     if resume_from is not None:
         scale = resume_from.scale
         shard_size = resume_from.shard_size
@@ -635,6 +847,14 @@ def run_sharded_campaign(
             for record in resume_from.records
             if record.completed
         }
+    if resume_journal is not None:
+        journal, replay = ShardJournal.resume(resume_journal)
+        header = replay.header
+        scale = header.scale
+        shard_size = header.shard_size
+        seed = header.seed
+        ecosystem = header.ecosystem
+        tool_families = header.tool_families
     profile = get_ecosystem(ecosystem)
     families = (
         tuple(tool_families)
@@ -658,6 +878,13 @@ def run_sharded_campaign(
             "cannot be merged across worker processes"
         )
 
+    parent_fault = (
+        faults.for_experiment(PARENT_FAULT_ID) if faults is not None else None
+    )
+    reclaimed = reclaim_leaked_segments()
+    if reclaimed:
+        obs.metrics.inc("engine.shm.reclaimed", reclaimed)
+
     accumulator = CampaignAccumulator(
         [
             tool.name
@@ -667,38 +894,94 @@ def run_sharded_campaign(
         ],
         ecosystem=ecosystem,
     )
+    if replay is not None and (
+        tuple(replay.header.tool_names) != accumulator.tool_names
+    ):
+        journal.close()
+        raise ConfigurationError(
+            f"journal {resume_journal} was written for tools "
+            f"{list(replay.header.tool_names)}; this campaign scores "
+            f"{list(accumulator.tool_names)}"
+        )
+    if journal is None and wal_path is not None:
+        journal = ShardJournal.create(
+            wal_path,
+            JournalHeader(
+                seed=seed,
+                scale=scale,
+                shard_size=shard_size,
+                ecosystem=ecosystem,
+                tool_names=accumulator.tool_names,
+                tool_families=families,
+            ),
+        )
+    sink = _FoldSink(accumulator, journal, obs, shutdown, parent_fault)
     records: dict[int, ShardRunRecord] = {}
-    for record in carried.values():
-        accumulator.fold(record.cells)
+    if resume_from is not None:
+        for record in carried.values():
+            sink.fold_carried(record.cells, append=True)
+    elif replay is not None:
+        for array in replay.arrays:
+            cells = ShardCells.from_array(
+                array, replay.header.tool_names, ecosystem=ecosystem
+            )
+            if cells.shard_index in accumulator:
+                continue  # replay dedupes, but stay idempotent regardless
+            sink.fold_carried(cells)
+            carried[cells.shard_index] = ShardRunRecord(
+                index=cells.shard_index,
+                seed=plan.spec(cells.shard_index).seed,
+                n_units=cells.n_units,
+                status="completed",
+                cells=cells,
+            )
     pending = [
         index for index in range(plan.n_shards) if index not in carried
     ]
 
     run_started = time.perf_counter()
-    with obs.tracer.span(
-        "engine.shard_run",
-        seed=seed,
-        scale=scale,
-        shard_size=shard_size,
-        shards=len(pending),
-        jobs=jobs,
-        executor=executor,
-        ecosystem=ecosystem,
-    ):
-        if executor == "thread" and jobs == 1:
-            records.update(
-                _run_shards_serial(
-                    plan, pending, store, accumulator, families, keep_going,
-                    retries, faults,
+    try:
+        with obs.tracer.span(
+            "engine.shard_run",
+            seed=seed,
+            scale=scale,
+            shard_size=shard_size,
+            shards=len(pending),
+            jobs=jobs,
+            executor=executor,
+            ecosystem=ecosystem,
+        ):
+            if executor == "thread" and jobs == 1 and timeout is None:
+                records.update(
+                    _run_shards_serial(
+                        plan, pending, store, sink, families, keep_going,
+                        retries, faults, shutdown,
+                    )
                 )
-            )
-        elif pending:
-            records.update(
-                _run_shards_pooled(
-                    plan, pending, store, accumulator, families, jobs,
-                    executor, keep_going, retries, faults, transport, chunk,
+            elif pending:
+                records.update(
+                    _PooledShardRun(
+                        plan=plan,
+                        pending=pending,
+                        store=store,
+                        sink=sink,
+                        families=families,
+                        jobs=jobs,
+                        executor=executor,
+                        keep_going=keep_going,
+                        retries=retries,
+                        faults=faults,
+                        transport=transport,
+                        chunk=chunk,
+                        timeout=timeout,
+                        shutdown=shutdown,
+                        quarantine_after=quarantine_after,
+                        max_pool_rebuilds=max_pool_rebuilds,
+                    ).execute()
                 )
-            )
+    finally:
+        if journal is not None:
+            journal.close()
     wall = time.perf_counter() - run_started
     obs.metrics.inc("engine.shard_runs")
 
@@ -707,10 +990,23 @@ def run_sharded_campaign(
         for index in sorted({*carried, *records})
     )
     extra: dict[str, Any] = {"transport": transport}
+    if journal is not None:
+        extra["wal"] = str(journal.path)
     if obs.tracer.enabled:
         extra["observability"] = {"spans": obs.tracer.summary()}
     if resume_from is not None:
         extra["resume"] = {"carried": sorted(carried)}
+    elif replay is not None:
+        extra["resume"] = {"carried": sorted(carried), "source": "wal"}
+    if shutdown.requested:
+        extra["interrupted"] = {
+            "reason": shutdown.reason,
+            "unfinished": [
+                index
+                for index in range(plan.n_shards)
+                if index not in carried and index not in records
+            ],
+        }
     manifest = ShardRunManifest(
         seed=seed,
         scale=scale,
@@ -746,14 +1042,17 @@ def _completed_record(
 
 
 def _failed_shard_record(
-    plan: ShardPlan, index: int, failure: FailureRecord
+    plan: ShardPlan,
+    index: int,
+    failure: FailureRecord,
+    status: str = "failed",
 ) -> ShardRunRecord:
     spec = plan.spec(index)
     return ShardRunRecord(
         index=index,
         seed=spec.seed,
         n_units=spec.n_units,
-        status="failed",
+        status=status,
         attempts=failure.attempts,
         wall_seconds=0.0,
         cells=None,
@@ -776,16 +1075,19 @@ def _run_shards_serial(
     plan: ShardPlan,
     pending: list[int],
     store: ArtifactStore,
-    accumulator: CampaignAccumulator,
+    sink: _FoldSink,
     families: tuple[str, ...],
     keep_going: bool,
     retries: int,
     faults: FaultPlan | None,
+    shutdown: ShutdownSignal,
 ) -> dict[int, ShardRunRecord]:
     obs = store.obs
     tools = suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
     records: dict[int, ShardRunRecord] = {}
     for index in pending:
+        if shutdown.requested:
+            break
         obs.metrics.inc("engine.shards.scheduled")
         fault = _fault_for_shard(faults, index)
         attempt = 1
@@ -795,193 +1097,511 @@ def _run_shards_serial(
                     plan, index, attempt, store, tools, families, fault
                 )
             except Exception as error:
-                if attempt <= retries:
+                if attempt <= retries and not shutdown.requested:
                     obs.metrics.inc("engine.shards.retried")
                     attempt += 1
                     continue
                 obs.metrics.inc("engine.shards.failed")
-                if not keep_going:
+                if not keep_going and not shutdown.requested:
                     raise _shard_fatal(index, error, attempt) from error
                 failure = FailureRecord.from_exception(error, attempts=attempt)
                 records[index] = _failed_shard_record(plan, index, failure)
                 break
             obs.metrics.inc("engine.shards.completed")
             obs.metrics.observe("engine.shard.seconds", outcome.wall_seconds)
-            accumulator.fold(outcome.cells)
+            sink.fold(outcome.cells)
             records[index] = _completed_record(plan, outcome, attempt)
             break
     return records
 
 
-def _run_shards_pooled(
-    plan: ShardPlan,
-    pending: list[int],
-    store: ArtifactStore,
-    accumulator: CampaignAccumulator,
-    families: tuple[str, ...],
-    jobs: int,
-    executor: str,
-    keep_going: bool,
-    retries: int,
-    faults: FaultPlan | None,
-    transport: str,
-    chunk: int,
-) -> dict[int, ShardRunRecord]:
-    """Pooled shard execution: keep up to ``jobs × chunk`` shards in
-    flight, fold as they finish.  Only ``jobs`` shard *workloads* are ever
-    alive (one per worker) — the window just queues compact work items so
-    workers never idle while the parent folds — preserving the memory
-    bound the streaming path exists to provide.
+@dataclass
+class _InFlight:
+    """Parent-side bookkeeping for one submitted shard attempt."""
 
-    Process pools come from the transport module's cache keyed by campaign
-    identity, so their workers (and the stores/plans/suites those pin)
-    survive across calls; thread pools are cheap and stay per-call.  Under
-    ``transport="shm"`` a :class:`~repro.bench.engine.transport.CellRing`
-    sized to the window carries every result's cells.
+    index: int
+    attempt: int
+    slot: int | None
+    """Cell-ring slot, when the shm transport assigned one."""
+    hb_slot: int | None
+    """Heartbeat-board slot, when the watchdog is armed."""
+    submitted_ns: int
+    """Submission stamp — the hung-check anchor until the first beat."""
+
+
+class _PooledShardRun:
+    """One pooled (thread or process) shard campaign execution.
+
+    The closure-based pooled runner grew supervision state — probe
+    queues, crash counts, rebuild budgets, heartbeat slots — past what
+    closures carry legibly; this class is that state plus the loop over
+    it.  Keeps up to :attr:`window` shards in flight, folds as they
+    finish, and survives three failure families the old runner aborted
+    on:
+
+    - **worker death** — a :class:`BrokenExecutor` means the executor
+      killed every worker and failed the whole in-flight window.
+      Completed siblings fold normally; the crashed remainder cannot be
+      attributed (any of them may have killed the worker), so they are
+      re-dispatched *one at a time* — a pool break with exactly one shard
+      in flight is attributable — and a shard attributed
+      ``quarantine_after`` kills is recorded ``quarantined`` instead of
+      killing its next worker.  Each break evicts the cached pool and
+      rebuilds it, bounded by ``max_pool_rebuilds`` with exponential
+      backoff.
+    - **hung workers** — with ``timeout`` armed, a shard whose heartbeat
+      goes silent past the budget is timed out.  A running future cannot
+      be cancelled; it is *abandoned*: its ring/board slots leak for the
+      campaign's lifetime (a zombie may still write them) and teardown
+      retires the pool instead of returning it to the cache.
+    - **drain requests** — once ``shutdown`` is requested nothing new is
+      submitted; in-flight shards finish and are recorded, and failures
+      during the drain are recorded rather than raised.
     """
-    obs = store.obs
-    cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
-    trace = obs.tracer.enabled
-    tools = (
-        suite_for_ecosystem(plan.ecosystem, seed=plan.seed, families=families)
-        if executor == "thread"
-        else None
-    )
-    records: dict[int, ShardRunRecord] = {}
-    queue = list(pending)
-    window = jobs * chunk
-    ring: CellRing | None = None
-    pool_key = ("shards", plan.seed, cache_dir, plan.ecosystem)
-    if executor == "process":
-        pool = cached_process_pool(pool_key, max_workers=jobs)
-        if transport == "shm":
-            ring = CellRing.create(
-                n_slots=min(window, len(pending)) or 1,
-                slot_ints=5 + 4 * len(accumulator.tool_names),
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        pending: list[int],
+        store: ArtifactStore,
+        sink: _FoldSink,
+        families: tuple[str, ...],
+        jobs: int,
+        executor: str,
+        keep_going: bool,
+        retries: int,
+        faults: FaultPlan | None,
+        transport: str,
+        chunk: int,
+        timeout: float | None,
+        shutdown: ShutdownSignal,
+        quarantine_after: int,
+        max_pool_rebuilds: int,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.obs = store.obs
+        self.sink = sink
+        self.families = families
+        self.jobs = jobs
+        self.executor = executor
+        self.keep_going = keep_going
+        self.retries = retries
+        self.faults = faults
+        self.transport = transport
+        self.chunk = chunk
+        self.timeout = timeout
+        self.shutdown = shutdown
+        self.quarantine_after = quarantine_after
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.n_pending = len(pending)
+        self.queue: list[int] = list(pending)
+        self.probe_queue: list[tuple[int, int]] = []
+        self.crash_counts: dict[int, int] = {}
+        self.records: dict[int, ShardRunRecord] = {}
+        self.active: dict[Future, _InFlight] = {}
+        self.rebuilds = 0
+        self.abandoned = 0
+        cache_dir = store.cache_dir
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.trace = self.obs.tracer.enabled
+        self.tools = (
+            suite_for_ecosystem(
+                plan.ecosystem, seed=plan.seed, families=families
             )
-        ctx = _WorkerContext(
-            scale=plan.scale,
-            shard_size=plan.shard_size,
-            seed=plan.seed,
-            ecosystem=plan.ecosystem,
-            cache_dir=cache_dir,
-            trace=trace,
-            families=families,
-            ring_name=ring.name if ring is not None else None,
-            ring_slots=ring.n_slots if ring is not None else 0,
-            ring_slot_ints=ring.slot_ints if ring is not None else 0,
+            if executor == "thread"
+            else None
         )
-    else:
-        pool = ThreadPoolExecutor(max_workers=jobs)
-    # future -> (index, attempt, slot)
-    active: dict[Future, tuple[int, int, int | None]] = {}
-    broken = False
-    try:
+        self.pool: Any = None
+        self.ring: CellRing | None = None
+        self.board: HeartbeatBoard | None = None
+        self.ctx: _WorkerContext | None = None
+        self.pool_key = ("shards", plan.seed, self.cache_dir, plan.ecosystem)
 
-        def submit(index: int, attempt: int) -> None:
-            fault = _fault_for_shard(faults, index)
-            if executor == "process":
-                slot = ring.acquire() if ring is not None else None
-                future = pool.submit(
-                    _evaluate_in_worker, ctx, index, attempt, fault, slot
+    @property
+    def window(self) -> int:
+        """How many shard futures may be in flight right now.
+
+        With the watchdog armed the window is the worker count (shrunk by
+        wedged workers), so a queued task's wait never reads as heartbeat
+        silence; without it, ``jobs × chunk`` keeps workers fed while the
+        parent folds.
+        """
+        if self.timeout is None:
+            return self.jobs * self.chunk
+        return max(1, self.jobs - self.abandoned)
+
+    # -- lifecycle -----------------------------------------------------------
+    def execute(self) -> dict[int, ShardRunRecord]:
+        """Run every pending shard; return their manifest records."""
+        self._setup()
+        try:
+            self._submit_ready()
+            while self.active:
+                self._tick()
+                self._submit_ready()
+        finally:
+            self._teardown()
+        return self.records
+
+    def _setup(self) -> None:
+        if self.executor == "process":
+            self.pool = cached_process_pool(
+                self.pool_key, max_workers=self.jobs
+            )
+            if self.transport == "shm":
+                self.ring = CellRing.create(
+                    n_slots=min(self.window, self.n_pending) or 1,
+                    slot_ints=5 + 4 * len(self.sink.tool_names),
                 )
+            if self.timeout is not None:
+                self.board = HeartbeatBoard.create(self.window)
+            ring, board = self.ring, self.board
+            self.ctx = _WorkerContext(
+                scale=self.plan.scale,
+                shard_size=self.plan.shard_size,
+                seed=self.plan.seed,
+                ecosystem=self.plan.ecosystem,
+                cache_dir=self.cache_dir,
+                trace=self.trace,
+                families=self.families,
+                ring_name=ring.name if ring is not None else None,
+                ring_slots=ring.n_slots if ring is not None else 0,
+                ring_slot_ints=ring.slot_ints if ring is not None else 0,
+                board_name=board.name if board is not None else None,
+                board_slots=board.n_slots if board is not None else 0,
+            )
+        else:
+            self.pool = ThreadPoolExecutor(max_workers=self.jobs)
+            if self.timeout is not None:
+                self.board = HeartbeatBoard.local(self.window)
+
+    def _teardown(self) -> None:
+        if self.executor == "thread":
+            # A wedged (abandoned) thread cannot be joined without
+            # blocking the drain; skip the wait and let it finish on its
+            # own or die with the interpreter.
+            self.pool.shutdown(wait=not self.abandoned, cancel_futures=True)
+        elif self.active or self.abandoned:
+            # Aborting with tasks still in flight (or wedged workers): a
+            # cached pool would hand the next campaign a worker mid-task,
+            # so retire this one.
+            evict_process_pool(self.pool_key)
+        if self.ring is not None:
+            self.ring.close()
+        if self.board is not None:
+            self.board.close()
+
+    # -- submission ----------------------------------------------------------
+    def _submit_ready(self) -> None:
+        if self.shutdown.requested:
+            return  # draining: nothing new goes out
+        if self.probe_queue:
+            # Probes fly solo: a pool break with exactly one shard in
+            # flight is attributable to it — which is what keeps an
+            # innocent shard that merely shared a window with a poison
+            # one out of quarantine.
+            if not self.active:
+                index, attempt = self.probe_queue.pop(0)
+                self.obs.metrics.inc("engine.shards.redispatched")
+                self._submit(index, attempt)
+            return
+        while self.queue and len(self.active) < self.window:
+            index = self.queue.pop(0)
+            self.obs.metrics.inc("engine.shards.scheduled")
+            self._submit(index, 1)
+
+    def _submit(self, index: int, attempt: int) -> None:
+        fault = _fault_for_shard(self.faults, index)
+        slot: int | None = None
+        hb_slot = self.board.acquire() if self.board is not None else None
+        if self.executor == "process":
+            # Fall back to pickle transport when crash-leaked slots have
+            # exhausted the ring rather than failing the submission.
+            if self.ring is not None and self.ring.free_slots:
+                slot = self.ring.acquire()
+            try:
+                future = self.pool.submit(
+                    _evaluate_in_worker,
+                    self.ctx, index, attempt, fault, slot, hb_slot,
+                )
+            except (BrokenExecutor, RuntimeError) as error:
+                # submit itself found a dead (or already shut down) pool:
+                # surface it through the supervision path via a
+                # pre-failed future instead of crashing the parent.
+                future = Future()
+                future.set_exception(
+                    error
+                    if isinstance(error, BrokenExecutor)
+                    else BrokenExecutor(str(error))
+                )
+        else:
+            beat = (
+                self.board.beater(hb_slot)
+                if self.board is not None and hb_slot is not None
+                else None
+            )
+            future = self.pool.submit(
+                _evaluate_one,
+                self.plan, index, attempt, self.store, self.tools,
+                self.families, fault, beat,
+            )
+        self.active[future] = _InFlight(
+            index=index,
+            attempt=attempt,
+            slot=slot,
+            hb_slot=hb_slot,
+            submitted_ns=time.monotonic_ns(),
+        )
+
+    # -- the main loop -------------------------------------------------------
+    def _tick(self) -> None:
+        """Wait for progress, then fold, supervise, or reap as needed."""
+        tick = 0.25 if self.timeout is not None else None
+        done, _ = wait(
+            set(self.active), timeout=tick, return_when=FIRST_COMPLETED
+        )
+        if self.executor == "process" and any(
+            isinstance(future.exception(), BrokenExecutor) for future in done
+        ):
+            self._supervise_pool_break()
+            return
+        for future in done:
+            self._handle_done(future)
+        if self.timeout is not None:
+            self._reap_hung()
+
+    def _handle_done(self, future: Future) -> None:
+        flight = self.active.pop(future)
+        if self.board is not None and flight.hb_slot is not None:
+            self.board.release(flight.hb_slot)
+        error = future.exception()
+        if error is None:
+            self._fold_success(flight, future.result())
+            return
+        if self.ring is not None and flight.slot is not None:
+            # The failed task never folded, so its slot is dead weight —
+            # and its worker is done with it, so reuse is safe.
+            self.ring.release(flight.slot)
+        self._handle_failure(flight, error)
+
+    def _fold_success(self, flight: _InFlight, outcome: _ShardOutcome) -> None:
+        index, attempt = flight.index, flight.attempt
+        if self.executor == "process":
+            try:
+                cells = self._extract_cells(outcome)
+            except ConfigurationError as error:
+                # A corrupted shm slot misframes or unbalances the flat
+                # vector; that is a (retryable) task failure, not a
+                # parent bug.
+                self.obs.metrics.inc("engine.transport.corrupt")
+                if self.ring is not None and flight.slot is not None:
+                    self.ring.release(flight.slot)
+                self._handle_failure(flight, error)
+                return
+            if outcome.metrics_dump is not None:
+                self.obs.metrics.merge_dict(outcome.metrics_dump)
+            if self.trace and outcome.spans:
+                self.obs.tracer.ingest(
+                    outcome.spans,
+                    offset_seconds=(
+                        outcome.trace_epoch_unix - self.obs.tracer.epoch_unix
+                    ),
+                )
+            self.store.put(_shard_key(self.plan, index, self.families), cells)
+        else:
+            cells = outcome.cells
+        self.obs.metrics.inc("engine.shards.completed")
+        self.obs.metrics.observe("engine.shard.seconds", outcome.wall_seconds)
+        self.sink.fold(cells)
+        self.records[index] = _completed_record(
+            self.plan, outcome, attempt, cells
+        )
+
+    def _extract_cells(self, outcome: _ShardOutcome) -> ShardCells:
+        cells = outcome.cells
+        if self.ring is not None and outcome.slot is not None:
+            n_ints = 5 + 4 * len(self.sink.tool_names)
+            cells = ShardCells.from_array(
+                self.ring.read(outcome.slot, n_ints),
+                self.sink.tool_names,
+                ecosystem=self.plan.ecosystem,
+            )
+            self.ring.release(outcome.slot)
+        return cells
+
+    def _handle_failure(self, flight: _InFlight, error: BaseException) -> None:
+        index, attempt = flight.index, flight.attempt
+        retryable = isinstance(error, Exception)
+        if (
+            retryable
+            and attempt <= self.retries
+            and not self.shutdown.requested
+        ):
+            self.obs.metrics.inc("engine.shards.retried")
+            self._submit(index, attempt + 1)
+            return
+        self.obs.metrics.inc("engine.shards.failed")
+        if (
+            not retryable or not self.keep_going
+        ) and not self.shutdown.requested:
+            self._drain_and_raise(_shard_fatal(index, error, attempt))
+        failure = FailureRecord.from_exception(error, attempts=attempt)
+        self.records[index] = _failed_shard_record(self.plan, index, failure)
+
+    def _drain_and_raise(self, fatal: Exception) -> None:
+        still_running = [
+            future for future in self.active if not future.cancel()
+        ]
+        if still_running:
+            _, not_done = wait(still_running, timeout=self.timeout)
+            self.abandoned += len(not_done)
+        raise fatal
+
+    # -- supervision ---------------------------------------------------------
+    def _supervise_pool_break(self) -> None:
+        """A worker died and broke the pool: fold the survivors, attribute
+        the crash, quarantine repeat offenders, rebuild, re-dispatch."""
+        self.obs.metrics.inc("engine.workers.crashed")
+        # A broken executor terminates every worker and fails the rest of
+        # the window fast; retiring the cached pool also settles anything
+        # still queued inside it.
+        evict_process_pool(self.pool_key)
+        wait(list(self.active), timeout=5.0)
+        crashed: list[_InFlight] = []
+        ordinary: list[Future] = []
+        for future in list(self.active):
+            if not future.done():
+                # Should not happen after the pool shut down; abandon the
+                # flight (leaking its slots) rather than block on it.
+                flight = self.active.pop(future)
+                self.abandoned += 1
+                crashed.append(flight)
+                continue
+            error = future.exception()
+            if isinstance(error, BrokenExecutor):
+                flight = self.active.pop(future)
+                if self.board is not None and flight.hb_slot is not None:
+                    self.board.release(flight.hb_slot)
+                if self.ring is not None and flight.slot is not None:
+                    self.ring.release(flight.slot)  # its writer is dead
+                crashed.append(flight)
             else:
-                slot = None
-                future = pool.submit(
-                    _evaluate_one,
-                    plan, index, attempt, store, tools, families, fault,
+                ordinary.append(future)
+        # Fold completed siblings first: their cells (and journal
+        # records) survive even if quarantine aborts the campaign below.
+        completed = [f for f in ordinary if f.exception() is None]
+        failed = [f for f in ordinary if f.exception() is not None]
+        for future in completed:
+            self._handle_done(future)
+        self._attribute_crashes(crashed)
+        if not self.shutdown.requested and (
+            self.queue or self.probe_queue or failed
+        ):
+            self._rebuild_pool()
+        for future in failed:
+            self._handle_done(future)
+
+    def _attribute_crashes(self, crashed: list[_InFlight]) -> None:
+        """Decide each crashed flight's fate: probe, quarantine, or (under
+        a drain) record as failed.
+
+        Attribution is deliberately conservative: the kill count only
+        advances when the break had exactly one shard in flight, so a
+        full-window break blames nobody and every crashed shard earns a
+        solo probe instead.
+        """
+        attributable = len(crashed) == 1
+        for flight in crashed:
+            index = flight.index
+            if attributable:
+                self.crash_counts[index] = self.crash_counts.get(index, 0) + 1
+            if self.crash_counts.get(index, 0) >= self.quarantine_after:
+                self._quarantine(flight)
+                continue
+            if self.shutdown.requested:
+                error = WorkerCrashError(
+                    f"shard {index} was in flight when its worker pool "
+                    f"broke during a drain"
                 )
-            active[future] = (index, attempt, slot)
+                failure = FailureRecord.from_exception(
+                    error, attempts=flight.attempt
+                )
+                self.records[index] = _failed_shard_record(
+                    self.plan, index, failure
+                )
+                continue
+            # Re-probe at the next attempt number so transient kill
+            # faults (kill=K) stop firing once K attempts have died.
+            self.probe_queue.append((index, flight.attempt + 1))
 
-        def submit_ready() -> None:
-            while queue and len(active) < window:
-                index = queue.pop(0)
-                obs.metrics.inc("engine.shards.scheduled")
-                submit(index, 1)
+    def _quarantine(self, flight: _InFlight) -> None:
+        index = flight.index
+        self.obs.metrics.inc("engine.shards.quarantined")
+        error = WorkerCrashError(
+            f"shard {index} killed {self.crash_counts.get(index, 0)} "
+            f"worker(s); quarantined"
+        )
+        if not self.keep_going and not self.shutdown.requested:
+            self._drain_and_raise(_shard_fatal(index, error, flight.attempt))
+        failure = FailureRecord.from_exception(error, attempts=flight.attempt)
+        self.records[index] = _failed_shard_record(
+            self.plan, index, failure, status="quarantined"
+        )
 
-        def drain_and_raise(fatal: Exception) -> None:
-            still_running = [
-                future for future in active if not future.cancel()
-            ]
-            if still_running and not broken:
-                wait(still_running)
-            raise fatal
+    def _rebuild_pool(self) -> None:
+        if self.rebuilds >= self.max_pool_rebuilds:
+            raise EngineError(
+                f"worker pool broke {self.rebuilds + 1} times; giving up "
+                f"(max_pool_rebuilds={self.max_pool_rebuilds})"
+            )
+        self.rebuilds += 1
+        backoff = min(2.0, 0.05 * 2 ** (self.rebuilds - 1))
+        with self.obs.tracer.span(
+            "engine.pool_rebuild", rebuild=self.rebuilds, backoff=backoff
+        ):
+            time.sleep(backoff)
+            self.pool = cached_process_pool(
+                self.pool_key, max_workers=self.jobs
+            )
+        self.obs.metrics.inc("engine.pool.rebuilds")
 
-        submit_ready()
-        while active:
-            done, _ = wait(set(active), return_when=FIRST_COMPLETED)
-            for future in done:
-                index, attempt, slot = active.pop(future)
-                error = future.exception()
-                if error is None:
-                    outcome = future.result()
-                    if executor == "process":
-                        cells = outcome.cells
-                        if ring is not None and outcome.slot is not None:
-                            cells = ShardCells.from_array(
-                                ring.read(
-                                    outcome.slot, 5 + 4 * len(
-                                        accumulator.tool_names
-                                    )
-                                ),
-                                accumulator.tool_names,
-                                ecosystem=plan.ecosystem,
-                            )
-                            ring.release(outcome.slot)
-                        if outcome.metrics_dump is not None:
-                            obs.metrics.merge_dict(outcome.metrics_dump)
-                        if trace and outcome.spans:
-                            obs.tracer.ingest(
-                                outcome.spans,
-                                offset_seconds=(
-                                    outcome.trace_epoch_unix
-                                    - obs.tracer.epoch_unix
-                                ),
-                            )
-                        store.put(_shard_key(plan, index, families), cells)
-                    else:
-                        cells = outcome.cells
-                    obs.metrics.inc("engine.shards.completed")
-                    obs.metrics.observe(
-                        "engine.shard.seconds", outcome.wall_seconds
-                    )
-                    accumulator.fold(cells)
-                    records[index] = _completed_record(
-                        plan, outcome, attempt, cells
-                    )
-                    continue
-                # The failed task never folded, so its slot is dead weight.
-                if ring is not None and slot is not None:
-                    ring.release(slot)
-                if isinstance(error, BrokenExecutor):
-                    # A dead worker poisons the whole pool: every sibling
-                    # future fails the same way, and a cached pool would
-                    # poison later campaigns too.  Evict and abort.
-                    broken = True
-                    evict_process_pool(pool_key)
-                    obs.metrics.inc("engine.shards.failed")
-                    drain_and_raise(_shard_fatal(index, error, attempt))
-                if isinstance(error, Exception) and attempt <= retries:
-                    obs.metrics.inc("engine.shards.retried")
-                    submit(index, attempt + 1)
-                else:
-                    obs.metrics.inc("engine.shards.failed")
-                    if not keep_going or not isinstance(error, Exception):
-                        drain_and_raise(_shard_fatal(index, error, attempt))
-                    failure = FailureRecord.from_exception(
-                        error, attempts=attempt
-                    )
-                    records[index] = _failed_shard_record(plan, index, failure)
-            submit_ready()
-    finally:
-        if executor == "thread":
-            pool.shutdown(wait=True, cancel_futures=True)
-        elif broken:
-            pass  # already evicted and shut down
-        elif active:
-            # Aborting with tasks still in flight: a cached pool would hand
-            # the next campaign a worker mid-task, so retire this one.
-            evict_process_pool(pool_key)
-        if ring is not None:
-            ring.close()
-    return records
+    # -- the watchdog --------------------------------------------------------
+    def _reap_hung(self) -> None:
+        """Time out shards whose heartbeat went silent past the budget."""
+        budget_ns = int(self.timeout * 1e9)
+        now = time.monotonic_ns()
+        for future, flight in list(self.active.items()):
+            anchor = flight.submitted_ns
+            if self.board is not None and flight.hb_slot is not None:
+                anchor = max(anchor, self.board.last_beat(flight.hb_slot))
+            if now - anchor <= budget_ns:
+                continue
+            del self.active[future]
+            if future.cancel():
+                # Never started: its slots are untouched and reusable.
+                if self.board is not None and flight.hb_slot is not None:
+                    self.board.release(flight.hb_slot)
+                if self.ring is not None and flight.slot is not None:
+                    self.ring.release(flight.slot)
+            else:
+                # Running and silent: abandon it.  Its slots leak for the
+                # campaign's lifetime — the hung worker may still write
+                # them — and teardown retires the pool.
+                self.abandoned += 1
+            self.obs.metrics.inc("engine.shards.timeout")
+            error = ExperimentTimeoutError(
+                f"shard {flight.index} went {self.timeout}s without a "
+                f"heartbeat (hung, not slow: live workers beat at phase "
+                f"boundaries)",
+                experiment_id=shard_fault_id(flight.index),
+                timeout=self.timeout,
+            )
+            if not self.keep_going and not self.shutdown.requested:
+                self._drain_and_raise(error)
+            failure = FailureRecord.from_exception(
+                error, attempts=flight.attempt
+            )
+            self.records[flight.index] = _failed_shard_record(
+                self.plan, flight.index, failure, status="timeout"
+            )

@@ -30,10 +30,13 @@ yield byte-identical cells (``tests/bench/test_streaming_campaign.py`` and
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
 import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -43,7 +46,10 @@ from repro.errors import ConfigurationError
 __all__ = [
     "TRANSPORTS",
     "DEFAULT_CHUNK",
+    "SHM_PREFIX",
     "resolve_transport",
+    "create_segment",
+    "reclaim_leaked_segments",
     "CellRing",
     "cached_process_pool",
     "evict_process_pool",
@@ -79,6 +85,74 @@ def resolve_transport(transport: str, executor: str) -> str:
     if transport == "auto":
         return "shm" if sys.platform != "win32" else "pickle"
     return transport
+
+
+# ---------------------------------------------------------------------------
+# Named segments and crash-leak reclamation
+# ---------------------------------------------------------------------------
+#: Every shared-memory segment this package creates is named
+#: ``<SHM_PREFIX>-<creator pid>-<sequence>``, so a later campaign can tell
+#: *its own* package's leaked segments (creator pid no longer alive) apart
+#: from every other process's shm — the sweep never touches foreign names.
+SHM_PREFIX = "repro-shm"
+
+_segment_seq = itertools.count()
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a shared-memory segment under this package's pid-tagged name.
+
+    The embedded creator pid is what makes leaked segments *identifiable*
+    after a SIGKILL: the default anonymous ``psm_…`` names carry no
+    ownership, so nothing could ever safely clean them up.
+    """
+    while True:
+        name = f"{SHM_PREFIX}-{os.getpid()}-{next(_segment_seq)}"
+        try:
+            return shared_memory.SharedMemory(create=True, name=name, size=size)
+        except FileExistsError:
+            continue  # stale leak at this exact name; advance the sequence
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, just not ours
+    return True
+
+
+def reclaim_leaked_segments() -> int:
+    """Unlink shm segments leaked by dead campaign processes; return count.
+
+    A SIGKILL'd parent never runs :meth:`CellRing.close`, so its segments
+    outlive it in ``/dev/shm`` until reboot.  Campaign start calls this:
+    any ``repro-shm-<pid>-*`` entry whose creator pid is gone is ours to
+    reclaim (unlinked directly — the dead owner's resource tracker is gone
+    with it).  No-op on platforms without a ``/dev/shm``.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return 0
+    reclaimed = 0
+    for entry in shm_dir.glob(f"{SHM_PREFIX}-*-*"):
+        parts = entry.name.rsplit("-", 2)
+        if len(parts) != 3 or parts[0] != SHM_PREFIX:
+            continue
+        try:
+            pid = int(parts[1])
+        except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            entry.unlink()
+        except OSError:
+            continue
+        reclaimed += 1
+    return reclaimed
 
 
 class CellRing:
@@ -117,9 +191,7 @@ class CellRing:
             raise ConfigurationError(
                 f"ring needs positive geometry, got {n_slots}x{slot_ints}"
             )
-        shm = shared_memory.SharedMemory(
-            create=True, size=n_slots * slot_ints * 8
-        )
+        shm = create_segment(n_slots * slot_ints * 8)
         ring = cls(shm, n_slots, slot_ints)
         ring._owner = True
         ring._free = list(range(n_slots))
@@ -141,6 +213,11 @@ class CellRing:
         return cls(shared_memory.SharedMemory(name=name), n_slots, slot_ints)
 
     # -- parent-side slot lifecycle -----------------------------------------
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available (abandoned tasks leak theirs)."""
+        return len(self._free)
+
     def acquire(self) -> int:
         """Claim a free slot for an in-flight task (parent side)."""
         if not self._free:

@@ -288,6 +288,11 @@ class CampaignAccumulator:
         """Indices of the shards folded so far."""
         return frozenset(self._folded)
 
+    def __contains__(self, shard_index: int) -> bool:
+        """Whether a shard's cells were already folded (crash-recovery
+        paths use this to skip journal/manifest duplicates cheaply)."""
+        return shard_index in self._folded
+
     @property
     def n_units(self) -> int:
         """Units covered by the folds so far."""

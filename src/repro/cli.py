@@ -16,8 +16,11 @@ Usage::
     python -m repro run --scale 1000000 --shard-size 10000  # streaming campaign
     python -m repro run --scale 5000 --ecosystem npm-deps   # another ecosystem
     python -m repro run --scale 5000 --ecosystem all        # every ecosystem
+    python -m repro run --scale 1000000 --wal run.wal  # crash-safe journal
+    python -m repro run --resume run.wal  # replay journal, run the rest
     python -m repro run --list-ecosystems  # print the registries
     python -m repro stats m.json          # print a metrics dump as tables
+    python -m repro stats --cache-dir .cache  # quarantined-cache summary
 
 Experiments R1-R11 reproduce the paper's tables and figures; R12-R19 are
 extensions.  All runs are deterministic in ``--seed`` — ``--jobs N``
@@ -36,8 +39,17 @@ Scale: ``--scale N`` switches ``run`` into sharded streaming-campaign mode
 — an ecosystem's tool suite is evaluated over an N-unit corpus partitioned
 into ``--shard-size`` shards, with per-shard retry/keep-going/resume
 semantics and memory bounded by the shard size (see ``docs/scaling.md``).
-``--resume`` detects shard manifests by their schema tag, so the same flag
-resumes both kinds of run.
+``--resume`` detects shard manifests and write-ahead journals by their
+schema tag/magic, so the same flag resumes every kind of run.
+
+Crash safety: ``--wal FILE`` journals every folded shard durably, so even
+a ``kill -9`` of the campaign parent resumes bit-identically from the
+journal; SIGTERM/SIGINT drain in-flight shards and still write the
+partial ``--manifest``; ``--timeout`` on ``--scale`` runs arms a
+heartbeat watchdog that times out hung (silent) workers without
+penalizing slow ones; and dead workers are supervised — the pool is
+rebuilt and crashed shards re-dispatched, quarantining any shard that
+keeps killing workers (see ``docs/benchmarking.md``, "Crash recovery").
 
 Ecosystems: ``--ecosystem NAME`` selects which registered
 :class:`~repro.workload.ecosystems.EcosystemProfile` shapes the corpus and
@@ -271,8 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MANIFEST",
         help=(
             "re-execute only the non-completed experiments of a prior run's "
-            "--manifest file; seed is taken from the manifest, completed "
-            "records are carried over verbatim"
+            "--manifest file (or the missing shards of a --wal journal); "
+            "seed is taken from the manifest, completed records are carried "
+            "over verbatim"
+        ),
+    )
+    run_parser.add_argument(
+        "--wal",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "for --scale runs: append every folded shard to an fsync'd "
+            "write-ahead journal at FILE, so a crashed (even kill -9'd) "
+            "campaign resumes bit-identically with --resume FILE"
         ),
     )
     run_parser.add_argument(
@@ -292,13 +316,28 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print a --metrics-out dump as readable tables"
     )
     stats_parser.add_argument(
-        "metrics_file", type=Path, metavar="FILE", help="a --metrics-out JSON dump"
+        "metrics_file",
+        type=Path,
+        nargs="?",
+        default=None,
+        metavar="FILE",
+        help="a --metrics-out JSON dump",
     )
     stats_parser.add_argument(
         "--prefix",
         default="",
         metavar="PREFIX",
         help="only show series whose name starts with PREFIX (e.g. engine.cache.)",
+    )
+    stats_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "also summarize DIR's quarantined (.corrupt) cache files — "
+            "count, total bytes, and the retention cap"
+        ),
     )
     return parser
 
@@ -479,10 +518,14 @@ def _cmd_run_scale(
     tool_families: list[str] | None = None,
     transport: str = "auto",
     chunk: int = DEFAULT_CHUNK,
+    timeout: float | None = None,
+    wal_path: Path | None = None,
 ) -> int:
     from repro.bench.engine.faults import FaultPlan, parse_fault
     from repro.bench.engine.shards import ShardRunManifest, run_sharded_campaign
-    from repro.errors import EngineError
+    from repro.bench.engine.supervise import graceful_shutdown
+    from repro.bench.engine.wal import is_journal
+    from repro.errors import EngineError, PersistError
     from repro.obs import Observability, Tracer
     from repro.persist import load_json
     from repro.reporting.tables import format_table
@@ -490,10 +533,14 @@ def _cmd_run_scale(
     if jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {jobs}")
     resume_from = None
+    resume_journal = None
     if resume_path is not None:
         if not resume_path.exists():
             raise SystemExit(f"no such manifest: {resume_path}")
-        resume_from = ShardRunManifest.from_dict(load_json(resume_path))
+        if is_journal(resume_path):
+            resume_journal = str(resume_path)
+        else:
+            resume_from = ShardRunManifest.from_dict(load_json(resume_path))
     elif scale is None or scale < 1:
         raise SystemExit(f"--scale must be >= 1, got {scale}")
     if shard_size < 1:
@@ -509,26 +556,33 @@ def _cmd_run_scale(
 
     obs = Observability(tracer=Tracer(enabled=trace_path is not None))
     try:
-        run = run_sharded_campaign(
-            scale=scale,
-            shard_size=shard_size,
-            seed=seed,
-            jobs=jobs,
-            executor=executor,
-            keep_going=keep_going,
-            retries=retries,
-            cache_dir=str(cache_dir) if cache_dir is not None else None,
-            obs=obs,
-            faults=faults,
-            resume_from=resume_from,
-            ecosystem=ecosystem if ecosystem is not None else DEFAULT_ECOSYSTEM,
-            tool_families=(
-                tuple(tool_families) if tool_families is not None else None
-            ),
-            transport=transport,
-            chunk=chunk,
-        )
-    except EngineError as error:
+        with graceful_shutdown() as shutdown:
+            run = run_sharded_campaign(
+                scale=scale,
+                shard_size=shard_size,
+                seed=seed,
+                jobs=jobs,
+                executor=executor,
+                keep_going=keep_going,
+                retries=retries,
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
+                obs=obs,
+                faults=faults,
+                resume_from=resume_from,
+                resume_journal=resume_journal,
+                wal_path=str(wal_path) if wal_path is not None else None,
+                timeout=timeout,
+                shutdown=shutdown,
+                ecosystem=(
+                    ecosystem if ecosystem is not None else DEFAULT_ECOSYSTEM
+                ),
+                tool_families=(
+                    tuple(tool_families) if tool_families is not None else None
+                ),
+                transport=transport,
+                chunk=chunk,
+            )
+    except (EngineError, PersistError) as error:
         raise SystemExit(f"run aborted — {error}") from error
     for record in run.manifest.records:
         if record.completed:
@@ -542,6 +596,15 @@ def _cmd_run_scale(
         print(
             f"[shard {record.index} {record.status} after {record.attempts} "
             f"attempt{'s' if record.attempts != 1 else ''}: {detail}]",
+            file=sys.stderr,
+        )
+    if run.interrupted:
+        info = run.manifest.extra["interrupted"]
+        resume_hint = wal_path if wal_path is not None else manifest_path
+        hint = f"; resume with --resume {resume_hint}" if resume_hint else ""
+        print(
+            f"[interrupted ({info['reason']}): "
+            f"{len(info['unfinished'])} shards unfinished{hint}]",
             file=sys.stderr,
         )
     totals = run.totals
@@ -642,14 +705,32 @@ def _validate_ecosystem_args(args: "argparse.Namespace") -> None:
                 raise SystemExit(str(error)) from error
 
 
-def _cmd_stats(metrics_file: Path, prefix: str) -> int:
-    from repro.obs import MetricsRegistry
-    from repro.persist import load_json
+def _cmd_stats(
+    metrics_file: Path | None, prefix: str, cache_dir: Path | None = None
+) -> int:
+    if metrics_file is None and cache_dir is None:
+        raise SystemExit("stats needs a metrics FILE and/or --cache-dir DIR")
+    if metrics_file is not None:
+        from repro.obs import MetricsRegistry
+        from repro.persist import load_json
 
-    if not metrics_file.exists():
-        raise SystemExit(f"no such metrics dump: {metrics_file}")
-    registry = MetricsRegistry.from_dict(load_json(metrics_file))
-    print(registry.render(prefix))
+        if not metrics_file.exists():
+            raise SystemExit(f"no such metrics dump: {metrics_file}")
+        registry = MetricsRegistry.from_dict(load_json(metrics_file))
+        print(registry.render(prefix))
+    if cache_dir is not None:
+        from repro.bench.engine.artifacts import CORRUPT_RETENTION_CAP
+
+        if not cache_dir.is_dir():
+            raise SystemExit(f"no such cache dir: {cache_dir}")
+        corrupt = sorted(cache_dir.glob("*.corrupt"))
+        total = sum(path.stat().st_size for path in corrupt)
+        print(
+            f"quarantined cache files: {len(corrupt)} "
+            f"({total} bytes, retention cap {CORRUPT_RETENTION_CAP})"
+        )
+        for path in corrupt:
+            print(f"  {path.name}")
     return 0
 
 
@@ -659,16 +740,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "stats":
-        return _cmd_stats(args.metrics_file, args.prefix)
+        return _cmd_stats(args.metrics_file, args.prefix, args.cache_dir)
     if args.list_ecosystems:
         return _cmd_list_ecosystems()
     _validate_ecosystem_args(args)
     resume_schema = None
     if args.resume is not None and args.resume.exists():
-        from repro.persist import load_json
+        from repro.persist import sniff_schema
 
-        resume_schema = load_json(args.resume).get("schema")
-    sharded = args.scale is not None or resume_schema == "repro/shard-run@1"
+        resume_schema = sniff_schema(args.resume)
+    sharded = args.scale is not None or (resume_schema or "").startswith(
+        "repro/shard-"
+    )
     if sharded:
         if args.experiments:
             raise SystemExit(
@@ -686,10 +769,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             raise SystemExit(
                 "--profile applies to experiment runs, not --scale"
             )
-        if args.timeout is not None:
+        if args.wal is not None and args.ecosystem == "all":
             raise SystemExit(
-                "--timeout is not supported for --scale runs; bound failures "
-                "with --retries/--keep-going instead"
+                "--ecosystem all runs several campaigns; --wal would "
+                "interleave them in one journal — pick a single ecosystem"
+            )
+        from repro.persist import WAL_SCHEMA
+
+        if args.wal is not None and resume_schema == WAL_SCHEMA:
+            raise SystemExit(
+                "--resume JOURNAL already appends the remaining shards to "
+                "that journal; don't pass --wal alongside it"
             )
         from repro.workload.sharded import DEFAULT_SHARD_SIZE
 
@@ -721,6 +811,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     tool_families=args.tool_families,
                     transport=args.transport,
                     chunk=args.chunk,
+                    timeout=args.timeout,
                 )
                 worst = max(worst, code)
             return worst
@@ -743,9 +834,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             tool_families=args.tool_families,
             transport=args.transport,
             chunk=args.chunk,
+            timeout=args.timeout,
+            wal_path=args.wal,
         )
     if args.shard_size is not None:
         raise SystemExit("--shard-size requires --scale")
+    if args.wal is not None:
+        raise SystemExit("--wal applies to --scale runs")
     if args.transport != "auto":
         raise SystemExit("--transport applies to --scale runs")
     if args.chunk != DEFAULT_CHUNK:

@@ -89,6 +89,14 @@ class ExperimentFailedError(EngineError):
         self.attempts = attempts
 
 
+class WorkerCrashError(EngineError):
+    """A worker process died mid-task (segfault, OOM kill, ``os._exit``).
+
+    Raised by the sharded runner's supervision layer when a shard keeps
+    killing the workers it is dispatched to and gets quarantined; also
+    the structured ``error_type`` recorded for quarantined shards."""
+
+
 class ExperimentTimeoutError(EngineError):
     """An experiment exceeded the run's ``--timeout`` budget."""
 

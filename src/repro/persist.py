@@ -53,8 +53,17 @@ __all__ = [
     "payload_digest",
     "save_cache_entry",
     "load_cache_entry",
+    "sniff_schema",
     "CACHE_ENTRY_SCHEMA",
+    "WAL_MAGIC",
+    "WAL_SCHEMA",
 ]
+
+#: The shard write-ahead journal's file magic and schema tag.  They live
+#: here (not in :mod:`repro.bench.engine.wal`) so low-level schema
+#: sniffing never has to import engine code.
+WAL_MAGIC = b"RWAL1\n"
+WAL_SCHEMA = "repro/shard-wal@1"
 
 _WORKLOAD_SCHEMA = "repro/workload@1"
 _REPORT_SCHEMA = "repro/report@1"
@@ -423,6 +432,31 @@ def load_json(path: str | Path) -> dict[str, Any]:
         raise PersistError(
             f"corrupt JSON in {path}: {error}", path=str(path)
         ) from error
+
+
+def sniff_schema(path: str | Path) -> str | None:
+    """Best-effort schema tag of a persisted file, without full parsing.
+
+    The CLI's ``--resume`` accepts both JSON manifests and the binary
+    shard journal; this answers "which kind is it" from the first bytes
+    (:data:`WAL_MAGIC`) or the JSON ``schema`` key, returning ``None``
+    for unreadable/untagged files so callers fall back to their default
+    interpretation.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(WAL_MAGIC))
+    except OSError:
+        return None
+    if head == WAL_MAGIC:
+        return WAL_SCHEMA
+    try:
+        payload = load_json(path)
+    except PersistError:
+        return None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    return schema if isinstance(schema, str) else None
 
 
 # ---------------------------------------------------------------------------

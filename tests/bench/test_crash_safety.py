@@ -1,0 +1,466 @@
+"""Chaos tests for the crash-safe sharded campaign runner.
+
+Every scenario here kills something — a worker (``os._exit`` mid-shard), the
+campaign parent (SIGKILL between folds), or the run's patience (hung
+workers, torn journals) — and asserts the recovery invariant: a recovered
+campaign's totals are byte-identical to an uninterrupted run's
+(architecture invariant 8).  In-process tests drive
+:func:`run_sharded_campaign` directly; subprocess tests go through the CLI
+so the signal handling and journal flushing are exercised end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.engine.faults import (
+    ALWAYS,
+    FaultPlan,
+    FaultSpec,
+    tear_file,
+)
+from repro.bench.engine.shards import run_sharded_campaign, shard_fault_id
+from repro.bench.engine.supervise import ShutdownSignal
+from repro.bench.engine.transport import SHM_PREFIX, reclaim_leaked_segments
+from repro.bench.engine.wal import JournalHeader, ShardJournal, replay_journal
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    ExperimentTimeoutError,
+    WorkerCrashError,
+)
+from repro.obs import Observability
+
+SEED = 2015
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def clean_cells(scale: int = 400, shard_size: int = 100):
+    """Per-shard cells arrays of an uninterrupted run (the parity target)."""
+    run = run_sharded_campaign(scale=scale, shard_size=shard_size, seed=SEED)
+    assert run.ok
+    return [record.cells.to_array() for record in run.manifest.records]
+
+
+@pytest.fixture(scope="module")
+def reference_400():
+    return clean_cells(400, 100)
+
+
+@pytest.fixture(scope="module")
+def reference_1600():
+    return clean_cells(1600, 100)
+
+
+def assert_parity(run, reference) -> None:
+    recovered = {
+        record.index: record.cells.to_array()
+        for record in run.manifest.records
+    }
+    assert sorted(recovered) == list(range(len(reference)))
+    for index, expected in enumerate(reference):
+        np.testing.assert_array_equal(recovered[index], expected)
+
+
+def kill_fault(index: int, attempts: int = 1) -> FaultPlan:
+    return FaultPlan(
+        (FaultSpec(shard_fault_id(index), kill_attempts=attempts),)
+    )
+
+
+class TestWorkerSupervision:
+    def test_worker_kill_recovers_bit_identically(self, reference_400):
+        obs = Observability()
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            jobs=2, executor="process",
+            faults=kill_fault(2, attempts=1), obs=obs,
+        )
+        assert run.ok
+        assert_parity(run, reference_400)
+        counters = obs.metrics.counter_values("engine.")
+        assert counters.get("engine.workers.crashed", 0) >= 1
+        assert counters.get("engine.pool.rebuilds", 0) >= 1
+        assert counters.get("engine.shards.redispatched", 0) >= 1
+
+    def test_persistent_killer_quarantined_under_keep_going(self):
+        obs = Observability()
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            jobs=2, executor="process", keep_going=True,
+            faults=kill_fault(2, attempts=ALWAYS),
+            quarantine_after=2, obs=obs,
+        )
+        statuses = {r.index: r.status for r in run.manifest.records}
+        assert statuses[2] == "quarantined"
+        assert all(
+            status == "completed"
+            for index, status in statuses.items()
+            if index != 2
+        )
+        assert not run.manifest.ok
+        quarantined = next(r for r in run.manifest.records if r.index == 2)
+        assert quarantined.failure.error_type == "WorkerCrashError"
+        assert obs.metrics.counter_values("engine.shards.").get(
+            "engine.shards.quarantined"
+        ) == 1
+
+    def test_persistent_killer_aborts_without_keep_going(self):
+        with pytest.raises(EngineError, match="quarantined") as excinfo:
+            run_sharded_campaign(
+                scale=400, shard_size=100, seed=SEED,
+                jobs=2, executor="process",
+                faults=kill_fault(2, attempts=ALWAYS),
+                quarantine_after=2,
+            )
+        assert isinstance(excinfo.value.__cause__, WorkerCrashError)
+
+    def test_kill_fault_requires_process_executor(self):
+        with pytest.raises(ConfigurationError, match="require executor"):
+            run_sharded_campaign(
+                scale=400, shard_size=100, seed=SEED,
+                jobs=2, executor="thread",
+                faults=kill_fault(2),
+            )
+
+    def test_pool_rebuild_budget_is_enforced(self):
+        with pytest.raises(EngineError, match="rebuild"):
+            run_sharded_campaign(
+                scale=400, shard_size=100, seed=SEED,
+                jobs=2, executor="process",
+                faults=kill_fault(2, attempts=1),
+                max_pool_rebuilds=0,
+            )
+
+
+class TestWalCheckpointing:
+    def test_wal_records_every_fold(self, tmp_path, reference_400):
+        obs = Observability()
+        wal = tmp_path / "run.wal"
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            wal_path=str(wal), obs=obs,
+        )
+        assert run.ok
+        assert run.manifest.extra["wal"] == str(wal)
+        replay = replay_journal(wal)
+        assert not replay.torn
+        assert sorted(replay.shard_indices) == [0, 1, 2, 3]
+        by_index = {int(a[0]): a for a in replay.arrays}
+        for index, expected in enumerate(reference_400):
+            np.testing.assert_array_equal(by_index[index], expected)
+        assert obs.metrics.counter_values("engine.wal.").get(
+            "engine.wal.records"
+        ) == 4
+
+    def test_torn_journal_resumes_bit_identically(
+        self, tmp_path, reference_400
+    ):
+        wal = tmp_path / "run.wal"
+        run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED, wal_path=str(wal)
+        )
+        tear_file(wal, n_bytes=16)  # the parent died mid-append
+
+        resumed = run_sharded_campaign(resume_journal=str(wal))
+        assert resumed.ok
+        assert resumed.manifest.extra["resume"] == {
+            "carried": [0, 1, 2],
+            "source": "wal",
+        }
+        assert_parity(resumed, reference_400)
+        final = replay_journal(wal)
+        assert not final.torn
+        assert sorted(final.shard_indices) == [0, 1, 2, 3]
+
+    def test_complete_journal_reruns_nothing(self, tmp_path, reference_400):
+        wal = tmp_path / "run.wal"
+        run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED, wal_path=str(wal)
+        )
+        resumed = run_sharded_campaign(resume_journal=str(wal))
+        assert resumed.ok
+        assert resumed.manifest.extra["resume"]["carried"] == [0, 1, 2, 3]
+        assert_parity(resumed, reference_400)
+
+    def test_journal_with_foreign_tools_rejected(self, tmp_path):
+        wal = tmp_path / "foreign.wal"
+        ShardJournal.create(
+            wal,
+            JournalHeader(
+                seed=SEED, scale=400, shard_size=100,
+                ecosystem="web-services", tool_names=("NotARealTool",),
+            ),
+        ).close()
+        with pytest.raises(ConfigurationError, match="tool"):
+            run_sharded_campaign(resume_journal=str(wal))
+
+    def test_journal_resume_excludes_other_resume_modes(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED, wal_path=str(wal)
+        )
+        with pytest.raises(ConfigurationError):
+            run_sharded_campaign(
+                resume_journal=str(wal), wal_path=str(tmp_path / "other.wal")
+            )
+        prior = run_sharded_campaign(scale=400, shard_size=100, seed=SEED)
+        with pytest.raises(ConfigurationError):
+            run_sharded_campaign(
+                resume_journal=str(wal), resume_from=prior.manifest
+            )
+
+
+class TestGracefulShutdown:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parent_stop_drains_and_resumes(
+        self, executor, tmp_path, reference_1600
+    ):
+        wal = tmp_path / f"stop-{executor}.wal"
+        run = run_sharded_campaign(
+            scale=1600, shard_size=100, seed=SEED,
+            jobs=2, executor=executor, wal_path=str(wal),
+            faults=FaultPlan((FaultSpec("PARENT", stop_after=2),)),
+        )
+        assert run.interrupted
+        info = run.manifest.extra["interrupted"]
+        assert "injected" in info["reason"]
+        assert len(run.manifest.records) < 16
+        assert len(run.manifest.records) >= 2
+        assert sorted(info["unfinished"]) == sorted(
+            set(range(16)) - {r.index for r in run.manifest.records}
+        )
+        assert not run.manifest.ok
+
+        resumed = run_sharded_campaign(
+            resume_journal=str(wal), jobs=2, executor=executor
+        )
+        assert resumed.ok
+        assert not resumed.interrupted
+        assert_parity(resumed, reference_1600)
+
+    def test_pre_requested_shutdown_runs_nothing(self):
+        shutdown = ShutdownSignal()
+        shutdown.request("pre-emptied by the test")
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED, shutdown=shutdown
+        )
+        assert run.interrupted
+        assert run.manifest.records == ()
+        assert run.manifest.extra["interrupted"]["reason"] == (
+            "pre-emptied by the test"
+        )
+
+    def test_shutdown_signal_first_reason_wins(self):
+        shutdown = ShutdownSignal()
+        assert not shutdown.requested
+        shutdown.request("first")
+        shutdown.request("second")
+        assert shutdown.requested
+        assert shutdown.reason == "first"
+
+
+class TestHeartbeatWatchdog:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_hung_shard_times_out_keep_going(self, executor):
+        obs = Observability()
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            jobs=2, executor=executor, keep_going=True, timeout=0.75,
+            faults=FaultPlan(
+                (FaultSpec(shard_fault_id(1), hang_seconds=3.0),)
+            ),
+            obs=obs,
+        )
+        statuses = {r.index: r.status for r in run.manifest.records}
+        assert statuses[1] == "timeout"
+        assert all(
+            status == "completed"
+            for index, status in statuses.items()
+            if index != 1
+        )
+        assert not run.manifest.ok
+        hung = next(r for r in run.manifest.records if r.index == 1)
+        assert hung.failure.error_type == "ExperimentTimeoutError"
+        assert obs.metrics.counter_values("engine.shards.").get(
+            "engine.shards.timeout"
+        ) == 1
+
+    def test_hung_shard_fail_fast_raises(self):
+        with pytest.raises(ExperimentTimeoutError):
+            run_sharded_campaign(
+                scale=400, shard_size=100, seed=SEED,
+                jobs=2, executor="process", timeout=0.75,
+                faults=FaultPlan(
+                    (FaultSpec(shard_fault_id(1), hang_seconds=3.0),)
+                ),
+            )
+
+    def test_slow_but_beating_shards_survive_a_tight_timeout(self):
+        # Every shard takes longer than a naive per-shard deadline would
+        # allow in aggregate, but each one heartbeats — no false positives.
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            jobs=2, executor="process", timeout=30.0,
+        )
+        assert run.ok
+        assert [r.status for r in run.manifest.records] == ["completed"] * 4
+
+
+class TestShmHygiene:
+    pytestmark = pytest.mark.skipif(
+        not Path("/dev/shm").is_dir(), reason="no /dev/shm on this platform"
+    )
+
+    def leak(self, name: str) -> Path:
+        path = Path("/dev/shm") / name
+        path.write_bytes(b"\x00" * 64)
+        return path
+
+    def test_reclaims_dead_owners_only(self):
+        dead = self.leak(f"{SHM_PREFIX}-99999999-0")
+        alive = self.leak(f"{SHM_PREFIX}-{os.getpid()}-777777")
+        foreign = self.leak(f"{SHM_PREFIX}-notapid-0")
+        try:
+            assert reclaim_leaked_segments() >= 1
+            assert not dead.exists(), "dead owner's segment must be swept"
+            assert alive.exists(), "live owner's segment must survive"
+            assert foreign.exists(), "unparseable names must survive"
+        finally:
+            for path in (dead, alive, foreign):
+                path.unlink(missing_ok=True)
+
+    def test_campaign_start_sweeps_and_counts(self):
+        leaked = self.leak(f"{SHM_PREFIX}-99999998-0")
+        obs = Observability()
+        try:
+            run = run_sharded_campaign(
+                scale=120, shard_size=60, seed=SEED, obs=obs
+            )
+            assert run.ok
+            assert obs.metrics.counter_values("engine.shm.").get(
+                "engine.shm.reclaimed", 0
+            ) >= 1
+        finally:
+            leaked.unlink(missing_ok=True)
+
+    def test_corrupt_transport_payload_is_retried(
+        self, monkeypatch, reference_400
+    ):
+        from repro.bench import streaming
+
+        real = streaming.ShardCells.from_array
+        state = {"failed": False}
+
+        def flaky(array, tool_names, **kwargs):
+            if not state["failed"]:
+                state["failed"] = True
+                raise ConfigurationError("injected transport corruption")
+            return real(array, tool_names, **kwargs)
+
+        monkeypatch.setattr(streaming.ShardCells, "from_array", flaky)
+        obs = Observability()
+        run = run_sharded_campaign(
+            scale=400, shard_size=100, seed=SEED,
+            jobs=2, executor="process", transport="shm",
+            retries=1, obs=obs,
+        )
+        assert run.ok
+        assert_parity(run, reference_400)
+        assert obs.metrics.counter_values("engine.transport.").get(
+            "engine.transport.corrupt"
+        ) == 1
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def wait_for_journal_records(wal: Path, minimum: int = 1) -> None:
+    """Block until the journal holds ``minimum`` folded-shard records."""
+    deadline = time.monotonic() + 20.0
+    while time.monotonic() < deadline:
+        if wal.exists():
+            try:
+                if len(replay_journal(wal).arrays) >= minimum:
+                    return
+            except Exception:
+                pass  # mid-append; try again
+        time.sleep(0.02)
+    raise AssertionError(f"journal {wal} never reached {minimum} records")
+
+
+class TestCrashRecoveryEndToEnd:
+    """CLI subprocesses killed for real, recovered via ``--resume``."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_sigkilled_parent_resumes_bit_identically(
+        self, executor, tmp_path, reference_400
+    ):
+        wal = tmp_path / f"kill-{executor}.wal"
+        # No pipes here: a SIGKILL'd parent can leave orphaned pool workers
+        # holding stdout/stderr open, which would wedge a capturing wait.
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run",
+                "--scale", "400", "--shard-size", "100",
+                "--jobs", "2", "--executor", executor, "--quiet",
+                "--inject-fault", "PARENT:kill=2", "--wal", str(wal),
+            ],
+            env=cli_env(), cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        replay = replay_journal(wal)
+        assert len(replay.arrays) == 2, "exactly the pre-kill folds persist"
+
+        resumed = run_sharded_campaign(resume_journal=str(wal))
+        assert resumed.ok
+        assert resumed.manifest.extra["resume"]["source"] == "wal"
+        assert_parity(resumed, reference_400)
+
+    def test_sigterm_drains_flushes_and_resumes(
+        self, tmp_path, reference_1600
+    ):
+        wal = tmp_path / "term.wal"
+        manifest = tmp_path / "term.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "run",
+                "--scale", "1600", "--shard-size", "100", "--quiet",
+                "--inject-fault", "s0:hang=2.0",
+                "--inject-fault", "s1:hang=2.0",
+                "--wal", str(wal), "--manifest", str(manifest),
+            ],
+            env=cli_env(), cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            wait_for_journal_records(wal, minimum=1)
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 1, stderr[-500:]
+        assert "interrupted" in stderr
+        assert manifest.exists(), "drain must still write the manifest"
+
+        resumed = run_sharded_campaign(resume_journal=str(wal))
+        assert resumed.ok
+        assert_parity(resumed, reference_1600)
+        carried = resumed.manifest.extra["resume"]["carried"]
+        assert carried, "the drained shards must carry over"
+        assert len(carried) < 16

@@ -213,6 +213,39 @@ class TestArtifactStore:
         store.get_or_compute(self.key(n=1), lambda: 1)
         assert list(tmp_path.iterdir()) == []
 
+    def test_corrupt_retention_cap_prunes_oldest(self, tmp_path):
+        import os
+
+        from repro.bench.engine.artifacts import CORRUPT_RETENTION_CAP
+        from repro.bench.experiments.r3_campaign import reference_workload
+
+        # A cache dir already at the retention cap, oldest-first mtimes.
+        for i in range(CORRUPT_RETENTION_CAP):
+            stale = tmp_path / f"old-{i:02d}.json.corrupt"
+            stale.write_text("x")
+            os.utime(stale, (1_000_000 + i, 1_000_000 + i))
+        key = ArtifactKey("workload", "reference", (("seed", 7),))
+        path = tmp_path / key.filename
+        path.write_text(
+            json.dumps({"schema": "repro/workload@99"}), encoding="utf-8"
+        )
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.get_or_compute(
+            key,
+            lambda: reference_workload(seed=7, n_units=40),
+            codec=workload_codec(),
+        )
+        corrupt = {p.name for p in tmp_path.glob("*.corrupt")}
+        assert len(corrupt) == CORRUPT_RETENTION_CAP
+        assert "old-00.json.corrupt" not in corrupt, "oldest must age out"
+        assert path.name + ".corrupt" in corrupt, "newest must survive"
+        counters = store.obs.metrics.counter_values("engine.cache.")
+        assert counters.get("engine.cache.corrupt_pruned") == 1
+        gauges = store.obs.metrics.gauge_values("engine.cache.")
+        assert gauges.get("engine.cache.corrupt_files") == float(
+            CORRUPT_RETENTION_CAP
+        )
+
 
 class TestCacheSemantics:
     def test_campaign_computed_once_across_r3_r4_r5(self):

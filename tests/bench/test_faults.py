@@ -81,6 +81,27 @@ class TestParseFault:
         with pytest.raises(ConfigurationError, match="empty experiment id"):
             parse_fault(":fail=1")
 
+    def test_kill_clause(self):
+        spec = parse_fault("s2:kill=1")
+        assert spec.experiment_id == "S2"
+        assert spec.kill_attempts == 1
+        assert spec.fail_attempts == 0
+
+    def test_bare_kill_clause_kills_every_attempt(self):
+        assert parse_fault("S2:kill=").kill_attempts == ALWAYS
+
+    def test_parent_stop_clause(self):
+        spec = parse_fault("parent:stop=2")
+        assert spec.experiment_id == "PARENT"
+        assert spec.stop_after == 2
+        assert spec.kill_attempts == 0
+
+    def test_negative_kill_and_stop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("S1", kill_attempts=-1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("PARENT", stop_after=-1)
+
 
 class TestFaultSpec:
     def test_fails_through_configured_attempt_then_succeeds(self):
@@ -150,6 +171,27 @@ class TestCorruptFile:
         path, _ = self.write(tmp_path)
         with pytest.raises(ConfigurationError, match="unknown corruption"):
             corrupt_file(path, "zap")
+
+    def test_tear_file_drops_exactly_the_tail(self, tmp_path):
+        from repro.bench.engine.faults import tear_file
+
+        path, original = self.write(tmp_path)
+        tear_file(path, n_bytes=5)
+        assert path.read_bytes() == original[:-5]
+
+    def test_tear_file_beyond_length_empties_the_file(self, tmp_path):
+        from repro.bench.engine.faults import tear_file
+
+        path, original = self.write(tmp_path)
+        tear_file(path, n_bytes=len(original) + 100)
+        assert path.read_bytes() == b""
+
+    def test_tear_file_requires_positive_bytes(self, tmp_path):
+        from repro.bench.engine.faults import tear_file
+
+        path, _ = self.write(tmp_path)
+        with pytest.raises(ConfigurationError, match="n_bytes"):
+            tear_file(path, n_bytes=0)
 
 
 class TestErrorPolicy:

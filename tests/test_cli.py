@@ -188,6 +188,24 @@ class TestObservabilityFlags:
         with pytest.raises(SystemExit, match="no such metrics dump"):
             main(["stats", str(tmp_path / "nope.json")])
 
+    def test_stats_cache_dir_summarizes_quarantine(self, tmp_path, capsys):
+        (tmp_path / "a.json.corrupt").write_bytes(b"x" * 10)
+        (tmp_path / "b.json.corrupt").write_bytes(b"y" * 6)
+        (tmp_path / "healthy.json").write_text("{}")
+        assert main(["stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined cache files: 2 (16 bytes" in out
+        assert "a.json.corrupt" in out
+        assert "healthy.json" not in out
+
+    def test_stats_requires_some_input(self):
+        with pytest.raises(SystemExit, match="metrics FILE and/or --cache-dir"):
+            main(["stats"])
+
+    def test_stats_missing_cache_dir_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such cache dir"):
+            main(["stats", "--cache-dir", str(tmp_path / "nope")])
+
 
 class TestParser:
     def test_run_requires_at_least_one_id(self):
@@ -244,7 +262,7 @@ class TestScale:
         )
         capsys.readouterr()
         payload = json.loads(manifest_path.read_text(encoding="utf-8"))
-        assert payload["schema"] == "repro/shard-run@1"
+        assert payload["schema"] == "repro/shard-run@2"
         assert payload["scale"] == 60
         assert [r["status"] for r in payload["shards"]] == ["completed"] * 2
         assert all(r["cells"] is not None for r in payload["shards"])
@@ -299,15 +317,42 @@ class TestScale:
         with pytest.raises(SystemExit, match="not experiments"):
             main(["run", "R1", "--scale", "100"])
 
-    def test_scale_rejects_resume_out_profile_timeout(self, tmp_path):
+    def test_scale_rejects_resume_out_profile(self, tmp_path):
         with pytest.raises(SystemExit, match="don't pass --scale alongside"):
             main(["run", "--scale", "10", "--resume", str(tmp_path / "m.json")])
         with pytest.raises(SystemExit, match="--out applies to experiment"):
             main(["run", "--scale", "10", "--out", str(tmp_path)])
         with pytest.raises(SystemExit, match="--profile applies to experiment"):
             main(["run", "--scale", "10", "--profile"])
-        with pytest.raises(SystemExit, match="--timeout is not supported"):
-            main(["run", "--scale", "10", "--timeout", "5"])
+
+    def test_wal_requires_scale(self, tmp_path):
+        with pytest.raises(SystemExit, match="--wal applies to --scale"):
+            main(["run", "R1", "--wal", str(tmp_path / "w.wal")])
+
+    def test_wal_rejects_ecosystem_all(self, tmp_path):
+        with pytest.raises(SystemExit, match="interleave"):
+            main(
+                ["run", "--scale", "10", "--ecosystem", "all",
+                 "--wal", str(tmp_path / "w.wal")]
+            )
+
+    def test_wal_rejects_journal_resume(self, tmp_path):
+        from repro.bench.engine.wal import JournalHeader, ShardJournal
+
+        wal_path = tmp_path / "w.wal"
+        journal = ShardJournal.create(
+            wal_path,
+            JournalHeader(
+                seed=2015, scale=60, shard_size=30, ecosystem="web-services",
+                tool_names=("ToolA",), tool_families=None,
+            ),
+        )
+        journal.close()
+        with pytest.raises(SystemExit, match="don't pass --wal alongside"):
+            main(
+                ["run", "--resume", str(wal_path),
+                 "--wal", str(tmp_path / "other.wal")]
+            )
 
     def test_shard_size_requires_scale(self):
         with pytest.raises(SystemExit, match="--shard-size requires --scale"):
@@ -322,6 +367,36 @@ class TestScale:
     def test_chunk_must_be_positive(self):
         with pytest.raises(SystemExit, match="--chunk must be >= 1"):
             main(["run", "--scale", "60", "--shard-size", "30", "--chunk", "0"])
+
+    def test_scale_accepts_timeout(self):
+        code = main(
+            ["run", "--scale", "60", "--shard-size", "30", "--quiet",
+             "--timeout", "30"]
+        )
+        assert code == 0
+
+    def test_wal_resume_round_trip(self, tmp_path):
+        from repro.bench.engine.faults import tear_file
+
+        wal = tmp_path / "run.wal"
+        code = main(
+            ["run", "--scale", "60", "--shard-size", "30", "--quiet",
+             "--wal", str(wal)]
+        )
+        assert code == 0
+        tear_file(wal, n_bytes=16)  # lose the final record's tail
+        manifest = tmp_path / "resumed.json"
+        code = main(
+            ["run", "--resume", str(wal), "--quiet",
+             "--manifest", str(manifest)]
+        )
+        assert code == 0
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+        assert payload["extra"]["resume"] == {
+            "carried": [0],
+            "source": "wal",
+        }
+        assert [r["status"] for r in payload["shards"]] == ["completed"] * 2
 
     def test_transport_recorded_in_manifest(self, tmp_path, capsys):
         manifest_path = tmp_path / "shards.json"

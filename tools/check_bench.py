@@ -25,7 +25,7 @@ still works.  This checker runs three fast probes:
    exit non-zero.
 5. **Shard-scale smoke** — a small ``repro run --scale`` campaign on both
    executors *and both process transports* (pickle and the shared-memory
-   ring) must exit 0, write a ``repro/shard-run@1`` manifest recording
+   ring) must exit 0, write a ``repro/shard-run@2`` manifest recording
    the resolved transport, and produce per-shard cells identical across
    every executor × transport combination.
 6. **Cross-ecosystem smoke** — the same sharded run under a non-default
@@ -36,6 +36,11 @@ still works.  This checker runs three fast probes:
 7. **Ecosystems dump schema** — ``results/BENCH_ecosystems.json``, when
    present, carries the expected schema tag, a full winner grid, and at
    least one recorded winner flip.
+8. **Chaos-recovery smoke** — a SIGKILL'd worker recovers in-run (pool
+   rebuild + re-dispatch), and a SIGKILL'd campaign *parent* recovers via
+   ``--resume`` of its write-ahead journal — on both executors, with a
+   torn journal tail tolerated — and every recovered run's per-shard
+   cells equal the uninterrupted run's byte-for-byte.
 
 Usage::
 
@@ -67,6 +72,9 @@ ECOSYSTEMS_JSON = (
 ECOSYSTEMS_JSON_SCHEMA = "repro/bench-ecosystems@1"
 #: Sections docs/workloads.md cites from the R20 dump.
 ECOSYSTEMS_SECTIONS = ("ecosystems", "winners", "taus", "flips")
+
+#: The sharded-campaign manifest schema the CLI currently writes.
+SHARD_MANIFEST_SCHEMA = "repro/shard-run@2"
 
 
 def check_kernel_parity() -> list[str]:
@@ -323,10 +331,11 @@ def check_shard_scale() -> list[str]:
                 )
                 continue
             payload = json.loads(manifest_path.read_text(encoding="utf-8"))
-            if payload.get("schema") != "repro/shard-run@1":
+            if payload.get("schema") != SHARD_MANIFEST_SCHEMA:
                 problems.append(
                     f"shard smoke ({label}): manifest schema is "
-                    f"{payload.get('schema')!r}, expected 'repro/shard-run@1'"
+                    f"{payload.get('schema')!r}, expected "
+                    f"{SHARD_MANIFEST_SCHEMA!r}"
                 )
                 continue
             # The manifest records the *resolved* transport: threads never
@@ -525,6 +534,164 @@ def check_fault_injection() -> list[str]:
         return problems
 
 
+def _shard_cells(manifest_path: Path) -> list:
+    """Per-shard confusion cells from a manifest, for parity comparisons."""
+    payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+    return [
+        [r["cells"]["tp"], r["cells"]["fp"], r["cells"]["fn"], r["cells"]["tn"]]
+        for r in sorted(payload["shards"], key=lambda r: r["index"])
+    ]
+
+
+def check_chaos_recovery() -> list[str]:
+    """Crash chaos matrix: killed workers and killed parents must recover.
+
+    One clean reference run per executor, then three chaos scenarios whose
+    recovered per-shard cells must equal the clean run's byte-for-byte:
+
+    - **worker-kill** (process only): ``--inject-fault s2:kill=1`` SIGKILLs
+      the worker executing shard 2 once; supervision rebuilds the pool and
+      re-dispatches, so the run still exits 0 with every shard completed.
+    - **parent-kill** (both executors): ``--inject-fault PARENT:kill=2``
+      SIGKILLs the campaign parent after 2 journaled folds; a
+      ``--resume`` of the write-ahead journal completes the campaign.
+    - **torn journal** (thread): the WAL of a clean run loses its tail
+      mid-record; resume discards the torn record, re-runs that shard,
+      and still converges to the reference cells.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    problems: list[str] = []
+
+    def run_cli(*extra: str, capture: bool = True) -> subprocess.CompletedProcess:
+        # capture=False for parent-kill runs: a SIGKILL'd parent can leave
+        # orphaned pool workers holding stdout/stderr open, which would
+        # wedge a capturing wait until the workers notice and exit.
+        streams = (
+            {"capture_output": True, "text": True}
+            if capture
+            else {"stdout": subprocess.DEVNULL, "stderr": subprocess.DEVNULL}
+        )
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run",
+                "--scale", "400", "--shard-size", "100",
+                "--jobs", "2", "--quiet", *extra,
+            ],
+            env=env,
+            cwd=repo_root,
+            timeout=300,
+            **streams,
+        )
+
+    def resume_cli(wal: Path, manifest: Path) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run",
+                "--resume", str(wal), "--jobs", "2", "--quiet",
+                "--manifest", str(manifest),
+            ],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        reference: dict[str, list] = {}
+        for executor in ("thread", "process"):
+            clean = tmp_path / f"clean-{executor}.json"
+            proc = run_cli("--executor", executor, "--manifest", str(clean))
+            if proc.returncode != 0:
+                problems.append(
+                    f"chaos smoke (clean/{executor}): exited "
+                    f"{proc.returncode}: {proc.stderr[-500:]}"
+                )
+                continue
+            reference[executor] = _shard_cells(clean)
+        if len(reference) < 2:
+            return problems  # no baseline; the failures above say why
+
+        # Worker kill: shard 2's first attempt SIGKILLs its worker.
+        manifest = tmp_path / "worker-kill.json"
+        proc = run_cli(
+            "--executor", "process",
+            "--inject-fault", "s2:kill=1",
+            "--manifest", str(manifest),
+        )
+        if proc.returncode != 0:
+            problems.append(
+                f"chaos smoke (worker-kill): exited {proc.returncode}: "
+                f"{proc.stderr[-500:]}"
+            )
+        elif _shard_cells(manifest) != reference["process"]:
+            problems.append(
+                "chaos smoke (worker-kill): recovered cells differ from "
+                "the clean run"
+            )
+
+        # Parent kill + journal resume, on both executors.
+        for executor in ("thread", "process"):
+            wal = tmp_path / f"parent-{executor}.wal"
+            proc = run_cli(
+                "--executor", executor,
+                "--inject-fault", "PARENT:kill=2",
+                "--wal", str(wal),
+                capture=False,
+            )
+            if proc.returncode == 0:
+                problems.append(
+                    f"chaos smoke (parent-kill/{executor}): SIGKILL'd "
+                    "parent exited 0"
+                )
+                continue
+            manifest = tmp_path / f"parent-{executor}.json"
+            resumed = resume_cli(wal, manifest)
+            if resumed.returncode != 0:
+                problems.append(
+                    f"chaos smoke (parent-kill/{executor}): resume exited "
+                    f"{resumed.returncode}: {resumed.stderr[-500:]}"
+                )
+            elif _shard_cells(manifest) != reference[executor]:
+                problems.append(
+                    f"chaos smoke (parent-kill/{executor}): resumed cells "
+                    "differ from the clean run"
+                )
+
+        # Torn journal: a clean WAL loses its tail; resume must converge.
+        wal = tmp_path / "torn.wal"
+        proc = run_cli("--executor", "thread", "--wal", str(wal))
+        if proc.returncode != 0:
+            problems.append(
+                f"chaos smoke (torn-journal): WAL run exited "
+                f"{proc.returncode}: {proc.stderr[-500:]}"
+            )
+        else:
+            sys.path.insert(0, str(repo_root / "src"))
+            try:
+                from repro.bench.engine.faults import tear_file
+
+                tear_file(wal, n_bytes=16)
+            finally:
+                sys.path.pop(0)
+            manifest = tmp_path / "torn.json"
+            resumed = resume_cli(wal, manifest)
+            if resumed.returncode != 0:
+                problems.append(
+                    f"chaos smoke (torn-journal): resume exited "
+                    f"{resumed.returncode}: {resumed.stderr[-500:]}"
+                )
+            elif _shard_cells(manifest) != reference["thread"]:
+                problems.append(
+                    "chaos smoke (torn-journal): resumed cells differ from "
+                    "the clean run"
+                )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_kernel_parity()
@@ -536,6 +703,7 @@ def main() -> int:
         + check_fault_injection()
         + check_shard_scale()
         + check_cross_ecosystem()
+        + check_chaos_recovery()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
@@ -545,7 +713,8 @@ def main() -> int:
     print(
         "bench ok: kernels, resampler stream, generation parity, dump "
         "schemas, fault-injection smoke, shard-scale smoke (executor x "
-        "transport parity), and cross-ecosystem smoke checked"
+        "transport parity), cross-ecosystem smoke, and chaos-recovery "
+        "smoke (worker-kill / parent-kill / torn-journal) checked"
     )
     return 0
 
