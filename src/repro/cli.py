@@ -339,6 +339,87 @@ def build_parser() -> argparse.ArgumentParser:
             "count, total bytes, and the retention cap"
         ),
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the campaign service: submit, queue and query sharded "
+            "campaigns over HTTP (see docs/serve.md)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help=(
+            "durable service state: job records, per-job shard journals "
+            "and finished results live here; restart with the same DIR "
+            "to resume every unfinished campaign"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; put a proxy in front for more)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help=(
+            "bind port (default 8642; 0 binds an ephemeral port, "
+            "announced on stdout)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaigns executing concurrently (default 1)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard parallelism inside each campaign (default 1)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="campaign executor (as for 'run --scale'; default thread)",
+    )
+    serve_parser.add_argument(
+        "--quantum",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help=(
+            "deficit-round-robin top-up per scheduling turn, in workload "
+            "units (default 10000; see docs/serve.md on fairness)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--result-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="finished results held in the in-memory hot cache (default 256)",
+    )
+    serve_parser.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=None,
+        metavar="TENANT=W",
+        dest="tenant_weights",
+        help=(
+            "scheduling weight for one tenant, e.g. 'ci=2.5' (repeatable; "
+            "unlisted tenants weigh 1.0)"
+        ),
+    )
     return parser
 
 
@@ -734,6 +815,79 @@ def _cmd_stats(
     return 0
 
 
+def _parse_tenant_weights(specs: Sequence[str] | None) -> dict[str, float]:
+    """Parse repeated ``--tenant-weight NAME=W`` flags."""
+    weights: dict[str, float] = {}
+    for spec in specs or ():
+        tenant, sep, raw = spec.partition("=")
+        try:
+            weight = float(raw)
+        except ValueError:
+            weight = 0.0
+        if not sep or not tenant or not weight > 0:
+            raise SystemExit(
+                f"--tenant-weight wants TENANT=W with W > 0, got {spec!r}"
+            )
+        weights[tenant] = weight
+    return weights
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import run_app
+    from repro.serve.service import CampaignService, ServiceConfig
+
+    if args.serve_workers < 1:
+        raise SystemExit(
+            f"--serve-workers must be >= 1, got {args.serve_workers}"
+        )
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.quantum is not None and args.quantum < 1:
+        raise SystemExit(f"--quantum must be >= 1, got {args.quantum}")
+    if args.result_cache is not None and args.result_cache < 1:
+        raise SystemExit(
+            f"--result-cache must be >= 1, got {args.result_cache}"
+        )
+    from repro.serve.cache import DEFAULT_CACHE_CAPACITY
+    from repro.serve.fairness import DEFAULT_QUANTUM
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        workers=args.serve_workers,
+        jobs=args.jobs,
+        executor=args.executor,
+        quantum=args.quantum if args.quantum is not None else DEFAULT_QUANTUM,
+        cache_capacity=(
+            args.result_cache
+            if args.result_cache is not None
+            else DEFAULT_CACHE_CAPACITY
+        ),
+        weights=_parse_tenant_weights(args.tenant_weights),
+    )
+    service = CampaignService(config)
+    recovered = service.start()
+    for record in recovered:
+        print(
+            f"[serve] recovered {record.job_id} "
+            f"(tenant={record.tenant}, scale={record.spec.scale})",
+            file=sys.stderr,
+        )
+    try:
+        asyncio.run(
+            run_app(
+                service,
+                host=args.host,
+                port=args.port,
+                install_signals=True,
+            )
+        )
+    except KeyboardInterrupt:
+        service.stop()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -741,6 +895,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "stats":
         return _cmd_stats(args.metrics_file, args.prefix, args.cache_dir)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.list_ecosystems:
         return _cmd_list_ecosystems()
     _validate_ecosystem_args(args)

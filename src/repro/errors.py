@@ -120,3 +120,16 @@ class ArtifactCorruptError(EngineError):
     def __init__(self, message: str, path: str | None = None) -> None:
         super().__init__(message)
         self.path = path
+
+
+class ServeError(ReproError):
+    """A campaign-service failure (:mod:`repro.serve`).
+
+    Raised for invalid job submissions, queries against unknown jobs, and
+    malformed service state; the HTTP layer maps it to a 4xx response
+    instead of letting it take the service down."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+        """The HTTP status code the service layer responds with."""

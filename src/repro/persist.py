@@ -27,7 +27,7 @@ from typing import Any
 
 from repro.bench.campaign import CampaignResult, ToolResult
 from repro.bench.result import ExperimentResult
-from repro.bench.streaming import ShardCells
+from repro.bench.streaming import ShardCells, StreamingCampaignResult
 from repro.errors import ArtifactCorruptError, ConfigurationError, PersistError
 from repro.metrics.confusion import ConfusionMatrix
 from repro.tools.base import Detection, DetectionReport
@@ -48,6 +48,8 @@ __all__ = [
     "shard_cells_to_dict",
     "shard_cells_from_dict",
     "shard_cells_from_array",
+    "streaming_totals_to_dict",
+    "streaming_totals_from_dict",
     "save_json",
     "load_json",
     "payload_digest",
@@ -57,6 +59,8 @@ __all__ = [
     "CACHE_ENTRY_SCHEMA",
     "WAL_MAGIC",
     "WAL_SCHEMA",
+    "SERVE_JOB_SCHEMA",
+    "SERVE_RESULT_SCHEMA",
 ]
 
 #: The shard write-ahead journal's file magic and schema tag.  They live
@@ -64,6 +68,12 @@ __all__ = [
 #: sniffing never has to import engine code.
 WAL_MAGIC = b"RWAL1\n"
 WAL_SCHEMA = "repro/shard-wal@1"
+
+#: The campaign service's persisted job records and result payloads
+#: (:mod:`repro.serve`).  Like :data:`WAL_SCHEMA`, the tags live here so
+#: schema sniffing and tooling never import service code.
+SERVE_JOB_SCHEMA = "repro/serve-job@1"
+SERVE_RESULT_SCHEMA = "repro/serve-result@1"
 
 _WORKLOAD_SCHEMA = "repro/workload@1"
 _REPORT_SCHEMA = "repro/report@1"
@@ -395,6 +405,53 @@ def shard_cells_from_array(
     campaign context the wire format deliberately omits.
     """
     return ShardCells.from_array(array, tool_names, ecosystem=ecosystem)
+
+
+# ---------------------------------------------------------------------------
+# Streaming campaign totals (what the service hands back for a finished job)
+# ---------------------------------------------------------------------------
+def streaming_totals_to_dict(totals: StreamingCampaignResult) -> dict[str, Any]:
+    """Serialize corpus-wide streaming totals (per-tool confusion cells).
+
+    Cells are serialized as exact integers — the accumulator's float64
+    totals are integral by the exactness contract — so two runs that fold
+    the same shards produce byte-identical JSON regardless of fold order.
+    """
+    return {
+        "schema": SERVE_RESULT_SCHEMA,
+        "tool_names": list(totals.tool_names),
+        "cells": [
+            {"tp": int(cm.tp), "fp": int(cm.fp), "fn": int(cm.fn), "tn": int(cm.tn)}
+            for cm in totals.confusions
+        ],
+        "n_units": totals.n_units,
+        "n_sites": totals.n_sites,
+        "n_vulnerable": totals.n_vulnerable,
+        "shard_indices": sorted(totals.shard_indices),
+        "ecosystem": totals.ecosystem,
+    }
+
+
+def streaming_totals_from_dict(payload: dict[str, Any]) -> StreamingCampaignResult:
+    """Rebuild streaming totals written by :func:`streaming_totals_to_dict`."""
+    _require_schema(payload, SERVE_RESULT_SCHEMA)
+    return StreamingCampaignResult(
+        tool_names=tuple(payload["tool_names"]),
+        confusions=tuple(
+            ConfusionMatrix(
+                tp=float(cm["tp"]),
+                fp=float(cm["fp"]),
+                fn=float(cm["fn"]),
+                tn=float(cm["tn"]),
+            )
+            for cm in payload["cells"]
+        ),
+        n_units=payload["n_units"],
+        n_sites=payload["n_sites"],
+        n_vulnerable=payload["n_vulnerable"],
+        shard_indices=tuple(payload["shard_indices"]),
+        ecosystem=payload.get("ecosystem", "web-services"),
+    )
 
 
 # ---------------------------------------------------------------------------

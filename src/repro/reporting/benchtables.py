@@ -33,6 +33,8 @@ __all__ = [
     "bench_tables",
     "refresh_doc",
     "render_engine_transport",
+    "render_serve_fairness",
+    "render_serve_latency",
     "render_shard_generation",
     "render_shard_throughput",
     "table_in_doc",
@@ -91,6 +93,42 @@ def render_engine_transport(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def render_serve_latency(payload: dict) -> str:
+    """The ``docs/serve.md`` per-phase service latency table."""
+    lines = [
+        "| phase | requests | p50 (ms) | p99 (ms) | req/s |",
+        "|---|---|---|---|---|",
+    ]
+    for row in payload["latency"]["rows"]:
+        lines.append(
+            f"| {row['phase']} | {row['requests']:,} "
+            f"| {row['p50_ms']:.2f} | {row['p99_ms']:.2f} "
+            f"| {row['rps']:,.0f} |"
+        )
+    return "\n".join(lines)
+
+
+def render_serve_fairness(payload: dict) -> str:
+    """Per-tenant completion share under the abusive-tenant trace."""
+    section = payload["fairness"]
+    lines = [
+        "| tenant | weight | submitted share | served share (fair window) |",
+        "|---|---|---|---|",
+    ]
+    for tenant, row in sorted(section["tenants"].items()):
+        marker = " (abusive)" if tenant == section["abusive"] else ""
+        lines.append(
+            f"| {tenant}{marker} | {row['weight']:.1f} "
+            f"| {row['submitted_share']:.0%} | {row['served_share']:.0%} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Abusive tenant bounded to its weight share: "
+        f"**{'yes' if section['bounded'] else 'NO'}**."
+    )
+    return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class BenchTable:
     """One marker-delimited table: where it lives and how to rebuild it."""
@@ -140,6 +178,24 @@ def bench_tables() -> tuple[BenchTable, ...]:
             results="results/BENCH_engine.json",
             section="transport",
             render=render_engine_transport,
+        ),
+        BenchTable(
+            key="serve-latency",
+            doc="docs/serve.md",
+            begin="<!-- serve-bench:latency:begin -->",
+            end="<!-- serve-bench:latency:end -->",
+            results="results/BENCH_serve.json",
+            section="latency",
+            render=render_serve_latency,
+        ),
+        BenchTable(
+            key="serve-fairness",
+            doc="docs/serve.md",
+            begin="<!-- serve-bench:fairness:begin -->",
+            end="<!-- serve-bench:fairness:end -->",
+            results="results/BENCH_serve.json",
+            section="fairness",
+            render=render_serve_fairness,
         ),
     )
 

@@ -1,0 +1,226 @@
+"""The HTTP front end: routes requests onto a :class:`CampaignService`.
+
+Endpoints (all JSON; see docs/serve.md for the operator guide):
+
+==========  ==============================  =================================
+``GET``     ``/healthz``                    liveness + queue depth
+``POST``    ``/v1/campaigns``               submit a campaign job (202)
+``GET``     ``/v1/jobs``                    list jobs (``?tenant=`` filter)
+``GET``     ``/v1/jobs/<id>``               one job's state + shard progress
+``GET``     ``/v1/jobs/<id>/result``        finished totals (409 until done)
+``GET``     ``/v1/jobs/<id>/events``        chunked NDJSON progress stream
+``GET``     ``/v1/queue``                   fairness snapshot (DRR state)
+``GET``     ``/v1/stats``                   the service metrics registry
+==========  ==============================  =================================
+
+Service calls are brief lock-protected dict operations, so handlers call
+them inline rather than hopping through an executor — measured in
+``bench_serve``, that keeps a query under a millisecond end to end.
+Campaign execution itself never runs on the event loop; it lives on the
+service's worker threads.
+
+The module is importable without binding anything; :func:`run_app` owns
+the socket so tests and the bench can run the app in-process on an
+ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any
+
+from repro.errors import ServeError
+from repro.obs import Observability
+from repro.serve.http import (
+    MAX_HEADER_BYTES,
+    HttpRequest,
+    error_response,
+    json_response,
+    read_request,
+)
+from repro.serve.queue import JobRecord
+from repro.serve.service import CampaignService
+
+__all__ = [
+    "ServeApp",
+    "run_app",
+]
+
+#: How often the events stream re-samples a job's progress.
+EVENT_POLL_SECONDS = 0.05
+
+
+def _job_view(record: JobRecord) -> dict[str, Any]:
+    view = record.to_dict()
+    view.pop("schema", None)
+    return view
+
+
+class ServeApp:
+    """Route table + connection handler over one service instance."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self.obs: Observability = service.obs
+
+    # -- routing ------------------------------------------------------------
+    def dispatch(self, request: HttpRequest) -> bytes:
+        """Handle one non-streaming request; returns the response bytes."""
+        segments = [s for s in request.path.split("/") if s]
+        method = request.method
+        if request.path == "/healthz" and method == "GET":
+            return json_response(
+                {"ok": True, "pending": self.service.queue.snapshot()["pending"]}
+            )
+        if segments[:2] == ["v1", "campaigns"] and len(segments) == 2:
+            if method != "POST":
+                raise ServeError("use POST to submit a campaign", status=405)
+            record = self.service.submit(request.json())
+            return json_response({"job": _job_view(record)}, status=202)
+        if segments[:2] == ["v1", "jobs"]:
+            if method != "GET":
+                raise ServeError("jobs endpoints are read-only", status=405)
+            if len(segments) == 2:
+                tenant = request.query.get("tenant") or None
+                return json_response(
+                    {
+                        "jobs": [
+                            _job_view(r) for r in self.service.queue.jobs(tenant)
+                        ]
+                    }
+                )
+            if len(segments) == 3:
+                return json_response(self.service.job_status(segments[2]))
+            if len(segments) == 4 and segments[3] == "result":
+                return json_response(self.service.result(segments[2]))
+        if request.path == "/v1/queue" and method == "GET":
+            return json_response(self.service.queue.snapshot())
+        if request.path == "/v1/stats" and method == "GET":
+            return json_response(self.service.stats())
+        raise ServeError(
+            f"no route for {method} {request.path}", status=404
+        )
+
+    # -- streaming ----------------------------------------------------------
+    async def stream_events(
+        self, request: HttpRequest, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        """Chunked NDJSON: one line per progress change, then terminal."""
+        self.service.queue.get(job_id)  # 404 before committing to chunks
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        last: bytes | None = None
+        while True:
+            status = self.service.job_status(job_id)
+            payload = json.dumps(
+                {
+                    "job_id": job_id,
+                    "state": status["state"],
+                    "shards": status["shards"],
+                },
+                sort_keys=True,
+            ).encode("utf-8") + b"\n"
+            if payload != last:
+                writer.write(
+                    f"{len(payload):x}\r\n".encode("latin-1")
+                    + payload
+                    + b"\r\n"
+                )
+                await writer.drain()
+                last = payload
+            if status["state"] in ("completed", "failed"):
+                break
+            await asyncio.sleep(EVENT_POLL_SECONDS)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- connection loop ----------------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: sequential requests until close/EOF."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ServeError as error:
+                    self.obs.metrics.inc("serve.http.errors")
+                    writer.write(error_response(error, close=True))
+                    break
+                if request is None:
+                    break
+                self.obs.metrics.inc("serve.http.requests")
+                segments = [s for s in request.path.split("/") if s]
+                if (
+                    request.method == "GET"
+                    and len(segments) == 4
+                    and segments[:2] == ["v1", "jobs"]
+                    and segments[3] == "events"
+                ):
+                    try:
+                        await self.stream_events(request, writer, segments[2])
+                    except ServeError as error:
+                        self.obs.metrics.inc("serve.http.errors")
+                        writer.write(error_response(error, close=True))
+                    break  # the stream always ends the connection
+                try:
+                    response = self.dispatch(request)
+                except ServeError as error:
+                    self.obs.metrics.inc("serve.http.errors")
+                    response = error_response(
+                        error, close=not request.keep_alive
+                    )
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def run_app(
+    service: CampaignService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "asyncio.Future[int] | None" = None,
+    install_signals: bool = False,
+) -> None:
+    """Bind, announce, and serve until cancelled (or signalled).
+
+    ``port=0`` binds an ephemeral port; the bound port is announced on
+    stdout (``serving on http://host:port``) and through ``ready`` so
+    tests and the bench can connect without racing the log line.  With
+    ``install_signals`` (the CLI path), SIGTERM/SIGINT trigger a graceful
+    drain: the listener closes, running campaigns journal their progress
+    and the service stops — ready to resume on the next start.
+    """
+    app = ServeApp(service)
+    server = await asyncio.start_server(
+        app.handle, host=host, port=port, limit=MAX_HEADER_BYTES
+    )
+    bound = server.sockets[0].getsockname()[1]
+    print(f"serving on http://{host}:{bound}", flush=True)
+    if ready is not None and not ready.done():
+        ready.set_result(bound)
+    stop = asyncio.Event()
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        service.stop()

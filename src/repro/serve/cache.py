@@ -1,0 +1,124 @@
+"""LRU hot cache over the result disk tier, for read-heavy clients.
+
+Finished campaign totals are tiny (a few hundred bytes of confusion
+cells) but queried many times: dashboards poll, tenants re-fetch, and the
+bench's query phase is deliberately read-dominated.  Results are persisted
+once through the artifact store's integrity envelope
+(:func:`repro.persist.save_cache_entry`, same sha256-digest discipline as
+the shard-cells disk tier) and served from a bounded in-memory LRU in
+front of it.  Every lookup lands on a counter — ``serve.cache.hits``,
+``serve.cache.misses`` (memory miss, disk hit) or ``serve.cache.absent``
+— so an operator can read the hit rate straight out of ``/v1/stats``.
+
+A corrupt disk entry (truncated, bit-flipped, schema-drifted) is counted
+on ``serve.cache.corrupt`` and reported absent rather than crashing the
+query path; unlike shard cells, a finished result is not recomputable from
+the cache's point of view, so the caller sees a clean 404.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.bench.engine.artifacts import ArtifactKey
+from repro.errors import ArtifactCorruptError, ConfigurationError, PersistError
+from repro.obs import Observability
+from repro.persist import load_cache_entry, save_cache_entry
+
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "ResultCache",
+    "result_key",
+]
+
+#: Default number of finished results the hot tier holds in memory.
+DEFAULT_CACHE_CAPACITY = 256
+
+
+def result_key(job_id: str) -> ArtifactKey:
+    """The artifact-store key a job's finished totals are filed under."""
+    return ArtifactKey(kind="serve-result", name=job_id)
+
+
+class ResultCache:
+    """Capacity-bounded LRU in front of envelope-checked result files."""
+
+    def __init__(
+        self,
+        results_dir: str | Path,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        obs: Observability | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.results_dir = Path(results_dir)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self.obs = obs if obs is not None else Observability()
+        self._lock = threading.Lock()
+        self._hot: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def _path(self, job_id: str) -> Path:
+        return self.results_dir / result_key(job_id).filename
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._hot)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            if job_id in self._hot:
+                return True
+        return self._path(job_id).exists()
+
+    def put(self, job_id: str, payload: dict[str, Any]) -> None:
+        """Persist a finished result durably and admit it to the hot tier."""
+        save_cache_entry(payload, self._path(job_id))
+        with self._lock:
+            self._hot[job_id] = payload
+            self._hot.move_to_end(job_id)
+            while len(self._hot) > self.capacity:
+                self._hot.popitem(last=False)
+                self.obs.metrics.inc("serve.cache.evicted")
+            self.obs.metrics.set_gauge(
+                "serve.cache.size", float(len(self._hot))
+            )
+
+    def get(self, job_id: str) -> dict[str, Any] | None:
+        """A finished result, from memory if hot, else disk; ``None`` if
+        absent (never persisted, or quarantine-worthy corruption)."""
+        with self._lock:
+            payload = self._hot.get(job_id)
+            if payload is not None:
+                self._hot.move_to_end(job_id)
+                self.obs.metrics.inc("serve.cache.hits")
+                return payload
+        path = self._path(job_id)
+        if not path.exists():
+            self.obs.metrics.inc("serve.cache.absent")
+            return None
+        try:
+            payload = load_cache_entry(path)
+        except (PersistError, ArtifactCorruptError) as error:
+            self.obs.metrics.inc("serve.cache.corrupt")
+            with self.obs.tracer.span(
+                "serve.cache.corrupt", job=job_id, reason=type(error).__name__
+            ):
+                pass
+            return None
+        self.obs.metrics.inc("serve.cache.misses")
+        with self._lock:
+            self._hot[job_id] = payload
+            self._hot.move_to_end(job_id)
+            while len(self._hot) > self.capacity:
+                self._hot.popitem(last=False)
+                self.obs.metrics.inc("serve.cache.evicted")
+            self.obs.metrics.set_gauge(
+                "serve.cache.size", float(len(self._hot))
+            )
+        return payload

@@ -1,0 +1,164 @@
+"""A thin asyncio HTTP/1.1 layer: just enough protocol for the service.
+
+The repo's no-heavy-deps rule extends to the service: no web framework,
+no ASGI server — one connection handler on :mod:`asyncio` streams that
+parses requests, keeps connections alive (and therefore pipelines: a
+client may write several requests back to back and read the responses in
+order, which is what lets ``bench_serve`` push a million requests through
+a handful of sockets), and renders JSON responses with explicit
+``Content-Length``.  Progress streaming uses chunked transfer encoding,
+the one other piece of HTTP/1.1 the endpoints need.
+
+Deliberately out of scope: TLS, compression, multipart, HTTP/2.  The
+service binds loopback by default; anything fancier belongs in a reverse
+proxy in front of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServeError
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "HttpRequest",
+    "read_request",
+    "json_response",
+    "error_response",
+]
+
+#: Largest accepted request body.  Submissions are a few hundred bytes;
+#: anything near the cap is a client bug or abuse, refused with a 413.
+MAX_BODY_BYTES = 1 << 20
+
+#: Header-section cap passed to ``asyncio.start_server`` callers; a
+#: request line plus headers larger than this is not one of ours.
+MAX_HEADER_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, query and JSON body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange (HTTP/1.1
+        default, overridable with ``Connection: close``)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object; malformed bodies map to a 400."""
+        try:
+            payload = json.loads(self.body or b"{}")
+        except json.JSONDecodeError as error:
+            raise ServeError(f"body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServeError("body must be a JSON object")
+        return payload
+
+
+def _parse_query(raw: str) -> dict[str, str]:
+    query: dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        query[key] = value
+    return query
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ServeError` for malformed framing — the
+    caller answers with the error status and closes the connection, since
+    the stream position is no longer trustworthy.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise ServeError("connection closed mid-request") from error
+    except asyncio.LimitOverrunError as error:
+        raise ServeError("request headers too large", status=413) from error
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServeError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    path, _, raw_query = target.partition("?")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServeError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        n_body = int(length)
+    except ValueError as error:
+        raise ServeError(f"bad Content-Length: {length!r}") from error
+    if n_body < 0 or n_body > MAX_BODY_BYTES:
+        raise ServeError(
+            f"body of {n_body} bytes exceeds the {MAX_BODY_BYTES} cap",
+            status=413,
+        )
+    body = await reader.readexactly(n_body) if n_body else b""
+    return HttpRequest(
+        method=method.upper(),
+        path=path,
+        query=_parse_query(raw_query),
+        headers=headers,
+        body=body,
+    )
+
+
+def _render(status: int, content_type: str, body: bytes, close: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    payload: dict[str, Any], status: int = 200, close: bool = False
+) -> bytes:
+    """A complete JSON response, ready to write."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _render(status, "application/json", body, close)
+
+
+def error_response(error: ServeError, close: bool = False) -> bytes:
+    """The JSON rendering of a service error."""
+    return json_response(
+        {"error": str(error)}, status=error.status, close=close
+    )

@@ -1,0 +1,121 @@
+"""Poisson request traces: the load model for fairness tests and benches.
+
+Serving benchmarks need arrival processes, not back-to-back loops: a
+benchmark that fires requests as fast as the client can go measures the
+client, and perfectly regular arrivals hide queueing effects entirely.
+This module generates the standard open-loop model — per-tenant Poisson
+arrivals (exponential inter-arrival gaps) over a fixed horizon — with one
+deliberately *abusive* tenant submitting at a several-fold rate, which is
+exactly the skew the deficit-round-robin scheduler must bound.
+
+Everything is driven by an explicit seed so a trace is reproducible:
+``bench_serve`` records the seed in ``results/BENCH_serve.json`` and the
+fairness tests replay the same skew deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NORMAL_RATE",
+    "ABUSIVE_RATE",
+    "TraceEvent",
+    "PoissonTrace",
+    "build_trace",
+]
+
+#: Default per-tick arrival rate of a well-behaved tenant.
+NORMAL_RATE = 0.05
+
+#: Default rate of the abusive tenant — 6× normal, enough that an unfair
+#: scheduler visibly starves the others.
+ABUSIVE_RATE = 0.3
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One arrival: which tenant issues a request, and when."""
+
+    at: float
+    """Arrival time in trace ticks (monotone within the merged trace)."""
+    tenant: str
+    index: int
+    """Global arrival order after the per-tenant streams merge."""
+
+
+@dataclass(frozen=True)
+class PoissonTrace:
+    """A merged multi-tenant arrival trace plus its generation parameters."""
+
+    events: tuple[TraceEvent, ...]
+    rates: dict[str, float]
+    duration: float
+    seed: int
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenant ids in deterministic (sorted) order."""
+        return tuple(sorted(self.rates))
+
+    def count_for(self, tenant: str) -> int:
+        """How many arrivals ``tenant`` contributes."""
+        return sum(1 for event in self.events if event.tenant == tenant)
+
+
+def _arrivals(rng: random.Random, rate: float, duration: float) -> list[float]:
+    """Poisson arrival times: accumulate exponential inter-arrival gaps."""
+    times: list[float] = []
+    clock = rng.expovariate(rate)
+    while clock < duration:
+        times.append(clock)
+        clock += rng.expovariate(rate)
+    return times
+
+
+def build_trace(
+    n_tenants: int = 4,
+    duration: float = 1000.0,
+    seed: int = 2015,
+    abusive: str | None = "tenant-0",
+    normal_rate: float = NORMAL_RATE,
+    abusive_rate: float = ABUSIVE_RATE,
+) -> PoissonTrace:
+    """A merged per-tenant Poisson trace with one optionally abusive tenant.
+
+    Tenants are named ``tenant-0`` … ``tenant-{n-1}``; the ``abusive`` one
+    (if named) arrives at ``abusive_rate``, the rest at ``normal_rate``.
+    Per-tenant streams are generated independently (each from a seed
+    derived from ``seed`` and the tenant id, so adding a tenant never
+    perturbs the others) and merged in time order.
+    """
+    if n_tenants < 1:
+        raise ConfigurationError(f"need at least one tenant, got {n_tenants}")
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be > 0, got {duration}")
+    names = [f"tenant-{i}" for i in range(n_tenants)]
+    if abusive is not None and abusive not in names:
+        raise ConfigurationError(
+            f"abusive tenant {abusive!r} is not one of {names}"
+        )
+    rates = {
+        name: abusive_rate if name == abusive else normal_rate
+        for name in names
+    }
+    merged: list[tuple[float, str]] = []
+    for name in names:
+        rng = random.Random(f"{seed}:{name}")
+        merged.extend(
+            (at, name) for at in _arrivals(rng, rates[name], duration)
+        )
+    merged.sort()
+    events = tuple(
+        TraceEvent(at=at, tenant=tenant, index=i)
+        for i, (at, tenant) in enumerate(merged)
+    )
+    return PoissonTrace(
+        events=events, rates=rates, duration=duration, seed=seed
+    )

@@ -1,0 +1,192 @@
+"""The HTTP surface, exercised in-process over a real loopback socket."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.app import run_app
+from repro.serve.service import CampaignService, ServiceConfig
+
+
+class LiveApp:
+    """One service + event loop + bound ephemeral port, for a test."""
+
+    def __init__(self, tmp_path, **config):
+        self.service = CampaignService(
+            ServiceConfig(state_dir=tmp_path / "state", **config)
+        )
+        self.service.start()
+        self.loop = asyncio.new_event_loop()
+        ready = self.loop.create_future()
+        self.task = None
+
+        def runner():
+            asyncio.set_event_loop(self.loop)
+            self.task = self.loop.create_task(
+                run_app(self.service, port=0, ready=ready)
+            )
+            try:
+                self.loop.run_until_complete(self.task)
+            except asyncio.CancelledError:
+                pass
+
+        self.thread = threading.Thread(target=runner, daemon=True)
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while not ready.done():
+            if time.monotonic() > deadline:
+                raise AssertionError("server never became ready")
+            time.sleep(0.01)
+        self.port = ready.result()
+        self.base = f"http://127.0.0.1:{self.port}"
+
+    def close(self):
+        self.loop.call_soon_threadsafe(lambda: self.task.cancel())
+        self.thread.join(timeout=30)
+
+    def request(self, path, payload=None, method=None):
+        """(status, parsed JSON body) for one request."""
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method
+        )
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def wait_finished(self, job_id, timeout=60):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, status = self.request(f"/v1/jobs/{job_id}")
+            if status["state"] in ("completed", "failed"):
+                return status
+            time.sleep(0.03)
+        raise AssertionError(f"job {job_id} never finished")
+
+
+@pytest.fixture
+def app(tmp_path):
+    live = LiveApp(tmp_path)
+    yield live
+    live.close()
+    live.service.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, app):
+        status, body = app.request("/healthz")
+        assert (status, body["ok"]) == (200, True)
+
+    def test_submit_poll_result_round_trip(self, app):
+        status, body = app.request(
+            "/v1/campaigns",
+            payload={"scale": 120, "shard_size": 60, "tenant": "t1"},
+            method="POST",
+        )
+        assert status == 202
+        job_id = body["job"]["job_id"]
+        final = app.wait_finished(job_id)
+        assert final["state"] == "completed"
+        assert final["shards"] == {"planned": 2, "completed": 2}
+        status, result = app.request(f"/v1/jobs/{job_id}/result")
+        assert status == 200
+        assert result["totals"]["n_units"] == 120
+        assert result["manifest"]["statuses"]["completed"] == 2
+
+    def test_jobs_listing_filters_by_tenant(self, app):
+        for tenant in ("alice", "bob", "alice"):
+            app.request(
+                "/v1/campaigns",
+                payload={"scale": 30, "shard_size": 30, "tenant": tenant},
+                method="POST",
+            )
+        _, listing = app.request("/v1/jobs?tenant=alice")
+        assert len(listing["jobs"]) == 2
+        assert {j["tenant"] for j in listing["jobs"]} == {"alice"}
+        _, everyone = app.request("/v1/jobs")
+        assert len(everyone["jobs"]) == 3
+
+    def test_queue_and_stats_endpoints(self, app):
+        _, snap = app.request("/v1/queue")
+        assert {"pending", "states", "tenants", "quantum"} <= set(snap)
+        _, stats = app.request("/v1/stats")
+        assert stats["counters"]["serve.http.requests"] >= 1
+
+    def test_error_statuses(self, app):
+        assert app.request("/v1/jobs/j999999")[0] == 404
+        assert app.request("/nope")[0] == 404
+        assert app.request("/v1/campaigns")[0] == 405  # GET on a POST route
+        status, body = app.request(
+            "/v1/campaigns", payload={"scale": 0}, method="POST"
+        )
+        assert status == 400 and "scale" in body["error"]
+        status, _ = app.request(
+            "/v1/campaigns",
+            payload={"scale": 10, "ecosystem": "nope"},
+            method="POST",
+        )
+        assert status == 400
+
+    def test_malformed_json_body_is_a_400(self, app):
+        request = urllib.request.Request(
+            app.base + "/v1/campaigns", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_result_of_unfinished_job_is_a_409(self, app):
+        # Big enough that the first poll happens while it runs or queues.
+        _, body = app.request(
+            "/v1/campaigns",
+            payload={"scale": 4000, "shard_size": 100},
+            method="POST",
+        )
+        job_id = body["job"]["job_id"]
+        status, _ = app.request(f"/v1/jobs/{job_id}/result")
+        assert status == 409
+        app.wait_finished(job_id)
+
+    def test_events_stream_ends_with_terminal_state(self, app):
+        _, body = app.request(
+            "/v1/campaigns",
+            payload={"scale": 200, "shard_size": 50},
+            method="POST",
+        )
+        job_id = body["job"]["job_id"]
+        with urllib.request.urlopen(
+            app.base + f"/v1/jobs/{job_id}/events", timeout=60
+        ) as stream:
+            lines = stream.read().decode().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["state"] == "completed"
+        assert events[-1]["shards"]["completed"] == 4
+        # Progress only ever moves forward.
+        counts = [e["shards"]["completed"] for e in events]
+        assert counts == sorted(counts)
+
+    def test_keep_alive_pipelines_sequential_requests(self, app):
+        with socket.create_connection(("127.0.0.1", app.port), timeout=10) as sock:
+            probe = (
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            sock.sendall(probe + probe)  # two requests, one write
+            sock.settimeout(10)
+            received = b""
+            while received.count(b'"ok": true') < 2:
+                chunk = sock.recv(4096)
+                assert chunk, "server closed before both responses"
+                received += chunk
+        assert received.count(b"HTTP/1.1 200 OK") == 2

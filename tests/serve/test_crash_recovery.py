@@ -1,0 +1,164 @@
+"""Chaos tests for the service: SIGKILL the process, restart, verify parity.
+
+The service inherits the engine's crash-safety machinery (per-job shard
+journals), so the invariant under test is architecture invariant 9: a
+service killed at any instant and restarted over the same state dir
+finishes every in-flight campaign with totals byte-identical to an
+uninterrupted run.  These tests drive the real ``repro serve`` CLI in
+subprocesses and kill it for real.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.bench.engine.shards import run_sharded_campaign
+from repro.bench.engine.wal import replay_journal
+from repro.persist import streaming_totals_to_dict
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+class ServeProcess:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, state_dir: Path):
+        # stderr goes to DEVNULL: after a SIGKILL nobody drains the pipe.
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--state-dir", str(state_dir), "--port", "0",
+            ],
+            env=cli_env(), cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        )
+        line = self.proc.stdout.readline().strip()
+        assert line.startswith("serving on http://"), line
+        self.base = line.removeprefix("serving on ")
+
+    def request(self, path, payload=None, method=None, timeout=30):
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def wait_finished(self, job_id, timeout=120):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, status = self.request(f"/v1/jobs/{job_id}")
+            if status["state"] in ("completed", "failed"):
+                return status
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+        assert self.proc.returncode == -signal.SIGKILL
+
+    def sigterm(self, timeout=60):
+        self.proc.send_signal(signal.SIGTERM)
+        self.proc.wait(timeout=timeout)
+
+    def cleanup(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+
+
+def wait_for_journal(wal: Path, minimum: int, timeout=60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if wal.exists():
+            try:
+                if len(replay_journal(wal).arrays) >= minimum:
+                    return
+            except Exception:
+                pass  # header mid-write
+        time.sleep(0.02)
+    raise AssertionError(f"{wal} never reached {minimum} records")
+
+
+@pytest.mark.parametrize("kill", ["sigkill", "sigterm"])
+def test_killed_service_resumes_bit_identically(tmp_path, kill):
+    state = tmp_path / "state"
+    first = ServeProcess(state)
+    try:
+        status, body = first.request(
+            "/v1/campaigns",
+            payload={"scale": 20000, "shard_size": 500, "tenant": "t1"},
+            method="POST",
+        )
+        assert status == 202
+        job_id = body["job"]["job_id"]
+        wal = state / "wal" / f"{job_id}.wal"
+        wait_for_journal(wal, minimum=2)
+        if kill == "sigkill":
+            first.sigkill()
+        else:
+            first.sigterm()
+            assert first.proc.returncode == 0, "drain exits cleanly"
+    finally:
+        first.cleanup()
+
+    folded = len(replay_journal(wal).arrays)
+    assert 2 <= folded < 40, "the kill landed mid-campaign"
+    # The job record still reads running/queued — never lost, never done.
+    record = json.loads(
+        (state / "jobs" / f"{job_id}.json").read_text(encoding="utf-8")
+    )
+    assert record["state"] in ("running", "queued")
+
+    second = ServeProcess(state)
+    try:
+        final = second.wait_finished(job_id)
+        assert final["state"] == "completed", final.get("error")
+        assert final["shards"]["completed"] == 40
+        _, stats = second.request("/v1/stats")
+        assert stats["counters"]["serve.jobs.resumed"] == 1
+        _, payload = second.request(f"/v1/jobs/{job_id}/result")
+    finally:
+        second.cleanup()
+
+    reference = run_sharded_campaign(scale=20000, shard_size=500)
+    expected = streaming_totals_to_dict(reference.totals)
+    assert payload["totals"] == expected
+    # Byte-identical, not merely equal: serialize both canonically.
+    assert json.dumps(payload["totals"], sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+
+
+def test_restart_with_empty_state_dir_is_quiet(tmp_path):
+    service = ServeProcess(tmp_path / "fresh")
+    try:
+        status, body = service.request("/healthz")
+        assert (status, body["ok"]) == (200, True)
+        _, listing = service.request("/v1/jobs")
+        assert listing["jobs"] == []
+        service.sigterm()
+        assert service.proc.returncode == 0
+    finally:
+        service.cleanup()

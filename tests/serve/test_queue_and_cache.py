@@ -1,0 +1,186 @@
+"""Persistent job queue transitions and the LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs import Observability
+from repro.persist import SERVE_JOB_SCHEMA, load_json
+from repro.serve.cache import ResultCache
+from repro.serve.queue import JobQueue, JobRecord, JobSpec
+
+
+def spec(**overrides):
+    base = dict(scale=100, shard_size=50)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        original = spec(ecosystem="web-services", tool_families=("sast",))
+        assert JobSpec.from_dict(original.to_dict()) == original
+
+    def test_planned_shards_rounds_up(self):
+        assert spec(scale=101, shard_size=50).planned_shards == 3
+
+    def test_from_payload_rejects_garbage(self):
+        with pytest.raises(ServeError, match="scale"):
+            JobSpec.from_payload({})
+        with pytest.raises(ServeError, match="scale"):
+            JobSpec.from_payload({"scale": 0})
+        with pytest.raises(ServeError, match="shard_size"):
+            JobSpec.from_payload({"scale": 10, "shard_size": -1})
+        with pytest.raises(ServeError, match="unknown spec fields"):
+            JobSpec.from_payload({"scale": 10, "shardsize": 5})
+        with pytest.raises(ServeError, match="malformed"):
+            JobSpec.from_payload({"scale": "lots"})
+        with pytest.raises(ServeError, match="ecosystem"):
+            JobSpec.from_payload({"scale": 10, "ecosystem": "nope"})
+        with pytest.raises(ServeError, match="body"):
+            JobSpec.from_payload([1, 2])
+
+    def test_from_payload_tolerates_tenant_and_priority(self):
+        built = JobSpec.from_payload(
+            {"scale": 10, "tenant": "t", "priority": 3}
+        )
+        assert built.scale == 10
+
+
+class TestJobQueue:
+    def test_submit_persists_a_tagged_record(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(spec(), tenant="t1")
+        payload = load_json(tmp_path / "jobs" / f"{record.job_id}.json")
+        assert payload["schema"] == SERVE_JOB_SCHEMA
+        assert payload["state"] == "queued"
+        assert JobRecord.from_dict(payload) == record
+
+    def test_lifecycle_transitions_are_durable(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(spec())
+        popped = queue.pop_next()
+        assert popped.job_id == record.job_id
+        assert popped.state == "running"
+        assert popped.attempts == 1
+        on_disk = load_json(tmp_path / "jobs" / f"{record.job_id}.json")
+        assert on_disk["state"] == "running"
+        done = queue.finish(record.job_id)
+        assert done.state == "completed"
+        assert done.finished
+
+    def test_failure_records_the_error(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(spec())
+        queue.pop_next()
+        failed = queue.finish(record.job_id, error="boom")
+        assert failed.state == "failed"
+        assert failed.error == "boom"
+
+    def test_unknown_job_maps_to_404(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(ServeError, match="no such job") as info:
+            queue.get("j999999")
+        assert info.value.status == 404
+
+    def test_empty_tenant_is_rejected(self, tmp_path):
+        with pytest.raises(ServeError, match="tenant"):
+            JobQueue(tmp_path).submit(spec(), tenant="")
+
+    def test_recover_requeues_queued_and_running(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(spec(), tenant="a")
+        queue.submit(spec(), tenant="b")
+        done = queue.submit(spec(), tenant="c")
+        queue.pop_next()  # first -> running (simulates a crash mid-run)
+        for _ in range(2):
+            queue.pop_next()
+        queue.finish(done.job_id)
+
+        reborn = JobQueue(tmp_path)
+        requeued = reborn.recover()
+        ids = [record.job_id for record in requeued]
+        assert first.job_id in ids
+        assert done.job_id not in ids
+        assert len(ids) == 2
+        # The interrupted 'running' record was reset durably.
+        assert reborn.get(first.job_id).state == "queued"
+        # Sequence numbers continue, never collide.
+        again = reborn.submit(spec())
+        assert again.seq == 3
+        assert again.job_id == "j000003"
+
+    def test_snapshot_counts_states_and_units(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        record = queue.submit(spec(scale=120), tenant="t")
+        queue.submit(spec(scale=80), tenant="t")
+        queue.pop_next()
+        queue.finish(record.job_id)
+        snap = queue.snapshot()
+        assert snap["states"]["completed"] == 1
+        assert snap["states"]["queued"] == 1
+        assert snap["completed_units"] == {"t": 120}
+        assert snap["pending"] == 1
+
+
+class TestResultCache:
+    def test_hot_hit_counts(self, tmp_path):
+        obs = Observability()
+        cache = ResultCache(tmp_path, capacity=4, obs=obs)
+        cache.put("j1", {"n": 1})
+        assert cache.get("j1") == {"n": 1}
+        assert obs.metrics.counter("serve.cache.hits").value == 1
+
+    def test_eviction_falls_back_to_disk(self, tmp_path):
+        obs = Observability()
+        cache = ResultCache(tmp_path, capacity=2, obs=obs)
+        for n in range(3):
+            cache.put(f"j{n}", {"n": n})
+        # j0 was evicted from memory but persists on disk.
+        assert obs.metrics.counter("serve.cache.evicted").value == 1
+        assert cache.get("j0") == {"n": 0}
+        assert obs.metrics.counter("serve.cache.misses").value == 1
+        # ...and is hot again now (LRU re-admission).
+        assert cache.get("j0") == {"n": 0}
+        assert obs.metrics.counter("serve.cache.hits").value == 1
+
+    def test_lru_evicts_least_recently_used(self, tmp_path):
+        obs = Observability()
+        cache = ResultCache(tmp_path, capacity=2, obs=obs)
+        cache.put("j0", {"n": 0})
+        cache.put("j1", {"n": 1})
+        cache.get("j0")  # refresh j0; j1 becomes the LRU entry
+        cache.put("j2", {"n": 2})
+        cache.get("j0")
+        cache.get("j2")
+        assert obs.metrics.counter("serve.cache.hits").value == 3
+        assert obs.metrics.counter("serve.cache.misses").value == 0
+        cache.get("j1")  # evicted -> disk
+        assert obs.metrics.counter("serve.cache.misses").value == 1
+
+    def test_absent_and_corrupt_are_distinct(self, tmp_path):
+        obs = Observability()
+        cache = ResultCache(tmp_path, capacity=2, obs=obs)
+        assert cache.get("never") is None
+        assert obs.metrics.counter("serve.cache.absent").value == 1
+        cache.put("j0", {"n": 0})
+        # A fresh instance (cold memory) facing a corrupted file.
+        cold = ResultCache(tmp_path, capacity=2, obs=obs)
+        path = cold._path("j0")
+        path.write_text('{"schema": "garbage"}', encoding="utf-8")
+        assert cold.get("j0") is None
+        assert obs.metrics.counter("serve.cache.corrupt").value == 1
+
+    def test_gauge_tracks_size(self, tmp_path):
+        obs = Observability()
+        cache = ResultCache(tmp_path, capacity=8, obs=obs)
+        cache.put("j0", {})
+        cache.put("j1", {})
+        assert obs.metrics.gauge("serve.cache.size").value == 2.0
+
+    def test_capacity_must_be_positive(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="capacity"):
+            ResultCache(tmp_path, capacity=0)

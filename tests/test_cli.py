@@ -495,3 +495,44 @@ class TestEcosystemFlags:
                 ["run", "--scale", "30", "--ecosystem", "all",
                  "--manifest", str(tmp_path / "m.json")]
             )
+
+
+class TestServe:
+    """Argument validation for the campaign service subcommand.
+
+    The service itself is exercised in tests/serve/; here we only assert
+    that bad invocations die before a socket ever binds.
+    """
+
+    def test_state_dir_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_worker_counts_must_be_positive(self, tmp_path):
+        state = str(tmp_path / "state")
+        with pytest.raises(SystemExit, match="--serve-workers"):
+            main(["serve", "--state-dir", state, "--serve-workers", "0"])
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["serve", "--state-dir", state, "--jobs", "0"])
+        with pytest.raises(SystemExit, match="--quantum"):
+            main(["serve", "--state-dir", state, "--quantum", "0"])
+        with pytest.raises(SystemExit, match="--result-cache"):
+            main(["serve", "--state-dir", state, "--result-cache", "0"])
+
+    def test_tenant_weight_syntax(self, tmp_path):
+        state = str(tmp_path / "state")
+        for bad in ("ci", "ci=", "=2", "ci=zero", "ci=0", "ci=-1"):
+            with pytest.raises(SystemExit, match="--tenant-weight"):
+                main(
+                    ["serve", "--state-dir", state, "--tenant-weight", bad]
+                )
+
+    def test_weight_parser_accepts_valid_specs(self):
+        from repro.cli import _parse_tenant_weights
+
+        assert _parse_tenant_weights(["ci=2.5", "ad-hoc=0.5"]) == {
+            "ci": 2.5,
+            "ad-hoc": 0.5,
+        }
+        assert _parse_tenant_weights(None) == {}

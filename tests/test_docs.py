@@ -43,7 +43,10 @@ def test_doc_file_is_healthy(path):
 def test_docs_exist_and_are_indexed():
     assert (ROOT / "docs" / "index.md").exists()
     index = (ROOT / "docs" / "index.md").read_text(encoding="utf-8")
-    for page in ("architecture.md", "observability.md", "benchmarking.md", "scaling.md"):
+    for page in (
+        "architecture.md", "observability.md", "benchmarking.md",
+        "scaling.md", "serve.md",
+    ):
         assert page in index, f"docs/index.md must link {page}"
 
 
@@ -99,12 +102,42 @@ class TestBenchTableFreshness:
         },
     }
 
+    SERVE_PAYLOAD = {
+        "schema": "repro/bench-serve@1",
+        "latency": {
+            "rows": [
+                {
+                    "phase": "query",
+                    "requests": 20000,
+                    "p50_ms": 1.2,
+                    "p99_ms": 4.8,
+                    "rps": 15000.0,
+                }
+            ]
+        },
+        "fairness": {
+            "abusive": "tenant-0",
+            "bounded": True,
+            "tenants": {
+                "tenant-0": {
+                    "weight": 1.0,
+                    "submitted_share": 0.67,
+                    "served_share": 0.26,
+                },
+                "tenant-1": {
+                    "weight": 1.0,
+                    "submitted_share": 0.33,
+                    "served_share": 0.74,
+                },
+            },
+        },
+    }
+
     def _payload_for(self, table) -> dict:
-        return (
-            self.ENGINE_PAYLOAD
-            if table.results == "results/BENCH_engine.json"
-            else self.PAYLOAD
-        )
+        return {
+            "results/BENCH_engine.json": self.ENGINE_PAYLOAD,
+            "results/BENCH_serve.json": self.SERVE_PAYLOAD,
+        }.get(table.results, self.PAYLOAD)
 
     def _fresh_doc(self) -> str:
         from repro.reporting.benchtables import bench_tables
@@ -123,6 +156,8 @@ class TestBenchTableFreshness:
     def _root(self, tmp_path, doc_text):
         import json
 
+        from repro.reporting.benchtables import bench_tables
+
         (tmp_path / "results").mkdir()
         (tmp_path / "docs").mkdir()
         (tmp_path / "results" / "BENCH_shard.json").write_text(
@@ -131,7 +166,13 @@ class TestBenchTableFreshness:
         (tmp_path / "results" / "BENCH_engine.json").write_text(
             json.dumps(self.ENGINE_PAYLOAD), encoding="utf-8"
         )
-        (tmp_path / "docs" / "scaling.md").write_text(doc_text, encoding="utf-8")
+        (tmp_path / "results" / "BENCH_serve.json").write_text(
+            json.dumps(self.SERVE_PAYLOAD), encoding="utf-8"
+        )
+        # Every registered doc gets the full marker set; each table only
+        # inspects its own markers, so sharing the text is harmless.
+        for doc in {table.doc for table in bench_tables()}:
+            (tmp_path / doc).write_text(doc_text, encoding="utf-8")
         return tmp_path
 
     def test_fresh_tables_pass(self, tmp_path):

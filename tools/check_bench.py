@@ -41,6 +41,13 @@ still works.  This checker runs three fast probes:
    ``--resume`` of its write-ahead journal — on both executors, with a
    torn journal tail tolerated — and every recovered run's per-shard
    cells equal the uninterrupted run's byte-for-byte.
+9. **Serve dump schema** — ``results/BENCH_serve.json``, when present,
+   carries the ``repro/bench-serve@1`` tag, the latency rows and the
+   fairness section ``docs/serve.md`` cites, sane percentiles
+   (``p99 >= p50 > 0``), and ``bounded: true`` for the abusive tenant.
+10. **Serve smoke** — a real ``repro serve`` subprocess must accept a
+    campaign over HTTP, run it to completion, and return totals equal to
+    an in-process ``run_sharded_campaign`` at the same parameters.
 
 Usage::
 
@@ -75,6 +82,11 @@ ECOSYSTEMS_SECTIONS = ("ecosystems", "winners", "taus", "flips")
 
 #: The sharded-campaign manifest schema the CLI currently writes.
 SHARD_MANIFEST_SCHEMA = "repro/shard-run@2"
+
+SERVE_JSON = Path(__file__).resolve().parent.parent / "results" / "BENCH_serve.json"
+SERVE_JSON_SCHEMA = "repro/bench-serve@1"
+#: Sections docs/serve.md cites from the serve dump.
+SERVE_SECTIONS = ("latency", "fairness")
 
 
 def check_kernel_parity() -> list[str]:
@@ -692,6 +704,139 @@ def check_chaos_recovery() -> list[str]:
     return problems
 
 
+def check_serve_json() -> list[str]:
+    """The serve dump must be schema-tagged, complete, and record fairness."""
+    if not SERVE_JSON.exists():
+        return []
+    try:
+        payload = json.loads(SERVE_JSON.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"serve json: {SERVE_JSON} is not valid JSON: {error}"]
+    problems = []
+    found = payload.get("schema")
+    if found != SERVE_JSON_SCHEMA:
+        problems.append(
+            f"serve json: expected schema {SERVE_JSON_SCHEMA!r}, found {found!r}"
+        )
+    for section in SERVE_SECTIONS:
+        if section not in payload:
+            problems.append(f"serve json: missing section {section!r}")
+    rows = payload.get("latency", {}).get("rows", [])
+    if "latency" in payload and not rows:
+        problems.append("serve json: latency section has no rows")
+    for row in rows:
+        missing = {"phase", "requests", "p50_ms", "p99_ms", "rps"} - set(row)
+        if missing:
+            problems.append(f"serve json: latency row lacks {sorted(missing)}")
+            continue
+        if not 0 < row["p50_ms"] <= row["p99_ms"]:
+            problems.append(
+                f"serve json: latency row {row['phase']!r} has unsound "
+                f"percentiles (p50={row['p50_ms']}, p99={row['p99_ms']})"
+            )
+    fairness = payload.get("fairness", {})
+    if fairness:
+        if fairness.get("bounded") is not True:
+            problems.append(
+                "serve json: fairness section does not record the abusive "
+                "tenant bounded to its weight share — the DRR claim is "
+                "not backed"
+            )
+        tenants = fairness.get("tenants", {})
+        abusive = fairness.get("abusive")
+        if abusive not in tenants:
+            problems.append(
+                f"serve json: abusive tenant {abusive!r} missing from the "
+                "fairness tenants"
+            )
+        for tenant, row in tenants.items():
+            missing = {"weight", "submitted_share", "served_share"} - set(row)
+            if missing:
+                problems.append(
+                    f"serve json: fairness row {tenant!r} lacks "
+                    f"{sorted(missing)}"
+                )
+    return problems
+
+
+def check_serve_smoke() -> list[str]:
+    """A real ``repro serve`` process must run a campaign with parity."""
+    import time
+    import urllib.error
+    import urllib.request
+
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--state-dir", str(Path(tmp) / "state"), "--port", "0",
+            ],
+            env=env, cwd=repo_root,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            if not line.startswith("serving on http://"):
+                return [f"serve smoke: unexpected banner {line!r}"]
+            base = line.removeprefix("serving on ")
+
+            def request(path, payload=None):
+                data = json.dumps(payload).encode() if payload else None
+                req = urllib.request.Request(base + path, data=data)
+                try:
+                    with urllib.request.urlopen(req, timeout=30) as response:
+                        return response.status, json.loads(response.read())
+                except urllib.error.HTTPError as error:
+                    return error.code, json.loads(error.read())
+
+            status, body = request(
+                "/v1/campaigns", {"scale": 300, "shard_size": 150}
+            )
+            if status != 202:
+                return [f"serve smoke: submit returned {status}: {body}"]
+            job_id = body["job"]["job_id"]
+            deadline = time.monotonic() + 120
+            state = None
+            while time.monotonic() < deadline:
+                _, view = request(f"/v1/jobs/{job_id}")
+                state = view["state"]
+                if state in ("completed", "failed"):
+                    break
+                time.sleep(0.1)
+            if state != "completed":
+                return [
+                    f"serve smoke: job ended {state!r}: {view.get('error')}"
+                ]
+            _, result = request(f"/v1/jobs/{job_id}/result")
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
+            proc.stdout.close()
+    sys.path.insert(0, str(repo_root / "src"))
+    try:
+        from repro.bench.engine.shards import run_sharded_campaign
+        from repro.persist import streaming_totals_to_dict
+
+        reference = run_sharded_campaign(scale=300, shard_size=150)
+        expected = streaming_totals_to_dict(reference.totals)
+    finally:
+        sys.path.pop(0)
+    if result["totals"] != expected:
+        problems.append(
+            "serve smoke: totals served over HTTP differ from the "
+            "in-process campaign at the same (scale, shard_size, seed)"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_kernel_parity()
@@ -701,9 +846,11 @@ def main() -> int:
         + check_shard_json()
         + check_ecosystems_json()
         + check_fault_injection()
+        + check_serve_json()
         + check_shard_scale()
         + check_cross_ecosystem()
         + check_chaos_recovery()
+        + check_serve_smoke()
     )
     for problem in problems:
         print(problem, file=sys.stderr)
@@ -713,8 +860,9 @@ def main() -> int:
     print(
         "bench ok: kernels, resampler stream, generation parity, dump "
         "schemas, fault-injection smoke, shard-scale smoke (executor x "
-        "transport parity), cross-ecosystem smoke, and chaos-recovery "
-        "smoke (worker-kill / parent-kill / torn-journal) checked"
+        "transport parity), cross-ecosystem smoke, chaos-recovery "
+        "smoke (worker-kill / parent-kill / torn-journal), and serve "
+        "smoke (HTTP campaign parity) checked"
     )
     return 0
 
